@@ -1,0 +1,123 @@
+//! Ablation benchmarks A1, A3, A4 (DESIGN.md): measure what each design
+//! choice buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use warp_compiler::{compile, corpus, CompileOptions};
+use warp_ir::LowerOptions;
+use warp_iu::IuOptions;
+
+const REDUNDANT: &str = "module poly4 (xs in, ys out) float xs[16]; float ys[16]; \
+    cellprogram (cid : 0 : 0) begin function f begin float x, y; int i; \
+    for i := 0 to 15 do begin \
+      receive (L, X, x, xs[i]); \
+      y := 1.0*x + 0.0 + x*x + x*x*x + x*x*x*x + x*x*x*x*x + 2.0*3.0; \
+      send (R, X, y, ys[i]); \
+    end; end call f; end";
+
+fn no_opt() -> CompileOptions {
+    CompileOptions {
+        lower: LowerOptions {
+            optimize: false,
+            ..LowerOptions::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+fn no_sr() -> CompileOptions {
+    CompileOptions {
+        iu: IuOptions {
+            strength_reduction: false,
+            ..IuOptions::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+fn print_tables() {
+    eprintln!("\n=== Ablation A1: local optimizations (CSE/folding/height reduction) ===");
+    eprintln!("program        | cell ucode (opt) | cell ucode (no-opt)");
+    for (name, src) in [
+        ("redundant-poly", REDUNDANT.to_owned()),
+        ("mandelbrot-8", corpus::mandelbrot_source(8, 4)),
+        ("matmul-2c", corpus::matmul_source(2, 4, 4, 2)),
+    ] {
+        let with = compile(&src, &CompileOptions::default()).expect("compiles");
+        let without = compile(&src, &no_opt()).expect("compiles");
+        eprintln!(
+            "{:<14} | {:>16} | {:>19}",
+            name, with.metrics.cell_ucode, without.metrics.cell_ucode
+        );
+    }
+
+    eprintln!("\n=== Ablation A3: strength reduction ===");
+    eprintln!(
+        "program    | IU regs (SR on) | table words (SR on) | IU regs (off) | table words (off)"
+    );
+    for (name, src) in [
+        ("matmul-2c", corpus::matmul_source(2, 4, 4, 2)),
+        ("conv-3", corpus::conv1d_source(3, 16)),
+        ("mandel-8", corpus::mandelbrot_source(8, 4)),
+    ] {
+        let with = compile(&src, &CompileOptions::default()).expect("compiles");
+        let without = compile(&src, &no_sr()).expect("compiles");
+        eprintln!(
+            "{:<10} | {:>15} | {:>19} | {:>13} | {:>17}",
+            name,
+            with.iu.regs_used,
+            with.iu.table.len(),
+            without.iu.regs_used,
+            without.iu.table.len()
+        );
+    }
+
+    eprintln!("\n=== Ablation A4: queue occupancy bound vs skew (polynomial, 3 cells) ===");
+    let m = compile(
+        &corpus::polynomial_source(3, 32),
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    eprintln!(
+        "min skew {}; occupancy at min skew: {:?}",
+        m.skew.min_skew, m.skew.queue_occupancy
+    );
+    eprintln!("skew | max observed interior queue occupancy");
+    let c = vec![1.0f32; 3];
+    let z = vec![1.0f32; 32];
+    for extra in [0i64, 8, 32, 128] {
+        let r = m
+            .run_with(m.n_cells, m.skew.min_skew + extra, &[("c", &c), ("z", &z)])
+            .expect("runs");
+        eprintln!("{:>4} | {}", m.skew.min_skew + extra, r.max_queue_occupancy);
+    }
+    eprintln!();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_tables();
+    let mut group = c.benchmark_group("ablations");
+    group.bench_function("compile_opt", |b| {
+        b.iter(|| compile(black_box(REDUNDANT), &CompileOptions::default()).expect("ok"))
+    });
+    group.bench_function("compile_no_opt", |b| {
+        b.iter(|| compile(black_box(REDUNDANT), &no_opt()).expect("ok"))
+    });
+    let opt = compile(REDUNDANT, &CompileOptions::default()).unwrap();
+    let raw = compile(REDUNDANT, &no_opt()).unwrap();
+    let xs: Vec<f32> = (0..16).map(|i| (i % 5) as f32).collect();
+    group.bench_function("simulate_opt", |b| {
+        b.iter(|| opt.run(black_box(&[("xs", &xs[..])])).expect("ok"))
+    });
+    group.bench_function("simulate_no_opt", |b| {
+        b.iter(|| raw.run(black_box(&[("xs", &xs[..])])).expect("ok"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment E7 — Table 6-5: operand allocation alternatives for the
+//! IU addresses `a[i,j+1]` and `b[i+j,j]`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use warp_iu::alloc::{evaluate, table_6_5, table_6_5_addresses, table_6_5_options};
+
+fn print_table() {
+    eprintln!("\n=== Table 6-5: operand allocation to registers ===");
+    eprintln!(
+        "{:<32} | {:>9} {:>10} {:>7} | paper",
+        "Allocated to registers", "registers", "arith ops", "updates"
+    );
+    let paper = [(3, 6, 2), (4, 2, 2), (5, 1, 3)];
+    for ((name, cost), p) in table_6_5().into_iter().zip(paper) {
+        eprintln!(
+            "{:<32} | {:>9} {:>10} {:>7} | {}/{}/{}",
+            name, cost.registers, cost.arith_ops, cost.update_ops, p.0, p.1, p.2
+        );
+    }
+    eprintln!();
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    print_table();
+    let (addresses, _, j) = table_6_5_addresses();
+    let options = table_6_5_options();
+    let mut group = c.benchmark_group("table6_5_alloc");
+    for set in options {
+        let label = set.name.clone();
+        group.bench_function(label, |b| {
+            b.iter(|| evaluate(black_box(&addresses), &set, j).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_alloc
+}
+criterion_main!(benches);

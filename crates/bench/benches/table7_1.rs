@@ -1,0 +1,70 @@
+//! Experiment E8 — Table 7-1: metrics for the five sample programs.
+//!
+//! Prints the reproduction of Table 7-1 (W2 lines, cell µcode, IU
+//! µcode, compile time) and benchmarks the compile time of each program
+//! with Criterion. Absolute compile times are not comparable to the
+//! paper's (a 1986 Perq Lisp machine vs. a modern CPU); the *shape* —
+//! which programs are bigger, which channel dominates — is.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use warp_compiler::{compile, corpus, CompileOptions};
+
+const PROGRAMS: [(&str, &str); 5] = [
+    ("1d-Conv", corpus::ONED_CONV),
+    ("Binop", corpus::BINOP),
+    ("ColorSeg", corpus::COLORSEG),
+    ("Mandelbrot", corpus::MANDELBROT),
+    ("Polynomial", corpus::POLYNOMIAL),
+];
+
+/// Paper values for reference: (W2 lines, cell µcode, IU µcode).
+const PAPER: [(&str, u32, u32, u32); 5] = [
+    ("1d-Conv", 59, 69, 72),
+    ("Binop", 61, 118, 130),
+    ("ColorSeg", 88, 556, 270),
+    ("Mandelbrot", 102, 1511, 254),
+    ("Polynomial", 49, 72, 83),
+];
+
+fn print_table() {
+    eprintln!("\n=== Table 7-1: metrics for sample programs ===");
+    eprintln!(
+        "{:<12} | {:>8} {:>10} {:>9} {:>13} | paper (lines/cell/IU)",
+        "Name", "W2 Lines", "Cell ucode", "IU ucode", "Compile time"
+    );
+    for (name, src) in PROGRAMS {
+        let m = compile(src, &CompileOptions::default()).expect("compiles");
+        let paper = PAPER.iter().find(|p| p.0 == name).expect("listed");
+        eprintln!(
+            "{:<12} | {:>8} {:>10} {:>9} {:>11.1?} | {}/{}/{}",
+            name,
+            m.metrics.w2_lines,
+            m.metrics.cell_ucode,
+            m.metrics.iu_ucode,
+            m.metrics.compile_time,
+            paper.1,
+            paper.2,
+            paper.3,
+        );
+    }
+    eprintln!();
+}
+
+fn bench_compiles(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("table7_1_compile");
+    for (name, src) in PROGRAMS {
+        group.bench_function(name, |b| {
+            b.iter(|| compile(black_box(src), &CompileOptions::default()).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compiles
+}
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Experiment E9 — throughput of the compiled pipelines on the
+//! simulated array (the paper quotes "one result per cycle" for 1d-Conv
+//! and Polynomial on the real machine; without cross-iteration software
+//! pipelining the steady state here is one result per loop iteration).
+//!
+//! Prints the cell-count sweep (throughput roughly constant, FLOP rate
+//! scaling with cells) and benchmarks whole-array simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use warp_compiler::{compile, corpus, CompileOptions};
+
+fn print_series() {
+    eprintln!("\n=== Throughput: scheduling configurations (10-cell polynomial, 256 points) ===");
+    eprintln!("configuration       | cycles | results/cycle");
+    let src = corpus::polynomial_source(10, 256);
+    let c = vec![0.5f32; 10];
+    let z = vec![1.0f32; 256];
+    for (name, pipeline, unroll) in [
+        ("baseline", false, 1u32),
+        ("unroll 4", false, 4),
+        ("pipelined", true, 1),
+        ("pipelined+unroll 4", true, 4),
+        ("pipelined+unroll 8", true, 8),
+    ] {
+        let opts = CompileOptions {
+            software_pipeline: pipeline,
+            lower: warp_ir::LowerOptions {
+                unroll,
+                ..warp_ir::LowerOptions::default()
+            },
+            ..CompileOptions::default()
+        };
+        let m = compile(&src, &opts).expect("compiles");
+        let r = m.run(&[("c", &c), ("z", &z)]).expect("runs");
+        eprintln!(
+            "{name:<19} | {:>6} | {:.4}",
+            r.cycles,
+            256.0 / r.cycles as f64
+        );
+    }
+
+    eprintln!("\n=== Throughput: polynomial pipeline, cell-count sweep ===");
+    eprintln!("cells | cycles | results/cycle | FLOPs/cycle | fill cycles");
+    for cells in [2u32, 4, 6, 8, 10] {
+        let src = corpus::polynomial_source(cells, 256);
+        let m = compile(&src, &CompileOptions::default()).expect("compiles");
+        let c = vec![0.5f32; cells as usize];
+        let z = vec![1.25f32; 256];
+        let r = m.run(&[("c", &c), ("z", &z)]).expect("runs");
+        eprintln!(
+            "{:>5} | {:>6} | {:>13.4} | {:>11.4} | {:>5}",
+            cells,
+            r.cycles,
+            256.0 / r.cycles as f64,
+            r.fp_ops as f64 / r.cycles as f64,
+            m.skew.pipeline_fill(cells),
+        );
+    }
+
+    eprintln!("\n=== FFT (paper §2: \"1024-point complex FFT every 600 us\") ===");
+    for (n, unroll) in [(256u32, 1u32), (1024, 1), (1024, 8)] {
+        let src = corpus::fft_source(n);
+        let mut o = CompileOptions::default();
+        o.machine.queue_capacity = 8 * n; // §6.2.2: local-memory spilling not implemented
+        o.lower.unroll = unroll;
+        let m = compile(&src, &o).expect("compiles");
+        let (twr, twi) = corpus::fft_twiddle_arrays(n);
+        let re: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
+        let im = vec![0.0f32; n as usize];
+        let r = m
+            .run(&[("twr", &twr), ("twi", &twi), ("xre", &re), ("xim", &im)])
+            .expect("runs");
+        eprintln!(
+            "{n:>5}-point, unroll {unroll}: {} cycles on {} cells = {:.0} us at 200 ns/cycle              (paper: 600 us pipelined)",
+            r.cycles,
+            m.n_cells,
+            r.cycles as f64 * 0.2
+        );
+    }
+
+    eprintln!("\n=== Throughput: 9-cell 1d convolution ===");
+    let m = compile(corpus::ONED_CONV, &CompileOptions::default()).expect("compiles");
+    let w = vec![0.1f32; 9];
+    let x = vec![1.0f32; 128];
+    let r = m.run(&[("w", &w), ("x", &x)]).expect("runs");
+    eprintln!(
+        "cycles {} for 120 results: {:.4} results/cycle, {:.4} FLOPs/cycle",
+        r.cycles,
+        120.0 / r.cycles as f64,
+        r.fp_ops as f64 / r.cycles as f64
+    );
+    eprintln!();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("simulation");
+
+    let poly = compile(corpus::POLYNOMIAL, &CompileOptions::default()).expect("compiles");
+    let coeffs = [0.5f32; 10];
+    let z = vec![1.0f32; 100];
+    group.bench_function("polynomial_10_cells_100_points", |b| {
+        b.iter(|| {
+            poly.run(black_box(&[("c", &coeffs[..]), ("z", &z[..])]))
+                .expect("runs")
+        })
+    });
+
+    let conv = compile(corpus::ONED_CONV, &CompileOptions::default()).expect("compiles");
+    let w = [0.1f32; 9];
+    let x = vec![1.0f32; 128];
+    group.bench_function("conv_9_cells_128_samples", |b| {
+        b.iter(|| {
+            conv.run(black_box(&[("w", &w[..]), ("x", &x[..])]))
+                .expect("runs")
+        })
+    });
+
+    let mandel = compile(
+        &corpus::mandelbrot_source(16, 4),
+        &CompileOptions::default(),
+    )
+    .expect("compiles");
+    let seeds: Vec<f32> = (0..256).map(|i| -2.0 + i as f32 / 64.0).collect();
+    group.bench_function("mandelbrot_16x16", |b| {
+        b.iter(|| {
+            mandel
+                .run(black_box(&[("cre", &seeds[..]), ("cim", &seeds[..])]))
+                .expect("runs")
+        })
+    });
+
+    let mm = compile(
+        &corpus::matmul_source(4, 8, 8, 2),
+        &CompileOptions::default(),
+    )
+    .expect("compiles");
+    let a: Vec<f32> = (0..64).map(|i| i as f32 * 0.1).collect();
+    let b_mat: Vec<f32> = (0..64).map(|i| (64 - i) as f32 * 0.1).collect();
+    group.bench_function("matmul_4_cells_8x8x8", |b| {
+        b.iter(|| {
+            mm.run(black_box(&[("a", &a[..]), ("b", &b_mat[..])]))
+                .expect("runs")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark support crate. The actual benchmarks live in `benches/`;
+//! see the workspace's `EXPERIMENTS.md` for the experiment index.

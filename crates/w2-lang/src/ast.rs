@@ -1,0 +1,402 @@
+//! Abstract syntax tree for W2.
+//!
+//! The AST mirrors the surface syntax of Figure 4-1 of the paper: a
+//! `module` header with `in`/`out` parameters, host variable declarations,
+//! and a `cellprogram` containing `function` definitions and statements.
+
+use warp_common::Span;
+
+/// A complete W2 module.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// `in`/`out` parameters naming host variables.
+    pub params: Vec<Param>,
+    /// Host variable declarations (between the header and `cellprogram`).
+    pub host_decls: Vec<VarDecl>,
+    /// The replicated cell program.
+    pub cellprogram: CellProgram,
+    /// Span of the module header.
+    pub span: Span,
+}
+
+/// Direction of a module parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParamDir {
+    /// Data flows from the host into the array.
+    In,
+    /// Data flows from the array back to the host.
+    Out,
+}
+
+/// A module parameter, e.g. `z in`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Host variable name.
+    pub name: String,
+    /// Transfer direction.
+    pub dir: ParamDir,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Base type of a W2 variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaseTy {
+    /// 32-bit floating point (the cell data type).
+    Float,
+    /// Integer (loop indices and subscripts only).
+    Int,
+}
+
+/// One declarator inside a declaration, e.g. `z[100]` or `coeff`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub ty: BaseTy,
+    /// Array dimensions; empty for scalars, up to two dimensions.
+    pub dims: Vec<u32>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The `cellprogram (cid : lo : hi)` construct.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellProgram {
+    /// Name of the cell-id variable (`cid` in the paper).
+    pub cell_id_var: String,
+    /// First cell index (inclusive).
+    pub lo: i64,
+    /// Last cell index (inclusive).
+    pub hi: i64,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+    /// Top-level statements (typically `call` statements).
+    pub body: Vec<Stmt>,
+    /// Source location of the construct header.
+    pub span: Span,
+}
+
+/// A `function name begin ... end` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Cell-local variable declarations.
+    pub locals: Vec<VarDecl>,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+/// Channel direction relative to this cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// The left neighbour (towards the host input end).
+    Left,
+    /// The right neighbour (towards the host output end).
+    Right,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::Left => Dir::Right,
+            Dir::Right => Dir::Left,
+        }
+    }
+}
+
+/// Which physical channel a transfer uses. Each neighbour pair is connected
+/// by two data paths, X and Y (paper §2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Chan {
+    /// The X data path.
+    X,
+    /// The Y data path.
+    Y,
+}
+
+/// A W2 statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `lvalue := expr;`
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `if cond then stmt [else stmt]` — compiled by predication.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken branch.
+        then_body: Vec<Stmt>,
+        /// Untaken branch.
+        else_body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `for var := lo to hi do stmt` with compile-time constant bounds.
+    For {
+        /// Loop index variable.
+        var: String,
+        /// Lower bound expression (must be constant).
+        lo: Expr,
+        /// Upper bound expression (must be constant).
+        hi: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `receive (dir, chan, var [, ext]);`
+    Receive {
+        /// Which neighbour the data comes from.
+        dir: Dir,
+        /// Which channel.
+        chan: Chan,
+        /// Cell variable receiving the data.
+        dst: LValue,
+        /// Host variable supplying the data at the array boundary.
+        ext: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `send (dir, chan, expr [, ext]);`
+    Send {
+        /// Which neighbour the data goes to.
+        dir: Dir,
+        /// Which channel.
+        chan: Chan,
+        /// Value to transfer.
+        value: Expr,
+        /// Host variable receiving the data at the array boundary.
+        ext: Option<LValue>,
+        /// Location.
+        span: Span,
+    },
+    /// `call name;`
+    Call {
+        /// Callee.
+        name: String,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Receive { span, .. }
+            | Stmt::Send { span, .. }
+            | Stmt::Call { span, .. } => *span,
+        }
+    }
+}
+
+/// An assignable location.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Location.
+        span: Span,
+    },
+    /// An array element `name[i]` or `name[i, j]`.
+    Elem {
+        /// Array name.
+        name: String,
+        /// Subscript expressions (1 or 2).
+        indices: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl LValue {
+    /// The source span of the lvalue.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Var { span, .. } | LValue::Elem { span, .. } => *span,
+        }
+    }
+
+    /// The variable or array name.
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Var { name, .. } | LValue::Elem { name, .. } => name,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` for `+ - * /`.
+    pub fn is_arith(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+
+    /// Returns `true` for comparisons.
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Returns `true` for `and`/`or`.
+    pub fn is_logic(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical `not`.
+    Not,
+}
+
+/// A W2 expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit {
+        /// Value.
+        value: i64,
+        /// Location.
+        span: Span,
+    },
+    /// Float literal.
+    FloatLit {
+        /// Value.
+        value: f64,
+        /// Location.
+        span: Span,
+    },
+    /// Variable reference (scalar, loop index, or the cell-id variable).
+    Var {
+        /// Name.
+        name: String,
+        /// Location.
+        span: Span,
+    },
+    /// Array element reference.
+    Elem {
+        /// Array name.
+        name: String,
+        /// Subscripts (1 or 2).
+        indices: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit { span, .. }
+            | Expr::FloatLit { span, .. }
+            | Expr::Var { span, .. }
+            | Expr::Elem { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_opposite() {
+        assert_eq!(Dir::Left.opposite(), Dir::Right);
+        assert_eq!(Dir::Right.opposite(), Dir::Left);
+    }
+
+    #[test]
+    fn binop_classes() {
+        assert!(BinOp::Add.is_arith());
+        assert!(!BinOp::Add.is_cmp());
+        assert!(BinOp::Lt.is_cmp());
+        assert!(BinOp::And.is_logic());
+        assert!(!BinOp::Mul.is_logic());
+    }
+
+    #[test]
+    fn lvalue_accessors() {
+        let lv = LValue::Var {
+            name: "x".into(),
+            span: Span::new(0, 1),
+        };
+        assert_eq!(lv.name(), "x");
+        assert_eq!(lv.span(), Span::new(0, 1));
+    }
+}

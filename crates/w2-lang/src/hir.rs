@@ -1,0 +1,327 @@
+//! Typed, resolved HIR produced by semantic analysis.
+//!
+//! The HIR is the contract between the front end and the rest of the
+//! compiler: names are resolved to [`VarId`]s, `function` bodies are
+//! inlined at their `call` sites, loop bounds are evaluated to constants,
+//! and every expression is typed. Programs that reach the HIR already
+//! satisfy the §5.1 staticness restrictions.
+
+pub use crate::ast::{BaseTy, BinOp, Chan, Dir, ParamDir, UnOp};
+use warp_common::{define_id, IdVec, Span};
+
+define_id!(VarId, "v");
+
+/// Where a variable lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A host (module-level) variable; cells never address it directly,
+    /// it appears only in the external position of `send`/`receive`.
+    Host,
+    /// A cell-local variable in the cell's 4K-word data memory.
+    CellLocal,
+    /// An `int` variable used as a `for` index; it exists only on the IU.
+    LoopIndex,
+}
+
+/// Declaration information for one variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarInfo {
+    /// Source name.
+    pub name: String,
+    /// Element type.
+    pub ty: BaseTy,
+    /// Array dimensions; empty for scalars.
+    pub dims: Vec<u32>,
+    /// Storage class.
+    pub kind: VarKind,
+}
+
+impl VarInfo {
+    /// Total number of words the variable occupies.
+    pub fn size(&self) -> u32 {
+        self.dims.iter().product::<u32>().max(1)
+    }
+
+    /// Returns `true` for array variables.
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+}
+
+/// A semantically checked module.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HirModule {
+    /// Module name.
+    pub name: String,
+    /// Host parameters in declaration order.
+    pub params: Vec<(VarId, ParamDir)>,
+    /// All variables (host, cell-local, loop indices).
+    pub vars: IdVec<VarId, VarInfo>,
+    /// The cell program body with functions inlined.
+    pub body: Vec<HirStmt>,
+    /// Number of cells in the `cellprogram` range.
+    pub n_cells: u32,
+    /// First cell index.
+    pub cell_lo: i64,
+}
+
+impl HirModule {
+    /// Looks up a variable id by source name (first match).
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
+    }
+}
+
+/// Expression type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit float (cell data).
+    Float,
+    /// Integer (loop indices / subscripts; IU only).
+    Int,
+    /// Boolean (comparison results; exists only as predicates).
+    Bool,
+}
+
+/// A typed HIR statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HirStmt {
+    /// Assignment to a cell-local location.
+    Assign {
+        /// Target.
+        lhs: HirLValue,
+        /// Value (float-typed).
+        rhs: HirExpr,
+        /// Location.
+        span: Span,
+    },
+    /// Predicated conditional; neither branch may perform I/O.
+    If {
+        /// Condition (bool-typed).
+        cond: HirExpr,
+        /// Statements executed when the condition holds.
+        then_body: Vec<HirStmt>,
+        /// Statements executed otherwise.
+        else_body: Vec<HirStmt>,
+        /// Location.
+        span: Span,
+    },
+    /// Counted loop with constant bounds.
+    For {
+        /// Index variable.
+        var: VarId,
+        /// Constant lower bound.
+        lo: i64,
+        /// Constant upper bound (inclusive; `hi >= lo`).
+        hi: i64,
+        /// Loop body.
+        body: Vec<HirStmt>,
+        /// Location.
+        span: Span,
+    },
+    /// Receive one word from a neighbour (or the host at the boundary).
+    Receive {
+        /// Source neighbour.
+        dir: Dir,
+        /// Channel.
+        chan: Chan,
+        /// Destination in the cell.
+        dst: HirLValue,
+        /// Host data source, used only by the boundary cell.
+        ext: Option<HostRef>,
+        /// Location.
+        span: Span,
+    },
+    /// Send one word to a neighbour (or the host at the boundary).
+    Send {
+        /// Destination neighbour.
+        dir: Dir,
+        /// Channel.
+        chan: Chan,
+        /// Value to send (float-typed).
+        value: HirExpr,
+        /// Host location to store into, used only by the boundary cell.
+        ext: Option<HostRef>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl HirStmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            HirStmt::Assign { span, .. }
+            | HirStmt::If { span, .. }
+            | HirStmt::For { span, .. }
+            | HirStmt::Receive { span, .. }
+            | HirStmt::Send { span, .. } => *span,
+        }
+    }
+}
+
+/// A reference to host memory appearing in the external position of a
+/// `send`/`receive` (paper §4.3): meaningful only at the array boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HostRef {
+    /// A literal value supplied by the host (e.g. the `0.0` seed of the
+    /// polynomial example).
+    Lit(f32),
+    /// A scalar host variable.
+    Var(VarId),
+    /// An element of a host array; subscripts are integer expressions in
+    /// the enclosing loop indices.
+    Elem {
+        /// The host array.
+        var: VarId,
+        /// Subscripts.
+        indices: Vec<HirExpr>,
+    },
+}
+
+/// An assignable cell location.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HirLValue {
+    /// A cell-local scalar.
+    Var(VarId),
+    /// An element of a cell-local array.
+    Elem {
+        /// The array.
+        var: VarId,
+        /// Subscripts (integer expressions in loop indices).
+        indices: Vec<HirExpr>,
+    },
+}
+
+impl HirLValue {
+    /// The variable being assigned.
+    pub fn var(&self) -> VarId {
+        match self {
+            HirLValue::Var(v) => *v,
+            HirLValue::Elem { var, .. } => *var,
+        }
+    }
+}
+
+/// A typed HIR expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HirExpr {
+    /// Float literal.
+    FloatLit(f32),
+    /// Integer literal (subscript/bound contexts only).
+    IntLit(i64),
+    /// Read a scalar variable (float cell-local, or int loop index inside
+    /// subscripts).
+    ReadVar(VarId),
+    /// Read an element of a cell-local array.
+    ReadElem {
+        /// The array.
+        var: VarId,
+        /// Subscripts.
+        indices: Vec<HirExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Result type.
+        ty: Ty,
+        /// Left operand.
+        lhs: Box<HirExpr>,
+        /// Right operand.
+        rhs: Box<HirExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Result type.
+        ty: Ty,
+        /// Operand.
+        operand: Box<HirExpr>,
+    },
+}
+
+impl HirExpr {
+    /// Folds an integer-typed expression to a constant, if possible.
+    /// Loop-index reads are not constant.
+    pub fn const_int(&self) -> Option<i64> {
+        match self {
+            HirExpr::IntLit(v) => Some(*v),
+            HirExpr::Binary { op, lhs, rhs, .. } => {
+                let l = lhs.const_int()?;
+                let r = rhs.const_int()?;
+                match op {
+                    BinOp::Add => l.checked_add(r),
+                    BinOp::Sub => l.checked_sub(r),
+                    BinOp::Mul => l.checked_mul(r),
+                    BinOp::Div => {
+                        if r == 0 {
+                            None
+                        } else {
+                            Some(l / r)
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            HirExpr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => operand.const_int().map(|v| -v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_int_folding() {
+        let e = HirExpr::Binary {
+            op: BinOp::Add,
+            ty: Ty::Int,
+            lhs: Box::new(HirExpr::IntLit(2)),
+            rhs: Box::new(HirExpr::Binary {
+                op: BinOp::Mul,
+                ty: Ty::Int,
+                lhs: Box::new(HirExpr::IntLit(3)),
+                rhs: Box::new(HirExpr::IntLit(4)),
+            }),
+        };
+        assert_eq!(e.const_int(), Some(14));
+        let neg = HirExpr::Unary {
+            op: UnOp::Neg,
+            ty: Ty::Int,
+            operand: Box::new(HirExpr::IntLit(5)),
+        };
+        assert_eq!(neg.const_int(), Some(-5));
+        assert_eq!(HirExpr::ReadVar(VarId(0)).const_int(), None);
+    }
+
+    #[test]
+    fn var_info_size() {
+        let scalar = VarInfo {
+            name: "x".into(),
+            ty: BaseTy::Float,
+            dims: vec![],
+            kind: VarKind::CellLocal,
+        };
+        assert_eq!(scalar.size(), 1);
+        assert!(!scalar.is_array());
+        let matrix = VarInfo {
+            name: "a".into(),
+            ty: BaseTy::Float,
+            dims: vec![4, 5],
+            kind: VarKind::Host,
+        };
+        assert_eq!(matrix.size(), 20);
+        assert!(matrix.is_array());
+    }
+}

@@ -1,0 +1,380 @@
+//! The W2 lexer.
+//!
+//! Turns W2 source text into a token stream. W2 uses `/* ... */` comments
+//! (which do not nest), Pascal-style `:=` assignment, and `<>` for
+//! inequality.
+
+use crate::token::{Token, TokenKind};
+use warp_common::{Diagnostic, DiagnosticBag, Span};
+
+/// Tokenizes `source` into a vector of tokens terminated by `Eof`.
+///
+/// # Errors
+///
+/// Returns diagnostics for unterminated comments, malformed numbers, and
+/// unexpected characters. Lexing stops at the first error.
+pub fn lex(source: &str) -> Result<Vec<Token>, DiagnosticBag> {
+    let mut lexer = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        tokens: Vec::new(),
+    };
+    match lexer.run() {
+        Ok(()) => Ok(lexer.tokens),
+        Err(diag) => {
+            let mut bag = DiagnosticBag::new();
+            bag.push(diag);
+            Err(bag)
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start as u32, self.pos as u32)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let span = self.span_from(start);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(());
+            };
+            match c {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                b'0'..=b'9' => self.number(start)?,
+                b'(' => {
+                    self.bump();
+                    self.push(TokenKind::LParen, start);
+                }
+                b')' => {
+                    self.bump();
+                    self.push(TokenKind::RParen, start);
+                }
+                b'[' => {
+                    self.bump();
+                    self.push(TokenKind::LBracket, start);
+                }
+                b']' => {
+                    self.bump();
+                    self.push(TokenKind::RBracket, start);
+                }
+                b',' => {
+                    self.bump();
+                    self.push(TokenKind::Comma, start);
+                }
+                b';' => {
+                    self.bump();
+                    self.push(TokenKind::Semi, start);
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Assign, start);
+                    } else {
+                        self.push(TokenKind::Colon, start);
+                    }
+                }
+                b'+' => {
+                    self.bump();
+                    self.push(TokenKind::Plus, start);
+                }
+                b'-' => {
+                    self.bump();
+                    self.push(TokenKind::Minus, start);
+                }
+                b'*' => {
+                    self.bump();
+                    self.push(TokenKind::Star, start);
+                }
+                b'/' => {
+                    self.bump();
+                    self.push(TokenKind::Slash, start);
+                }
+                b'=' => {
+                    self.bump();
+                    self.push(TokenKind::Eq, start);
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            self.push(TokenKind::Le, start);
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            self.push(TokenKind::Ne, start);
+                        }
+                        _ => self.push(TokenKind::Lt, start),
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Ge, start);
+                    } else {
+                        self.push(TokenKind::Gt, start);
+                    }
+                }
+                other => {
+                    return Err(Diagnostic::error(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(start as u32, start as u32 + 1),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Skips whitespace and `/* ... */` comments.
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(Diagnostic::error(
+                                    "unterminated comment",
+                                    Span::new(start as u32, self.pos as u32),
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii identifier");
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+        self.push(kind, start);
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), Diagnostic> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // A fraction part: `.` followed by a digit (so `1..2` would not
+        // swallow the range dots; W2 has no ranges, but be strict anyway).
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        } else if self.peek() == Some(b'.') && !matches!(self.peek2(), Some(b'0'..=b'9')) {
+            // `0.` style literal (used in the paper's `send (R, X, 0.0)` we
+            // also accept a bare trailing dot).
+            is_float = true;
+            self.bump();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut lookahead = self.pos + 1;
+            if matches!(self.src.get(lookahead), Some(b'+' | b'-')) {
+                lookahead += 1;
+            }
+            if matches!(self.src.get(lookahead), Some(b'0'..=b'9')) {
+                is_float = true;
+                self.pos = lookahead;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        if is_float {
+            match text.trim_end_matches('.').parse::<f64>() {
+                Ok(v) => self.push(TokenKind::FloatLit(v), start),
+                Err(_) => {
+                    return Err(Diagnostic::error(
+                        format!("malformed float literal `{text}`"),
+                        self.span_from(start),
+                    ))
+                }
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => self.push(TokenKind::IntLit(v), start),
+                Err(_) => {
+                    return Err(Diagnostic::error(
+                        format!("integer literal `{text}` out of range"),
+                        self.span_from(start),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("for i := 1 to 9 do"),
+            vec![
+                For,
+                Ident("i".into()),
+                Assign,
+                IntLit(1),
+                To,
+                IntLit(9),
+                Do,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn receive_statement() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("receive (L, X, coeff, c[0]);"),
+            vec![
+                Receive,
+                LParen,
+                Ident("L".into()),
+                Comma,
+                Ident("X".into()),
+                Comma,
+                Ident("coeff".into()),
+                Comma,
+                Ident("c".into()),
+                LBracket,
+                IntLit(0),
+                RBracket,
+                RParen,
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0 42 0.0 3.25 1e3 2.5e-2"),
+            vec![
+                IntLit(0),
+                IntLit(42),
+                FloatLit(0.0),
+                FloatLit(3.25),
+                FloatLit(1000.0),
+                FloatLit(0.025),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("< <= > >= = <>"), vec![Lt, Le, Gt, Ge, Eq, Ne, Eof]);
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        assert_eq!(
+            kinds("a /* a comment \n over lines */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = lex("x /* oops").unwrap_err();
+        assert!(err.has_errors());
+        assert!(err.to_string().contains("unterminated comment"));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character `?`"));
+    }
+
+    #[test]
+    fn division_is_not_comment() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a / b"),
+            vec![Ident("a".into()), Slash, Ident("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn spans_track_positions() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

@@ -1,0 +1,85 @@
+//! The W2 language front end.
+//!
+//! W2 is the programming language of the Warp machine (Gross & Lam,
+//! PLDI 1986, §4). It is a block-structured language with assignment,
+//! (predicated) conditional, and fixed-bound loop statements, plus the
+//! asynchronous `send`/`receive` communication primitives and the
+//! `cellprogram` construct that replicates one program over every cell of
+//! the array.
+//!
+//! This crate contains:
+//!
+//! * [`lexer`] / [`token`] — tokenization,
+//! * [`ast`] / [`parser`] — the concrete syntax tree and a recursive
+//!   descent parser,
+//! * [`sema`] / [`hir`] — semantic analysis (name resolution, type
+//!   checking, the paper's staticness restrictions) that lowers the AST to
+//!   a typed HIR with functions inlined.
+//!
+//! # The paper's restrictions (§5.1)
+//!
+//! The hardware has no dynamic flow control, so the compiler must bound all
+//! I/O times statically. Semantic analysis therefore rejects:
+//!
+//! * loop bounds that are not compile-time constants (no `while`),
+//! * `send`/`receive`/`call` inside `if` branches (conditionals are
+//!   compiled by predication, so both branches always execute),
+//! * integer *data* computation on the cells (cells have no integer units;
+//!   `int` variables may only be used as loop indices and in subscripts),
+//! * array subscripts that are not affine in the loop indices (addresses
+//!   must be computable on the IU, which only sees loop counters).
+//!
+//! # Examples
+//!
+//! ```
+//! use w2_lang::parse_and_check;
+//!
+//! let src = r#"
+//! module double (xs in, ys out)
+//! float xs[4];
+//! float ys[4];
+//! cellprogram (cid : 0 : 0)
+//! begin
+//!   function body
+//!   begin
+//!     float v;
+//!     int i;
+//!     for i := 0 to 3 do begin
+//!       receive (L, X, v, xs[i]);
+//!       send (R, X, v + v, ys[i]);
+//!     end;
+//!   end
+//!   call body;
+//! end
+//! "#;
+//! let module = parse_and_check(src).expect("valid program");
+//! assert_eq!(module.n_cells, 1);
+//! ```
+
+pub mod ast;
+pub mod hir;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod token;
+
+pub use hir::{HirExpr, HirLValue, HirModule, HirStmt, VarId, VarInfo, VarKind};
+pub use sema::check;
+
+use warp_common::DiagnosticBag;
+
+/// Parses and semantically checks a W2 source file.
+///
+/// This is the front end's single entry point: lex, parse, resolve names,
+/// type check, enforce the staticness restrictions of §5.1, and inline
+/// `function` bodies at their `call` sites.
+///
+/// # Errors
+///
+/// Returns the accumulated [`DiagnosticBag`] if the source fails to lex,
+/// parse, or check.
+pub fn parse_and_check(source: &str) -> Result<HirModule, DiagnosticBag> {
+    let ast = parser::parse(source)?;
+    sema::check(&ast)
+}

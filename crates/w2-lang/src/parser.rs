@@ -1,0 +1,849 @@
+//! Recursive descent parser for W2.
+//!
+//! Grammar (see Figure 4-1 of the paper for a complete example):
+//!
+//! ```text
+//! module      := "module" IDENT "(" param ("," param)* ")" decl* cellprogram
+//! param       := IDENT ("in" | "out")
+//! decl        := ("float" | "int") declarator ("," declarator)* ";"
+//! declarator  := IDENT ("[" INT "]")?  ("[" INT "]")?
+//!              | IDENT "[" INT "," INT "]"
+//! cellprogram := "cellprogram" "(" IDENT ":" INT ":" INT ")"
+//!                "begin" function* stmt* "end"
+//! function    := "function" IDENT "begin" decl* stmt* "end"
+//! stmt        := assign | if | for | receive | send | call | block
+//! assign      := lvalue ":=" expr ";"
+//! if          := "if" expr "then" stmt ("else" stmt)?
+//! for         := "for" IDENT ":=" expr "to" expr "do" stmt
+//! receive     := "receive" "(" dir "," chan "," lvalue ("," expr)? ")" ";"
+//! send        := "send" "(" dir "," chan "," expr ("," lvalue)? ")" ";"
+//! call        := "call" IDENT ";"
+//! block       := "begin" stmt* "end" ";"?
+//! expr        := or-chain of and-chains of comparisons of sums of products
+//! ```
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+use warp_common::{Diagnostic, DiagnosticBag, Span};
+
+/// Parses a W2 module from source text.
+///
+/// # Errors
+///
+/// Returns lexer or parse diagnostics. Parsing stops at the first syntax
+/// error (W2 programs are small; recovery would add little).
+pub fn parse(source: &str) -> Result<Module, DiagnosticBag> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.module().map_err(|diag| {
+        let mut bag = DiagnosticBag::new();
+        bag.push(diag);
+        bag
+    })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, Diagnostic>;
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> PResult<Token> {
+        if self.peek() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::error(
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek_span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(Diagnostic::error(
+                format!("expected identifier, found {}", other.describe()),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn expect_int(&mut self) -> PResult<i64> {
+        match *self.peek() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(Diagnostic::error(
+                format!("expected integer literal, found {}", other.describe()),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn module(&mut self) -> PResult<Module> {
+        let start = self.peek_span();
+        self.expect(TokenKind::Module)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        loop {
+            let (pname, pspan) = self.expect_ident()?;
+            let dir = if self.eat(&TokenKind::In) {
+                ParamDir::In
+            } else if self.eat(&TokenKind::Out) {
+                ParamDir::Out
+            } else {
+                return Err(Diagnostic::error(
+                    format!("expected `in` or `out` after parameter `{pname}`"),
+                    self.peek_span(),
+                ));
+            };
+            params.push(Param {
+                name: pname,
+                dir,
+                span: pspan,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+
+        let mut host_decls = Vec::new();
+        while matches!(self.peek(), TokenKind::Float | TokenKind::Int) {
+            host_decls.extend(self.decl()?);
+        }
+
+        let cellprogram = self.cellprogram()?;
+        self.expect(TokenKind::Eof)?;
+        Ok(Module {
+            name,
+            params,
+            host_decls,
+            cellprogram,
+            span: start,
+        })
+    }
+
+    /// Parses one declaration line, which may declare several variables:
+    /// `float z[100], c[10];`.
+    fn decl(&mut self) -> PResult<Vec<VarDecl>> {
+        let ty = match self.peek() {
+            TokenKind::Float => BaseTy::Float,
+            TokenKind::Int => BaseTy::Int,
+            other => {
+                return Err(Diagnostic::error(
+                    format!("expected type, found {}", other.describe()),
+                    self.peek_span(),
+                ))
+            }
+        };
+        self.bump();
+        let mut decls = Vec::new();
+        loop {
+            let (name, span) = self.expect_ident()?;
+            let mut dims = Vec::new();
+            while self.eat(&TokenKind::LBracket) {
+                let d = self.expect_int()?;
+                if d <= 0 {
+                    return Err(Diagnostic::error(
+                        format!("array dimension must be positive, got {d}"),
+                        span,
+                    ));
+                }
+                dims.push(d as u32);
+                // `a[512, 512]` and `a[512][512]` are both accepted.
+                while self.eat(&TokenKind::Comma) {
+                    let d2 = self.expect_int()?;
+                    if d2 <= 0 {
+                        return Err(Diagnostic::error(
+                            format!("array dimension must be positive, got {d2}"),
+                            span,
+                        ));
+                    }
+                    dims.push(d2 as u32);
+                }
+                self.expect(TokenKind::RBracket)?;
+            }
+            if dims.len() > 2 {
+                return Err(Diagnostic::error(
+                    "arrays have at most two dimensions",
+                    span,
+                ));
+            }
+            decls.push(VarDecl {
+                name,
+                ty,
+                dims,
+                span,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(decls)
+    }
+
+    fn cellprogram(&mut self) -> PResult<CellProgram> {
+        let span = self.peek_span();
+        self.expect(TokenKind::Cellprogram)?;
+        self.expect(TokenKind::LParen)?;
+        let (cell_id_var, _) = self.expect_ident()?;
+        self.expect(TokenKind::Colon)?;
+        let lo = self.expect_int()?;
+        self.expect(TokenKind::Colon)?;
+        let hi = self.expect_int()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Begin)?;
+
+        let mut functions = Vec::new();
+        while self.peek() == &TokenKind::Function {
+            functions.push(self.function()?);
+        }
+
+        let mut body = Vec::new();
+        while self.peek() != &TokenKind::End {
+            body.push(self.stmt()?);
+        }
+        self.expect(TokenKind::End)?;
+        self.eat(&TokenKind::Semi);
+        Ok(CellProgram {
+            cell_id_var,
+            lo,
+            hi,
+            functions,
+            body,
+            span,
+        })
+    }
+
+    fn function(&mut self) -> PResult<Function> {
+        let span = self.peek_span();
+        self.expect(TokenKind::Function)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::Begin)?;
+        let mut locals = Vec::new();
+        while matches!(self.peek(), TokenKind::Float | TokenKind::Int) {
+            locals.extend(self.decl()?);
+        }
+        let mut body = Vec::new();
+        while self.peek() != &TokenKind::End {
+            body.push(self.stmt()?);
+        }
+        self.expect(TokenKind::End)?;
+        self.eat(&TokenKind::Semi);
+        Ok(Function {
+            name,
+            locals,
+            body,
+            span,
+        })
+    }
+
+    /// Parses a statement. A `begin ... end` block is flattened into the
+    /// surrounding statement list by callers that accept a body; here it
+    /// yields its statements via `stmt_block`.
+    fn stmt(&mut self) -> PResult<Stmt> {
+        match self.peek().clone() {
+            TokenKind::If => self.if_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Receive => self.receive_stmt(),
+            TokenKind::Send => self.send_stmt(),
+            TokenKind::Call => self.call_stmt(),
+            TokenKind::Ident(_) => self.assign_stmt(),
+            other => Err(Diagnostic::error(
+                format!("expected statement, found {}", other.describe()),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    /// Parses either a single statement or a `begin ... end` block into a
+    /// statement list.
+    fn stmt_body(&mut self) -> PResult<Vec<Stmt>> {
+        if self.eat(&TokenKind::Begin) {
+            let mut stmts = Vec::new();
+            while self.peek() != &TokenKind::End {
+                stmts.push(self.stmt()?);
+            }
+            self.expect(TokenKind::End)?;
+            self.eat(&TokenKind::Semi);
+            Ok(stmts)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn if_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.peek_span();
+        self.expect(TokenKind::If)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::Then)?;
+        let then_body = self.stmt_body()?;
+        let else_body = if self.eat(&TokenKind::Else) {
+            self.stmt_body()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span,
+        })
+    }
+
+    fn for_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.peek_span();
+        self.expect(TokenKind::For)?;
+        let (var, _) = self.expect_ident()?;
+        self.expect(TokenKind::Assign)?;
+        let lo = self.expr()?;
+        self.expect(TokenKind::To)?;
+        let hi = self.expr()?;
+        self.expect(TokenKind::Do)?;
+        let body = self.stmt_body()?;
+        Ok(Stmt::For {
+            var,
+            lo,
+            hi,
+            body,
+            span,
+        })
+    }
+
+    fn dir(&mut self) -> PResult<Dir> {
+        let (name, span) = self.expect_ident()?;
+        match name.as_str() {
+            "L" => Ok(Dir::Left),
+            "R" => Ok(Dir::Right),
+            other => Err(Diagnostic::error(
+                format!("expected channel direction `L` or `R`, found `{other}`"),
+                span,
+            )),
+        }
+    }
+
+    fn chan(&mut self) -> PResult<Chan> {
+        let (name, span) = self.expect_ident()?;
+        match name.as_str() {
+            "X" => Ok(Chan::X),
+            "Y" => Ok(Chan::Y),
+            other => Err(Diagnostic::error(
+                format!("expected channel name `X` or `Y`, found `{other}`"),
+                span,
+            )),
+        }
+    }
+
+    fn receive_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.peek_span();
+        self.expect(TokenKind::Receive)?;
+        self.expect(TokenKind::LParen)?;
+        let dir = self.dir()?;
+        self.expect(TokenKind::Comma)?;
+        let chan = self.chan()?;
+        self.expect(TokenKind::Comma)?;
+        let dst = self.lvalue()?;
+        let ext = if self.eat(&TokenKind::Comma) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::Receive {
+            dir,
+            chan,
+            dst,
+            ext,
+            span,
+        })
+    }
+
+    fn send_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.peek_span();
+        self.expect(TokenKind::Send)?;
+        self.expect(TokenKind::LParen)?;
+        let dir = self.dir()?;
+        self.expect(TokenKind::Comma)?;
+        let chan = self.chan()?;
+        self.expect(TokenKind::Comma)?;
+        let value = self.expr()?;
+        let ext = if self.eat(&TokenKind::Comma) {
+            Some(self.lvalue()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::Send {
+            dir,
+            chan,
+            value,
+            ext,
+            span,
+        })
+    }
+
+    fn call_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.peek_span();
+        self.expect(TokenKind::Call)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::Call { name, span })
+    }
+
+    fn assign_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.peek_span();
+        let lhs = self.lvalue()?;
+        self.expect(TokenKind::Assign)?;
+        let rhs = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::Assign { lhs, rhs, span })
+    }
+
+    fn lvalue(&mut self) -> PResult<LValue> {
+        let (name, span) = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let mut indices = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                indices.push(self.expr()?);
+            }
+            self.expect(TokenKind::RBracket)?;
+            // `a[i][j]` form.
+            if self.eat(&TokenKind::LBracket) {
+                indices.push(self.expr()?);
+                self.expect(TokenKind::RBracket)?;
+            }
+            Ok(LValue::Elem {
+                name,
+                indices,
+                span,
+            })
+        } else {
+            Ok(LValue::Var { name, span })
+        }
+    }
+
+    // Expression precedence, lowest first: or < and < comparison < add < mul < unary.
+
+    fn expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &TokenKind::Or {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &TokenKind::And {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().merge(rhs.span());
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        let span = self.peek_span();
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.unary_expr()?;
+            let span = span.merge(operand.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        if self.eat(&TokenKind::Not) {
+            let operand = self.unary_expr()?;
+            let span = span.merge(operand.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::IntLit(value) => {
+                self.bump();
+                Ok(Expr::IntLit { value, span })
+            }
+            TokenKind::FloatLit(value) => {
+                self.bump();
+                Ok(Expr::FloatLit { value, span })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LBracket) {
+                    let mut indices = vec![self.expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        indices.push(self.expr()?);
+                    }
+                    self.expect(TokenKind::RBracket)?;
+                    if self.eat(&TokenKind::LBracket) {
+                        indices.push(self.expr()?);
+                        self.expect(TokenKind::RBracket)?;
+                    }
+                    Ok(Expr::Elem {
+                        name,
+                        indices,
+                        span,
+                    })
+                } else {
+                    Ok(Expr::Var { name, span })
+                }
+            }
+            other => Err(Diagnostic::error(
+                format!("expected expression, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLY_HEADER: &str = r#"
+module polynomial (z in, c in, results out)
+float z[100], c[10];
+float results[100];
+cellprogram (cid : 0 : 9)
+begin
+  function poly
+  begin
+    float coeff, temp, xin, yin, ans;
+    int i;
+    receive (L, X, coeff, c[0]);
+    for i := 1 to 9 do begin
+      receive (L, X, temp, c[i]);
+      send (R, X, temp);
+    end;
+    send (R, X, 0.0);
+    for i := 0 to 99 do begin
+      receive (L, X, xin, z[i]);
+      receive (L, Y, yin, 0.0);
+      send (R, X, xin);
+      ans := coeff + yin*xin;
+      send (R, Y, ans, results[i]);
+    end;
+  end
+  call poly;
+end
+"#;
+
+    #[test]
+    fn parses_figure_4_1() {
+        let m = parse(POLY_HEADER).expect("parses");
+        assert_eq!(m.name, "polynomial");
+        assert_eq!(m.params.len(), 3);
+        assert_eq!(m.params[0].dir, ParamDir::In);
+        assert_eq!(m.params[2].dir, ParamDir::Out);
+        assert_eq!(m.host_decls.len(), 3);
+        assert_eq!(m.host_decls[0].dims, vec![100]);
+        assert_eq!(m.cellprogram.lo, 0);
+        assert_eq!(m.cellprogram.hi, 9);
+        assert_eq!(m.cellprogram.functions.len(), 1);
+        let f = &m.cellprogram.functions[0];
+        assert_eq!(f.name, "poly");
+        assert_eq!(f.locals.len(), 6);
+        assert_eq!(f.body.len(), 4);
+        assert_eq!(m.cellprogram.body.len(), 1);
+        assert!(matches!(m.cellprogram.body[0], Stmt::Call { .. }));
+    }
+
+    #[test]
+    fn receive_with_and_without_ext() {
+        let m = parse(POLY_HEADER).unwrap();
+        let f = &m.cellprogram.functions[0];
+        match &f.body[0] {
+            Stmt::Receive { dir, chan, ext, .. } => {
+                assert_eq!(*dir, Dir::Left);
+                assert_eq!(*chan, Chan::X);
+                assert!(ext.is_some());
+            }
+            other => panic!("expected receive, got {other:?}"),
+        }
+        match &f.body[1] {
+            Stmt::For { body, .. } => match &body[1] {
+                Stmt::Send { ext, .. } => assert!(ext.is_none()),
+                other => panic!("expected send, got {other:?}"),
+            },
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let m = parse(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x, y; x := x + y * x - y / x; end call f; end",
+        )
+        .unwrap();
+        let f = &m.cellprogram.functions[0];
+        // x + (y*x) - (y/x), left associated: (x + y*x) - y/x
+        match &f.body[0] {
+            Stmt::Assign { rhs, .. } => match rhs {
+                Expr::Binary {
+                    op: BinOp::Sub,
+                    lhs,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Div, .. }));
+                }
+                other => panic!("unexpected rhs {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_grouping() {
+        let m = parse(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; x := (x + x) * x; end call f; end",
+        )
+        .unwrap();
+        match &m.cellprogram.functions[0].body[0] {
+            Stmt::Assign { rhs, .. } => {
+                assert!(matches!(rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_then_else() {
+        let m = parse(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; if x < 1.0 then x := x + 1.0; else x := x - 1.0; end call f; end",
+        )
+        .unwrap();
+        match &m.cellprogram.functions[0].body[0] {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert!(matches!(cond, Expr::Binary { op: BinOp::Lt, .. }));
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_dimensional_arrays() {
+        let m = parse(
+            "module m (a in) float a[4, 5]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; int i, j; \
+             for i := 0 to 3 do for j := 0 to 4 do receive (L, X, x, a[i, j]); end call f; end",
+        )
+        .unwrap();
+        assert_eq!(m.host_decls[0].dims, vec![4, 5]);
+    }
+
+    #[test]
+    fn bracket_bracket_arrays() {
+        let m = parse(
+            "module m (a in) float a[4][5]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; int i, j; \
+             for i := 0 to 3 do for j := 0 to 4 do receive (L, X, x, a[i][j]); end call f; end",
+        )
+        .unwrap();
+        assert_eq!(m.host_decls[0].dims, vec![4, 5]);
+    }
+
+    #[test]
+    fn error_on_bad_direction() {
+        let err = parse(
+            "module m (a in) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; receive (Q, X, x, a[0]); end call f; end",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("channel direction"));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse(
+            "module m (a in) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; x := 1.0 end call f; end",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn error_on_three_dims() {
+        let err =
+            parse("module m (a in) float a[2][2][2]; cellprogram (c:0:0) begin end").unwrap_err();
+        assert!(err.to_string().contains("two dimensions"), "{err}");
+    }
+
+    #[test]
+    fn unary_operators() {
+        let m = parse(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; x := -x * -(x + 1.0); end call f; end",
+        )
+        .unwrap();
+        match &m.cellprogram.functions[0].body[0] {
+            Stmt::Assign { rhs, .. } => {
+                assert!(matches!(rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_or_not_precedence() {
+        let m = parse(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; \
+             if x < 1.0 and x > 0.0 or not (x = 0.5) then x := 0.0; end call f; end",
+        )
+        .unwrap();
+        match &m.cellprogram.functions[0].body[0] {
+            Stmt::If { cond, .. } => {
+                // or is lowest precedence
+                assert!(matches!(cond, Expr::Binary { op: BinOp::Or, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! A canonical pretty-printer for W2 syntax trees.
+//!
+//! [`print_module`] renders an [`crate::ast::Module`] back to W2 source. The
+//! output is canonical (fixed indentation, one statement per line,
+//! minimal parentheses driven by precedence) and reparses to an equal
+//! AST — `parse(print(parse(s)))` is `parse(s)`, which the round-trip
+//! tests check.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a module as canonical W2 source.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "module {} (", m.name);
+    for (i, p) in m.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let dir = match p.dir {
+            ParamDir::In => "in",
+            ParamDir::Out => "out",
+        };
+        let _ = write!(out, "{} {dir}", p.name);
+    }
+    out.push_str(")\n");
+    for d in &m.host_decls {
+        let _ = writeln!(out, "{};", decl(d));
+    }
+    let cp = &m.cellprogram;
+    let _ = writeln!(
+        out,
+        "cellprogram ({} : {} : {})",
+        cp.cell_id_var, cp.lo, cp.hi
+    );
+    out.push_str("begin\n");
+    for f in &cp.functions {
+        let _ = writeln!(out, "  function {}", f.name);
+        out.push_str("  begin\n");
+        for d in &f.locals {
+            let _ = writeln!(out, "    {};", decl(d));
+        }
+        for s in &f.body {
+            stmt(&mut out, s, 2);
+        }
+        out.push_str("  end\n");
+    }
+    for s in &cp.body {
+        stmt(&mut out, s, 1);
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn decl(d: &VarDecl) -> String {
+    let ty = match d.ty {
+        BaseTy::Float => "float",
+        BaseTy::Int => "int",
+    };
+    let dims: String = d.dims.iter().map(|n| format!("[{n}]")).collect();
+    format!("{ty} {}{dims}", d.name)
+}
+
+fn stmt(out: &mut String, s: &Stmt, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match s {
+        Stmt::Assign { lhs, rhs, .. } => {
+            let _ = writeln!(out, "{pad}{} := {};", lvalue(lhs), expr(rhs, 0));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = writeln!(out, "{pad}if {} then begin", expr(cond, 0));
+            for t in then_body {
+                stmt(out, t, depth + 1);
+            }
+            if else_body.is_empty() {
+                let _ = writeln!(out, "{pad}end");
+            } else {
+                let _ = writeln!(out, "{pad}end");
+                let _ = writeln!(out, "{pad}else begin");
+                for e in else_body {
+                    stmt(out, e, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}end");
+            }
+        }
+        Stmt::For {
+            var, lo, hi, body, ..
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}for {var} := {} to {} do begin",
+                expr(lo, 0),
+                expr(hi, 0)
+            );
+            for b in body {
+                stmt(out, b, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}end;");
+        }
+        Stmt::Receive {
+            dir,
+            chan,
+            dst,
+            ext,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "{pad}receive ({}, {}, {}",
+                d(*dir),
+                c(*chan),
+                lvalue(dst)
+            );
+            if let Some(e) = ext {
+                let _ = write!(out, ", {}", expr(e, 0));
+            }
+            out.push_str(");\n");
+        }
+        Stmt::Send {
+            dir,
+            chan,
+            value,
+            ext,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "{pad}send ({}, {}, {}",
+                d(*dir),
+                c(*chan),
+                expr(value, 0)
+            );
+            if let Some(e) = ext {
+                let _ = write!(out, ", {}", lvalue(e));
+            }
+            out.push_str(");\n");
+        }
+        Stmt::Call { name, .. } => {
+            let _ = writeln!(out, "{pad}call {name};");
+        }
+    }
+}
+
+fn d(dir: Dir) -> &'static str {
+    match dir {
+        Dir::Left => "L",
+        Dir::Right => "R",
+    }
+}
+
+fn c(chan: Chan) -> &'static str {
+    match chan {
+        Chan::X => "X",
+        Chan::Y => "Y",
+    }
+}
+
+fn lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Var { name, .. } => name.clone(),
+        LValue::Elem { name, indices, .. } => {
+            let idx: Vec<String> = indices.iter().map(|e| expr(e, 0)).collect();
+            format!("{name}[{}]", idx.join(", "))
+        }
+    }
+}
+
+/// Binding power of each operator; higher binds tighter.
+fn power(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Eq => "=",
+        BinOp::Ne => "<>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+    }
+}
+
+/// Renders with minimal parentheses: parenthesize when the child binds
+/// looser than the context, or equally on the right of a left-
+/// associative operator.
+fn expr(e: &Expr, min_power: u8) -> String {
+    match e {
+        Expr::IntLit { value, .. } => format!("{value}"),
+        Expr::FloatLit { value, .. } => {
+            // Keep a decimal point so reparsing yields a float literal.
+            let s = format!("{value}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Var { name, .. } => name.clone(),
+        Expr::Elem { name, indices, .. } => {
+            let idx: Vec<String> = indices.iter().map(|x| expr(x, 0)).collect();
+            format!("{name}[{}]", idx.join(", "))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let p = power(*op);
+            let s = format!("{} {} {}", expr(lhs, p), op_str(*op), expr(rhs, p + 1));
+            if p < min_power {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Unary { op, operand, .. } => {
+            let s = match op {
+                UnOp::Neg => format!("-{}", expr(operand, 6)),
+                UnOp::Not => format!("not {}", expr(operand, 6)),
+            };
+            if min_power > 5 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+/// Strips spans so ASTs can be compared structurally after a round trip.
+pub fn strip_spans(m: &Module) -> Module {
+    use warp_common::Span;
+    fn fix_expr(e: &Expr) -> Expr {
+        match e {
+            Expr::IntLit { value, .. } => Expr::IntLit {
+                value: *value,
+                span: Span::DUMMY,
+            },
+            Expr::FloatLit { value, .. } => Expr::FloatLit {
+                value: *value,
+                span: Span::DUMMY,
+            },
+            Expr::Var { name, .. } => Expr::Var {
+                name: name.clone(),
+                span: Span::DUMMY,
+            },
+            Expr::Elem { name, indices, .. } => Expr::Elem {
+                name: name.clone(),
+                indices: indices.iter().map(fix_expr).collect(),
+                span: Span::DUMMY,
+            },
+            Expr::Binary { op, lhs, rhs, .. } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(fix_expr(lhs)),
+                rhs: Box::new(fix_expr(rhs)),
+                span: Span::DUMMY,
+            },
+            Expr::Unary { op, operand, .. } => Expr::Unary {
+                op: *op,
+                operand: Box::new(fix_expr(operand)),
+                span: Span::DUMMY,
+            },
+        }
+    }
+    fn fix_lv(lv: &LValue) -> LValue {
+        match lv {
+            LValue::Var { name, .. } => LValue::Var {
+                name: name.clone(),
+                span: Span::DUMMY,
+            },
+            LValue::Elem { name, indices, .. } => LValue::Elem {
+                name: name.clone(),
+                indices: indices.iter().map(fix_expr).collect(),
+                span: Span::DUMMY,
+            },
+        }
+    }
+    fn fix_stmt(s: &Stmt) -> Stmt {
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => Stmt::Assign {
+                lhs: fix_lv(lhs),
+                rhs: fix_expr(rhs),
+                span: Span::DUMMY,
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => Stmt::If {
+                cond: fix_expr(cond),
+                then_body: then_body.iter().map(fix_stmt).collect(),
+                else_body: else_body.iter().map(fix_stmt).collect(),
+                span: Span::DUMMY,
+            },
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => Stmt::For {
+                var: var.clone(),
+                lo: fix_expr(lo),
+                hi: fix_expr(hi),
+                body: body.iter().map(fix_stmt).collect(),
+                span: Span::DUMMY,
+            },
+            Stmt::Receive {
+                dir,
+                chan,
+                dst,
+                ext,
+                ..
+            } => Stmt::Receive {
+                dir: *dir,
+                chan: *chan,
+                dst: fix_lv(dst),
+                ext: ext.as_ref().map(fix_expr),
+                span: Span::DUMMY,
+            },
+            Stmt::Send {
+                dir,
+                chan,
+                value,
+                ext,
+                ..
+            } => Stmt::Send {
+                dir: *dir,
+                chan: *chan,
+                value: fix_expr(value),
+                ext: ext.as_ref().map(fix_lv),
+                span: Span::DUMMY,
+            },
+            Stmt::Call { name, .. } => Stmt::Call {
+                name: name.clone(),
+                span: Span::DUMMY,
+            },
+        }
+    }
+    Module {
+        name: m.name.clone(),
+        params: m
+            .params
+            .iter()
+            .map(|p| Param {
+                name: p.name.clone(),
+                dir: p.dir,
+                span: Span::DUMMY,
+            })
+            .collect(),
+        host_decls: m
+            .host_decls
+            .iter()
+            .map(|v| VarDecl {
+                name: v.name.clone(),
+                ty: v.ty,
+                dims: v.dims.clone(),
+                span: Span::DUMMY,
+            })
+            .collect(),
+        cellprogram: CellProgram {
+            cell_id_var: m.cellprogram.cell_id_var.clone(),
+            lo: m.cellprogram.lo,
+            hi: m.cellprogram.hi,
+            functions: m
+                .cellprogram
+                .functions
+                .iter()
+                .map(|f| Function {
+                    name: f.name.clone(),
+                    locals: f
+                        .locals
+                        .iter()
+                        .map(|v| VarDecl {
+                            name: v.name.clone(),
+                            ty: v.ty,
+                            dims: v.dims.clone(),
+                            span: Span::DUMMY,
+                        })
+                        .collect(),
+                    body: f.body.iter().map(fix_stmt).collect(),
+                    span: Span::DUMMY,
+                })
+                .collect(),
+            body: m.cellprogram.body.iter().map(fix_stmt).collect(),
+            span: Span::DUMMY,
+        },
+        span: Span::DUMMY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let ast1 = parse(src).expect("parses");
+        let printed = print_module(&ast1);
+        let ast2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed source must reparse:\n{e}\n{printed}"));
+        assert_eq!(
+            strip_spans(&ast1),
+            strip_spans(&ast2),
+            "round trip changed the AST:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip(
+            "module m (a in, r out) float a[4]; float r[4]; \
+             cellprogram (cid : 0 : 1) begin function f begin float x; int i; \
+             for i := 0 to 3 do begin receive (L, X, x, a[i]); send (R, X, x * 2.0 + 1.0, r[i]); end; \
+             end call f; end",
+        );
+    }
+
+    #[test]
+    fn roundtrip_precedence() {
+        roundtrip(
+            "module m (a in, r out) float a[4]; float r[4]; \
+             cellprogram (cid : 0 : 0) begin function f begin float x, y; \
+             x := (x + y) * (x - y) / (y + 1.0); \
+             y := -x * -(y + 2.0) - 3.0; \
+             if x < 1.0 and y > 0.0 or not (x = y) then x := 0.0; else y := 0.0; \
+             end call f; end",
+        );
+    }
+
+    #[test]
+    fn roundtrip_two_dims_and_nests() {
+        roundtrip(
+            "module m (a in, r out) float a[4, 4]; float r[4, 4]; \
+             cellprogram (cid : 0 : 0) begin function f begin float x; float t[4, 4]; int i, j; \
+             for i := 0 to 3 do for j := 0 to 3 do begin \
+               receive (L, X, x, a[i, j]); t[i, j] := x; \
+               send (R, X, t[i, j], r[i, 3 - j]); end; \
+             end call f; end",
+        );
+    }
+
+    #[test]
+    fn printed_source_compiles_too() {
+        let ast = parse(
+            "module m (a in, r out) float a[8]; float r[8]; \
+             cellprogram (cid : 0 : 1) begin function f begin float x; int i; \
+             for i := 0 to 7 do begin receive (L, X, x, a[i]); send (R, X, x + 1.0, r[i]); end; \
+             end call f; end",
+        )
+        .unwrap();
+        let printed = print_module(&ast);
+        crate::parse_and_check(&printed).expect("canonical form passes sema");
+    }
+}

@@ -1,0 +1,1051 @@
+//! Semantic analysis: name resolution, type checking, the staticness
+//! restrictions of paper §5.1, and function inlining.
+//!
+//! The output is a [`HirModule`]; see the crate docs for the list of
+//! rejected constructs and why the Warp hardware forces each restriction.
+
+use crate::ast::{self, BaseTy, Module, ParamDir, UnOp};
+use crate::hir::*;
+use std::collections::HashMap;
+use warp_common::{DiagnosticBag, IdVec, Span};
+
+/// Checks `ast` and lowers it to HIR.
+///
+/// # Errors
+///
+/// Returns all diagnostics found; the module is produced only if no
+/// error-severity diagnostic was raised.
+pub fn check(ast: &Module) -> Result<HirModule, DiagnosticBag> {
+    let mut checker = Checker {
+        vars: IdVec::new(),
+        host_scope: HashMap::new(),
+        fn_scopes: HashMap::new(),
+        functions: HashMap::new(),
+        diags: DiagnosticBag::new(),
+        active_loops: Vec::new(),
+        inline_stack: Vec::new(),
+        in_if: false,
+        params: Vec::new(),
+        param_dirs: HashMap::new(),
+        cell_id_name: ast.cellprogram.cell_id_var.clone(),
+    };
+    let module = checker.run(ast);
+    if checker.diags.has_errors() {
+        Err(checker.diags)
+    } else {
+        Ok(module)
+    }
+}
+
+struct Checker<'a> {
+    vars: IdVec<VarId, VarInfo>,
+    host_scope: HashMap<String, VarId>,
+    /// Per-function local scopes (locals are static cell memory, shared by
+    /// every `call` of the same function).
+    fn_scopes: HashMap<String, HashMap<String, VarId>>,
+    functions: HashMap<String, &'a ast::Function>,
+    diags: DiagnosticBag,
+    /// Loop index variables of the lexically enclosing `for` statements.
+    active_loops: Vec<VarId>,
+    /// Function names currently being inlined (recursion detection).
+    inline_stack: Vec<String>,
+    /// Inside an `if` branch: I/O and calls are forbidden (predication).
+    in_if: bool,
+    params: Vec<(VarId, ParamDir)>,
+    param_dirs: HashMap<VarId, ParamDir>,
+    cell_id_name: String,
+}
+
+/// The scope a statement body is checked in: the host scope plus at most
+/// one function-local scope.
+#[derive(Clone, Copy)]
+struct ScopeCtx<'s> {
+    fn_locals: Option<&'s HashMap<String, VarId>>,
+}
+
+impl<'a> Checker<'a> {
+    fn run(&mut self, ast: &'a Module) -> HirModule {
+        self.declare_host(ast);
+        self.declare_params(ast);
+        self.declare_functions(&ast.cellprogram);
+
+        let cp = &ast.cellprogram;
+        let n_cells = if cp.hi < cp.lo {
+            self.diags.error(
+                format!("cellprogram range {}:{} is empty", cp.lo, cp.hi),
+                cp.span,
+            );
+            1
+        } else {
+            (cp.hi - cp.lo + 1) as u32
+        };
+
+        let scope = ScopeCtx { fn_locals: None };
+        let mut body = Vec::new();
+        for stmt in &cp.body {
+            self.stmt(stmt, scope, &mut body);
+        }
+        if body.is_empty() {
+            self.diags.error_global_if_empty(cp.span);
+        }
+
+        HirModule {
+            name: ast.name.clone(),
+            params: self.params.clone(),
+            vars: self.vars.clone(),
+            body,
+            n_cells,
+            cell_lo: cp.lo,
+        }
+    }
+
+    fn declare_host(&mut self, ast: &Module) {
+        for decl in &ast.host_decls {
+            if decl.ty == BaseTy::Int {
+                self.diags.error(
+                    format!(
+                        "host variable `{}` must be float: the data paths carry 32-bit floating point words",
+                        decl.name
+                    ),
+                    decl.span,
+                );
+            }
+            if self.host_scope.contains_key(&decl.name) {
+                self.diags.error(
+                    format!("duplicate host variable `{}`", decl.name),
+                    decl.span,
+                );
+                continue;
+            }
+            let id = self.vars.push(VarInfo {
+                name: decl.name.clone(),
+                ty: BaseTy::Float,
+                dims: decl.dims.clone(),
+                kind: VarKind::Host,
+            });
+            self.host_scope.insert(decl.name.clone(), id);
+        }
+    }
+
+    fn declare_params(&mut self, ast: &Module) {
+        let mut seen = HashMap::new();
+        for p in &ast.params {
+            if seen.insert(p.name.clone(), ()).is_some() {
+                self.diags
+                    .error(format!("duplicate parameter `{}`", p.name), p.span);
+                continue;
+            }
+            match self.host_scope.get(&p.name) {
+                Some(&id) => {
+                    let dir = match p.dir {
+                        ast::ParamDir::In => ParamDir::In,
+                        ast::ParamDir::Out => ParamDir::Out,
+                    };
+                    self.params.push((id, dir));
+                    self.param_dirs.insert(id, dir);
+                }
+                None => self.diags.error(
+                    format!("parameter `{}` has no host declaration", p.name),
+                    p.span,
+                ),
+            }
+        }
+    }
+
+    fn declare_functions(&mut self, cp: &'a ast::CellProgram) {
+        for f in &cp.functions {
+            if self.functions.insert(f.name.clone(), f).is_some() {
+                self.diags
+                    .error(format!("duplicate function `{}`", f.name), f.span);
+                continue;
+            }
+            let mut locals = HashMap::new();
+            for decl in &f.locals {
+                if decl.name == self.cell_id_name {
+                    self.diags.error(
+                        format!("`{}` shadows the cell-id variable", decl.name),
+                        decl.span,
+                    );
+                }
+                if locals.contains_key(&decl.name) {
+                    self.diags.error(
+                        format!("duplicate local `{}` in function `{}`", decl.name, f.name),
+                        decl.span,
+                    );
+                    continue;
+                }
+                let kind = match decl.ty {
+                    BaseTy::Float => VarKind::CellLocal,
+                    BaseTy::Int => VarKind::LoopIndex,
+                };
+                if decl.ty == BaseTy::Int && !decl.dims.is_empty() {
+                    self.diags.error(
+                        format!(
+                            "`{}`: integer arrays are not supported (cells have no integer unit)",
+                            decl.name
+                        ),
+                        decl.span,
+                    );
+                }
+                let id = self.vars.push(VarInfo {
+                    name: decl.name.clone(),
+                    ty: decl.ty,
+                    dims: decl.dims.clone(),
+                    kind,
+                });
+                locals.insert(decl.name.clone(), id);
+            }
+            self.fn_scopes.insert(f.name.clone(), locals);
+        }
+    }
+
+    fn resolve(&mut self, name: &str, span: Span, scope: ScopeCtx<'_>) -> Option<VarId> {
+        if let Some(locals) = scope.fn_locals {
+            if let Some(&id) = locals.get(name) {
+                return Some(id);
+            }
+        }
+        if let Some(&id) = self.host_scope.get(name) {
+            return Some(id);
+        }
+        if name == self.cell_id_name {
+            self.diags.error(
+                format!(
+                    "the cell-id variable `{name}` cannot be used in cell computation: \
+                     all cells execute identical code (homogeneous programs, paper §5.1)"
+                ),
+                span,
+            );
+            return None;
+        }
+        self.diags
+            .error(format!("undeclared variable `{name}`"), span);
+        None
+    }
+
+    fn stmt(&mut self, stmt: &'a ast::Stmt, scope: ScopeCtx<'_>, out: &mut Vec<HirStmt>) {
+        match stmt {
+            ast::Stmt::Assign { lhs, rhs, span } => {
+                let lhs_h = self.lvalue(lhs, scope);
+                let rhs_h = self.expr_float(rhs, scope);
+                if let (Some(lhs_h), Some(rhs_h)) = (lhs_h, rhs_h) {
+                    out.push(HirStmt::Assign {
+                        lhs: lhs_h,
+                        rhs: rhs_h,
+                        span: *span,
+                    });
+                }
+            }
+            ast::Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => {
+                let cond_h = self.expr_bool(cond, scope);
+                let was_in_if = self.in_if;
+                self.in_if = true;
+                let mut then_h = Vec::new();
+                for s in then_body {
+                    self.stmt(s, scope, &mut then_h);
+                }
+                let mut else_h = Vec::new();
+                for s in else_body {
+                    self.stmt(s, scope, &mut else_h);
+                }
+                self.in_if = was_in_if;
+                if let Some(cond_h) = cond_h {
+                    out.push(HirStmt::If {
+                        cond: cond_h,
+                        then_body: then_h,
+                        else_body: else_h,
+                        span: *span,
+                    });
+                }
+            }
+            ast::Stmt::For {
+                var,
+                lo,
+                hi,
+                body,
+                span,
+            } => {
+                if self.in_if {
+                    self.diags.error(
+                        "`for` inside `if` is not supported: conditionals are predicated into a \
+                         single basic block, which cannot contain loops",
+                        *span,
+                    );
+                    return;
+                }
+                let Some(var_id) = self.resolve(var, *span, scope) else {
+                    return;
+                };
+                if self.vars[var_id].kind != VarKind::LoopIndex {
+                    self.diags.error(
+                        format!("loop variable `{var}` must be declared `int`"),
+                        *span,
+                    );
+                    return;
+                }
+                if self.active_loops.contains(&var_id) {
+                    self.diags.error(
+                        format!("loop variable `{var}` is already in use by an enclosing loop"),
+                        *span,
+                    );
+                    return;
+                }
+                let lo_v = self.const_bound(lo, scope, "lower");
+                let hi_v = self.const_bound(hi, scope, "upper");
+                let (Some(lo_v), Some(hi_v)) = (lo_v, hi_v) else {
+                    return;
+                };
+                if hi_v < lo_v {
+                    self.diags.error(
+                        format!("empty loop range {lo_v}..{hi_v}: upper bound below lower bound"),
+                        *span,
+                    );
+                    return;
+                }
+                self.active_loops.push(var_id);
+                let mut body_h = Vec::new();
+                for s in body {
+                    self.stmt(s, scope, &mut body_h);
+                }
+                self.active_loops.pop();
+                out.push(HirStmt::For {
+                    var: var_id,
+                    lo: lo_v,
+                    hi: hi_v,
+                    body: body_h,
+                    span: *span,
+                });
+            }
+            ast::Stmt::Receive {
+                dir,
+                chan,
+                dst,
+                ext,
+                span,
+            } => {
+                if self.in_if {
+                    self.diags.error(
+                        "`receive` inside `if`: conditionals are predicated, so I/O timing would \
+                         become data dependent (paper §5.1)",
+                        *span,
+                    );
+                }
+                let dst_h = self.lvalue(dst, scope);
+                let ext_h = ext.as_ref().and_then(|e| self.host_ref_in(e, scope));
+                if let Some(dst_h) = dst_h {
+                    out.push(HirStmt::Receive {
+                        dir: *dir,
+                        chan: *chan,
+                        dst: dst_h,
+                        ext: ext_h,
+                        span: *span,
+                    });
+                }
+            }
+            ast::Stmt::Send {
+                dir,
+                chan,
+                value,
+                ext,
+                span,
+            } => {
+                if self.in_if {
+                    self.diags.error(
+                        "`send` inside `if`: conditionals are predicated, so I/O timing would \
+                         become data dependent (paper §5.1)",
+                        *span,
+                    );
+                }
+                let value_h = self.expr_float(value, scope);
+                let ext_h = ext.as_ref().and_then(|lv| self.host_ref_out(lv, scope));
+                if let Some(value_h) = value_h {
+                    out.push(HirStmt::Send {
+                        dir: *dir,
+                        chan: *chan,
+                        value: value_h,
+                        ext: ext_h,
+                        span: *span,
+                    });
+                }
+            }
+            ast::Stmt::Call { name, span } => {
+                if self.in_if {
+                    self.diags
+                        .error("`call` inside `if` is not supported", *span);
+                    return;
+                }
+                if self.inline_stack.contains(name) {
+                    self.diags
+                        .error(format!("recursive call of function `{name}`"), *span);
+                    return;
+                }
+                let Some(func) = self.functions.get(name.as_str()).copied() else {
+                    self.diags
+                        .error(format!("call of undefined function `{name}`"), *span);
+                    return;
+                };
+                self.inline_stack.push(name.clone());
+                // Body statements are checked (and inlined) in the callee's
+                // local scope. Locals are static cell memory, so repeated
+                // calls share the same variables.
+                let locals = &self.fn_scopes[name.as_str()];
+                // SAFETY of the borrow: `fn_scopes` is not mutated after
+                // `declare_functions`, so cloning the map reference is
+                // avoided by a raw clone of the map (they are small).
+                let locals = locals.clone();
+                let callee_scope = ScopeCtx {
+                    fn_locals: Some(&locals),
+                };
+                for s in &func.body {
+                    self.stmt(s, callee_scope, out);
+                }
+                self.inline_stack.pop();
+            }
+        }
+    }
+
+    fn const_bound(&mut self, expr: &ast::Expr, scope: ScopeCtx<'_>, which: &str) -> Option<i64> {
+        let (h, ty) = self.expr(expr, scope)?;
+        if ty != Ty::Int {
+            self.diags.error(
+                format!("{which} loop bound must be an integer expression"),
+                expr.span(),
+            );
+            return None;
+        }
+        match h.const_int() {
+            Some(v) => Some(v),
+            None => {
+                self.diags.error(
+                    format!(
+                        "{which} loop bound must be a compile-time constant: the hardware has no \
+                         dynamic flow control (paper §5.1)"
+                    ),
+                    expr.span(),
+                );
+                None
+            }
+        }
+    }
+
+    fn lvalue(&mut self, lv: &ast::LValue, scope: ScopeCtx<'_>) -> Option<HirLValue> {
+        match lv {
+            ast::LValue::Var { name, span } => {
+                let id = self.resolve(name, *span, scope)?;
+                let info = &self.vars[id];
+                match info.kind {
+                    VarKind::CellLocal if !info.is_array() => Some(HirLValue::Var(id)),
+                    VarKind::CellLocal => {
+                        self.diags
+                            .error(format!("array `{name}` must be subscripted"), *span);
+                        None
+                    }
+                    VarKind::LoopIndex => {
+                        self.diags
+                            .error(format!("cannot assign to loop index `{name}`"), *span);
+                        None
+                    }
+                    VarKind::Host => {
+                        self.diags.error(
+                            format!(
+                                "host variable `{name}` is not addressable by cell code; host data \
+                                 moves only through the external position of send/receive"
+                            ),
+                            *span,
+                        );
+                        None
+                    }
+                }
+            }
+            ast::LValue::Elem {
+                name,
+                indices,
+                span,
+            } => {
+                let id = self.resolve(name, *span, scope)?;
+                let info = self.vars[id].clone();
+                if info.kind == VarKind::Host {
+                    self.diags.error(
+                        format!("host variable `{name}` is not addressable by cell code"),
+                        *span,
+                    );
+                    return None;
+                }
+                if !info.is_array() {
+                    self.diags.error(format!("`{name}` is not an array"), *span);
+                    return None;
+                }
+                let idx = self.subscripts(&info, indices, scope, *span)?;
+                Some(HirLValue::Elem {
+                    var: id,
+                    indices: idx,
+                })
+            }
+        }
+    }
+
+    fn subscripts(
+        &mut self,
+        info: &VarInfo,
+        indices: &[ast::Expr],
+        scope: ScopeCtx<'_>,
+        span: Span,
+    ) -> Option<Vec<HirExpr>> {
+        if indices.len() != info.dims.len() {
+            self.diags.error(
+                format!(
+                    "`{}` has {} dimension(s) but {} subscript(s) were given",
+                    info.name,
+                    info.dims.len(),
+                    indices.len()
+                ),
+                span,
+            );
+            return None;
+        }
+        let mut out = Vec::with_capacity(indices.len());
+        for (i, idx) in indices.iter().enumerate() {
+            let (h, ty) = self.expr(idx, scope)?;
+            if ty != Ty::Int {
+                self.diags
+                    .error("array subscripts must be integer expressions", idx.span());
+                return None;
+            }
+            if let Some(v) = h.const_int() {
+                if v < 0 || v >= i64::from(info.dims[i]) {
+                    self.diags.error(
+                        format!(
+                            "subscript {v} out of bounds for dimension of size {}",
+                            info.dims[i]
+                        ),
+                        idx.span(),
+                    );
+                    return None;
+                }
+            }
+            out.push(h);
+        }
+        Some(out)
+    }
+
+    fn host_ref_in(&mut self, e: &ast::Expr, scope: ScopeCtx<'_>) -> Option<HostRef> {
+        match e {
+            ast::Expr::FloatLit { value, .. } => Some(HostRef::Lit(*value as f32)),
+            ast::Expr::IntLit { value, .. } => Some(HostRef::Lit(*value as f32)),
+            ast::Expr::Var { name, span } => {
+                let id = self.host_var(name, *span, ParamDir::In)?;
+                if self.vars[id].is_array() {
+                    self.diags
+                        .error(format!("host array `{name}` must be subscripted"), *span);
+                    return None;
+                }
+                Some(HostRef::Var(id))
+            }
+            ast::Expr::Elem {
+                name,
+                indices,
+                span,
+            } => {
+                let id = self.host_var(name, *span, ParamDir::In)?;
+                let info = self.vars[id].clone();
+                let idx = self.subscripts(&info, indices, scope, *span)?;
+                Some(HostRef::Elem {
+                    var: id,
+                    indices: idx,
+                })
+            }
+            other => {
+                self.diags.error(
+                    "the external position of `receive` must be a host variable or a literal",
+                    other.span(),
+                );
+                None
+            }
+        }
+    }
+
+    fn host_ref_out(&mut self, lv: &ast::LValue, scope: ScopeCtx<'_>) -> Option<HostRef> {
+        match lv {
+            ast::LValue::Var { name, span } => {
+                let id = self.host_var(name, *span, ParamDir::Out)?;
+                if self.vars[id].is_array() {
+                    self.diags
+                        .error(format!("host array `{name}` must be subscripted"), *span);
+                    return None;
+                }
+                Some(HostRef::Var(id))
+            }
+            ast::LValue::Elem {
+                name,
+                indices,
+                span,
+            } => {
+                let id = self.host_var(name, *span, ParamDir::Out)?;
+                let info = self.vars[id].clone();
+                let idx = self.subscripts(&info, indices, scope, *span)?;
+                Some(HostRef::Elem {
+                    var: id,
+                    indices: idx,
+                })
+            }
+        }
+    }
+
+    fn host_var(&mut self, name: &str, span: Span, want: ParamDir) -> Option<VarId> {
+        let Some(&id) = self.host_scope.get(name) else {
+            self.diags
+                .error(format!("`{name}` is not a host variable"), span);
+            return None;
+        };
+        match self.param_dirs.get(&id) {
+            Some(&dir) if dir == want => Some(id),
+            Some(_) => {
+                let want_s = if want == ParamDir::In { "in" } else { "out" };
+                self.diags.error(
+                    format!("host variable `{name}` is not an `{want_s}` parameter"),
+                    span,
+                );
+                None
+            }
+            None => {
+                self.diags.error(
+                    format!("host variable `{name}` is not a module parameter"),
+                    span,
+                );
+                None
+            }
+        }
+    }
+
+    fn expr_float(&mut self, e: &ast::Expr, scope: ScopeCtx<'_>) -> Option<HirExpr> {
+        let (h, ty) = self.expr(e, scope)?;
+        self.coerce_float(h, ty, e.span())
+    }
+
+    fn coerce_float(&mut self, h: HirExpr, ty: Ty, span: Span) -> Option<HirExpr> {
+        match ty {
+            Ty::Float => Some(h),
+            Ty::Int => match h.const_int() {
+                Some(v) => Some(HirExpr::FloatLit(v as f32)),
+                None => {
+                    self.diags.error(
+                        "integer expression in floating-point computation: the Warp cell has no \
+                         integer unit, so loop indices cannot participate in cell arithmetic",
+                        span,
+                    );
+                    None
+                }
+            },
+            Ty::Bool => {
+                self.diags.error("boolean expression used as a value", span);
+                None
+            }
+        }
+    }
+
+    fn expr_bool(&mut self, e: &ast::Expr, scope: ScopeCtx<'_>) -> Option<HirExpr> {
+        let (h, ty) = self.expr(e, scope)?;
+        if ty == Ty::Bool {
+            Some(h)
+        } else {
+            self.diags.error(
+                "`if` condition must be a boolean (comparison) expression",
+                e.span(),
+            );
+            None
+        }
+    }
+
+    fn expr(&mut self, e: &ast::Expr, scope: ScopeCtx<'_>) -> Option<(HirExpr, Ty)> {
+        match e {
+            ast::Expr::IntLit { value, .. } => Some((HirExpr::IntLit(*value), Ty::Int)),
+            ast::Expr::FloatLit { value, .. } => {
+                Some((HirExpr::FloatLit(*value as f32), Ty::Float))
+            }
+            ast::Expr::Var { name, span } => {
+                let id = self.resolve(name, *span, scope)?;
+                let info = &self.vars[id];
+                match info.kind {
+                    VarKind::CellLocal => {
+                        if info.is_array() {
+                            self.diags
+                                .error(format!("array `{name}` must be subscripted"), *span);
+                            return None;
+                        }
+                        Some((HirExpr::ReadVar(id), Ty::Float))
+                    }
+                    VarKind::LoopIndex => {
+                        if !self.active_loops.contains(&id) {
+                            self.diags
+                                .error(format!("loop index `{name}` used outside its loop"), *span);
+                            return None;
+                        }
+                        Some((HirExpr::ReadVar(id), Ty::Int))
+                    }
+                    VarKind::Host => {
+                        self.diags.error(
+                            format!(
+                                "host variable `{name}` cannot be read by cell code; it may only \
+                                 appear in the external position of send/receive"
+                            ),
+                            *span,
+                        );
+                        None
+                    }
+                }
+            }
+            ast::Expr::Elem {
+                name,
+                indices,
+                span,
+            } => {
+                let id = self.resolve(name, *span, scope)?;
+                let info = self.vars[id].clone();
+                if info.kind == VarKind::Host {
+                    self.diags.error(
+                        format!("host variable `{name}` cannot be read by cell code"),
+                        *span,
+                    );
+                    return None;
+                }
+                if !info.is_array() {
+                    self.diags.error(format!("`{name}` is not an array"), *span);
+                    return None;
+                }
+                let idx = self.subscripts(&info, indices, scope, *span)?;
+                Some((
+                    HirExpr::ReadElem {
+                        var: id,
+                        indices: idx,
+                    },
+                    Ty::Float,
+                ))
+            }
+            ast::Expr::Binary { op, lhs, rhs, span } => {
+                let (lh, lt) = self.expr(lhs, scope)?;
+                let (rh, rt) = self.expr(rhs, scope)?;
+                if op.is_arith() {
+                    if lt == Ty::Int && rt == Ty::Int {
+                        return Some((
+                            HirExpr::Binary {
+                                op: *op,
+                                ty: Ty::Int,
+                                lhs: Box::new(lh),
+                                rhs: Box::new(rh),
+                            },
+                            Ty::Int,
+                        ));
+                    }
+                    let lh = self.coerce_float(lh, lt, lhs.span())?;
+                    let rh = self.coerce_float(rh, rt, rhs.span())?;
+                    Some((
+                        HirExpr::Binary {
+                            op: *op,
+                            ty: Ty::Float,
+                            lhs: Box::new(lh),
+                            rhs: Box::new(rh),
+                        },
+                        Ty::Float,
+                    ))
+                } else if op.is_cmp() {
+                    let lh = self.coerce_float(lh, lt, lhs.span())?;
+                    let rh = self.coerce_float(rh, rt, rhs.span())?;
+                    Some((
+                        HirExpr::Binary {
+                            op: *op,
+                            ty: Ty::Bool,
+                            lhs: Box::new(lh),
+                            rhs: Box::new(rh),
+                        },
+                        Ty::Bool,
+                    ))
+                } else {
+                    // and / or
+                    if lt != Ty::Bool || rt != Ty::Bool {
+                        self.diags
+                            .error("`and`/`or` operands must be boolean expressions", *span);
+                        return None;
+                    }
+                    Some((
+                        HirExpr::Binary {
+                            op: *op,
+                            ty: Ty::Bool,
+                            lhs: Box::new(lh),
+                            rhs: Box::new(rh),
+                        },
+                        Ty::Bool,
+                    ))
+                }
+            }
+            ast::Expr::Unary { op, operand, span } => {
+                let (oh, ot) = self.expr(operand, scope)?;
+                match op {
+                    UnOp::Neg => match ot {
+                        Ty::Float | Ty::Int => Some((
+                            HirExpr::Unary {
+                                op: UnOp::Neg,
+                                ty: ot,
+                                operand: Box::new(oh),
+                            },
+                            ot,
+                        )),
+                        Ty::Bool => {
+                            self.diags
+                                .error("cannot negate a boolean expression", *span);
+                            None
+                        }
+                    },
+                    UnOp::Not => {
+                        if ot != Ty::Bool {
+                            self.diags
+                                .error("`not` operand must be a boolean expression", *span);
+                            return None;
+                        }
+                        Some((
+                            HirExpr::Unary {
+                                op: UnOp::Not,
+                                ty: Ty::Bool,
+                                operand: Box::new(oh),
+                            },
+                            Ty::Bool,
+                        ))
+                    }
+                }
+            }
+        }
+    }
+}
+
+trait EmptyBodyExt {
+    fn error_global_if_empty(&mut self, span: Span);
+}
+
+impl EmptyBodyExt for DiagnosticBag {
+    fn error_global_if_empty(&mut self, span: Span) {
+        self.error("cellprogram body is empty (no statements reachable)", span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_and_check;
+    use crate::parser::parse;
+
+    const POLY: &str = r#"
+module polynomial (z in, c in, results out)
+float z[100], c[10];
+float results[100];
+cellprogram (cid : 0 : 9)
+begin
+  function poly
+  begin
+    float coeff, temp, xin, yin, ans;
+    int i;
+    receive (L, X, coeff, c[0]);
+    for i := 1 to 9 do begin
+      receive (L, X, temp, c[i]);
+      send (R, X, temp);
+    end;
+    send (R, X, 0.0);
+    for i := 0 to 99 do begin
+      receive (L, X, xin, z[i]);
+      receive (L, Y, yin, 0.0);
+      send (R, X, xin);
+      ans := coeff + yin*xin;
+      send (R, Y, ans, results[i]);
+    end;
+  end
+  call poly;
+end
+"#;
+
+    fn wrap(body: &str) -> String {
+        format!(
+            "module m (zs in, rs out) float zs[8]; float rs[8]; \
+             cellprogram (cid : 0 : 0) begin function f begin \
+             float x, y; float arr[4]; int i, j; {body} end call f; end"
+        )
+    }
+
+    fn expect_err(body: &str, needle: &str) {
+        let src = wrap(body);
+        let err = parse_and_check(&src).expect_err("should be rejected");
+        let text = err.to_string();
+        assert!(text.contains(needle), "expected `{needle}` in: {text}");
+    }
+
+    #[test]
+    fn polynomial_checks() {
+        let m = parse_and_check(POLY).expect("valid");
+        assert_eq!(m.n_cells, 10);
+        assert_eq!(m.params.len(), 3);
+        // Inlined body: receive, for, send, for.
+        assert_eq!(m.body.len(), 4);
+    }
+
+    #[test]
+    fn dynamic_bound_rejected() {
+        expect_err(
+            "for i := 0 to 3 do for j := 0 to i do x := x + 1.0;",
+            "compile-time constant",
+        );
+    }
+
+    #[test]
+    fn io_inside_if_rejected() {
+        expect_err(
+            "receive (L, X, x, zs[0]); if x < 1.0 then receive (L, X, y, zs[1]);",
+            "`receive` inside `if`",
+        );
+        expect_err(
+            "receive (L, X, x, zs[0]); if x < 1.0 then send (R, X, x);",
+            "`send` inside `if`",
+        );
+    }
+
+    #[test]
+    fn loop_index_in_float_math_rejected() {
+        expect_err("for i := 0 to 3 do x := x + i;", "no integer unit");
+    }
+
+    #[test]
+    fn loop_index_outside_loop_rejected() {
+        expect_err("arr[i] := 1.0;", "outside its loop");
+    }
+
+    #[test]
+    fn assignment_to_loop_index_rejected() {
+        expect_err("for i := 0 to 3 do i := 0;", "cannot assign to loop index");
+    }
+
+    #[test]
+    fn host_read_rejected() {
+        expect_err("x := zs[0];", "cannot be read by cell code");
+    }
+
+    #[test]
+    fn host_write_rejected() {
+        expect_err("rs[0] := 1.0;", "not addressable by cell code");
+    }
+
+    #[test]
+    fn undeclared_rejected() {
+        expect_err("q := 1.0;", "undeclared variable `q`");
+    }
+
+    #[test]
+    fn cell_id_in_computation_rejected() {
+        expect_err("x := cid;", "cell-id variable");
+    }
+
+    #[test]
+    fn wrong_param_direction_rejected() {
+        expect_err("receive (L, X, x, rs[0]);", "not an `in` parameter");
+        expect_err("send (R, X, x, zs[0]);", "not an `out` parameter");
+    }
+
+    #[test]
+    fn subscript_bounds_checked() {
+        expect_err("arr[7] := 1.0;", "out of bounds");
+    }
+
+    #[test]
+    fn subscript_arity_checked() {
+        expect_err("arr[1, 2] := 1.0;", "1 dimension(s) but 2 subscript(s)");
+    }
+
+    #[test]
+    fn nested_loop_var_reuse_rejected() {
+        expect_err(
+            "for i := 0 to 3 do for i := 0 to 3 do x := x + 1.0;",
+            "already in use",
+        );
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let src = "module m (a in) float a[1]; cellprogram (c : 0 : 0) begin \
+                   function f begin float x; call f; end call f; end";
+        let err = parse_and_check(src).unwrap_err();
+        assert!(err.to_string().contains("recursive call"), "{err}");
+    }
+
+    #[test]
+    fn undefined_function_rejected() {
+        let src = "module m (a in) float a[1]; cellprogram (c : 0 : 0) begin call g; end";
+        let err = parse_and_check(src).unwrap_err();
+        assert!(err.to_string().contains("undefined function `g`"), "{err}");
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let src = "module m (a in) float a[1]; cellprogram (c : 5 : 2) begin \
+                   function f begin float x; x := 1.0; end call f; end";
+        let err = parse_and_check(src).unwrap_err();
+        assert!(err.to_string().contains("is empty"), "{err}");
+    }
+
+    #[test]
+    fn int_host_decl_rejected() {
+        let src = "module m (a in) int a[4]; cellprogram (c : 0 : 0) begin \
+                   function f begin float x; x := 1.0; end call f; end";
+        let err = parse_and_check(src).unwrap_err();
+        assert!(err.to_string().contains("must be float"), "{err}");
+    }
+
+    #[test]
+    fn multiple_calls_share_locals() {
+        let src = "module m (a in, r out) float a[4]; float r[4]; \
+                   cellprogram (c : 0 : 0) begin \
+                   function f begin float x; int i; \
+                   for i := 0 to 1 do begin receive (L, X, x, a[i]); send (R, X, x + x, r[i]); end end \
+                   call f; call f; end";
+        let m = parse_and_check(src).expect("valid");
+        // Two inlined copies of the loop.
+        assert_eq!(m.body.len(), 2);
+        // x and i are registered once.
+        let xs = m.vars.values().filter(|v| v.name == "x").count();
+        assert_eq!(xs, 1);
+    }
+
+    #[test]
+    fn param_without_decl_rejected() {
+        let src = "module m (nope in) float a[1]; cellprogram (c : 0 : 0) begin \
+                   function f begin float x; x := 1.0; end call f; end";
+        let err = parse_and_check(src).unwrap_err();
+        assert!(err.to_string().contains("no host declaration"), "{err}");
+    }
+
+    #[test]
+    fn literal_coercion_in_float_context() {
+        let src = wrap("x := 1 + 2.5;");
+        let m = parse_and_check(&src).expect("valid: int literal coerces");
+        assert!(!m.body.is_empty());
+    }
+
+    #[test]
+    fn bool_in_value_position_rejected() {
+        expect_err(
+            "x := (x < 1.0) + 1.0;",
+            "boolean expression used as a value",
+        );
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        expect_err("if x + 1.0 then y := 0.0;", "must be a boolean");
+    }
+
+    #[test]
+    fn ast_reuse_for_sema() {
+        // check() can be driven independently of parse_and_check.
+        let ast = parse(POLY).unwrap();
+        let m = crate::sema::check(&ast).unwrap();
+        assert_eq!(m.name, "polynomial");
+    }
+}

@@ -1,0 +1,228 @@
+//! Token definitions for the W2 lexer.
+
+use std::fmt;
+use warp_common::Span;
+
+/// The kind of a W2 token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An identifier such as `coeff` or `poly`.
+    Ident(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// A floating point literal (contains `.` or exponent).
+    FloatLit(f64),
+
+    // Keywords.
+    /// `module`
+    Module,
+    /// `cellprogram`
+    Cellprogram,
+    /// `function`
+    Function,
+    /// `begin`
+    Begin,
+    /// `end`
+    End,
+    /// `call`
+    Call,
+    /// `float`
+    Float,
+    /// `int`
+    Int,
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `do`
+    Do,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `send`
+    Send,
+    /// `receive`
+    Receive,
+    /// `in`
+    In,
+    /// `out`
+    Out,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "module" => TokenKind::Module,
+            "cellprogram" => TokenKind::Cellprogram,
+            "function" => TokenKind::Function,
+            "begin" => TokenKind::Begin,
+            "end" => TokenKind::End,
+            "call" => TokenKind::Call,
+            "float" => TokenKind::Float,
+            "int" => TokenKind::Int,
+            "for" => TokenKind::For,
+            "to" => TokenKind::To,
+            "do" => TokenKind::Do,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "send" => TokenKind::Send,
+            "receive" => TokenKind::Receive,
+            "in" => TokenKind::In,
+            "out" => TokenKind::Out,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::IntLit(v) => format!("integer `{v}`"),
+            TokenKind::FloatLit(v) => format!("float `{v}`"),
+            TokenKind::Eof => "end of input".to_owned(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Module => "module",
+            TokenKind::Cellprogram => "cellprogram",
+            TokenKind::Function => "function",
+            TokenKind::Begin => "begin",
+            TokenKind::End => "end",
+            TokenKind::Call => "call",
+            TokenKind::Float => "float",
+            TokenKind::Int => "int",
+            TokenKind::For => "for",
+            TokenKind::To => "to",
+            TokenKind::Do => "do",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Else => "else",
+            TokenKind::Send => "send",
+            TokenKind::Receive => "receive",
+            TokenKind::In => "in",
+            TokenKind::Out => "out",
+            TokenKind::And => "and",
+            TokenKind::Or => "or",
+            TokenKind::Not => "not",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Assign => ":=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Eq => "=",
+            TokenKind::Ne => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Ident(_)
+            | TokenKind::IntLit(_)
+            | TokenKind::FloatLit(_)
+            | TokenKind::Eof => {
+                unreachable!("handled by describe")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it appears in the source.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_recognized() {
+        assert_eq!(TokenKind::keyword("module"), Some(TokenKind::Module));
+        assert_eq!(TokenKind::keyword("receive"), Some(TokenKind::Receive));
+        assert_eq!(TokenKind::keyword("coeff"), None);
+    }
+
+    #[test]
+    fn describe_tokens() {
+        assert_eq!(TokenKind::Assign.describe(), "`:=`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::IntLit(9).describe(), "integer `9`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+        assert_eq!(TokenKind::Le.to_string(), "`<=`");
+    }
+}

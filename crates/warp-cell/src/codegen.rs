@@ -1,0 +1,518 @@
+//! Cell code generation: schedule, allocate registers, emit microcode.
+//!
+//! Per basic block this runs the loop
+//!
+//! ```text
+//! schedule → allocate registers → (on pressure) spill a value → repeat
+//! ```
+//!
+//! Spilled values get scratch words in cell data memory, addressed through
+//! the instruction's literal field, so spills never involve the IU.
+
+use crate::machine::{io_index, CellMachine, Unit};
+use crate::mcode::{
+    AddrSource, AluOp, BlockCode, CellCode, CodeRegion, FpuField, IoEvent, IoField, MemField,
+    MicroInst, Operand, Reg,
+};
+use crate::regalloc::{allocate_excluding, Allocation, SpillNeeded};
+use crate::sched::{schedule, BlockSchedule};
+use std::collections::{HashMap, HashSet};
+use w2_lang::hir::VarId;
+use warp_common::{Diagnostic, DiagnosticBag};
+use warp_ir::{Affine, Block, BlockId, CellIr, Node, NodeId, NodeKind, Region};
+
+/// Synthetic variable id for register-spill scratch words.
+pub const SCRATCH_VAR: VarId = VarId(u32::MAX);
+
+/// Options for cell code generation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellCodegenOptions {
+    /// Software-pipeline eligible innermost loops (see
+    /// [`crate::pipeline`]).
+    pub software_pipeline: bool,
+}
+
+/// Maximum spill-and-reschedule iterations per block.
+const MAX_SPILL_ROUNDS: usize = 128;
+
+/// Generates the cell microprogram for a decomposed module.
+///
+/// # Errors
+///
+/// Reports a diagnostic if register pressure cannot be resolved by
+/// spilling or if spill scratch space overflows cell memory.
+pub fn codegen(ir: &CellIr, machine: &CellMachine) -> Result<CellCode, DiagnosticBag> {
+    codegen_with(ir, machine, &CellCodegenOptions::default())
+}
+
+/// Like [`codegen`], with explicit options.
+///
+/// # Errors
+///
+/// Same as [`codegen`].
+pub fn codegen_with(
+    ir: &CellIr,
+    machine: &CellMachine,
+    options: &CellCodegenOptions,
+) -> Result<CellCode, DiagnosticBag> {
+    let mut diags = DiagnosticBag::new();
+    let mut scratch_words = 0u32;
+    let scratch_base = ir.layout.words_used();
+    let mut regs_used = 0u32;
+    let mut codes: HashMap<BlockId, BlockCode> = HashMap::new();
+
+    for (bid, block) in ir.blocks.iter() {
+        match compile_block(block, machine, scratch_base, &mut scratch_words) {
+            Ok((mut code, regs)) => {
+                code.source = Some(bid);
+                regs_used = regs_used.max(regs);
+                codes.insert(bid, code);
+            }
+            Err(msg) => diags.push(Diagnostic::error_global(format!("block {bid}: {msg}"))),
+        }
+    }
+
+    if scratch_base + scratch_words > machine.memory_words {
+        diags.push(Diagnostic::error_global(format!(
+            "cell memory overflow: {} data + {} spill words exceed {}",
+            scratch_base, scratch_words, machine.memory_words
+        )));
+    }
+    if diags.has_errors() {
+        return Err(diags);
+    }
+
+    let mut asm = Assembler {
+        ir,
+        machine,
+        options,
+        codes,
+        regs_used,
+    };
+    let regions = asm.assemble(&ir.root);
+    Ok(CellCode {
+        name: ir.name.clone(),
+        regions,
+        regs_used: asm.regs_used,
+        scratch_words,
+    })
+}
+
+struct Assembler<'a> {
+    ir: &'a CellIr,
+    machine: &'a CellMachine,
+    options: &'a CellCodegenOptions,
+    codes: HashMap<BlockId, BlockCode>,
+    regs_used: u32,
+}
+
+impl Assembler<'_> {
+    fn assemble(&mut self, region: &Region) -> Vec<CodeRegion> {
+        match region {
+            Region::Block(b) => vec![CodeRegion::Block(
+                self.codes.remove(b).expect("block compiled exactly once"),
+            )],
+            Region::Loop { id, body } => {
+                let count = self.ir.loops[*id].count;
+                if self.options.software_pipeline {
+                    if let Region::Block(bid) = **body {
+                        let baseline = self.codes[&bid].len();
+                        if let Some(p) = crate::pipeline::try_pipeline(
+                            &self.ir.blocks[bid],
+                            self.machine,
+                            count,
+                            *id,
+                            self.ir.loops[*id].lo,
+                            baseline,
+                        ) {
+                            self.codes.remove(&bid);
+                            self.regs_used = self.regs_used.max(p.regs_used);
+                            return vec![
+                                CodeRegion::Block(p.prologue),
+                                CodeRegion::Loop {
+                                    id: *id,
+                                    count: p.kernel_count,
+                                    body: vec![CodeRegion::Block(p.kernel)],
+                                },
+                                CodeRegion::Block(p.epilogue),
+                            ];
+                        }
+                    }
+                }
+                vec![CodeRegion::Loop {
+                    id: *id,
+                    count,
+                    body: self.assemble(body),
+                }]
+            }
+            Region::Seq(rs) => rs.iter().flat_map(|r| self.assemble(r)).collect(),
+        }
+    }
+}
+
+fn compile_block(
+    block: &Block,
+    machine: &CellMachine,
+    scratch_base: u32,
+    scratch_words: &mut u32,
+) -> Result<(BlockCode, u32), String> {
+    let mut block = block.clone();
+    let mut spilled: HashSet<NodeId> = HashSet::new();
+    for _ in 0..MAX_SPILL_ROUNDS {
+        let sched = schedule(&block, machine);
+        debug_assert!(
+            crate::sched::validate(&block, machine, &sched).is_ok(),
+            "scheduler produced an illegal schedule: {:?}",
+            crate::sched::validate(&block, machine, &sched)
+        );
+        match allocate_excluding(&block, machine, &sched, machine.registers, &spilled) {
+            Ok(alloc) => {
+                let code = emit(&block, machine, &sched, &alloc);
+                return Ok((code, alloc.regs_used));
+            }
+            Err(SpillNeeded { victim: None }) => {
+                return Err(format!(
+                    "register file of {} registers is too small for this block even with spilling",
+                    machine.registers
+                ));
+            }
+            Err(SpillNeeded {
+                victim: Some(victim),
+            }) => {
+                let addr = i64::from(scratch_base + *scratch_words);
+                *scratch_words += 1;
+                spilled.insert(victim);
+                spill(&mut block, victim, addr);
+            }
+        }
+    }
+    Err("register allocation did not converge after spilling".to_owned())
+}
+
+/// Rewrites the DAG so `victim`'s value round-trips through memory: a
+/// store after the definition and one reload per consumer.
+fn spill(block: &mut Block, victim: NodeId, addr: i64) {
+    let store = block.nodes.push(Node {
+        kind: NodeKind::Store {
+            var: SCRATCH_VAR,
+            addr: Affine::constant(addr),
+        },
+        inputs: vec![victim],
+        deps: vec![],
+    });
+    let user_ids: Vec<NodeId> = block
+        .nodes
+        .ids()
+        .filter(|&n| {
+            n != store
+                && block.nodes[n].inputs.contains(&victim)
+                // Keep earlier spill stores reading the original value;
+                // re-routing them through reloads would be circular.
+                && !matches!(block.nodes[n].kind, NodeKind::Store { var, .. } if var == SCRATCH_VAR)
+        })
+        .collect();
+    for user in user_ids {
+        let reload = block.nodes.push(Node {
+            kind: NodeKind::Load {
+                var: SCRATCH_VAR,
+                addr: Affine::constant(addr),
+            },
+            inputs: vec![],
+            deps: vec![store],
+        });
+        for input in &mut block.nodes[user].inputs {
+            if *input == victim {
+                *input = reload;
+            }
+        }
+    }
+}
+
+fn emit(
+    block: &Block,
+    machine: &CellMachine,
+    sched: &BlockSchedule,
+    alloc: &Allocation,
+) -> BlockCode {
+    let mut insts = vec![MicroInst::default(); sched.len as usize];
+    let mut io_events: Vec<IoEvent> = Vec::new();
+    let mut adr: Vec<(NodeId, u32)> = Vec::new();
+
+    let operand = |p: NodeId| -> Operand {
+        match block.nodes[p].kind {
+            NodeKind::ConstF(v) => Operand::Imm(v),
+            NodeKind::ConstB(v) => Operand::ImmB(v),
+            _ => Operand::Reg(
+                *alloc
+                    .assignment
+                    .get(&p)
+                    .unwrap_or_else(|| panic!("{p:?} consumed but not allocated")),
+            ),
+        }
+    };
+    let dst = |n: NodeId| -> Option<Reg> { alloc.assignment.get(&n).copied() };
+
+    let mut live = block.live_nodes();
+    live.sort_by_key(|&n| (sched.time.get(&n).copied().unwrap_or(0), n));
+
+    for n in live {
+        let node = &block.nodes[n];
+        let t = sched.time[&n] as usize;
+        match &node.kind {
+            NodeKind::ConstF(_) | NodeKind::ConstB(_) => {}
+            NodeKind::FAdd
+            | NodeKind::FSub
+            | NodeKind::FCmp(_)
+            | NodeKind::BAnd
+            | NodeKind::BOr
+            | NodeKind::BNot
+            | NodeKind::Select => {
+                let op = match &node.kind {
+                    NodeKind::FAdd => AluOp::Add,
+                    NodeKind::FSub => AluOp::Sub,
+                    NodeKind::FCmp(c) => AluOp::Cmp(*c),
+                    NodeKind::BAnd => AluOp::And,
+                    NodeKind::BOr => AluOp::Or,
+                    NodeKind::BNot => AluOp::Not,
+                    NodeKind::Select => AluOp::Select,
+                    _ => unreachable!(),
+                };
+                debug_assert!(insts[t].fadd.is_none(), "add FPU double-booked");
+                insts[t].fadd = Some(FpuField {
+                    op,
+                    dst: dst(n),
+                    srcs: node.inputs.iter().map(|&p| operand(p)).collect(),
+                });
+            }
+            NodeKind::FMul | NodeKind::FDiv | NodeKind::FNeg => {
+                let op = match &node.kind {
+                    NodeKind::FMul => AluOp::Mul,
+                    NodeKind::FDiv => AluOp::Div,
+                    NodeKind::FNeg => AluOp::Neg,
+                    _ => unreachable!(),
+                };
+                debug_assert!(insts[t].fmul.is_none(), "mul FPU double-booked");
+                insts[t].fmul = Some(FpuField {
+                    op,
+                    dst: dst(n),
+                    srcs: node.inputs.iter().map(|&p| operand(p)).collect(),
+                });
+            }
+            NodeKind::Load { addr, .. } => {
+                let source = addr_source(addr);
+                if source == AddrSource::AdrQueue {
+                    adr.push((n, t as u32));
+                }
+                let slot = free_mem_slot(&mut insts[t]);
+                *slot = Some(MemField::Read {
+                    addr: source,
+                    dst: dst(n),
+                });
+            }
+            NodeKind::Store { addr, .. } => {
+                let source = addr_source(addr);
+                if source == AddrSource::AdrQueue {
+                    adr.push((n, t as u32));
+                }
+                let value = operand(node.inputs[0]);
+                let slot = free_mem_slot(&mut insts[t]);
+                *slot = Some(MemField::Write {
+                    addr: source,
+                    src: value,
+                });
+            }
+            NodeKind::Recv { dir, chan, ext } => {
+                let idx = io_index(*dir, *chan);
+                debug_assert!(insts[t].io[idx].is_none(), "I/O port double-booked");
+                insts[t].io[idx] = Some(IoField::Recv {
+                    dst: dst(n),
+                    ext: ext.clone(),
+                });
+                io_events.push(IoEvent {
+                    cycle: t as u32,
+                    dir: *dir,
+                    chan: *chan,
+                    is_recv: true,
+                    ext: ext.clone(),
+                });
+            }
+            NodeKind::Send { dir, chan, ext } => {
+                let idx = io_index(*dir, *chan);
+                debug_assert!(insts[t].io[idx].is_none(), "I/O port double-booked");
+                insts[t].io[idx] = Some(IoField::Send {
+                    src: operand(node.inputs[0]),
+                    ext: ext.clone(),
+                });
+                io_events.push(IoEvent {
+                    cycle: t as u32,
+                    dir: *dir,
+                    chan: *chan,
+                    is_recv: false,
+                    ext: ext.clone(),
+                });
+            }
+        }
+        debug_assert!(machine.unit_of(&node.kind) != Unit::None || node.inputs.is_empty());
+    }
+
+    io_events.sort_by_key(|e| e.cycle);
+    adr.sort_by_key(|&(n, _)| n);
+    BlockCode {
+        insts,
+        io_events,
+        adr_deadlines: adr.into_iter().map(|(_, t)| t).collect(),
+        source: None,
+    }
+}
+
+fn addr_source(addr: &Affine) -> AddrSource {
+    if addr.is_constant() {
+        AddrSource::Literal(u16::try_from(addr.constant).expect("address fits in 16 bits"))
+    } else {
+        AddrSource::AdrQueue
+    }
+}
+
+fn free_mem_slot(inst: &mut MicroInst) -> &mut Option<MemField> {
+    if inst.mem[0].is_none() {
+        &mut inst.mem[0]
+    } else {
+        debug_assert!(inst.mem[1].is_none(), "memory ports double-booked");
+        &mut inst.mem[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::parse_and_check;
+    use warp_ir::{decompose, lower, LowerOptions};
+
+    fn compile(body: &str) -> CellCode {
+        let src = format!(
+            "module m (zs in, rs out) float zs[64]; float rs[64]; \
+             cellprogram (cid : 0 : 1) begin function f begin \
+             float x, y; float arr[16]; int i; {body} end call f; end"
+        );
+        let hir = parse_and_check(&src).expect("valid");
+        let mut ir = lower(&hir, &LowerOptions::default()).expect("lowers");
+        decompose::decompose(&mut ir);
+        codegen(&ir, &CellMachine::default()).expect("codegen")
+    }
+
+    #[test]
+    fn straight_line_block() {
+        let code = compile("receive (L, X, x, zs[0]); send (R, X, x + 1.0, rs[0]);");
+        assert_eq!(code.regions.len(), 1);
+        let CodeRegion::Block(b) = &code.regions[0] else {
+            panic!("expected block");
+        };
+        // recv at 0, add at 1, send at 6 (fp latency 5), store x...
+        assert!(b.len() >= 7);
+        assert_eq!(b.io_events.len(), 2);
+        assert!(b.io_events[0].is_recv);
+        assert!(!b.io_events[1].is_recv);
+        assert!(b.io_events[1].cycle >= b.io_events[0].cycle + 1 + 5);
+    }
+
+    #[test]
+    fn loop_region_structure() {
+        let code = compile(
+            "for i := 0 to 15 do begin receive (L, X, x, zs[i]); send (R, X, x, rs[i]); end;",
+        );
+        assert_eq!(code.regions.len(), 1);
+        let CodeRegion::Loop { count, body, .. } = &code.regions[0] else {
+            panic!("expected loop");
+        };
+        assert_eq!(*count, 16);
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn adr_deadlines_recorded() {
+        let code = compile("for i := 0 to 15 do begin receive (L, X, x, zs[i]); arr[i] := x; end;");
+        let CodeRegion::Loop { body, .. } = &code.regions[0] else {
+            panic!("expected loop");
+        };
+        let CodeRegion::Block(b) = &body[0] else {
+            panic!("expected block");
+        };
+        assert_eq!(b.adr_deadlines.len(), 1);
+        // The store issues after the recv's value is ready.
+        assert!(b.adr_deadlines[0] >= 1);
+    }
+
+    #[test]
+    fn spilling_under_tiny_register_file() {
+        // b and c must wait behind the long multiply chain on the ordered
+        // RX channel, so three values are live at once; with two
+        // registers one of them must spill to scratch memory.
+        let src = "module m (zs in, rs out) float zs[64]; float rs[64] ; \
+             cellprogram (cid : 0 : 0) begin function f begin \
+             float x, y, b, c; \
+             receive (L, X, x, zs[0]); receive (L, X, b, zs[1]); receive (L, X, c, zs[2]); \
+             y := ((x*x)*x)*x; \
+             send (R, X, y*y, rs[0]); \
+             send (R, X, b, rs[1]); send (R, X, c, rs[2]); end call f; end";
+        let hir = parse_and_check(src).expect("valid");
+        let mut ir = lower(&hir, &LowerOptions::default()).expect("lowers");
+        decompose::decompose(&mut ir);
+        let tiny = CellMachine {
+            registers: 2,
+            ..CellMachine::default()
+        };
+        let code = codegen(&ir, &tiny).expect("codegen with spills");
+        assert!(code.scratch_words > 0, "spills happened");
+        assert!(code.regs_used <= 2);
+        let full = codegen(&ir, &CellMachine::default()).expect("codegen");
+        assert_eq!(full.scratch_words, 0);
+        // Spilled code is no shorter.
+        assert!(code.static_len() >= full.static_len());
+    }
+
+    #[test]
+    fn infeasible_register_file_reports_error() {
+        // A binary operation needs both register operands live at issue:
+        // one register can never work, and the compiler must say so
+        // rather than loop.
+        let src = "module m (zs in, rs out) float zs[4]; float rs[4]; \
+             cellprogram (cid : 0 : 0) begin function f begin \
+             float a, b; receive (L, X, a, zs[0]); receive (L, X, b, zs[1]); \
+             send (R, X, a + b, rs[0]); end call f; end";
+        let hir = parse_and_check(src).expect("valid");
+        let mut ir = lower(&hir, &LowerOptions::default()).expect("lowers");
+        decompose::decompose(&mut ir);
+        let one = CellMachine {
+            registers: 1,
+            ..CellMachine::default()
+        };
+        let err = codegen(&ir, &one).expect_err("cannot fit one register");
+        assert!(err.to_string().contains("too small"), "{err}");
+    }
+
+    #[test]
+    fn registers_bounded() {
+        let code = compile(
+            "receive (L, X, x, zs[0]); y := x * x + x; \
+             send (R, X, y * y + x, rs[0]);",
+        );
+        assert!(code.regs_used <= 64);
+        assert!(code.regs_used >= 1);
+    }
+
+    #[test]
+    fn unused_recv_pops_without_register() {
+        // temp is received and immediately re-sent; the final extra
+        // receive's value is discarded but the pop must still exist.
+        let code = compile("receive (L, X, x, zs[0]);");
+        let CodeRegion::Block(b) = &code.regions[0] else {
+            panic!()
+        };
+        let has_recv = b.insts.iter().any(|i| {
+            i.io.iter()
+                .flatten()
+                .any(|f| matches!(f, IoField::Recv { .. }))
+        });
+        assert!(has_recv);
+    }
+}

@@ -1,0 +1,175 @@
+//! The Warp cell machine model (paper §2.4, Figure 2-2).
+//!
+//! Each cell is a horizontal micro-engine: a wide instruction word
+//! controls every functional unit independently each cycle. The model
+//! captures the resources the scheduler must reserve and the latencies it
+//! must respect:
+//!
+//! * two floating-point units (an add-class ALU and a multiplier), both
+//!   5-stage pipelined: one operation may issue per unit per cycle and the
+//!   result is available 5 cycles later;
+//! * a local data memory sustaining **two references per cycle**;
+//! * one I/O port per `(direction, channel)` pair;
+//! * register files buffering all operands (modeled as one unified file;
+//!   the real cell has a 32-word file per FPU connected by a full
+//!   crossbar).
+
+use warp_ir::NodeKind;
+
+/// Functional units an operation can occupy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// The add-class FPU (add, subtract, compare, select, boolean ops).
+    AddFpu,
+    /// The multiplier FPU (multiply, divide, negate-by-multiply).
+    MulFpu,
+    /// One of the two memory ports.
+    Mem,
+    /// The I/O port of a specific `(direction, channel)` pair; the index
+    /// is produced by [`io_index`].
+    Io(usize),
+    /// No unit: the value comes from the instruction's literal field.
+    None,
+}
+
+/// Maps a `(direction, channel)` pair to its I/O port index.
+pub fn io_index(dir: w2_lang::ast::Dir, chan: w2_lang::ast::Chan) -> usize {
+    use w2_lang::ast::{Chan, Dir};
+    match (dir, chan) {
+        (Dir::Left, Chan::X) => 0,
+        (Dir::Left, Chan::Y) => 1,
+        (Dir::Right, Chan::X) => 2,
+        (Dir::Right, Chan::Y) => 3,
+    }
+}
+
+/// Machine parameters of one Warp cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellMachine {
+    /// Result latency of the pipelined FPUs (5 stages on the real Warp).
+    pub fp_latency: u32,
+    /// Result latency of a division (iterative on the multiplier).
+    pub div_latency: u32,
+    /// Cycles from a memory read issue to the value being usable.
+    pub mem_latency: u32,
+    /// Cycles from a queue dequeue to the value being usable.
+    pub io_latency: u32,
+    /// Memory references per cycle (2 on the real Warp).
+    pub mem_ports: u32,
+    /// Usable registers (2 × 32-word register files on the real Warp).
+    pub registers: u32,
+    /// Words per inter-cell queue (128 on the real Warp).
+    pub queue_capacity: u32,
+    /// Words of cell data memory (4K on the real Warp).
+    pub memory_words: u32,
+}
+
+impl Default for CellMachine {
+    fn default() -> CellMachine {
+        CellMachine {
+            fp_latency: 5,
+            div_latency: 10,
+            mem_latency: 1,
+            io_latency: 1,
+            mem_ports: 2,
+            registers: 64,
+            queue_capacity: 128,
+            memory_words: 4096,
+        }
+    }
+}
+
+impl CellMachine {
+    /// The unit an abstract operation executes on.
+    pub fn unit_of(&self, kind: &NodeKind) -> Unit {
+        match kind {
+            NodeKind::ConstF(_) | NodeKind::ConstB(_) => Unit::None,
+            NodeKind::Load { .. } | NodeKind::Store { .. } => Unit::Mem,
+            NodeKind::Recv { dir, chan, .. } | NodeKind::Send { dir, chan, .. } => {
+                Unit::Io(io_index(*dir, *chan))
+            }
+            NodeKind::FMul | NodeKind::FDiv | NodeKind::FNeg => Unit::MulFpu,
+            NodeKind::FAdd
+            | NodeKind::FSub
+            | NodeKind::FCmp(_)
+            | NodeKind::BAnd
+            | NodeKind::BOr
+            | NodeKind::BNot
+            | NodeKind::Select => Unit::AddFpu,
+        }
+    }
+
+    /// The result latency of an abstract operation: a consumer may issue
+    /// this many cycles after the producer.
+    pub fn latency_of(&self, kind: &NodeKind) -> u32 {
+        match kind {
+            NodeKind::ConstF(_) | NodeKind::ConstB(_) => 0,
+            NodeKind::Load { .. } => self.mem_latency,
+            NodeKind::Store { .. } => 1,
+            NodeKind::Recv { .. } => self.io_latency,
+            NodeKind::Send { .. } => 1,
+            NodeKind::FDiv => self.div_latency,
+            _ => self.fp_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::ast::{Chan, Dir};
+
+    #[test]
+    fn io_indices_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for dir in [Dir::Left, Dir::Right] {
+            for chan in [Chan::X, Chan::Y] {
+                assert!(seen.insert(io_index(dir, chan)));
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let m = CellMachine::default();
+        assert_eq!(m.fp_latency, 5);
+        assert_eq!(m.mem_ports, 2);
+        assert_eq!(m.queue_capacity, 128);
+        assert_eq!(m.memory_words, 4096);
+        assert_eq!(m.registers, 64);
+    }
+
+    #[test]
+    fn unit_mapping() {
+        let m = CellMachine::default();
+        assert_eq!(m.unit_of(&NodeKind::FAdd), Unit::AddFpu);
+        assert_eq!(m.unit_of(&NodeKind::FMul), Unit::MulFpu);
+        assert_eq!(m.unit_of(&NodeKind::ConstF(1.0)), Unit::None);
+        assert_eq!(m.unit_of(&NodeKind::Select), Unit::AddFpu);
+        assert_eq!(
+            m.unit_of(&NodeKind::Recv {
+                dir: Dir::Left,
+                chan: Chan::X,
+                ext: None
+            }),
+            Unit::Io(0)
+        );
+    }
+
+    #[test]
+    fn latency_mapping() {
+        let m = CellMachine::default();
+        assert_eq!(m.latency_of(&NodeKind::FAdd), 5);
+        assert_eq!(m.latency_of(&NodeKind::FDiv), 10);
+        assert_eq!(m.latency_of(&NodeKind::ConstF(0.0)), 0);
+        assert_eq!(
+            m.latency_of(&NodeKind::Recv {
+                dir: Dir::Left,
+                chan: Chan::X,
+                ext: None
+            }),
+            1
+        );
+    }
+}

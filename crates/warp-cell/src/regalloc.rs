@@ -1,0 +1,281 @@
+//! Register allocation for scheduled block DAGs.
+//!
+//! After scheduling, every value-producing node needs a register from its
+//! issue cycle until its last consumer issues. A linear scan over these
+//! intervals assigns physical registers; when the file is exhausted the
+//! allocator reports the value with the longest remaining lifetime so the
+//! code generator can spill it to a scratch word of cell memory and
+//! re-schedule (the real compiler allocates 32-word files per FPU; we
+//! model a unified file, see [`crate::machine`]).
+
+use crate::machine::Unit;
+use crate::mcode::Reg;
+use crate::sched::BlockSchedule;
+use std::collections::{HashMap, HashSet};
+use warp_ir::{Block, NodeId, NodeKind};
+
+/// A successful register assignment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Allocation {
+    /// Register per value-producing node. Nodes without consumers and
+    /// literal constants are absent.
+    pub assignment: HashMap<NodeId, Reg>,
+    /// Number of distinct registers used.
+    pub regs_used: u32,
+}
+
+/// Allocation failure: the file is exhausted and `victim` (the live value
+/// with the furthest last use) should be spilled. `victim` is `None` when
+/// every live value is already a spill reload, i.e. the block cannot fit
+/// the register file at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpillNeeded {
+    /// The node whose value should move to memory.
+    pub victim: Option<NodeId>,
+}
+
+/// Runs linear scan over the value intervals of `block` under `sched`.
+///
+/// # Errors
+///
+/// Returns [`SpillNeeded`] when more than `registers` values are live at
+/// once.
+pub fn allocate(
+    block: &Block,
+    machine: &crate::machine::CellMachine,
+    sched: &BlockSchedule,
+    registers: u32,
+) -> Result<Allocation, SpillNeeded> {
+    allocate_excluding(block, machine, sched, registers, &HashSet::new())
+}
+
+/// Like [`allocate`], but never proposes a member of `no_spill` (values
+/// that were already spilled) as the next spill victim.
+pub fn allocate_excluding(
+    block: &Block,
+    machine: &crate::machine::CellMachine,
+    sched: &BlockSchedule,
+    registers: u32,
+    no_spill: &HashSet<NodeId>,
+) -> Result<Allocation, SpillNeeded> {
+    let live = block.live_nodes();
+    // Last use (issue cycle of the latest consumer) per producing node.
+    let mut last_use: HashMap<NodeId, u32> = HashMap::new();
+    for &n in &live {
+        for &p in &block.nodes[n].inputs {
+            let t = sched.time[&n];
+            let e = last_use.entry(p).or_insert(t);
+            *e = (*e).max(t);
+        }
+    }
+
+    // Intervals: [def, last_use] for nodes that need a register.
+    let mut intervals: Vec<(u32, u32, NodeId)> = Vec::new();
+    for &n in &live {
+        let kind = &block.nodes[n].kind;
+        if machine.unit_of(kind) == Unit::None {
+            continue; // literals live in the instruction word
+        }
+        if matches!(kind, NodeKind::Store { .. } | NodeKind::Send { .. }) {
+            continue; // no result value
+        }
+        let Some(&end) = last_use.get(&n) else {
+            continue; // result discarded
+        };
+        // The register is written at issue + latency; until then the
+        // value is in the unit's pipeline and occupies no register.
+        let def = sched.time[&n] + machine.latency_of(kind);
+        intervals.push((def, end, n));
+    }
+    intervals.sort_by_key(|&(def, end, n)| (def, end, n));
+
+    let mut free: Vec<Reg> = (0..registers as u16).rev().map(Reg).collect();
+    let mut active: Vec<(u32, Reg, NodeId)> = Vec::new(); // (end, reg, node)
+    let mut assignment = HashMap::new();
+    let mut used = 0u32;
+
+    for (def, end, n) in intervals {
+        // Expire intervals whose last read is strictly before this def.
+        // `def` is the first cycle the register holds the new value at
+        // cycle start (writeback happens at the end of `def - 1`), so a
+        // last read in `def - 1` is safe but a read in `def` is not.
+        active.retain(|&(aend, reg, _)| {
+            if aend < def {
+                free.push(reg);
+                false
+            } else {
+                true
+            }
+        });
+        let Some(reg) = free.pop() else {
+            // Spill the active value with the furthest end (Belady),
+            // never re-spilling a scratch reload: that would regress
+            // forever.
+            let victim = active
+                .iter()
+                .copied()
+                .chain(std::iter::once((end, Reg(u16::MAX), n)))
+                .filter(|&(_, _, node)| {
+                    !no_spill.contains(&node)
+                        && !matches!(
+                            block.nodes[node].kind,
+                            NodeKind::Load {
+                                var: crate::codegen::SCRATCH_VAR,
+                                ..
+                            }
+                        )
+                })
+                .max_by_key(|&(aend, _, node)| (aend, node))
+                .map(|(_, _, node)| node);
+            return Err(SpillNeeded { victim });
+        };
+        used = used.max(u32::from(reg.0) + 1);
+        assignment.insert(n, reg);
+        active.push((end, reg, n));
+    }
+
+    Ok(Allocation {
+        assignment,
+        regs_used: used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::CellMachine;
+    use crate::sched::schedule;
+    use w2_lang::hir::VarId;
+    use warp_ir::{Affine, Node};
+
+    fn build_chain(n_loads: usize) -> Block {
+        // n loads all summed pairwise at the end: all live simultaneously.
+        let mut b = Block::new();
+        let loads: Vec<NodeId> = (0..n_loads)
+            .map(|i| {
+                b.nodes.push(Node {
+                    kind: NodeKind::Load {
+                        var: VarId(0),
+                        addr: Affine::constant(i as i64),
+                    },
+                    inputs: vec![],
+                    deps: vec![],
+                })
+            })
+            .collect();
+        let mut acc = loads[0];
+        for &l in &loads[1..] {
+            acc = b.nodes.push(Node {
+                kind: NodeKind::FAdd,
+                inputs: vec![acc, l],
+                deps: vec![],
+            });
+        }
+        let store = b.nodes.push(Node {
+            kind: NodeKind::Store {
+                var: VarId(0),
+                addr: Affine::constant(99),
+            },
+            inputs: vec![acc],
+            deps: vec![],
+        });
+        b.roots.push(store);
+        b
+    }
+
+    #[test]
+    fn small_block_allocates() {
+        let m = CellMachine::default();
+        let b = build_chain(4);
+        let s = schedule(&b, &m);
+        let a = allocate(&b, &m, &s, 64).expect("fits");
+        assert!(a.regs_used >= 2);
+        assert!(a.regs_used <= 8);
+        // Every add input that is not a literal has a register.
+        for (_, node) in b.nodes.iter() {
+            if matches!(node.kind, NodeKind::FAdd) {
+                for &i in &node.inputs {
+                    assert!(a.assignment.contains_key(&i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_reports_spill() {
+        let m = CellMachine::default();
+        let b = build_chain(8);
+        let s = schedule(&b, &m);
+        // A float add reads two register operands at issue, so a single
+        // register can never satisfy the chain.
+        let err = allocate(&b, &m, &s, 1).expect_err("cannot fit");
+        // Victim is a live node of the block.
+        assert!(b.live_nodes().contains(&err.victim.expect("spillable")));
+    }
+
+    #[test]
+    fn registers_reused_after_expiry() {
+        let m = CellMachine::default();
+        // Two independent load->store pairs sequentialized by deps: the
+        // second can reuse the first register.
+        let mut b = Block::new();
+        let l1 = b.nodes.push(Node {
+            kind: NodeKind::Load {
+                var: VarId(0),
+                addr: Affine::constant(0),
+            },
+            inputs: vec![],
+            deps: vec![],
+        });
+        let s1 = b.nodes.push(Node {
+            kind: NodeKind::Store {
+                var: VarId(0),
+                addr: Affine::constant(1),
+            },
+            inputs: vec![l1],
+            deps: vec![],
+        });
+        let l2 = b.nodes.push(Node {
+            kind: NodeKind::Load {
+                var: VarId(0),
+                addr: Affine::constant(2),
+            },
+            inputs: vec![],
+            deps: vec![s1],
+        });
+        let s2 = b.nodes.push(Node {
+            kind: NodeKind::Store {
+                var: VarId(0),
+                addr: Affine::constant(3),
+            },
+            inputs: vec![l2],
+            deps: vec![s1],
+        });
+        b.roots.push(s1);
+        b.roots.push(s2);
+        let s = schedule(&b, &m);
+        let a = allocate(&b, &m, &s, 64).expect("fits");
+        assert_eq!(a.regs_used, 1, "sequential values share one register");
+    }
+
+    #[test]
+    fn discarded_results_need_no_register() {
+        use w2_lang::ast::{Chan, Dir};
+        let m = CellMachine::default();
+        let mut b = Block::new();
+        let r = b.nodes.push(Node {
+            kind: NodeKind::Recv {
+                dir: Dir::Left,
+                chan: Chan::X,
+                ext: None,
+            },
+            inputs: vec![],
+            deps: vec![],
+        });
+        b.roots.push(r);
+        let s = schedule(&b, &m);
+        let a = allocate(&b, &m, &s, 64).expect("fits");
+        assert!(a.assignment.is_empty());
+        assert_eq!(a.regs_used, 0);
+    }
+}

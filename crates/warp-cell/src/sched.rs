@@ -1,0 +1,490 @@
+//! List scheduling of block DAGs onto the cell datapath.
+//!
+//! The paper bases cell scheduling on hardware pipelining techniques
+//! (Patel & Davidson; Rau & Glaeser — §6.2). This module implements
+//! classic resource-constrained list scheduling with critical-path
+//! priority: each DAG node is assigned an issue cycle such that
+//!
+//! * every value operand was issued at least `latency(producer)` cycles
+//!   earlier,
+//! * every sequencing dep was issued at least 1 cycle earlier,
+//! * no cycle over-subscribes a functional unit (1 op per FPU, 2 memory
+//!   references, 1 op per I/O port).
+
+use crate::machine::{CellMachine, Unit};
+use std::collections::HashMap;
+use warp_ir::{Block, NodeId, NodeKind};
+
+/// The issue schedule of one block.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlockSchedule {
+    /// Issue cycle per live node.
+    pub time: HashMap<NodeId, u32>,
+    /// Block length in cycles (max issue cycle + 1; 0 for empty blocks).
+    pub len: u32,
+}
+
+/// Per-cycle resource usage.
+#[derive(Clone, Debug, Default)]
+struct CycleRes {
+    add_fpu: bool,
+    mul_fpu: bool,
+    mem: u32,
+    io: [bool; 4],
+}
+
+impl CycleRes {
+    fn can_take(&self, unit: Unit, machine: &CellMachine) -> bool {
+        match unit {
+            Unit::AddFpu => !self.add_fpu,
+            Unit::MulFpu => !self.mul_fpu,
+            Unit::Mem => self.mem < machine.mem_ports,
+            Unit::Io(i) => !self.io[i],
+            Unit::None => true,
+        }
+    }
+
+    fn take(&mut self, unit: Unit) {
+        match unit {
+            Unit::AddFpu => self.add_fpu = true,
+            Unit::MulFpu => self.mul_fpu = true,
+            Unit::Mem => self.mem += 1,
+            Unit::Io(i) => self.io[i] = true,
+            Unit::None => {}
+        }
+    }
+}
+
+/// Computes a legal schedule for `block` on `machine`.
+///
+/// Constants are given cycle 0 and occupy no resources (they live in the
+/// instruction's literal field).
+pub fn schedule(block: &Block, machine: &CellMachine) -> BlockSchedule {
+    let live = block.live_nodes();
+    if live.is_empty() {
+        return BlockSchedule::default();
+    }
+    let is_live: std::collections::HashSet<NodeId> = live.iter().copied().collect();
+
+    // Successors and predecessor counts over value + sequencing edges.
+    let mut succs: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut preds_left: HashMap<NodeId, u32> = HashMap::new();
+    for &n in &live {
+        let node = &block.nodes[n];
+        let mut count = 0;
+        for &p in node.inputs.iter().chain(node.deps.iter()) {
+            if is_live.contains(&p) {
+                succs.entry(p).or_default().push(n);
+                count += 1;
+            }
+        }
+        preds_left.insert(n, count);
+    }
+
+    // Critical-path priority: height to the furthest sink, weighted by
+    // result latency.
+    let mut height: HashMap<NodeId, u64> = HashMap::new();
+    for &n in live.iter().rev() {
+        let node = &block.nodes[n];
+        let lat = u64::from(machine.latency_of(&node.kind)).max(1);
+        let h = succs
+            .get(&n)
+            .into_iter()
+            .flatten()
+            .map(|s| height.get(s).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+            + lat;
+        height.insert(n, h);
+    }
+
+    let mut time: HashMap<NodeId, u32> = HashMap::new();
+    // Earliest legal issue cycle, updated as predecessors schedule.
+    let mut earliest: HashMap<NodeId, u32> = HashMap::new();
+    let mut ready: Vec<NodeId> = Vec::new();
+    for &n in &live {
+        if preds_left[&n] == 0 {
+            ready.push(n);
+            earliest.insert(n, 0);
+        }
+    }
+
+    let mut res: Vec<CycleRes> = Vec::new();
+    let mut scheduled = 0usize;
+    let mut cycle: u32 = 0;
+    let mut max_issue: u32 = 0;
+    let mut any_real = false;
+
+    while scheduled < live.len() {
+        // Highest priority first; ties broken by creation order for
+        // determinism.
+        ready.sort_by_key(|&n| (std::cmp::Reverse(height[&n]), n));
+        let mut placed_any = false;
+        let mut i = 0;
+        while i < ready.len() {
+            let n = ready[i];
+            if earliest[&n] > cycle {
+                i += 1;
+                continue;
+            }
+            let kind = &block.nodes[n].kind;
+            let unit = machine.unit_of(kind);
+            if unit == Unit::None {
+                // Literal: free at its earliest cycle.
+                time.insert(n, earliest[&n]);
+            } else {
+                while res.len() <= cycle as usize {
+                    res.push(CycleRes::default());
+                }
+                if !res[cycle as usize].can_take(unit, machine) {
+                    i += 1;
+                    continue;
+                }
+                res[cycle as usize].take(unit);
+                time.insert(n, cycle);
+                max_issue = max_issue.max(cycle);
+                any_real = true;
+            }
+            placed_any = true;
+            scheduled += 1;
+            ready.swap_remove(i);
+            // Release successors.
+            let lat = machine.latency_of(kind);
+            let t = time[&n];
+            for &s in succs.get(&n).into_iter().flatten() {
+                let node_s = &block.nodes[s];
+                let is_value_edge = node_s.inputs.contains(&n);
+                // Literals have latency 0 and may feed a consumer in the
+                // same cycle; real units deliver after their latency.
+                let gap = if is_value_edge { lat } else { 1 };
+                let e = earliest.entry(s).or_insert(0);
+                *e = (*e).max(t + gap);
+                let left = preds_left.get_mut(&s).expect("tracked");
+                *left -= 1;
+                if *left == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if scheduled < live.len() && !placed_any {
+            cycle += 1;
+        } else if scheduled < live.len() {
+            // Try to pack more into this cycle before advancing. If
+            // nothing else fits, the next loop iteration detects it.
+            if ready.iter().all(|&n| {
+                earliest[&n] > cycle || {
+                    let unit = machine.unit_of(&block.nodes[n].kind);
+                    unit != Unit::None
+                        && res
+                            .get(cycle as usize)
+                            .map(|r| !r.can_take(unit, machine))
+                            .unwrap_or(false)
+                }
+            }) {
+                cycle += 1;
+            }
+        }
+    }
+
+    let mut sched = BlockSchedule {
+        time,
+        len: if any_real { max_issue + 1 } else { 0 },
+    };
+    sink_loads(block, machine, &mut sched);
+    sched
+}
+
+/// Moves memory reads as late as their consumers allow.
+///
+/// The list scheduler is eager: it issues a load as soon as a port is
+/// free, which can stretch the value's live range across most of the
+/// block. Sinking each load towards its first consumer shortens live
+/// ranges, which is what lets the spill-and-reschedule loop in
+/// [`crate::codegen`] converge under small register files.
+fn sink_loads(block: &Block, machine: &CellMachine, sched: &mut BlockSchedule) {
+    let live = block.live_nodes();
+    // Memory-port usage per cycle.
+    let mut mem_use: HashMap<u32, u32> = HashMap::new();
+    for &n in &live {
+        if machine.unit_of(&block.nodes[n].kind) == Unit::Mem {
+            *mem_use.entry(sched.time[&n]).or_insert(0) += 1;
+        }
+    }
+    // Earliest consumer per node, and dep successors to respect.
+    let mut first_use: HashMap<NodeId, u32> = HashMap::new();
+    let mut dep_succ: HashMap<NodeId, u32> = HashMap::new();
+    for &n in &live {
+        let t = sched.time[&n];
+        for &p in &block.nodes[n].inputs {
+            let e = first_use.entry(p).or_insert(t);
+            *e = (*e).min(t);
+        }
+        for &d in &block.nodes[n].deps {
+            let e = dep_succ.entry(d).or_insert(t);
+            *e = (*e).min(t);
+        }
+    }
+    // Sink in reverse issue order so consumers move before producers.
+    let mut loads: Vec<NodeId> = live
+        .iter()
+        .copied()
+        .filter(|&n| matches!(block.nodes[n].kind, NodeKind::Load { .. }))
+        .collect();
+    loads.sort_by_key(|&n| std::cmp::Reverse(sched.time[&n]));
+    for n in loads {
+        let t = sched.time[&n];
+        let lat = machine.latency_of(&block.nodes[n].kind);
+        let mut upper = u32::MAX;
+        if let Some(&u) = first_use.get(&n) {
+            upper = upper.min(u.saturating_sub(lat));
+        }
+        if let Some(&d) = dep_succ.get(&n) {
+            upper = upper.min(d.saturating_sub(1));
+        }
+        if upper == u32::MAX {
+            continue; // result unused and nothing ordered after: leave it
+        }
+        if upper <= t {
+            continue;
+        }
+        // Latest cycle in (t, upper] with a free port.
+        let mut target = None;
+        let mut c = upper;
+        while c > t {
+            if mem_use.get(&c).copied().unwrap_or(0) < machine.mem_ports {
+                target = Some(c);
+                break;
+            }
+            c -= 1;
+        }
+        if let Some(c) = target {
+            *mem_use.get_mut(&t).expect("load counted") -= 1;
+            *mem_use.entry(c).or_insert(0) += 1;
+            sched.time.insert(n, c);
+        }
+    }
+}
+
+/// Checks that `sched` is legal for `block` on `machine`.
+///
+/// # Errors
+///
+/// Returns a description of the first violated constraint. Used by tests
+/// and property checks.
+pub fn validate(block: &Block, machine: &CellMachine, sched: &BlockSchedule) -> Result<(), String> {
+    let live = block.live_nodes();
+    let mut res: HashMap<u32, CycleRes> = HashMap::new();
+    for &n in &live {
+        let node = &block.nodes[n];
+        let &t = sched
+            .time
+            .get(&n)
+            .ok_or_else(|| format!("{n:?} not scheduled"))?;
+        for &p in &node.inputs {
+            let pt = sched.time[&p];
+            let lat = machine.latency_of(&block.nodes[p].kind);
+            if machine.unit_of(&block.nodes[p].kind) != Unit::None && t < pt + lat {
+                return Err(format!(
+                    "{n:?}@{t} issued before operand {p:?}@{pt}+{lat} is ready"
+                ));
+            }
+        }
+        for &d in &node.deps {
+            let dt = sched.time[&d];
+            if t <= dt {
+                return Err(format!("{n:?}@{t} not after dep {d:?}@{dt}"));
+            }
+        }
+        let unit = machine.unit_of(&node.kind);
+        if unit != Unit::None {
+            let r = res.entry(t).or_default();
+            if !r.can_take(unit, machine) {
+                return Err(format!("resource conflict at cycle {t} on {unit:?}"));
+            }
+            r.take(unit);
+            if t >= sched.len {
+                return Err(format!("{n:?}@{t} beyond block length {}", sched.len));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::hir::VarId;
+    use warp_ir::{Affine, Node};
+
+    fn node(block: &mut Block, kind: NodeKind, inputs: Vec<NodeId>, deps: Vec<NodeId>) -> NodeId {
+        block.nodes.push(Node { kind, inputs, deps })
+    }
+
+    fn load(block: &mut Block, addr: i64) -> NodeId {
+        node(
+            block,
+            NodeKind::Load {
+                var: VarId(0),
+                addr: Affine::constant(addr),
+            },
+            vec![],
+            vec![],
+        )
+    }
+
+    fn root_store(block: &mut Block, value: NodeId, addr: i64) -> NodeId {
+        let s = node(
+            block,
+            NodeKind::Store {
+                var: VarId(0),
+                addr: Affine::constant(addr),
+            },
+            vec![value],
+            vec![],
+        );
+        block.roots.push(s);
+        s
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = Block::new();
+        let s = schedule(&b, &CellMachine::default());
+        assert_eq!(s.len, 0);
+        assert!(validate(&b, &CellMachine::default(), &s).is_ok());
+    }
+
+    #[test]
+    fn latency_respected() {
+        let m = CellMachine::default();
+        let mut b = Block::new();
+        let a = load(&mut b, 0);
+        let c = load(&mut b, 1);
+        let sum = node(&mut b, NodeKind::FAdd, vec![a, c], vec![]);
+        root_store(&mut b, sum, 2);
+        let s = schedule(&b, &m);
+        validate(&b, &m, &s).expect("legal");
+        // loads at 0 (two ports), add at 1, store at 1+5=6, len 7.
+        assert_eq!(s.time[&sum], 1);
+        assert_eq!(s.len, 7);
+    }
+
+    #[test]
+    fn mem_port_limit() {
+        let m = CellMachine::default();
+        let mut b = Block::new();
+        let loads: Vec<NodeId> = (0..4).map(|i| load(&mut b, i)).collect();
+        // Sum all four so everything is live.
+        let s1 = node(&mut b, NodeKind::FAdd, vec![loads[0], loads[1]], vec![]);
+        let s2 = node(&mut b, NodeKind::FAdd, vec![loads[2], loads[3]], vec![]);
+        let s3 = node(&mut b, NodeKind::FMul, vec![s1, s2], vec![]);
+        root_store(&mut b, s3, 9);
+        let s = schedule(&b, &m);
+        validate(&b, &m, &s).expect("legal");
+        // 4 loads over 2 ports: cycles 0 and 1.
+        let load_cycles: Vec<u32> = loads.iter().map(|l| s.time[l]).collect();
+        assert!(load_cycles.iter().filter(|&&t| t == 0).count() <= 2);
+    }
+
+    #[test]
+    fn fpu_units_run_in_parallel() {
+        let m = CellMachine::default();
+        let mut b = Block::new();
+        let a = load(&mut b, 0);
+        let c = load(&mut b, 1);
+        let sum = node(&mut b, NodeKind::FAdd, vec![a, c], vec![]);
+        let prod = node(&mut b, NodeKind::FMul, vec![a, c], vec![]);
+        root_store(&mut b, sum, 2);
+        root_store(&mut b, prod, 3);
+        let s = schedule(&b, &m);
+        validate(&b, &m, &s).expect("legal");
+        assert_eq!(s.time[&sum], s.time[&prod], "different units, same cycle");
+    }
+
+    #[test]
+    fn dep_edges_enforce_order() {
+        let m = CellMachine::default();
+        let mut b = Block::new();
+        let v = load(&mut b, 0);
+        let st = root_store(&mut b, v, 5);
+        // A load that must follow the store (may-alias).
+        let l2 = node(
+            &mut b,
+            NodeKind::Load {
+                var: VarId(0),
+                addr: Affine::constant(5),
+            },
+            vec![],
+            vec![st],
+        );
+        root_store(&mut b, l2, 6);
+        let s = schedule(&b, &m);
+        validate(&b, &m, &s).expect("legal");
+        assert!(s.time[&l2] > s.time[&st]);
+    }
+
+    #[test]
+    fn consts_are_free() {
+        let m = CellMachine::default();
+        let mut b = Block::new();
+        let c1 = node(&mut b, NodeKind::ConstF(1.0), vec![], vec![]);
+        let c2 = node(&mut b, NodeKind::ConstF(2.0), vec![], vec![]);
+        let sum = node(&mut b, NodeKind::FAdd, vec![c1, c2], vec![]);
+        root_store(&mut b, sum, 0);
+        let s = schedule(&b, &m);
+        validate(&b, &m, &s).expect("legal");
+        assert_eq!(s.time[&sum], 0);
+        assert_eq!(s.len, 6); // add at 0, store at 5.
+    }
+
+    #[test]
+    fn io_port_serializes_same_channel() {
+        use w2_lang::ast::{Chan, Dir};
+        let m = CellMachine::default();
+        let mut b = Block::new();
+        let r1 = node(
+            &mut b,
+            NodeKind::Recv {
+                dir: Dir::Left,
+                chan: Chan::X,
+                ext: None,
+            },
+            vec![],
+            vec![],
+        );
+        let r2 = node(
+            &mut b,
+            NodeKind::Recv {
+                dir: Dir::Left,
+                chan: Chan::X,
+                ext: None,
+            },
+            vec![],
+            vec![r1],
+        );
+        b.roots.push(r1);
+        b.roots.push(r2);
+        root_store(&mut b, r1, 0);
+        root_store(&mut b, r2, 1);
+        let s = schedule(&b, &m);
+        validate(&b, &m, &s).expect("legal");
+        assert!(s.time[&r2] > s.time[&r1]);
+    }
+
+    #[test]
+    fn critical_path_priority_prefers_long_chain() {
+        let m = CellMachine::default();
+        let mut b = Block::new();
+        // Long chain: l0 -> mul -> mul -> store. Short: l1 -> store.
+        let l0 = load(&mut b, 0);
+        let l1 = load(&mut b, 1);
+        let m1 = node(&mut b, NodeKind::FMul, vec![l0, l0], vec![]);
+        let m2 = node(&mut b, NodeKind::FMul, vec![m1, m1], vec![]);
+        root_store(&mut b, m2, 2);
+        root_store(&mut b, l1, 3);
+        let s = schedule(&b, &m);
+        validate(&b, &m, &s).expect("legal");
+        // The chain head must be scheduled in cycle 0.
+        assert_eq!(s.time[&l0], 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Structured compiler diagnostics.
+//!
+//! Every phase of the compiler reports problems through a [`DiagnosticBag`]
+//! rather than panicking, so a single compile run can surface several
+//! independent errors (undeclared variables, dynamic loop bounds,
+//! bidirectional communication cycles, queue overflow, IU table overflow…).
+
+use crate::span::Span;
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note attached to another diagnostic.
+    Note,
+    /// The program is accepted but may behave unexpectedly.
+    Warning,
+    /// The program is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single diagnostic message with an optional source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable message (lowercase, no trailing period).
+    pub message: String,
+    /// Location in the W2 source, if known.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic at `span`.
+    pub fn error(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates an error diagnostic with no source location.
+    pub fn error_global(message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Creates a warning diagnostic at `span`.
+    pub fn warning(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Renders the diagnostic against `source`, with line/column info.
+    pub fn render(&self, source: &str) -> String {
+        match self.span {
+            Some(span) => {
+                let (line, col) = span.line_col(source);
+                format!(
+                    "{}: {} (line {line}, column {col})",
+                    self.severity, self.message
+                )
+            }
+            None => format!("{}: {}", self.severity, self.message),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.severity, self.message)?;
+        if let Some(span) = self.span {
+            write!(f, " at {span}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// An accumulating collection of diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// use warp_common::{DiagnosticBag, Diagnostic, Span};
+///
+/// let mut bag = DiagnosticBag::new();
+/// assert!(!bag.has_errors());
+/// bag.push(Diagnostic::error("undeclared variable `zz`", Span::new(4, 6)));
+/// assert!(bag.has_errors());
+/// assert_eq!(bag.iter().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiagnosticBag {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticBag {
+    /// Creates an empty bag.
+    pub fn new() -> DiagnosticBag {
+        DiagnosticBag::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Convenience: add an error at `span`.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Convenience: add a warning at `span`.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// Returns `true` if any error-severity diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Iterates over all diagnostics in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Number of diagnostics collected.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Returns `true` if no diagnostics were collected.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Moves all diagnostics from `other` into `self`.
+    pub fn extend(&mut self, other: DiagnosticBag) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Consumes the bag, yielding its diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
+impl fmt::Display for DiagnosticBag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DiagnosticBag {}
+
+impl IntoIterator for DiagnosticBag {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a DiagnosticBag {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_display() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn bag_accumulates() {
+        let mut bag = DiagnosticBag::new();
+        bag.warning("queue nearly full", Span::new(0, 1));
+        assert!(!bag.has_errors());
+        bag.error("queue overflow", Span::new(2, 3));
+        assert!(bag.has_errors());
+        assert_eq!(bag.len(), 2);
+
+        let mut other = DiagnosticBag::new();
+        other.error("table memory exhausted", Span::new(4, 5));
+        bag.extend(other);
+        assert_eq!(bag.len(), 3);
+        assert_eq!(bag.into_vec().len(), 3);
+    }
+
+    #[test]
+    fn render_includes_line_col() {
+        let d = Diagnostic::error("bad token", Span::new(4, 5));
+        let rendered = d.render("abc\ndef");
+        assert!(rendered.contains("line 2"), "{rendered}");
+        assert!(rendered.contains("bad token"));
+        let g = Diagnostic::error_global("no cellprogram");
+        assert_eq!(g.render(""), "error: no cellprogram");
+    }
+
+    #[test]
+    fn display_impls() {
+        let d = Diagnostic::warning("w", Span::new(1, 2));
+        assert_eq!(d.to_string(), "warning: w at 1..2");
+        let mut bag = DiagnosticBag::new();
+        bag.push(d.clone());
+        bag.push(Diagnostic::error_global("e"));
+        let s = bag.to_string();
+        assert!(s.contains("warning: w"));
+        assert!(s.contains("error: e"));
+        assert_eq!((&bag).into_iter().count(), 2);
+    }
+}

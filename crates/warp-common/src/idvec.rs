@@ -1,0 +1,248 @@
+//! Typed index vectors.
+//!
+//! IR arenas (DAG nodes, regions, micro-instructions, IU registers) are
+//! stored in flat vectors indexed by small typed ids. The [`crate::define_id!`]
+//! macro declares an id type and [`IdVec`] is a vector indexable only by
+//! that id type, preventing accidental cross-arena indexing.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Implemented by typed index newtypes declared with [`crate::define_id!`].
+pub trait Id: Copy + Eq {
+    /// Constructs an id from a raw index.
+    fn from_index(index: usize) -> Self;
+    /// The raw index.
+    fn index(self) -> usize;
+}
+
+/// Declares a typed index newtype that implements [`crate::idvec::Id`].
+///
+/// # Examples
+///
+/// ```
+/// use warp_common::{define_id, IdVec};
+///
+/// define_id!(NodeId, "n");
+///
+/// let mut nodes: IdVec<NodeId, &str> = IdVec::new();
+/// let a = nodes.push("load");
+/// let b = nodes.push("fadd");
+/// assert_eq!(nodes[a], "load");
+/// assert_eq!(nodes[b], "fadd");
+/// assert_eq!(format!("{a:?}"), "n0");
+/// ```
+#[macro_export]
+macro_rules! define_id {
+    ($name:ident, $prefix:literal) => {
+        /// A typed arena index.
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $crate::idvec::Id for $name {
+            fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("id overflow"))
+            }
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+/// A vector indexable only by its associated id type.
+pub struct IdVec<I, T> {
+    items: Vec<T>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: Id, T> IdVec<I, T> {
+    /// Creates an empty arena.
+    pub fn new() -> IdVec<I, T> {
+        IdVec {
+            items: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates an empty arena with reserved capacity.
+    pub fn with_capacity(cap: usize) -> IdVec<I, T> {
+        IdVec {
+            items: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Appends `item`, returning its id.
+    pub fn push(&mut self, item: T) -> I {
+        let id = I::from_index(self.items.len());
+        self.items.push(item);
+        id
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the arena holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The id that the next `push` will return.
+    pub fn next_id(&self) -> I {
+        I::from_index(self.items.len())
+    }
+
+    /// Fallible lookup.
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.items.get(id.index())
+    }
+
+    /// Iterates over `(id, &item)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from_index(i), t))
+    }
+
+    /// Iterates over all ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = I> + use<I, T> {
+        (0..self.items.len()).map(I::from_index)
+    }
+
+    /// Iterates over items only.
+    pub fn values(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Mutable iteration over items only.
+    pub fn values_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.items.iter_mut()
+    }
+
+    /// Consumes the arena, yielding the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Borrows the underlying slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<I: Id, T> Default for IdVec<I, T> {
+    fn default() -> IdVec<I, T> {
+        IdVec::new()
+    }
+}
+
+impl<I: Id, T: Clone> Clone for IdVec<I, T> {
+    fn clone(&self) -> IdVec<I, T> {
+        IdVec {
+            items: self.items.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<I: Id, T: fmt::Debug> fmt::Debug for IdVec<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.items.iter()).finish()
+    }
+}
+
+impl<I: Id, T: PartialEq> PartialEq for IdVec<I, T> {
+    fn eq(&self, other: &IdVec<I, T>) -> bool {
+        self.items == other.items
+    }
+}
+
+impl<I: Id, T: Eq> Eq for IdVec<I, T> {}
+
+impl<I: Id, T> std::ops::Index<I> for IdVec<I, T> {
+    type Output = T;
+    fn index(&self, id: I) -> &T {
+        &self.items[id.index()]
+    }
+}
+
+impl<I: Id, T> std::ops::IndexMut<I> for IdVec<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.index()]
+    }
+}
+
+impl<I: Id, T> FromIterator<T> for IdVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> IdVec<I, T> {
+        IdVec {
+            items: iter.into_iter().collect(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    define_id!(TestId, "t");
+
+    #[test]
+    fn push_and_index() {
+        let mut v: IdVec<TestId, i32> = IdVec::new();
+        assert!(v.is_empty());
+        let a = v.push(10);
+        let b = v.push(20);
+        assert_eq!(v[a], 10);
+        assert_eq!(v[b], 20);
+        v[a] = 11;
+        assert_eq!(v[a], 11);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(TestId(5)), None);
+        assert_eq!(v.next_id(), TestId(2));
+    }
+
+    #[test]
+    fn iteration() {
+        let v: IdVec<TestId, char> = "abc".chars().collect();
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![(TestId(0), &'a'), (TestId(1), &'b'), (TestId(2), &'c')]
+        );
+        assert_eq!(v.ids().count(), 3);
+        assert_eq!(v.values().copied().collect::<String>(), "abc");
+        assert_eq!(v.as_slice(), &['a', 'b', 'c']);
+        assert_eq!(v.clone().into_vec(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(format!("{:?}", TestId(7)), "t7");
+        assert_eq!(format!("{}", TestId(7)), "t7");
+    }
+
+    #[test]
+    fn eq_and_debug() {
+        let a: IdVec<TestId, u8> = [1, 2].into_iter().collect();
+        let b: IdVec<TestId, u8> = [1, 2].into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "[1, 2]");
+    }
+}

@@ -1,0 +1,123 @@
+//! String interning for identifiers.
+//!
+//! The front end and IR refer to variables, arrays, functions, and module
+//! parameters by [`Symbol`], a small copyable handle into an [`Interner`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string handle.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; resolving a symbol from a different interner yields an arbitrary
+/// (or panicking) result.
+///
+/// # Examples
+///
+/// ```
+/// use warp_common::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("coeff");
+/// let b = interner.intern("coeff");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "coeff");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol within its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A deduplicating string table.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning the existing handle if already present.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_resolve() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let c = i.intern("x");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "x");
+        assert_eq!(i.resolve(b), "y");
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn get_without_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("z").is_none());
+        let z = i.intern("z");
+        assert_eq!(i.get("z"), Some(z));
+    }
+
+    #[test]
+    fn debug_formats() {
+        let mut i = Interner::new();
+        let s = i.intern("q");
+        assert_eq!(format!("{s:?}"), "sym#0");
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared infrastructure for the Warp compiler reproduction.
+//!
+//! This crate provides the small, dependency-free building blocks used by
+//! every other crate in the workspace:
+//!
+//! * [`Rat`] — exact rational arithmetic. The minimum-skew analysis of
+//!   Gross & Lam (PLDI 1986, §6.2.1) bounds differences of I/O timing
+//!   functions whose coefficients are rationals such as `5/3` or `52/3`;
+//!   floating point would make those bounds unsound.
+//! * [`Symbol`] and [`Interner`] — cheap interned identifiers for the W2
+//!   front end and IR.
+//! * [`Span`] — byte-range source locations for diagnostics.
+//! * [`Diagnostic`] and [`DiagnosticBag`] — structured compile errors and
+//!   warnings.
+//! * [`IdVec`] and the [`define_id!`] macro — typed index vectors used for
+//!   IR arenas (DAG nodes, basic blocks, registers, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use warp_common::Rat;
+//!
+//! let bound = Rat::new(52, 3) - Rat::new(1, 1) + Rat::new(1, 6) * Rat::from(8);
+//! assert_eq!(bound, Rat::new(53, 3));
+//! assert_eq!(bound.ceil(), 18);
+//! ```
+
+pub mod diag;
+pub mod idvec;
+pub mod intern;
+pub mod rat;
+pub mod span;
+
+pub use diag::{Diagnostic, DiagnosticBag, Severity};
+pub use idvec::IdVec;
+pub use intern::{Interner, Symbol};
+pub use rat::Rat;
+pub use span::Span;

@@ -1,0 +1,384 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The skew analysis (paper §6.2.1) manipulates timing functions such as
+//! `τ(n) = 52/3 + 5/3·n − 2/3·((n−4) mod 3)` and takes maxima of their
+//! differences over integer domains. Every coefficient is a small rational;
+//! [`Rat`] keeps them exact so the derived skew bounds are sound.
+//!
+//! Values are always stored in canonical form: the denominator is positive
+//! and `gcd(|num|, den) == 1`. Zero is `0/1`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number with `i128` numerator and denominator.
+///
+/// # Examples
+///
+/// ```
+/// use warp_common::Rat;
+///
+/// let a = Rat::new(5, 3);
+/// let b = Rat::new(1, 6);
+/// assert_eq!(a + b, Rat::new(11, 6));
+/// assert_eq!((a * b).to_string(), "5/18");
+/// ```
+///
+/// # Panics
+///
+/// Construction and arithmetic panic on a zero denominator or on `i128`
+/// overflow; the compiler's timing quantities are tiny compared to `i128`
+/// range, so overflow indicates a logic error rather than a data condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a < 0 {
+        -a
+    } else {
+        a
+    }
+}
+
+impl Rat {
+    /// The rational zero (`0/1`).
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one (`1/1`).
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den` in canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational denominator must be nonzero");
+        let g = gcd(num, den);
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// The numerator of the canonical form (sign lives here).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The (always positive) denominator of the canonical form.
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Largest integer `≤ self`.
+    pub fn floor(self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Smallest integer `≥ self`.
+    pub fn ceil(self) -> i128 {
+        -((-self).floor())
+    }
+
+    /// Rounds toward zero.
+    pub fn trunc(self) -> i128 {
+        self.num / self.den
+    }
+
+    /// `self − floor(self)`, always in `[0, 1)`.
+    pub fn fract(self) -> Rat {
+        self - Rat::from(self.floor())
+    }
+
+    /// Returns the maximum of `self` and `other`.
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the minimum of `self` and `other`.
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rat {
+        if self.num < 0 {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Sign of the value: `-1`, `0`, or `1`.
+    pub fn signum(self) -> i128 {
+        self.num.signum()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "cannot invert zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Lossy conversion for reporting; never used in analysis decisions.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::ZERO
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(v: i128) -> Rat {
+        Rat { num: v, den: 1 }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::from(v as i128)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Rat {
+        Rat::from(v as i128)
+    }
+}
+
+impl From<u32> for Rat {
+    fn from(v: u32) -> Rat {
+        Rat::from(v as i128)
+    }
+}
+
+impl From<usize> for Rat {
+    fn from(v: usize) -> Rat {
+        Rat::from(v as i128)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rat::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, rhs: Rat) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rat {
+    fn div_assign(&mut self, rhs: Rat) {
+        *self = *self / rhs;
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl std::iter::Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -7), Rat::ZERO);
+        assert_eq!(Rat::new(0, 5).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(5, 3);
+        let b = Rat::new(3, 2);
+        assert_eq!(a + b, Rat::new(19, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(5, 2));
+        assert_eq!(a / b, Rat::new(10, 9));
+        assert_eq!(-a, Rat::new(-5, 3));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = Rat::ONE;
+        x += Rat::new(1, 2);
+        x -= Rat::new(1, 4);
+        x *= Rat::from(4);
+        x /= Rat::from(5);
+        assert_eq!(x, Rat::new(1, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::new(-1, 3));
+        assert!(Rat::new(7, 7) == Rat::ONE);
+        assert_eq!(Rat::new(5, 3).max(Rat::new(3, 2)), Rat::new(5, 3));
+        assert_eq!(Rat::new(5, 3).min(Rat::new(3, 2)), Rat::new(3, 2));
+    }
+
+    #[test]
+    fn floor_ceil_trunc() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::new(-7, 2).trunc(), -3);
+        assert_eq!(Rat::from(5).floor(), 5);
+        assert_eq!(Rat::from(5).ceil(), 5);
+        assert_eq!(Rat::new(-1, 3).fract(), Rat::new(2, 3));
+    }
+
+    #[test]
+    fn paper_bound_example() {
+        // Paper §6.2.1, partially-overlapped case:
+        // 52/3 − 1 + (5/3 − 3/2)·8 = 49/3 + 4/3 = 53/3 = 17 + 2/3.
+        let v = Rat::new(52, 3) - Rat::ONE + (Rat::new(5, 3) - Rat::new(3, 2)) * Rat::from(8);
+        assert_eq!(v, Rat::new(53, 3));
+        assert_eq!(v.ceil(), 18);
+        assert_eq!(v.floor(), 17);
+        assert_eq!(v.to_string(), "53/3");
+    }
+
+    #[test]
+    fn misc_accessors() {
+        let r = Rat::new(-3, 9);
+        assert_eq!(r.numer(), -1);
+        assert_eq!(r.denom(), 3);
+        assert!(!r.is_integer());
+        assert_eq!(r.abs(), Rat::new(1, 3));
+        assert_eq!(r.signum(), -1);
+        assert_eq!(r.recip(), Rat::from(-3));
+        assert!((r.to_f64() + 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let s: Rat = (1..=4).map(|i| Rat::new(1, i)).sum();
+        assert_eq!(s, Rat::new(25, 12));
+    }
+}

@@ -1,0 +1,117 @@
+//! Source locations.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a W2 source file.
+///
+/// # Examples
+///
+/// ```
+/// use warp_common::Span;
+///
+/// let a = Span::new(3, 7);
+/// let b = Span::new(5, 12);
+/// assert_eq!(a.merge(b), Span::new(3, 12));
+/// assert_eq!(a.len(), 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Span {
+        assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-length span used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns `true` for zero-length spans.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Computes the 1-based `(line, column)` of `self.start` in `source`.
+    pub fn line_col(self, source: &str) -> (u32, u32) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i as u32 >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_len() {
+        let a = Span::new(1, 4);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(1, 12));
+        assert_eq!(b.merge(a), Span::new(1, 12));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::DUMMY.is_empty());
+    }
+
+    #[test]
+    fn line_col() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 1));
+        assert_eq!(Span::new(6, 7).line_col(src), (2, 3));
+        assert_eq!(Span::new(8, 9).line_col(src), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn inverted_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! `w2c` — the W2 compiler command line.
+//!
+//! ```text
+//! w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit cell|iu|metrics]
+//!             [--run NAME=v1,v2,... ...] [--cells N]
+//! w2c --corpus NAME [same flags]        (polynomial, conv1d, binop,
+//!                                        colorseg, mandelbrot)
+//! ```
+//!
+//! Compiles a W2 module and prints metrics, optionally a microcode
+//! listing, and optionally simulates it with the given inputs.
+
+use std::process::ExitCode;
+use warp_compiler::{compile, corpus, CompileOptions};
+use warp_ir::LowerOptions;
+
+struct Args {
+    source: String,
+    source_name: String,
+    emit: Vec<String>,
+    runs: Vec<(String, Vec<f32>)>,
+    opts: CompileOptions,
+    cells: Option<u32>,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit cell|iu|metrics]\n\
+         \x20           [--run NAME=v1,v2,...] [--cells N] [--check]\n\
+         \x20      w2c --corpus NAME [same flags]\n\
+         \x20  --check: also execute the reference interpreter and compare"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut source = None;
+    let mut source_name = String::new();
+    let mut emit = Vec::new();
+    let mut runs = Vec::new();
+    let mut opts = CompileOptions::default();
+    let mut cells = None;
+    let mut check = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--pipeline" => opts.software_pipeline = true,
+            "--no-opt" => {
+                opts.lower = LowerOptions {
+                    optimize: false,
+                    ..opts.lower.clone()
+                }
+            }
+            "--unroll" => {
+                let k = args.next().unwrap_or_else(|| usage());
+                opts.lower.unroll = k.parse().unwrap_or_else(|_| usage());
+            }
+            "--emit" => emit.push(args.next().unwrap_or_else(|| usage())),
+            "--cells" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                cells = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--run" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let (name, vals) = spec.split_once('=').unwrap_or_else(|| usage());
+                let data: Vec<f32> = vals
+                    .split(',')
+                    .map(|v| v.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                runs.push((name.to_owned(), data));
+            }
+            "--corpus" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                source_name = name.clone();
+                source = Some(
+                    match name.as_str() {
+                        "polynomial" => corpus::POLYNOMIAL,
+                        "conv1d" => corpus::ONED_CONV,
+                        "binop" => corpus::BINOP,
+                        "colorseg" => corpus::COLORSEG,
+                        "mandelbrot" => corpus::MANDELBROT,
+                        _ => {
+                            eprintln!("unknown corpus program `{name}`");
+                            std::process::exit(2);
+                        }
+                    }
+                    .to_owned(),
+                );
+            }
+            "--help" | "-h" => usage(),
+            path if !path.starts_with('-') => {
+                source_name = path.to_owned();
+                source = Some(std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read `{path}`: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            _ => usage(),
+        }
+    }
+    let Some(source) = source else { usage() };
+    Args {
+        source,
+        source_name,
+        emit,
+        runs,
+        opts,
+        cells,
+        check,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let module = match compile(&args.source, &args.opts) {
+        Ok(m) => m,
+        Err(diags) => {
+            for d in &diags {
+                eprintln!("{}", d.render(&args.source));
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "compiled `{}` ({}) for {} cells",
+        module.name, args.source_name, module.n_cells
+    );
+    println!("  W2 lines      : {}", module.metrics.w2_lines);
+    println!("  cell ucode    : {}", module.metrics.cell_ucode);
+    println!("  IU ucode      : {}", module.metrics.iu_ucode);
+    println!("  IU registers  : {}", module.iu.regs_used);
+    println!("  IU table words: {}", module.iu.table.len());
+    println!("  min skew      : {}", module.skew.min_skew);
+    println!("  queue bound   : {:?}", module.skew.queue_occupancy);
+    println!("  compile time  : {:.1?}", module.metrics.compile_time);
+
+    for what in &args.emit {
+        match what.as_str() {
+            "cell" => println!("\n{}", module.cell_code.listing()),
+            "iu" => println!("\n{}", module.iu.listing()),
+            "metrics" => {}
+            other => {
+                eprintln!("unknown --emit target `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !args.runs.is_empty() {
+        let inputs: Vec<(&str, &[f32])> = args
+            .runs
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.as_slice()))
+            .collect();
+        let n_cells = args.cells.unwrap_or(module.n_cells);
+        match module.run_with(n_cells, module.skew.min_skew, &inputs) {
+            Ok(report) => {
+                println!(
+                    "\nran on {} cells: {} cycles, {} FLOPs, {:.3} results/cycle",
+                    n_cells,
+                    report.cycles,
+                    report.fp_ops,
+                    report.throughput()
+                );
+                for (var, dir) in module
+                    .ir
+                    .vars
+                    .iter()
+                    .filter_map(|(id, v)| {
+                        Some((id, v)).filter(|(_, v)| v.kind == w2_lang::hir::VarKind::Host)
+                    })
+                    .map(|(id, v)| (id, v.name.clone()))
+                {
+                    let _ = var;
+                    let data = report.host.get(&dir);
+                    let preview: Vec<String> =
+                        data.iter().take(8).map(|v| format!("{v}")).collect();
+                    println!(
+                        "  {dir} = [{}{}]",
+                        preview.join(", "),
+                        if data.len() > 8 { ", ..." } else { "" }
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+
+        if args.check {
+            let hir = match w2_lang::parse_and_check(&args.source) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("front end failed during --check: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut host = warp_host::HostMemory::new(&module.ir.vars);
+            for (name, data) in &args.runs {
+                host.set(name, data);
+            }
+            match warp_compiler::oracle::interpret(&hir, &host) {
+                Ok(want) => {
+                    let sim = module
+                        .run_with(n_cells, module.skew.min_skew, &inputs)
+                        .expect("already ran once");
+                    let mut mismatches = 0usize;
+                    for (id, v) in module.ir.vars.iter() {
+                        if v.kind != w2_lang::hir::VarKind::Host {
+                            continue;
+                        }
+                        let a = sim.host.get(&v.name);
+                        let b = want.get(&v.name);
+                        for k in 0..a.len() {
+                            if a[k].to_bits() != b[k].to_bits() {
+                                if mismatches < 5 {
+                                    eprintln!(
+                                        "  MISMATCH {}[{}]: array {} vs oracle {}",
+                                        v.name, k, a[k], b[k]
+                                    );
+                                }
+                                mismatches += 1;
+                            }
+                        }
+                        let _ = id;
+                    }
+                    if mismatches == 0 {
+                        println!("\ncheck: simulated array agrees with the reference interpreter");
+                    } else {
+                        eprintln!("\ncheck FAILED: {mismatches} word(s) differ");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("oracle failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,299 @@
+//! The Warp compiler driver: W2 source in, a complete machine program
+//! out.
+//!
+//! This crate wires the pipeline of paper §6.1 together (Figure 6-1):
+//!
+//! ```text
+//! W2 source ──► front end ──► flow analysis ──► decomposition
+//!      ──► cell code generation ──► skew & queue analysis
+//!      ──► IU code generation ──► host code generation
+//! ```
+//!
+//! and packages the result as a [`CompiledModule`] that can be executed
+//! on the cycle-level simulator with [`CompiledModule::run`].
+//!
+//! The [`corpus`] module carries the paper's five benchmark programs
+//! (Table 7-1) plus parameterized generators, and [`mod@reference`] holds
+//! plain-Rust implementations of the same computations for end-to-end
+//! validation.
+//!
+//! # Examples
+//!
+//! ```
+//! use warp_compiler::{compile, CompileOptions};
+//!
+//! let module = compile(warp_compiler::corpus::POLYNOMIAL, &CompileOptions::default())?;
+//! assert_eq!(module.n_cells, 10);
+//!
+//! // Evaluate P(z) = sum c_k z^(9-k) over 100 points on the 10-cell array.
+//! let c: Vec<f32> = (1..=10).map(|k| k as f32 / 10.0).collect();
+//! let z: Vec<f32> = (0..100).map(|i| -1.0 + i as f32 * 0.02).collect();
+//! let report = module.run(&[("c", &c), ("z", &z)])?;
+//! let expected = warp_compiler::reference::polynomial(&c, &z);
+//! assert_eq!(report.host.get("results"), &expected[..]);
+//! # Ok::<(), warp_compiler::CompileOrSimError>(())
+//! ```
+
+pub mod corpus;
+pub mod oracle;
+pub mod reference;
+
+use std::time::{Duration, Instant};
+use w2_lang::parse_and_check;
+use warp_cell::{codegen_with as cell_codegen, CellCode, CellCodegenOptions, CellMachine};
+use warp_common::{Diagnostic, DiagnosticBag};
+use warp_host::{host_codegen, HostMemory, HostProgram};
+use warp_ir::{comm, decompose, lower, CellIr, LowerOptions};
+use warp_iu::{iu_codegen, IuOptions, IuProgram};
+use warp_sim::{MachineConfig, RunReport, SimError};
+use warp_skew::{analyze, SkewMethod, SkewOptions, SkewReport};
+
+/// Options for one compilation.
+#[derive(Clone, Debug, Default)]
+pub struct CompileOptions {
+    /// Cell machine parameters.
+    pub machine: CellMachine,
+    /// IU code generation options.
+    pub iu: IuOptions,
+    /// Lowering/optimization options.
+    pub lower: LowerOptions,
+    /// Skew computation method.
+    pub skew_method: SkewMethod,
+    /// Software-pipeline eligible innermost loops (see
+    /// [`warp_cell::pipeline`]). Off by default; like loop unrolling it
+    /// reorders operations across iterations, which the paper's
+    /// successors (not this paper) automated.
+    pub software_pipeline: bool,
+}
+
+/// Size and timing metrics of one compilation — the columns of Table
+/// 7-1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    /// Non-blank source lines ("W2 Lines").
+    pub w2_lines: u32,
+    /// Static cell micro-instructions ("Cell µcode").
+    pub cell_ucode: u32,
+    /// Static IU micro-instructions ("IU µcode").
+    pub iu_ucode: u64,
+    /// Wall-clock compile time ("Compile time").
+    pub compile_time: Duration,
+}
+
+/// A fully compiled module: programs for the cells, the IU, and the
+/// host, plus the analyses that justify them.
+#[derive(Clone, Debug)]
+pub struct CompiledModule {
+    /// Module name from the source.
+    pub name: String,
+    /// Cells declared by the `cellprogram` range.
+    pub n_cells: u32,
+    /// The cell IR (kept for the simulator's variable/loop tables).
+    pub ir: CellIr,
+    /// The cell microprogram.
+    pub cell_code: CellCode,
+    /// The IU program.
+    pub iu: IuProgram,
+    /// The host transfer scripts.
+    pub host: HostProgram,
+    /// Skew and queue analysis results.
+    pub skew: SkewReport,
+    /// Communication structure of the program.
+    pub comm: comm::CommReport,
+    /// Machine parameters the module was compiled for.
+    pub machine: CellMachine,
+    /// Compilation metrics.
+    pub metrics: Metrics,
+}
+
+/// Compiles a W2 module.
+///
+/// # Errors
+///
+/// Returns the accumulated diagnostics of whichever phase rejected the
+/// program: parsing, semantic analysis, the unidirectionality check of
+/// §5.1.1, lowering, cell or IU code generation, or the skew/queue
+/// analysis.
+pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompiledModule, DiagnosticBag> {
+    let start = Instant::now();
+    let hir = parse_and_check(source)?;
+
+    let comm_report = comm::analyze(&hir);
+    if !comm_report.is_mappable() {
+        let mut diags = DiagnosticBag::new();
+        diags.push(Diagnostic::error_global(
+            "program has both right and left communication cycles and cannot be mapped onto \
+             the skewed computation model (paper §5.1.1)",
+        ));
+        return Err(diags);
+    }
+    if !comm_report.is_unidirectional() {
+        let mut diags = DiagnosticBag::new();
+        diags.push(Diagnostic::error_global(
+            "program is bidirectional; like the paper's compiler, only unidirectional data \
+             flow is supported (paper §5.1.1)",
+        ));
+        return Err(diags);
+    }
+
+    let mut ir = lower(&hir, &opts.lower)?;
+    let dec = decompose::decompose(&mut ir);
+    let cell_code = cell_codegen(
+        &ir,
+        &opts.machine,
+        &CellCodegenOptions {
+            software_pipeline: opts.software_pipeline,
+        },
+    )?;
+    let skew = analyze(
+        &cell_code,
+        &ir.loops,
+        &SkewOptions {
+            method: opts.skew_method,
+            queue_capacity: u64::from(opts.machine.queue_capacity),
+            n_cells: ir.n_cells,
+        },
+    )?;
+    let iu = iu_codegen(&ir, &dec, &cell_code, &opts.iu)?;
+    let host = host_codegen(&ir, &cell_code, skew.flow)?;
+
+    let metrics = Metrics {
+        w2_lines: source.lines().filter(|l| !l.trim().is_empty()).count() as u32,
+        cell_ucode: cell_code.static_len(),
+        iu_ucode: iu.static_len(),
+        compile_time: start.elapsed(),
+    };
+
+    Ok(CompiledModule {
+        name: ir.name.clone(),
+        n_cells: ir.n_cells,
+        ir,
+        cell_code,
+        iu,
+        host,
+        skew,
+        comm: comm_report,
+        machine: opts.machine.clone(),
+        metrics,
+    })
+}
+
+/// An error from compiling or running a module (convenience for examples
+/// and doctests).
+#[derive(Debug)]
+pub enum CompileOrSimError {
+    /// Compilation diagnostics.
+    Compile(DiagnosticBag),
+    /// A simulator invariant violation.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for CompileOrSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileOrSimError::Compile(d) => write!(f, "{d}"),
+            CompileOrSimError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileOrSimError {}
+
+impl From<DiagnosticBag> for CompileOrSimError {
+    fn from(d: DiagnosticBag) -> CompileOrSimError {
+        CompileOrSimError::Compile(d)
+    }
+}
+
+impl From<SimError> for CompileOrSimError {
+    fn from(e: SimError) -> CompileOrSimError {
+        CompileOrSimError::Sim(e)
+    }
+}
+
+impl CompiledModule {
+    /// Runs the module on its declared number of cells at the computed
+    /// minimum skew.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a machine invariant is violated — which
+    /// for compiler-produced parameters indicates a compiler bug.
+    pub fn run(&self, inputs: &[(&str, &[f32])]) -> Result<RunReport, SimError> {
+        self.run_with(self.n_cells, self.skew.min_skew, inputs)
+    }
+
+    /// Runs the module with explicit cell count and skew (used by tests
+    /// to probe the minimality of the skew and by benchmarks to sweep
+    /// configurations).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated machine invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` name unknown host variables or have wrong
+    /// lengths.
+    pub fn run_with(
+        &self,
+        n_cells: u32,
+        skew: i64,
+        inputs: &[(&str, &[f32])],
+    ) -> Result<RunReport, SimError> {
+        let mut host = HostMemory::new(&self.ir.vars);
+        for (name, data) in inputs {
+            host.set(name, data);
+        }
+        warp_sim::run(
+            &MachineConfig {
+                cell_code: &self.cell_code,
+                iu: &self.iu,
+                host_program: &self.host,
+                machine: &self.machine,
+                n_cells,
+                skew,
+                flow: self.skew.flow,
+            },
+            host,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_produces_metrics() {
+        let m = compile(corpus::POLYNOMIAL, &CompileOptions::default()).expect("compiles");
+        assert_eq!(m.name, "polynomial");
+        assert_eq!(m.n_cells, 10);
+        assert!(m.metrics.w2_lines > 20);
+        assert!(m.metrics.cell_ucode > 10);
+        assert!(m.metrics.iu_ucode > 0);
+        assert!(m.skew.min_skew >= 0);
+        assert!(m.comm.is_unidirectional());
+    }
+
+    #[test]
+    fn bidirectional_rejected_at_driver() {
+        let src = "module bidi (a in, r out) float a[4]; float r[4]; \
+            cellprogram (cid : 0 : 1) begin function f begin float x; \
+            receive (L, X, x, a[0]); send (R, X, x); \
+            receive (R, Y, x); send (L, Y, x, r[0]); \
+            end call f; end";
+        let err = compile(src, &CompileOptions::default()).unwrap_err();
+        assert!(
+            err.to_string().contains("cannot be mapped")
+                || err.to_string().contains("bidirectional"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let err = compile("module broken", &CompileOptions::default()).unwrap_err();
+        assert!(err.has_errors());
+    }
+}

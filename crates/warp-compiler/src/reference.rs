@@ -1,0 +1,320 @@
+//! Plain-Rust reference implementations of the corpus computations.
+//!
+//! Each function reproduces the exact `f32` operation order of the
+//! corresponding W2 program, so simulated array results can be compared
+//! bit-for-bit.
+
+/// Polynomial evaluation as the 10-cell Horner pipeline computes it:
+/// cell `k` holds `c[k]` and performs `ans = c[k] + yin * z`, so the
+/// result is `c[n-1] + z(c[n-2] + z(… + z·c[0]))` — i.e.
+/// `P(z) = c[0]·z^(n-1) + … + c[n-1]`.
+pub fn polynomial(c: &[f32], z: &[f32]) -> Vec<f32> {
+    z.iter()
+        .map(|&zv| {
+            let mut acc = 0.0f32;
+            for &ck in c {
+                acc = ck + acc * zv;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// 1-D convolution as the delay-line pipeline computes it:
+/// `y[t - taps + 1] = Σ_k w[k]·x[t-k]` for `t ≥ taps-1`, accumulated in
+/// ascending `k` order with `x[<0] = 0`.
+pub fn conv1d(w: &[f32], x: &[f32]) -> Vec<f32> {
+    let taps = w.len();
+    let mut out = Vec::with_capacity(x.len() - taps + 1);
+    for t in (taps - 1)..x.len() {
+        let mut acc = 0.0f32;
+        for (k, &wk) in w.iter().enumerate() {
+            let xv = if t >= k { x[t - k] } else { 0.0 };
+            acc += wk * xv;
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Elementwise product of two flattened images.
+pub fn binop(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+}
+
+/// Four-class RGB color separation, mirroring the predicated decision
+/// tree of the ColorSeg corpus program: class 1/2/3 for the dominant
+/// channel (ties resolved in r, g, b order), class 0 for dark pixels
+/// (`r+g+b < 96`). Input is interleaved `r,g,b` per pixel.
+pub fn colorseg_rgb(rgb: &[f32]) -> Vec<f32> {
+    assert_eq!(rgb.len() % 3, 0);
+    rgb.chunks_exact(3)
+        .map(|p| {
+            let (r, g, b) = (p[0], p[1], p[2]);
+            let mut s = if r >= g && r >= b {
+                1.0
+            } else if g >= b {
+                2.0
+            } else {
+                3.0
+            };
+            if r + g + b < 96.0 {
+                s = 0.0;
+            }
+            s
+        })
+        .collect()
+}
+
+/// Three-class grayscale separation with thresholds 85 and 170 (the
+/// `grayseg` corpus variant).
+pub fn colorseg(img: &[f32]) -> Vec<f32> {
+    img.iter()
+        .map(|&v| {
+            if v < 85.0 {
+                0.0
+            } else if v < 170.0 {
+                1.0
+            } else {
+                2.0
+            }
+        })
+        .collect()
+}
+
+/// Mandelbrot escape counts over `iters` iterations, replicating the
+/// W2 program's operation shapes:
+/// `zr' = (zr·zr − zi·zi) + cr`, `zi' = (2·zr)·zi + ci`, then the
+/// magnitude test on the *new* point; diverged points keep iterating
+/// (predication) but stop counting.
+pub fn mandelbrot(cre: &[f32], cim: &[f32], iters: u32) -> Vec<f32> {
+    assert_eq!(cre.len(), cim.len());
+    cre.iter()
+        .zip(cim)
+        .map(|(&cr, &ci)| {
+            let mut zr = 0.0f32;
+            let mut zi = 0.0f32;
+            let mut cnt = 0.0f32;
+            for _ in 0..iters {
+                let zr2 = zr * zr - zi * zi + cr;
+                zi = (2.0 * zr) * zi + ci;
+                zr = zr2;
+                let mag = zr * zr + zi * zi;
+                if mag < 4.0 {
+                    cnt += 1.0;
+                }
+            }
+            cnt
+        })
+        .collect()
+}
+
+/// Matrix multiplication `C = A·B` with `A` of shape `m×p` (row major)
+/// and `B` of shape `p×q`; the dot products accumulate in ascending `k`
+/// order like the cells do.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, p: usize, q: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * p);
+    assert_eq!(b.len(), p * q);
+    let mut c = vec![0.0f32; m * q];
+    for r in 0..m {
+        for col in 0..q {
+            let mut acc = 0.0f32;
+            for k in 0..p {
+                acc += a[r * p + k] * b[k * q + col];
+            }
+            c[r * q + col] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_is_horner() {
+        // P(z) = 2z + 3 with c = [2, 3].
+        let r = polynomial(&[2.0, 3.0], &[0.0, 1.0, 2.0]);
+        assert_eq!(r, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn conv_is_fir() {
+        // Identity kernel [1]: output = input.
+        assert_eq!(conv1d(&[1.0], &[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        // Difference kernel [1, -1]: y[t-1] = x[t] - x[t-1].
+        assert_eq!(conv1d(&[1.0, -1.0], &[1.0, 4.0, 9.0]), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn binop_multiplies() {
+        assert_eq!(binop(&[2.0, 3.0], &[4.0, 5.0]), vec![8.0, 15.0]);
+    }
+
+    #[test]
+    fn colorseg_classes() {
+        assert_eq!(
+            colorseg(&[0.0, 84.9, 85.0, 169.9, 170.0, 255.0]),
+            vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn mandelbrot_counts() {
+        // c = 0: never escapes, counts all iterations.
+        assert_eq!(mandelbrot(&[0.0], &[0.0], 4), vec![4.0]);
+        // c = 2: z1 = 2, |z1|^2 = 4 not < 4: counts 0.
+        assert_eq!(mandelbrot(&[2.0], &[0.0], 4), vec![0.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let c = matmul(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+}
+
+// ---------- FFT (constant geometry / Pease) ----------
+
+/// Twiddle factors for stage `s` of an `n`-point constant-geometry
+/// (Pease) radix-2 DIF FFT.
+///
+/// Each stage interleaves the two half-size subproblems, so butterfly
+/// `i` of stage `s` belongs to subproblem `i mod 2^s` at within-problem
+/// index `j = i >> s`; its DIF twiddle `W_{n/2^s}^j` is `W_n^e` with
+/// `e = (i >> s) << s` (clear the low `s` bits of `i`). Returns
+/// `(re, im)`, one pair per butterfly.
+pub fn pease_twiddles(n: usize, stage: u32) -> (Vec<f32>, Vec<f32>) {
+    assert!(n.is_power_of_two() && n >= 2);
+    let m = n.trailing_zeros();
+    assert!(stage < m);
+    let mut re = Vec::with_capacity(n / 2);
+    let mut im = Vec::with_capacity(n / 2);
+    for i in 0..n / 2 {
+        let e = (i >> stage) << stage;
+        let theta = -2.0 * std::f64::consts::PI * e as f64 / n as f64;
+        re.push(theta.cos() as f32);
+        im.push(theta.sin() as f32);
+    }
+    (re, im)
+}
+
+/// One constant-geometry butterfly stage, with exactly the f32
+/// operation shapes of the W2 cell program:
+/// `out[2i] = x[i] + x[i+n/2]`,
+/// `out[2i+1] = (x[i] − x[i+n/2]) · w[i]` (complex).
+pub fn pease_stage(re: &[f32], im: &[f32], twr: &[f32], twi: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let n = re.len();
+    let half = n / 2;
+    let mut or_ = vec![0.0f32; n];
+    let mut oi = vec![0.0f32; n];
+    for i in 0..half {
+        let (ar, ai) = (re[i], im[i]);
+        let (br, bi) = (re[i + half], im[i + half]);
+        or_[2 * i] = ar + br;
+        oi[2 * i] = ai + bi;
+        let dr = ar - br;
+        let di = ai - bi;
+        or_[2 * i + 1] = dr * twr[i] - di * twi[i];
+        oi[2 * i + 1] = dr * twi[i] + di * twr[i];
+    }
+    (or_, oi)
+}
+
+/// The full `log2 n`-stage constant-geometry FFT. The result is in
+/// bit-reversed order; [`bit_reverse_permute`] restores natural order.
+pub fn fft_pease(re: &[f32], im: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let n = re.len();
+    assert!(n.is_power_of_two() && n >= 2);
+    let m = n.trailing_zeros();
+    let mut cur = (re.to_vec(), im.to_vec());
+    for s in 0..m {
+        let (twr, twi) = pease_twiddles(n, s);
+        cur = pease_stage(&cur.0, &cur.1, &twr, &twi);
+    }
+    cur
+}
+
+/// Reorders a bit-reversed spectrum into natural frequency order.
+pub fn bit_reverse_permute(data: &[f32]) -> Vec<f32> {
+    let n = data.len();
+    assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| data[(i as u32).reverse_bits() as usize >> (32 - bits)])
+        .collect()
+}
+
+/// Naive `O(n²)` DFT in f64, the oracle for the FFT implementations.
+pub fn dft_naive(re: &[f32], im: &[f32]) -> (Vec<f64>, Vec<f64>) {
+    let n = re.len();
+    let mut our = vec![0.0f64; n];
+    let mut oui = vec![0.0f64; n];
+    for k in 0..n {
+        for t in 0..n {
+            let theta = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+            let (c, s) = (theta.cos(), theta.sin());
+            our[k] += f64::from(re[t]) * c - f64::from(im[t]) * s;
+            oui[k] += f64::from(re[t]) * s + f64::from(im[t]) * c;
+        }
+    }
+    (our, oui)
+}
+
+#[cfg(test)]
+mod fft_tests {
+    use super::*;
+
+    fn check_against_dft(n: usize) {
+        let re: Vec<f32> = (0..n).map(|i| ((i * 7) % 5) as f32 - 2.0).collect();
+        let im: Vec<f32> = (0..n).map(|i| ((i * 3) % 4) as f32 * 0.5).collect();
+        let (fr, fi) = fft_pease(&re, &im);
+        let fr = bit_reverse_permute(&fr);
+        let fi = bit_reverse_permute(&fi);
+        let (dr, di) = dft_naive(&re, &im);
+        for k in 0..n {
+            let tol = 1e-3 * (n as f64);
+            assert!(
+                (f64::from(fr[k]) - dr[k]).abs() < tol,
+                "re[{k}]: fft {} vs dft {} (n = {n})",
+                fr[k],
+                dr[k]
+            );
+            assert!(
+                (f64::from(fi[k]) - di[k]).abs() < tol,
+                "im[{k}]: fft {} vs dft {} (n = {n})",
+                fi[k],
+                di[k]
+            );
+        }
+    }
+
+    #[test]
+    fn pease_fft_matches_dft() {
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            check_against_dft(n);
+        }
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let once = bit_reverse_permute(&data);
+        let twice = bit_reverse_permute(&once);
+        assert_eq!(twice, data);
+        assert_ne!(once, data);
+    }
+
+    #[test]
+    fn stage_zero_twiddles_are_roots_of_unity() {
+        let (re, im) = pease_twiddles(8, 0);
+        // Stage 0 exponents are 0..3: W_8^0..W_8^3.
+        assert!((re[0] - 1.0).abs() < 1e-6);
+        assert!(im[0].abs() < 1e-6);
+        assert!((re[2] - 0.0).abs() < 1e-6);
+        assert!((im[2] + 1.0).abs() < 1e-6);
+    }
+}

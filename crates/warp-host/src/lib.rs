@@ -1,0 +1,336 @@
+//! Host I/O processor program generation.
+//!
+//! The Warp host's I/O processors "must be programmed to supply input in
+//! the exact sequence as the data is used in the Warp cells" (paper
+//! §2.2). The compiler derives that sequence from the external-variable
+//! annotations of the boundary cell's `send`/`receive` operations: this
+//! crate enumerates them (via [`warp_skew::visit_events`]) into ordered
+//! transfer scripts, and provides the [`HostMemory`] the simulator binds
+//! real data to.
+//!
+//! # Examples
+//!
+//! ```
+//! use w2_lang::parse_and_check;
+//! use warp_ir::{decompose, lower, LowerOptions};
+//! use warp_cell::{codegen, CellMachine};
+//! use warp_host::host_codegen;
+//!
+//! let src = r#"
+//! module copy (xs in, ys out)
+//! float xs[4];
+//! float ys[4];
+//! cellprogram (cid : 0 : 0)
+//! begin
+//!   function body
+//!   begin
+//!     float v;
+//!     int i;
+//!     for i := 0 to 3 do begin
+//!       receive (L, X, v, xs[i]);
+//!       send (R, X, v, ys[i]);
+//!     end;
+//!   end
+//!   call body;
+//! end
+//! "#;
+//! let hir = parse_and_check(src)?;
+//! let mut ir = lower(&hir, &LowerOptions::default())?;
+//! decompose::decompose(&mut ir);
+//! let code = codegen(&ir, &CellMachine::default())?;
+//! let host = host_codegen(&ir, &code, w2_lang::ast::Dir::Right)?;
+//! assert_eq!(host.input_count(), 4);
+//! assert_eq!(host.output_count(), 4);
+//! # Ok::<(), warp_common::DiagnosticBag>(())
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use w2_lang::ast::{Chan, Dir};
+use w2_lang::hir::{VarId, VarInfo, VarKind};
+use warp_cell::CellCode;
+use warp_common::{Diagnostic, DiagnosticBag, IdVec};
+use warp_ir::CellIr;
+use warp_skew::{visit_events, HostBinding};
+
+/// One word the host must supply to the array.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HostWordSource {
+    /// A constant (e.g. the `0.0` accumulator seed of Figure 4-1).
+    Lit(f32),
+    /// A word of an `in` parameter.
+    Elem {
+        /// The host array.
+        var: VarId,
+        /// Flat word index.
+        index: u32,
+    },
+}
+
+/// One word the host receives from the array, and where to store it
+/// (`None` discards the word — e.g. the conservation padding the
+/// polynomial program sends).
+pub type HostWordSink = Option<(VarId, u32)>;
+
+/// The compiled host I/O processor programs: per channel, the exact
+/// transfer order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HostProgram {
+    /// Words to feed the boundary input cell, per channel, in
+    /// consumption order.
+    pub inputs: BTreeMap<Chan, Vec<HostWordSource>>,
+    /// Destinations of the words the boundary output cell produces.
+    pub outputs: BTreeMap<Chan, Vec<HostWordSink>>,
+}
+
+impl HostProgram {
+    /// Total words the host sends per array execution.
+    pub fn input_count(&self) -> usize {
+        self.inputs.values().map(Vec::len).sum()
+    }
+
+    /// Total words the host receives per array execution.
+    pub fn output_count(&self) -> usize {
+        self.outputs.values().map(Vec::len).sum()
+    }
+}
+
+/// Generates the host program for a module whose data flows in `flow`
+/// direction.
+///
+/// # Errors
+///
+/// Reports a diagnostic if an external reference indexes outside its
+/// host array (loop-variant indices are only fully checkable here, after
+/// enumeration).
+pub fn host_codegen(ir: &CellIr, code: &CellCode, flow: Dir) -> Result<HostProgram, DiagnosticBag> {
+    let mut diags = DiagnosticBag::new();
+    let mut prog = HostProgram::default();
+
+    visit_events(code, &ir.loops, |e| {
+        let boundary_input = e.is_recv && e.dir == flow.opposite();
+        let boundary_output = !e.is_recv && e.dir == flow;
+        if boundary_input {
+            let source = match e.host {
+                Some(HostBinding::Lit(v)) => HostWordSource::Lit(v),
+                Some(HostBinding::Elem(var, index)) => {
+                    match checked_index(ir, var, index, &mut diags) {
+                        Some(index) => HostWordSource::Elem { var, index },
+                        None => HostWordSource::Lit(0.0),
+                    }
+                }
+                None => HostWordSource::Lit(0.0),
+            };
+            prog.inputs.entry(e.chan).or_default().push(source);
+        } else if boundary_output {
+            let sink = match e.host {
+                Some(HostBinding::Elem(var, index)) => {
+                    checked_index(ir, var, index, &mut diags).map(|i| (var, i))
+                }
+                _ => None,
+            };
+            prog.outputs.entry(e.chan).or_default().push(sink);
+        }
+    });
+
+    if diags.has_errors() {
+        Err(diags)
+    } else {
+        Ok(prog)
+    }
+}
+
+fn checked_index(ir: &CellIr, var: VarId, index: i64, diags: &mut DiagnosticBag) -> Option<u32> {
+    let info = &ir.vars[var];
+    let size = i64::from(info.size());
+    if index < 0 || index >= size {
+        diags.push(Diagnostic::error_global(format!(
+            "external reference indexes host variable `{}` at word {index}, \
+             but it has {size} word(s)",
+            info.name
+        )));
+        return None;
+    }
+    Some(index as u32)
+}
+
+/// Host memory: the module-level variables the W2 program binds at the
+/// array boundary. The simulator loads `in` parameters before a run and
+/// reads `out` parameters after it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HostMemory {
+    arrays: HashMap<VarId, Vec<f32>>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl HostMemory {
+    /// Creates zero-initialized storage for every host variable.
+    pub fn new(vars: &IdVec<VarId, VarInfo>) -> HostMemory {
+        let mut mem = HostMemory::default();
+        for (id, info) in vars.iter() {
+            if info.kind == VarKind::Host {
+                mem.arrays.insert(id, vec![0.0; info.size() as usize]);
+                mem.by_name.insert(info.name.clone(), id);
+            }
+        }
+        mem
+    }
+
+    /// Resolves a host variable by source name.
+    pub fn var(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Loads data into a host variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is unknown or `data` has the wrong length —
+    /// caller-side setup errors.
+    pub fn set(&mut self, name: &str, data: &[f32]) {
+        let var = self
+            .var(name)
+            .unwrap_or_else(|| panic!("unknown host variable `{name}`"));
+        let arr = self.arrays.get_mut(&var).expect("host storage exists");
+        assert_eq!(
+            arr.len(),
+            data.len(),
+            "`{name}` holds {} words, got {}",
+            arr.len(),
+            data.len()
+        );
+        arr.copy_from_slice(data);
+    }
+
+    /// Reads a host variable's contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is unknown.
+    pub fn get(&self, name: &str) -> &[f32] {
+        let var = self
+            .var(name)
+            .unwrap_or_else(|| panic!("unknown host variable `{name}`"));
+        &self.arrays[&var]
+    }
+
+    /// Reads one word by variable id.
+    pub fn word(&self, var: VarId, index: u32) -> f32 {
+        self.arrays[&var][index as usize]
+    }
+
+    /// Writes one word by variable id.
+    pub fn set_word(&mut self, var: VarId, index: u32, value: f32) {
+        if let Some(arr) = self.arrays.get_mut(&var) {
+            arr[index as usize] = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::parse_and_check;
+    use warp_cell::{codegen, CellMachine};
+    use warp_ir::{decompose, lower, LowerOptions};
+
+    fn compile(src: &str) -> (CellIr, CellCode) {
+        let hir = parse_and_check(src).expect("valid");
+        let mut ir = lower(&hir, &LowerOptions::default()).expect("lowers");
+        decompose::decompose(&mut ir);
+        let code = codegen(&ir, &CellMachine::default()).expect("codegen");
+        (ir, code)
+    }
+
+    const COPY: &str = "module copy (xs in, ys out) float xs[4]; float ys[4]; \
+        cellprogram (cid : 0 : 0) begin function f begin float v; int i; \
+        for i := 0 to 3 do begin receive (L, X, v, xs[i]); send (R, X, v, ys[i]); end; \
+        end call f; end";
+
+    #[test]
+    fn copy_program_sequences() {
+        let (ir, code) = compile(COPY);
+        let host = host_codegen(&ir, &code, Dir::Right).expect("host");
+        let xs = ir.vars.iter().find(|(_, v)| v.name == "xs").unwrap().0;
+        let ys = ir.vars.iter().find(|(_, v)| v.name == "ys").unwrap().0;
+        assert_eq!(
+            host.inputs[&Chan::X],
+            (0..4)
+                .map(|i| HostWordSource::Elem { var: xs, index: i })
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            host.outputs[&Chan::X],
+            (0..4).map(|i| Some((ys, i))).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn literal_ext_becomes_lit_source() {
+        let (ir, code) = compile(
+            "module m (rs out) float rs[2]; \
+             cellprogram (cid : 0 : 0) begin function f begin float v; \
+             receive (L, Y, v, 0.0); send (R, Y, v + 1.0, rs[0]); \
+             receive (L, Y, v, 2.5); send (R, Y, v, rs[1]); \
+             end call f; end",
+        );
+        let host = host_codegen(&ir, &code, Dir::Right).expect("host");
+        assert_eq!(
+            host.inputs[&Chan::Y],
+            vec![HostWordSource::Lit(0.0), HostWordSource::Lit(2.5)]
+        );
+    }
+
+    #[test]
+    fn discarded_output_is_none() {
+        let (ir, code) = compile(
+            "module m (xs in) float xs[2]; \
+             cellprogram (cid : 0 : 0) begin function f begin float v; \
+             receive (L, X, v, xs[0]); send (R, X, v); \
+             receive (L, X, v, xs[1]); send (R, X, v); \
+             end call f; end",
+        );
+        let host = host_codegen(&ir, &code, Dir::Right).expect("host");
+        assert_eq!(host.outputs[&Chan::X], vec![None, None]);
+    }
+
+    #[test]
+    fn out_of_bounds_ext_rejected() {
+        let (ir, code) = compile(
+            "module m (xs in, rs out) float xs[4]; float rs[4]; \
+             cellprogram (cid : 0 : 0) begin function f begin float v; int i; \
+             for i := 0 to 5 do begin receive (L, X, v, xs[i]); send (R, X, v); end; \
+             end call f; end",
+        );
+        let err = host_codegen(&ir, &code, Dir::Right).expect_err("xs[4..5] out of range");
+        assert!(err.to_string().contains("indexes host variable"), "{err}");
+    }
+
+    #[test]
+    fn host_memory_roundtrip() {
+        let (ir, _) = compile(COPY);
+        let mut mem = HostMemory::new(&ir.vars);
+        mem.set("xs", &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mem.get("xs"), &[1.0, 2.0, 3.0, 4.0]);
+        let xs = mem.var("xs").unwrap();
+        assert_eq!(mem.word(xs, 2), 3.0);
+        mem.set_word(xs, 2, 9.0);
+        assert_eq!(mem.word(xs, 2), 9.0);
+        assert_eq!(mem.get("ys"), &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown host variable")]
+    fn unknown_variable_panics() {
+        let (ir, _) = compile(COPY);
+        let mem = HostMemory::new(&ir.vars);
+        let _ = mem.get("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "words, got")]
+    fn wrong_length_panics() {
+        let (ir, _) = compile(COPY);
+        let mut mem = HostMemory::new(&ir.vars);
+        mem.set("xs", &[1.0]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Affine address expressions.
+//!
+//! Warp cells have no integer arithmetic: every memory address is produced
+//! by the IU, which only knows loop counters (paper §2.2, §6.3.2). The
+//! compiler therefore requires array subscripts to be *affine* in the
+//! enclosing loop indices: `c0 + c1·i1 + c2·i2 + …`. This module defines
+//! the canonical affine form and its arithmetic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use warp_common::define_id;
+
+define_id!(LoopId, "L");
+
+/// An affine expression `constant + Σ coeff·loop` over loop indices.
+///
+/// The representation is canonical: zero coefficients are never stored, so
+/// structural equality is semantic equality.
+///
+/// # Examples
+///
+/// ```
+/// use warp_ir::affine::{Affine, LoopId};
+///
+/// let i = LoopId(0);
+/// let j = LoopId(1);
+/// // a[i, j+1] over a 10-column array: base + 10*i + j + 1
+/// let addr = Affine::constant(1)
+///     .add(&Affine::term(i, 10))
+///     .add(&Affine::term(j, 1));
+/// assert_eq!(addr.eval(&[(i, 3), (j, 4)].into_iter().collect()), 35);
+/// assert_eq!(addr.to_string(), "1 + 10*L0 + 1*L1");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Affine {
+    /// The constant term.
+    pub constant: i64,
+    /// Coefficients per loop, sorted by loop id; never zero.
+    pub terms: BTreeMap<LoopId, i64>,
+}
+
+impl Affine {
+    /// The constant affine expression `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The single-term expression `coeff·loop`.
+    pub fn term(loop_id: LoopId, coeff: i64) -> Affine {
+        let mut terms = BTreeMap::new();
+        if coeff != 0 {
+            terms.insert(loop_id, coeff);
+        }
+        Affine { constant: 0, terms }
+    }
+
+    /// Returns `true` if the expression has no loop terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The coefficient of `loop_id` (zero if absent).
+    pub fn coeff(&self, loop_id: LoopId) -> i64 {
+        self.terms.get(&loop_id).copied().unwrap_or(0)
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (&l, &c) in &other.terms {
+            let e = out.terms.entry(l).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                out.terms.remove(&l);
+            }
+        }
+        out
+    }
+
+    /// Pointwise difference.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&self, k: i64) -> Affine {
+        if k == 0 {
+            return Affine::constant(0);
+        }
+        Affine {
+            constant: self.constant * k,
+            terms: self.terms.iter().map(|(&l, &c)| (l, c * k)).collect(),
+        }
+    }
+
+    /// Evaluates the expression for concrete loop values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced loop is missing from `env`.
+    pub fn eval(&self, env: &BTreeMap<LoopId, i64>) -> i64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(l, c)| {
+                    c * env
+                        .get(l)
+                        .unwrap_or_else(|| panic!("loop {l:?} not in env"))
+                })
+                .sum::<i64>()
+    }
+
+    /// Returns `true` if two affine addresses can never be equal: they
+    /// differ by a nonzero constant (same coefficients, different constant
+    /// term). Anything else is conservatively "may alias".
+    pub fn provably_disjoint(&self, other: &Affine) -> bool {
+        self.terms == other.terms && self.constant != other.constant
+    }
+
+    /// The loop ids referenced by the expression.
+    pub fn loops(&self) -> impl Iterator<Item = LoopId> + '_ {
+        self.terms.keys().copied()
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.constant)?;
+        for (l, c) in &self.terms {
+            write!(f, " + {c}*{l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(LoopId, i64)]) -> BTreeMap<LoopId, i64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn canonical_zero_coeffs() {
+        let i = LoopId(0);
+        let a = Affine::term(i, 3).add(&Affine::term(i, -3));
+        assert!(a.is_constant());
+        assert_eq!(a, Affine::constant(0));
+        assert_eq!(Affine::term(i, 0), Affine::constant(0));
+    }
+
+    #[test]
+    fn arithmetic_and_eval() {
+        let i = LoopId(0);
+        let j = LoopId(1);
+        let a = Affine::constant(5)
+            .add(&Affine::term(i, 2))
+            .add(&Affine::term(j, -1));
+        assert_eq!(a.eval(&env(&[(i, 10), (j, 3)])), 22);
+        let b = a.scale(3);
+        assert_eq!(b.eval(&env(&[(i, 10), (j, 3)])), 66);
+        let d = b.sub(&a);
+        assert_eq!(d.eval(&env(&[(i, 10), (j, 3)])), 44);
+        assert_eq!(a.coeff(i), 2);
+        assert_eq!(a.coeff(LoopId(9)), 0);
+    }
+
+    #[test]
+    fn disjointness() {
+        let i = LoopId(0);
+        let a = Affine::term(i, 1);
+        let a1 = a.add(&Affine::constant(1));
+        assert!(a.provably_disjoint(&a1));
+        assert!(!a.provably_disjoint(&a));
+        // Different coefficients: may alias (i vs 2i meet at 0).
+        let b = Affine::term(i, 2);
+        assert!(!a.provably_disjoint(&b));
+    }
+
+    #[test]
+    fn scale_zero_is_constant_zero() {
+        let a = Affine::term(LoopId(2), 7).add(&Affine::constant(4));
+        assert_eq!(a.scale(0), Affine::constant(0));
+    }
+
+    #[test]
+    fn display() {
+        let a = Affine::constant(2).add(&Affine::term(LoopId(1), 5));
+        assert_eq!(a.to_string(), "2 + 5*L1");
+        assert_eq!(Affine::constant(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn loops_iterator() {
+        let a = Affine::term(LoopId(0), 1).add(&Affine::term(LoopId(3), 2));
+        let ls: Vec<_> = a.loops().collect();
+        assert_eq!(ls, vec![LoopId(0), LoopId(3)]);
+    }
+}

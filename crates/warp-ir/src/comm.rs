@@ -1,0 +1,281 @@
+//! Inter-cell communication analysis (paper §5.1.1, Figure 5-1).
+//!
+//! The array's computation is represented by one set of nodes (all cells
+//! run the same program) with two edge kinds: intra-cell compute
+//! dependences and inter-cell communication edges labelled by direction.
+//! A *right cycle* — a receive-from-left whose data flows to a
+//! send-to-right, which the communication edge closes back — forces a
+//! cell to be delayed relative to its **right** neighbour; a *left cycle*
+//! forces a delay relative to the **left** neighbour. A program with both
+//! kinds cannot be mapped onto the skewed computation model.
+//!
+//! The implementation is a conservative taint analysis over the HIR:
+//! every variable carries the set of `(direction, channel)` sources its
+//! value may derive from, the communication edges feed a send's taint back
+//! into the matching receive, and the whole system is iterated to a
+//! fixpoint. This over-approximates the paper's per-instance graph (it may
+//! flag a cycle where instance numbering would disprove one), which is
+//! safe: the compiler only loses a program it could not schedule anyway.
+
+use std::collections::HashMap;
+use w2_lang::ast::{Chan, Dir};
+use w2_lang::hir::{HirExpr, HirModule, HirStmt, VarId};
+
+/// Taint bit for a `(direction, channel)` receive source.
+fn bit(dir: Dir, chan: Chan) -> u8 {
+    match (dir, chan) {
+        (Dir::Left, Chan::X) => 1,
+        (Dir::Left, Chan::Y) => 2,
+        (Dir::Right, Chan::X) => 4,
+        (Dir::Right, Chan::Y) => 8,
+    }
+}
+
+/// Result of the communication analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommReport {
+    /// A receive-from-left value reaches a send-to-right on the matching
+    /// channel (directly or through other channels).
+    pub right_cycle: bool,
+    /// A receive-from-right value reaches a send-to-left.
+    pub left_cycle: bool,
+    /// The program contains `send (R, …)`.
+    pub sends_right: bool,
+    /// The program contains `send (L, …)`.
+    pub sends_left: bool,
+    /// The program contains `receive (L, …)`.
+    pub recvs_left: bool,
+    /// The program contains `receive (R, …)`.
+    pub recvs_right: bool,
+}
+
+impl CommReport {
+    /// Whether the program fits the skewed computation model: it must not
+    /// contain both right and left cycles (paper §5.1.1).
+    pub fn is_mappable(&self) -> bool {
+        !(self.right_cycle && self.left_cycle)
+    }
+
+    /// Whether all data flows one way through the array. The current
+    /// compiler (like the paper's) only schedules unidirectional programs.
+    pub fn is_unidirectional(&self) -> bool {
+        let left_to_right = !self.sends_left && !self.recvs_right;
+        let right_to_left = !self.sends_right && !self.recvs_left;
+        left_to_right || right_to_left
+    }
+}
+
+/// Analyzes the communication structure of a checked module.
+pub fn analyze(hir: &HirModule) -> CommReport {
+    let mut an = Analyzer {
+        taint: HashMap::new(),
+        sent: HashMap::new(),
+        report: CommReport::default(),
+    };
+    // Fixpoint: taint sets only grow and are bounded, so this terminates.
+    loop {
+        let changed = an.stmts(&hir.body, 0);
+        if !changed {
+            break;
+        }
+    }
+    an.report
+}
+
+struct Analyzer {
+    taint: HashMap<VarId, u8>,
+    /// Accumulated taint of values sent per (dir, chan): the communication
+    /// edge feeds this back into the matching receive of the same program.
+    sent: HashMap<(Dir, Chan), u8>,
+    report: CommReport,
+}
+
+impl Analyzer {
+    fn stmts(&mut self, stmts: &[HirStmt], pred: u8) -> bool {
+        let mut changed = false;
+        for s in stmts {
+            changed |= self.stmt(s, pred);
+        }
+        changed
+    }
+
+    fn stmt(&mut self, stmt: &HirStmt, pred: u8) -> bool {
+        match stmt {
+            HirStmt::Assign { lhs, rhs, .. } => {
+                let t = self.expr(rhs) | pred;
+                self.merge(lhs.var(), t)
+            }
+            HirStmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let p = pred | self.expr(cond);
+                let a = self.stmts(then_body, p);
+                let b = self.stmts(else_body, p);
+                a || b
+            }
+            HirStmt::For { body, .. } => self.stmts(body, pred),
+            HirStmt::Receive { dir, chan, dst, .. } => {
+                match dir {
+                    Dir::Left => self.report.recvs_left = true,
+                    Dir::Right => self.report.recvs_right = true,
+                }
+                // Data received from `dir` was sent by the neighbour's
+                // matching send towards us — same statement set, since all
+                // cells run the same program.
+                let feedback = self
+                    .sent
+                    .get(&(dir.opposite(), *chan))
+                    .copied()
+                    .unwrap_or(0);
+                let t = bit(*dir, *chan) | feedback;
+                self.merge(dst.var(), t)
+            }
+            HirStmt::Send {
+                dir, chan, value, ..
+            } => {
+                match dir {
+                    Dir::Right => self.report.sends_right = true,
+                    Dir::Left => self.report.sends_left = true,
+                }
+                let t = self.expr(value) | pred;
+                let entry = self.sent.entry((*dir, *chan)).or_insert(0);
+                let changed = (*entry | t) != *entry;
+                *entry |= t;
+                // A cycle exists when the sent value derives from the
+                // receive this send's communication edge loops back to.
+                match dir {
+                    Dir::Right if t & bit(Dir::Left, *chan) != 0 => {
+                        self.report.right_cycle = true;
+                    }
+                    Dir::Left if t & bit(Dir::Right, *chan) != 0 => {
+                        self.report.left_cycle = true;
+                    }
+                    _ => {}
+                }
+                changed
+            }
+        }
+    }
+
+    fn merge(&mut self, var: VarId, t: u8) -> bool {
+        let entry = self.taint.entry(var).or_insert(0);
+        let changed = (*entry | t) != *entry;
+        *entry |= t;
+        changed
+    }
+
+    fn expr(&mut self, e: &HirExpr) -> u8 {
+        match e {
+            HirExpr::FloatLit(_) | HirExpr::IntLit(_) => 0,
+            HirExpr::ReadVar(v) => self.taint.get(v).copied().unwrap_or(0),
+            HirExpr::ReadElem { var, .. } => self.taint.get(var).copied().unwrap_or(0),
+            HirExpr::Binary { lhs, rhs, .. } => self.expr(lhs) | self.expr(rhs),
+            HirExpr::Unary { operand, .. } => self.expr(operand),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::parse_and_check;
+
+    fn report(body: &str) -> CommReport {
+        let src = format!(
+            "module m (zs in, rs out) float zs[16]; float rs[16]; \
+             cellprogram (cid : 0 : 3) begin function f begin \
+             float a, b; int i; {body} end call f; end"
+        );
+        analyze(&parse_and_check(&src).expect("valid w2"))
+    }
+
+    #[test]
+    fn figure_5_1_program_a_no_cycle() {
+        // Program A: receives and sends are unrelated values.
+        let r = report(
+            "receive (L, X, a, zs[0]); send (R, X, 1.0); \
+             receive (R, Y, b); send (L, Y, 2.0);",
+        );
+        assert!(!r.right_cycle);
+        assert!(!r.left_cycle);
+        assert!(r.is_mappable());
+        assert!(!r.is_unidirectional()); // data moves both ways
+    }
+
+    #[test]
+    fn figure_5_1_program_b_right_cycle() {
+        // Program B: each cell forwards what it receives.
+        let r = report("receive (L, X, a, zs[0]); send (R, X, a);");
+        assert!(r.right_cycle);
+        assert!(!r.left_cycle);
+        assert!(r.is_mappable());
+        assert!(r.is_unidirectional());
+    }
+
+    #[test]
+    fn left_cycle() {
+        let r = report("receive (R, X, a); send (L, X, a, rs[0]);");
+        assert!(r.left_cycle);
+        assert!(!r.right_cycle);
+        assert!(r.is_mappable());
+        assert!(r.is_unidirectional());
+    }
+
+    #[test]
+    fn bidirectional_cycles_unmappable() {
+        let r = report(
+            "receive (L, X, a, zs[0]); send (R, X, a); \
+             receive (R, Y, b); send (L, Y, b, rs[0]);",
+        );
+        assert!(r.right_cycle);
+        assert!(r.left_cycle);
+        assert!(!r.is_mappable());
+    }
+
+    #[test]
+    fn cycle_through_computation() {
+        let r = report("receive (L, X, a, zs[0]); b := a * 2.0 + 1.0; send (R, X, b);");
+        assert!(r.right_cycle);
+    }
+
+    #[test]
+    fn cycle_through_two_channels() {
+        // recv(L,X) -> send(R,Y); recv(L,Y) -> send(R,X): a right cycle
+        // spanning both channels must be detected via the feedback edges.
+        let r = report(
+            "receive (L, X, a, zs[0]); send (R, Y, a); \
+             receive (L, Y, b, zs[1]); send (R, X, b);",
+        );
+        assert!(r.right_cycle);
+    }
+
+    #[test]
+    fn cycle_through_predicate() {
+        // The select condition carries the dependence.
+        let r = report(
+            "receive (L, X, a, zs[0]); if a < 1.0 then b := 1.0; else b := 2.0; send (R, X, b);",
+        );
+        assert!(r.right_cycle);
+    }
+
+    #[test]
+    fn loop_carried_flow_found() {
+        let r = report(
+            "b := 0.0; for i := 0 to 3 do begin send (R, X, b); receive (L, X, a, zs[i]); b := a; end;",
+        );
+        // Send precedes the receive textually, but the loop carries a -> b
+        // into the next iteration's send: the fixpoint must find it.
+        assert!(r.right_cycle);
+    }
+
+    #[test]
+    fn unidirectional_classification() {
+        let r = report("receive (L, X, a, zs[0]); send (R, X, a + 1.0, rs[0]);");
+        assert!(r.is_unidirectional());
+        let r2 = report("receive (L, X, a, zs[0]); send (L, Y, a);");
+        assert!(!r2.is_unidirectional());
+    }
+}

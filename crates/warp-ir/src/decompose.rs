@@ -1,0 +1,151 @@
+//! Computation decomposition (paper §6.1): split the program between the
+//! Warp cells and the IU.
+//!
+//! Addresses that depend only on loop counters are *data independent* and
+//! are computed once on the IU, then pumped down the Adr path to every
+//! cell; the cell-side memory operation becomes a "receive-address". In
+//! this IR, an address is data independent exactly when its [`Affine`]
+//! form is non-constant (constant addresses are baked into the
+//! micro-instruction's literal field, which the real Warp also had).
+//!
+//! Because the Adr path is a FIFO, the cells must consume IU addresses in
+//! exactly the order the IU produces them. Decomposition therefore
+//! serializes all queue-addressed memory operations of a block with
+//! sequencing arcs and records the address expressions in that order.
+
+use crate::affine::Affine;
+use crate::dag::{BlockId, NodeId, NodeKind};
+use crate::region::CellIr;
+use std::collections::HashMap;
+
+/// One IU-generated address: which cell operation consumes it and the
+/// affine expression the IU must evaluate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AddrSlot {
+    /// The consuming load/store node.
+    pub node: NodeId,
+    /// The address expression.
+    pub affine: Affine,
+    /// `true` if the consumer is a store.
+    pub is_store: bool,
+}
+
+/// The IU-side product of decomposition: per block, the ordered address
+/// expressions the IU must generate for one execution of that block.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Decomposition {
+    /// Address slots per block, in consumption order.
+    pub slots: HashMap<BlockId, Vec<AddrSlot>>,
+}
+
+impl Decomposition {
+    /// Total number of address slots across all blocks (statically, per
+    /// single execution of each block).
+    pub fn slot_count(&self) -> usize {
+        self.slots.values().map(Vec::len).sum()
+    }
+}
+
+/// Splits data-independent address computation out of `ir`.
+///
+/// Mutates the cell IR: queue-addressed memory operations within each
+/// block are chained with sequencing arcs so the scheduler preserves the
+/// Adr-FIFO order.
+pub fn decompose(ir: &mut CellIr) -> Decomposition {
+    let mut out = Decomposition::default();
+    for bid in ir.blocks.ids().collect::<Vec<_>>() {
+        let block = &ir.blocks[bid];
+        let dyn_ops: Vec<(NodeId, Affine, bool)> = block
+            .live_nodes()
+            .into_iter()
+            .filter_map(|n| match &block.nodes[n].kind {
+                NodeKind::Load { addr, .. } if !addr.is_constant() => {
+                    Some((n, addr.clone(), false))
+                }
+                NodeKind::Store { addr, .. } if !addr.is_constant() => {
+                    Some((n, addr.clone(), true))
+                }
+                _ => None,
+            })
+            .collect();
+        if dyn_ops.is_empty() {
+            continue;
+        }
+        let block = &mut ir.blocks[bid];
+        for w in dyn_ops.windows(2) {
+            let (prev, next) = (w[0].0, w[1].0);
+            if !block.nodes[next].deps.contains(&prev) {
+                block.nodes[next].deps.push(prev);
+            }
+        }
+        out.slots.insert(
+            bid,
+            dyn_ops
+                .into_iter()
+                .map(|(node, affine, is_store)| AddrSlot {
+                    node,
+                    affine,
+                    is_store,
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{lower, LowerOptions};
+    use w2_lang::parse_and_check;
+
+    fn ir(body: &str) -> CellIr {
+        let src = format!(
+            "module m (zs in, rs out) float zs[64]; float rs[64]; \
+             cellprogram (cid : 0 : 0) begin function f begin \
+             float x, y; float arr[16]; int i, j; {body} end call f; end"
+        );
+        let hir = parse_and_check(&src).expect("valid");
+        lower(&hir, &LowerOptions::default()).expect("lowers")
+    }
+
+    #[test]
+    fn constant_addresses_stay_on_cell() {
+        let mut cir = ir("x := 1.0; arr[3] := x;");
+        let d = decompose(&mut cir);
+        assert_eq!(d.slot_count(), 0);
+    }
+
+    #[test]
+    fn loop_addresses_move_to_iu() {
+        let mut cir = ir("for i := 0 to 15 do arr[i] := 1.0;");
+        let d = decompose(&mut cir);
+        assert_eq!(d.slot_count(), 1);
+        let slots: Vec<_> = d.slots.values().flatten().collect();
+        assert!(slots[0].is_store);
+        assert!(!slots[0].affine.is_constant());
+    }
+
+    #[test]
+    fn slots_in_consumption_order_and_chained() {
+        let mut cir = ir("for i := 0 to 7 do begin arr[i] := 1.0; x := arr[i + 8]; end;");
+        let d = decompose(&mut cir);
+        assert_eq!(d.slot_count(), 2);
+        let (bid, slots) = d.slots.iter().next().unwrap();
+        // Store first (created first), then load.
+        assert!(slots[0].is_store);
+        assert!(!slots[1].is_store);
+        // The FIFO chain: the second op depends on the first.
+        let block = &cir.blocks[*bid];
+        assert!(block.nodes[slots[1].node].deps.contains(&slots[0].node));
+    }
+
+    #[test]
+    fn nested_loop_slots() {
+        let mut cir = ir("for i := 0 to 3 do for j := 0 to 3 do arr[i*4 + j] := 1.0;");
+        let d = decompose(&mut cir);
+        assert_eq!(d.slot_count(), 1);
+        let slot = d.slots.values().flatten().next().unwrap();
+        assert_eq!(slot.affine.terms.len(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Intermediate representation and dataflow analysis for the Warp
+//! compiler.
+//!
+//! This crate implements the "flow analysis" and "computation
+//! decomposition" modules of Gross & Lam (PLDI 1986, §6.1):
+//!
+//! * [`affine`] — affine address expressions over loop indices (the form
+//!   the IU can evaluate with additions only);
+//! * [`dag`] — basic-block DAGs of abstract cell operations with value
+//!   and sequencing edges;
+//! * [`region`] — the hierarchical flowgraph (sequences and counted
+//!   loops) plus the cell memory layout;
+//! * [`build`] — HIR → IR lowering with the paper's local optimizations
+//!   (CSE, constant folding, idempotent-operation removal) and
+//!   predication of conditionals;
+//! * [`opt`] — height reduction and DAG metrics;
+//! * [`comm`] — the communication-cycle analysis of §5.1.1 (Figure 5-1);
+//! * [`decompose`] — extraction of data-independent addresses for the IU.
+//!
+//! # Examples
+//!
+//! ```
+//! use w2_lang::parse_and_check;
+//! use warp_ir::{comm, decompose, lower, LowerOptions};
+//!
+//! let src = r#"
+//! module scale (xs in, ys out)
+//! float xs[8];
+//! float ys[8];
+//! cellprogram (cid : 0 : 0)
+//! begin
+//!   function body
+//!   begin
+//!     float v;
+//!     int i;
+//!     for i := 0 to 7 do begin
+//!       receive (L, X, v, xs[i]);
+//!       send (R, X, v * 2.0, ys[i]);
+//!     end;
+//!   end
+//!   call body;
+//! end
+//! "#;
+//! let hir = parse_and_check(src)?;
+//! let report = comm::analyze(&hir);
+//! assert!(report.is_unidirectional());
+//! let mut ir = lower(&hir, &LowerOptions::default())?;
+//! let dec = decompose::decompose(&mut ir);
+//! // No arrays are indexed by loop variables on the cell, so the IU
+//! // generates no addresses for this program.
+//! assert_eq!(dec.slot_count(), 0);
+//! # Ok::<(), warp_common::DiagnosticBag>(())
+//! ```
+
+pub mod affine;
+pub mod build;
+pub mod comm;
+pub mod dag;
+pub mod decompose;
+pub mod opt;
+pub mod region;
+
+pub use affine::{Affine, LoopId};
+pub use build::{lower, LowerOptions};
+pub use dag::{Block, BlockId, CmpOp, HostSlot, Node, NodeId, NodeKind};
+pub use decompose::{AddrSlot, Decomposition};
+pub use region::{CellIr, Layout, LoopMeta, Region};

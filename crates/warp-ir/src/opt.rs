@@ -1,0 +1,354 @@
+//! DAG post-pass optimizations.
+//!
+//! The paper lists *height reduction* among the local optimizations
+//! (§6.1): rebalancing chains of associative operations so the critical
+//! path through the 5-stage pipelined FPUs shrinks from `O(n)` to
+//! `O(log n)`. CSE, constant folding, and identity removal run during DAG
+//! construction ([`crate::build`]); this module holds the passes that need
+//! a complete DAG.
+
+use crate::dag::{Block, Node, NodeId, NodeKind};
+use warp_common::idvec::Id as _;
+
+/// Default result latencies used by the height-reduction heuristic
+/// (mirrors `warp_cell::CellMachine::default()`; the pass has no access
+/// to the machine description, and for other latency settings it is
+/// merely a heuristic).
+pub fn default_latency(kind: &NodeKind) -> u32 {
+    match kind {
+        NodeKind::ConstF(_) | NodeKind::ConstB(_) => 0,
+        NodeKind::Load { .. }
+        | NodeKind::Store { .. }
+        | NodeKind::Recv { .. }
+        | NodeKind::Send { .. } => 1,
+        NodeKind::FDiv => 10,
+        _ => 5,
+    }
+}
+
+/// Rebalances single-use chains of `FAdd`/`FMul` by combining the two
+/// *shallowest* operands first (Huffman-style), which minimizes the
+/// resulting critical path and never exceeds the original chain's.
+///
+/// Only chains whose intermediate nodes have exactly one use are touched,
+/// so observable rounding behaviour changes only where the paper's
+/// compiler would have reassociated too.
+pub fn height_reduce(block: &mut Block) {
+    // Each pass rebalances at most one tree and then restarts, because
+    // a rebalance appends nodes and rewires inputs, invalidating the
+    // use counts. The pass count is bounded by the number of chain
+    // heads, which only shrinks.
+    for _ in 0..block.nodes.len() + 8 {
+        if !height_reduce_once(block) {
+            break;
+        }
+    }
+}
+
+fn height_reduce_once(block: &mut Block) -> bool {
+    let uses = use_counts(block);
+    let live = block.live_nodes();
+    // Availability depth per node under the default latency model.
+    let mut depth: Vec<Option<u64>> = vec![None; block.nodes.len()];
+    for &n in &live {
+        node_depth(block, n, &mut depth);
+    }
+    for n in live {
+        if !is_assoc(&block.nodes[n].kind) {
+            continue;
+        }
+        // Skip chain-internal nodes; the chain head handles them.
+        if uses[n.index()] == 1 {
+            if let Some(user) = single_user(block, n) {
+                if block.nodes[user].kind == block.nodes[n].kind {
+                    continue;
+                }
+            }
+        }
+        let mut leaves = Vec::new();
+        collect_leaves(block, &uses, n, &block.nodes[n].kind.clone(), &mut leaves);
+        if leaves.len() < 3 {
+            continue;
+        }
+        // Was the chain already optimal? Combine shallowest-first and
+        // compare against the chain head's current depth.
+        let kind = block.nodes[n].kind.clone();
+        let lat = u64::from(default_latency(&kind));
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, NodeId)>> = leaves
+            .iter()
+            .map(|&l| std::cmp::Reverse((depth[l.index()].expect("computed"), l)))
+            .collect();
+        let mut new_nodes: Vec<(NodeId, NodeId)> = Vec::new();
+        while heap.len() > 2 {
+            let std::cmp::Reverse((da, a)) = heap.pop().expect("len > 2");
+            let std::cmp::Reverse((db, b)) = heap.pop().expect("len > 1");
+            // Placeholder id; allocated below only if we commit.
+            let placeholder = NodeId(u32::MAX - new_nodes.len() as u32);
+            new_nodes.push((a, b));
+            heap.push(std::cmp::Reverse((da.max(db) + lat, placeholder)));
+        }
+        let std::cmp::Reverse((d1, top_a)) = heap.pop().expect("two remain");
+        let std::cmp::Reverse((d2, top_b)) = heap.pop().expect("one remains");
+        let new_depth = d1.max(d2) + lat;
+        if new_depth >= depth[n.index()].expect("computed") {
+            continue; // no improvement: keep the existing shape
+        }
+        // Commit: materialize the combines in order; placeholders are
+        // resolved as the nodes are created.
+        let base = block.nodes.len() as u32;
+        let resolve = |id: NodeId, base: u32| -> NodeId {
+            if id.0 > u32::MAX - 4096 {
+                NodeId(base + (u32::MAX - id.0))
+            } else {
+                id
+            }
+        };
+        for &(a, b) in &new_nodes {
+            block.nodes.push(Node {
+                kind: kind.clone(),
+                inputs: vec![resolve(a, base), resolve(b, base)],
+                deps: vec![],
+            });
+        }
+        block.nodes[n].inputs = vec![resolve(top_a, base), resolve(top_b, base)];
+        // Restart: the appended nodes are not covered by `uses`.
+        return true;
+    }
+    false
+}
+
+/// Memoized availability depth under [`default_latency`].
+fn node_depth(block: &Block, n: NodeId, memo: &mut Vec<Option<u64>>) -> u64 {
+    if let Some(d) = memo[n.index()] {
+        return d;
+    }
+    let node = &block.nodes[n];
+    let mut start = 0;
+    for &i in &node.inputs {
+        start = start.max(node_depth(block, i, memo));
+    }
+    for &d in &node.deps {
+        start = start.max(node_depth(block, d, memo).max(1));
+    }
+    let d = start + u64::from(default_latency(&node.kind));
+    memo[n.index()] = Some(d);
+    d
+}
+
+fn is_assoc(kind: &NodeKind) -> bool {
+    matches!(kind, NodeKind::FAdd | NodeKind::FMul)
+}
+
+fn single_user(block: &Block, n: NodeId) -> Option<NodeId> {
+    let mut user = None;
+    for (id, node) in block.nodes.iter() {
+        if node.inputs.contains(&n) {
+            if user.is_some() {
+                return None;
+            }
+            user = Some(id);
+        }
+    }
+    user
+}
+
+fn collect_leaves(
+    block: &Block,
+    uses: &[u32],
+    n: NodeId,
+    kind: &NodeKind,
+    leaves: &mut Vec<NodeId>,
+) {
+    for &inp in &block.nodes[n].inputs {
+        if &block.nodes[inp].kind == kind && uses[inp.index()] == 1 {
+            collect_leaves(block, uses, inp, kind, leaves);
+        } else {
+            leaves.push(inp);
+        }
+    }
+}
+
+/// Counts value uses of each node among the live nodes (roots count once).
+pub fn use_counts(block: &Block) -> Vec<u32> {
+    let mut uses = vec![0u32; block.nodes.len()];
+    for n in block.live_nodes() {
+        for &inp in &block.nodes[n].inputs {
+            uses[inp.index()] += 1;
+        }
+    }
+    for &r in &block.roots {
+        uses[r.index()] += 1;
+    }
+    uses
+}
+
+/// Length of the longest latency-weighted path through the live DAG.
+///
+/// `latency` gives each operation's result latency; sequencing deps
+/// contribute a latency of 1 (the dep must merely issue first).
+pub fn critical_path(block: &Block, latency: impl Fn(&NodeKind) -> u32) -> u32 {
+    fn depth(
+        block: &Block,
+        latency: &impl Fn(&NodeKind) -> u32,
+        n: NodeId,
+        memo: &mut [Option<u32>],
+    ) -> u32 {
+        if let Some(d) = memo[n.index()] {
+            return d;
+        }
+        let node = &block.nodes[n];
+        let mut start = 0;
+        for &i in &node.inputs {
+            start = start.max(depth(block, latency, i, memo));
+        }
+        for &d in &node.deps {
+            start = start.max(depth(block, latency, d, memo).max(1));
+        }
+        let d = start + latency(&node.kind);
+        memo[n.index()] = Some(d);
+        d
+    }
+    let mut memo = vec![None; block.nodes.len()];
+    block
+        .roots
+        .iter()
+        .map(|&r| depth(block, &latency, r, &mut memo))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use w2_lang::hir::VarId;
+
+    fn load(block: &mut Block, addr: i64) -> NodeId {
+        block.nodes.push(Node {
+            kind: NodeKind::Load {
+                var: VarId(0),
+                addr: Affine::constant(addr),
+            },
+            inputs: vec![],
+            deps: vec![],
+        })
+    }
+
+    fn chain(block: &mut Block, kind: NodeKind, leaves: &[NodeId]) -> NodeId {
+        let mut acc = leaves[0];
+        for &l in &leaves[1..] {
+            acc = block.nodes.push(Node {
+                kind: kind.clone(),
+                inputs: vec![acc, l],
+                deps: vec![],
+            });
+        }
+        acc
+    }
+
+    fn store_root(block: &mut Block, value: NodeId) {
+        let s = block.nodes.push(Node {
+            kind: NodeKind::Store {
+                var: VarId(0),
+                addr: Affine::constant(99),
+            },
+            inputs: vec![value],
+            deps: vec![],
+        });
+        block.roots.push(s);
+    }
+
+    const fn fp_latency(kind: &NodeKind) -> u32 {
+        match kind {
+            NodeKind::FAdd | NodeKind::FMul => 5,
+            _ => 1,
+        }
+    }
+
+    #[test]
+    fn linear_chain_becomes_log_depth() {
+        let mut b = Block::new();
+        let leaves: Vec<NodeId> = (0..8).map(|i| load(&mut b, i)).collect();
+        let sum = chain(&mut b, NodeKind::FAdd, &leaves);
+        store_root(&mut b, sum);
+        let before = critical_path(&b, fp_latency);
+        assert_eq!(before, 1 + 7 * 5 + 1); // load + 7 serial adds + store
+        height_reduce(&mut b);
+        let after = critical_path(&b, fp_latency);
+        assert_eq!(after, 1 + 3 * 5 + 1); // load + log2(8) adds + store
+                                          // Same number of live adds.
+        assert_eq!(b.count_live(|k| matches!(k, NodeKind::FAdd)), 7);
+    }
+
+    #[test]
+    fn shared_subexpression_is_a_leaf() {
+        // (((a+b)+c) where (a+b) has a second user: must not be absorbed.
+        let mut b = Block::new();
+        let a = load(&mut b, 0);
+        let bb = load(&mut b, 1);
+        let c = load(&mut b, 2);
+        let d = load(&mut b, 3);
+        let ab = b.nodes.push(Node {
+            kind: NodeKind::FAdd,
+            inputs: vec![a, bb],
+            deps: vec![],
+        });
+        let abc = b.nodes.push(Node {
+            kind: NodeKind::FAdd,
+            inputs: vec![ab, c],
+            deps: vec![],
+        });
+        let abcd = b.nodes.push(Node {
+            kind: NodeKind::FAdd,
+            inputs: vec![abc, d],
+            deps: vec![],
+        });
+        // Second use of ab.
+        let other = b.nodes.push(Node {
+            kind: NodeKind::FMul,
+            inputs: vec![ab, ab],
+            deps: vec![],
+        });
+        store_root(&mut b, abcd);
+        store_root(&mut b, other);
+        height_reduce(&mut b);
+        // ab is still live (used by other).
+        assert!(b.live_nodes().contains(&ab));
+    }
+
+    #[test]
+    fn short_chains_untouched() {
+        let mut b = Block::new();
+        let x = load(&mut b, 0);
+        let y = load(&mut b, 1);
+        let s = b.nodes.push(Node {
+            kind: NodeKind::FAdd,
+            inputs: vec![x, y],
+            deps: vec![],
+        });
+        store_root(&mut b, s);
+        let before = b.nodes.len();
+        height_reduce(&mut b);
+        assert_eq!(b.nodes.len(), before);
+    }
+
+    #[test]
+    fn mul_chains_also_reduced() {
+        let mut b = Block::new();
+        let leaves: Vec<NodeId> = (0..4).map(|i| load(&mut b, i)).collect();
+        let prod = chain(&mut b, NodeKind::FMul, &leaves);
+        store_root(&mut b, prod);
+        height_reduce(&mut b);
+        assert_eq!(critical_path(&b, fp_latency), 1 + 2 * 5 + 1);
+    }
+
+    #[test]
+    fn use_counts_include_roots() {
+        let mut b = Block::new();
+        let x = load(&mut b, 0);
+        store_root(&mut b, x);
+        let counts = use_counts(&b);
+        assert_eq!(counts[x.index()], 1);
+        assert_eq!(counts[b.roots[0].index()], 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! The hierarchical flowgraph (region tree) and cell memory layout.
+//!
+//! Because W2 rejects dynamic control flow, a checked program's control
+//! structure is a tree: sequences of basic blocks and counted loops. This
+//! "region tree" is the flowgraph of paper §6.1, specialized to the shape
+//! the language guarantees; it is also exactly the structure the skew
+//! analysis needs (the loop nest of every I/O statement).
+
+use crate::affine::LoopId;
+use crate::dag::{Block, BlockId};
+use std::collections::HashMap;
+use w2_lang::hir::{VarId, VarInfo, VarKind};
+use warp_common::{Diagnostic, DiagnosticBag, IdVec};
+
+/// Metadata of one counted loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopMeta {
+    /// The W2 loop index variable.
+    pub var: VarId,
+    /// First index value.
+    pub lo: i64,
+    /// Number of iterations (`hi - lo + 1`).
+    pub count: u64,
+}
+
+/// A node of the region tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Region {
+    /// A basic block.
+    Block(BlockId),
+    /// A counted loop around a sub-region.
+    Loop {
+        /// Loop identity (used by affine address terms).
+        id: LoopId,
+        /// Loop body.
+        body: Box<Region>,
+    },
+    /// Sequential composition.
+    Seq(Vec<Region>),
+}
+
+impl Region {
+    /// Collects the block ids in execution order (loop bodies once).
+    pub fn blocks_in_order(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.collect_blocks(&mut out);
+        out
+    }
+
+    fn collect_blocks(&self, out: &mut Vec<BlockId>) {
+        match self {
+            Region::Block(b) => out.push(*b),
+            Region::Loop { body, .. } => body.collect_blocks(out),
+            Region::Seq(rs) => {
+                for r in rs {
+                    r.collect_blocks(out);
+                }
+            }
+        }
+    }
+
+    /// Maximum loop nesting depth of the region.
+    pub fn max_depth(&self) -> usize {
+        match self {
+            Region::Block(_) => 0,
+            Region::Loop { body, .. } => 1 + body.max_depth(),
+            Region::Seq(rs) => rs.iter().map(Region::max_depth).max().unwrap_or(0),
+        }
+    }
+}
+
+/// Assignment of cell-local variables to the 4K-word cell data memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layout {
+    base: HashMap<VarId, u32>,
+    used: u32,
+    capacity: u32,
+}
+
+impl Layout {
+    /// Builds a layout for all cell-local variables.
+    ///
+    /// # Errors
+    ///
+    /// Reports a diagnostic if the variables exceed `capacity` words
+    /// (the real cell has 4K words, paper §2.4).
+    pub fn build(vars: &IdVec<VarId, VarInfo>, capacity: u32, diags: &mut DiagnosticBag) -> Layout {
+        let mut base = HashMap::new();
+        let mut used = 0u32;
+        for (id, info) in vars.iter() {
+            if info.kind != VarKind::CellLocal {
+                continue;
+            }
+            base.insert(id, used);
+            used += info.size();
+        }
+        if used > capacity {
+            diags.push(Diagnostic::error_global(format!(
+                "cell data memory overflow: {used} words needed, {capacity} available"
+            )));
+        }
+        Layout {
+            base,
+            used,
+            capacity,
+        }
+    }
+
+    /// Base word address of a cell-local variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not cell-local.
+    pub fn base_of(&self, var: VarId) -> u32 {
+        *self
+            .base
+            .get(&var)
+            .unwrap_or_else(|| panic!("{var:?} has no cell memory address"))
+    }
+
+    /// Words of data memory in use.
+    pub fn words_used(&self) -> u32 {
+        self.used
+    }
+
+    /// Total capacity in words.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Reserves `words` of scratch space (used by the register allocator
+    /// for spills), returning the base address of the reserved area.
+    pub fn reserve_scratch(&mut self, words: u32) -> u32 {
+        let addr = self.used;
+        self.used += words;
+        addr
+    }
+}
+
+/// The complete cell-side IR for one module: the input to code generation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellIr {
+    /// Module name.
+    pub name: String,
+    /// All basic blocks.
+    pub blocks: IdVec<BlockId, Block>,
+    /// All loops.
+    pub loops: IdVec<LoopId, LoopMeta>,
+    /// The control structure.
+    pub root: Region,
+    /// Cell memory layout.
+    pub layout: Layout,
+    /// Variable table (shared with the HIR).
+    pub vars: IdVec<VarId, VarInfo>,
+    /// Number of cells in the array.
+    pub n_cells: u32,
+}
+
+impl CellIr {
+    /// Total live abstract operations across all blocks (a size metric).
+    pub fn live_op_count(&self) -> usize {
+        self.blocks.values().map(Block::live_node_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::hir::BaseTy;
+
+    fn vars() -> IdVec<VarId, VarInfo> {
+        let mut v = IdVec::new();
+        v.push(VarInfo {
+            name: "x".into(),
+            ty: BaseTy::Float,
+            dims: vec![],
+            kind: VarKind::CellLocal,
+        });
+        v.push(VarInfo {
+            name: "host".into(),
+            ty: BaseTy::Float,
+            dims: vec![8],
+            kind: VarKind::Host,
+        });
+        v.push(VarInfo {
+            name: "a".into(),
+            ty: BaseTy::Float,
+            dims: vec![10],
+            kind: VarKind::CellLocal,
+        });
+        v
+    }
+
+    #[test]
+    fn layout_assigns_consecutive_addresses() {
+        let vars = vars();
+        let mut diags = DiagnosticBag::new();
+        let layout = Layout::build(&vars, 4096, &mut diags);
+        assert!(diags.is_empty());
+        assert_eq!(layout.base_of(VarId(0)), 0);
+        assert_eq!(layout.base_of(VarId(2)), 1);
+        assert_eq!(layout.words_used(), 11);
+        assert_eq!(layout.capacity(), 4096);
+    }
+
+    #[test]
+    fn layout_overflow_detected() {
+        let vars = vars();
+        let mut diags = DiagnosticBag::new();
+        let _ = Layout::build(&vars, 4, &mut diags);
+        assert!(diags.has_errors());
+        assert!(diags.to_string().contains("memory overflow"));
+    }
+
+    #[test]
+    fn scratch_reservation() {
+        let vars = vars();
+        let mut diags = DiagnosticBag::new();
+        let mut layout = Layout::build(&vars, 4096, &mut diags);
+        let s = layout.reserve_scratch(4);
+        assert_eq!(s, 11);
+        assert_eq!(layout.words_used(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cell memory address")]
+    fn layout_panics_for_host_vars() {
+        let vars = vars();
+        let mut diags = DiagnosticBag::new();
+        let layout = Layout::build(&vars, 4096, &mut diags);
+        let _ = layout.base_of(VarId(1));
+    }
+
+    #[test]
+    fn region_block_order_and_depth() {
+        let r = Region::Seq(vec![
+            Region::Block(BlockId(0)),
+            Region::Loop {
+                id: LoopId(0),
+                body: Box::new(Region::Seq(vec![
+                    Region::Block(BlockId(1)),
+                    Region::Loop {
+                        id: LoopId(1),
+                        body: Box::new(Region::Block(BlockId(2))),
+                    },
+                ])),
+            },
+            Region::Block(BlockId(3)),
+        ]);
+        assert_eq!(
+            r.blocks_in_order(),
+            vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)]
+        );
+        assert_eq!(r.max_depth(), 2);
+    }
+}

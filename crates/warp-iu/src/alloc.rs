@@ -1,0 +1,266 @@
+//! Operand-allocation alternatives for IU address generation
+//! (paper §6.3.2, Table 6-5).
+//!
+//! The IU forms each address by summing register contents and literal
+//! operands. Which subexpressions to keep in registers is a genuine
+//! trade-off: more registers mean fewer adds per address but more update
+//! operations per loop iteration. Table 6-5 of the paper evaluates three
+//! allocations for the addresses of `a[i,j+1]` and `b[i+j,j]` inside an
+//! `i`/`j` loop nest over `N×N` arrays; this module reproduces that
+//! evaluation.
+//!
+//! Symbolic quantities (the array bases `A`, `B` and the symbolic
+//! dimension `N`) are modeled as pseudo-symbols in the [`Affine`] term
+//! space: they behave like loop indices that never advance, so register
+//! updates are counted only for terms in real loop indices.
+
+use warp_ir::affine::{Affine, LoopId};
+
+/// A candidate set of register-resident subexpressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegisterSet {
+    /// Human-readable label ("i*N, j*N, j").
+    pub name: String,
+    /// The value each register holds (may include a bias constant — the
+    /// paper's cheaper allocations bias registers so an address equals a
+    /// register exactly).
+    pub regs: Vec<Affine>,
+    /// Whether residual constants fold into one literal operand. The
+    /// naive allocation of Table 6-5's first row assembles each operand
+    /// separately (base, displacement), i.e. no folding.
+    pub fold_constants: bool,
+}
+
+/// Evaluated cost of a [`RegisterSet`] (the three columns of Table 6-5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocCost {
+    /// Number of registers.
+    pub registers: usize,
+    /// Additions needed to form all the addresses once.
+    pub arith_ops: usize,
+    /// Register updates per iteration of the inner loop.
+    pub update_ops: usize,
+}
+
+/// Evaluates `set` against the given address expressions.
+///
+/// Returns `None` when some address cannot be assembled from the
+/// registers plus literals (a loop-variant term is not covered).
+pub fn evaluate(addresses: &[Affine], set: &RegisterSet, inner: LoopId) -> Option<AllocCost> {
+    let mut arith = 0usize;
+    for addr in addresses {
+        arith += assemble_cost(addr, &set.regs, set.fold_constants)?;
+    }
+    let updates = set.regs.iter().filter(|r| r.coeff(inner) != 0).count();
+    Some(AllocCost {
+        registers: set.regs.len(),
+        arith_ops: arith,
+        update_ops: updates,
+    })
+}
+
+/// Minimum adds to form `addr` from a subset of `regs` plus literals.
+fn assemble_cost(addr: &Affine, regs: &[Affine], fold: bool) -> Option<usize> {
+    let n = regs.len();
+    assert!(n <= 16, "register sets are small");
+    let mut best: Option<usize> = None;
+    for mask in 0u32..(1 << n) {
+        let mut residual = addr.clone();
+        let mut operands = 0usize;
+        for (i, reg) in regs.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                residual = residual.sub(reg);
+                operands += 1;
+            }
+        }
+        // Residual must not contain loop-variant terms the registers did
+        // not cover. Pseudo-symbols (bases, N) count as literal operands.
+        if residual
+            .terms
+            .iter()
+            .any(|(l, _)| is_loop_symbol(*l) && residual.coeff(*l) != 0)
+        {
+            continue;
+        }
+        let symbol_terms = residual.terms.len();
+        let has_const = residual.constant != 0;
+        operands += if fold {
+            usize::from(symbol_terms > 0 || has_const)
+        } else {
+            symbol_terms + usize::from(has_const)
+        };
+        let cost = operands.saturating_sub(1);
+        if best.is_none_or(|b| cost < b) {
+            best = Some(cost);
+        }
+    }
+    best
+}
+
+/// Ids below this bound are real loop indices; at or above are
+/// pseudo-symbols (array bases, symbolic dimensions).
+pub const SYMBOL_BASE: u32 = 1000;
+
+fn is_loop_symbol(l: LoopId) -> bool {
+    l.0 < SYMBOL_BASE
+}
+
+/// The inputs of Table 6-5: addresses of `a[i,j+1]` and `b[i+j,j]` for
+/// `N×N` arrays, with `i` the outer and `j` the inner loop index.
+///
+/// Returns `(addresses, i, j)`; the symbolic `N` is fixed at 512 and the
+/// bases at distinct pseudo-symbols so no accidental folding occurs.
+pub fn table_6_5_addresses() -> (Vec<Affine>, LoopId, LoopId) {
+    let i = LoopId(0);
+    let j = LoopId(1);
+    let base_a = LoopId(SYMBOL_BASE);
+    let base_b = LoopId(SYMBOL_BASE + 1);
+    let n = 512i64;
+    // a[i, j+1] = A + N·i + j + 1
+    let a = Affine::term(base_a, 1)
+        .add(&Affine::term(i, n))
+        .add(&Affine::term(j, 1))
+        .add(&Affine::constant(1));
+    // b[i+j, j] = B + N·(i+j) + j = B + N·i + (N+1)·j
+    let b = Affine::term(base_b, 1)
+        .add(&Affine::term(i, n))
+        .add(&Affine::term(j, n + 1));
+    (vec![a, b], i, j)
+}
+
+/// The three allocations of Table 6-5, in paper order.
+pub fn table_6_5_options() -> Vec<RegisterSet> {
+    let (_, i, j) = table_6_5_addresses();
+    let base_a = LoopId(SYMBOL_BASE);
+    let base_b = LoopId(SYMBOL_BASE + 1);
+    let n = 512i64;
+    vec![
+        // {i*N, j*N, j}: every operand assembled separately.
+        RegisterSet {
+            name: "i*N, j*N, j".into(),
+            regs: vec![Affine::term(i, n), Affine::term(j, n), Affine::term(j, 1)],
+            fold_constants: false,
+        },
+        // {a[i], b[i], j, j*N} with the paper's implicit biases: the
+        // "a[i]" register absorbs the +1 displacement and the "j*N"
+        // register tracks (N+1)·j, so each address is one add.
+        RegisterSet {
+            name: "a[i], b[i], j, j*N".into(),
+            regs: vec![
+                Affine::term(base_a, 1)
+                    .add(&Affine::term(i, n))
+                    .add(&Affine::constant(1)),
+                Affine::term(base_b, 1).add(&Affine::term(i, n)),
+                Affine::term(j, 1),
+                Affine::term(j, n + 1),
+            ],
+            fold_constants: true,
+        },
+        // {a[i], b[i], a[i,j], b[i+j], j}: the element registers track
+        // the full addresses, so a[i,j+1] is the register itself.
+        RegisterSet {
+            name: "a[i], b[i], a[i,j], b[i+j], j".into(),
+            regs: vec![
+                Affine::term(base_a, 1).add(&Affine::term(i, n)),
+                Affine::term(base_b, 1).add(&Affine::term(i, n)),
+                Affine::term(base_a, 1)
+                    .add(&Affine::term(i, n))
+                    .add(&Affine::term(j, 1))
+                    .add(&Affine::constant(1)),
+                Affine::term(base_b, 1)
+                    .add(&Affine::term(i, n))
+                    .add(&Affine::term(j, n)),
+                Affine::term(j, 1),
+            ],
+            fold_constants: true,
+        },
+    ]
+}
+
+/// Evaluates Table 6-5: `(label, cost)` per allocation, in paper order.
+pub fn table_6_5() -> Vec<(String, AllocCost)> {
+    let (addresses, _, j) = table_6_5_addresses();
+    table_6_5_options()
+        .into_iter()
+        .map(|set| {
+            let cost = evaluate(&addresses, &set, j).expect("paper options are feasible");
+            (set.name, cost)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table_6_5() {
+        let rows = table_6_5();
+        // Paper Table 6-5: (3, 6, 2), (4, 2, 2), (5, 1, 3).
+        assert_eq!(
+            rows[0].1,
+            AllocCost {
+                registers: 3,
+                arith_ops: 6,
+                update_ops: 2
+            },
+            "{:?}",
+            rows[0]
+        );
+        assert_eq!(
+            rows[1].1,
+            AllocCost {
+                registers: 4,
+                arith_ops: 2,
+                update_ops: 2
+            },
+            "{:?}",
+            rows[1]
+        );
+        assert_eq!(
+            rows[2].1,
+            AllocCost {
+                registers: 5,
+                arith_ops: 1,
+                update_ops: 3
+            },
+            "{:?}",
+            rows[2]
+        );
+    }
+
+    #[test]
+    fn tradeoff_is_monotone() {
+        let rows = table_6_5();
+        assert!(rows[0].1.registers < rows[1].1.registers);
+        assert!(rows[1].1.registers < rows[2].1.registers);
+        assert!(rows[0].1.arith_ops > rows[1].1.arith_ops);
+        assert!(rows[1].1.arith_ops > rows[2].1.arith_ops);
+    }
+
+    #[test]
+    fn infeasible_set_detected() {
+        let (addresses, _, j) = table_6_5_addresses();
+        let set = RegisterSet {
+            name: "just j".into(),
+            regs: vec![Affine::term(j, 1)],
+            fold_constants: true,
+        };
+        // i·N cannot be formed from j and literals.
+        assert_eq!(evaluate(&addresses, &set, j), None);
+    }
+
+    #[test]
+    fn exact_register_match_costs_zero() {
+        let i = LoopId(0);
+        let addr = Affine::term(i, 4).add(&Affine::constant(3));
+        let set = RegisterSet {
+            name: "exact".into(),
+            regs: vec![addr.clone()],
+            fold_constants: true,
+        };
+        let c = evaluate(&[addr], &set, i).unwrap();
+        assert_eq!(c.arith_ops, 0);
+        assert_eq!(c.update_ops, 1);
+    }
+}

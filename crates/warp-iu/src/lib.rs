@@ -1,0 +1,59 @@
+//! Interface-unit (IU) code generation.
+//!
+//! The IU generates every data-independent address and all loop-control
+//! signals for the Warp array (paper §2.2, §6.3). It has add/subtract
+//! arithmetic only, 16 registers, no data memory, and a 32K-word table
+//! readable sequentially — so address generation is a strength-reduction
+//! and resource-allocation problem:
+//!
+//! * [`program`] — the IU program representation and its interpreter;
+//! * [`codegen`] — plan construction, register/table allocation,
+//!   strength reduction, loop-signal tail unrolling;
+//! * [`alloc`] — the operand-allocation trade-off study of Table 6-5.
+//!
+//! # Examples
+//!
+//! ```
+//! use w2_lang::parse_and_check;
+//! use warp_ir::{decompose, lower, LowerOptions};
+//! use warp_cell::{codegen, CellMachine};
+//! use warp_iu::{iu_codegen, IuOptions};
+//!
+//! let src = r#"
+//! module fill (xs in, ys out)
+//! float xs[8];
+//! float ys[8];
+//! cellprogram (cid : 0 : 0)
+//! begin
+//!   function body
+//!   begin
+//!     float v;
+//!     float buf[8];
+//!     int i;
+//!     for i := 0 to 7 do begin
+//!       receive (L, X, v, xs[i]);
+//!       buf[i] := v;
+//!       send (R, X, v, ys[i]);
+//!     end;
+//!   end
+//!   call body;
+//! end
+//! "#;
+//! let hir = parse_and_check(src)?;
+//! let mut ir = lower(&hir, &LowerOptions::default())?;
+//! let dec = decompose::decompose(&mut ir);
+//! let cell = codegen(&ir, &CellMachine::default())?;
+//! let iu = iu_codegen(&ir, &dec, &cell, &IuOptions::default())?;
+//! // One induction register drives the buf[i] store addresses.
+//! assert_eq!(iu.regs_used, 1);
+//! assert_eq!(iu.emissions().len(), 8);
+//! # Ok::<(), warp_common::DiagnosticBag>(())
+//! ```
+
+pub mod alloc;
+pub mod codegen;
+pub mod program;
+
+pub use alloc::{evaluate, table_6_5, AllocCost, RegisterSet};
+pub use codegen::{iu_codegen, IuOptions, LOOP_TEST_CYCLES};
+pub use program::{Emission, EmitPlan, EmitSource, IuBlock, IuOp, IuProgram, IuReg, IuRegion};

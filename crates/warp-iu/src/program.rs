@@ -1,0 +1,446 @@
+//! The IU program representation.
+//!
+//! The interface unit runs in lock step with the Warp array, one (ALU
+//! op, address emission) pair per cycle. Its compiled program mirrors
+//! the cell program's region tree: per cell basic block an [`IuBlock`]
+//! emitting the block's addresses, and per loop the register updates
+//! that realize strength reduction plus the tail iterations unrolled for
+//! the loop-signal latency (paper §6.3.1).
+//!
+//! Registers carry all state, so the program can be executed (and the
+//! address stream enumerated) without knowing the loop variables.
+
+use warp_common::define_id;
+
+define_id!(IuReg, "ir");
+
+/// One IU scalar operation (the IU has add/subtract only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IuOp {
+    /// Load an immediate into a register.
+    Init {
+        /// Destination.
+        reg: IuReg,
+        /// Value.
+        value: i64,
+    },
+    /// Add an immediate to a register (strength-reduction update).
+    AddImm {
+        /// Destination.
+        reg: IuReg,
+        /// Increment (may be negative: subtraction).
+        imm: i64,
+    },
+}
+
+/// Where an emitted address comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmitSource {
+    /// The current value of a register.
+    Reg(IuReg),
+    /// Register plus a constant offset (costs the ALU that cycle).
+    RegOffset(IuReg, i64),
+    /// The next sequential word of table memory.
+    Table,
+}
+
+/// One address emission within a block execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmitPlan {
+    /// Cycle within the block at which the address enters the Adr path.
+    pub cycle: u32,
+    /// Source of the value.
+    pub source: EmitSource,
+}
+
+/// The IU program for one cell basic block (one execution).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IuBlock {
+    /// Length in cycles (same as the cell block).
+    pub len: u32,
+    /// Address emissions in Adr-FIFO order.
+    pub emits: Vec<EmitPlan>,
+}
+
+/// A region of the IU program, mirroring the cell code regions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IuRegion {
+    /// Straight-line block.
+    Block(IuBlock),
+    /// Counted loop.
+    Loop {
+        /// Iteration count.
+        count: u64,
+        /// Body regions.
+        body: Vec<IuRegion>,
+        /// Register updates applied at the end of every iteration.
+        updates: Vec<IuOp>,
+        /// Iterations unrolled at the tail because the IU needs 3 cycles
+        /// to update and test its loop counter (paper §6.3.1:
+        /// `k = 3/len + 1` when the body is shorter than the test).
+        unrolled_tail: u64,
+    },
+}
+
+impl IuRegion {
+    /// Static micro-instruction count: block cycles once, plus one extra
+    /// copy of the body per unrolled tail iteration.
+    pub fn static_len(&self) -> u64 {
+        match self {
+            IuRegion::Block(b) => u64::from(b.len),
+            IuRegion::Loop {
+                body,
+                updates,
+                unrolled_tail,
+                ..
+            } => {
+                let body_len: u64 = body.iter().map(IuRegion::static_len).sum();
+                (1 + unrolled_tail) * (body_len + updates.len() as u64)
+            }
+        }
+    }
+}
+
+/// The complete IU program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IuProgram {
+    /// Module name.
+    pub name: String,
+    /// Registers in use.
+    pub regs_used: u32,
+    /// Pre-stored addresses in global read order (paper §6.3.2: a 32K
+    /// table readable only sequentially).
+    pub table: Vec<u32>,
+    /// Register initialization, before the first region.
+    pub init: Vec<IuOp>,
+    /// Program regions in execution order.
+    pub regions: Vec<IuRegion>,
+}
+
+/// One address on the Adr path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Emission {
+    /// Global cycle (relative to program start, aligned with cell 0).
+    pub cycle: u64,
+    /// The address word.
+    pub addr: u32,
+}
+
+impl IuProgram {
+    /// Static IU µcode length — the Table 7-1 "IU µcode" metric.
+    pub fn static_len(&self) -> u64 {
+        self.init.len() as u64 + self.regions.iter().map(IuRegion::static_len).sum::<u64>()
+    }
+
+    /// Executes the program, streaming every address emission in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an emitted address is negative or the table is
+    /// exhausted — both indicate compiler bugs, not data conditions.
+    pub fn visit_emissions(&self, mut f: impl FnMut(Emission)) {
+        let mut regs = vec![0i64; self.regs_used as usize];
+        for op in &self.init {
+            apply(op, &mut regs);
+        }
+        let mut table_pos = 0usize;
+        let mut cycle = 0u64;
+        for region in &self.regions {
+            self.run_region(region, &mut regs, &mut table_pos, &mut cycle, &mut f);
+        }
+    }
+
+    fn run_region(
+        &self,
+        region: &IuRegion,
+        regs: &mut [i64],
+        table_pos: &mut usize,
+        cycle: &mut u64,
+        f: &mut impl FnMut(Emission),
+    ) {
+        match region {
+            IuRegion::Block(b) => {
+                for e in &b.emits {
+                    let value = match e.source {
+                        EmitSource::Reg(r) => regs[r.index()],
+                        EmitSource::RegOffset(r, off) => regs[r.index()] + off,
+                        EmitSource::Table => {
+                            let v = self.table[*table_pos];
+                            *table_pos += 1;
+                            i64::from(v)
+                        }
+                    };
+                    f(Emission {
+                        cycle: *cycle + u64::from(e.cycle),
+                        addr: u32::try_from(value).expect("IU emitted a negative address"),
+                    });
+                }
+                *cycle += u64::from(b.len);
+            }
+            IuRegion::Loop {
+                count,
+                body,
+                updates,
+                ..
+            } => {
+                for _ in 0..*count {
+                    for r in body {
+                        self.run_region(r, regs, table_pos, cycle, f);
+                    }
+                    for op in updates {
+                        apply(op, regs);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects all emissions (convenience for tests and the simulator).
+    pub fn emissions(&self) -> Vec<Emission> {
+        let mut out = Vec::new();
+        self.visit_emissions(|e| out.push(e));
+        out
+    }
+
+    /// A human-readable IU program listing.
+    pub fn listing(&self) -> String {
+        fn op(o: &IuOp) -> String {
+            match o {
+                IuOp::Init { reg, value } => format!("init {reg}, #{value}"),
+                IuOp::AddImm { reg, imm } => format!("add {reg}, #{imm}"),
+            }
+        }
+        fn region(out: &mut String, r: &IuRegion, indent: usize) {
+            let pad = "  ".repeat(indent);
+            match r {
+                IuRegion::Block(b) => {
+                    for e in &b.emits {
+                        let src = match e.source {
+                            EmitSource::Reg(r) => format!("{r}"),
+                            EmitSource::RegOffset(r, off) => format!("{r}+{off}"),
+                            EmitSource::Table => "table++".to_owned(),
+                        };
+                        out.push_str(&format!(
+                            "{pad}{:>4}: emit {src}
+",
+                            e.cycle
+                        ));
+                    }
+                    if b.emits.is_empty() {
+                        out.push_str(&format!(
+                            "{pad}  ({} idle cycles)
+",
+                            b.len
+                        ));
+                    }
+                }
+                IuRegion::Loop {
+                    count,
+                    body,
+                    updates,
+                    unrolled_tail,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}loop x{count} (tail unrolled {unrolled_tail}) {{
+"
+                    ));
+                    for r in body {
+                        region(out, r, indent + 1);
+                    }
+                    for u in updates {
+                        out.push_str(&format!(
+                            "{pad}  {}
+",
+                            op(u)
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{pad}}}
+"
+                    ));
+                }
+            }
+        }
+        let mut out = format!(
+            "; IU program `{}`: {} instructions, {} registers, {} table words
+",
+            self.name,
+            self.static_len(),
+            self.regs_used,
+            self.table.len()
+        );
+        for o in &self.init {
+            out.push_str(&format!(
+                "      {}
+",
+                op(o)
+            ));
+        }
+        for r in &self.regions {
+            region(&mut out, r, 0);
+        }
+        out
+    }
+}
+
+use warp_common::idvec::Id as _;
+
+fn apply(op: &IuOp, regs: &mut [i64]) {
+    match *op {
+        IuOp::Init { reg, value } => regs[reg.index()] = value,
+        IuOp::AddImm { reg, imm } => regs[reg.index()] += imm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strength_reduced_stream() {
+        // Two-deep nest over a row-major 4-wide array: addr = 4i + j,
+        // i in 0..3, j in 0..4.
+        let r = IuReg(0);
+        let prog = IuProgram {
+            name: "t".into(),
+            regs_used: 1,
+            table: vec![],
+            init: vec![IuOp::Init { reg: r, value: 0 }],
+            regions: vec![IuRegion::Loop {
+                count: 3,
+                body: vec![IuRegion::Loop {
+                    count: 4,
+                    body: vec![IuRegion::Block(IuBlock {
+                        len: 2,
+                        emits: vec![EmitPlan {
+                            cycle: 0,
+                            source: EmitSource::Reg(r),
+                        }],
+                    })],
+                    updates: vec![IuOp::AddImm { reg: r, imm: 1 }],
+                    unrolled_tail: 0,
+                }],
+                // After j's 4 updates the register is 4 past the row
+                // start; the row stride is 4, so no correction needed.
+                updates: vec![],
+                unrolled_tail: 0,
+            }],
+        };
+        let addrs: Vec<u32> = prog.emissions().iter().map(|e| e.addr).collect();
+        assert_eq!(addrs, (0..12).collect::<Vec<u32>>());
+        let cycles: Vec<u64> = prog.emissions().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, (0..12).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn outer_compensation() {
+        // addr = 10*i + j, i in 0..2, j in 0..3: after j's three +1
+        // updates the register must be corrected by 10 - 3 = +7.
+        let r = IuReg(0);
+        let prog = IuProgram {
+            name: "t".into(),
+            regs_used: 1,
+            table: vec![],
+            init: vec![IuOp::Init { reg: r, value: 0 }],
+            regions: vec![IuRegion::Loop {
+                count: 2,
+                body: vec![IuRegion::Loop {
+                    count: 3,
+                    body: vec![IuRegion::Block(IuBlock {
+                        len: 1,
+                        emits: vec![EmitPlan {
+                            cycle: 0,
+                            source: EmitSource::Reg(r),
+                        }],
+                    })],
+                    updates: vec![IuOp::AddImm { reg: r, imm: 1 }],
+                    unrolled_tail: 0,
+                }],
+                updates: vec![IuOp::AddImm { reg: r, imm: 7 }],
+                unrolled_tail: 0,
+            }],
+        };
+        let addrs: Vec<u32> = prog.emissions().iter().map(|e| e.addr).collect();
+        assert_eq!(addrs, vec![0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn table_source_reads_sequentially() {
+        let prog = IuProgram {
+            name: "t".into(),
+            regs_used: 0,
+            table: vec![7, 8, 9],
+            init: vec![],
+            regions: vec![IuRegion::Loop {
+                count: 3,
+                body: vec![IuRegion::Block(IuBlock {
+                    len: 1,
+                    emits: vec![EmitPlan {
+                        cycle: 0,
+                        source: EmitSource::Table,
+                    }],
+                })],
+                updates: vec![],
+                unrolled_tail: 0,
+            }],
+        };
+        let addrs: Vec<u32> = prog.emissions().iter().map(|e| e.addr).collect();
+        assert_eq!(addrs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn static_len_counts_unrolled_tail() {
+        let block = IuRegion::Block(IuBlock {
+            len: 2,
+            emits: vec![],
+        });
+        let lp = IuRegion::Loop {
+            count: 10,
+            body: vec![block],
+            updates: vec![IuOp::AddImm {
+                reg: IuReg(0),
+                imm: 1,
+            }],
+            unrolled_tail: 2,
+        };
+        // (1 + 2 tail copies) × (2 body + 1 update)
+        assert_eq!(lp.static_len(), 9);
+        let prog = IuProgram {
+            name: "t".into(),
+            regs_used: 1,
+            table: vec![],
+            init: vec![IuOp::Init {
+                reg: IuReg(0),
+                value: 0,
+            }],
+            regions: vec![lp],
+        };
+        assert_eq!(prog.static_len(), 10);
+    }
+
+    #[test]
+    fn reg_offset_source() {
+        let r = IuReg(0);
+        let prog = IuProgram {
+            name: "t".into(),
+            regs_used: 1,
+            table: vec![],
+            init: vec![IuOp::Init { reg: r, value: 5 }],
+            regions: vec![IuRegion::Block(IuBlock {
+                len: 2,
+                emits: vec![
+                    EmitPlan {
+                        cycle: 0,
+                        source: EmitSource::Reg(r),
+                    },
+                    EmitPlan {
+                        cycle: 1,
+                        source: EmitSource::RegOffset(r, 3),
+                    },
+                ],
+            })],
+        };
+        let addrs: Vec<u32> = prog.emissions().iter().map(|e| e.addr).collect();
+        assert_eq!(addrs, vec![5, 8]);
+    }
+}

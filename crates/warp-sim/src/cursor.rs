@@ -1,0 +1,176 @@
+//! Microprogram sequencing: yields one instruction per cycle, driving
+//! counted loops the way the cell's sequencer does under IU loop
+//! signals.
+
+use warp_cell::{CodeRegion, MicroInst};
+
+/// A program counter over a region tree.
+#[derive(Clone, Debug)]
+pub struct Cursor<'a> {
+    frames: Vec<Frame<'a>>,
+}
+
+#[derive(Clone, Debug)]
+struct Frame<'a> {
+    regions: &'a [CodeRegion],
+    region_idx: usize,
+    inst_idx: usize,
+    /// Iterations left when this frame is a loop body.
+    iters_left: u64,
+    is_loop_body: bool,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts at the beginning of `regions`.
+    pub fn new(regions: &'a [CodeRegion]) -> Cursor<'a> {
+        Cursor {
+            frames: vec![Frame {
+                regions,
+                region_idx: 0,
+                inst_idx: 0,
+                iters_left: 1,
+                is_loop_body: false,
+            }],
+        }
+    }
+
+    /// Returns `true` once the program has finished.
+    pub fn is_done(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Advances one cycle, returning the instruction to execute.
+    pub fn step(&mut self) -> Option<&'a MicroInst> {
+        loop {
+            let frame = self.frames.last_mut()?;
+            if frame.region_idx >= frame.regions.len() {
+                if frame.is_loop_body && frame.iters_left > 1 {
+                    frame.iters_left -= 1;
+                    frame.region_idx = 0;
+                    frame.inst_idx = 0;
+                    continue;
+                }
+                self.frames.pop();
+                if let Some(parent) = self.frames.last_mut() {
+                    parent.region_idx += 1;
+                    parent.inst_idx = 0;
+                }
+                continue;
+            }
+            match &frame.regions[frame.region_idx] {
+                CodeRegion::Block(b) => {
+                    if frame.inst_idx < b.insts.len() {
+                        let inst = &b.insts[frame.inst_idx];
+                        frame.inst_idx += 1;
+                        return Some(inst);
+                    }
+                    frame.region_idx += 1;
+                    frame.inst_idx = 0;
+                }
+                CodeRegion::Loop { count, body, .. } => {
+                    if *count == 0 {
+                        frame.region_idx += 1;
+                        continue;
+                    }
+                    let iters = *count;
+                    self.frames.push(Frame {
+                        regions: body,
+                        region_idx: 0,
+                        inst_idx: 0,
+                        iters_left: iters,
+                        is_loop_body: true,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_cell::BlockCode;
+    use warp_ir::LoopId;
+
+    fn block(n: usize) -> CodeRegion {
+        CodeRegion::Block(BlockCode {
+            insts: vec![MicroInst::default(); n],
+            io_events: vec![],
+            adr_deadlines: vec![],
+            source: None,
+        })
+    }
+
+    #[test]
+    fn straight_line() {
+        let regions = vec![block(3)];
+        let mut c = Cursor::new(&regions);
+        let mut n = 0;
+        while c.step().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn loops_repeat_bodies() {
+        let regions = vec![
+            block(1),
+            CodeRegion::Loop {
+                id: LoopId(0),
+                count: 4,
+                body: vec![block(2)],
+            },
+            block(1),
+        ];
+        let mut c = Cursor::new(&regions);
+        let mut n = 0;
+        while c.step().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1 + 4 * 2 + 1);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let inner = CodeRegion::Loop {
+            id: LoopId(1),
+            count: 3,
+            body: vec![block(1)],
+        };
+        let regions = vec![CodeRegion::Loop {
+            id: LoopId(0),
+            count: 2,
+            body: vec![block(1), inner],
+        }];
+        let mut c = Cursor::new(&regions);
+        let mut n = 0;
+        while c.step().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2 * (1 + 3));
+    }
+
+    #[test]
+    fn zero_count_loop_skipped() {
+        let regions = vec![CodeRegion::Loop {
+            id: LoopId(0),
+            count: 0,
+            body: vec![block(5)],
+        }];
+        let mut c = Cursor::new(&regions);
+        assert!(c.step().is_none());
+    }
+
+    #[test]
+    fn empty_blocks_skipped() {
+        let regions = vec![block(0), block(2), block(0)];
+        let mut c = Cursor::new(&regions);
+        let mut n = 0;
+        while c.step().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+}

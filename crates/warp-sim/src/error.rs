@@ -1,0 +1,151 @@
+//! Simulation errors: the machine invariants the compiler must uphold.
+
+use std::fmt;
+use w2_lang::ast::Chan;
+
+/// A violated machine invariant, with the global cycle it surfaced at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A cell dequeued from an empty channel queue: the skew was too
+    /// small (paper §6.2.1).
+    QueueUnderflow {
+        /// Pipeline position of the faulting cell.
+        cell: usize,
+        /// Channel.
+        chan: Chan,
+        /// Global cycle.
+        cycle: u64,
+    },
+    /// A queue exceeded its capacity: the compiler's occupancy bound was
+    /// violated or the queue is too small (paper §6.2.2).
+    QueueOverflow {
+        /// Pipeline position downstream of the full queue.
+        cell: usize,
+        /// Channel.
+        chan: Chan,
+        /// Global cycle.
+        cycle: u64,
+        /// Configured capacity.
+        capacity: u32,
+    },
+    /// A memory operation consumed an address the IU never produced.
+    AddressUnderflow {
+        /// Pipeline position.
+        cell: usize,
+        /// Global cycle.
+        cycle: u64,
+    },
+    /// An IU address arrives after the cycle its consumer issues: a
+    /// missed deadline (paper §6.3.2).
+    AddressLate {
+        /// Pipeline position.
+        cell: usize,
+        /// Global cycle of the consuming operation.
+        cycle: u64,
+        /// Cycle the address becomes available.
+        available: u64,
+    },
+    /// An address outside the 4K-word data memory.
+    BadAddress {
+        /// Pipeline position.
+        cell: usize,
+        /// Global cycle.
+        cycle: u64,
+        /// The offending address.
+        addr: usize,
+    },
+    /// A cell communicated against the declared flow direction.
+    WrongDirection {
+        /// Pipeline position.
+        cell: usize,
+        /// Global cycle.
+        cycle: u64,
+    },
+    /// The array produced a different number of boundary words than the
+    /// host program expects.
+    OutputCountMismatch {
+        /// Channel.
+        chan: Chan,
+        /// Words the host program binds.
+        expected: usize,
+        /// Words the array delivered.
+        got: usize,
+    },
+    /// The simulation exceeded its cycle budget (an internal bug guard).
+    Hang {
+        /// Cycle the guard tripped.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::QueueUnderflow { cell, chan, cycle } => write!(
+                f,
+                "queue underflow: cell {cell} dequeued empty {chan:?} at cycle {cycle}"
+            ),
+            SimError::QueueOverflow {
+                cell,
+                chan,
+                cycle,
+                capacity,
+            } => write!(
+                f,
+                "queue overflow: {chan:?} into cell {cell} exceeded {capacity} words at cycle {cycle}"
+            ),
+            SimError::AddressUnderflow { cell, cycle } => write!(
+                f,
+                "address underflow: cell {cell} consumed a missing IU address at cycle {cycle}"
+            ),
+            SimError::AddressLate {
+                cell,
+                cycle,
+                available,
+            } => write!(
+                f,
+                "address deadline missed: cell {cell} needed an address at cycle {cycle}, \
+                 available at {available}"
+            ),
+            SimError::BadAddress { cell, cycle, addr } => write!(
+                f,
+                "bad address {addr} on cell {cell} at cycle {cycle}"
+            ),
+            SimError::WrongDirection { cell, cycle } => write!(
+                f,
+                "cell {cell} communicated against the flow direction at cycle {cycle}"
+            ),
+            SimError::OutputCountMismatch {
+                chan,
+                expected,
+                got,
+            } => write!(
+                f,
+                "output mismatch on {chan:?}: host expects {expected} word(s), array sent {got}"
+            ),
+            SimError::Hang { cycle } => {
+                write!(f, "simulation exceeded its cycle budget at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::QueueUnderflow {
+            cell: 2,
+            chan: Chan::X,
+            cycle: 17,
+        };
+        assert!(e.to_string().contains("underflow"));
+        assert!(e.to_string().contains("cell 2"));
+        let e = SimError::Hang { cycle: 5 };
+        assert!(e.to_string().contains("cycle budget"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Direct tests of the simulator's error paths, driving hand-built
+//! microprograms that the compiler would never emit.
+
+use crate::{run, MachineConfig, SimError};
+use w2_lang::ast::{Chan, Dir};
+use warp_cell::{
+    AddrSource, BlockCode, CellCode, CellMachine, CodeRegion, IoField, MemField, MicroInst,
+    Operand, Reg,
+};
+use warp_host::HostMemory;
+use warp_iu::{EmitPlan, EmitSource, IuBlock, IuProgram, IuRegion};
+
+fn empty_host() -> HostMemory {
+    HostMemory::default()
+}
+
+fn one_block(insts: Vec<MicroInst>) -> CellCode {
+    CellCode {
+        name: "synthetic".into(),
+        regions: vec![CodeRegion::Block(BlockCode {
+            insts,
+            io_events: vec![],
+            adr_deadlines: vec![],
+            source: None,
+        })],
+        regs_used: 1,
+        scratch_words: 0,
+    }
+}
+
+fn no_iu() -> IuProgram {
+    IuProgram::default()
+}
+
+fn cfg<'a>(
+    code: &'a CellCode,
+    iu: &'a IuProgram,
+    host_program: &'a warp_host::HostProgram,
+    machine: &'a CellMachine,
+) -> MachineConfig<'a> {
+    MachineConfig {
+        cell_code: code,
+        iu,
+        host_program,
+        machine,
+        n_cells: 1,
+        skew: 0,
+        flow: Dir::Right,
+    }
+}
+
+#[test]
+fn address_underflow_detected() {
+    let mut inst = MicroInst::default();
+    inst.mem[0] = Some(MemField::Read {
+        addr: AddrSource::AdrQueue,
+        dst: Some(Reg(0)),
+    });
+    let code = one_block(vec![inst]);
+    let iu = no_iu();
+    let hp = warp_host::HostProgram::default();
+    let machine = CellMachine::default();
+    let err = run(&cfg(&code, &iu, &hp, &machine), empty_host()).unwrap_err();
+    assert!(matches!(err, SimError::AddressUnderflow { .. }), "{err}");
+}
+
+#[test]
+fn late_address_detected() {
+    // The IU emits the address at cycle 5; the cell consumes at cycle 0.
+    let mut inst = MicroInst::default();
+    inst.mem[0] = Some(MemField::Read {
+        addr: AddrSource::AdrQueue,
+        dst: Some(Reg(0)),
+    });
+    let code = one_block(vec![inst]);
+    let iu = IuProgram {
+        name: "late".into(),
+        regs_used: 0,
+        table: vec![3],
+        init: vec![],
+        regions: vec![IuRegion::Block(IuBlock {
+            len: 6,
+            emits: vec![EmitPlan {
+                cycle: 5,
+                source: EmitSource::Table,
+            }],
+        })],
+    };
+    let hp = warp_host::HostProgram::default();
+    let machine = CellMachine::default();
+    let err = run(&cfg(&code, &iu, &hp, &machine), empty_host()).unwrap_err();
+    assert!(
+        matches!(err, SimError::AddressLate { available: 5, .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn bad_address_detected() {
+    let mut inst = MicroInst::default();
+    inst.mem[0] = Some(MemField::Read {
+        addr: AddrSource::AdrQueue,
+        dst: Some(Reg(0)),
+    });
+    let code = one_block(vec![inst]);
+    let iu = IuProgram {
+        name: "oob".into(),
+        regs_used: 0,
+        table: vec![99999],
+        init: vec![],
+        regions: vec![IuRegion::Block(IuBlock {
+            len: 1,
+            emits: vec![EmitPlan {
+                cycle: 0,
+                source: EmitSource::Table,
+            }],
+        })],
+    };
+    let hp = warp_host::HostProgram::default();
+    let machine = CellMachine::default();
+    let err = run(&cfg(&code, &iu, &hp, &machine), empty_host()).unwrap_err();
+    assert!(
+        matches!(err, SimError::BadAddress { addr: 99999, .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn wrong_direction_detected() {
+    // A send towards the upstream side of a right-flowing array.
+    let mut inst = MicroInst::default();
+    inst.io[0] = Some(IoField::Send {
+        src: Operand::Imm(1.0),
+        ext: None,
+    }); // io index 0 = (Left, X)
+    let code = one_block(vec![inst]);
+    let iu = no_iu();
+    let hp = warp_host::HostProgram::default();
+    let machine = CellMachine::default();
+    let err = run(&cfg(&code, &iu, &hp, &machine), empty_host()).unwrap_err();
+    assert!(matches!(err, SimError::WrongDirection { .. }), "{err}");
+}
+
+#[test]
+fn boundary_underflow_detected() {
+    // A receive with no host data behind it.
+    let mut inst = MicroInst::default();
+    inst.io[0] = Some(IoField::Recv {
+        dst: Some(Reg(0)),
+        ext: None,
+    });
+    let code = one_block(vec![inst]);
+    let iu = no_iu();
+    let hp = warp_host::HostProgram::default();
+    let machine = CellMachine::default();
+    let err = run(&cfg(&code, &iu, &hp, &machine), empty_host()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::QueueUnderflow {
+                cell: 0,
+                chan: Chan::X,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn output_count_mismatch_detected() {
+    // The host program expects one word; the array sends none.
+    let code = one_block(vec![MicroInst::default()]);
+    let iu = no_iu();
+    let hp = warp_host::HostProgram {
+        outputs: [(Chan::X, vec![None])].into_iter().collect(),
+        ..warp_host::HostProgram::default()
+    };
+    let machine = CellMachine::default();
+    let err = run(&cfg(&code, &iu, &hp, &machine), empty_host()).unwrap_err();
+    assert!(matches!(err, SimError::OutputCountMismatch { .. }), "{err}");
+}
+
+#[test]
+fn writeback_timing_respects_latency() {
+    // fadd at cycle 0 writes r0 at cycle 5; a send at cycle 5 sees the
+    // new value, a send at cycle 4 would see the old (zero) value.
+    use warp_cell::{AluOp, FpuField};
+    let add = MicroInst {
+        fadd: Some(FpuField {
+            op: AluOp::Add,
+            dst: Some(Reg(0)),
+            srcs: vec![Operand::Imm(2.0), Operand::Imm(3.0)],
+        }),
+        ..MicroInst::default()
+    };
+    let mut early = MicroInst::default();
+    early.io[2] = Some(IoField::Send {
+        src: Operand::Reg(Reg(0)),
+        ext: None,
+    }); // (Right, X)
+    let mut on_time = early.clone();
+    let _ = &mut on_time;
+    let insts = vec![
+        add,
+        MicroInst::default(),
+        MicroInst::default(),
+        MicroInst::default(),
+        early.clone(), // cycle 4: old value 0.0
+        early,         // cycle 5: new value 5.0
+    ];
+    let code = one_block(insts);
+    let iu = no_iu();
+    let mut hp = warp_host::HostProgram::default();
+    hp.outputs.insert(Chan::X, vec![None, None]);
+    let machine = CellMachine::default();
+    // Collect via trace.
+    let mut events = Vec::new();
+    let report = crate::run_traced(&cfg(&code, &iu, &hp, &machine), empty_host(), &mut events)
+        .expect("runs");
+    let sends: Vec<f32> = events
+        .iter()
+        .filter(|e| !e.is_recv)
+        .map(|e| e.value)
+        .collect();
+    assert_eq!(sends, vec![0.0, 5.0]);
+    assert_eq!(report.words_out, 2);
+}

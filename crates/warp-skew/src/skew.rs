@@ -1,0 +1,362 @@
+//! The skew and queue analysis driver.
+//!
+//! Given compiled cell code, this module determines:
+//!
+//! * the **flow direction** of the (unidirectional) program,
+//! * the **minimum skew** between adjacent cells — exactly (by timeline
+//!   enumeration) or analytically (closed-form bounds, §6.2.1),
+//! * the **queue occupancy bound** per channel at that skew, rejecting
+//!   programs that overflow the 128-word queues (§6.2.2),
+//! * the matching of send and receive counts per channel.
+
+use crate::timeline::Timeline;
+use crate::vectors::{extract, min_skew_bound};
+use std::collections::BTreeMap;
+use w2_lang::ast::{Chan, Dir};
+use warp_cell::CellCode;
+use warp_common::{Diagnostic, DiagnosticBag, IdVec};
+use warp_ir::affine::LoopId;
+use warp_ir::region::LoopMeta;
+
+/// How to compute the minimum skew.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SkewMethod {
+    /// Enumerate every I/O operation (exact; linear in the dynamic
+    /// operation count).
+    #[default]
+    Exact,
+    /// The paper's closed-form bound over statement pairs (sound, may
+    /// exceed the exact skew by a little; constant in the loop counts).
+    Analytic,
+}
+
+/// Options for [`analyze`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkewOptions {
+    /// Skew computation method.
+    pub method: SkewMethod,
+    /// Queue capacity in words (128 on the real Warp).
+    pub queue_capacity: u64,
+    /// Number of cells the program will run on. Send/receive counts must
+    /// match per channel only when the array has interior queues
+    /// (`n_cells > 1`).
+    pub n_cells: u32,
+}
+
+impl Default for SkewOptions {
+    fn default() -> SkewOptions {
+        SkewOptions {
+            method: SkewMethod::Exact,
+            queue_capacity: 128,
+            n_cells: 2,
+        }
+    }
+}
+
+/// The result of the skew analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkewReport {
+    /// Data flow direction (`Right` = towards higher cell numbers).
+    pub flow: Dir,
+    /// Minimum cycles between adjacent cells' program starts.
+    pub min_skew: i64,
+    /// Maximum queue occupancy per channel at `min_skew`.
+    pub queue_occupancy: BTreeMap<Chan, u64>,
+    /// Words transferred per channel between adjacent cells.
+    pub words_per_channel: BTreeMap<Chan, u64>,
+    /// Program span of one cell in cycles.
+    pub span: u64,
+}
+
+impl SkewReport {
+    /// Latency until the last cell of an `n_cells` array starts.
+    pub fn pipeline_fill(&self, n_cells: u32) -> u64 {
+        self.min_skew.max(0) as u64 * u64::from(n_cells.saturating_sub(1))
+    }
+
+    /// Total cycles until the last cell finishes one program execution.
+    pub fn array_span(&self, n_cells: u32) -> u64 {
+        self.pipeline_fill(n_cells) + self.span
+    }
+}
+
+/// Analyzes `code` and computes the skew report.
+///
+/// # Errors
+///
+/// Reports diagnostics when send/receive counts differ on a channel
+/// (queues would drift), when the program is not unidirectional, or when
+/// the queue bound exceeds the capacity (paper §6.2.2 — overflow is
+/// "detected and reported").
+pub fn analyze(
+    code: &CellCode,
+    loops: &IdVec<LoopId, LoopMeta>,
+    opts: &SkewOptions,
+) -> Result<SkewReport, DiagnosticBag> {
+    let mut diags = DiagnosticBag::new();
+    let tl = Timeline::build(code, loops);
+
+    // Determine flow direction from the sends present.
+    let sends_right = tl.sends.keys().any(|&(d, _)| d == Dir::Right);
+    let sends_left = tl.sends.keys().any(|&(d, _)| d == Dir::Left);
+    let recvs_left = tl.recvs.keys().any(|&(d, _)| d == Dir::Left);
+    let recvs_right = tl.recvs.keys().any(|&(d, _)| d == Dir::Right);
+    let flow = match (sends_right || recvs_left, sends_left || recvs_right) {
+        (_, false) => Dir::Right,
+        (false, true) => Dir::Left,
+        (true, true) => {
+            diags.push(Diagnostic::error_global(
+                "program is bidirectional: the scheduler only supports unidirectional data flow \
+                 (paper §5.1.1)",
+            ));
+            return Err(diags);
+        }
+    };
+
+    // Send/receive counts must match per channel: all cells run the same
+    // program, so any imbalance drifts the queues without bound.
+    let mut words = BTreeMap::new();
+    for chan in [Chan::X, Chan::Y] {
+        let n_out = tl.sends.get(&(flow, chan)).map_or(0, Vec::len) as u64;
+        let n_in = tl.recvs.get(&(flow.opposite(), chan)).map_or(0, Vec::len) as u64;
+        if n_out != n_in && opts.n_cells > 1 {
+            diags.push(Diagnostic::error_global(format!(
+                "channel {chan:?}: {n_out} send(s) but {n_in} receive(s); counts must match \
+                 (see the coefficient-passing idiom of Figure 4-1)"
+            )));
+        }
+        if n_out > 0 {
+            words.insert(chan, n_out);
+        }
+    }
+    if diags.has_errors() {
+        return Err(diags);
+    }
+
+    // A single-cell array has no interior queues: no skew to compute
+    // and nothing to overflow (the boundary streams are paced by the
+    // host and IU, paper §2.2).
+    if opts.n_cells <= 1 {
+        return Ok(SkewReport {
+            flow,
+            min_skew: 0,
+            queue_occupancy: BTreeMap::new(),
+            words_per_channel: words,
+            span: tl.span,
+        });
+    }
+
+    let min_skew = match opts.method {
+        SkewMethod::Exact => tl.min_skew(flow),
+        SkewMethod::Analytic => {
+            let stmts = extract(code);
+            min_skew_bound(&stmts, flow)
+        }
+    };
+
+    let queue_occupancy = tl.max_queue_occupancy(flow, min_skew);
+    for (chan, &occ) in &queue_occupancy {
+        if occ > opts.queue_capacity {
+            diags.push(Diagnostic::error_global(format!(
+                "queue overflow on channel {chan:?}: occupancy bound {occ} exceeds the \
+                 {}-word queue (paper §6.2.2)",
+                opts.queue_capacity
+            )));
+        }
+    }
+    if diags.has_errors() {
+        return Err(diags);
+    }
+
+    Ok(SkewReport {
+        flow,
+        min_skew,
+        queue_occupancy,
+        words_per_channel: words,
+        span: tl.span,
+    })
+}
+
+/// Latency comparison between the skewed computation model and the SIMD
+/// model (paper §3, Figure 3-1).
+///
+/// In the SIMD model every cell executes the same step in the same
+/// cycle, so a result is not available to the next cell until the whole
+/// stage has run: the per-cell latency is the stage span. In the skewed
+/// model it is the minimum skew.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelComparison {
+    /// Per-cell latency in the skewed model (= minimum skew).
+    pub skewed_latency: i64,
+    /// Per-cell latency in the SIMD model (= stage span).
+    pub simd_latency: u64,
+}
+
+impl ModelComparison {
+    /// Computes the comparison for a single-stage program.
+    pub fn of(code: &CellCode, loops: &IdVec<LoopId, LoopMeta>, flow: Dir) -> ModelComparison {
+        let tl = Timeline::build(code, loops);
+        ModelComparison {
+            skewed_latency: tl.min_skew(flow),
+            simd_latency: tl.span,
+        }
+    }
+
+    /// Latency for a result to traverse `n_cells` cells in the skewed
+    /// model.
+    pub fn skewed_array_latency(&self, n_cells: u32) -> i64 {
+        self.skewed_latency * i64::from(n_cells)
+    }
+
+    /// Latency for a result to traverse `n_cells` cells in the SIMD
+    /// model.
+    pub fn simd_array_latency(&self, n_cells: u32) -> u64 {
+        self.simd_latency * u64::from(n_cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{block, fig_3_1_stage, fig_6_2_code, fig_6_4_code, paper_loops};
+    use warp_cell::CodeRegion;
+
+    #[test]
+    fn analyze_figure_6_2() {
+        let r = analyze(&fig_6_2_code(), &paper_loops(), &SkewOptions::default()).unwrap();
+        assert_eq!(r.flow, Dir::Right);
+        assert_eq!(r.min_skew, 3);
+        assert_eq!(r.span, 6);
+        assert_eq!(r.words_per_channel[&Chan::X], 2);
+        assert_eq!(r.pipeline_fill(2), 3);
+        assert_eq!(r.array_span(2), 9); // Figure 6-3: cell 2 ends at cycle 8.
+    }
+
+    #[test]
+    fn analyze_figure_6_4_exact_vs_analytic() {
+        let exact = analyze(&fig_6_4_code(), &paper_loops(), &SkewOptions::default()).unwrap();
+        assert_eq!(exact.min_skew, 18);
+        let analytic = analyze(
+            &fig_6_4_code(),
+            &paper_loops(),
+            &SkewOptions {
+                method: SkewMethod::Analytic,
+                ..SkewOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(analytic.min_skew >= exact.min_skew);
+        assert!(analytic.min_skew <= exact.min_skew + 1);
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let code = warp_cell::CellCode {
+            name: "bad".into(),
+            regions: vec![block(
+                3,
+                vec![
+                    (0, Dir::Left, Chan::X, true),
+                    (1, Dir::Right, Chan::X, false),
+                    (2, Dir::Right, Chan::X, false),
+                ],
+            )],
+            regs_used: 0,
+            scratch_words: 0,
+        };
+        let err = analyze(&code, &paper_loops(), &SkewOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("counts must match"), "{err}");
+    }
+
+    #[test]
+    fn bidirectional_rejected() {
+        let code = warp_cell::CellCode {
+            name: "bidi".into(),
+            regions: vec![block(
+                2,
+                vec![
+                    (0, Dir::Right, Chan::X, false),
+                    (1, Dir::Left, Chan::Y, false),
+                ],
+            )],
+            regs_used: 0,
+            scratch_words: 0,
+        };
+        let err = analyze(&code, &paper_loops(), &SkewOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("bidirectional"), "{err}");
+    }
+
+    #[test]
+    fn right_to_left_flow_supported() {
+        let code = warp_cell::CellCode {
+            name: "r2l".into(),
+            regions: vec![block(
+                4,
+                vec![
+                    (0, Dir::Left, Chan::X, false),
+                    (2, Dir::Right, Chan::X, true),
+                ],
+            )],
+            regs_used: 0,
+            scratch_words: 0,
+        };
+        let r = analyze(&code, &paper_loops(), &SkewOptions::default()).unwrap();
+        assert_eq!(r.flow, Dir::Left);
+        assert_eq!(r.min_skew, 0); // send@0 before recv@2: no delay needed
+    }
+
+    #[test]
+    fn queue_overflow_reported() {
+        // A long burst of sends before the first receive overflows a
+        // tiny queue.
+        let body = block(2, vec![(0, Dir::Right, Chan::X, false)]);
+        let tail = CodeRegion::Loop {
+            id: warp_ir::LoopId(1),
+            count: 10,
+            body: vec![block(1, vec![(0, Dir::Left, Chan::X, true)])],
+        };
+        let code = warp_cell::CellCode {
+            name: "burst".into(),
+            regions: vec![
+                CodeRegion::Loop {
+                    id: warp_ir::LoopId(0),
+                    count: 10,
+                    body: vec![body],
+                },
+                tail,
+            ],
+            regs_used: 0,
+            scratch_words: 0,
+        };
+        let err = analyze(
+            &code,
+            &paper_loops(),
+            &SkewOptions {
+                queue_capacity: 4,
+                ..SkewOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("queue overflow"), "{err}");
+        // With the real 128-word queue the program is fine.
+        analyze(&code, &paper_loops(), &SkewOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn figure_3_1_model_comparison() {
+        // 4-step stage; the dependency is at step 4: the cell receives
+        // its operand at step 3 (0-based) and produces the next cell's
+        // operand at step 3 as well. Skewed latency: 1 cycle... the
+        // paper's picture: skew 0 would need recv@3 after send@3 of the
+        // neighbour, giving skew 0; the paper counts 1 step of latency.
+        let cmp = ModelComparison::of(&fig_3_1_stage(4, 3, 3), &paper_loops(), Dir::Right);
+        assert_eq!(cmp.simd_latency, 4);
+        assert_eq!(cmp.skewed_latency, 0);
+        // A stage that produces its result one step after consuming the
+        // input (recv@2, send@3 of the *previous* iteration shape):
+        let cmp2 = ModelComparison::of(&fig_3_1_stage(4, 2, 3), &paper_loops(), Dir::Right);
+        assert_eq!(cmp2.skewed_latency, 1);
+        assert_eq!(cmp2.simd_array_latency(3), 12);
+        assert_eq!(cmp2.skewed_array_latency(3), 3);
+    }
+}

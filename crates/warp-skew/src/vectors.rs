@@ -1,0 +1,590 @@
+//! The closed-form I/O timing functions of paper §6.2.1.
+//!
+//! Every static `send`/`receive` statement is characterized by five
+//! vectors over its enclosing loops (the statement itself counts as an
+//! innermost single-iteration loop):
+//!
+//! * `R` — iteration counts,
+//! * `N` — channel operations per iteration,
+//! * `S` — ordinal of the statement's first operation within the
+//!   enclosing level,
+//! * `L` — time per iteration,
+//! * `T` — start offset of the first iteration within the enclosing
+//!   level.
+//!
+//! From these, `τ(n)` maps the ordinal number of a channel operation to
+//! its cycle, over a domain of `n` defined by range and congruence
+//! constraints. The minimum skew is the maximum of `τ_O(n) − τ_I(n)`
+//! over matching output/input pairs; [`bound_pair`] computes a sound
+//! rational upper bound without enumerating `n`, exactly in the simple
+//! cases and conservatively otherwise (the paper's approach).
+
+use std::fmt;
+use w2_lang::ast::{Chan, Dir};
+use warp_cell::{CellCode, CodeRegion};
+use warp_common::Rat;
+
+/// One nesting level of a timing function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Level {
+    /// Iteration count (`R`).
+    pub r: i64,
+    /// Channel ops per iteration (`N`).
+    pub n: i64,
+    /// Ordinal of the first op w.r.t. the enclosing level (`S`).
+    pub s: i64,
+    /// Time per iteration (`L`).
+    pub l: i64,
+    /// Start of the first iteration w.r.t. the enclosing level (`T`).
+    pub t: i64,
+}
+
+/// The timing function `τ(n)` of one static I/O statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimingFunction {
+    /// Levels, outermost first; the last level is the statement itself
+    /// (`r = 1`, `n = 1`).
+    pub levels: Vec<Level>,
+}
+
+impl TimingFunction {
+    /// Evaluates `τ(n)`, returning `None` when `n` is outside the
+    /// statement's domain (the wrong ordinal parity/phase or beyond the
+    /// iteration ranges).
+    pub fn eval(&self, n: i64) -> Option<i64> {
+        let mut g = n;
+        let mut tau = 0i64;
+        for lv in &self.levels {
+            let d = g - lv.s;
+            if d < 0 {
+                return None;
+            }
+            let iter = d / lv.n;
+            if iter > lv.r - 1 {
+                return None;
+            }
+            tau += lv.t + iter * lv.l;
+            g = d % lv.n;
+        }
+        // The statement level has n = 1, so the final remainder must have
+        // hit the statement exactly.
+        if g != 0 {
+            return None;
+        }
+        Some(tau)
+    }
+
+    /// An interval containing every ordinal in the domain:
+    /// `[Σ s_j, Σ ((r_j − 1)·n_j + s_j)]`. The maximum ordinal occurs
+    /// with every level at its last iteration, contributing
+    /// `(r_j − 1)·n_j` at level `j` plus the statement's phase offsets.
+    pub fn ordinal_range(&self) -> (i64, i64) {
+        let lo: i64 = self.levels.iter().map(|l| l.s).sum();
+        let hi: i64 = self.levels.iter().map(|l| (l.r - 1) * l.n + l.s).sum();
+        (lo, hi)
+    }
+
+    /// Total operations this statement performs.
+    pub fn count(&self) -> i64 {
+        self.levels.iter().map(|l| l.r).product()
+    }
+
+    /// The constant part of the closed form `τ(n) = base + slope·n − …`.
+    pub fn base(&self) -> Rat {
+        self.levels
+            .iter()
+            .map(|l| Rat::from(l.t) - Rat::new(l.l as i128, l.n as i128) * Rat::from(l.s))
+            .sum()
+    }
+
+    /// The slope `l₁/n₁` of the closed form.
+    pub fn slope(&self) -> Rat {
+        let first = &self.levels[0];
+        Rat::new(first.l as i128, first.n as i128)
+    }
+
+    /// Coefficients of the inner `g(j)` terms (`j = 2..=k`):
+    /// `l_j/n_j − l_{j−1}/n_{j−1}`, each multiplying a value in
+    /// `[0, n_{j−1} − 1]`. The statement-level `g(k)` is pinned to `s_k`
+    /// by the domain.
+    pub fn mod_coefficients(&self) -> Vec<(Rat, i64)> {
+        (1..self.levels.len())
+            .map(|j| {
+                let cur = &self.levels[j];
+                let prev = &self.levels[j - 1];
+                let coeff = Rat::new(cur.l as i128, cur.n as i128)
+                    - Rat::new(prev.l as i128, prev.n as i128);
+                (coeff, prev.n - 1)
+            })
+            .collect()
+    }
+
+    /// Renders the closed form, e.g.
+    /// `1 + 3/2 n - 1/2 ((n - 0) mod 2)` for `I(0)` of Table 6-4.
+    pub fn closed_form(&self) -> String {
+        let mut out = format!("{} + {} n", self.base(), self.slope());
+        let mut inner = "n".to_owned();
+        for j in 1..self.levels.len() {
+            let prev = &self.levels[j - 1];
+            let (coeff, _) = self.mod_coefficients()[j - 1];
+            inner = format!("(({inner} - {}) mod {})", prev.s, prev.n);
+            if coeff != Rat::ZERO {
+                if coeff.signum() < 0 {
+                    out.push_str(&format!(" - {} {inner}", -coeff));
+                } else {
+                    out.push_str(&format!(" + {coeff} {inner}"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TimingFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.closed_form())
+    }
+}
+
+/// A static I/O statement and its timing function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IoStatement {
+    /// Neighbour direction.
+    pub dir: Dir,
+    /// Channel.
+    pub chan: Chan,
+    /// `true` for a receive.
+    pub is_recv: bool,
+    /// The timing function.
+    pub tf: TimingFunction,
+}
+
+/// Extracts the timing functions of all static I/O statements in `code`.
+pub fn extract(code: &CellCode) -> Vec<IoStatement> {
+    let mut out = Vec::new();
+    for dir in [Dir::Left, Dir::Right] {
+        for chan in [Chan::X, Chan::Y] {
+            for is_recv in [true, false] {
+                let mut walker = Walker {
+                    dir,
+                    chan,
+                    is_recv,
+                    stack: Vec::new(),
+                    out: &mut out,
+                };
+                let mut offset = 0i64;
+                let mut ops = 0i64;
+                for region in &code.regions {
+                    walker.walk(region, &mut offset, &mut ops);
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Walker<'a> {
+    dir: Dir,
+    chan: Chan,
+    is_recv: bool,
+    stack: Vec<Level>,
+    out: &'a mut Vec<IoStatement>,
+}
+
+impl Walker<'_> {
+    fn matches(&self, e: &warp_cell::IoEvent) -> bool {
+        e.dir == self.dir && e.chan == self.chan && e.is_recv == self.is_recv
+    }
+
+    /// Counts matching ops and the span of one pass over `region`.
+    fn measure(&self, region: &CodeRegion) -> (i64, i64) {
+        match region {
+            CodeRegion::Block(b) => (
+                b.io_events.iter().filter(|e| self.matches(e)).count() as i64,
+                i64::from(b.len()),
+            ),
+            CodeRegion::Loop { count, body, .. } => {
+                let (ops, span) = body
+                    .iter()
+                    .map(|r| self.measure(r))
+                    .fold((0, 0), |(a, b), (c, d)| (a + c, b + d));
+                (ops * *count as i64, span * *count as i64)
+            }
+        }
+    }
+
+    /// Walks `region`; `offset`/`ops` are the elapsed time and matching
+    /// op count within the current level's iteration.
+    fn walk(&mut self, region: &CodeRegion, offset: &mut i64, ops: &mut i64) {
+        match region {
+            CodeRegion::Block(b) => {
+                let mut local_ops = 0i64;
+                for e in &b.io_events {
+                    if !self.matches(e) {
+                        continue;
+                    }
+                    let mut levels = self.stack.clone();
+                    levels.push(Level {
+                        r: 1,
+                        n: 1,
+                        s: *ops + local_ops,
+                        l: 1,
+                        t: *offset + i64::from(e.cycle),
+                    });
+                    self.out.push(IoStatement {
+                        dir: self.dir,
+                        chan: self.chan,
+                        is_recv: self.is_recv,
+                        tf: TimingFunction { levels },
+                    });
+                    local_ops += 1;
+                }
+                *ops += local_ops;
+                *offset += i64::from(b.len());
+            }
+            CodeRegion::Loop { count, body, .. } => {
+                let (ops_total, span_total) = self.measure(region);
+                let per_iter_ops = ops_total / *count as i64;
+                let per_iter_span = span_total / *count as i64;
+                self.stack.push(Level {
+                    r: *count as i64,
+                    n: per_iter_ops,
+                    s: *ops,
+                    l: per_iter_span,
+                    t: *offset,
+                });
+                if per_iter_ops > 0 {
+                    let mut inner_offset = 0i64;
+                    let mut inner_ops = 0i64;
+                    for r in body {
+                        self.walk(r, &mut inner_offset, &mut inner_ops);
+                    }
+                }
+                self.stack.pop();
+                *ops += ops_total;
+                *offset += span_total;
+            }
+        }
+    }
+}
+
+/// A sound upper bound on `max_n (τ_O(n) − τ_I(n))` over the ordinals in
+/// both domains, or `None` if the domains are provably disjoint (no data
+/// item connects the pair).
+///
+/// The bound follows the paper: the closed forms are subtracted, `n`
+/// ranges over the intersection of the outer-level ranges, each inner
+/// `mod` term is bounded by its value range (pinned exactly at the
+/// statement level, where the domain fixes `g(k) = s_k`), and `g(j)`
+/// terms with identical loop-structure prefixes in both functions are
+/// recognized as equal and combined before bounding (the "similar
+/// control structure" case, which makes the bound exact for programs
+/// like Figure 6-2).
+pub fn bound_pair(output: &TimingFunction, input: &TimingFunction) -> Option<Rat> {
+    let (olo, ohi) = output.ordinal_range();
+    let (ilo, ihi) = input.ordinal_range();
+    let (nlo, nhi) = (olo.max(ilo), ohi.min(ihi));
+    if nlo > nhi {
+        return None;
+    }
+
+    // How long a prefix of loop levels is structurally shared: g(j)
+    // depends only on (s_m, n_m) for m < j, so g values agree while the
+    // prefix matches.
+    let ko = output.levels.len();
+    let ki = input.levels.len();
+    let mut shared = 0;
+    while shared < ko - 1
+        && shared < ki - 1
+        && output.levels[shared].s == input.levels[shared].s
+        && output.levels[shared].n == input.levels[shared].n
+    {
+        shared += 1;
+    }
+
+    // If the whole structure including the statement level is shared,
+    // the pinned statement ordinals must agree; otherwise no n satisfies
+    // both domains.
+    if shared == ko - 1 && shared == ki - 1 && ko == ki {
+        let so = output.levels[ko - 1].s;
+        let si = input.levels[ki - 1].s;
+        if so != si {
+            // Same loop, different phase: check deeper — the phases are
+            // modulo n_{k-1}; differing s means disjoint ordinals.
+            return None;
+        }
+    }
+
+    let mut bound = output.base() - input.base();
+    let slope = output.slope() - input.slope();
+    bound += (slope * Rat::from(nlo)).max(slope * Rat::from(nhi));
+
+    let omods = output.mod_coefficients();
+    let imods = input.mod_coefficients();
+
+    // g(j) terms, j = 2..=k (index j-2 in the coefficient vectors).
+    let max_levels = omods.len().max(imods.len());
+    for idx in 0..max_levels {
+        let j = idx + 1; // level index of g(j) in `levels`
+        let both_shared = j <= shared;
+        let o_term = omods.get(idx);
+        let i_term = imods.get(idx);
+        if both_shared {
+            // Same g value: combine coefficients, then bound once.
+            let co = o_term.map(|&(c, _)| c).unwrap_or(Rat::ZERO);
+            let ci = i_term.map(|&(c, _)| c).unwrap_or(Rat::ZERO);
+            let coeff = co - ci;
+            let range = o_term.or(i_term).map(|&(_, r)| r).unwrap_or(0);
+            // Pinned when this is the statement level for both.
+            let pinned = (j == ko - 1 && j == ki - 1).then(|| output.levels[j].s);
+            bound += term_max(coeff, range, pinned);
+        } else {
+            if let Some(&(c, r)) = o_term {
+                let pinned = (j == ko - 1).then(|| output.levels[j].s);
+                bound += term_max(c, r, pinned);
+            }
+            if let Some(&(c, r)) = i_term {
+                let pinned = (j == ki - 1).then(|| input.levels[j].s);
+                bound += term_max(-c, r, pinned);
+            }
+        }
+    }
+
+    Some(bound)
+}
+
+fn term_max(coeff: Rat, range: i64, pinned: Option<i64>) -> Rat {
+    match pinned {
+        Some(v) => coeff * Rat::from(v),
+        None => {
+            if coeff.signum() >= 0 {
+                coeff * Rat::from(range)
+            } else {
+                Rat::ZERO
+            }
+        }
+    }
+}
+
+/// The analytic minimum skew: the ceiling of the largest pair bound over
+/// matching output/input statement pairs for a program flowing in `flow`
+/// direction, clamped to zero.
+pub fn min_skew_bound(stmts: &[IoStatement], flow: Dir) -> i64 {
+    let mut best = Rat::ZERO;
+    for chan in [Chan::X, Chan::Y] {
+        let outs: Vec<&IoStatement> = stmts
+            .iter()
+            .filter(|s| !s.is_recv && s.dir == flow && s.chan == chan)
+            .collect();
+        let ins: Vec<&IoStatement> = stmts
+            .iter()
+            .filter(|s| s.is_recv && s.dir == flow.opposite() && s.chan == chan)
+            .collect();
+        for o in &outs {
+            for i in &ins {
+                if let Some(b) = bound_pair(&o.tf, &i.tf) {
+                    best = best.max(b);
+                }
+            }
+        }
+    }
+    best.ceil().max(0) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{fig_6_2_code, fig_6_4_code, paper_loops};
+    use crate::timeline::Timeline;
+
+    fn fig_6_4_stmts() -> Vec<IoStatement> {
+        extract(&fig_6_4_code())
+    }
+
+    #[test]
+    fn table_6_3_vectors() {
+        let stmts = fig_6_4_stmts();
+        let inputs: Vec<&IoStatement> = stmts.iter().filter(|s| s.is_recv).collect();
+        let outputs: Vec<&IoStatement> = stmts.iter().filter(|s| !s.is_recv).collect();
+        assert_eq!(inputs.len(), 2);
+        assert_eq!(outputs.len(), 5);
+
+        let check = |tf: &TimingFunction,
+                     r: [i64; 2],
+                     n: [i64; 2],
+                     s: [i64; 2],
+                     l: [i64; 2],
+                     t: [i64; 2]| {
+            assert_eq!(tf.levels.len(), 2);
+            for (j, lv) in tf.levels.iter().enumerate() {
+                assert_eq!(
+                    (lv.r, lv.n, lv.s, lv.l, lv.t),
+                    (r[j], n[j], s[j], l[j], t[j]),
+                    "level {j} of {tf:?}"
+                );
+            }
+        };
+        // Table 6-3, columns I(0), I(1), O(0), O(1), O(2), O(3), O(4).
+        check(&inputs[0].tf, [5, 1], [2, 1], [0, 0], [3, 1], [1, 0]);
+        check(&inputs[1].tf, [5, 1], [2, 1], [0, 1], [3, 1], [1, 1]);
+        check(&outputs[0].tf, [2, 1], [2, 1], [0, 0], [2, 1], [18, 0]);
+        check(&outputs[1].tf, [2, 1], [2, 1], [0, 1], [2, 1], [18, 1]);
+        check(&outputs[2].tf, [2, 1], [3, 1], [4, 0], [5, 1], [24, 0]);
+        check(&outputs[3].tf, [2, 1], [3, 1], [4, 1], [5, 1], [24, 1]);
+        check(&outputs[4].tf, [2, 1], [3, 1], [4, 2], [5, 1], [24, 2]);
+    }
+
+    #[test]
+    fn table_6_4_timing_functions() {
+        let stmts = fig_6_4_stmts();
+        let i0 = &stmts.iter().find(|s| s.is_recv).unwrap().tf;
+        // I(0): τ(n) = 1 + 3/2 n − 1/2 (n mod 2), domain n even in [0,8].
+        assert_eq!(i0.base(), Rat::from(1));
+        assert_eq!(i0.slope(), Rat::new(3, 2));
+        assert_eq!(i0.ordinal_range(), (0, 8));
+        assert_eq!(i0.eval(0), Some(1));
+        assert_eq!(i0.eval(2), Some(4));
+        assert_eq!(i0.eval(8), Some(13));
+        assert_eq!(i0.eval(1), None, "odd ordinals belong to I(1)");
+        assert_eq!(i0.eval(10), None, "past the loop");
+
+        let outputs: Vec<&IoStatement> = stmts.iter().filter(|s| !s.is_recv).collect();
+        let o2 = &outputs[2].tf;
+        // O(2): τ(n) = 52/3 + 5/3 n − 2/3 ((n−4) mod 3), domain
+        // n ∈ [4,7] with (n−4) mod 3 = 0.
+        assert_eq!(o2.base(), Rat::new(52, 3));
+        assert_eq!(o2.slope(), Rat::new(5, 3));
+        assert_eq!(o2.ordinal_range(), (4, 7));
+        assert_eq!(o2.eval(4), Some(24));
+        assert_eq!(o2.eval(7), Some(29));
+        assert_eq!(o2.eval(5), None);
+    }
+
+    #[test]
+    fn eval_matches_enumeration() {
+        // τ per statement must agree with the exact timeline.
+        let code = fig_6_4_code();
+        let stmts = extract(&code);
+        let tl = Timeline::build(&code, &paper_loops());
+        let inputs = &tl.recvs[&(Dir::Left, Chan::X)];
+        for (n, &t) in inputs.iter().enumerate() {
+            let computed: Vec<i64> = stmts
+                .iter()
+                .filter(|s| s.is_recv)
+                .filter_map(|s| s.tf.eval(n as i64))
+                .collect();
+            assert_eq!(computed, vec![t as i64], "input ordinal {n}");
+        }
+        let outputs = &tl.sends[&(Dir::Right, Chan::X)];
+        for (n, &t) in outputs.iter().enumerate() {
+            let computed: Vec<i64> = stmts
+                .iter()
+                .filter(|s| !s.is_recv)
+                .filter_map(|s| s.tf.eval(n as i64))
+                .collect();
+            assert_eq!(computed, vec![t as i64], "output ordinal {n}");
+        }
+    }
+
+    #[test]
+    fn disjoint_pair_detected() {
+        // Paper: τ_I(0) and τ_O(1) have disjoint domains (even vs odd).
+        let stmts = fig_6_4_stmts();
+        let i0 = &stmts.iter().find(|s| s.is_recv).unwrap().tf;
+        let o1 = &stmts.iter().filter(|s| !s.is_recv).nth(1).unwrap().tf;
+        // Manually construct the same-loop situation: i0 is in the input
+        // loop, o1 in the first output loop — they are NOT structurally
+        // shared, so this pair is not "disjoint" in our conservative
+        // sense. The true same-loop disjointness is between O(0) and O(1)
+        // paired with inputs; test the exact case the paper lists by
+        // using I(0) against an artificial output with I(1)'s structure.
+        let fake_o = TimingFunction {
+            levels: o1.levels.clone(),
+        };
+        let _ = fake_o;
+        // I(0) vs I(1)-structured output: shared loop, different phase.
+        let i1 = &stmts.iter().filter(|s| s.is_recv).nth(1).unwrap().tf;
+        let fake_out = TimingFunction {
+            levels: i1.levels.clone(),
+        };
+        assert_eq!(bound_pair(&fake_out, i0), None);
+    }
+
+    #[test]
+    fn completely_overlapped_bound_is_17() {
+        // Paper: max τ_O(0)(n) − τ_I(0)(n) ≤ 17 (shared-structure case is
+        // handled exactly: both statements are at phase 0 of 2-op loops).
+        let stmts = fig_6_4_stmts();
+        let i0 = &stmts.iter().find(|s| s.is_recv).unwrap().tf;
+        let o0 = &stmts.iter().find(|s| !s.is_recv).unwrap().tf;
+        let b = bound_pair(o0, i0).expect("overlapping");
+        assert_eq!(b, Rat::from(17));
+    }
+
+    #[test]
+    fn partially_overlapped_bound_sound() {
+        // Paper bounds τ_O(4) − τ_I(0) by 17⅔; our pinning of the
+        // statement-level mod terms gives a tighter sound bound. The
+        // exact maximum over the true domain intersection is 15⅔ at
+        // n = 6.
+        let stmts = fig_6_4_stmts();
+        let i0 = &stmts.iter().find(|s| s.is_recv).unwrap().tf;
+        let o4 = &stmts.iter().filter(|s| !s.is_recv).nth(4).unwrap().tf;
+        let b = bound_pair(o4, i0).expect("overlapping");
+        // Exact enumeration over the joint domain:
+        let mut exact = None;
+        for n in 0..=9 {
+            if let (Some(to), Some(ti)) = (o4.eval(n), i0.eval(n)) {
+                let d = to - ti;
+                exact = Some(exact.map_or(d, |e: i64| e.max(d)));
+            }
+        }
+        let exact = Rat::from(exact.expect("some overlap"));
+        assert!(b >= exact, "bound {b} must cover exact {exact}");
+        assert!(b <= Rat::new(53, 3), "bound {b} within the paper's 17 2/3");
+    }
+
+    #[test]
+    fn analytic_skew_bounds_figure_6_4() {
+        let code = fig_6_4_code();
+        let stmts = extract(&code);
+        let analytic = min_skew_bound(&stmts, Dir::Right);
+        let exact = Timeline::build(&code, &paper_loops()).min_skew(Dir::Right);
+        assert!(analytic >= exact, "analytic {analytic} >= exact {exact}");
+        assert_eq!(exact, 18);
+        assert!(analytic <= 19, "bound should be tight here, got {analytic}");
+    }
+
+    #[test]
+    fn analytic_skew_exact_for_figure_6_2() {
+        let code = fig_6_2_code();
+        let stmts = extract(&code);
+        assert_eq!(min_skew_bound(&stmts, Dir::Right), 3);
+    }
+
+    #[test]
+    fn closed_form_rendering() {
+        let stmts = fig_6_4_stmts();
+        let i0 = &stmts.iter().find(|s| s.is_recv).unwrap().tf;
+        let s = i0.closed_form();
+        assert!(s.contains("1 + 3/2 n"), "{s}");
+        assert!(s.contains("mod 2"), "{s}");
+    }
+
+    #[test]
+    fn statement_counts() {
+        let stmts = fig_6_4_stmts();
+        let total: i64 = stmts
+            .iter()
+            .filter(|s| s.is_recv)
+            .map(|s| s.tf.count())
+            .sum();
+        assert_eq!(total, 10);
+        let total_out: i64 = stmts
+            .iter()
+            .filter(|s| !s.is_recv)
+            .map(|s| s.tf.count())
+            .sum();
+        assert_eq!(total_out, 10);
+    }
+}

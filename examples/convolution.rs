@@ -1,0 +1,45 @@
+//! Table 7-1's "1d-Conv": a 9-tap systolic FIR filter, one kernel
+//! element per cell, smoothing a noisy signal.
+//!
+//! ```sh
+//! cargo run --example convolution
+//! ```
+
+use warp::compiler::{compile, corpus, reference, CompileOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = compile(corpus::ONED_CONV, &CompileOptions::default())?;
+    println!(
+        "compiled `{}` for {} cells; min skew {} cycles, span {} cycles",
+        module.name, module.n_cells, module.skew.min_skew, module.skew.span
+    );
+
+    // A 9-tap moving-average kernel over a square wave with a glitch.
+    let w = vec![1.0f32 / 9.0; 9];
+    let x: Vec<f32> = (0..128)
+        .map(|i| {
+            let base = if (i / 16) % 2 == 0 { 0.0 } else { 1.0 };
+            if i == 70 {
+                base + 5.0 // the glitch
+            } else {
+                base
+            }
+        })
+        .collect();
+
+    let report = module.run(&[("w", &w), ("x", &x)])?;
+    let y = report.host.get("y");
+    assert_eq!(y, &reference::conv1d(&w, &x)[..]);
+
+    println!("\n sample   input   smoothed");
+    for i in (60..80).step_by(2) {
+        println!("  {:>4}    {:>5.2}   {:>7.4}", i, x[i], y[i - 8]);
+    }
+    println!(
+        "\n{} samples filtered in {} cycles; {} MACs across the array",
+        x.len(),
+        report.cycles,
+        report.fp_ops / 2
+    );
+    Ok(())
+}

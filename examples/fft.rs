@@ -1,0 +1,65 @@
+//! The paper's headline application (§2): complex FFT on the array,
+//! one constant-geometry butterfly stage per cell.
+//!
+//! A 256-point transform runs on 8 cells; the spectrum leaves the last
+//! cell in bit-reversed order and the host unscrambles it, as real Warp
+//! hosts did. Large stages exceed the 128-word queues (the compiler
+//! detects this; paper §6.2.2 prescribes spilling to cell memory), so
+//! this example simulates deeper queues.
+//!
+//! ```sh
+//! cargo run --release --example fft
+//! ```
+
+use warp::compiler::{compile, corpus, reference, CompileOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 256u32;
+    let src = corpus::fft_source(n);
+    let mut opts = CompileOptions::default();
+    opts.machine.queue_capacity = 4 * n; // see module docs
+    let module = compile(&src, &opts)?;
+    println!(
+        "compiled `{}`: {}-point FFT on {} cells, {} cell µcode, skew {}",
+        module.name, n, module.n_cells, module.metrics.cell_ucode, module.skew.min_skew
+    );
+
+    // A two-tone signal: bins 17 and 40 should dominate.
+    let re: Vec<f32> = (0..n)
+        .map(|i| {
+            let t = i as f32 / n as f32;
+            (2.0 * std::f32::consts::PI * 17.0 * t).sin()
+                + 0.5 * (2.0 * std::f32::consts::PI * 40.0 * t).cos()
+        })
+        .collect();
+    let im = vec![0.0f32; n as usize];
+    let (twr, twi) = corpus::fft_twiddle_arrays(n);
+
+    let report = module.run(&[("twr", &twr), ("twi", &twi), ("xre", &re), ("xim", &im)])?;
+
+    // The array's stream equals the reference constant-geometry FFT
+    // bit-for-bit.
+    let (er, ei) = reference::fft_pease(&re, &im);
+    assert_eq!(report.host.get("outre"), &er[..]);
+    assert_eq!(report.host.get("outim"), &ei[..]);
+
+    // Unscramble and find the loudest bins.
+    let fr = reference::bit_reverse_permute(report.host.get("outre"));
+    let fi = reference::bit_reverse_permute(report.host.get("outim"));
+    let mut mags: Vec<(usize, f32)> = (0..n as usize / 2)
+        .map(|k| (k, (fr[k] * fr[k] + fi[k] * fi[k]).sqrt()))
+        .collect();
+    mags.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nloudest bins (expect 17 and 40):");
+    for &(k, mag) in mags.iter().take(4) {
+        println!("  bin {k:>3}: |X| = {mag:>8.2}");
+    }
+    assert_eq!(mags[0].0, 17);
+    assert_eq!(mags[1].0, 40);
+
+    println!(
+        "\n{} cycles for one {}-point FFT across {} cells ({} FLOPs)",
+        report.cycles, n, module.n_cells, report.fp_ops
+    );
+    Ok(())
+}

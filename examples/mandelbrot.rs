@@ -1,0 +1,47 @@
+//! Table 7-1's "Mandelbrot": escape-time counts on one cell, with the
+//! escape test compiled into predicated selects (the cell has no data-
+//! dependent branches).
+//!
+//! ```sh
+//! cargo run --example mandelbrot
+//! ```
+
+use warp::compiler::{compile, corpus, reference, CompileOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = 32usize;
+    let iters = 4u32;
+    let module = compile(corpus::MANDELBROT, &CompileOptions::default())?;
+    println!(
+        "compiled `{}`: {} cell µcode instructions, {} IU instructions",
+        module.name, module.metrics.cell_ucode, module.metrics.iu_ucode
+    );
+
+    let mut cre = Vec::with_capacity(size * size);
+    let mut cim = Vec::with_capacity(size * size);
+    for i in 0..size {
+        for j in 0..size {
+            cre.push(-2.2 + 3.0 * j as f32 / size as f32);
+            cim.push(-1.5 + 3.0 * i as f32 / size as f32);
+        }
+    }
+
+    let report = module.run(&[("cre", &cre), ("cim", &cim)])?;
+    let counts = report.host.get("count");
+    assert_eq!(counts, &reference::mandelbrot(&cre, &cim, iters)[..]);
+
+    // ASCII rendering: darker = survived more iterations.
+    const SHADES: [char; 5] = [' ', '.', ':', 'o', '#'];
+    println!();
+    for i in 0..size {
+        let row: String = (0..size)
+            .map(|j| SHADES[counts[i * size + j] as usize])
+            .collect();
+        println!("  {row}");
+    }
+    println!(
+        "\n{}x{size} points, {iters} iterations each, {} cycles on one cell",
+        size, report.cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: compile a tiny W2 program and run it on the simulated
+//! Warp array.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use warp::compiler::{compile, CompileOptions};
+
+const SOURCE: &str = r#"
+/* Each cell of a 4-cell pipeline adds its share of a running total:
+   the value leaving the array has passed through four "+ 1.0" stages. */
+module addfour (xs in, ys out)
+float xs[8];
+float ys[8];
+cellprogram (cid : 0 : 3)
+begin
+  function stage
+  begin
+    float v;
+    int i;
+    for i := 0 to 7 do begin
+      receive (L, X, v, xs[i]);
+      send (R, X, v + 1.0, ys[i]);
+    end;
+  end
+  call stage;
+end
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Compile: front end, flow analysis, decomposition, cell + IU +
+    // host code generation, skew and queue analysis.
+    let module = compile(SOURCE, &CompileOptions::default())?;
+
+    println!("module `{}` on {} cells", module.name, module.n_cells);
+    println!("  W2 lines        : {}", module.metrics.w2_lines);
+    println!("  cell µcode      : {}", module.metrics.cell_ucode);
+    println!("  IU µcode        : {}", module.metrics.iu_ucode);
+    println!("  minimum skew    : {} cycles", module.skew.min_skew);
+    println!("  queue occupancy : {:?}", module.skew.queue_occupancy);
+
+    // Run on the cycle-level simulator.
+    let xs: Vec<f32> = (0..8).map(|i| i as f32 * 10.0).collect();
+    let report = module.run(&[("xs", &xs)])?;
+
+    println!("\ninput : {xs:?}");
+    println!("output: {:?}", report.host.get("ys"));
+    println!(
+        "\n{} cycles, {} floating point ops, {:.3} results/cycle",
+        report.cycles,
+        report.fp_ops,
+        report.throughput()
+    );
+    assert_eq!(report.host.get("ys")[0], 4.0, "0 + four stages of +1");
+    Ok(())
+}

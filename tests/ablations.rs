@@ -1,0 +1,170 @@
+//! Ablation experiments A1–A4 of DESIGN.md: turn off a design choice
+//! and observe the cost the paper's compiler avoids.
+
+use warp::compiler::{compile, corpus, CompileOptions};
+use warp::ir::LowerOptions;
+use warp::iu::IuOptions;
+
+/// A1: without the local optimizations (CSE, constant folding,
+/// identity removal, height reduction), the cell microcode gets longer
+/// — yet the results stay identical.
+#[test]
+fn ablation_a1_local_optimizations() {
+    // An un-Horner'd polynomial: x*x, x*x*x, ... are textbook common
+    // subexpressions, the long add chain benefits from height
+    // reduction, and 1.0*/+0.0 exercise identity removal.
+    let src = "module poly4 (xs in, ys out) float xs[16]; float ys[16]; \
+        cellprogram (cid : 0 : 0) begin function f begin float x, y; int i; \
+        for i := 0 to 15 do begin \
+          receive (L, X, x, xs[i]); \
+          y := 1.0*x + 0.0 + x*x + x*x*x + x*x*x*x + x*x*x*x*x + 2.0*3.0; \
+          send (R, X, y, ys[i]); \
+        end; end call f; end";
+    let optimized = compile(src, &CompileOptions::default()).expect("compiles");
+    let unoptimized = compile(
+        src,
+        &CompileOptions {
+            lower: LowerOptions {
+                optimize: false,
+                ..LowerOptions::default()
+            },
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compiles");
+    assert!(
+        unoptimized.metrics.cell_ucode > optimized.metrics.cell_ucode,
+        "no-opt {} should exceed opt {}",
+        unoptimized.metrics.cell_ucode,
+        optimized.metrics.cell_ucode
+    );
+
+    // Both versions compute the same result on exact inputs (small
+    // integers: reassociation cannot change the f32 values).
+    let xs: Vec<f32> = (0..16).map(|i| (i % 5) as f32).collect();
+    let a = optimized.run(&[("xs", &xs)]).unwrap();
+    let b = unoptimized.run(&[("xs", &xs)]).unwrap();
+    assert_eq!(a.host.get("ys"), b.host.get("ys"));
+    // The optimized version is also faster end to end.
+    assert!(a.cycles < b.cycles, "{} !< {}", a.cycles, b.cycles);
+}
+
+/// A3: without strength reduction every loop-variant address must be
+/// pre-stored in the table (the IU cannot multiply); nested loops chew
+/// through table memory fast, exactly as §6.3.2 warns.
+#[test]
+fn ablation_a3_strength_reduction() {
+    let src = corpus::matmul_source(2, 4, 4, 2);
+    let with = compile(&src, &CompileOptions::default()).expect("compiles");
+    let without = compile(
+        &src,
+        &CompileOptions {
+            iu: IuOptions {
+                strength_reduction: false,
+                ..IuOptions::default()
+            },
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compiles");
+    assert!(
+        with.iu.table.is_empty(),
+        "strength reduction avoids the table"
+    );
+    assert!(
+        !without.iu.table.is_empty(),
+        "without strength reduction the table fills"
+    );
+    assert!(with.iu.regs_used > 0);
+    assert_eq!(without.iu.regs_used, 0);
+
+    // Same results either way.
+    let a: Vec<f32> = (0..16).map(|i| i as f32 * 0.25).collect();
+    let b: Vec<f32> = (0..16).map(|i| (15 - i) as f32).collect();
+    let ra = with.run(&[("a", &a), ("b", &b)]).unwrap();
+    let rb = without.run(&[("a", &a), ("b", &b)]).unwrap();
+    assert_eq!(ra.host.get("c"), rb.host.get("c"));
+}
+
+/// A3 continued: at full image scale the table cannot hold the address
+/// stream at all — a compile error, matching the paper's remark that
+/// nested-loop addresses "can overflow the table memory easily".
+#[test]
+fn ablation_a3_table_overflow_at_scale() {
+    // A buffered transpose program with loop-variant addresses on a
+    // 256×256 tile: 65536 stores + 65536 loads > 32768 table words.
+    let src = "module tile (xs in, ys out) float xs[4096]; float ys[4096]; \
+        cellprogram (cid : 0 : 0) begin function f begin float v; float t[3000]; int i; \
+        for i := 0 to 2999 do begin receive (L, X, v, xs[0]); t[i] := v; end; \
+        for i := 0 to 2999 do begin v := t[i]; send (R, X, v); end; \
+        for i := 0 to 95 do begin receive (L, X, v, xs[i]); send (R, X, v, ys[i]); end; \
+        end call f; end";
+    let err = compile(
+        src,
+        &CompileOptions {
+            iu: IuOptions {
+                strength_reduction: false,
+                table_words: 4000,
+                ..IuOptions::default()
+            },
+            ..CompileOptions::default()
+        },
+    )
+    .expect_err("6000 table words exceed 4000");
+    assert!(err.to_string().contains("table memory exhausted"), "{err}");
+}
+
+/// A4: the smallest queue capacity that still runs matches the
+/// compiler's occupancy bound exactly.
+#[test]
+fn ablation_a4_queue_capacity() {
+    let src = corpus::polynomial_source(3, 16);
+    let m = compile(&src, &CompileOptions::default()).expect("compiles");
+    let bound = m
+        .skew
+        .queue_occupancy
+        .values()
+        .copied()
+        .max()
+        .expect("has channels");
+    assert!(bound >= 1);
+
+    let run_with_capacity = |cap: u32| {
+        let machine = warp::cell::CellMachine {
+            queue_capacity: cap,
+            ..warp::cell::CellMachine::default()
+        };
+        let module = warp::compiler::CompiledModule {
+            machine,
+            ..m.clone()
+        };
+        let c = vec![1.0f32; 3];
+        let z = vec![2.0f32; 16];
+        module.run(&[("c", &c), ("z", &z)])
+    };
+
+    // At the bound: runs. One word less: overflows.
+    run_with_capacity(bound as u32).expect("capacity at the bound suffices");
+    if bound > 1 {
+        let err = run_with_capacity(bound as u32 - 1).expect_err("must overflow");
+        assert!(
+            matches!(err, warp::sim::SimError::QueueOverflow { .. }),
+            "{err}"
+        );
+    }
+}
+
+/// A2 is the SIMD-model comparison, covered by
+/// `paper_figures::fig3_1_simd_vs_skewed_latency`; here we pin that the
+/// compiled polynomial's skew is far below its stage span (what a SIMD
+/// execution would pay per cell).
+#[test]
+fn ablation_a2_skew_vs_stage_span() {
+    let m = compile(corpus::POLYNOMIAL, &CompileOptions::default()).expect("compiles");
+    assert!(
+        (m.skew.min_skew as u64) * 4 < m.skew.span,
+        "skew {} should be far below the stage span {}",
+        m.skew.min_skew,
+        m.skew.span
+    );
+}

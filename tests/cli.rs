@@ -1,0 +1,73 @@
+//! Integration tests for the `w2c` command line driver.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn w2c() -> Command {
+    // cargo builds test binaries into target/debug/deps; the CLI lives
+    // one level up.
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.push("target");
+    path.push("debug");
+    path.push("w2c");
+    Command::new(path)
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("w2c-test-{name}-{}.w2", std::process::id()));
+    std::fs::write(&p, contents).expect("write temp source");
+    p
+}
+
+const DOUBLE: &str = "module double (xs in, ys out)\nfloat xs[4];\nfloat ys[4];\n\
+    cellprogram (cid : 0 : 0)\nbegin\n  function f\n  begin\n    float v;\n    int i;\n\
+    for i := 0 to 3 do begin\n      receive (L, X, v, xs[i]);\n      send (R, X, v + v, ys[i]);\n\
+    end;\n  end\n  call f;\nend\n";
+
+#[test]
+fn compiles_runs_and_checks() {
+    let src = write_temp("ok", DOUBLE);
+    let out = w2c()
+        .arg(&src)
+        .args(["--run", "xs=1,2,3,4", "--check", "--emit", "cell"])
+        .output()
+        .expect("w2c runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("compiled `double`"), "{stdout}");
+    assert!(stdout.contains("ys = [2, 4, 6, 8]"), "{stdout}");
+    assert!(
+        stdout.contains("agrees with the reference interpreter"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("recv"), "listing expected: {stdout}");
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn reports_diagnostics_with_location() {
+    let src = write_temp("bad", "module broken (a in)\nfloat a[4];\ncellprogram (c : 0 : 0)\nbegin\n  function f\n  begin\n    float x;\n    x := zz;\n  end\n  call f;\nend\n");
+    let out = w2c().arg(&src).output().expect("w2c runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("undeclared variable `zz`"), "{stderr}");
+    assert!(stderr.contains("line 8"), "{stderr}");
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn corpus_shortcut_works() {
+    let out = w2c()
+        .args(["--corpus", "polynomial"])
+        .output()
+        .expect("w2c runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("compiled `polynomial`"), "{stdout}");
+    assert!(stdout.contains("for 10 cells"), "{stdout}");
+}

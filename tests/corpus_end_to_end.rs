@@ -1,0 +1,227 @@
+//! End-to-end validation: compile every corpus program, run it on the
+//! simulated array, and compare against the plain-Rust reference
+//! implementations bit-for-bit (the cell programs and references use
+//! identical f32 operation orders).
+
+use warp::compiler::{compile, corpus, reference, CompileOptions};
+
+fn opts() -> CompileOptions {
+    CompileOptions::default()
+}
+
+#[test]
+fn polynomial_full_size_ten_cells() {
+    let m = compile(corpus::POLYNOMIAL, &opts()).expect("compiles");
+    assert_eq!(m.n_cells, 10);
+    let c: Vec<f32> = (0..10).map(|k| (k as f32 - 4.5) * 0.25).collect();
+    let z: Vec<f32> = (0..100).map(|i| -1.0 + i as f32 * 0.02).collect();
+    let r = m.run(&[("c", &c), ("z", &z)]).expect("runs");
+    assert_eq!(r.host.get("results"), &reference::polynomial(&c, &z)[..]);
+    // The array never violated any queue bound.
+    assert!(r.max_queue_occupancy <= 128);
+}
+
+#[test]
+fn polynomial_more_cells_than_declared_data() {
+    // Three cells, eight points: the program template scales.
+    let src = corpus::polynomial_source(3, 8);
+    let m = compile(&src, &opts()).expect("compiles");
+    let c = vec![1.0, -2.0, 0.5];
+    let z: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
+    let r = m.run(&[("c", &c), ("z", &z)]).expect("runs");
+    assert_eq!(r.host.get("results"), &reference::polynomial(&c, &z)[..]);
+}
+
+#[test]
+fn conv1d_full_size_nine_cells() {
+    let m = compile(corpus::ONED_CONV, &opts()).expect("compiles");
+    assert_eq!(m.n_cells, 9);
+    let w: Vec<f32> = (0..9).map(|k| 1.0 / (k as f32 + 1.0)).collect();
+    let x: Vec<f32> = (0..128).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+    let r = m.run(&[("w", &w), ("x", &x)]).expect("runs");
+    assert_eq!(r.host.get("y"), &reference::conv1d(&w, &x)[..]);
+}
+
+#[test]
+fn conv1d_small_kernel() {
+    let src = corpus::conv1d_source(3, 16);
+    let m = compile(&src, &opts()).expect("compiles");
+    let w = vec![0.5, -1.0, 0.25];
+    let x: Vec<f32> = (0..16).map(|i| i as f32).collect();
+    let r = m.run(&[("w", &w), ("x", &x)]).expect("runs");
+    assert_eq!(r.host.get("y"), &reference::conv1d(&w, &x)[..]);
+}
+
+#[test]
+fn binop_small_image() {
+    let src = corpus::binop_source(8, 8);
+    let m = compile(&src, &opts()).expect("compiles");
+    let a: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+    let b: Vec<f32> = (0..64).map(|i| (64 - i) as f32).collect();
+    let r = m.run(&[("a", &a), ("b", &b)]).expect("runs");
+    assert_eq!(r.host.get("c"), &reference::binop(&a, &b)[..]);
+}
+
+#[test]
+fn colorseg_small_image() {
+    let src = corpus::colorseg_source(8, 8);
+    let m = compile(&src, &opts()).expect("compiles");
+    // Interleaved r,g,b covering all four classes, including ties.
+    let img: Vec<f32> = (0..192).map(|i| ((i * 37) % 256) as f32).collect();
+    let r = m.run(&[("img", &img)]).expect("runs");
+    assert_eq!(r.host.get("seg"), &reference::colorseg_rgb(&img)[..]);
+}
+
+#[test]
+fn grayseg_small_image() {
+    let src = corpus::grayseg_source(8, 8);
+    let m = compile(&src, &opts()).expect("compiles");
+    let img: Vec<f32> = (0..64).map(|i| (i * 4) as f32).collect();
+    let r = m.run(&[("img", &img)]).expect("runs");
+    assert_eq!(r.host.get("seg"), &reference::colorseg(&img)[..]);
+}
+
+#[test]
+fn mandelbrot_paper_size() {
+    // The paper's configuration: 32×32, 4 iterations, one cell.
+    let m = compile(corpus::MANDELBROT, &opts()).expect("compiles");
+    assert_eq!(m.n_cells, 1);
+    let n = 32;
+    let mut cre = Vec::with_capacity(n * n);
+    let mut cim = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            cre.push(-2.0 + 3.0 * j as f32 / n as f32);
+            cim.push(-1.5 + 3.0 * i as f32 / n as f32);
+        }
+    }
+    let r = m.run(&[("cre", &cre), ("cim", &cim)]).expect("runs");
+    assert_eq!(
+        r.host.get("count"),
+        &reference::mandelbrot(&cre, &cim, 4)[..]
+    );
+}
+
+#[test]
+fn matmul_two_cells() {
+    // C = A·B with A 3×4, B 4×4, two cells computing two columns each.
+    let src = corpus::matmul_source(2, 3, 4, 2);
+    let m = compile(&src, &opts()).expect("compiles");
+    let a: Vec<f32> = (0..12).map(|i| i as f32 * 0.5 - 2.0).collect();
+    let b: Vec<f32> = (0..16).map(|i| ((i * 3) % 7) as f32 - 3.0).collect();
+    let r = m.run(&[("a", &a), ("b", &b)]).expect("runs");
+    assert_eq!(r.host.get("c"), &reference::matmul(&a, &b, 3, 4, 4)[..]);
+}
+
+#[test]
+fn matmul_four_cells() {
+    let src = corpus::matmul_source(4, 2, 3, 1);
+    let m = compile(&src, &opts()).expect("compiles");
+    assert_eq!(m.n_cells, 4);
+    let a: Vec<f32> = (0..6).map(|i| i as f32 + 1.0).collect();
+    let b: Vec<f32> = (0..12).map(|i| (i % 5) as f32 - 2.0).collect();
+    let r = m.run(&[("a", &a), ("b", &b)]).expect("runs");
+    assert_eq!(r.host.get("c"), &reference::matmul(&a, &b, 2, 3, 4)[..]);
+}
+
+#[test]
+fn corpus_compiles_at_full_paper_sizes() {
+    // The 512×512 programs are compile-checked (simulating a quarter
+    // million pixels belongs in benches, not unit tests).
+    for (src, streams) in [(corpus::BINOP, 3), (corpus::COLORSEG, 4)] {
+        let m = compile(src, &opts()).expect("compiles");
+        assert!(m.metrics.cell_ucode > 0);
+        assert_eq!(
+            m.host.input_count() + m.host.output_count(),
+            streams * 512 * 512
+        );
+    }
+}
+
+#[test]
+fn skew_is_minimal_for_pipelines() {
+    // For every multi-cell corpus program: the computed skew runs, one
+    // less underflows.
+    for src in [
+        corpus::polynomial_source(3, 10),
+        corpus::conv1d_source(3, 12),
+        corpus::matmul_source(2, 2, 2, 1),
+    ] {
+        let m = compile(&src, &opts()).expect("compiles");
+        assert!(m.skew.min_skew > 0, "{}", m.name);
+        // Build zero inputs of the right shapes via the variable table.
+        let zero_inputs: Vec<(String, Vec<f32>)> =
+            m.ir.vars
+                .iter()
+                .filter(|(_, v)| v.kind == warp::w2::VarKind::Host)
+                .map(|(_, v)| (v.name.clone(), vec![0.0; v.size() as usize]))
+                .collect();
+        let named: Vec<(&str, &[f32])> = zero_inputs
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.as_slice()))
+            .collect();
+        m.run_with(m.n_cells, m.skew.min_skew, &named)
+            .expect("minimum skew runs");
+        let err = m
+            .run_with(m.n_cells, m.skew.min_skew - 1, &named)
+            .expect_err("skew below minimum must underflow");
+        assert!(
+            matches!(err, warp::sim::SimError::QueueUnderflow { .. }),
+            "{}: {err}",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn fft_16_points_on_4_cells() {
+    let n = 16u32;
+    let src = corpus::fft_source(n);
+    let m = compile(&src, &opts()).expect("compiles");
+    assert_eq!(m.n_cells, 4);
+    let (twr, twi) = corpus::fft_twiddle_arrays(n);
+    let re: Vec<f32> = (0..n).map(|i| ((i * 5) % 7) as f32 - 3.0).collect();
+    let im: Vec<f32> = (0..n).map(|i| ((i * 3) % 5) as f32 * 0.5).collect();
+    let r = m
+        .run(&[("twr", &twr), ("twi", &twi), ("xre", &re), ("xim", &im)])
+        .expect("runs");
+    let (er, ei) = reference::fft_pease(&re, &im);
+    assert_eq!(r.host.get("outre"), &er[..], "real parts bit-exact");
+    assert_eq!(r.host.get("outim"), &ei[..], "imaginary parts bit-exact");
+
+    // And the spectrum is actually a Fourier transform: unscramble and
+    // compare against the naive DFT.
+    let fr = reference::bit_reverse_permute(r.host.get("outre"));
+    let fi = reference::bit_reverse_permute(r.host.get("outim"));
+    let (dr, di) = reference::dft_naive(&re, &im);
+    for k in 0..n as usize {
+        assert!((f64::from(fr[k]) - dr[k]).abs() < 1e-3, "re[{k}]");
+        assert!((f64::from(fi[k]) - di[k]).abs() < 1e-3, "im[{k}]");
+    }
+}
+
+#[test]
+fn fft_64_points_on_6_cells() {
+    // Stage k is deep into its butterfly loop while stage k+1 is still
+    // distributing twiddles, so at 64 points the 128-word queues
+    // overflow; the compiler reports it (checked below) and the run
+    // uses deeper queues — the paper's §6.2.2 notes that spilling
+    // overflow data to cell memory is the eventual remedy.
+    let n = 64u32;
+    let src = corpus::fft_source(n);
+    let err = compile(&src, &opts()).expect_err("128-word queues overflow at 64 points");
+    assert!(err.to_string().contains("queue overflow"), "{err}");
+
+    let mut o = opts();
+    o.machine.queue_capacity = 4 * n;
+    let m = compile(&src, &o).expect("compiles");
+    let (twr, twi) = corpus::fft_twiddle_arrays(n);
+    let re: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+    let im = vec![0.0f32; n as usize];
+    let r = m
+        .run(&[("twr", &twr), ("twi", &twi), ("xre", &re), ("xim", &im)])
+        .expect("runs");
+    let (er, ei) = reference::fft_pease(&re, &im);
+    assert_eq!(r.host.get("outre"), &er[..]);
+    assert_eq!(r.host.get("outim"), &ei[..]);
+}

@@ -1,0 +1,42 @@
+//! The standalone `.w2` files under `corpus/` stay in sync with the
+//! canonical sources in `warp_compiler::corpus`, and all of them pass
+//! the front end.
+
+use warp::compiler::corpus;
+
+fn read(name: &str) -> String {
+    let path = format!("{}/corpus/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn files_match_canonical_sources() {
+    for (file, canon) in [
+        ("polynomial.w2", corpus::POLYNOMIAL.to_owned()),
+        ("conv1d.w2", corpus::ONED_CONV.to_owned()),
+        ("binop.w2", corpus::BINOP.to_owned()),
+        ("colorseg.w2", corpus::COLORSEG.to_owned()),
+        ("mandelbrot.w2", corpus::MANDELBROT.to_owned()),
+        ("fft16.w2", corpus::fft_source(16)),
+        ("matmul_2x4x4.w2", corpus::matmul_source(2, 4, 4, 2)),
+    ] {
+        assert_eq!(read(file), canon.trim_start(), "{file} is out of sync");
+    }
+}
+
+#[test]
+fn files_compile() {
+    for file in [
+        "polynomial.w2",
+        "conv1d.w2",
+        "binop.w2",
+        "colorseg.w2",
+        "mandelbrot.w2",
+        "fft16.w2",
+        "matmul_2x4x4.w2",
+    ] {
+        let src = read(file);
+        warp::compiler::compile(&src, &warp::compiler::CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{file} failed to compile:\n{e}"));
+    }
+}

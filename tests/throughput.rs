@@ -1,0 +1,119 @@
+//! Experiment E9: the paper's throughput claims.
+//!
+//! Table 7-1 notes that 1d-Conv and Polynomial reach "a throughput of
+//! one result per cycle" on the real machine; that requires the
+//! cross-iteration software pipelining of the authors' later work. This
+//! reproduction schedules one loop iteration at a time, so the steady
+//! state is one result per *iteration* — these tests pin the actual
+//! numbers and the scaling shape (throughput independent of array
+//! length, FLOPs proportional to both).
+
+use warp::compiler::{compile, corpus, CompileOptions};
+
+#[test]
+fn polynomial_throughput_and_flops() {
+    let m = compile(corpus::POLYNOMIAL, &CompileOptions::default()).expect("compiles");
+    let c: Vec<f32> = vec![0.5; 10];
+    let z: Vec<f32> = vec![1.0; 100];
+    let r = m.run(&[("c", &c), ("z", &z)]).expect("runs");
+
+    // 100 results + 110 coefficient words pass out of the array.
+    assert_eq!(r.words_out, 210);
+    // Each of the 10 cells does one multiply and one add per point.
+    assert_eq!(r.fp_ops, 10 * 100 * 2);
+
+    // Steady-state: one result per inner-loop iteration. The whole run
+    // is fill + 100 iterations, so throughput ≥ 1 result per
+    // (iteration length + small constant).
+    let iter_len = inner_loop_len(&m.cell_code);
+    let results_per_cycle = 100.0 / r.cycles as f64;
+    assert!(
+        results_per_cycle >= 0.8 / iter_len as f64,
+        "throughput {results_per_cycle:.4} too low for iteration length {iter_len}"
+    );
+}
+
+#[test]
+fn throughput_is_independent_of_array_length() {
+    // Pipeline mode: adding cells adds fill latency but not per-result
+    // cost. Compare 2 vs 8 cells on proportional problems.
+    let short = compile(
+        &corpus::polynomial_source(2, 64),
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let long = compile(
+        &corpus::polynomial_source(8, 64),
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let z = vec![0.5f32; 64];
+    let r_short = short.run(&[("c", &[1.0; 2]), ("z", &z)]).expect("runs");
+    let r_long = long.run(&[("c", &[1.0; 8]), ("z", &z)]).expect("runs");
+    // The long pipeline costs only the extra fill (skew × extra cells),
+    // not 4× the cycles.
+    let fill_long = long.skew.pipeline_fill(8);
+    let fill_short = short.skew.pipeline_fill(2);
+    let extra = r_long.cycles as i64 - r_short.cycles as i64;
+    assert!(
+        extra <= (fill_long as i64 - fill_short as i64) + 64,
+        "extra cycles {extra} exceed the expected fill difference"
+    );
+}
+
+#[test]
+fn peak_rate_scales_with_cells() {
+    // Parallel FLOP capacity: 2 FLOP/cycle/cell. The polynomial uses
+    // both units every iteration, so FLOP rate scales ~linearly in
+    // cells once the pipeline is full.
+    let m2 = compile(
+        &corpus::polynomial_source(2, 128),
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let m8 = compile(
+        &corpus::polynomial_source(8, 128),
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let z = vec![1.0f32; 128];
+    let r2 = m2.run(&[("c", &[1.0; 2]), ("z", &z)]).unwrap();
+    let r8 = m8.run(&[("c", &[1.0; 8]), ("z", &z)]).unwrap();
+    let rate2 = r2.fp_ops as f64 / r2.cycles as f64;
+    let rate8 = r8.fp_ops as f64 / r8.cycles as f64;
+    assert!(
+        rate8 > 3.0 * rate2,
+        "8 cells should deliver ~4x the FLOP rate of 2 cells, got {rate2:.3} vs {rate8:.3}"
+    );
+}
+
+#[test]
+fn conv_throughput() {
+    let m = compile(corpus::ONED_CONV, &CompileOptions::default()).expect("compiles");
+    let w = vec![1.0f32; 9];
+    let x = vec![1.0f32; 128];
+    let r = m.run(&[("w", &w), ("x", &x)]).expect("runs");
+    assert_eq!(r.fp_ops, 9 * 128 * 2, "one MAC per cell per sample");
+    let iter_len = inner_loop_len(&m.cell_code);
+    let results_per_cycle = 120.0 / r.cycles as f64;
+    assert!(results_per_cycle >= 0.8 / iter_len as f64);
+}
+
+/// Longest loop-body length in the program (the steady-state iteration
+/// interval).
+fn inner_loop_len(code: &warp::cell::CellCode) -> u64 {
+    fn walk(r: &warp::cell::CodeRegion) -> u64 {
+        match r {
+            warp::cell::CodeRegion::Block(_) => 0,
+            warp::cell::CodeRegion::Loop { body, .. } => body
+                .iter()
+                .map(|b| match b {
+                    warp::cell::CodeRegion::Block(bc) => u64::from(bc.len()),
+                    other => walk(other),
+                })
+                .max()
+                .unwrap_or(0),
+        }
+    }
+    code.regions.iter().map(walk).max().unwrap_or(1).max(1)
+}

@@ -1,0 +1,91 @@
+//! Extension: innermost-loop unrolling (DESIGN.md "optional features").
+//!
+//! Unrolling merges consecutive iterations into one basic block, so the
+//! list scheduler overlaps them across the pipelined FPUs — the static
+//! stand-in for software pipelining. These tests verify correctness is
+//! preserved and throughput improves.
+
+use warp::compiler::{compile, corpus, reference, CompileOptions};
+use warp::ir::LowerOptions;
+
+fn with_unroll(u: u32) -> CompileOptions {
+    CompileOptions {
+        lower: LowerOptions {
+            unroll: u,
+            ..LowerOptions::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+#[test]
+fn unrolled_polynomial_is_correct_and_faster() {
+    let src = corpus::polynomial_source(4, 64);
+    let base = compile(&src, &CompileOptions::default()).expect("compiles");
+    let unrolled = compile(&src, &with_unroll(4)).expect("compiles");
+
+    let c = vec![0.5f32, -1.0, 0.25, 2.0];
+    let z: Vec<f32> = (0..64).map(|i| -1.0 + i as f32 / 32.0).collect();
+    let expect = reference::polynomial(&c, &z);
+
+    let r0 = base.run(&[("c", &c), ("z", &z)]).expect("runs");
+    let r4 = unrolled.run(&[("c", &c), ("z", &z)]).expect("runs");
+    assert_eq!(r0.host.get("results"), &expect[..]);
+    assert_eq!(r4.host.get("results"), &expect[..]);
+    assert!(
+        r4.cycles * 10 < r0.cycles * 9,
+        "unrolled {} should be >10% faster than {}",
+        r4.cycles,
+        r0.cycles
+    );
+}
+
+#[test]
+fn unrolled_conv_is_correct() {
+    let src = corpus::conv1d_source(3, 24);
+    let unrolled = compile(&src, &with_unroll(4)).expect("compiles");
+    let w = vec![0.25f32, 0.5, 0.25];
+    let x: Vec<f32> = (0..24).map(|i| ((i * 5) % 11) as f32).collect();
+    let r = unrolled.run(&[("w", &w), ("x", &x)]).expect("runs");
+    assert_eq!(r.host.get("y"), &reference::conv1d(&w, &x)[..]);
+}
+
+#[test]
+fn unrolled_binop_is_correct() {
+    let src = corpus::binop_source(4, 8);
+    let unrolled = compile(&src, &with_unroll(8)).expect("compiles");
+    let a: Vec<f32> = (0..32).map(|i| i as f32).collect();
+    let b: Vec<f32> = (0..32).map(|i| (i % 7) as f32 - 3.0).collect();
+    let r = unrolled.run(&[("a", &a), ("b", &b)]).expect("runs");
+    assert_eq!(r.host.get("c"), &reference::binop(&a, &b)[..]);
+}
+
+#[test]
+fn unrolled_matmul_is_correct() {
+    let src = corpus::matmul_source(2, 4, 4, 2);
+    let unrolled = compile(&src, &with_unroll(2)).expect("compiles");
+    let a: Vec<f32> = (0..16).map(|i| i as f32 * 0.5).collect();
+    let b: Vec<f32> = (0..16).map(|i| ((i * 3) % 5) as f32).collect();
+    let r = unrolled.run(&[("a", &a), ("b", &b)]).expect("runs");
+    assert_eq!(r.host.get("c"), &reference::matmul(&a, &b, 4, 4, 4)[..]);
+}
+
+#[test]
+fn throughput_approaches_result_per_few_cycles() {
+    // With unrolling, the polynomial inner loop packs several results
+    // per iteration; results/cycle should rise substantially toward the
+    // paper's one-result-per-cycle regime.
+    let src = corpus::polynomial_source(4, 128);
+    let base = compile(&src, &CompileOptions::default()).expect("compiles");
+    let unrolled = compile(&src, &with_unroll(8)).expect("compiles");
+    let c = vec![1.0f32; 4];
+    let z = vec![1.0f32; 128];
+    let r0 = base.run(&[("c", &c), ("z", &z)]).expect("runs");
+    let r8 = unrolled.run(&[("c", &c), ("z", &z)]).expect("runs");
+    let t0 = 128.0 / r0.cycles as f64;
+    let t8 = 128.0 / r8.cycles as f64;
+    assert!(
+        t8 > 1.8 * t0,
+        "unroll-8 throughput {t8:.4} should be ~2x+ the baseline {t0:.4}"
+    );
+}
