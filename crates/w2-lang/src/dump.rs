@@ -1,0 +1,199 @@
+//! Deterministic pretty-printer for the checked HIR — the artifact of
+//! the driver's `frontend` pass (`w2c --dump-after frontend`).
+
+use crate::ast::{BinOp, ParamDir, UnOp};
+use crate::hir::{HirExpr, HirLValue, HirModule, HirStmt, HostRef, VarKind};
+use std::fmt::Write as _;
+use warp_common::Artifact;
+
+/// Renders a checked module: header, variable table, and the inlined
+/// statement tree. The output is stable across runs (everything walks
+/// `IdVec`s and source order).
+pub fn dump_hir(m: &HirModule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "hir module {} ({} cells, first cell {})",
+        m.name, m.n_cells, m.cell_lo
+    );
+    let params: Vec<String> = m
+        .params
+        .iter()
+        .map(|(id, dir)| {
+            let d = match dir {
+                ParamDir::In => "in",
+                ParamDir::Out => "out",
+            };
+            format!("{} {d}", m.vars[*id].name)
+        })
+        .collect();
+    let _ = writeln!(out, "params: {}", params.join(", "));
+    let _ = writeln!(out, "vars:");
+    for (id, v) in m.vars.iter() {
+        let kind = match v.kind {
+            VarKind::Host => "host",
+            VarKind::CellLocal => "cell",
+            VarKind::LoopIndex => "loop-index",
+        };
+        let dims: String = v.dims.iter().map(|d| format!("[{d}]")).collect();
+        let _ = writeln!(out, "  {id:?} {} : {:?}{dims} {kind}", v.name, v.ty);
+    }
+    let _ = writeln!(out, "body:");
+    for s in &m.body {
+        stmt(&mut out, m, s, 1);
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn stmt(out: &mut String, m: &HirModule, s: &HirStmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        HirStmt::Assign { lhs, rhs, .. } => {
+            let _ = writeln!(out, "{} := {}", lvalue(m, lhs), expr(m, rhs));
+        }
+        HirStmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = writeln!(out, "if {} then", expr(m, cond));
+            for s in then_body {
+                stmt(out, m, s, depth + 1);
+            }
+            if !else_body.is_empty() {
+                indent(out, depth);
+                out.push_str("else\n");
+                for s in else_body {
+                    stmt(out, m, s, depth + 1);
+                }
+            }
+        }
+        HirStmt::For {
+            var, lo, hi, body, ..
+        } => {
+            let _ = writeln!(out, "for {} := {lo} to {hi} do", m.vars[*var].name);
+            for s in body {
+                stmt(out, m, s, depth + 1);
+            }
+        }
+        HirStmt::Receive {
+            dir,
+            chan,
+            dst,
+            ext,
+            ..
+        } => {
+            let _ = write!(out, "receive ({dir:?}, {chan:?}, {}", lvalue(m, dst));
+            if let Some(h) = ext {
+                let _ = write!(out, ", {}", host_ref(m, h));
+            }
+            out.push_str(")\n");
+        }
+        HirStmt::Send {
+            dir,
+            chan,
+            value,
+            ext,
+            ..
+        } => {
+            let _ = write!(out, "send ({dir:?}, {chan:?}, {}", expr(m, value));
+            if let Some(h) = ext {
+                let _ = write!(out, ", {}", host_ref(m, h));
+            }
+            out.push_str(")\n");
+        }
+    }
+}
+
+fn lvalue(m: &HirModule, l: &HirLValue) -> String {
+    match l {
+        HirLValue::Var(v) => m.vars[*v].name.clone(),
+        HirLValue::Elem { var, indices } => elem(m, *var, indices),
+    }
+}
+
+fn host_ref(m: &HirModule, h: &HostRef) -> String {
+    match h {
+        HostRef::Lit(v) => format!("{v}"),
+        HostRef::Var(v) => m.vars[*v].name.clone(),
+        HostRef::Elem { var, indices } => elem(m, *var, indices),
+    }
+}
+
+fn elem(m: &HirModule, var: crate::hir::VarId, indices: &[HirExpr]) -> String {
+    let subs: Vec<String> = indices.iter().map(|e| expr(m, e)).collect();
+    format!("{}[{}]", m.vars[var].name, subs.join(", "))
+}
+
+fn expr(m: &HirModule, e: &HirExpr) -> String {
+    match e {
+        HirExpr::FloatLit(v) => format!("{v}"),
+        HirExpr::IntLit(v) => format!("{v}"),
+        HirExpr::ReadVar(v) => m.vars[*v].name.clone(),
+        HirExpr::ReadElem { var, indices } => elem(m, *var, indices),
+        HirExpr::Binary { op, lhs, rhs, .. } => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "and",
+                BinOp::Or => "or",
+            };
+            format!("({} {sym} {})", expr(m, lhs), expr(m, rhs))
+        }
+        HirExpr::Unary { op, operand, .. } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "not ",
+            };
+            format!("({sym}{})", expr(m, operand))
+        }
+    }
+}
+
+impl Artifact for HirModule {
+    fn kind(&self) -> &'static str {
+        "hir"
+    }
+
+    fn dump(&self) -> String {
+        dump_hir(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_check;
+
+    #[test]
+    fn dump_covers_module_shape() {
+        let src = "module m (xs in, ys out) float xs[4]; float ys[4]; \
+            cellprogram (cid : 0 : 1) begin function f begin float v; int i; \
+            for i := 0 to 3 do begin receive (L, X, v, xs[i]); \
+            if v > 1.0 then v := v * 2.0; else v := -v; \
+            send (R, X, v + 1.0, ys[i]); end; end call f; end";
+        let hir = parse_and_check(src).expect("checks");
+        let text = hir.dump();
+        assert!(text.contains("hir module m (2 cells"), "{text}");
+        assert!(text.contains("for i := 0 to 3 do"), "{text}");
+        assert!(text.contains("receive (Left, X, v, xs[i])"), "{text}");
+        assert!(text.contains("if (v > 1) then"), "{text}");
+        assert!(text.contains("send (Right, X, (v + 1), ys[i])"), "{text}");
+        assert_eq!(hir.kind(), "hir");
+    }
+}

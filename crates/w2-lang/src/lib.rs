@@ -57,6 +57,7 @@
 //! ```
 
 pub mod ast;
+pub mod dump;
 pub mod hir;
 pub mod lexer;
 pub mod parser;

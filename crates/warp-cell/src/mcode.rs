@@ -393,6 +393,16 @@ impl CellCode {
     }
 }
 
+impl warp_common::Artifact for CellCode {
+    fn kind(&self) -> &'static str {
+        "cell-ucode"
+    }
+
+    fn dump(&self) -> String {
+        self.listing()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,8 @@
 //!   warnings.
 //! * [`IdVec`] and the [`define_id!`] macro — typed index vectors used for
 //!   IR arenas (DAG nodes, basic blocks, registers, …).
+//! * [`Artifact`], [`PassObserver`] and [`PassTiming`] — the pass
+//!   observation hooks the driver's pass manager is built on.
 //!
 //! # Examples
 //!
@@ -28,11 +30,13 @@
 pub mod diag;
 pub mod idvec;
 pub mod intern;
+pub mod observe;
 pub mod rat;
 pub mod span;
 
 pub use diag::{Diagnostic, DiagnosticBag, Severity};
 pub use idvec::IdVec;
 pub use intern::{Interner, Symbol};
+pub use observe::{Artifact, CollectDumps, NullObserver, PassDump, PassObserver, PassTiming};
 pub use rat::Rat;
 pub use span::Span;

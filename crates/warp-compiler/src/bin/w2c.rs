@@ -1,23 +1,52 @@
 //! `w2c` — the W2 compiler command line.
 //!
 //! ```text
-//! w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit cell|iu|metrics]
-//!             [--run NAME=v1,v2,... ...] [--cells N]
+//! w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit KIND]
+//!             [--dump-after PASS] [--time-passes]
+//!             [--run NAME=v1,v2,... ...] [--cells N] [--check]
 //! w2c --corpus NAME [same flags]        (polynomial, conv1d, binop,
 //!                                        colorseg, mandelbrot)
+//! w2c --corpus all [--time-passes]      (parallel batch compile)
 //! ```
 //!
-//! Compiles a W2 module and prints metrics, optionally a microcode
-//! listing, and optionally simulates it with the given inputs.
+//! Compiles a W2 module and prints metrics, optionally per-pass
+//! timings and artifact dumps, optionally a microcode listing, and
+//! optionally simulates it with the given inputs.
 
 use std::process::ExitCode;
-use warp_compiler::{compile, corpus, CompileOptions};
+use warp_common::{observe, CollectDumps};
+use warp_compiler::{compile_many, corpus, passes, CompileOptions, CompiledModule, Session};
 use warp_ir::LowerOptions;
 
+/// `--emit` kinds: the Table 7-1 metrics and listings, plus one kind
+/// per dumpable pass artifact.
+const EMIT_KINDS: [(&str, Option<&str>); 9] = [
+    ("metrics", None),
+    ("cell", None),
+    ("iu", None),
+    // Per-pass artifact dumps (equivalent to --dump-after <pass>).
+    ("hir", Some("frontend")),
+    ("comm", Some("comm")),
+    ("ir", Some("lower")),
+    ("decompose", Some("decompose")),
+    ("skew", Some("skew")),
+    ("host", Some("host-codegen")),
+];
+
+const CORPUS: [(&str, &str); 5] = [
+    ("polynomial", corpus::POLYNOMIAL),
+    ("conv1d", corpus::ONED_CONV),
+    ("binop", corpus::BINOP),
+    ("colorseg", corpus::COLORSEG),
+    ("mandelbrot", corpus::MANDELBROT),
+];
+
 struct Args {
-    source: String,
-    source_name: String,
+    source: Option<(String, String)>,
+    corpus_all: bool,
     emit: Vec<String>,
+    dump_after: Vec<String>,
+    time_passes: bool,
     runs: Vec<(String, Vec<f32>)>,
     opts: CompileOptions,
     cells: Option<u32>,
@@ -25,42 +54,71 @@ struct Args {
 }
 
 fn usage() -> ! {
+    let emit_kinds: Vec<&str> = EMIT_KINDS.iter().map(|(k, _)| *k).collect();
+    let pass_names: Vec<&str> = passes::pass_names().collect();
     eprintln!(
-        "usage: w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit cell|iu|metrics]\n\
+        "usage: w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit KIND]\n\
+         \x20           [--dump-after PASS] [--time-passes]\n\
          \x20           [--run NAME=v1,v2,...] [--cells N] [--check]\n\
          \x20      w2c --corpus NAME [same flags]\n\
-         \x20  --check: also execute the reference interpreter and compare"
+         \x20      w2c --corpus all [--time-passes]\n\
+         \x20  --emit KIND: one of {}\n\
+         \x20  --dump-after PASS: one of {}\n\
+         \x20  --time-passes: print the per-pass timing table\n\
+         \x20  --check: also execute the reference interpreter and compare",
+        emit_kinds.join("|"),
+        pass_names.join("|"),
     );
     std::process::exit(2)
 }
 
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
-    let mut source = None;
-    let mut source_name = String::new();
-    let mut emit = Vec::new();
-    let mut runs = Vec::new();
-    let mut opts = CompileOptions::default();
-    let mut cells = None;
-    let mut check = false;
+    let mut parsed = Args {
+        source: None,
+        corpus_all: false,
+        emit: Vec::new(),
+        dump_after: Vec::new(),
+        time_passes: false,
+        runs: Vec::new(),
+        opts: CompileOptions::default(),
+        cells: None,
+        check: false,
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--check" => check = true,
-            "--pipeline" => opts.software_pipeline = true,
+            "--check" => parsed.check = true,
+            "--pipeline" => parsed.opts.software_pipeline = true,
+            "--time-passes" => parsed.time_passes = true,
             "--no-opt" => {
-                opts.lower = LowerOptions {
+                parsed.opts.lower = LowerOptions {
                     optimize: false,
-                    ..opts.lower.clone()
+                    ..parsed.opts.lower.clone()
                 }
             }
             "--unroll" => {
                 let k = args.next().unwrap_or_else(|| usage());
-                opts.lower.unroll = k.parse().unwrap_or_else(|_| usage());
+                parsed.opts.lower.unroll = k.parse().unwrap_or_else(|_| usage());
             }
-            "--emit" => emit.push(args.next().unwrap_or_else(|| usage())),
+            "--emit" => {
+                let kind = args.next().unwrap_or_else(|| usage());
+                if !EMIT_KINDS.iter().any(|(k, _)| *k == kind) {
+                    eprintln!("unknown --emit kind `{kind}`\n");
+                    usage();
+                }
+                parsed.emit.push(kind);
+            }
+            "--dump-after" => {
+                let pass = args.next().unwrap_or_else(|| usage());
+                if passes::find_pass(&pass).is_none() {
+                    eprintln!("unknown pass `{pass}` for --dump-after\n");
+                    usage();
+                }
+                parsed.dump_after.push(pass);
+            }
             "--cells" => {
                 let n = args.next().unwrap_or_else(|| usage());
-                cells = Some(n.parse().unwrap_or_else(|_| usage()));
+                parsed.cells = Some(n.parse().unwrap_or_else(|_| usage()));
             }
             "--run" => {
                 let spec = args.next().unwrap_or_else(|| usage());
@@ -69,64 +127,73 @@ fn parse_args() -> Args {
                     .split(',')
                     .map(|v| v.trim().parse().unwrap_or_else(|_| usage()))
                     .collect();
-                runs.push((name.to_owned(), data));
+                parsed.runs.push((name.to_owned(), data));
             }
             "--corpus" => {
                 let name = args.next().unwrap_or_else(|| usage());
-                source_name = name.clone();
-                source = Some(
-                    match name.as_str() {
-                        "polynomial" => corpus::POLYNOMIAL,
-                        "conv1d" => corpus::ONED_CONV,
-                        "binop" => corpus::BINOP,
-                        "colorseg" => corpus::COLORSEG,
-                        "mandelbrot" => corpus::MANDELBROT,
-                        _ => {
-                            eprintln!("unknown corpus program `{name}`");
-                            std::process::exit(2);
-                        }
-                    }
-                    .to_owned(),
-                );
+                if name == "all" {
+                    parsed.corpus_all = true;
+                    continue;
+                }
+                let Some((_, src)) = CORPUS.iter().find(|(n, _)| *n == name) else {
+                    eprintln!("unknown corpus program `{name}`");
+                    std::process::exit(2);
+                };
+                parsed.source = Some((name, (*src).to_owned()));
             }
             "--help" | "-h" => usage(),
             path if !path.starts_with('-') => {
-                source_name = path.to_owned();
-                source = Some(std::fs::read_to_string(path).unwrap_or_else(|e| {
+                let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
                     eprintln!("cannot read `{path}`: {e}");
                     std::process::exit(2);
-                }));
+                });
+                parsed.source = Some((path.to_owned(), source));
             }
             _ => usage(),
         }
     }
-    let Some(source) = source else { usage() };
-    Args {
-        source,
-        source_name,
-        emit,
-        runs,
-        opts,
-        cells,
-        check,
+    if parsed.corpus_all {
+        if parsed.source.is_some()
+            || !parsed.runs.is_empty()
+            || !parsed.emit.is_empty()
+            || !parsed.dump_after.is_empty()
+            || parsed.check
+        {
+            eprintln!(
+                "--corpus all batch-compiles the whole corpus; it only combines with \
+                 compilation options and --time-passes\n"
+            );
+            usage();
+        }
+    } else if parsed.source.is_none() {
+        usage();
     }
+    parsed
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
-    let module = match compile(&args.source, &args.opts) {
-        Ok(m) => m,
-        Err(diags) => {
-            for d in &diags {
-                eprintln!("{}", d.render(&args.source));
-            }
-            return ExitCode::FAILURE;
+/// Passes whose artifacts must be captured: explicit `--dump-after`
+/// plus the pass-mapped `--emit` kinds, in request order, deduplicated.
+fn wanted_dumps(args: &Args) -> Vec<String> {
+    let mut wanted: Vec<String> = Vec::new();
+    let mapped = args.emit.iter().filter_map(|kind| {
+        EMIT_KINDS
+            .iter()
+            .find(|(k, _)| k == kind)
+            .and_then(|(_, pass)| *pass)
+            .map(str::to_owned)
+    });
+    for pass in args.dump_after.iter().cloned().chain(mapped) {
+        if !wanted.contains(&pass) {
+            wanted.push(pass);
         }
-    };
+    }
+    wanted
+}
 
+fn print_summary(module: &CompiledModule, source_name: &str) {
     println!(
         "compiled `{}` ({}) for {} cells",
-        module.name, args.source_name, module.n_cells
+        module.name, source_name, module.n_cells
     );
     println!("  W2 lines      : {}", module.metrics.w2_lines);
     println!("  cell ucode    : {}", module.metrics.cell_ucode);
@@ -136,16 +203,92 @@ fn main() -> ExitCode {
     println!("  min skew      : {}", module.skew.min_skew);
     println!("  queue bound   : {:?}", module.skew.queue_occupancy);
     println!("  compile time  : {:.1?}", module.metrics.compile_time);
+}
 
-    for what in &args.emit {
-        match what.as_str() {
+fn print_time_passes(module: &CompiledModule) {
+    println!("\nper-pass timing for `{}`:", module.name);
+    let table = observe::timing_table(&module.metrics.per_pass, module.metrics.compile_time);
+    for line in table.lines() {
+        println!("  {line}");
+    }
+}
+
+fn corpus_all(args: &Args) -> ExitCode {
+    let sources: Vec<&str> = CORPUS.iter().map(|(_, src)| *src).collect();
+    let results = compile_many(&sources, &args.opts);
+    let mut failed = false;
+    println!(
+        "{:<12} {:>9} {:>11} {:>9} {:>6} {:>6} {:>13}",
+        "name", "W2 lines", "cell ucode", "IU ucode", "skew", "cells", "compile time"
+    );
+    for ((name, _), result) in CORPUS.iter().zip(&results) {
+        match result {
+            Ok(m) => {
+                println!(
+                    "{:<12} {:>9} {:>11} {:>9} {:>6} {:>6} {:>13.1?}",
+                    name,
+                    m.metrics.w2_lines,
+                    m.metrics.cell_ucode,
+                    m.metrics.iu_ucode,
+                    m.skew.min_skew,
+                    m.n_cells,
+                    m.metrics.compile_time,
+                );
+            }
+            Err(diags) => {
+                failed = true;
+                eprintln!("{name}: FAILED\n{diags}");
+            }
+        }
+    }
+    if args.time_passes {
+        for result in results.iter().flatten() {
+            print_time_passes(result);
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.corpus_all {
+        return corpus_all(&args);
+    }
+    let (source_name, source) = args.source.clone().expect("checked by parse_args");
+
+    let mut dumps = CollectDumps::for_passes(wanted_dumps(&args));
+    let session = Session::with_observer(args.opts.clone(), &mut dumps);
+    let module = match session.compile(&source) {
+        Ok(m) => m,
+        Err(diags) => {
+            for d in &diags {
+                eprintln!("{}", d.render(&source));
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print_summary(&module, &source_name);
+    if args.time_passes {
+        print_time_passes(&module);
+    }
+
+    for dump in dumps.dumps() {
+        println!("\n=== dump after {} ({}) ===", dump.pass, dump.kind);
+        print!("{}", dump.text);
+    }
+
+    for what in args.emit.iter().map(String::as_str) {
+        match what {
             "cell" => println!("\n{}", module.cell_code.listing()),
             "iu" => println!("\n{}", module.iu.listing()),
-            "metrics" => {}
-            other => {
-                eprintln!("unknown --emit target `{other}`");
-                return ExitCode::FAILURE;
-            }
+            // "metrics" is the always-printed summary; pass-mapped
+            // kinds were rendered through the dump observer above.
+            _ => {}
         }
     }
 
@@ -165,21 +308,18 @@ fn main() -> ExitCode {
                     report.fp_ops,
                     report.throughput()
                 );
-                for (var, dir) in module
+                for name in module
                     .ir
                     .vars
                     .iter()
-                    .filter_map(|(id, v)| {
-                        Some((id, v)).filter(|(_, v)| v.kind == w2_lang::hir::VarKind::Host)
-                    })
-                    .map(|(id, v)| (id, v.name.clone()))
+                    .filter(|(_, v)| v.kind == w2_lang::hir::VarKind::Host)
+                    .map(|(_, v)| v.name.clone())
                 {
-                    let _ = var;
-                    let data = report.host.get(&dir);
+                    let data = report.host.get(&name).expect("host variable exists");
                     let preview: Vec<String> =
                         data.iter().take(8).map(|v| format!("{v}")).collect();
                     println!(
-                        "  {dir} = [{}{}]",
+                        "  {name} = [{}{}]",
                         preview.join(", "),
                         if data.len() > 8 { ", ..." } else { "" }
                     );
@@ -192,7 +332,7 @@ fn main() -> ExitCode {
         }
 
         if args.check {
-            let hir = match w2_lang::parse_and_check(&args.source) {
+            let hir = match w2_lang::parse_and_check(&source) {
                 Ok(h) => h,
                 Err(e) => {
                     eprintln!("front end failed during --check: {e}");
@@ -201,7 +341,10 @@ fn main() -> ExitCode {
             };
             let mut host = warp_host::HostMemory::new(&module.ir.vars);
             for (name, data) in &args.runs {
-                host.set(name, data);
+                if let Err(e) = host.set(name, data) {
+                    eprintln!("--check setup failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             match warp_compiler::oracle::interpret(&hir, &host) {
                 Ok(want) => {
@@ -209,12 +352,12 @@ fn main() -> ExitCode {
                         .run_with(n_cells, module.skew.min_skew, &inputs)
                         .expect("already ran once");
                     let mut mismatches = 0usize;
-                    for (id, v) in module.ir.vars.iter() {
+                    for (_, v) in module.ir.vars.iter() {
                         if v.kind != w2_lang::hir::VarKind::Host {
                             continue;
                         }
-                        let a = sim.host.get(&v.name);
-                        let b = want.get(&v.name);
+                        let a = sim.host.get(&v.name).expect("host variable exists");
+                        let b = want.get(&v.name).expect("host variable exists");
                         for k in 0..a.len() {
                             if a[k].to_bits() != b[k].to_bits() {
                                 if mismatches < 5 {
@@ -226,7 +369,6 @@ fn main() -> ExitCode {
                                 mismatches += 1;
                             }
                         }
-                        let _ = id;
                     }
                     if mismatches == 0 {
                         println!("\ncheck: simulated array agrees with the reference interpreter");

@@ -9,8 +9,17 @@
 //!      ──► IU code generation ──► host code generation
 //! ```
 //!
-//! and packages the result as a [`CompiledModule`] that can be executed
-//! on the cycle-level simulator with [`CompiledModule::run`].
+//! The driver is an explicit pass manager: a [`Session`] runs the
+//! eight named passes of [`passes::PIPELINE`] in order, timing each
+//! one ([`Metrics::per_pass`]) and reporting every intermediate
+//! artifact to an attached [`warp_common::PassObserver`] — that is
+//! what `w2c --time-passes` and `w2c --dump-after <pass>` are built
+//! on. [`compile`] is the plain entry point; [`compile_many`]
+//! batch-compiles independent modules on scoped threads with
+//! deterministic output ordering.
+//!
+//! The result is a [`CompiledModule`] that can be executed on the
+//! cycle-level simulator with [`CompiledModule::run`].
 //!
 //! The [`corpus`] module carries the paper's five benchmark programs
 //! (Table 7-1) plus parameterized generators, and [`mod@reference`] holds
@@ -30,23 +39,26 @@
 //! let z: Vec<f32> = (0..100).map(|i| -1.0 + i as f32 * 0.02).collect();
 //! let report = module.run(&[("c", &c), ("z", &z)])?;
 //! let expected = warp_compiler::reference::polynomial(&c, &z);
-//! assert_eq!(report.host.get("results"), &expected[..]);
+//! assert_eq!(report.host.get("results")?, &expected[..]);
 //! # Ok::<(), warp_compiler::CompileOrSimError>(())
 //! ```
 
 pub mod corpus;
 pub mod oracle;
+pub mod passes;
 pub mod reference;
+mod session;
 
-use std::time::{Duration, Instant};
-use w2_lang::parse_and_check;
-use warp_cell::{codegen_with as cell_codegen, CellCode, CellCodegenOptions, CellMachine};
-use warp_common::{Diagnostic, DiagnosticBag};
-use warp_host::{host_codegen, HostMemory, HostProgram};
-use warp_ir::{comm, decompose, lower, CellIr, LowerOptions};
-use warp_iu::{iu_codegen, IuOptions, IuProgram};
+pub use session::{compile_many, Session};
+
+use std::time::Duration;
+use warp_cell::{CellCode, CellMachine};
+use warp_common::{DiagnosticBag, PassTiming};
+use warp_host::{HostError, HostMemory, HostProgram};
+use warp_ir::{comm, CellIr, LowerOptions};
+use warp_iu::{IuOptions, IuProgram};
 use warp_sim::{MachineConfig, RunReport, SimError};
-use warp_skew::{analyze, SkewMethod, SkewOptions, SkewReport};
+use warp_skew::{SkewMethod, SkewReport};
 
 /// Options for one compilation.
 #[derive(Clone, Debug, Default)]
@@ -67,7 +79,7 @@ pub struct CompileOptions {
 }
 
 /// Size and timing metrics of one compilation — the columns of Table
-/// 7-1.
+/// 7-1, plus the per-pass wall-clock breakdown.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Metrics {
     /// Non-blank source lines ("W2 Lines").
@@ -78,6 +90,17 @@ pub struct Metrics {
     pub iu_ucode: u64,
     /// Wall-clock compile time ("Compile time").
     pub compile_time: Duration,
+    /// Per-pass wall-clock breakdown, in pipeline order (one entry per
+    /// pass of [`passes::PIPELINE`]).
+    pub per_pass: Vec<PassTiming>,
+}
+
+impl Metrics {
+    /// The summed per-pass time (≤ [`Metrics::compile_time`]; the
+    /// difference is driver overhead).
+    pub fn pass_time_total(&self) -> Duration {
+        self.per_pass.iter().map(|t| t.duration).sum()
+    }
 }
 
 /// A fully compiled module: programs for the cells, the IU, and the
@@ -106,76 +129,16 @@ pub struct CompiledModule {
     pub metrics: Metrics,
 }
 
-/// Compiles a W2 module.
+/// Compiles a W2 module by running a [`Session`] with no observer.
 ///
 /// # Errors
 ///
-/// Returns the accumulated diagnostics of whichever phase rejected the
+/// Returns the accumulated diagnostics of whichever pass rejected the
 /// program: parsing, semantic analysis, the unidirectionality check of
 /// §5.1.1, lowering, cell or IU code generation, or the skew/queue
 /// analysis.
 pub fn compile(source: &str, opts: &CompileOptions) -> Result<CompiledModule, DiagnosticBag> {
-    let start = Instant::now();
-    let hir = parse_and_check(source)?;
-
-    let comm_report = comm::analyze(&hir);
-    if !comm_report.is_mappable() {
-        let mut diags = DiagnosticBag::new();
-        diags.push(Diagnostic::error_global(
-            "program has both right and left communication cycles and cannot be mapped onto \
-             the skewed computation model (paper §5.1.1)",
-        ));
-        return Err(diags);
-    }
-    if !comm_report.is_unidirectional() {
-        let mut diags = DiagnosticBag::new();
-        diags.push(Diagnostic::error_global(
-            "program is bidirectional; like the paper's compiler, only unidirectional data \
-             flow is supported (paper §5.1.1)",
-        ));
-        return Err(diags);
-    }
-
-    let mut ir = lower(&hir, &opts.lower)?;
-    let dec = decompose::decompose(&mut ir);
-    let cell_code = cell_codegen(
-        &ir,
-        &opts.machine,
-        &CellCodegenOptions {
-            software_pipeline: opts.software_pipeline,
-        },
-    )?;
-    let skew = analyze(
-        &cell_code,
-        &ir.loops,
-        &SkewOptions {
-            method: opts.skew_method,
-            queue_capacity: u64::from(opts.machine.queue_capacity),
-            n_cells: ir.n_cells,
-        },
-    )?;
-    let iu = iu_codegen(&ir, &dec, &cell_code, &opts.iu)?;
-    let host = host_codegen(&ir, &cell_code, skew.flow)?;
-
-    let metrics = Metrics {
-        w2_lines: source.lines().filter(|l| !l.trim().is_empty()).count() as u32,
-        cell_ucode: cell_code.static_len(),
-        iu_ucode: iu.static_len(),
-        compile_time: start.elapsed(),
-    };
-
-    Ok(CompiledModule {
-        name: ir.name.clone(),
-        n_cells: ir.n_cells,
-        ir,
-        cell_code,
-        iu,
-        host,
-        skew,
-        comm: comm_report,
-        machine: opts.machine.clone(),
-        metrics,
-    })
+    Session::new(opts.clone()).compile(source)
 }
 
 /// An error from compiling or running a module (convenience for examples
@@ -186,6 +149,8 @@ pub enum CompileOrSimError {
     Compile(DiagnosticBag),
     /// A simulator invariant violation.
     Sim(SimError),
+    /// A host-memory binding error (unknown variable, wrong length).
+    Host(HostError),
 }
 
 impl std::fmt::Display for CompileOrSimError {
@@ -193,6 +158,7 @@ impl std::fmt::Display for CompileOrSimError {
         match self {
             CompileOrSimError::Compile(d) => write!(f, "{d}"),
             CompileOrSimError::Sim(e) => write!(f, "{e}"),
+            CompileOrSimError::Host(e) => write!(f, "{e}"),
         }
     }
 }
@@ -211,13 +177,20 @@ impl From<SimError> for CompileOrSimError {
     }
 }
 
+impl From<HostError> for CompileOrSimError {
+    fn from(e: HostError) -> CompileOrSimError {
+        CompileOrSimError::Host(e)
+    }
+}
+
 impl CompiledModule {
     /// Runs the module on its declared number of cells at the computed
     /// minimum skew.
     ///
     /// # Errors
     ///
-    /// Returns a [`SimError`] if a machine invariant is violated — which
+    /// Returns a [`SimError`] if the inputs do not bind
+    /// ([`SimError::Host`]) or a machine invariant is violated — which
     /// for compiler-produced parameters indicates a compiler bug.
     pub fn run(&self, inputs: &[(&str, &[f32])]) -> Result<RunReport, SimError> {
         self.run_with(self.n_cells, self.skew.min_skew, inputs)
@@ -229,12 +202,9 @@ impl CompiledModule {
     ///
     /// # Errors
     ///
-    /// Returns the first violated machine invariant.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` name unknown host variables or have wrong
-    /// lengths.
+    /// Returns [`SimError::Host`] if `inputs` name unknown host
+    /// variables or have wrong lengths, otherwise the first violated
+    /// machine invariant.
     pub fn run_with(
         &self,
         n_cells: u32,
@@ -243,7 +213,7 @@ impl CompiledModule {
     ) -> Result<RunReport, SimError> {
         let mut host = HostMemory::new(&self.ir.vars);
         for (name, data) in inputs {
-            host.set(name, data);
+            host.set(name, data)?;
         }
         warp_sim::run(
             &MachineConfig {
@@ -277,6 +247,14 @@ mod tests {
     }
 
     #[test]
+    fn per_pass_timings_cover_the_pipeline() {
+        let m = compile(corpus::POLYNOMIAL, &CompileOptions::default()).expect("compiles");
+        let names: Vec<_> = m.metrics.per_pass.iter().map(|t| t.name).collect();
+        assert_eq!(names, passes::pass_names().collect::<Vec<_>>());
+        assert!(m.metrics.pass_time_total() <= m.metrics.compile_time);
+    }
+
+    #[test]
     fn bidirectional_rejected_at_driver() {
         let src = "module bidi (a in, r out) float a[4]; float r[4]; \
             cellprogram (cid : 0 : 1) begin function f begin float x; \
@@ -295,5 +273,13 @@ mod tests {
     fn parse_errors_propagate() {
         let err = compile("module broken", &CompileOptions::default()).unwrap_err();
         assert!(err.has_errors());
+    }
+
+    #[test]
+    fn unknown_run_input_is_a_host_error() {
+        let m = compile(corpus::POLYNOMIAL, &CompileOptions::default()).expect("compiles");
+        let err = m.run(&[("nonsense", &[1.0][..])]).unwrap_err();
+        assert!(matches!(err, SimError::Host(_)), "{err:?}");
+        assert!(err.to_string().contains("unknown host variable"), "{err}");
     }
 }

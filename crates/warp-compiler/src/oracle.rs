@@ -373,7 +373,7 @@ mod tests {
             HostMemory::new(&ir.vars)
         };
         for (name, data) in inputs {
-            host.set(name, data);
+            host.set(name, data).expect("test input binds");
         }
         interpret(&hir, &host).expect("oracle runs")
     }
@@ -383,7 +383,10 @@ mod tests {
         let c: Vec<f32> = vec![1.0, -0.5, 2.0];
         let z: Vec<f32> = (0..16).map(|i| i as f32 * 0.1 - 0.8).collect();
         let host = run_oracle(&corpus::polynomial_source(3, 16), &[("c", &c), ("z", &z)]);
-        assert_eq!(host.get("results"), &reference::polynomial(&c, &z)[..]);
+        assert_eq!(
+            host.get("results").unwrap(),
+            &reference::polynomial(&c, &z)[..]
+        );
     }
 
     #[test]
@@ -391,7 +394,7 @@ mod tests {
         let w = vec![0.5f32, -0.25, 1.0];
         let x: Vec<f32> = (0..20).map(|i| ((i * 7) % 9) as f32).collect();
         let host = run_oracle(&corpus::conv1d_source(3, 20), &[("w", &w), ("x", &x)]);
-        assert_eq!(host.get("y"), &reference::conv1d(&w, &x)[..]);
+        assert_eq!(host.get("y").unwrap(), &reference::conv1d(&w, &x)[..]);
     }
 
     #[test]
@@ -403,7 +406,10 @@ mod tests {
             &corpus::mandelbrot_source(n as u32, 4),
             &[("cre", &cre), ("cim", &cim)],
         );
-        assert_eq!(host.get("count"), &reference::mandelbrot(&cre, &cim, 4)[..]);
+        assert_eq!(
+            host.get("count").unwrap(),
+            &reference::mandelbrot(&cre, &cim, 4)[..]
+        );
     }
 
     #[test]
@@ -411,7 +417,10 @@ mod tests {
         let a: Vec<f32> = (0..12).map(|i| i as f32 - 5.0).collect();
         let b: Vec<f32> = (0..16).map(|i| ((i * 5) % 7) as f32).collect();
         let host = run_oracle(&corpus::matmul_source(2, 3, 4, 2), &[("a", &a), ("b", &b)]);
-        assert_eq!(host.get("c"), &reference::matmul(&a, &b, 3, 4, 4)[..]);
+        assert_eq!(
+            host.get("c").unwrap(),
+            &reference::matmul(&a, &b, 3, 4, 4)[..]
+        );
     }
 
     #[test]

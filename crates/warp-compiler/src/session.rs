@@ -1,0 +1,251 @@
+//! One compilation as an explicit, observable pass pipeline.
+//!
+//! [`Session`] owns the [`CompileOptions`], accumulates diagnostics in
+//! a shared [`DiagnosticBag`], and drives the eight passes of
+//! [`PIPELINE`](crate::passes::PIPELINE) in order, timing each one and
+//! reporting its output artifact to an attached
+//! [`PassObserver`](warp_common::PassObserver). The plain
+//! [`compile`](crate::compile) function is a thin wrapper over a
+//! session with no observer; [`compile_many`] batch-compiles several
+//! sources on scoped threads.
+
+use crate::{CompileOptions, CompiledModule, Metrics};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use w2_lang::parse_and_check;
+use warp_cell::{codegen_with as cell_codegen, CellCodegenOptions};
+use warp_common::observe::{Artifact, PassObserver, PassTiming};
+use warp_common::{Diagnostic, DiagnosticBag};
+use warp_host::host_codegen;
+use warp_ir::{comm, decompose, lower};
+use warp_skew::{analyze, SkewOptions};
+
+/// A single compilation: options, shared diagnostics, and an optional
+/// pass observer.
+///
+/// # Examples
+///
+/// ```
+/// use warp_compiler::{corpus, CompileOptions, Session};
+/// use warp_common::CollectDumps;
+///
+/// let mut dumps = CollectDumps::for_passes(["lower"]);
+/// let session = Session::with_observer(CompileOptions::default(), &mut dumps);
+/// let module = session.compile(corpus::POLYNOMIAL)?;
+/// assert_eq!(module.metrics.per_pass.len(), 8);
+/// assert_eq!(dumps.dumps().len(), 1);
+/// assert_eq!(dumps.dumps()[0].kind, "cell-ir");
+/// # Ok::<(), warp_common::DiagnosticBag>(())
+/// ```
+pub struct Session<'obs> {
+    opts: CompileOptions,
+    diags: DiagnosticBag,
+    observer: Option<&'obs mut dyn PassObserver>,
+    timings: Vec<PassTiming>,
+}
+
+impl Session<'static> {
+    /// Creates a session with no observer.
+    pub fn new(opts: CompileOptions) -> Session<'static> {
+        Session {
+            opts,
+            diags: DiagnosticBag::new(),
+            observer: None,
+            timings: Vec::new(),
+        }
+    }
+}
+
+impl<'obs> Session<'obs> {
+    /// Creates a session whose pass events are reported to `observer`.
+    pub fn with_observer(
+        opts: CompileOptions,
+        observer: &'obs mut dyn PassObserver,
+    ) -> Session<'obs> {
+        Session {
+            opts,
+            diags: DiagnosticBag::new(),
+            observer: Some(observer),
+            timings: Vec::new(),
+        }
+    }
+
+    /// The session's compile options.
+    pub fn options(&self) -> &CompileOptions {
+        &self.opts
+    }
+
+    /// Runs one pass: notifies the observer, times the body, records
+    /// the [`PassTiming`], and hands the artifact to the observer. A
+    /// failing pass merges its diagnostics into the session bag.
+    fn run_pass<T: Artifact>(
+        &mut self,
+        name: &'static str,
+        f: impl FnOnce(&CompileOptions) -> Result<T, DiagnosticBag>,
+    ) -> Result<T, DiagnosticBag> {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.enter_pass(name);
+        }
+        let start = Instant::now();
+        match f(&self.opts) {
+            Ok(artifact) => {
+                let elapsed = start.elapsed();
+                self.timings.push(PassTiming {
+                    name,
+                    duration: elapsed,
+                });
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.exit_pass(name, elapsed, &artifact);
+                }
+                Ok(artifact)
+            }
+            Err(diags) => {
+                self.diags.extend(diags);
+                Err(std::mem::replace(&mut self.diags, DiagnosticBag::new()))
+            }
+        }
+    }
+
+    /// Compiles a W2 module by running the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the session's accumulated diagnostics from whichever
+    /// pass rejected the program.
+    pub fn compile(mut self, source: &str) -> Result<CompiledModule, DiagnosticBag> {
+        let start = Instant::now();
+
+        let hir = self.run_pass("frontend", |_| parse_and_check(source))?;
+
+        let comm_report = self.run_pass("comm", |_| {
+            let report = comm::analyze(&hir);
+            if !report.is_mappable() {
+                let mut diags = DiagnosticBag::new();
+                diags.push(Diagnostic::error_global(
+                    "program has both right and left communication cycles and cannot be mapped \
+                     onto the skewed computation model (paper §5.1.1)",
+                ));
+                return Err(diags);
+            }
+            if !report.is_unidirectional() {
+                let mut diags = DiagnosticBag::new();
+                diags.push(Diagnostic::error_global(
+                    "program is bidirectional; like the paper's compiler, only unidirectional \
+                     data flow is supported (paper §5.1.1)",
+                ));
+                return Err(diags);
+            }
+            Ok(report)
+        })?;
+
+        let mut ir = self.run_pass("lower", |opts| lower(&hir, &opts.lower))?;
+        let dec = self.run_pass("decompose", |_| Ok(decompose::decompose(&mut ir)))?;
+        let cell_code = self.run_pass("cell-codegen", |opts| {
+            cell_codegen(
+                &ir,
+                &opts.machine,
+                &CellCodegenOptions {
+                    software_pipeline: opts.software_pipeline,
+                },
+            )
+        })?;
+        let skew = self.run_pass("skew", |opts| {
+            analyze(
+                &cell_code,
+                &ir.loops,
+                &SkewOptions {
+                    method: opts.skew_method,
+                    queue_capacity: u64::from(opts.machine.queue_capacity),
+                    n_cells: ir.n_cells,
+                },
+            )
+        })?;
+        let iu = self.run_pass("iu-codegen", |opts| {
+            warp_iu::iu_codegen(&ir, &dec, &cell_code, &opts.iu)
+        })?;
+        let host = self.run_pass("host-codegen", |_| host_codegen(&ir, &cell_code, skew.flow))?;
+
+        let metrics = Metrics {
+            w2_lines: source.lines().filter(|l| !l.trim().is_empty()).count() as u32,
+            cell_ucode: cell_code.static_len(),
+            iu_ucode: iu.static_len(),
+            compile_time: start.elapsed(),
+            per_pass: self.timings,
+        };
+
+        Ok(CompiledModule {
+            name: ir.name.clone(),
+            n_cells: ir.n_cells,
+            ir,
+            cell_code,
+            iu,
+            host,
+            skew,
+            comm: comm_report,
+            machine: self.opts.machine.clone(),
+            metrics,
+        })
+    }
+}
+
+/// Compiles several W2 modules in parallel on scoped threads.
+///
+/// Results are returned in input order regardless of which thread
+/// finished first, and each element equals what a sequential
+/// [`compile`](crate::compile) of the same source would produce
+/// (timing metrics aside). The worker count is capped by
+/// [`std::thread::available_parallelism`].
+///
+/// ```
+/// use warp_compiler::{compile_many, corpus, CompileOptions};
+///
+/// let sources = [corpus::POLYNOMIAL, corpus::ONED_CONV];
+/// let modules = compile_many(&sources, &CompileOptions::default());
+/// assert_eq!(modules.len(), 2);
+/// assert_eq!(modules[0].as_ref().unwrap().name, "polynomial");
+/// assert_eq!(modules[1].as_ref().unwrap().name, "conv1d");
+/// ```
+pub fn compile_many<S: AsRef<str> + Sync>(
+    sources: &[S],
+    opts: &CompileOptions,
+) -> Vec<Result<CompiledModule, DiagnosticBag>> {
+    let n = sources.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return sources
+            .iter()
+            .map(|s| crate::compile(s.as_ref(), opts))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<CompiledModule, DiagnosticBag>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = crate::compile(sources[i].as_ref(), opts);
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}

@@ -92,7 +92,94 @@ impl HostProgram {
     pub fn output_count(&self) -> usize {
         self.outputs.values().map(Vec::len).sum()
     }
+
+    /// A human-readable listing of the per-channel transfer scripts.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "host program: {} input word(s), {} output word(s)\n",
+            self.input_count(),
+            self.output_count()
+        );
+        for (chan, words) in &self.inputs {
+            let _ = writeln!(out, "input {chan:?} ({} words):", words.len());
+            for (i, w) in words.iter().enumerate() {
+                match w {
+                    HostWordSource::Lit(v) => {
+                        let _ = writeln!(out, "  {i:>4}: literal {v}");
+                    }
+                    HostWordSource::Elem { var, index } => {
+                        let _ = writeln!(out, "  {i:>4}: {var:?}[{index}]");
+                    }
+                }
+            }
+        }
+        for (chan, words) in &self.outputs {
+            let _ = writeln!(out, "output {chan:?} ({} words):", words.len());
+            for (i, w) in words.iter().enumerate() {
+                match w {
+                    None => {
+                        let _ = writeln!(out, "  {i:>4}: discard");
+                    }
+                    Some((var, index)) => {
+                        let _ = writeln!(out, "  {i:>4}: {var:?}[{index}]");
+                    }
+                }
+            }
+        }
+        out
+    }
 }
+
+impl warp_common::Artifact for HostProgram {
+    fn kind(&self) -> &'static str {
+        "host-program"
+    }
+
+    fn dump(&self) -> String {
+        self.listing()
+    }
+}
+
+/// A host-memory binding error: the caller named a variable the module
+/// does not declare, or supplied data of the wrong length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HostError {
+    /// No host variable with this name exists in the module.
+    UnknownVariable {
+        /// The requested name.
+        name: String,
+    },
+    /// The supplied slice does not match the variable's word count.
+    LengthMismatch {
+        /// The variable name.
+        name: String,
+        /// Words the variable holds.
+        expected: usize,
+        /// Words supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::UnknownVariable { name } => {
+                write!(f, "unknown host variable `{name}`")
+            }
+            HostError::LengthMismatch {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "host variable `{name}` holds {expected} word(s), got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
 
 /// Generates the host program for a module whose data flows in `flow`
 /// direction.
@@ -182,35 +269,36 @@ impl HostMemory {
 
     /// Loads data into a host variable.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` is unknown or `data` has the wrong length —
-    /// caller-side setup errors.
-    pub fn set(&mut self, name: &str, data: &[f32]) {
-        let var = self
-            .var(name)
-            .unwrap_or_else(|| panic!("unknown host variable `{name}`"));
+    /// Returns a [`HostError`] if `name` is unknown or `data` has the
+    /// wrong length.
+    pub fn set(&mut self, name: &str, data: &[f32]) -> Result<(), HostError> {
+        let var = self.var(name).ok_or_else(|| HostError::UnknownVariable {
+            name: name.to_owned(),
+        })?;
         let arr = self.arrays.get_mut(&var).expect("host storage exists");
-        assert_eq!(
-            arr.len(),
-            data.len(),
-            "`{name}` holds {} words, got {}",
-            arr.len(),
-            data.len()
-        );
+        if arr.len() != data.len() {
+            return Err(HostError::LengthMismatch {
+                name: name.to_owned(),
+                expected: arr.len(),
+                got: data.len(),
+            });
+        }
         arr.copy_from_slice(data);
+        Ok(())
     }
 
     /// Reads a host variable's contents.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` is unknown.
-    pub fn get(&self, name: &str) -> &[f32] {
-        let var = self
-            .var(name)
-            .unwrap_or_else(|| panic!("unknown host variable `{name}`"));
-        &self.arrays[&var]
+    /// Returns a [`HostError`] if `name` is unknown.
+    pub fn get(&self, name: &str) -> Result<&[f32], HostError> {
+        let var = self.var(name).ok_or_else(|| HostError::UnknownVariable {
+            name: name.to_owned(),
+        })?;
+        Ok(&self.arrays[&var])
     }
 
     /// Reads one word by variable id.
@@ -309,28 +397,56 @@ mod tests {
     fn host_memory_roundtrip() {
         let (ir, _) = compile(COPY);
         let mut mem = HostMemory::new(&ir.vars);
-        mem.set("xs", &[1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(mem.get("xs"), &[1.0, 2.0, 3.0, 4.0]);
+        mem.set("xs", &[1.0, 2.0, 3.0, 4.0]).expect("xs exists");
+        assert_eq!(mem.get("xs").expect("xs exists"), &[1.0, 2.0, 3.0, 4.0]);
         let xs = mem.var("xs").unwrap();
         assert_eq!(mem.word(xs, 2), 3.0);
         mem.set_word(xs, 2, 9.0);
         assert_eq!(mem.word(xs, 2), 9.0);
-        assert_eq!(mem.get("ys"), &[0.0; 4]);
+        assert_eq!(mem.get("ys").expect("ys exists"), &[0.0; 4]);
     }
 
     #[test]
-    #[should_panic(expected = "unknown host variable")]
-    fn unknown_variable_panics() {
-        let (ir, _) = compile(COPY);
-        let mem = HostMemory::new(&ir.vars);
-        let _ = mem.get("nope");
-    }
-
-    #[test]
-    #[should_panic(expected = "words, got")]
-    fn wrong_length_panics() {
+    fn unknown_variable_is_an_error() {
         let (ir, _) = compile(COPY);
         let mut mem = HostMemory::new(&ir.vars);
-        mem.set("xs", &[1.0]);
+        let err = mem.get("nope").unwrap_err();
+        assert_eq!(
+            err,
+            HostError::UnknownVariable {
+                name: "nope".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("unknown host variable"), "{err}");
+        let err = mem.set("nope", &[1.0]).unwrap_err();
+        assert!(matches!(err, HostError::UnknownVariable { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn wrong_length_is_an_error() {
+        let (ir, _) = compile(COPY);
+        let mut mem = HostMemory::new(&ir.vars);
+        let err = mem.set("xs", &[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            HostError::LengthMismatch {
+                name: "xs".to_owned(),
+                expected: 4,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("4 word(s), got 1"), "{err}");
+    }
+
+    #[test]
+    fn host_program_listing_is_deterministic() {
+        let (ir, code) = compile(COPY);
+        let host = host_codegen(&ir, &code, Dir::Right).expect("host");
+        let a = host.listing();
+        assert_eq!(a, host.listing());
+        assert!(a.contains("input X (4 words):"), "{a}");
+        assert!(a.contains("output X (4 words):"), "{a}");
+        use warp_common::Artifact as _;
+        assert_eq!(host.kind(), "host-program");
     }
 }

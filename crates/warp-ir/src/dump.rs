@@ -1,0 +1,248 @@
+//! Deterministic pretty-printers for the IR-level pass artifacts:
+//! the cell IR after lowering (`w2c --dump-after lower`), the
+//! communication report of the flow analysis (`--dump-after comm`),
+//! and the IU/cell decomposition (`--dump-after decompose`).
+
+use crate::comm::CommReport;
+use crate::dag::{Block, HostSlot, NodeKind};
+use crate::decompose::Decomposition;
+use crate::region::{CellIr, Region};
+use std::fmt::Write as _;
+use w2_lang::hir::VarKind;
+use warp_common::Artifact;
+
+/// Renders the cell IR: header, memory layout, region tree, and every
+/// live DAG node per block in creation order.
+pub fn dump_ir(ir: &CellIr) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cell-ir module {} ({} cells, {} blocks, {} loops, {} live ops)",
+        ir.name,
+        ir.n_cells,
+        ir.blocks.len(),
+        ir.loops.len(),
+        ir.live_op_count()
+    );
+    let _ = writeln!(
+        out,
+        "layout: {} of {} words",
+        ir.layout.words_used(),
+        ir.layout.capacity()
+    );
+    for (id, v) in ir.vars.iter() {
+        if v.kind == VarKind::CellLocal {
+            let _ = writeln!(
+                out,
+                "  {id:?} {} : {} word(s) at {}",
+                v.name,
+                v.size(),
+                ir.layout.base_of(id)
+            );
+        }
+    }
+    for (id, meta) in ir.loops.iter() {
+        let _ = writeln!(
+            out,
+            "loop {id:?}: {} := {} for {} iteration(s)",
+            ir.vars[meta.var].name, meta.lo, meta.count
+        );
+    }
+    out.push_str("region:\n");
+    region(&mut out, &ir.root, 1);
+    for (bid, block) in ir.blocks.iter() {
+        let _ = writeln!(out, "block {bid:?}:");
+        dump_block(&mut out, ir, block);
+    }
+    out
+}
+
+fn region(out: &mut String, r: &Region, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match r {
+        Region::Block(b) => {
+            let _ = writeln!(out, "block {b:?}");
+        }
+        Region::Loop { id, body } => {
+            let _ = writeln!(out, "loop {id:?}");
+            region(out, body, depth + 1);
+        }
+        Region::Seq(rs) => {
+            out.push_str("seq\n");
+            for r in rs {
+                region(out, r, depth + 1);
+            }
+        }
+    }
+}
+
+fn dump_block(out: &mut String, ir: &CellIr, block: &Block) {
+    for n in block.live_nodes() {
+        let node = &block.nodes[n];
+        let _ = write!(out, "  {n:?} = {}", kind(ir, &node.kind));
+        if !node.inputs.is_empty() {
+            let ins: Vec<String> = node.inputs.iter().map(|i| format!("{i:?}")).collect();
+            let _ = write!(out, " ({})", ins.join(", "));
+        }
+        if !node.deps.is_empty() {
+            let deps: Vec<String> = node.deps.iter().map(|d| format!("{d:?}")).collect();
+            let _ = write!(out, " [after {}]", deps.join(", "));
+        }
+        if block.roots.contains(&n) {
+            out.push_str(" root");
+        }
+        out.push('\n');
+    }
+}
+
+fn kind(ir: &CellIr, k: &NodeKind) -> String {
+    match k {
+        NodeKind::ConstF(v) => format!("constf {v}"),
+        NodeKind::ConstB(v) => format!("constb {v}"),
+        NodeKind::Load { var, addr } => format!("load {}@[{addr}]", ir.vars[*var].name),
+        NodeKind::Store { var, addr } => format!("store {}@[{addr}]", ir.vars[*var].name),
+        NodeKind::Recv { dir, chan, ext } => {
+            format!("recv {dir:?}.{chan:?}{}", host_slot(ir, ext))
+        }
+        NodeKind::Send { dir, chan, ext } => {
+            format!("send {dir:?}.{chan:?}{}", host_slot(ir, ext))
+        }
+        NodeKind::FAdd => "fadd".to_owned(),
+        NodeKind::FSub => "fsub".to_owned(),
+        NodeKind::FMul => "fmul".to_owned(),
+        NodeKind::FDiv => "fdiv".to_owned(),
+        NodeKind::FNeg => "fneg".to_owned(),
+        NodeKind::FCmp(op) => format!("fcmp {op:?}"),
+        NodeKind::BAnd => "band".to_owned(),
+        NodeKind::BOr => "bor".to_owned(),
+        NodeKind::BNot => "bnot".to_owned(),
+        NodeKind::Select => "select".to_owned(),
+    }
+}
+
+fn host_slot(ir: &CellIr, ext: &Option<HostSlot>) -> String {
+    match ext {
+        None => String::new(),
+        Some(HostSlot::Lit(v)) => format!(" ext={v}"),
+        Some(HostSlot::Elem { var, index }) => {
+            format!(" ext={}[{index}]", ir.vars[*var].name)
+        }
+    }
+}
+
+impl Artifact for CellIr {
+    fn kind(&self) -> &'static str {
+        "cell-ir"
+    }
+
+    fn dump(&self) -> String {
+        dump_ir(self)
+    }
+}
+
+impl std::fmt::Display for CommReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "comm: sends L={} R={}, receives L={} R={}",
+            self.sends_left, self.sends_right, self.recvs_left, self.recvs_right
+        )?;
+        writeln!(
+            f,
+            "cycles: right={} left={}",
+            self.right_cycle, self.left_cycle
+        )?;
+        writeln!(
+            f,
+            "mappable={} unidirectional={}",
+            self.is_mappable(),
+            self.is_unidirectional()
+        )
+    }
+}
+
+impl Artifact for CommReport {
+    fn kind(&self) -> &'static str {
+        "comm-report"
+    }
+
+    fn dump(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// Renders a decomposition: per block (in id order), the ordered
+/// address slots the IU must generate.
+pub fn dump_decomposition(dec: &Decomposition) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "decomposition: {} IU address slot(s)",
+        dec.slot_count()
+    );
+    let mut blocks: Vec<_> = dec.slots.iter().collect();
+    blocks.sort_by_key(|(bid, _)| **bid);
+    for (bid, slots) in blocks {
+        let _ = writeln!(out, "block {bid:?}:");
+        for s in slots {
+            let _ = writeln!(
+                out,
+                "  {} {:?} addr = {}",
+                if s.is_store { "store" } else { "load" },
+                s.node,
+                s.affine
+            );
+        }
+    }
+    out
+}
+
+impl Artifact for Decomposition {
+    fn kind(&self) -> &'static str {
+        "decomposition"
+    }
+
+    fn dump(&self) -> String {
+        dump_decomposition(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decompose, lower, LowerOptions};
+    use w2_lang::parse_and_check;
+
+    const SRC: &str = "module m (xs in, ys out) float xs[4]; float ys[4]; \
+        cellprogram (cid : 0 : 0) begin function f begin float v; float a[2]; int i; \
+        for i := 0 to 3 do begin receive (L, X, v, xs[i]); a[0] := v * 2.0; \
+        send (R, X, a[0], ys[i]); end; end call f; end";
+
+    #[test]
+    fn ir_dump_is_deterministic_and_structured() {
+        let hir = parse_and_check(SRC).expect("checks");
+        let mut ir = lower(&hir, &LowerOptions::default()).expect("lowers");
+        let a = dump_ir(&ir);
+        let b = dump_ir(&ir);
+        assert_eq!(a, b);
+        assert!(a.contains("cell-ir module m"), "{a}");
+        assert!(a.contains("layout:"), "{a}");
+        assert!(a.contains("loop"), "{a}");
+        assert!(a.contains("recv Left.X"), "{a}");
+
+        let dec = decompose::decompose(&mut ir);
+        let d = dec.dump();
+        assert!(d.contains("decomposition:"), "{d}");
+    }
+
+    #[test]
+    fn comm_report_display() {
+        let hir = parse_and_check(SRC).expect("checks");
+        let report = crate::comm::analyze(&hir);
+        let text = report.dump();
+        assert!(text.contains("unidirectional=true"), "{text}");
+        assert_eq!(report.kind(), "comm-report");
+    }
+}

@@ -57,6 +57,7 @@ pub mod build;
 pub mod comm;
 pub mod dag;
 pub mod decompose;
+pub mod dump;
 pub mod opt;
 pub mod region;
 

@@ -283,6 +283,16 @@ impl IuProgram {
     }
 }
 
+impl warp_common::Artifact for IuProgram {
+    fn kind(&self) -> &'static str {
+        "iu-ucode"
+    }
+
+    fn dump(&self) -> String {
+        self.listing()
+    }
+}
+
 use warp_common::idvec::Id as _;
 
 fn apply(op: &IuOp, regs: &mut [i64]) {

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use w2_lang::ast::Chan;
+use warp_host::HostError;
 
 /// A violated machine invariant, with the global cycle it surfaced at.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,6 +77,9 @@ pub enum SimError {
         /// Cycle the guard tripped.
         cycle: u64,
     },
+    /// A host-memory binding failed before the array started (unknown
+    /// variable name or wrong data length).
+    Host(HostError),
 }
 
 impl fmt::Display for SimError {
@@ -126,11 +130,18 @@ impl fmt::Display for SimError {
             SimError::Hang { cycle } => {
                 write!(f, "simulation exceeded its cycle budget at cycle {cycle}")
             }
+            SimError::Host(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<HostError> for SimError {
+    fn from(e: HostError) -> SimError {
+        SimError::Host(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -78,7 +78,7 @@ mod tests {
         let machine = CellMachine::default();
         let mut host = HostMemory::new(&c.ir.vars);
         for (name, data) in inputs {
-            host.set(name, data);
+            host.set(name, data).expect("test input binds");
         }
         run(
             &MachineConfig {
@@ -105,7 +105,7 @@ mod tests {
         let xs: Vec<f32> = (0..8).map(|i| i as f32).collect();
         let r = simulate(&c, 1, None, &[("xs", xs.clone())]).expect("runs");
         let expect: Vec<f32> = xs.iter().map(|v| v * 2.0 + 1.0).collect();
-        assert_eq!(r.host.get("ys"), &expect[..]);
+        assert_eq!(r.host.get("ys").unwrap(), &expect[..]);
         assert_eq!(r.words_out, 8);
     }
 
@@ -121,7 +121,7 @@ mod tests {
         let xs: Vec<f32> = vec![0.5, 1.5, 2.5, 3.5, 4.5, 5.5];
         let r = simulate(&c, 2, None, &[("xs", xs.clone())]).expect("runs");
         let expect: Vec<f32> = xs.iter().map(|v| v + 2.0).collect();
-        assert_eq!(r.host.get("ys"), &expect[..]);
+        assert_eq!(r.host.get("ys").unwrap(), &expect[..]);
     }
 
     #[test]
@@ -140,7 +140,7 @@ mod tests {
         let xs: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let r = simulate(&c, 2, Some(c.skew.min_skew + 10), &[("xs", xs.clone())]).expect("runs");
         let expect: Vec<f32> = xs.iter().map(|v| v + 2.0).collect();
-        assert_eq!(r.host.get("ys"), &expect[..]);
+        assert_eq!(r.host.get("ys").unwrap(), &expect[..]);
     }
 
     #[test]
@@ -155,7 +155,7 @@ mod tests {
         let xs: Vec<f32> = (0..8).map(|i| (i * i) as f32).collect();
         let r = simulate(&c, 1, None, &[("xs", xs.clone())]).expect("runs");
         let expect: Vec<f32> = xs.iter().rev().copied().collect();
-        assert_eq!(r.host.get("ys"), &expect[..]);
+        assert_eq!(r.host.get("ys").unwrap(), &expect[..]);
     }
 
     #[test]
@@ -168,7 +168,7 @@ mod tests {
         let c = compile(src);
         let xs = vec![-2.0, 3.0, -0.5, 0.0, 7.0, -9.0];
         let r = simulate(&c, 1, None, &[("xs", xs)]).expect("runs");
-        assert_eq!(r.host.get("ys"), &[0.0, 3.0, 0.0, 0.0, 7.0, 0.0]);
+        assert_eq!(r.host.get("ys").unwrap(), &[0.0, 3.0, 0.0, 0.0, 7.0, 0.0]);
     }
 
     #[test]
@@ -193,7 +193,7 @@ mod tests {
             ..CellMachine::default()
         };
         let mut host = HostMemory::new(&c.ir.vars);
-        host.set("xs", &[1.0; 6]);
+        host.set("xs", &[1.0; 6]).expect("xs binds");
         let err = run(
             &MachineConfig {
                 cell_code: &c.cell,
@@ -221,6 +221,6 @@ mod tests {
         let c = compile(src);
         let xs: Vec<f32> = (1..=8).map(|i| i as f32).collect();
         let r = simulate(&c, 1, None, &[("xs", xs)]).expect("runs");
-        assert_eq!(r.host.get("ys"), &[36.0]);
+        assert_eq!(r.host.get("ys").unwrap(), &[36.0]);
     }
 }

@@ -80,6 +80,32 @@ impl SkewReport {
     }
 }
 
+impl std::fmt::Display for SkewReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "skew report: flow {:?}", self.flow)?;
+        writeln!(f, "  min skew : {} cycle(s)", self.min_skew)?;
+        writeln!(f, "  cell span: {} cycle(s)", self.span)?;
+        for (chan, occ) in &self.queue_occupancy {
+            writeln!(
+                f,
+                "  {chan:?}: max occupancy {occ} word(s), {} word(s) transferred",
+                self.words_per_channel.get(chan).copied().unwrap_or(0)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl warp_common::Artifact for SkewReport {
+    fn kind(&self) -> &'static str {
+        "skew-report"
+    }
+
+    fn dump(&self) -> String {
+        self.to_string()
+    }
+}
+
 /// Analyzes `code` and computes the skew report.
 ///
 /// # Errors

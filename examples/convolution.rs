@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let report = module.run(&[("w", &w), ("x", &x)])?;
-    let y = report.host.get("y");
+    let y = report.host.get("y").unwrap();
     assert_eq!(y, &reference::conv1d(&w, &x)[..]);
 
     println!("\n sample   input   smoothed");

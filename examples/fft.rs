@@ -40,12 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The array's stream equals the reference constant-geometry FFT
     // bit-for-bit.
     let (er, ei) = reference::fft_pease(&re, &im);
-    assert_eq!(report.host.get("outre"), &er[..]);
-    assert_eq!(report.host.get("outim"), &ei[..]);
+    assert_eq!(report.host.get("outre").unwrap(), &er[..]);
+    assert_eq!(report.host.get("outim").unwrap(), &ei[..]);
 
     // Unscramble and find the loudest bins.
-    let fr = reference::bit_reverse_permute(report.host.get("outre"));
-    let fi = reference::bit_reverse_permute(report.host.get("outim"));
+    let fr = reference::bit_reverse_permute(report.host.get("outre").unwrap());
+    let fi = reference::bit_reverse_permute(report.host.get("outim").unwrap());
     let mut mags: Vec<(usize, f32)> = (0..n as usize / 2)
         .map(|k| (k, (fr[k] * fr[k] + fi[k] * fi[k]).sqrt()))
         .collect();

@@ -46,12 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage 1: apply the mask.
     let stage1 = binop.run(&[("a", &img), ("b", &mask)])?;
-    let masked = stage1.host.get("c").to_vec();
+    let masked = stage1.host.get("c").unwrap().to_vec();
     assert_eq!(masked, reference::binop(&img, &mask));
 
     // Stage 2: segment the masked image.
     let stage2 = colorseg.run(&[("img", &masked)])?;
-    let seg = stage2.host.get("seg");
+    let seg = stage2.host.get("seg").unwrap();
     assert_eq!(seg, &reference::colorseg(&masked)[..]);
 
     // Show a coarse preview (every 4th row/column).

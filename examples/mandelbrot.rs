@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let report = module.run(&[("cre", &cre), ("cim", &cim)])?;
-    let counts = report.host.get("count");
+    let counts = report.host.get("count").unwrap();
     assert_eq!(counts, &reference::mandelbrot(&cre, &cim, iters)[..]);
 
     // ASCII rendering: darker = survived more iterations.

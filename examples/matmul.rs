@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let report = module.run(&[("a", &a), ("b", &b)])?;
-    let c = report.host.get("c");
+    let c = report.host.get("c").unwrap();
     let expect = reference::matmul(&a, &b, m as usize, p as usize, q as usize);
     assert_eq!(c, &expect[..], "systolic result equals the reference");
 

@@ -1,11 +1,16 @@
 //! Regenerates the Table 7-1 metrics (and the companion analyses) for
 //! all corpus programs — the numbers recorded in EXPERIMENTS.md.
 //!
+//! The corpus is batch-compiled with [`compile_many`] (the same scoped
+//! thread pool behind `w2c --corpus all`), then a per-pass wall-clock
+//! breakdown is printed for the first program.
+//!
 //! ```sh
 //! cargo run --release --example metrics
 //! ```
 
-use warp::compiler::{compile, corpus, CompileOptions};
+use warp::common::observe::timing_table;
+use warp::compiler::{compile, compile_many, corpus, CompileOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 7-1 reproduction (paper values in parentheses)\n");
@@ -20,8 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Mandelbrot", corpus::MANDELBROT, (102, 1511, 254)),
         ("Polynomial", corpus::POLYNOMIAL, (49, 72, 83)),
     ];
-    for (name, src, (pl, pc, pi)) in programs {
-        let m = compile(src, &CompileOptions::default())?;
+    let sources: Vec<&str> = programs.iter().map(|(_, src, _)| *src).collect();
+    let modules = compile_many(&sources, &CompileOptions::default());
+    for ((name, _, (pl, pc, pi)), result) in programs.iter().zip(modules) {
+        let m = result?;
         println!(
             "{:<12} {:>4} ({:>3}) {:>5} ({:>4}) {:>4} ({:>3}) {:>13.1?} {:>6} {:>6}",
             name,
@@ -51,6 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mm.metrics.compile_time,
         mm.skew.min_skew,
         mm.n_cells,
+    );
+
+    println!("\nper-pass timing for `{}`:", mm.name);
+    print!(
+        "{}",
+        timing_table(&mm.metrics.per_pass, mm.metrics.compile_time)
     );
     Ok(())
 }

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let z: Vec<f32> = (0..100).map(|i| -1.0 + i as f32 * 0.02).collect();
 
     let report = module.run(&[("c", &c), ("z", &z)])?;
-    let results = report.host.get("results");
+    let results = report.host.get("results").unwrap();
     let expect = reference::polynomial(&c, &z);
     assert_eq!(results, &expect[..], "array matches Horner bit-for-bit");
 
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
     let fast_report = fast.run(&[("c", &c), ("z", &z)])?;
-    assert_eq!(fast_report.host.get("results"), &expect[..]);
+    assert_eq!(fast_report.host.get("results").unwrap(), &expect[..]);
     println!(
         "with software pipelining + unroll 4: {} cycles ({:.3} results/cycle)",
         fast_report.cycles,

@@ -45,13 +45,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = module.run(&[("xs", &xs)])?;
 
     println!("\ninput : {xs:?}");
-    println!("output: {:?}", report.host.get("ys"));
+    println!("output: {:?}", report.host.get("ys").unwrap());
     println!(
         "\n{} cycles, {} floating point ops, {:.3} results/cycle",
         report.cycles,
         report.fp_ops,
         report.throughput()
     );
-    assert_eq!(report.host.get("ys")[0], 4.0, "0 + four stages of +1");
+    assert_eq!(
+        report.host.get("ys").unwrap()[0],
+        4.0,
+        "0 + four stages of +1"
+    );
     Ok(())
 }

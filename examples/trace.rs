@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut host = HostMemory::new(&module.ir.vars);
-    host.set("xs", &[5.0, 3.0]);
+    host.set("xs", &[5.0, 3.0]).expect("xs binds");
     let mut events = Vec::new();
     let report = run_traced(
         &MachineConfig {
@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     timeline(&events, 2, report.cycles);
     println!(
         "\nys = {:?}  (cell 1 re-adds/subtracts cell 0's sums)",
-        report.host.get("ys")
+        report.host.get("ys").unwrap()
     );
 
     // One cycle under the minimum: the underflow the analysis prevents.

@@ -44,7 +44,7 @@ fn ablation_a1_local_optimizations() {
     let xs: Vec<f32> = (0..16).map(|i| (i % 5) as f32).collect();
     let a = optimized.run(&[("xs", &xs)]).unwrap();
     let b = unoptimized.run(&[("xs", &xs)]).unwrap();
-    assert_eq!(a.host.get("ys"), b.host.get("ys"));
+    assert_eq!(a.host.get("ys").unwrap(), b.host.get("ys").unwrap());
     // The optimized version is also faster end to end.
     assert!(a.cycles < b.cycles, "{} !< {}", a.cycles, b.cycles);
 }
@@ -83,7 +83,7 @@ fn ablation_a3_strength_reduction() {
     let b: Vec<f32> = (0..16).map(|i| (15 - i) as f32).collect();
     let ra = with.run(&[("a", &a), ("b", &b)]).unwrap();
     let rb = without.run(&[("a", &a), ("b", &b)]).unwrap();
-    assert_eq!(ra.host.get("c"), rb.host.get("c"));
+    assert_eq!(ra.host.get("c").unwrap(), rb.host.get("c").unwrap());
 }
 
 /// A3 continued: at full image scale the table cannot hold the address

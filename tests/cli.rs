@@ -2,10 +2,20 @@
 
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::Once;
 
 fn w2c() -> Command {
-    // cargo builds test binaries into target/debug/deps; the CLI lives
-    // one level up.
+    // `cargo test` on the root package does not build other members'
+    // binaries, so build the CLI once before the first use.
+    static BUILD: Once = Once::new();
+    BUILD.call_once(|| {
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "-p", "warp-compiler", "--bin", "w2c"])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .status()
+            .expect("cargo runs");
+        assert!(status.success(), "building w2c failed");
+    });
     let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     path.push("target");
     path.push("debug");
@@ -70,4 +80,120 @@ fn corpus_shortcut_works() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("compiled `polynomial`"), "{stdout}");
     assert!(stdout.contains("for 10 cells"), "{stdout}");
+}
+
+#[test]
+fn time_passes_prints_all_eight_stages() {
+    let out = w2c()
+        .args(["--corpus", "polynomial", "--time-passes"])
+        .output()
+        .expect("w2c runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("per-pass timing"), "{stdout}");
+    for pass in [
+        "frontend",
+        "comm",
+        "lower",
+        "decompose",
+        "cell-codegen",
+        "skew",
+        "iu-codegen",
+        "host-codegen",
+    ] {
+        assert!(stdout.contains(pass), "missing pass `{pass}`: {stdout}");
+    }
+    assert!(stdout.contains("% of total"), "{stdout}");
+}
+
+/// The `--dump-after lower` output for the polynomial program is
+/// deterministic; the golden file pins it so IR or dump-format changes
+/// are reviewed deliberately (regenerate with
+/// `w2c --corpus polynomial --dump-after lower`).
+#[test]
+fn dump_after_lower_matches_golden() {
+    let out = w2c()
+        .args(["--corpus", "polynomial", "--dump-after", "lower"])
+        .output()
+        .expect("w2c runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let dump = stdout
+        .find("=== dump after lower")
+        .map(|i| &stdout[i..])
+        .expect("dump section present");
+    let mut golden = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    golden.push("tests/golden/polynomial_lower.dump");
+    let want = std::fs::read_to_string(golden).expect("golden file");
+    assert_eq!(dump, want, "lower dump drifted from tests/golden");
+}
+
+#[test]
+fn unknown_emit_kind_is_a_usage_error() {
+    let out = w2c()
+        .args(["--corpus", "polynomial", "--emit", "object"])
+        .output()
+        .expect("w2c runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown --emit kind `object`"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn unknown_dump_pass_is_a_usage_error() {
+    let out = w2c()
+        .args(["--corpus", "polynomial", "--dump-after", "linker"])
+        .output()
+        .expect("w2c runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown pass `linker`"), "{stderr}");
+    assert!(
+        stderr.contains("--dump-after PASS: one of frontend"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn emit_kinds_map_to_pass_dumps() {
+    let out = w2c()
+        .args(["--corpus", "polynomial", "--emit", "hir", "--emit", "skew"])
+        .output()
+        .expect("w2c runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("=== dump after frontend (hir) ==="),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("=== dump after skew (skew-report) ==="),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn corpus_all_batch_compiles_every_program() {
+    let out = w2c().args(["--corpus", "all"]).output().expect("w2c runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["polynomial", "conv1d", "binop", "colorseg", "mandelbrot"] {
+        assert!(stdout.contains(name), "missing `{name}`: {stdout}");
+    }
+    // Output rows follow the fixed corpus order, not completion order.
+    let poly = stdout.find("polynomial").expect("row");
+    let mandel = stdout.find("mandelbrot").expect("row");
+    assert!(poly < mandel, "deterministic row order: {stdout}");
+}
+
+#[test]
+fn corpus_all_rejects_single_module_flags() {
+    let out = w2c()
+        .args(["--corpus", "all", "--run", "xs=1"])
+        .output()
+        .expect("w2c runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--corpus all"), "{stderr}");
 }

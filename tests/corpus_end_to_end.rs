@@ -16,7 +16,10 @@ fn polynomial_full_size_ten_cells() {
     let c: Vec<f32> = (0..10).map(|k| (k as f32 - 4.5) * 0.25).collect();
     let z: Vec<f32> = (0..100).map(|i| -1.0 + i as f32 * 0.02).collect();
     let r = m.run(&[("c", &c), ("z", &z)]).expect("runs");
-    assert_eq!(r.host.get("results"), &reference::polynomial(&c, &z)[..]);
+    assert_eq!(
+        r.host.get("results").unwrap(),
+        &reference::polynomial(&c, &z)[..]
+    );
     // The array never violated any queue bound.
     assert!(r.max_queue_occupancy <= 128);
 }
@@ -29,7 +32,10 @@ fn polynomial_more_cells_than_declared_data() {
     let c = vec![1.0, -2.0, 0.5];
     let z: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
     let r = m.run(&[("c", &c), ("z", &z)]).expect("runs");
-    assert_eq!(r.host.get("results"), &reference::polynomial(&c, &z)[..]);
+    assert_eq!(
+        r.host.get("results").unwrap(),
+        &reference::polynomial(&c, &z)[..]
+    );
 }
 
 #[test]
@@ -39,7 +45,7 @@ fn conv1d_full_size_nine_cells() {
     let w: Vec<f32> = (0..9).map(|k| 1.0 / (k as f32 + 1.0)).collect();
     let x: Vec<f32> = (0..128).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
     let r = m.run(&[("w", &w), ("x", &x)]).expect("runs");
-    assert_eq!(r.host.get("y"), &reference::conv1d(&w, &x)[..]);
+    assert_eq!(r.host.get("y").unwrap(), &reference::conv1d(&w, &x)[..]);
 }
 
 #[test]
@@ -49,7 +55,7 @@ fn conv1d_small_kernel() {
     let w = vec![0.5, -1.0, 0.25];
     let x: Vec<f32> = (0..16).map(|i| i as f32).collect();
     let r = m.run(&[("w", &w), ("x", &x)]).expect("runs");
-    assert_eq!(r.host.get("y"), &reference::conv1d(&w, &x)[..]);
+    assert_eq!(r.host.get("y").unwrap(), &reference::conv1d(&w, &x)[..]);
 }
 
 #[test]
@@ -59,7 +65,7 @@ fn binop_small_image() {
     let a: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
     let b: Vec<f32> = (0..64).map(|i| (64 - i) as f32).collect();
     let r = m.run(&[("a", &a), ("b", &b)]).expect("runs");
-    assert_eq!(r.host.get("c"), &reference::binop(&a, &b)[..]);
+    assert_eq!(r.host.get("c").unwrap(), &reference::binop(&a, &b)[..]);
 }
 
 #[test]
@@ -69,7 +75,10 @@ fn colorseg_small_image() {
     // Interleaved r,g,b covering all four classes, including ties.
     let img: Vec<f32> = (0..192).map(|i| ((i * 37) % 256) as f32).collect();
     let r = m.run(&[("img", &img)]).expect("runs");
-    assert_eq!(r.host.get("seg"), &reference::colorseg_rgb(&img)[..]);
+    assert_eq!(
+        r.host.get("seg").unwrap(),
+        &reference::colorseg_rgb(&img)[..]
+    );
 }
 
 #[test]
@@ -78,7 +87,7 @@ fn grayseg_small_image() {
     let m = compile(&src, &opts()).expect("compiles");
     let img: Vec<f32> = (0..64).map(|i| (i * 4) as f32).collect();
     let r = m.run(&[("img", &img)]).expect("runs");
-    assert_eq!(r.host.get("seg"), &reference::colorseg(&img)[..]);
+    assert_eq!(r.host.get("seg").unwrap(), &reference::colorseg(&img)[..]);
 }
 
 #[test]
@@ -97,7 +106,7 @@ fn mandelbrot_paper_size() {
     }
     let r = m.run(&[("cre", &cre), ("cim", &cim)]).expect("runs");
     assert_eq!(
-        r.host.get("count"),
+        r.host.get("count").unwrap(),
         &reference::mandelbrot(&cre, &cim, 4)[..]
     );
 }
@@ -110,7 +119,10 @@ fn matmul_two_cells() {
     let a: Vec<f32> = (0..12).map(|i| i as f32 * 0.5 - 2.0).collect();
     let b: Vec<f32> = (0..16).map(|i| ((i * 3) % 7) as f32 - 3.0).collect();
     let r = m.run(&[("a", &a), ("b", &b)]).expect("runs");
-    assert_eq!(r.host.get("c"), &reference::matmul(&a, &b, 3, 4, 4)[..]);
+    assert_eq!(
+        r.host.get("c").unwrap(),
+        &reference::matmul(&a, &b, 3, 4, 4)[..]
+    );
 }
 
 #[test]
@@ -121,7 +133,10 @@ fn matmul_four_cells() {
     let a: Vec<f32> = (0..6).map(|i| i as f32 + 1.0).collect();
     let b: Vec<f32> = (0..12).map(|i| (i % 5) as f32 - 2.0).collect();
     let r = m.run(&[("a", &a), ("b", &b)]).expect("runs");
-    assert_eq!(r.host.get("c"), &reference::matmul(&a, &b, 2, 3, 4)[..]);
+    assert_eq!(
+        r.host.get("c").unwrap(),
+        &reference::matmul(&a, &b, 2, 3, 4)[..]
+    );
 }
 
 #[test]
@@ -186,13 +201,21 @@ fn fft_16_points_on_4_cells() {
         .run(&[("twr", &twr), ("twi", &twi), ("xre", &re), ("xim", &im)])
         .expect("runs");
     let (er, ei) = reference::fft_pease(&re, &im);
-    assert_eq!(r.host.get("outre"), &er[..], "real parts bit-exact");
-    assert_eq!(r.host.get("outim"), &ei[..], "imaginary parts bit-exact");
+    assert_eq!(
+        r.host.get("outre").unwrap(),
+        &er[..],
+        "real parts bit-exact"
+    );
+    assert_eq!(
+        r.host.get("outim").unwrap(),
+        &ei[..],
+        "imaginary parts bit-exact"
+    );
 
     // And the spectrum is actually a Fourier transform: unscramble and
     // compare against the naive DFT.
-    let fr = reference::bit_reverse_permute(r.host.get("outre"));
-    let fi = reference::bit_reverse_permute(r.host.get("outim"));
+    let fr = reference::bit_reverse_permute(r.host.get("outre").unwrap());
+    let fi = reference::bit_reverse_permute(r.host.get("outim").unwrap());
     let (dr, di) = reference::dft_naive(&re, &im);
     for k in 0..n as usize {
         assert!((f64::from(fr[k]) - dr[k]).abs() < 1e-3, "re[{k}]");
@@ -222,6 +245,6 @@ fn fft_64_points_on_6_cells() {
         .run(&[("twr", &twr), ("twi", &twi), ("xre", &re), ("xim", &im)])
         .expect("runs");
     let (er, ei) = reference::fft_pease(&re, &im);
-    assert_eq!(r.host.get("outre"), &er[..]);
-    assert_eq!(r.host.get("outim"), &ei[..]);
+    assert_eq!(r.host.get("outre").unwrap(), &er[..]);
+    assert_eq!(r.host.get("outim").unwrap(), &ei[..]);
 }

@@ -1,0 +1,107 @@
+//! Integration tests for the pass-manager driver: per-pass metrics,
+//! observer dumps, and the parallel batch driver.
+
+use warp::common::CollectDumps;
+use warp::compiler::{compile, compile_many, corpus, passes, CompileOptions, Session};
+
+const CORPUS: [&str; 5] = [
+    corpus::POLYNOMIAL,
+    corpus::ONED_CONV,
+    corpus::BINOP,
+    corpus::COLORSEG,
+    corpus::MANDELBROT,
+];
+
+#[test]
+fn per_pass_timings_sum_to_at_most_the_total() {
+    let m = compile(corpus::POLYNOMIAL, &CompileOptions::default()).expect("compiles");
+    let total = m.metrics.pass_time_total();
+    assert!(total > std::time::Duration::ZERO);
+    assert!(
+        total <= m.metrics.compile_time,
+        "pass time {total:?} exceeds compile time {:?}",
+        m.metrics.compile_time
+    );
+}
+
+#[test]
+fn every_pass_appears_exactly_once_in_pipeline_order() {
+    for src in CORPUS {
+        let m = compile(src, &CompileOptions::default()).expect("compiles");
+        let names: Vec<&str> = m.metrics.per_pass.iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            passes::pass_names().collect::<Vec<_>>(),
+            "per-pass entries must match the pipeline for `{}`",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn observer_sees_enter_and_exit_for_every_pass() {
+    let mut dumps = CollectDumps::all();
+    let m = Session::with_observer(CompileOptions::default(), &mut dumps)
+        .compile(corpus::POLYNOMIAL)
+        .expect("compiles");
+    assert_eq!(m.metrics.per_pass.len(), passes::PIPELINE.len());
+    let kinds: Vec<&str> = dumps.dumps().iter().map(|d| d.kind).collect();
+    let expected: Vec<&str> = passes::PIPELINE.iter().map(|p| p.artifact).collect();
+    assert_eq!(kinds, expected, "one artifact per pass, in order");
+    assert!(dumps.dumps().iter().all(|d| !d.text.is_empty()));
+}
+
+#[test]
+fn failing_pass_reports_no_artifact_for_later_passes() {
+    let mut dumps = CollectDumps::all();
+    let err = Session::with_observer(CompileOptions::default(), &mut dumps)
+        .compile("module broken")
+        .expect_err("parse error");
+    assert!(err.has_errors());
+    assert!(dumps.dumps().is_empty(), "frontend failed; nothing to dump");
+}
+
+/// `compile_many` must produce, element for element, what sequential
+/// `compile` produces — compared on every deterministic artifact
+/// (timing metrics are the only legitimate difference).
+#[test]
+fn compile_many_matches_sequential_compile() {
+    let opts = CompileOptions::default();
+    let parallel = compile_many(&CORPUS, &opts);
+    assert_eq!(parallel.len(), CORPUS.len());
+    for (src, got) in CORPUS.iter().zip(parallel) {
+        let got = got.expect("parallel compile succeeds");
+        let want = compile(src, &opts).expect("sequential compile succeeds");
+        assert_eq!(got.name, want.name);
+        assert_eq!(got.n_cells, want.n_cells);
+        assert_eq!(got.cell_code.listing(), want.cell_code.listing());
+        assert_eq!(got.iu.listing(), want.iu.listing());
+        assert_eq!(got.host.listing(), want.host.listing());
+        assert_eq!(got.skew.min_skew, want.skew.min_skew);
+        assert_eq!(got.skew.queue_occupancy, want.skew.queue_occupancy);
+        assert_eq!(got.skew.flow, want.skew.flow);
+        assert_eq!(
+            warp::ir::dump::dump_ir(&got.ir),
+            warp::ir::dump::dump_ir(&want.ir)
+        );
+        assert_eq!(got.metrics.w2_lines, want.metrics.w2_lines);
+        assert_eq!(got.metrics.cell_ucode, want.metrics.cell_ucode);
+        assert_eq!(got.metrics.iu_ucode, want.metrics.iu_ucode);
+    }
+}
+
+#[test]
+fn compile_many_keeps_input_order_and_per_item_errors() {
+    let sources = [corpus::POLYNOMIAL, "module broken", corpus::BINOP];
+    let results = compile_many(&sources, &CompileOptions::default());
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].as_ref().expect("ok").name, "polynomial");
+    assert!(results[1].is_err(), "parse error stays at its own index");
+    assert_eq!(results[2].as_ref().expect("ok").name, "binop");
+}
+
+#[test]
+fn compile_many_on_empty_input_is_empty() {
+    let none: [&str; 0] = [];
+    assert!(compile_many(&none, &CompileOptions::default()).is_empty());
+}

@@ -20,7 +20,7 @@ fn right_to_left_pipeline_runs() {
     let r = m.run(&[("xs", &xs)]).expect("runs");
     // Three cells each add 1.
     let expect: Vec<f32> = xs.iter().map(|v| v + 3.0).collect();
-    assert_eq!(r.host.get("ys"), &expect[..]);
+    assert_eq!(r.host.get("ys").unwrap(), &expect[..]);
 }
 
 #[test]
@@ -40,8 +40,8 @@ fn oracle_agrees_right_to_left() {
     let hir = warp::w2::parse_and_check(R2L).expect("front end");
     let xs: Vec<f32> = (0..8).map(|i| (i * i) as f32).collect();
     let mut host = warp::host::HostMemory::new(&m.ir.vars);
-    host.set("xs", &xs);
+    host.set("xs", &xs).expect("xs binds");
     let want = warp::compiler::oracle::interpret(&hir, &host).expect("oracle");
     let got = m.run(&[("xs", &xs)]).expect("runs");
-    assert_eq!(got.host.get("ys"), want.get("ys"));
+    assert_eq!(got.host.get("ys").unwrap(), want.get("ys").unwrap());
 }

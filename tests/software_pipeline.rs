@@ -24,8 +24,8 @@ fn pipelined_polynomial_is_correct_and_faster() {
 
     let r0 = base.run(&[("c", &c), ("z", &z)]).expect("runs");
     let r1 = piped.run(&[("c", &c), ("z", &z)]).expect("runs");
-    assert_eq!(r0.host.get("results"), &expect[..]);
-    assert_eq!(r1.host.get("results"), &expect[..]);
+    assert_eq!(r0.host.get("results").unwrap(), &expect[..]);
+    assert_eq!(r1.host.get("results").unwrap(), &expect[..]);
     assert!(
         r1.cycles < r0.cycles,
         "pipelined {} should beat baseline {}",
@@ -42,7 +42,7 @@ fn pipelined_conv_is_correct() {
     let w = vec![0.25f32, 0.5, 0.25];
     let x: Vec<f32> = (0..24).map(|i| ((i * 5) % 11) as f32).collect();
     let r = piped.run(&[("w", &w), ("x", &x)]).expect("runs");
-    assert_eq!(r.host.get("y"), &reference::conv1d(&w, &x)[..]);
+    assert_eq!(r.host.get("y").unwrap(), &reference::conv1d(&w, &x)[..]);
 }
 
 #[test]
@@ -53,7 +53,7 @@ fn pipelined_full_conv_runs() {
     let x: Vec<f32> = (0..128).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
     let r0 = base.run(&[("w", &w), ("x", &x)]).expect("runs");
     let r1 = piped.run(&[("w", &w), ("x", &x)]).expect("runs");
-    assert_eq!(r0.host.get("y"), r1.host.get("y"));
+    assert_eq!(r0.host.get("y").unwrap(), r1.host.get("y").unwrap());
     assert!(r1.cycles <= r0.cycles);
 }
 
@@ -64,7 +64,7 @@ fn pipelined_binop_is_correct() {
     let a: Vec<f32> = (0..32).map(|i| i as f32).collect();
     let b: Vec<f32> = (0..32).map(|i| (i % 7) as f32 - 3.0).collect();
     let r = piped.run(&[("a", &a), ("b", &b)]).expect("runs");
-    assert_eq!(r.host.get("c"), &reference::binop(&a, &b)[..]);
+    assert_eq!(r.host.get("c").unwrap(), &reference::binop(&a, &b)[..]);
 }
 
 #[test]
@@ -85,7 +85,10 @@ fn unroll_and_pipeline_compose() {
     let c = vec![1.0f32, 0.5, -0.5, 2.0];
     let z: Vec<f32> = (0..128).map(|i| (i % 9) as f32 * 0.2 - 0.8).collect();
     let r = both.run(&[("c", &c), ("z", &z)]).expect("runs");
-    assert_eq!(r.host.get("results"), &reference::polynomial(&c, &z)[..]);
+    assert_eq!(
+        r.host.get("results").unwrap(),
+        &reference::polynomial(&c, &z)[..]
+    );
 }
 
 #[test]

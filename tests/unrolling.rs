@@ -30,8 +30,8 @@ fn unrolled_polynomial_is_correct_and_faster() {
 
     let r0 = base.run(&[("c", &c), ("z", &z)]).expect("runs");
     let r4 = unrolled.run(&[("c", &c), ("z", &z)]).expect("runs");
-    assert_eq!(r0.host.get("results"), &expect[..]);
-    assert_eq!(r4.host.get("results"), &expect[..]);
+    assert_eq!(r0.host.get("results").unwrap(), &expect[..]);
+    assert_eq!(r4.host.get("results").unwrap(), &expect[..]);
     assert!(
         r4.cycles * 10 < r0.cycles * 9,
         "unrolled {} should be >10% faster than {}",
@@ -47,7 +47,7 @@ fn unrolled_conv_is_correct() {
     let w = vec![0.25f32, 0.5, 0.25];
     let x: Vec<f32> = (0..24).map(|i| ((i * 5) % 11) as f32).collect();
     let r = unrolled.run(&[("w", &w), ("x", &x)]).expect("runs");
-    assert_eq!(r.host.get("y"), &reference::conv1d(&w, &x)[..]);
+    assert_eq!(r.host.get("y").unwrap(), &reference::conv1d(&w, &x)[..]);
 }
 
 #[test]
@@ -57,7 +57,7 @@ fn unrolled_binop_is_correct() {
     let a: Vec<f32> = (0..32).map(|i| i as f32).collect();
     let b: Vec<f32> = (0..32).map(|i| (i % 7) as f32 - 3.0).collect();
     let r = unrolled.run(&[("a", &a), ("b", &b)]).expect("runs");
-    assert_eq!(r.host.get("c"), &reference::binop(&a, &b)[..]);
+    assert_eq!(r.host.get("c").unwrap(), &reference::binop(&a, &b)[..]);
 }
 
 #[test]
@@ -67,7 +67,10 @@ fn unrolled_matmul_is_correct() {
     let a: Vec<f32> = (0..16).map(|i| i as f32 * 0.5).collect();
     let b: Vec<f32> = (0..16).map(|i| ((i * 3) % 5) as f32).collect();
     let r = unrolled.run(&[("a", &a), ("b", &b)]).expect("runs");
-    assert_eq!(r.host.get("c"), &reference::matmul(&a, &b, 4, 4, 4)[..]);
+    assert_eq!(
+        r.host.get("c").unwrap(),
+        &reference::matmul(&a, &b, 4, 4, 4)[..]
+    );
 }
 
 #[test]
