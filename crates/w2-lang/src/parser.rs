@@ -683,7 +683,7 @@ end
     }
 
     #[test]
-    fn receive_with_and_without_ext() {
+    fn receive_with_and_without_ext() -> Result<(), String> {
         let m = parse(POLY_HEADER).unwrap();
         let f = &m.cellprogram.functions[0];
         match &f.body[0] {
@@ -692,19 +692,20 @@ end
                 assert_eq!(*chan, Chan::X);
                 assert!(ext.is_some());
             }
-            other => panic!("expected receive, got {other:?}"),
+            other => return Err(format!("expected receive, got {other:?}")),
         }
         match &f.body[1] {
             Stmt::For { body, .. } => match &body[1] {
                 Stmt::Send { ext, .. } => assert!(ext.is_none()),
-                other => panic!("expected send, got {other:?}"),
+                other => return Err(format!("expected send, got {other:?}")),
             },
-            other => panic!("expected for, got {other:?}"),
+            other => return Err(format!("expected for, got {other:?}")),
         }
+        Ok(())
     }
 
     #[test]
-    fn expression_precedence() {
+    fn expression_precedence() -> Result<(), String> {
         let m = parse(
             "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
              function f begin float x, y; x := x + y * x - y / x; end call f; end",
@@ -723,14 +724,15 @@ end
                     assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Div, .. }));
                 }
-                other => panic!("unexpected rhs {other:?}"),
+                other => return Err(format!("unexpected rhs {other:?}")),
             },
-            other => panic!("expected assign, got {other:?}"),
+            other => return Err(format!("expected assign, got {other:?}")),
         }
+        Ok(())
     }
 
     #[test]
-    fn parenthesized_grouping() {
+    fn parenthesized_grouping() -> Result<(), String> {
         let m = parse(
             "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
              function f begin float x; x := (x + x) * x; end call f; end",
@@ -739,13 +741,14 @@ end
         match &m.cellprogram.functions[0].body[0] {
             Stmt::Assign { rhs, .. } => {
                 assert!(matches!(rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                Ok(())
             }
-            other => panic!("{other:?}"),
+            other => Err(format!("expected assign, got {other:?}")),
         }
     }
 
     #[test]
-    fn if_then_else() {
+    fn if_then_else() -> Result<(), String> {
         let m = parse(
             "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
              function f begin float x; if x < 1.0 then x := x + 1.0; else x := x - 1.0; end call f; end",
@@ -761,8 +764,9 @@ end
                 assert!(matches!(cond, Expr::Binary { op: BinOp::Lt, .. }));
                 assert_eq!(then_body.len(), 1);
                 assert_eq!(else_body.len(), 1);
+                Ok(())
             }
-            other => panic!("{other:?}"),
+            other => Err(format!("expected if, got {other:?}")),
         }
     }
 
@@ -816,7 +820,7 @@ end
     }
 
     #[test]
-    fn unary_operators() {
+    fn unary_operators() -> Result<(), String> {
         let m = parse(
             "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
              function f begin float x; x := -x * -(x + 1.0); end call f; end",
@@ -825,13 +829,14 @@ end
         match &m.cellprogram.functions[0].body[0] {
             Stmt::Assign { rhs, .. } => {
                 assert!(matches!(rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                Ok(())
             }
-            other => panic!("{other:?}"),
+            other => Err(format!("expected assign, got {other:?}")),
         }
     }
 
     #[test]
-    fn and_or_not_precedence() {
+    fn and_or_not_precedence() -> Result<(), String> {
         let m = parse(
             "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
              function f begin float x; \
@@ -842,8 +847,9 @@ end
             Stmt::If { cond, .. } => {
                 // or is lowest precedence
                 assert!(matches!(cond, Expr::Binary { op: BinOp::Or, .. }));
+                Ok(())
             }
-            other => panic!("{other:?}"),
+            other => Err(format!("expected if, got {other:?}")),
         }
     }
 }

@@ -167,7 +167,7 @@ fn compile_block(
         );
         match allocate_excluding(&block, machine, &sched, machine.registers, &spilled) {
             Ok(alloc) => {
-                let code = emit(&block, machine, &sched, &alloc);
+                let code = emit(&block, machine, &sched, &alloc)?;
                 return Ok((code, alloc.regs_used));
             }
             Err(SpillNeeded { victim: None }) => {
@@ -233,21 +233,22 @@ fn emit(
     machine: &CellMachine,
     sched: &BlockSchedule,
     alloc: &Allocation,
-) -> BlockCode {
+) -> Result<BlockCode, String> {
     let mut insts = vec![MicroInst::default(); sched.len as usize];
     let mut io_events: Vec<IoEvent> = Vec::new();
     let mut adr: Vec<(NodeId, u32)> = Vec::new();
 
-    let operand = |p: NodeId| -> Operand {
+    let operand = |p: NodeId| -> Result<Operand, String> {
         match block.nodes[p].kind {
-            NodeKind::ConstF(v) => Operand::Imm(v),
-            NodeKind::ConstB(v) => Operand::ImmB(v),
-            _ => Operand::Reg(
-                *alloc
-                    .assignment
-                    .get(&p)
-                    .unwrap_or_else(|| panic!("{p:?} consumed but not allocated")),
-            ),
+            NodeKind::ConstF(v) => Ok(Operand::Imm(v)),
+            NodeKind::ConstB(v) => Ok(Operand::ImmB(v)),
+            _ => alloc
+                .assignment
+                .get(&p)
+                .map(|&r| Operand::Reg(r))
+                .ok_or_else(|| {
+                    format!("node {p:?} is consumed but was never allocated a register")
+                }),
         }
     };
     let dst = |n: NodeId| -> Option<Reg> { alloc.assignment.get(&n).copied() };
@@ -281,7 +282,11 @@ fn emit(
                 insts[t].fadd = Some(FpuField {
                     op,
                     dst: dst(n),
-                    srcs: node.inputs.iter().map(|&p| operand(p)).collect(),
+                    srcs: node
+                        .inputs
+                        .iter()
+                        .map(|&p| operand(p))
+                        .collect::<Result<_, _>>()?,
                 });
             }
             NodeKind::FMul | NodeKind::FDiv | NodeKind::FNeg => {
@@ -295,11 +300,15 @@ fn emit(
                 insts[t].fmul = Some(FpuField {
                     op,
                     dst: dst(n),
-                    srcs: node.inputs.iter().map(|&p| operand(p)).collect(),
+                    srcs: node
+                        .inputs
+                        .iter()
+                        .map(|&p| operand(p))
+                        .collect::<Result<_, _>>()?,
                 });
             }
             NodeKind::Load { addr, .. } => {
-                let source = addr_source(addr);
+                let source = addr_source(addr)?;
                 if source == AddrSource::AdrQueue {
                     adr.push((n, t as u32));
                 }
@@ -310,11 +319,11 @@ fn emit(
                 });
             }
             NodeKind::Store { addr, .. } => {
-                let source = addr_source(addr);
+                let source = addr_source(addr)?;
                 if source == AddrSource::AdrQueue {
                     adr.push((n, t as u32));
                 }
-                let value = operand(node.inputs[0]);
+                let value = operand(node.inputs[0])?;
                 let slot = free_mem_slot(&mut insts[t]);
                 *slot = Some(MemField::Write {
                     addr: source,
@@ -340,7 +349,7 @@ fn emit(
                 let idx = io_index(*dir, *chan);
                 debug_assert!(insts[t].io[idx].is_none(), "I/O port double-booked");
                 insts[t].io[idx] = Some(IoField::Send {
-                    src: operand(node.inputs[0]),
+                    src: operand(node.inputs[0])?,
                     ext: ext.clone(),
                 });
                 io_events.push(IoEvent {
@@ -357,19 +366,26 @@ fn emit(
 
     io_events.sort_by_key(|e| e.cycle);
     adr.sort_by_key(|&(n, _)| n);
-    BlockCode {
+    Ok(BlockCode {
         insts,
         io_events,
         adr_deadlines: adr.into_iter().map(|(_, t)| t).collect(),
         source: None,
-    }
+    })
 }
 
-fn addr_source(addr: &Affine) -> AddrSource {
+fn addr_source(addr: &Affine) -> Result<AddrSource, String> {
     if addr.is_constant() {
-        AddrSource::Literal(u16::try_from(addr.constant).expect("address fits in 16 bits"))
+        u16::try_from(addr.constant)
+            .map(AddrSource::Literal)
+            .map_err(|_| {
+                format!(
+                    "memory address {} does not fit the 16-bit literal field",
+                    addr.constant
+                )
+            })
     } else {
-        AddrSource::AdrQueue
+        Ok(AddrSource::AdrQueue)
     }
 }
 
@@ -401,11 +417,11 @@ mod tests {
     }
 
     #[test]
-    fn straight_line_block() {
+    fn straight_line_block() -> Result<(), String> {
         let code = compile("receive (L, X, x, zs[0]); send (R, X, x + 1.0, rs[0]);");
         assert_eq!(code.regions.len(), 1);
         let CodeRegion::Block(b) = &code.regions[0] else {
-            panic!("expected block");
+            return Err(format!("expected block, got {:?}", code.regions[0]));
         };
         // recv at 0, add at 1, send at 6 (fp latency 5), store x...
         assert!(b.len() >= 7);
@@ -413,33 +429,36 @@ mod tests {
         assert!(b.io_events[0].is_recv);
         assert!(!b.io_events[1].is_recv);
         assert!(b.io_events[1].cycle >= b.io_events[0].cycle + 1 + 5);
+        Ok(())
     }
 
     #[test]
-    fn loop_region_structure() {
+    fn loop_region_structure() -> Result<(), String> {
         let code = compile(
             "for i := 0 to 15 do begin receive (L, X, x, zs[i]); send (R, X, x, rs[i]); end;",
         );
         assert_eq!(code.regions.len(), 1);
         let CodeRegion::Loop { count, body, .. } = &code.regions[0] else {
-            panic!("expected loop");
+            return Err(format!("expected loop, got {:?}", code.regions[0]));
         };
         assert_eq!(*count, 16);
         assert_eq!(body.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn adr_deadlines_recorded() {
+    fn adr_deadlines_recorded() -> Result<(), String> {
         let code = compile("for i := 0 to 15 do begin receive (L, X, x, zs[i]); arr[i] := x; end;");
         let CodeRegion::Loop { body, .. } = &code.regions[0] else {
-            panic!("expected loop");
+            return Err(format!("expected loop, got {:?}", code.regions[0]));
         };
         let CodeRegion::Block(b) = &body[0] else {
-            panic!("expected block");
+            return Err(format!("expected block, got {:?}", body[0]));
         };
         assert_eq!(b.adr_deadlines.len(), 1);
         // The store issues after the recv's value is ready.
         assert!(b.adr_deadlines[0] >= 1);
+        Ok(())
     }
 
     #[test]
@@ -501,12 +520,12 @@ mod tests {
     }
 
     #[test]
-    fn unused_recv_pops_without_register() {
+    fn unused_recv_pops_without_register() -> Result<(), String> {
         // temp is received and immediately re-sent; the final extra
         // receive's value is discarded but the pop must still exist.
         let code = compile("receive (L, X, x, zs[0]);");
         let CodeRegion::Block(b) = &code.regions[0] else {
-            panic!()
+            return Err(format!("expected block, got {:?}", code.regions[0]));
         };
         let has_recv = b.insts.iter().any(|i| {
             i.io.iter()
@@ -514,5 +533,6 @@ mod tests {
                 .any(|f| matches!(f, IoField::Recv { .. }))
         });
         assert!(has_recv);
+        Ok(())
     }
 }

@@ -4,19 +4,29 @@
 //! w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit KIND]
 //!             [--dump-after PASS] [--time-passes]
 //!             [--run NAME=v1,v2,... ...] [--cells N] [--check]
+//!             [--audit-guarantees] [--inject SPEC]
 //! w2c --corpus NAME [same flags]        (polynomial, conv1d, binop,
 //!                                        colorseg, mandelbrot)
-//! w2c --corpus all [--time-passes]      (parallel batch compile)
+//! w2c --corpus all [--time-passes] [--audit-guarantees]
 //! ```
 //!
 //! Compiles a W2 module and prints metrics, optionally per-pass
 //! timings and artifact dumps, optionally a microcode listing, and
 //! optionally simulates it with the given inputs.
+//!
+//! `--audit-guarantees` runs the guarantee audit (tightness of the
+//! claimed skew and queue bounds, plus a fault-detection sweep) on the
+//! compiled module; with `--corpus all` it audits the size-scaled
+//! audit corpus and prints a per-program summary. `--inject SPEC`
+//! simulates under an explicit fault plan (e.g.
+//! `seed=7,skew=-1,drop=X:0`) and prints the structured fault report
+//! if an invariant trips.
 
 use std::process::ExitCode;
 use warp_common::{observe, CollectDumps};
-use warp_compiler::{compile_many, corpus, passes, CompileOptions, CompiledModule, Session};
+use warp_compiler::{audit, compile_many, corpus, passes, CompileOptions, CompiledModule, Session};
 use warp_ir::LowerOptions;
+use warp_sim::{FaultPlan, SimOptions};
 
 /// `--emit` kinds: the Table 7-1 metrics and listings, plus one kind
 /// per dumpable pass artifact.
@@ -33,14 +43,6 @@ const EMIT_KINDS: [(&str, Option<&str>); 9] = [
     ("host", Some("host-codegen")),
 ];
 
-const CORPUS: [(&str, &str); 5] = [
-    ("polynomial", corpus::POLYNOMIAL),
-    ("conv1d", corpus::ONED_CONV),
-    ("binop", corpus::BINOP),
-    ("colorseg", corpus::COLORSEG),
-    ("mandelbrot", corpus::MANDELBROT),
-];
-
 struct Args {
     source: Option<(String, String)>,
     corpus_all: bool,
@@ -51,6 +53,8 @@ struct Args {
     opts: CompileOptions,
     cells: Option<u32>,
     check: bool,
+    audit: bool,
+    inject: Option<FaultPlan>,
 }
 
 fn usage() -> ! {
@@ -60,12 +64,19 @@ fn usage() -> ! {
         "usage: w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit KIND]\n\
          \x20           [--dump-after PASS] [--time-passes]\n\
          \x20           [--run NAME=v1,v2,...] [--cells N] [--check]\n\
+         \x20           [--audit-guarantees] [--inject SPEC]\n\
          \x20      w2c --corpus NAME [same flags]\n\
-         \x20      w2c --corpus all [--time-passes]\n\
+         \x20      w2c --corpus all [--time-passes] [--audit-guarantees]\n\
          \x20  --emit KIND: one of {}\n\
          \x20  --dump-after PASS: one of {}\n\
          \x20  --time-passes: print the per-pass timing table\n\
-         \x20  --check: also execute the reference interpreter and compare",
+         \x20  --check: also execute the reference interpreter and compare\n\
+         \x20  --audit-guarantees: verify the static skew/queue claims are\n\
+         \x20      tight and every injectable fault class is detected\n\
+         \x20  --inject SPEC: simulate under a fault plan, e.g.\n\
+         \x20      seed=7,skew=-1,queue=4,budget=500,drop=X:0,corrupt=Y:3,\n\
+         \x20      truncate=X:10,adr-delay=100@2,adr-drop=5,adr-corrupt=0:4096,\n\
+         \x20      flip-flow",
         emit_kinds.join("|"),
         pass_names.join("|"),
     );
@@ -84,10 +95,23 @@ fn parse_args() -> Args {
         opts: CompileOptions::default(),
         cells: None,
         check: false,
+        audit: false,
+        inject: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => parsed.check = true,
+            "--audit-guarantees" => parsed.audit = true,
+            "--inject" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match spec.parse::<FaultPlan>() {
+                    Ok(plan) => parsed.inject = Some(plan),
+                    Err(e) => {
+                        eprintln!("bad --inject spec: {e}\n");
+                        usage();
+                    }
+                }
+            }
             "--pipeline" => parsed.opts.software_pipeline = true,
             "--time-passes" => parsed.time_passes = true,
             "--no-opt" => {
@@ -118,7 +142,12 @@ fn parse_args() -> Args {
             }
             "--cells" => {
                 let n = args.next().unwrap_or_else(|| usage());
-                parsed.cells = Some(n.parse().unwrap_or_else(|_| usage()));
+                let n: u32 = n.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("--cells must be at least 1\n");
+                    usage();
+                }
+                parsed.cells = Some(n);
             }
             "--run" => {
                 let spec = args.next().unwrap_or_else(|| usage());
@@ -135,7 +164,7 @@ fn parse_args() -> Args {
                     parsed.corpus_all = true;
                     continue;
                 }
-                let Some((_, src)) = CORPUS.iter().find(|(n, _)| *n == name) else {
+                let Some((_, src)) = corpus::TABLE_7_1.iter().find(|(n, _)| *n == name) else {
                     eprintln!("unknown corpus program `{name}`");
                     std::process::exit(2);
                 };
@@ -158,10 +187,11 @@ fn parse_args() -> Args {
             || !parsed.emit.is_empty()
             || !parsed.dump_after.is_empty()
             || parsed.check
+            || parsed.inject.is_some()
         {
             eprintln!(
                 "--corpus all batch-compiles the whole corpus; it only combines with \
-                 compilation options and --time-passes\n"
+                 compilation options, --time-passes, and --audit-guarantees\n"
             );
             usage();
         }
@@ -214,14 +244,17 @@ fn print_time_passes(module: &CompiledModule) {
 }
 
 fn corpus_all(args: &Args) -> ExitCode {
-    let sources: Vec<&str> = CORPUS.iter().map(|(_, src)| *src).collect();
+    if args.audit {
+        return corpus_audit(args);
+    }
+    let sources: Vec<&str> = corpus::TABLE_7_1.iter().map(|(_, src)| *src).collect();
     let results = compile_many(&sources, &args.opts);
-    let mut failed = false;
+    let mut failed = 0usize;
     println!(
         "{:<12} {:>9} {:>11} {:>9} {:>6} {:>6} {:>13}",
         "name", "W2 lines", "cell ucode", "IU ucode", "skew", "cells", "compile time"
     );
-    for ((name, _), result) in CORPUS.iter().zip(&results) {
+    for ((name, _), result) in corpus::TABLE_7_1.iter().zip(&results) {
         match result {
             Ok(m) => {
                 println!(
@@ -236,17 +269,50 @@ fn corpus_all(args: &Args) -> ExitCode {
                 );
             }
             Err(diags) => {
-                failed = true;
+                failed += 1;
                 eprintln!("{name}: FAILED\n{diags}");
             }
         }
     }
+    println!("batch: {} ok, {} failed", results.len() - failed, failed);
     if args.time_passes {
         for result in results.iter().flatten() {
             print_time_passes(result);
         }
     }
-    if failed {
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--corpus all --audit-guarantees`: audit the size-scaled corpus and
+/// summarize per program. Any failed check — or failed compile — fails
+/// the run, but never stops the rest of the batch.
+fn corpus_audit(args: &Args) -> ExitCode {
+    let results = audit::audit_corpus(&audit::AuditOptions::default(), &args.opts);
+    let total = results.len();
+    let mut failed = 0usize;
+    for (name, result) in results {
+        match result {
+            Ok(report) => {
+                if report.passed() {
+                    let (passed, _, skipped) = report.tally();
+                    println!("{name:<12} PASS ({passed} checks, {skipped} n/a)");
+                } else {
+                    failed += 1;
+                    println!("{report}");
+                }
+            }
+            Err(diags) => {
+                failed += 1;
+                eprintln!("{name}: compile FAILED\n{diags}");
+            }
+        }
+    }
+    println!("guarantee audit: {} ok, {failed} failed", total - failed);
+    if failed > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -290,6 +356,53 @@ fn main() -> ExitCode {
             // kinds were rendered through the dump observer above.
             _ => {}
         }
+    }
+
+    if args.audit {
+        let report = audit::audit(&module, &audit::AuditOptions::default());
+        println!("\n{report}");
+        if !report.passed() {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(plan) = &args.inject {
+        // Simulate under the fault plan, with the caller's inputs if
+        // given, otherwise the audit's seeded inputs.
+        let owned;
+        let inputs: Vec<(&str, &[f32])> = if args.runs.is_empty() {
+            owned = audit::seeded_inputs(&module, plan.seed);
+            owned
+                .iter()
+                .map(|(n, d)| (n.as_str(), d.as_slice()))
+                .collect()
+        } else {
+            args.runs
+                .iter()
+                .map(|(n, d)| (n.as_str(), d.as_slice()))
+                .collect()
+        };
+        let n_cells = args.cells.unwrap_or(module.n_cells);
+        println!("\ninjecting: {plan}");
+        let opts = SimOptions {
+            plan: plan.clone(),
+            claims: Some(module.claims()),
+            ..SimOptions::default()
+        };
+        match module.run_audited(n_cells, module.skew.min_skew, &inputs, &opts) {
+            Ok(report) => {
+                println!(
+                    "run survived the fault plan: {} cycles, {} FLOPs (outputs may still \
+                     be corrupted — compare against a clean run)",
+                    report.cycles, report.fp_ops
+                );
+            }
+            Err(fault) => {
+                println!("{fault}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     if !args.runs.is_empty() {

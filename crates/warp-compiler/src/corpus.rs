@@ -21,6 +21,37 @@
 //! columns of the result") using the same count-conserving idiom as
 //! Figure 4-1.
 
+/// The five Table 7-1 benchmark programs by name, at paper sizes (the
+/// table the `w2c --corpus` flag resolves against).
+pub const TABLE_7_1: [(&str, &str); 5] = [
+    ("polynomial", POLYNOMIAL),
+    ("conv1d", ONED_CONV),
+    ("binop", BINOP),
+    ("colorseg", COLORSEG),
+    ("mandelbrot", MANDELBROT),
+];
+
+/// Size-scaled variants of the corpus for the guarantee audit
+/// ([`crate::audit::audit_corpus`]), plus the matmul generator for
+/// Y-channel coverage.
+///
+/// The audit simulates each program about a dozen times (nominal,
+/// tightness, and one run per injected fault class), so the paper's
+/// 512×512 image sizes are scaled down to keep the whole suite in CI
+/// time. W2 control flow is static and conditionals are predicated, so
+/// cell timing — the thing the audited claims are about — has the same
+/// structure at any size.
+pub fn audit_corpus() -> Vec<(&'static str, String)> {
+    vec![
+        ("polynomial", polynomial_source(4, 12)),
+        ("conv1d", conv1d_source(3, 16)),
+        ("binop", binop_source(6, 6)),
+        ("colorseg", colorseg_source(4, 4)),
+        ("mandelbrot", mandelbrot_source(4, 2)),
+        ("matmul", matmul_source(2, 3, 4, 2)),
+    ]
+}
+
 /// Figure 4-1 of the paper: polynomial evaluation with Horner's rule,
 /// one coefficient per cell, 10 coefficients, 100 points, 10 cells.
 pub const POLYNOMIAL: &str = r#"

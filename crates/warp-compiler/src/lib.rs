@@ -43,6 +43,7 @@
 //! # Ok::<(), warp_compiler::CompileOrSimError>(())
 //! ```
 
+pub mod audit;
 pub mod corpus;
 pub mod oracle;
 pub mod passes;
@@ -57,7 +58,7 @@ use warp_common::{DiagnosticBag, PassTiming};
 use warp_host::{HostError, HostMemory, HostProgram};
 use warp_ir::{comm, CellIr, LowerOptions};
 use warp_iu::{IuOptions, IuProgram};
-use warp_sim::{MachineConfig, RunReport, SimError};
+use warp_sim::{FaultReport, MachineConfig, RunReport, SimError, SimOptions, StaticClaims};
 use warp_skew::{SkewMethod, SkewReport};
 
 /// Options for one compilation.
@@ -163,7 +164,19 @@ impl std::fmt::Display for CompileOrSimError {
     }
 }
 
-impl std::error::Error for CompileOrSimError {}
+impl std::error::Error for CompileOrSimError {
+    /// Simulator and host errors keep their underlying cause reachable
+    /// (e.g. `Sim(Host(e))` chains down to the [`HostError`]), so
+    /// callers can walk to the root instead of re-parsing messages.
+    /// Compile diagnostics are an aggregate with no single cause.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileOrSimError::Compile(_) => None,
+            CompileOrSimError::Sim(e) => Some(e),
+            CompileOrSimError::Host(e) => Some(e),
+        }
+    }
+}
 
 impl From<DiagnosticBag> for CompileOrSimError {
     fn from(d: DiagnosticBag) -> CompileOrSimError {
@@ -226,6 +239,60 @@ impl CompiledModule {
                 flow: self.skew.flow,
             },
             host,
+        )
+    }
+
+    /// The static claims the skew/queue analysis made for this module —
+    /// what the [`audit`] module holds the simulator's observations
+    /// against.
+    pub fn claims(&self) -> StaticClaims {
+        StaticClaims {
+            min_skew: self.skew.min_skew,
+            queue_occupancy: self.skew.queue_occupancy.clone(),
+        }
+    }
+
+    /// Runs the module under explicit [`SimOptions`] — fault plan, ring
+    /// buffer, and static claims — returning a structured
+    /// [`FaultReport`] on any violation (including input-binding
+    /// failures, which surface as [`SimError::Host`] with no cycles
+    /// run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FaultReport`] for the first violated invariant.
+    pub fn run_audited(
+        &self,
+        n_cells: u32,
+        skew: i64,
+        inputs: &[(&str, &[f32])],
+        opts: &SimOptions,
+    ) -> Result<RunReport, Box<FaultReport>> {
+        let mut host = HostMemory::new(&self.ir.vars);
+        for (name, data) in inputs {
+            if let Err(e) = host.set(name, data) {
+                return Err(Box::new(FaultReport {
+                    error: SimError::Host(e),
+                    cycles_run: 0,
+                    queue_high_water: Default::default(),
+                    recent_events: Vec::new(),
+                    claims: opts.claims.clone(),
+                    injected: opts.plan.describe(),
+                }));
+            }
+        }
+        warp_sim::run_with_options(
+            &MachineConfig {
+                cell_code: &self.cell_code,
+                iu: &self.iu,
+                host_program: &self.host,
+                machine: &self.machine,
+                n_cells,
+                skew,
+                flow: self.skew.flow,
+            },
+            host,
+            opts,
         )
     }
 }

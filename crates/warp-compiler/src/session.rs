@@ -189,6 +189,30 @@ impl<'obs> Session<'obs> {
     }
 }
 
+/// Compiles one source, converting a compiler panic into an
+/// "internal compiler error" diagnostic so batch callers degrade to a
+/// per-program failure record instead of losing the whole batch (a
+/// panicking worker would otherwise abort the scope).
+fn compile_guarded(source: &str, opts: &CompileOptions) -> Result<CompiledModule, DiagnosticBag> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::compile(source, opts)
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            let mut diags = DiagnosticBag::new();
+            diags.push(Diagnostic::error_global(format!(
+                "internal compiler error: {what}"
+            )));
+            Err(diags)
+        }
+    }
+}
+
 /// Compiles several W2 modules in parallel on scoped threads.
 ///
 /// Results are returned in input order regardless of which thread
@@ -196,6 +220,10 @@ impl<'obs> Session<'obs> {
 /// [`compile`](crate::compile) of the same source would produce
 /// (timing metrics aside). The worker count is capped by
 /// [`std::thread::available_parallelism`].
+///
+/// The batch always completes: a program that fails — or even crashes —
+/// the compiler yields an `Err` in its slot while every other program
+/// compiles normally.
 ///
 /// ```
 /// use warp_compiler::{compile_many, corpus, CompileOptions};
@@ -221,7 +249,7 @@ pub fn compile_many<S: AsRef<str> + Sync>(
     if workers <= 1 {
         return sources
             .iter()
-            .map(|s| crate::compile(s.as_ref(), opts))
+            .map(|s| compile_guarded(s.as_ref(), opts))
             .collect();
     }
 
@@ -235,7 +263,7 @@ pub fn compile_many<S: AsRef<str> + Sync>(
                 if i >= n {
                     break;
                 }
-                let result = crate::compile(sources[i].as_ref(), opts);
+                let result = compile_guarded(sources[i].as_ref(), opts);
                 *slots[i].lock().expect("result slot") = Some(result);
             });
         }

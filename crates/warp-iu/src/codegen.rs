@@ -687,7 +687,7 @@ mod tests {
     }
 
     #[test]
-    fn short_loops_unroll_tail() {
+    fn short_loops_unroll_tail() -> Result<(), String> {
         let (_, iu) = compile(
             "for i := 0 to 15 do begin receive (L, X, x, zs[i]); send (R, X, x, rs[i]); end;",
             &IuOptions::default(),
@@ -700,7 +700,7 @@ mod tests {
             ..
         } = &iu.regions[0]
         else {
-            panic!("expected loop");
+            return Err(format!("expected loop, got {:?}", iu.regions[0]));
         };
         let span: u64 = body.iter().map(IuRegion::static_len).sum();
         if span < LOOP_TEST_CYCLES {
@@ -708,6 +708,7 @@ mod tests {
         } else {
             assert_eq!(*unrolled_tail, 0);
         }
+        Ok(())
     }
 
     #[test]

@@ -135,7 +135,17 @@ impl fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    /// A [`SimError::Host`] preserves its underlying [`HostError`] as
+    /// the error source, so callers can walk the chain to the root
+    /// cause instead of re-parsing the rendered message.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Host(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<HostError> for SimError {
     fn from(e: HostError) -> SimError {

@@ -1,0 +1,467 @@
+//! Deterministic fault injection: perturb a simulation on purpose.
+//!
+//! The compiler's contract is that the machine invariants the simulator
+//! enforces (no queue under/overflow, every IU address on time, §6.2
+//! and §6.3.2 of the paper) can never trip on compiler-produced
+//! parameters. A [`FaultPlan`] breaks that contract *on demand* — it
+//! shrinks a queue, jitters the skew, delays or corrupts the IU address
+//! stream, drops or corrupts an inter-cell word, truncates a host input
+//! stream, or cuts the cycle budget — so tests and the guarantee audit
+//! can assert that every corruption class is *detected* by a matching
+//! [`SimError`](crate::SimError) variant (or, for value corruption, by
+//! a differential check) rather than producing silently wrong output.
+//!
+//! Plans are deterministic: the same plan and seed perturb the same
+//! simulation the same way, so a detected fault reproduces exactly.
+
+use std::fmt;
+use w2_lang::ast::Chan;
+
+/// One injected fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Override the inter-cell queue capacity (words). Shrinking it
+    /// below the static occupancy bound must provoke
+    /// [`SimError::QueueOverflow`](crate::SimError::QueueOverflow).
+    QueueCapacity(u32),
+    /// Add a (possibly negative) offset to the configured skew.
+    /// `-1` from the minimum skew must provoke
+    /// [`SimError::QueueUnderflow`](crate::SimError::QueueUnderflow) or
+    /// [`SimError::AddressLate`](crate::SimError::AddressLate).
+    SkewDelta(i64),
+    /// Delay every IU address arrival by `cycles` on the selected cell
+    /// (`None` = every cell): a missed deadline,
+    /// [`SimError::AddressLate`](crate::SimError::AddressLate).
+    DelayAddresses {
+        /// Pipeline position to perturb, or all cells.
+        cell: Option<usize>,
+        /// Added delay in cycles.
+        cycles: u64,
+    },
+    /// Remove the `index`-th address from the Adr stream of the
+    /// selected cell: the final consumer finds an empty queue,
+    /// [`SimError::AddressUnderflow`](crate::SimError::AddressUnderflow)
+    /// (or a late/wrong address earlier).
+    DropAddress {
+        /// Pipeline position to perturb, or all cells.
+        cell: Option<usize>,
+        /// Position in the cell's address stream.
+        index: usize,
+    },
+    /// Replace the `index`-th address in the Adr stream with `addr`.
+    /// An out-of-range `addr` must provoke
+    /// [`SimError::BadAddress`](crate::SimError::BadAddress).
+    CorruptAddress {
+        /// Pipeline position to perturb, or all cells.
+        cell: Option<usize>,
+        /// Position in the cell's address stream.
+        index: usize,
+        /// The replacement address.
+        addr: u32,
+    },
+    /// Drop the `index`-th word committed on `chan` (counting every
+    /// send on that channel, in commit order): a word lost in transit.
+    /// Detected downstream as
+    /// [`SimError::QueueUnderflow`](crate::SimError::QueueUnderflow) or
+    /// [`SimError::OutputCountMismatch`](crate::SimError::OutputCountMismatch).
+    DropWord {
+        /// Channel.
+        chan: Chan,
+        /// Send index on that channel (across all cells).
+        index: u64,
+    },
+    /// Flip mantissa bits of the `index`-th word committed on `chan`
+    /// (seeded, always changes the value). No machine invariant trips:
+    /// this class is only detectable by a differential check against a
+    /// clean run or a reference oracle.
+    CorruptWord {
+        /// Channel.
+        chan: Chan,
+        /// Send index on that channel (across all cells).
+        index: u64,
+    },
+    /// Keep only the first `keep` words of the host's input stream on
+    /// `chan`: the boundary cell must starve,
+    /// [`SimError::QueueUnderflow`](crate::SimError::QueueUnderflow) at
+    /// cell 0.
+    TruncateInput {
+        /// Channel.
+        chan: Chan,
+        /// Words to keep.
+        keep: usize,
+    },
+    /// Reverse the declared data-flow direction: every transfer is now
+    /// against the flow,
+    /// [`SimError::WrongDirection`](crate::SimError::WrongDirection).
+    FlipFlow,
+    /// Cut the simulator's cycle budget to `cycles`: a run that needs
+    /// more must trip [`SimError::Hang`](crate::SimError::Hang).
+    CycleBudget(u64),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cell_str = |c: &Option<usize>| match c {
+            Some(p) => format!(" on cell {p}"),
+            None => " on every cell".to_owned(),
+        };
+        match self {
+            Fault::QueueCapacity(n) => write!(f, "queue capacity shrunk to {n} word(s)"),
+            Fault::SkewDelta(d) => write!(f, "skew jittered by {d:+} cycle(s)"),
+            Fault::DelayAddresses { cell, cycles } => {
+                write!(
+                    f,
+                    "IU addresses delayed {cycles} cycle(s){}",
+                    cell_str(cell)
+                )
+            }
+            Fault::DropAddress { cell, index } => {
+                write!(f, "IU address #{index} dropped{}", cell_str(cell))
+            }
+            Fault::CorruptAddress { cell, index, addr } => {
+                write!(
+                    f,
+                    "IU address #{index} corrupted to {addr}{}",
+                    cell_str(cell)
+                )
+            }
+            Fault::DropWord { chan, index } => {
+                write!(f, "word #{index} on channel {chan:?} dropped in transit")
+            }
+            Fault::CorruptWord { chan, index } => {
+                write!(f, "word #{index} on channel {chan:?} corrupted in transit")
+            }
+            Fault::TruncateInput { chan, keep } => {
+                write!(
+                    f,
+                    "host input on channel {chan:?} truncated to {keep} word(s)"
+                )
+            }
+            Fault::FlipFlow => write!(f, "data-flow direction reversed"),
+            Fault::CycleBudget(n) => write!(f, "cycle budget cut to {n}"),
+        }
+    }
+}
+
+/// A deterministic, seeded set of faults to inject into one run.
+///
+/// # Examples
+///
+/// ```
+/// use warp_sim::{Fault, FaultPlan};
+///
+/// let plan = FaultPlan::new(42).with(Fault::SkewDelta(-1));
+/// assert!(!plan.is_empty());
+/// assert_eq!(plan, "seed=42,skew=-1".parse().unwrap());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the value-corruption masks.
+    pub seed: u64,
+    /// The faults to apply, in declaration order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Returns `true` when no fault is injected.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Human-readable descriptions of every fault, for reports.
+    pub fn describe(&self) -> Vec<String> {
+        self.faults.iter().map(Fault::to_string).collect()
+    }
+
+    /// The net skew offset of all [`Fault::SkewDelta`] entries.
+    pub fn skew_delta(&self) -> i64 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                Fault::SkewDelta(d) => *d,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The effective queue capacity, given the machine's default.
+    pub fn queue_capacity(&self, default: u32) -> u32 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::QueueCapacity(n) => Some(*n),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(default)
+    }
+
+    /// The effective cycle budget, given the simulator's default.
+    pub fn cycle_budget(&self, default: u64) -> u64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::CycleBudget(n) => Some(*n),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(default)
+    }
+
+    /// Returns `true` when the flow direction is reversed.
+    pub fn flips_flow(&self) -> bool {
+        self.faults.contains(&Fault::FlipFlow)
+    }
+
+    /// The deterministic corruption mask for the `index`-th corrupted
+    /// value: a nonzero mantissa perturbation, so the corrupted f32 is
+    /// always a *different, finite* value.
+    pub fn corruption_mask(&self, index: u64) -> u32 {
+        // Only mantissa bits, and always at least the low bit: the
+        // exponent and sign are untouched, so no NaN/Inf is produced
+        // from a finite input.
+        (splitmix64(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as u32 & 0x007F_FFFE) | 1
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// Renders the plan back into the `--inject` spec grammar.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for fault in &self.faults {
+            write!(f, ",{}", spec_of(fault))?;
+        }
+        Ok(())
+    }
+}
+
+fn spec_of(fault: &Fault) -> String {
+    let at = |c: &Option<usize>| c.map(|p| format!("@{p}")).unwrap_or_default();
+    match fault {
+        Fault::QueueCapacity(n) => format!("queue={n}"),
+        Fault::SkewDelta(d) => format!("skew={d}"),
+        Fault::DelayAddresses { cell, cycles } => format!("adr-delay={cycles}{}", at(cell)),
+        Fault::DropAddress { cell, index } => format!("adr-drop={index}{}", at(cell)),
+        Fault::CorruptAddress { cell, index, addr } => {
+            format!("adr-corrupt={index}:{addr}{}", at(cell))
+        }
+        Fault::DropWord { chan, index } => format!("drop={}:{index}", chan_name(*chan)),
+        Fault::CorruptWord { chan, index } => format!("corrupt={}:{index}", chan_name(*chan)),
+        Fault::TruncateInput { chan, keep } => format!("truncate={}:{keep}", chan_name(*chan)),
+        Fault::FlipFlow => "flip-flow".to_owned(),
+        Fault::CycleBudget(n) => format!("budget={n}"),
+    }
+}
+
+fn chan_name(c: Chan) -> &'static str {
+    match c {
+        Chan::X => "X",
+        Chan::Y => "Y",
+    }
+}
+
+/// A malformed `--inject` specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The offending clause.
+    pub clause: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec `{}`: {}", self.clause, self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = FaultSpecError;
+
+    /// Parses the `--inject` grammar: comma-separated clauses
+    ///
+    /// ```text
+    /// seed=S          queue=N          skew=±K         budget=N
+    /// adr-delay=D[@CELL]  adr-drop=IDX[@CELL]  adr-corrupt=IDX:ADDR[@CELL]
+    /// drop=CHAN:IDX   corrupt=CHAN:IDX   truncate=CHAN:KEEP   flip-flow
+    /// ```
+    fn from_str(s: &str) -> Result<FaultPlan, FaultSpecError> {
+        let mut plan = FaultPlan::default();
+        for clause in s.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let err = |reason: &str| FaultSpecError {
+                clause: clause.to_owned(),
+                reason: reason.to_owned(),
+            };
+            if clause == "flip-flow" {
+                plan.faults.push(Fault::FlipFlow);
+                continue;
+            }
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| err("expected KEY=VALUE or `flip-flow`"))?;
+            // Optional trailing `@CELL` selector.
+            let (value, cell) = match value.split_once('@') {
+                Some((v, c)) => (
+                    v,
+                    Some(
+                        c.parse::<usize>()
+                            .map_err(|_| err("cell must be a number"))?,
+                    ),
+                ),
+                None => (value, None),
+            };
+            let fault = match key {
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| err("seed must be a number"))?;
+                    continue;
+                }
+                "queue" => Fault::QueueCapacity(
+                    value
+                        .parse()
+                        .map_err(|_| err("capacity must be a number"))?,
+                ),
+                "skew" => {
+                    Fault::SkewDelta(value.parse().map_err(|_| err("delta must be a number"))?)
+                }
+                "budget" => {
+                    Fault::CycleBudget(value.parse().map_err(|_| err("budget must be a number"))?)
+                }
+                "adr-delay" => Fault::DelayAddresses {
+                    cell,
+                    cycles: value.parse().map_err(|_| err("delay must be a number"))?,
+                },
+                "adr-drop" => Fault::DropAddress {
+                    cell,
+                    index: value.parse().map_err(|_| err("index must be a number"))?,
+                },
+                "adr-corrupt" => {
+                    let (idx, addr) = value
+                        .split_once(':')
+                        .ok_or_else(|| err("expected adr-corrupt=IDX:ADDR"))?;
+                    Fault::CorruptAddress {
+                        cell,
+                        index: idx.parse().map_err(|_| err("index must be a number"))?,
+                        addr: addr.parse().map_err(|_| err("address must be a number"))?,
+                    }
+                }
+                "drop" | "corrupt" | "truncate" => {
+                    let (chan, n) = value
+                        .split_once(':')
+                        .ok_or_else(|| err("expected CHAN:NUMBER"))?;
+                    let chan = match chan {
+                        "X" | "x" => Chan::X,
+                        "Y" | "y" => Chan::Y,
+                        _ => return Err(err("channel must be X or Y")),
+                    };
+                    let n: u64 = n.parse().map_err(|_| err("expected a number"))?;
+                    match key {
+                        "drop" => Fault::DropWord { chan, index: n },
+                        "corrupt" => Fault::CorruptWord { chan, index: n },
+                        _ => Fault::TruncateInput {
+                            chan,
+                            keep: n as usize,
+                        },
+                    }
+                }
+                _ => return Err(err("unknown fault kind")),
+            };
+            plan.faults.push(fault);
+        }
+        Ok(plan)
+    }
+}
+
+/// SplitMix64: the tiny deterministic generator behind seeded
+/// corruption masks and the audit's input data.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let spec = "seed=7,queue=1,skew=-2,adr-delay=10@1,adr-drop=3,adr-corrupt=0:9999@0,\
+                    drop=X:5,corrupt=Y:2,truncate=X:4,flip-flow,budget=100";
+        let plan: FaultPlan = spec.parse().expect("parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.faults.len(), 10);
+        assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
+        assert_eq!(plan.skew_delta(), -2);
+        assert_eq!(plan.queue_capacity(128), 1);
+        assert_eq!(plan.cycle_budget(u64::MAX), 100);
+        assert!(plan.flips_flow());
+        assert_eq!(plan.describe().len(), 10);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "nonsense",
+            "queue=abc",
+            "adr-corrupt=5",
+            "drop=Z:1",
+            "drop=X",
+            "adr-delay=2@x",
+        ] {
+            let err = bad.parse::<FaultPlan>().unwrap_err();
+            assert_eq!(err.clause, bad, "{err}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn corruption_mask_changes_value_and_stays_finite() {
+        let plan = FaultPlan::new(99);
+        for i in 0..64u64 {
+            let mask = plan.corruption_mask(i);
+            assert_ne!(mask, 0);
+            assert_eq!(mask & !0x007F_FFFF, 0, "mantissa bits only");
+            let v = 1.5f32;
+            let corrupted = f32::from_bits(v.to_bits() ^ mask);
+            assert!(corrupted.is_finite());
+            assert_ne!(corrupted, v);
+        }
+        // Deterministic across plan clones.
+        assert_eq!(
+            plan.corruption_mask(3),
+            FaultPlan::new(99).corruption_mask(3)
+        );
+        assert_ne!(
+            plan.corruption_mask(3),
+            FaultPlan::new(100).corruption_mask(3)
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.skew_delta(), 0);
+        assert_eq!(plan.queue_capacity(128), 128);
+        assert!(!plan.flips_flow());
+        assert_eq!("".parse::<FaultPlan>().unwrap(), plan);
+    }
+}

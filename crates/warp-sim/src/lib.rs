@@ -16,14 +16,20 @@
 
 pub mod cursor;
 pub mod error;
+pub mod fault;
 pub mod machine;
+pub mod report;
 
 #[cfg(test)]
 mod tests_errors;
 
 pub use cursor::Cursor;
 pub use error::SimError;
-pub use machine::{run, run_traced, MachineConfig, RunReport, TraceEvent};
+pub use fault::{splitmix64, Fault, FaultPlan, FaultSpecError};
+pub use machine::{
+    run, run_traced, run_with_options, MachineConfig, RunReport, SimOptions, TraceEvent,
+};
+pub use report::{FaultReport, StaticClaims};
 
 #[cfg(test)]
 mod tests {

@@ -12,10 +12,17 @@
 //!
 //! Within one global cycle all sends commit before any receive, so a
 //! send and its matching receive may share a cycle (Figure 6-3).
+//!
+//! [`run_with_options`] additionally applies a [`FaultPlan`] — the
+//! deliberate perturbations of [`crate::fault`] — and reports any
+//! violation as a structured [`FaultReport`] carrying queue high-water
+//! marks, the last trace events, and the static claims under test.
 
 use crate::cursor::Cursor;
 use crate::error::SimError;
-use std::collections::VecDeque;
+use crate::fault::{Fault, FaultPlan};
+use crate::report::{FaultReport, StaticClaims};
+use std::collections::{BTreeMap, VecDeque};
 use w2_lang::ast::{Chan, Dir};
 use warp_cell::{
     AddrSource, AluOp, CellCode, CellMachine, FpuField, IoField, MemField, Operand, Reg,
@@ -43,6 +50,28 @@ pub struct MachineConfig<'a> {
     pub flow: Dir,
 }
 
+/// Run-time knobs beyond the machine configuration: fault injection,
+/// the trace ring-buffer depth, and the static claims to audit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimOptions {
+    /// Faults to inject (empty plan = a clean run).
+    pub plan: FaultPlan,
+    /// How many trace events the violation ring buffer keeps.
+    pub ring_capacity: usize,
+    /// The compiler's static claims, echoed into any [`FaultReport`].
+    pub claims: Option<StaticClaims>,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            plan: FaultPlan::default(),
+            ring_capacity: 32,
+            claims: None,
+        }
+    }
+}
+
 /// Result of a simulation run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -54,6 +83,9 @@ pub struct RunReport {
     pub fp_ops: u64,
     /// Largest occupancy observed on any inter-cell queue.
     pub max_queue_occupancy: usize,
+    /// Highest interior-queue occupancy per channel, across all cells —
+    /// the observed counterpart of the skew analysis' static bound.
+    pub queue_high_water: BTreeMap<Chan, u64>,
     /// Words delivered to the host.
     pub words_out: u64,
 }
@@ -111,7 +143,7 @@ pub struct TraceEvent {
 /// invariant (these indicate compiler bugs or deliberately injected bad
 /// parameters, not data conditions).
 pub fn run(cfg: &MachineConfig<'_>, host: HostMemory) -> Result<RunReport, SimError> {
-    run_impl(cfg, host, None)
+    run_impl(cfg, host, None, &SimOptions::default()).map_err(|r| r.error)
 }
 
 /// Like [`run`], but records every send and receive with its cycle —
@@ -125,17 +157,40 @@ pub fn run_traced(
     host: HostMemory,
     trace: &mut Vec<TraceEvent>,
 ) -> Result<RunReport, SimError> {
-    run_impl(cfg, host, Some(trace))
+    run_impl(cfg, host, Some(trace), &SimOptions::default()).map_err(|r| r.error)
+}
+
+/// Runs the module with explicit [`SimOptions`]: injected faults, the
+/// ring-buffer depth, and the static claims to audit.
+///
+/// # Errors
+///
+/// Returns a structured [`FaultReport`] (boxed — it is large) for the
+/// first violated machine invariant.
+pub fn run_with_options(
+    cfg: &MachineConfig<'_>,
+    host: HostMemory,
+    opts: &SimOptions,
+) -> Result<RunReport, Box<FaultReport>> {
+    run_impl(cfg, host, None, opts)
 }
 
 fn run_impl(
     cfg: &MachineConfig<'_>,
     host: HostMemory,
     mut trace: Option<&mut Vec<TraceEvent>>,
-) -> Result<RunReport, SimError> {
+    opts: &SimOptions,
+) -> Result<RunReport, Box<FaultReport>> {
     let n = cfg.n_cells as usize;
     assert!(n >= 1, "at least one cell");
-    let skew = u64::try_from(cfg.skew.max(0)).expect("non-negative skew");
+    let plan = &opts.plan;
+    let flow = if plan.flips_flow() {
+        cfg.flow.opposite()
+    } else {
+        cfg.flow
+    };
+    let skew = u64::try_from((cfg.skew + plan.skew_delta()).max(0)).expect("non-negative skew");
+    let capacity = plan.queue_capacity(cfg.machine.queue_capacity);
 
     // Pipeline positions: position 0 is the upstream-most cell.
     let emissions = cfg.iu.emissions();
@@ -149,10 +204,7 @@ fn run_impl(
                 memory: vec![0.0; cfg.machine.memory_words as usize],
                 regs: vec![0.0; cfg.machine.registers as usize],
                 pending: Vec::new(),
-                adr: emissions
-                    .iter()
-                    .map(|e| (e.cycle + start, e.addr))
-                    .collect(),
+                adr: faulted_adr_stream(&emissions, start, p, plan),
                 fp_ops: 0,
             }
         })
@@ -165,6 +217,7 @@ fn run_impl(
         Chan::X => 0usize,
         Chan::Y => 1usize,
     };
+    let chan_of = |ci: usize| if ci == 0 { Chan::X } else { Chan::Y };
 
     // Boundary input: the host sustains full bandwidth (paper §2.1), so
     // the input stream is modeled as an unbounded pre-filled queue.
@@ -178,20 +231,57 @@ fn run_impl(
             });
         }
     }
+    for fault in &plan.faults {
+        if let Fault::TruncateInput { chan, keep } = fault {
+            boundary_in[chan_idx(*chan)].truncate(*keep);
+        }
+    }
     let mut boundary_out: [Vec<f32>; 2] = [Vec::new(), Vec::new()];
 
     let span = cfg.cell_code.dynamic_len();
-    let deadline = skew * (n as u64 - 1) + span + 8;
+    let deadline = plan.cycle_budget(skew * (n as u64 - 1) + span + 8);
     let mut max_occ = 0usize;
+    let mut high_water: BTreeMap<Chan, u64> = BTreeMap::new();
+    let mut ring: VecDeque<TraceEvent> = VecDeque::with_capacity(opts.ring_capacity.min(1024));
+    // Words committed so far per channel, for the drop/corrupt faults.
+    let mut sent: [u64; 2] = [0, 0];
     let mut t: u64 = 0;
     let mut host = host;
+
+    // Builds the structured report for a violation at cycle `t`.
+    macro_rules! fail {
+        ($err:expr) => {
+            return Err(Box::new(FaultReport {
+                error: $err,
+                cycles_run: t,
+                queue_high_water: high_water.clone(),
+                recent_events: ring.iter().copied().collect(),
+                claims: opts.claims.clone(),
+                injected: plan.describe(),
+            }))
+        };
+    }
+    macro_rules! record {
+        ($ev:expr) => {{
+            let ev: TraceEvent = $ev;
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(ev);
+            }
+            if opts.ring_capacity > 0 {
+                if ring.len() == opts.ring_capacity {
+                    ring.pop_front();
+                }
+                ring.push_back(ev);
+            }
+        }};
+    }
 
     loop {
         if cells.iter().all(|c| c.done) {
             break;
         }
         if t > deadline {
-            return Err(SimError::Hang { cycle: t });
+            fail!(SimError::Hang { cycle: t });
         }
 
         // Fetch this cycle's instruction per active cell and apply due
@@ -245,7 +335,10 @@ fn run_impl(
                 };
                 match m {
                     MemField::Read { addr, dst } => {
-                        let a = resolve_addr(cfg, &mut cells[p], addr, p, t)?;
+                        let a = match resolve_addr(cfg, &mut cells[p], addr, p, t) {
+                            Ok(a) => a,
+                            Err(e) => fail!(e),
+                        };
                         let v = cells[p].memory[a];
                         if let Some(dst) = dst {
                             let lat = u64::from(cfg.machine.mem_latency);
@@ -253,7 +346,10 @@ fn run_impl(
                         }
                     }
                     MemField::Write { addr, src } => {
-                        let a = resolve_addr(cfg, &mut cells[p], addr, p, t)?;
+                        let a = match resolve_addr(cfg, &mut cells[p], addr, p, t) {
+                            Ok(a) => a,
+                            Err(e) => fail!(e),
+                        };
                         let v = operand(&cells[p].regs, src);
                         cells[p].memory[a] = v;
                     }
@@ -264,18 +360,41 @@ fn run_impl(
                 let (dir, chan) = io_unindex(io_idx);
                 match field {
                     IoField::Send { src, .. } => {
-                        let v = operand(&cells[p].regs, *src);
-                        if dir != cfg.flow {
-                            return Err(SimError::WrongDirection { cell: p, cycle: t });
+                        let mut v = operand(&cells[p].regs, *src);
+                        if dir != flow {
+                            fail!(SimError::WrongDirection { cell: p, cycle: t });
                         }
-                        if let Some(tr) = trace.as_deref_mut() {
-                            tr.push(TraceEvent {
-                                cycle: t,
-                                cell: p,
-                                chan,
-                                is_recv: false,
-                                value: v,
-                            });
+                        // In-transit faults: the word may be corrupted
+                        // or vanish between the send and its delivery.
+                        let word_idx = sent[chan_idx(chan)];
+                        sent[chan_idx(chan)] += 1;
+                        let mut dropped = false;
+                        for fault in &plan.faults {
+                            match fault {
+                                Fault::DropWord { chan: c, index }
+                                    if *c == chan && *index == word_idx =>
+                                {
+                                    dropped = true;
+                                }
+                                Fault::CorruptWord { chan: c, index }
+                                    if *c == chan && *index == word_idx =>
+                                {
+                                    v = f32::from_bits(
+                                        v.to_bits() ^ plan.corruption_mask(word_idx),
+                                    );
+                                }
+                                _ => {}
+                            }
+                        }
+                        record!(TraceEvent {
+                            cycle: t,
+                            cell: p,
+                            chan,
+                            is_recv: false,
+                            value: v,
+                        });
+                        if dropped {
+                            continue;
                         }
                         if p + 1 == n {
                             boundary_out[chan_idx(chan)].push(v);
@@ -284,8 +403,8 @@ fn run_impl(
                         }
                     }
                     IoField::Recv { dst, .. } => {
-                        if dir != cfg.flow.opposite() {
-                            return Err(SimError::WrongDirection { cell: p, cycle: t });
+                        if dir != flow.opposite() {
+                            fail!(SimError::WrongDirection { cell: p, cycle: t });
                         }
                         recvs.push(PendingRecv {
                             pos: p,
@@ -307,21 +426,19 @@ fn run_impl(
                 &mut queues[r.pos][chan_idx(r.chan)]
             };
             let Some(v) = q.pop_front() else {
-                return Err(SimError::QueueUnderflow {
+                fail!(SimError::QueueUnderflow {
                     cell: r.pos,
                     chan: r.chan,
                     cycle: t,
                 });
             };
-            if let Some(tr) = trace.as_deref_mut() {
-                tr.push(TraceEvent {
-                    cycle: t,
-                    cell: r.pos,
-                    chan: r.chan,
-                    is_recv: true,
-                    value: v,
-                });
-            }
+            record!(TraceEvent {
+                cycle: t,
+                cell: r.pos,
+                chan: r.chan,
+                is_recv: true,
+                value: v,
+            });
             if let Some(dst) = r.dst {
                 let local = t - cells[r.pos].start;
                 let lat = u64::from(cfg.machine.io_latency);
@@ -333,12 +450,16 @@ fn run_impl(
         for (p, qs) in queues.iter().enumerate().skip(1) {
             for (ci, q) in qs.iter().enumerate() {
                 max_occ = max_occ.max(q.len());
-                if q.len() > cfg.machine.queue_capacity as usize {
-                    return Err(SimError::QueueOverflow {
+                if !q.is_empty() {
+                    let hw = high_water.entry(chan_of(ci)).or_insert(0);
+                    *hw = (*hw).max(q.len() as u64);
+                }
+                if q.len() > capacity as usize {
+                    fail!(SimError::QueueOverflow {
                         cell: p,
-                        chan: if ci == 0 { Chan::X } else { Chan::Y },
+                        chan: chan_of(ci),
                         cycle: t,
-                        capacity: cfg.machine.queue_capacity,
+                        capacity,
                     });
                 }
             }
@@ -352,7 +473,7 @@ fn run_impl(
     for (chan, sinks) in &cfg.host_program.outputs {
         let collected = &boundary_out[chan_idx(*chan)];
         if collected.len() != sinks.len() {
-            return Err(SimError::OutputCountMismatch {
+            fail!(SimError::OutputCountMismatch {
                 chan: *chan,
                 expected: sinks.len(),
                 got: collected.len(),
@@ -372,8 +493,49 @@ fn run_impl(
         cycles: t,
         fp_ops,
         max_queue_occupancy: max_occ,
+        queue_high_water: high_water,
         words_out,
     })
+}
+
+/// The Adr arrivals for one cell, with the plan's address-stream faults
+/// applied: corrupt in place, delay arrivals, then drop entries (drops
+/// last, so every index refers to the original stream).
+fn faulted_adr_stream(
+    emissions: &[warp_iu::Emission],
+    start: u64,
+    pos: usize,
+    plan: &FaultPlan,
+) -> VecDeque<(u64, u32)> {
+    let mut adr: Vec<(u64, u32)> = emissions
+        .iter()
+        .map(|e| (e.cycle + start, e.addr))
+        .collect();
+    let applies = |cell: &Option<usize>| cell.is_none() || *cell == Some(pos);
+    let mut drops: Vec<usize> = Vec::new();
+    for fault in &plan.faults {
+        match fault {
+            Fault::CorruptAddress { cell, index, addr } if applies(cell) => {
+                if let Some(slot) = adr.get_mut(*index) {
+                    slot.1 = *addr;
+                }
+            }
+            Fault::DelayAddresses { cell, cycles } if applies(cell) => {
+                for slot in &mut adr {
+                    slot.0 += cycles;
+                }
+            }
+            Fault::DropAddress { cell, index } if applies(cell) => drops.push(*index),
+            _ => {}
+        }
+    }
+    drops.sort_unstable();
+    for index in drops.into_iter().rev() {
+        if index < adr.len() {
+            adr.remove(index);
+        }
+    }
+    adr.into()
 }
 
 fn cell_write(regs: &mut [f32], reg: Reg, value: f32) {

@@ -1,0 +1,183 @@
+//! Structured invariant-violation reports.
+//!
+//! When a machine invariant trips, a bare error string loses the
+//! context needed to judge the compiler's static claims: what bound was
+//! *claimed*, what the machine actually *observed*, and what the array
+//! was doing in the cycles before the trip. [`FaultReport`] packages
+//! all of that — the [`SimError`], per-channel queue-occupancy
+//! high-water marks, a ring buffer of the last trace events, the static
+//! claims under test, and the injected faults (if any) — so the CLI and
+//! the guarantee audit can print a self-contained post-mortem.
+
+use crate::error::SimError;
+use crate::machine::TraceEvent;
+use std::collections::BTreeMap;
+use std::fmt;
+use w2_lang::ast::Chan;
+
+/// The compiler's static claims about a run, carried into the
+/// simulation so a violation report can show claimed vs. observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StaticClaims {
+    /// The minimum skew the analysis computed (paper §6.2.1).
+    pub min_skew: i64,
+    /// The per-channel queue occupancy bound at that skew (§6.2.2).
+    pub queue_occupancy: BTreeMap<Chan, u64>,
+}
+
+/// Everything known at the moment an invariant tripped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultReport {
+    /// The violated invariant.
+    pub error: SimError,
+    /// Global cycles simulated before the trip.
+    pub cycles_run: u64,
+    /// Highest interior-queue occupancy observed per channel, across
+    /// all cells, up to the trip.
+    pub queue_high_water: BTreeMap<Chan, u64>,
+    /// The last trace events before the trip, oldest first (bounded by
+    /// [`SimOptions::ring_capacity`](crate::SimOptions::ring_capacity)).
+    pub recent_events: Vec<TraceEvent>,
+    /// The static claims the run was checking, if the caller supplied
+    /// them.
+    pub claims: Option<StaticClaims>,
+    /// Descriptions of the injected faults active in this run.
+    pub injected: Vec<String>,
+}
+
+impl FaultReport {
+    /// Returns `true` when an observed channel occupancy exceeded the
+    /// claimed bound — the static analysis itself is wrong, not just
+    /// the run's parameters.
+    pub fn claim_exceeded(&self) -> bool {
+        let Some(claims) = &self.claims else {
+            return false;
+        };
+        self.queue_high_water.iter().any(|(chan, &observed)| {
+            claims
+                .queue_occupancy
+                .get(chan)
+                .is_some_and(|&claimed| observed > claimed)
+        })
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fault report: {}", self.error)?;
+        writeln!(f, "  cycles run : {}", self.cycles_run)?;
+        for (chan, observed) in &self.queue_high_water {
+            match self
+                .claims
+                .as_ref()
+                .and_then(|c| c.queue_occupancy.get(chan))
+            {
+                Some(claimed) => writeln!(
+                    f,
+                    "  {chan:?} high water: {observed} word(s) (claimed bound {claimed}{})",
+                    if observed > claimed {
+                        " — EXCEEDED"
+                    } else {
+                        ""
+                    }
+                )?,
+                None => writeln!(f, "  {chan:?} high water: {observed} word(s)")?,
+            }
+        }
+        if let Some(claims) = &self.claims {
+            writeln!(f, "  claimed min skew: {}", claims.min_skew)?;
+        }
+        if !self.injected.is_empty() {
+            writeln!(f, "  injected faults:")?;
+            for d in &self.injected {
+                writeln!(f, "    - {d}")?;
+            }
+        }
+        if !self.recent_events.is_empty() {
+            writeln!(f, "  last {} trace event(s):", self.recent_events.len())?;
+            for e in &self.recent_events {
+                writeln!(
+                    f,
+                    "    cycle {:>6} cell {:>2} {:?} {} {}",
+                    e.cycle,
+                    e.cell,
+                    e.chan,
+                    if e.is_recv { "recv" } else { "send" },
+                    e.value
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FaultReport {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<FaultReport> for SimError {
+    fn from(r: FaultReport) -> SimError {
+        r.error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultReport {
+        FaultReport {
+            error: SimError::QueueUnderflow {
+                cell: 1,
+                chan: Chan::X,
+                cycle: 17,
+            },
+            cycles_run: 17,
+            queue_high_water: [(Chan::X, 3u64)].into_iter().collect(),
+            recent_events: vec![TraceEvent {
+                cycle: 16,
+                cell: 0,
+                chan: Chan::X,
+                is_recv: false,
+                value: 2.5,
+            }],
+            claims: Some(StaticClaims {
+                min_skew: 4,
+                queue_occupancy: [(Chan::X, 2u64)].into_iter().collect(),
+            }),
+            injected: vec!["skew jittered by -1 cycle(s)".to_owned()],
+        }
+    }
+
+    #[test]
+    fn display_shows_claims_and_ring() {
+        let r = sample();
+        let s = r.to_string();
+        assert!(s.contains("queue underflow"), "{s}");
+        assert!(s.contains("claimed bound 2"), "{s}");
+        assert!(s.contains("EXCEEDED"), "{s}");
+        assert!(s.contains("injected faults"), "{s}");
+        assert!(s.contains("cycle     16"), "{s}");
+        assert!(r.claim_exceeded());
+    }
+
+    #[test]
+    fn source_chain_reaches_sim_error() {
+        use std::error::Error as _;
+        let r = sample();
+        let src = r.source().expect("has a source");
+        assert!(src.to_string().contains("queue underflow"));
+        assert_eq!(SimError::from(r.clone()), r.error);
+    }
+
+    #[test]
+    fn within_claims_is_not_exceeded() {
+        let mut r = sample();
+        r.queue_high_water.insert(Chan::X, 2);
+        assert!(!r.claim_exceeded());
+        r.claims = None;
+        assert!(!r.claim_exceeded());
+    }
+}

@@ -188,6 +188,112 @@ fn corpus_all_batch_compiles_every_program() {
 }
 
 #[test]
+fn audit_guarantees_passes_on_a_single_module() {
+    let src = write_temp("audit", DOUBLE);
+    let out = w2c()
+        .arg(&src)
+        .arg("--audit-guarantees")
+        .output()
+        .expect("w2c runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {stdout}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("guarantee audit `double`: PASS"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("nominal"), "{stdout}");
+    assert!(stdout.contains("detect:hang"), "{stdout}");
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn corpus_all_audit_summarizes_per_program() {
+    let out = w2c()
+        .args(["--corpus", "all", "--audit-guarantees"])
+        .output()
+        .expect("w2c runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {stdout}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for name in ["polynomial", "conv1d", "binop", "colorseg", "mandelbrot"] {
+        assert!(stdout.contains(name), "missing `{name}`: {stdout}");
+    }
+    assert!(stdout.contains("guarantee audit:"), "{stdout}");
+    assert!(stdout.contains("0 failed"), "{stdout}");
+}
+
+#[test]
+fn inject_prints_a_fault_report_and_fails() {
+    let src = write_temp("inject", DOUBLE);
+    let out = w2c()
+        .arg(&src)
+        .args(["--inject", "seed=3,truncate=X:2", "--run", "xs=1,2,3,4"])
+        .output()
+        .expect("w2c runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("injecting: seed=3,truncate=X:2"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("fault report: queue underflow"), "{stdout}");
+    assert!(stdout.contains("injected faults:"), "{stdout}");
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn inject_with_no_trip_succeeds() {
+    let src = write_temp("inject-ok", DOUBLE);
+    // Corrupting a data word violates no invariant; the run survives.
+    let out = w2c()
+        .arg(&src)
+        .args(["--inject", "seed=3,corrupt=X:1"])
+        .output()
+        .expect("w2c runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("survived the fault plan"), "{stdout}");
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn malformed_inject_spec_is_a_usage_error() {
+    let out = w2c()
+        .args(["--corpus", "polynomial", "--inject", "seed=x"])
+        .output()
+        .expect("w2c runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --inject spec"), "{stderr}");
+}
+
+#[test]
+fn zero_cells_is_a_usage_error() {
+    let out = w2c()
+        .args(["--corpus", "polynomial", "--cells", "0"])
+        .output()
+        .expect("w2c runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--cells must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn corpus_all_prints_batch_summary() {
+    let out = w2c().args(["--corpus", "all"]).output().expect("w2c runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("batch: 5 ok, 0 failed"), "{stdout}");
+}
+
+#[test]
 fn corpus_all_rejects_single_module_flags() {
     let out = w2c()
         .args(["--corpus", "all", "--run", "xs=1"])
