@@ -27,25 +27,52 @@ use crate::lexer::lex;
 use crate::token::{Token, TokenKind};
 use warp_common::{Diagnostic, DiagnosticBag, Span};
 
+/// Statement-recovery error cap: after this many syntax diagnostics
+/// the parser stops collecting and gives up (one long cascade of
+/// follow-on errors helps nobody).
+pub const MAX_SYNTAX_ERRORS: usize = 16;
+
 /// Parses a W2 module from source text.
+///
+/// Statement lists recover at statement boundaries: a malformed
+/// statement is reported, tokens are skipped up to the next `;` (or to
+/// the enclosing `end`), and parsing continues, so one bad statement
+/// does not hide errors in the rest of the program. At most
+/// [`MAX_SYNTAX_ERRORS`] diagnostics are collected. Errors outside
+/// statement lists (module header, declarations) still stop the parse.
 ///
 /// # Errors
 ///
-/// Returns lexer or parse diagnostics. Parsing stops at the first syntax
-/// error (W2 programs are small; recovery would add little).
+/// Returns every collected lexer or parse diagnostic.
 pub fn parse(source: &str) -> Result<Module, DiagnosticBag> {
     let tokens = lex(source)?;
-    let mut parser = Parser { tokens, pos: 0 };
-    parser.module().map_err(|diag| {
-        let mut bag = DiagnosticBag::new();
-        bag.push(diag);
-        bag
-    })
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        errors: Vec::new(),
+    };
+    let result = parser.module();
+    let mut errors = parser.errors;
+    match result {
+        Ok(module) if errors.is_empty() => Ok(module),
+        other => {
+            if let Err(diag) = other {
+                errors.push(diag);
+            }
+            let mut bag = DiagnosticBag::new();
+            for diag in errors {
+                bag.push(diag);
+            }
+            Err(bag)
+        }
+    }
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Diagnostics recovered at statement boundaries.
+    errors: Vec<Diagnostic>,
 }
 
 type PResult<T> = Result<T, Diagnostic>;
@@ -103,6 +130,51 @@ impl Parser {
                 self.peek_span(),
             )),
         }
+    }
+
+    /// Records a statement-level syntax error and synchronizes to the
+    /// next statement boundary: just past the next `;`, or stopped at
+    /// `end`/end-of-file. Returns `false` once the error budget
+    /// ([`MAX_SYNTAX_ERRORS`]) is exhausted, telling the caller to
+    /// stop parsing this statement list.
+    fn recover_stmt(&mut self, diag: Diagnostic) -> bool {
+        self.errors.push(diag);
+        if self.errors.len() >= MAX_SYNTAX_ERRORS {
+            self.errors.push(Diagnostic::error(
+                format!("too many syntax errors ({MAX_SYNTAX_ERRORS}); giving up"),
+                self.peek_span(),
+            ));
+            return false;
+        }
+        loop {
+            match self.peek() {
+                TokenKind::Semi => {
+                    self.bump();
+                    return true;
+                }
+                TokenKind::End | TokenKind::Eof => return true,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Parses a `... end`-terminated statement list with per-statement
+    /// error recovery.
+    fn stmt_list(&mut self) -> Vec<Stmt> {
+        let mut body = Vec::new();
+        while !matches!(self.peek(), TokenKind::End | TokenKind::Eof) {
+            match self.stmt() {
+                Ok(s) => body.push(s),
+                Err(diag) => {
+                    if !self.recover_stmt(diag) {
+                        break;
+                    }
+                }
+            }
+        }
+        body
     }
 
     fn expect_int(&mut self) -> PResult<i64> {
@@ -240,10 +312,7 @@ impl Parser {
             functions.push(self.function()?);
         }
 
-        let mut body = Vec::new();
-        while self.peek() != &TokenKind::End {
-            body.push(self.stmt()?);
-        }
+        let body = self.stmt_list();
         self.expect(TokenKind::End)?;
         self.eat(&TokenKind::Semi);
         Ok(CellProgram {
@@ -265,10 +334,7 @@ impl Parser {
         while matches!(self.peek(), TokenKind::Float | TokenKind::Int) {
             locals.extend(self.decl()?);
         }
-        let mut body = Vec::new();
-        while self.peek() != &TokenKind::End {
-            body.push(self.stmt()?);
-        }
+        let body = self.stmt_list();
         self.expect(TokenKind::End)?;
         self.eat(&TokenKind::Semi);
         Ok(Function {
@@ -301,10 +367,7 @@ impl Parser {
     /// statement list.
     fn stmt_body(&mut self) -> PResult<Vec<Stmt>> {
         if self.eat(&TokenKind::Begin) {
-            let mut stmts = Vec::new();
-            while self.peek() != &TokenKind::End {
-                stmts.push(self.stmt()?);
-            }
+            let stmts = self.stmt_list();
             self.expect(TokenKind::End)?;
             self.eat(&TokenKind::Semi);
             Ok(stmts)
@@ -810,6 +873,54 @@ end
         )
         .unwrap_err();
         assert!(err.to_string().contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn recovers_and_reports_multiple_statement_errors() {
+        // Three distinct malformed statements: each is reported, and
+        // recovery at the `;` boundary lets the parser reach the next.
+        let err = parse(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; \
+             x := ; \
+             send (R); \
+             x := 1.0; \
+             receive (L, X); \
+             end call f; end",
+        )
+        .unwrap_err();
+        assert!(err.len() >= 3, "expected >= 3 diagnostics, got:\n{err}");
+        assert!(err.has_errors());
+    }
+
+    #[test]
+    fn recovery_stops_at_enclosing_end() {
+        // The bad statement has no `;` before `end`; recovery must stop
+        // at `end` rather than eating it (which would cascade).
+        let err = parse(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; x := + end call f; end",
+        )
+        .unwrap_err();
+        assert!(err.has_errors());
+        // Exactly one statement error (plus nothing from the cascade).
+        assert_eq!(err.len(), 1, "{err}");
+    }
+
+    #[test]
+    fn error_count_is_capped() {
+        let bad = "x := ; ".repeat(3 * MAX_SYNTAX_ERRORS);
+        let src = format!(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; {bad} end call f; end"
+        );
+        let err = parse(&src).unwrap_err();
+        assert!(
+            err.len() <= MAX_SYNTAX_ERRORS + 2,
+            "cap exceeded: {} diagnostics",
+            err.len()
+        );
+        assert!(err.to_string().contains("too many syntax errors"), "{err}");
     }
 
     #[test]

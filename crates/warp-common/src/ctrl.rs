@@ -1,0 +1,397 @@
+//! Cooperative cancellation and injectable time.
+//!
+//! The resilient service layer (`warp-service`) enforces per-job
+//! wall-clock deadlines and cancellation across the whole pipeline:
+//! the [`Session`](../warp_compiler) polls a [`CancelToken`] at pass
+//! boundaries, the skew search polls it inside its enumeration loop,
+//! and the simulator polls it in its cycle loop. All time flows
+//! through the [`Clock`] trait so the entire layer is testable with a
+//! [`ManualClock`] — no real sleeps, no wall-clock flakiness.
+//!
+//! A token is cheap to clone (an `Arc`) and cheap to poll (one atomic
+//! load plus, when a deadline is set, one clock read). The default
+//! token is inert: [`CancelToken::none`] never fires and costs one
+//! branch per poll, so un-budgeted compiles pay nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use warp_common::ctrl::{CancelReason, CancelToken, ManualClock};
+//!
+//! let clock = Arc::new(ManualClock::new(0));
+//! let token = CancelToken::with_deadline(clock.clone(), 100);
+//! assert!(token.check().is_ok());
+//! clock.advance(150);
+//! assert!(matches!(
+//!     token.check(),
+//!     Err(CancelReason::DeadlineExceeded { deadline: 100, now: 150 })
+//! ));
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic tick source. One tick is one microsecond on the
+/// [`SystemClock`]; a [`ManualClock`] gives ticks whatever meaning the
+/// test wants.
+pub trait Clock: Send + Sync {
+    /// Current time in ticks since the clock's origin.
+    fn now_ticks(&self) -> u64;
+
+    /// Blocks until `ticks` have elapsed. The [`SystemClock`] really
+    /// sleeps; the [`ManualClock`] advances itself instantly, so
+    /// backoff/retry logic built on this hook is testable with zero
+    /// real delay.
+    fn sleep_ticks(&self, ticks: u64);
+}
+
+/// Real wall-clock time in microseconds since construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> SystemClock {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ticks(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn sleep_ticks(&self, ticks: u64) {
+        std::thread::sleep(std::time::Duration::from_micros(ticks));
+    }
+}
+
+/// A deterministic clock for tests: time moves only when the test says
+/// so — either explicitly via [`ManualClock::advance`] or implicitly by
+/// a fixed number of ticks per [`Clock::now_ticks`] call
+/// ([`ManualClock::with_auto_advance`]). Auto-advance models "work
+/// takes time" deterministically: every deadline poll is one unit of
+/// progress, so a runaway job exceeds its deadline after a bounded,
+/// reproducible number of polls.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ticks: AtomicU64,
+    auto_advance: u64,
+}
+
+impl ManualClock {
+    /// A clock frozen at `start` ticks.
+    pub fn new(start: u64) -> ManualClock {
+        ManualClock {
+            ticks: AtomicU64::new(start),
+            auto_advance: 0,
+        }
+    }
+
+    /// A clock that advances by `per_read` ticks on every read.
+    pub fn with_auto_advance(start: u64, per_read: u64) -> ManualClock {
+        ManualClock {
+            ticks: AtomicU64::new(start),
+            auto_advance: per_read,
+        }
+    }
+
+    /// Moves time forward by `ticks`.
+    pub fn advance(&self, ticks: u64) {
+        self.ticks.fetch_add(ticks, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ticks(&self) -> u64 {
+        if self.auto_advance == 0 {
+            self.ticks.load(Ordering::SeqCst)
+        } else {
+            self.ticks.fetch_add(self.auto_advance, Ordering::SeqCst)
+        }
+    }
+
+    fn sleep_ticks(&self, ticks: u64) {
+        self.advance(ticks);
+    }
+}
+
+/// Why a cooperative computation was asked to stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Someone called [`CancelToken::cancel`].
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded {
+        /// The deadline, in clock ticks.
+        deadline: u64,
+        /// The clock reading that tripped the check.
+        now: u64,
+    },
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::Cancelled => write!(f, "cancelled"),
+            CancelReason::DeadlineExceeded { deadline, now } => {
+                write!(f, "deadline exceeded ({now} ticks past {deadline})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CancelReason {}
+
+/// Deadline sentinel meaning "no deadline armed".
+const NO_DEADLINE: u64 = u64::MAX;
+
+struct TokenInner {
+    cancelled: AtomicBool,
+    /// Absolute deadline in clock ticks; `NO_DEADLINE` when unarmed.
+    deadline: AtomicU64,
+    clock: Arc<dyn Clock>,
+}
+
+/// A cooperatively polled cancellation handle, optionally carrying a
+/// deadline against an injectable clock.
+///
+/// Long-running loops call [`CancelToken::check`] periodically; the
+/// service layer calls [`CancelToken::cancel`] (or just sets a
+/// deadline) and the loop unwinds with a structured [`CancelReason`]
+/// instead of hanging.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<TokenInner>>,
+}
+
+impl CancelToken {
+    /// The inert token: never cancelled, no deadline.
+    pub fn none() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A cancellable token with no deadline (one can be armed later
+    /// with [`CancelToken::arm_deadline`]).
+    pub fn new(clock: Arc<dyn Clock>) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: AtomicU64::new(NO_DEADLINE),
+                clock,
+            })),
+        }
+    }
+
+    /// A token that trips once `clock` passes `deadline_ticks`.
+    pub fn with_deadline(clock: Arc<dyn Clock>, deadline_ticks: u64) -> CancelToken {
+        let t = CancelToken::new(clock);
+        t.arm_deadline(deadline_ticks);
+        t
+    }
+
+    /// Arms (or moves) the deadline. Lets a service hand out a token at
+    /// admission time and start the clock only when the job actually
+    /// begins executing, so queue wait does not eat the budget. No-op
+    /// on the inert token.
+    pub fn arm_deadline(&self, deadline_ticks: u64) {
+        if let Some(inner) = &self.inner {
+            inner.deadline.store(deadline_ticks, Ordering::SeqCst);
+        }
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Polls the token: `Err` once cancelled or past the deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`CancelReason::Cancelled`] after [`CancelToken::cancel`], or
+    /// [`CancelReason::DeadlineExceeded`] once the clock passes the
+    /// deadline.
+    pub fn check(&self) -> Result<(), CancelReason> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.cancelled.load(Ordering::SeqCst) {
+            return Err(CancelReason::Cancelled);
+        }
+        let deadline = inner.deadline.load(Ordering::SeqCst);
+        if deadline != NO_DEADLINE {
+            let now = inner.clock.now_ticks();
+            if now > deadline {
+                return Err(CancelReason::DeadlineExceeded { deadline, now });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` once [`CancelToken::check`] would fail.
+    pub fn is_stopped(&self) -> bool {
+        self.check().is_err()
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "CancelToken::none"),
+            Some(inner) => {
+                let deadline = inner.deadline.load(Ordering::SeqCst);
+                f.debug_struct("CancelToken")
+                    .field("cancelled", &inner.cancelled.load(Ordering::SeqCst))
+                    .field("deadline", &(deadline != NO_DEADLINE).then_some(deadline))
+                    .finish()
+            }
+        }
+    }
+}
+
+/// Two tokens are equal when they share state (or are both inert).
+/// This exists so option structs carrying a token can stay
+/// `PartialEq`-derivable.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// SplitMix64: the tiny deterministic generator behind seeded fault
+/// corruption masks, audit input data, and the service layer's retry
+/// jitter. Stateless: feed it any counter or hash.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_fires() {
+        let t = CancelToken::none();
+        assert!(t.check().is_ok());
+        t.cancel();
+        assert!(t.check().is_ok());
+        assert!(!t.is_stopped());
+        assert_eq!(t, CancelToken::default());
+    }
+
+    #[test]
+    fn cancel_observed_by_clones() {
+        let clock = Arc::new(ManualClock::new(0));
+        let t = CancelToken::new(clock);
+        let t2 = t.clone();
+        assert!(t2.check().is_ok());
+        t.cancel();
+        assert_eq!(t2.check(), Err(CancelReason::Cancelled));
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn deadline_uses_injected_clock() {
+        let clock = Arc::new(ManualClock::new(10));
+        let t = CancelToken::with_deadline(clock.clone(), 20);
+        assert!(t.check().is_ok());
+        clock.advance(10); // now == deadline: still fine
+        assert!(t.check().is_ok());
+        clock.advance(1);
+        assert_eq!(
+            t.check(),
+            Err(CancelReason::DeadlineExceeded {
+                deadline: 20,
+                now: 21
+            })
+        );
+    }
+
+    #[test]
+    fn auto_advance_is_deterministic() {
+        let clock = ManualClock::with_auto_advance(0, 5);
+        assert_eq!(clock.now_ticks(), 0);
+        assert_eq!(clock.now_ticks(), 5);
+        assert_eq!(clock.now_ticks(), 10);
+        // A deadline of 12 trips on the poll after tick 12 is passed.
+        let clock = Arc::new(ManualClock::with_auto_advance(0, 5));
+        let t = CancelToken::with_deadline(clock, 12);
+        let polls = (0..10).take_while(|_| t.check().is_ok()).count();
+        assert_eq!(polls, 3, "polls read ticks 0, 5, 10, then 15 > 12");
+    }
+
+    #[test]
+    fn deadline_armed_after_construction() {
+        let clock = Arc::new(ManualClock::new(0));
+        let t = CancelToken::new(clock.clone());
+        clock.advance(1000); // queue wait: no deadline armed yet
+        assert!(t.check().is_ok());
+        t.arm_deadline(clock.now_ticks() + 50);
+        assert!(t.check().is_ok());
+        clock.advance(51);
+        assert_eq!(
+            t.check(),
+            Err(CancelReason::DeadlineExceeded {
+                deadline: 1050,
+                now: 1051
+            })
+        );
+    }
+
+    #[test]
+    fn manual_sleep_advances_instantly() {
+        let c = ManualClock::new(0);
+        c.sleep_ticks(250);
+        assert_eq!(c.now_ticks(), 250);
+    }
+
+    #[test]
+    fn system_clock_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ticks();
+        let b = c.now_ticks();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn reason_display() {
+        assert_eq!(CancelReason::Cancelled.to_string(), "cancelled");
+        let r = CancelReason::DeadlineExceeded {
+            deadline: 5,
+            now: 9,
+        };
+        assert!(r.to_string().contains("deadline exceeded"), "{r}");
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Deterministic and bit-mixing: distinct inputs, distinct outputs.
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

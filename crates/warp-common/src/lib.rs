@@ -16,6 +16,8 @@
 //!   IR arenas (DAG nodes, basic blocks, registers, …).
 //! * [`Artifact`], [`PassObserver`] and [`PassTiming`] — the pass
 //!   observation hooks the driver's pass manager is built on.
+//! * [`CancelToken`], [`Clock`] and friends — cooperative cancellation
+//!   and injectable time for the resilient service layer.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 //! assert_eq!(bound.ceil(), 18);
 //! ```
 
+pub mod ctrl;
 pub mod diag;
 pub mod idvec;
 pub mod intern;
@@ -34,6 +37,7 @@ pub mod observe;
 pub mod rat;
 pub mod span;
 
+pub use ctrl::{splitmix64, CancelReason, CancelToken, Clock, ManualClock, SystemClock};
 pub use diag::{Diagnostic, DiagnosticBag, Severity};
 pub use idvec::IdVec;
 pub use intern::{Interner, Symbol};

@@ -24,8 +24,11 @@
 
 use std::process::ExitCode;
 use warp_common::{observe, CollectDumps};
-use warp_compiler::{audit, compile_many, corpus, passes, CompileOptions, CompiledModule, Session};
+use warp_compiler::{
+    audit, corpus, passes, service, CompileOptions, CompiledModule, ServiceConfig, Session,
+};
 use warp_ir::LowerOptions;
+use warp_service::{ExecutorConfig, JobOutcome};
 use warp_sim::{FaultPlan, SimOptions};
 
 /// `--emit` kinds: the Table 7-1 metrics and listings, plus one kind
@@ -247,19 +250,38 @@ fn corpus_all(args: &Args) -> ExitCode {
     if args.audit {
         return corpus_audit(args);
     }
-    let sources: Vec<&str> = corpus::TABLE_7_1.iter().map(|(_, src)| *src).collect();
-    let results = compile_many(&sources, &args.opts);
-    let mut failed = 0usize;
+    // Batch-compile through the compile service so the summary carries
+    // per-job wall times and resilience outcomes (degraded, timed out,
+    // quarantined), not just pass/fail.
+    let named: Vec<(String, String)> = corpus::TABLE_7_1
+        .iter()
+        .map(|(name, src)| ((*name).to_owned(), (*src).to_owned()))
+        .collect();
+    let batch = service::compile_batch_named(
+        named,
+        &args.opts,
+        &ServiceConfig {
+            exec: ExecutorConfig {
+                queue_capacity: 0,
+                ..ExecutorConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    );
     println!(
         "{:<12} {:>9} {:>11} {:>9} {:>6} {:>6} {:>13}",
         "name", "W2 lines", "cell ucode", "IU ucode", "skew", "cells", "compile time"
     );
-    for ((name, _), result) in corpus::TABLE_7_1.iter().zip(&results) {
-        match result {
-            Ok(m) => {
+    let mut failed = 0usize;
+    let mut modules: Vec<&CompiledModule> = Vec::new();
+    for job in &batch.jobs {
+        match &job.outcome {
+            JobOutcome::Success(s) => {
+                let m = &s.value;
+                modules.push(m);
                 println!(
                     "{:<12} {:>9} {:>11} {:>9} {:>6} {:>6} {:>13.1?}",
-                    name,
+                    job.name,
                     m.metrics.w2_lines,
                     m.metrics.cell_ucode,
                     m.metrics.iu_ucode,
@@ -268,16 +290,23 @@ fn corpus_all(args: &Args) -> ExitCode {
                     m.metrics.compile_time,
                 );
             }
-            Err(diags) => {
+            JobOutcome::Failed {
+                error: warp_compiler::CompileFailure::Diagnostics(diags),
+                ..
+            } => {
                 failed += 1;
-                eprintln!("{name}: FAILED\n{diags}");
+                eprintln!("{}: FAILED\n{diags}", job.name);
+            }
+            other => {
+                failed += 1;
+                eprintln!("{}: {}", job.name, other.label());
             }
         }
     }
-    println!("batch: {} ok, {} failed", results.len() - failed, failed);
+    print!("{}", batch.summary());
     if args.time_passes {
-        for result in results.iter().flatten() {
-            print_time_passes(result);
+        for module in modules {
+            print_time_passes(module);
         }
     }
     if failed > 0 {
@@ -428,7 +457,13 @@ fn main() -> ExitCode {
                     .filter(|(_, v)| v.kind == w2_lang::hir::VarKind::Host)
                     .map(|(_, v)| v.name.clone())
                 {
-                    let data = report.host.get(&name).expect("host variable exists");
+                    let data = match report.host.get(&name) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            eprintln!("cannot read host variable `{name}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
                     let preview: Vec<String> =
                         data.iter().take(8).map(|v| format!("{v}")).collect();
                     println!(
@@ -461,16 +496,25 @@ fn main() -> ExitCode {
             }
             match warp_compiler::oracle::interpret(&hir, &host) {
                 Ok(want) => {
-                    let sim = module
-                        .run_with(n_cells, module.skew.min_skew, &inputs)
-                        .expect("already ran once");
+                    let sim = match module.run_with(n_cells, module.skew.min_skew, &inputs) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("--check re-run failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
                     let mut mismatches = 0usize;
                     for (_, v) in module.ir.vars.iter() {
                         if v.kind != w2_lang::hir::VarKind::Host {
                             continue;
                         }
-                        let a = sim.host.get(&v.name).expect("host variable exists");
-                        let b = want.get(&v.name).expect("host variable exists");
+                        let (a, b) = match (sim.host.get(&v.name), want.get(&v.name)) {
+                            (Ok(a), Ok(b)) => (a, b),
+                            (Err(e), _) | (_, Err(e)) => {
+                                eprintln!("--check cannot read `{}`: {e}", v.name);
+                                return ExitCode::FAILURE;
+                            }
+                        };
                         for k in 0..a.len() {
                             if a[k].to_bits() != b[k].to_bits() {
                                 if mismatches < 5 {

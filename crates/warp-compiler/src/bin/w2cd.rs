@@ -1,0 +1,221 @@
+//! `w2cd` — the long-running W2 compile service.
+//!
+//! ```text
+//! w2cd [--deadline-ms N] [--queue-capacity N] [--max-attempts N]
+//!      [--breaker-threshold N] [--skew-max-events N]
+//!      [--max-cell-cycles N] [--workers N]
+//! w2cd --corpus [same flags]       (one-shot: queue Table 7-1, run, exit)
+//! ```
+//!
+//! The daemon wraps the compiler pipeline in the resilient executor of
+//! `warp-service`: a bounded job queue with load shedding, per-job
+//! wall-clock deadlines and pipeline budgets, cooperative cancellation,
+//! panic isolation, and a per-program circuit breaker. It reads a
+//! line-oriented protocol from stdin:
+//!
+//! ```text
+//! corpus NAME|all         queue a Table 7-1 program (or all five)
+//! submit NAME FILE.w2     queue a source file under NAME
+//! run                     drain the queue in parallel, print the batch summary
+//! status                  queue depth and quarantined names
+//! reset NAME              reopen the circuit breaker for NAME
+//! quit                    exit (EOF works too)
+//! ```
+//!
+//! Every response is a single line (or an indented block for `run`),
+//! so the daemon is scriptable: the CI smoke test pipes a command
+//! sequence in and asserts on the summary.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use warp_compiler::{
+    corpus,
+    service::{CompileService, ServiceConfig},
+    CompileOptions,
+};
+use warp_service::{Admission, ExecutorConfig};
+
+struct DaemonArgs {
+    config: ServiceConfig,
+    opts: CompileOptions,
+    one_shot_corpus: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: w2cd [--deadline-ms N] [--queue-capacity N] [--max-attempts N]\n\
+         \x20           [--breaker-threshold N] [--skew-max-events N]\n\
+         \x20           [--max-cell-cycles N] [--workers N]\n\
+         \x20      w2cd --corpus [same flags]\n\
+         \x20  stdin protocol: corpus NAME|all, submit NAME FILE.w2, run,\n\
+         \x20                  status, reset NAME, quit"
+    );
+    std::process::exit(2)
+}
+
+fn parse_u64(args: &mut impl Iterator<Item = String>) -> u64 {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
+fn parse_args() -> DaemonArgs {
+    let mut parsed = DaemonArgs {
+        config: ServiceConfig {
+            exec: ExecutorConfig {
+                queue_capacity: 64,
+                // SystemClock ticks are microseconds; default to a
+                // 30-second budget per job, spanning retries.
+                deadline_ticks: 30_000_000,
+                max_attempts: 1,
+                breaker_threshold: 3,
+                ..ExecutorConfig::default()
+            },
+            // Generous defaults that the Table 7-1 corpus clears
+            // easily but a pathological loop nest will not.
+            skew_max_events: 50_000_000,
+            max_cell_cycles: 100_000_000,
+            workers: 0,
+        },
+        opts: CompileOptions::default(),
+        one_shot_corpus: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--corpus" => parsed.one_shot_corpus = true,
+            "--deadline-ms" => {
+                parsed.config.exec.deadline_ticks = parse_u64(&mut args).saturating_mul(1_000);
+            }
+            "--queue-capacity" => {
+                parsed.config.exec.queue_capacity = parse_u64(&mut args) as usize;
+            }
+            "--max-attempts" => {
+                parsed.config.exec.max_attempts =
+                    parse_u64(&mut args).min(u64::from(u32::MAX)) as u32;
+            }
+            "--breaker-threshold" => {
+                parsed.config.exec.breaker_threshold =
+                    parse_u64(&mut args).min(u64::from(u32::MAX)) as u32;
+            }
+            "--skew-max-events" => parsed.config.skew_max_events = parse_u64(&mut args),
+            "--max-cell-cycles" => parsed.config.max_cell_cycles = parse_u64(&mut args),
+            "--workers" => parsed.config.workers = parse_u64(&mut args) as usize,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn queue_corpus(svc: &mut CompileService, which: &str) -> Result<(), String> {
+    let programs: Vec<(&str, &str)> = if which == "all" {
+        corpus::TABLE_7_1.to_vec()
+    } else {
+        match corpus::TABLE_7_1.iter().find(|(n, _)| *n == which) {
+            Some(p) => vec![*p],
+            None => return Err(format!("unknown corpus program `{which}`")),
+        }
+    };
+    for (name, src) in programs {
+        report_admission(name, &svc.submit(name, src));
+    }
+    Ok(())
+}
+
+fn report_admission(name: &str, admission: &Admission) {
+    match admission {
+        Admission::Accepted { id, .. } => println!("accepted {name} id={id}"),
+        Admission::Rejected { retry_after_ticks } => {
+            println!("rejected {name} retry-after-ticks={retry_after_ticks}");
+        }
+    }
+}
+
+fn run_batch(svc: &mut CompileService) -> bool {
+    let batch = svc.run_parallel();
+    print!("{}", batch.summary());
+    let healthy = batch.is_healthy();
+    if !healthy {
+        println!("batch unhealthy: timeouts, panics, or quarantined programs present");
+    }
+    healthy && batch.failed() == 0
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut svc = CompileService::with_system_clock(args.opts.clone(), args.config.clone());
+
+    if args.one_shot_corpus {
+        if let Err(e) = queue_corpus(&mut svc, "all") {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        return if run_batch(&mut svc) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    println!(
+        "w2cd ready (queue {}, deadline {} ms, breaker threshold {})",
+        args.config.exec.queue_capacity,
+        args.config.exec.deadline_ticks / 1_000,
+        args.config.exec.breaker_threshold,
+    );
+    let stdin = std::io::stdin();
+    let mut all_clean = true;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        };
+        let mut words = line.split_whitespace();
+        match words.next() {
+            None => {}
+            Some("quit") => break,
+            Some("corpus") => {
+                let which = words.next().unwrap_or("all");
+                if let Err(e) = queue_corpus(&mut svc, which) {
+                    println!("error: {e}");
+                }
+            }
+            Some("submit") => match (words.next(), words.next()) {
+                (Some(name), Some(path)) => match std::fs::read_to_string(path) {
+                    Ok(source) => report_admission(name, &svc.submit(name, source)),
+                    Err(e) => println!("error: cannot read `{path}`: {e}"),
+                },
+                _ => println!("error: usage: submit NAME FILE.w2"),
+            },
+            Some("run") => {
+                all_clean &= run_batch(&mut svc);
+            }
+            Some("status") => {
+                println!(
+                    "queued={} quarantined=[{}]",
+                    svc.queue_len(),
+                    svc.quarantined_names().join(", ")
+                );
+            }
+            Some("reset") => match words.next() {
+                Some(name) => {
+                    svc.reset_breaker(name);
+                    println!("breaker reset for {name}");
+                }
+                None => println!("error: usage: reset NAME"),
+            },
+            Some(other) => println!("error: unknown command `{other}`"),
+        }
+        let _ = std::io::stdout().flush();
+    }
+
+    if all_clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -48,13 +48,15 @@ pub mod corpus;
 pub mod oracle;
 pub mod passes;
 pub mod reference;
+pub mod service;
 mod session;
 
+pub use service::{BatchReport, CompileService, ServiceConfig};
 pub use session::{compile_many, Session};
 
 use std::time::Duration;
 use warp_cell::{CellCode, CellMachine};
-use warp_common::{DiagnosticBag, PassTiming};
+use warp_common::{CancelReason, CancelToken, DiagnosticBag, PassTiming};
 use warp_host::{HostError, HostMemory, HostProgram};
 use warp_ir::{comm, CellIr, LowerOptions};
 use warp_iu::{IuOptions, IuProgram};
@@ -77,6 +79,104 @@ pub struct CompileOptions {
     /// reorders operations across iterations, which the paper's
     /// successors (not this paper) automated.
     pub software_pipeline: bool,
+}
+
+/// Resource-control knobs for one compilation, injected by the service
+/// layer: cooperative cancellation polled at every pass boundary (and
+/// inside the skew enumeration), a budget slice for the exact skew
+/// engine, and an IR-size ceiling checked between passes. The default
+/// is fully inert — un-budgeted compiles behave exactly as before.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionCtrl {
+    /// Cancellation handle; checked before every pass and threaded into
+    /// the skew analysis.
+    pub cancel: CancelToken,
+    /// Budget on dynamic I/O events for the skew pass's exact
+    /// enumeration (`0` = unlimited). Exceeding it degrades the skew
+    /// report to conservative closed-form bounds
+    /// ([`warp_skew::SkewReport::degraded`]).
+    pub skew_max_events: u64,
+    /// Ceiling on the dynamic length of the generated cell program in
+    /// cycles, checked after cell code generation (`0` = unlimited) —
+    /// the memory/IR-size budget guarding against oversized loop
+    /// bounds.
+    pub max_cell_cycles: u64,
+}
+
+/// A structured compilation failure: what stopped the pipeline, and
+/// where. [`Session::try_compile`] returns this; the plain
+/// [`compile`] entry point flattens it back into a [`DiagnosticBag`]
+/// for compatibility.
+#[derive(Clone, Debug)]
+pub enum CompileFailure {
+    /// The program was rejected with ordinary diagnostics.
+    Diagnostics(DiagnosticBag),
+    /// The compilation was cancelled or ran past its deadline; `pass`
+    /// names the pass boundary (or in-pass poll) that observed it.
+    Interrupted {
+        /// The pass that was running (or about to run).
+        pass: &'static str,
+        /// Why the compilation was stopped.
+        reason: CancelReason,
+    },
+    /// The generated cell program exceeded the configured size ceiling
+    /// ([`SessionCtrl::max_cell_cycles`]).
+    TooLarge {
+        /// The pass whose output tripped the ceiling.
+        pass: &'static str,
+        /// Dynamic cell-program length, in cycles.
+        cycles: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+}
+
+impl CompileFailure {
+    /// `true` for the budget-enforcement outcomes (interruption or size
+    /// ceiling) as opposed to an ordinary rejection of the program.
+    pub fn is_budget_failure(&self) -> bool {
+        !matches!(self, CompileFailure::Diagnostics(_))
+    }
+
+    /// Flattens the failure into plain diagnostics.
+    pub fn into_diagnostics(self) -> DiagnosticBag {
+        match self {
+            CompileFailure::Diagnostics(d) => d,
+            other => {
+                let mut diags = DiagnosticBag::new();
+                diags.push(warp_common::Diagnostic::error_global(other.to_string()));
+                diags
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CompileFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileFailure::Diagnostics(d) => write!(f, "{d}"),
+            CompileFailure::Interrupted { pass, reason } => {
+                write!(f, "compilation interrupted during `{pass}`: {reason}")
+            }
+            CompileFailure::TooLarge {
+                pass,
+                cycles,
+                limit,
+            } => write!(
+                f,
+                "cell program too large after `{pass}`: {cycles} cycle(s) exceeds the \
+                 {limit}-cycle ceiling"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileFailure {}
+
+impl From<DiagnosticBag> for CompileFailure {
+    fn from(d: DiagnosticBag) -> CompileFailure {
+        CompileFailure::Diagnostics(d)
+    }
 }
 
 /// Size and timing metrics of one compilation — the columns of Table

@@ -1,0 +1,402 @@
+//! The compile service: Warp compilations as resilient jobs.
+//!
+//! This module binds the generic executor of [`warp_service`] to the
+//! [`Session`] pipeline (DESIGN.md §10). Each submitted source becomes
+//! a named job whose [`SessionCtrl`] carries the executor's
+//! cancellation token and budget knobs, so a deadline or cancellation
+//! reaches every cooperative poll point in the pipeline — pass
+//! boundaries, the skew enumeration, the simulator cycle loop — and
+//! comes back as a structured [`CompileFailure`] instead of a hang.
+//!
+//! Failure classification:
+//!
+//! - [`CompileFailure::Interrupted`] → [`FailureKind::Timeout`] — the
+//!   job's own budget stopped it.
+//! - [`CompileFailure::Diagnostics`] and [`CompileFailure::TooLarge`] →
+//!   [`FailureKind::Permanent`] — deterministic for a given source, so
+//!   retrying is pointless and the circuit breaker should count them.
+//!
+//! The compiler itself never produces transient failures; the
+//! [`FailureKind::Transient`] path exists for service embeddings whose
+//! job closures do I/O around the compile.
+
+use crate::{CompileFailure, CompileOptions, CompiledModule, Session, SessionCtrl};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use warp_common::{Clock, Diagnostic, DiagnosticBag, SystemClock};
+use warp_service::{
+    Admission, Executor, ExecutorConfig, FailureKind, JobFailure, JobOutcome, JobReport, JobSuccess,
+};
+
+/// How the retry/breaker machinery should treat a [`CompileFailure`]:
+/// budget interruptions are timeouts, everything else is permanent.
+pub fn classify_failure(failure: &CompileFailure) -> FailureKind {
+    match failure {
+        CompileFailure::Interrupted { .. } => FailureKind::Timeout,
+        CompileFailure::Diagnostics(_) | CompileFailure::TooLarge { .. } => FailureKind::Permanent,
+    }
+}
+
+/// Configuration of a [`CompileService`]: the generic executor knobs
+/// plus the per-job pipeline budgets threaded into [`SessionCtrl`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Queue, deadline, retry, and breaker parameters.
+    pub exec: ExecutorConfig,
+    /// Event budget for the exact skew enumeration (`0` = unlimited);
+    /// see [`SessionCtrl::skew_max_events`].
+    pub skew_max_events: u64,
+    /// Cell-program size ceiling in cycles (`0` = unlimited); see
+    /// [`SessionCtrl::max_cell_cycles`].
+    pub max_cell_cycles: u64,
+    /// Worker threads for [`CompileService::run_parallel`]
+    /// (`0` = one per available core).
+    pub workers: usize,
+}
+
+/// One compile job's report.
+pub type CompileReport = JobReport<CompiledModule, CompileFailure>;
+
+/// A resilient compile service: submit named W2 sources, then drain
+/// them under the executor's admission control, budgets, retry, and
+/// circuit-breaker policies.
+///
+/// # Examples
+///
+/// ```
+/// use warp_compiler::{corpus, service::{CompileService, ServiceConfig}, CompileOptions};
+///
+/// let mut svc = CompileService::with_system_clock(
+///     CompileOptions::default(),
+///     ServiceConfig::default(),
+/// );
+/// assert!(svc.submit("polynomial", corpus::POLYNOMIAL).is_accepted());
+/// let batch = svc.run();
+/// assert_eq!(batch.succeeded(), 1);
+/// assert!(batch.is_healthy());
+/// ```
+pub struct CompileService {
+    opts: CompileOptions,
+    config: ServiceConfig,
+    executor: Executor<CompiledModule, CompileFailure>,
+}
+
+impl CompileService {
+    /// A service over an injectable clock (tests use a
+    /// [`warp_common::ManualClock`] to exercise deadlines and backoff
+    /// without real sleeps).
+    pub fn new(
+        opts: CompileOptions,
+        config: ServiceConfig,
+        clock: Arc<dyn Clock>,
+    ) -> CompileService {
+        let executor = Executor::new(config.exec.clone(), clock);
+        CompileService {
+            opts,
+            config,
+            executor,
+        }
+    }
+
+    /// A service over the real clock (ticks are microseconds).
+    pub fn with_system_clock(opts: CompileOptions, config: ServiceConfig) -> CompileService {
+        CompileService::new(opts, config, Arc::new(SystemClock::new()))
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.executor.queue_len()
+    }
+
+    /// Admission control: queues a compile job unless the queue is at
+    /// capacity (load shed with a retry hint). The returned token in
+    /// [`Admission::Accepted`] cancels just this job.
+    pub fn submit(&mut self, name: impl Into<String>, source: impl Into<String>) -> Admission {
+        let source = source.into();
+        let opts = self.opts.clone();
+        let skew_max_events = self.config.skew_max_events;
+        let max_cell_cycles = self.config.max_cell_cycles;
+        self.executor.submit(name, move |ctx| {
+            let ctrl = SessionCtrl {
+                cancel: ctx.cancel.clone(),
+                skew_max_events,
+                max_cell_cycles,
+            };
+            match Session::new(opts.clone())
+                .with_ctrl(ctrl)
+                .try_compile(&source)
+            {
+                Ok(module) => {
+                    let degraded = module.skew.degraded;
+                    Ok(JobSuccess {
+                        value: module,
+                        degraded,
+                    })
+                }
+                Err(failure) => Err(JobFailure {
+                    kind: classify_failure(&failure),
+                    error: failure,
+                }),
+            }
+        })
+    }
+
+    /// `true` once the circuit breaker has quarantined `name`.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.executor.is_quarantined(name)
+    }
+
+    /// Names currently quarantined by the circuit breaker.
+    pub fn quarantined_names(&self) -> Vec<String> {
+        self.executor.quarantined_names()
+    }
+
+    /// Clears breaker history for `name` (operator override).
+    pub fn reset_breaker(&mut self, name: &str) {
+        self.executor.reset_breaker(name);
+    }
+
+    /// Drains the queue sequentially.
+    pub fn run(&mut self) -> BatchReport {
+        let jobs = self.executor.run_all();
+        BatchReport::new(jobs, self.executor.quarantined_names())
+    }
+
+    /// Drains the queue on a scoped worker pool
+    /// ([`ServiceConfig::workers`] threads, or one per core when 0).
+    /// Reports come back in submission order.
+    pub fn run_parallel(&mut self) -> BatchReport {
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.config.workers
+        };
+        let jobs = self.executor.run_parallel(workers);
+        BatchReport::new(jobs, self.executor.quarantined_names())
+    }
+}
+
+/// The outcome of draining one batch: per-job reports in submission
+/// order plus the breaker's quarantine list as of the end of the
+/// batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job reports, in submission order.
+    pub jobs: Vec<CompileReport>,
+    /// Names quarantined by the circuit breaker after this batch.
+    pub quarantined: Vec<String>,
+}
+
+impl BatchReport {
+    fn new(jobs: Vec<CompileReport>, quarantined: Vec<String>) -> BatchReport {
+        BatchReport { jobs, quarantined }
+    }
+
+    /// Jobs that produced a module (including degraded ones).
+    pub fn succeeded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_success()).count()
+    }
+
+    /// Successful jobs that degraded to conservative skew bounds.
+    pub fn degraded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_degraded()).count()
+    }
+
+    /// Jobs rejected with diagnostics or a size ceiling (plus panics).
+    pub fn failed(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| {
+                matches!(
+                    j.outcome,
+                    JobOutcome::Failed { .. } | JobOutcome::Panicked { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Jobs stopped by their budget or external cancellation.
+    pub fn timed_out(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::TimedOut { .. }))
+            .count()
+    }
+
+    /// Jobs refused by the circuit breaker.
+    pub fn quarantined_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Quarantined { .. }))
+            .count()
+    }
+
+    /// The job with the largest wall time, if any ran.
+    pub fn slowest(&self) -> Option<&CompileReport> {
+        self.jobs.iter().max_by_key(|j| j.wall_ticks)
+    }
+
+    /// `true` when nothing timed out, panicked, or was quarantined —
+    /// ordinary diagnostic failures are still "healthy" (the service
+    /// did its job; the input was just wrong).
+    pub fn is_healthy(&self) -> bool {
+        self.timed_out() == 0
+            && self.quarantined.is_empty()
+            && self.quarantined_jobs() == 0
+            && !self
+                .jobs
+                .iter()
+                .any(|j| matches!(j.outcome, JobOutcome::Panicked { .. }))
+    }
+
+    /// A human-readable per-job table with a totals line: name,
+    /// outcome, wall time in clock ticks (microseconds under the
+    /// system clock), with the slowest job flagged.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "batch: {} ok ({} degraded), {} failed, {} timed out, {} quarantined",
+            self.succeeded(),
+            self.degraded(),
+            self.failed(),
+            self.timed_out(),
+            self.quarantined_jobs(),
+        );
+        let slowest = self.slowest().map(|j| j.id);
+        let width = self
+            .jobs
+            .iter()
+            .map(|j| j.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for job in &self.jobs {
+            let mark = if slowest == Some(job.id) && self.jobs.len() > 1 {
+                "  <- slowest"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:<11} {:>12} ticks{}",
+                job.name,
+                job.outcome.label(),
+                job.wall_ticks,
+                mark,
+                width = width,
+            );
+        }
+        if !self.quarantined.is_empty() {
+            let _ = writeln!(out, "  quarantined names: {}", self.quarantined.join(", "));
+        }
+        out
+    }
+
+    /// Flattens the batch into per-program compile results in
+    /// submission order — the [`crate::compile_many`] contract. Budget
+    /// stops, panics, and quarantines become diagnostic-bearing
+    /// failures.
+    pub fn into_results(self) -> Vec<Result<CompiledModule, DiagnosticBag>> {
+        self.jobs
+            .into_iter()
+            .map(|job| match job.outcome {
+                JobOutcome::Success(s) => Ok(s.value),
+                JobOutcome::Failed { error, .. } => Err(error.into_diagnostics()),
+                JobOutcome::TimedOut { reason, .. } => {
+                    let mut diags = DiagnosticBag::new();
+                    diags.push(Diagnostic::error_global(format!(
+                        "compilation interrupted: {reason}"
+                    )));
+                    Err(diags)
+                }
+                JobOutcome::Panicked { what, .. } => {
+                    let mut diags = DiagnosticBag::new();
+                    diags.push(Diagnostic::error_global(format!(
+                        "internal compiler error: {what}"
+                    )));
+                    Err(diags)
+                }
+                JobOutcome::Quarantined {
+                    consecutive_failures,
+                } => {
+                    let mut diags = DiagnosticBag::new();
+                    diags.push(Diagnostic::error_global(format!(
+                        "program quarantined by the circuit breaker after \
+                         {consecutive_failures} consecutive failures"
+                    )));
+                    Err(diags)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Batch-compiles `sources` through an inert service (no deadlines, no
+/// retry, no breaker, unbounded queue) on the system clock — the
+/// engine behind [`crate::compile_many`], also used by `w2c` for its
+/// batch summary.
+pub fn compile_batch<S: AsRef<str>>(sources: &[S], opts: &CompileOptions) -> BatchReport {
+    compile_batch_named(
+        sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("input[{i}]"), s.as_ref().to_owned()))
+            .collect(),
+        opts,
+        &ServiceConfig {
+            exec: ExecutorConfig {
+                queue_capacity: 0,
+                ..ExecutorConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Batch-compiles named sources under an explicit [`ServiceConfig`] on
+/// the system clock.
+pub fn compile_batch_named(
+    named_sources: Vec<(String, String)>,
+    opts: &CompileOptions,
+    config: &ServiceConfig,
+) -> BatchReport {
+    let mut svc = CompileService::with_system_clock(opts.clone(), config.clone());
+    let mut shed: Vec<(usize, String)> = Vec::new();
+    for (i, (name, source)) in named_sources.into_iter().enumerate() {
+        if !svc.submit(name.clone(), source).is_accepted() {
+            shed.push((i, name));
+        }
+    }
+    let mut batch = svc.run_parallel();
+    // Load-shed jobs still occupy their submission slot in the report
+    // (a transient failure with zero attempts), so callers keep
+    // positional alignment with their inputs.
+    for (i, name) in shed {
+        let mut diags = DiagnosticBag::new();
+        diags.push(Diagnostic::error_global(
+            "compile service queue full (load shed); retry later",
+        ));
+        batch.jobs.insert(
+            i,
+            JobReport {
+                id: usize::MAX,
+                name,
+                outcome: JobOutcome::Failed {
+                    kind: FailureKind::Transient,
+                    error: CompileFailure::Diagnostics(diags),
+                    attempts: 0,
+                },
+                wall_ticks: 0,
+            },
+        );
+    }
+    batch
+}

@@ -9,9 +9,7 @@
 //! session with no observer; [`compile_many`] batch-compiles several
 //! sources on scoped threads.
 
-use crate::{CompileOptions, CompiledModule, Metrics};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::{CompileFailure, CompileOptions, CompiledModule, Metrics, SessionCtrl};
 use std::time::Instant;
 use w2_lang::parse_and_check;
 use warp_cell::{codegen_with as cell_codegen, CellCodegenOptions};
@@ -40,6 +38,7 @@ use warp_skew::{analyze, SkewOptions};
 /// ```
 pub struct Session<'obs> {
     opts: CompileOptions,
+    ctrl: SessionCtrl,
     diags: DiagnosticBag,
     observer: Option<&'obs mut dyn PassObserver>,
     timings: Vec<PassTiming>,
@@ -50,6 +49,7 @@ impl Session<'static> {
     pub fn new(opts: CompileOptions) -> Session<'static> {
         Session {
             opts,
+            ctrl: SessionCtrl::default(),
             diags: DiagnosticBag::new(),
             observer: None,
             timings: Vec::new(),
@@ -65,10 +65,19 @@ impl<'obs> Session<'obs> {
     ) -> Session<'obs> {
         Session {
             opts,
+            ctrl: SessionCtrl::default(),
             diags: DiagnosticBag::new(),
             observer: Some(observer),
             timings: Vec::new(),
         }
+    }
+
+    /// Attaches resource-control knobs (cancellation, budgets) to the
+    /// session (builder style). The default [`SessionCtrl`] is inert.
+    #[must_use]
+    pub fn with_ctrl(mut self, ctrl: SessionCtrl) -> Session<'obs> {
+        self.ctrl = ctrl;
+        self
     }
 
     /// The session's compile options.
@@ -107,17 +116,62 @@ impl<'obs> Session<'obs> {
         }
     }
 
-    /// Compiles a W2 module by running the full pipeline.
+    /// Checks the cancel token at a pass boundary.
+    fn checkpoint(&self, pass: &'static str) -> Result<(), CompileFailure> {
+        self.ctrl
+            .cancel
+            .check()
+            .map_err(|reason| CompileFailure::Interrupted { pass, reason })
+    }
+
+    /// Classifies a failing pass: a pass that fails while the session's
+    /// cancel token is tripped was interrupted (e.g. the skew
+    /// enumeration observing the token mid-pass), not rejected.
+    fn classify(&self, pass: &'static str, diags: DiagnosticBag) -> CompileFailure {
+        match self.ctrl.cancel.check() {
+            Err(reason) => CompileFailure::Interrupted { pass, reason },
+            Ok(()) => CompileFailure::Diagnostics(diags),
+        }
+    }
+
+    /// Compiles a W2 module by running the full pipeline, flattening
+    /// any structured failure into diagnostics.
     ///
     /// # Errors
     ///
     /// Returns the session's accumulated diagnostics from whichever
     /// pass rejected the program.
-    pub fn compile(mut self, source: &str) -> Result<CompiledModule, DiagnosticBag> {
+    pub fn compile(self, source: &str) -> Result<CompiledModule, DiagnosticBag> {
+        self.try_compile(source)
+            .map_err(CompileFailure::into_diagnostics)
+    }
+
+    /// Compiles a W2 module by running the full pipeline, keeping
+    /// budget-enforcement failures structurally distinct from ordinary
+    /// diagnostics.
+    ///
+    /// The cancel token is checked before every pass; the skew pass
+    /// additionally polls it inside its enumeration loop and degrades
+    /// to closed-form bounds when its event budget runs out; the cell
+    /// program's dynamic length is checked against
+    /// [`SessionCtrl::max_cell_cycles`] right after cell code
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileFailure::Diagnostics`] when a pass rejects the program,
+    /// [`CompileFailure::Interrupted`] on cancellation or deadline
+    /// expiry, [`CompileFailure::TooLarge`] when the size ceiling
+    /// trips.
+    pub fn try_compile(mut self, source: &str) -> Result<CompiledModule, CompileFailure> {
         let start = Instant::now();
 
-        let hir = self.run_pass("frontend", |_| parse_and_check(source))?;
+        self.checkpoint("frontend")?;
+        let hir = self
+            .run_pass("frontend", |_| parse_and_check(source))
+            .map_err(|d| self.classify("frontend", d))?;
 
+        self.checkpoint("comm")?;
         let comm_report = self.run_pass("comm", |_| {
             let report = comm::analyze(&hir);
             if !report.is_mappable() {
@@ -137,34 +191,76 @@ impl<'obs> Session<'obs> {
                 return Err(diags);
             }
             Ok(report)
-        })?;
+        });
+        let comm_report = comm_report.map_err(|d| self.classify("comm", d))?;
 
-        let mut ir = self.run_pass("lower", |opts| lower(&hir, &opts.lower))?;
-        let dec = self.run_pass("decompose", |_| Ok(decompose::decompose(&mut ir)))?;
-        let cell_code = self.run_pass("cell-codegen", |opts| {
-            cell_codegen(
-                &ir,
-                &opts.machine,
-                &CellCodegenOptions {
-                    software_pipeline: opts.software_pipeline,
-                },
-            )
-        })?;
-        let skew = self.run_pass("skew", |opts| {
-            analyze(
-                &cell_code,
-                &ir.loops,
-                &SkewOptions {
-                    method: opts.skew_method,
-                    queue_capacity: u64::from(opts.machine.queue_capacity),
-                    n_cells: ir.n_cells,
-                },
-            )
-        })?;
-        let iu = self.run_pass("iu-codegen", |opts| {
-            warp_iu::iu_codegen(&ir, &dec, &cell_code, &opts.iu)
-        })?;
-        let host = self.run_pass("host-codegen", |_| host_codegen(&ir, &cell_code, skew.flow))?;
+        self.checkpoint("lower")?;
+        let mut ir = self
+            .run_pass("lower", |opts| lower(&hir, &opts.lower))
+            .map_err(|d| self.classify("lower", d))?;
+
+        self.checkpoint("decompose")?;
+        let dec = self
+            .run_pass("decompose", |_| Ok(decompose::decompose(&mut ir)))
+            .map_err(|d| self.classify("decompose", d))?;
+
+        self.checkpoint("cell-codegen")?;
+        let cell_code = self
+            .run_pass("cell-codegen", |opts| {
+                cell_codegen(
+                    &ir,
+                    &opts.machine,
+                    &CellCodegenOptions {
+                        software_pipeline: opts.software_pipeline,
+                    },
+                )
+            })
+            .map_err(|d| self.classify("cell-codegen", d))?;
+
+        // The IR-size/memory ceiling: the dynamic cell-program length
+        // bounds both the simulation cost and the timeline-enumeration
+        // cost downstream, so an oversized loop nest is rejected here —
+        // before the expensive analyses — with a structured failure.
+        if self.ctrl.max_cell_cycles > 0 {
+            let cycles = cell_code.dynamic_len();
+            if cycles > self.ctrl.max_cell_cycles {
+                return Err(CompileFailure::TooLarge {
+                    pass: "cell-codegen",
+                    cycles,
+                    limit: self.ctrl.max_cell_cycles,
+                });
+            }
+        }
+
+        self.checkpoint("skew")?;
+        let ctrl = self.ctrl.clone();
+        let skew = self
+            .run_pass("skew", |opts| {
+                analyze(
+                    &cell_code,
+                    &ir.loops,
+                    &SkewOptions {
+                        method: opts.skew_method,
+                        queue_capacity: u64::from(opts.machine.queue_capacity),
+                        n_cells: ir.n_cells,
+                        cancel: ctrl.cancel.clone(),
+                        max_events: ctrl.skew_max_events,
+                    },
+                )
+            })
+            .map_err(|d| self.classify("skew", d))?;
+
+        self.checkpoint("iu-codegen")?;
+        let iu = self
+            .run_pass("iu-codegen", |opts| {
+                warp_iu::iu_codegen(&ir, &dec, &cell_code, &opts.iu)
+            })
+            .map_err(|d| self.classify("iu-codegen", d))?;
+
+        self.checkpoint("host-codegen")?;
+        let host = self
+            .run_pass("host-codegen", |_| host_codegen(&ir, &cell_code, skew.flow))
+            .map_err(|d| self.classify("host-codegen", d))?;
 
         let metrics = Metrics {
             w2_lines: source.lines().filter(|l| !l.trim().is_empty()).count() as u32,
@@ -189,37 +285,18 @@ impl<'obs> Session<'obs> {
     }
 }
 
-/// Compiles one source, converting a compiler panic into an
-/// "internal compiler error" diagnostic so batch callers degrade to a
-/// per-program failure record instead of losing the whole batch (a
-/// panicking worker would otherwise abort the scope).
-fn compile_guarded(source: &str, opts: &CompileOptions) -> Result<CompiledModule, DiagnosticBag> {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        crate::compile(source, opts)
-    })) {
-        Ok(result) => result,
-        Err(payload) => {
-            let what = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_owned());
-            let mut diags = DiagnosticBag::new();
-            diags.push(Diagnostic::error_global(format!(
-                "internal compiler error: {what}"
-            )));
-            Err(diags)
-        }
-    }
-}
-
 /// Compiles several W2 modules in parallel on scoped threads.
+///
+/// A thin client of the resilient executor (see [`crate::service`]):
+/// each source becomes a job in an inert
+/// [`CompileService`](crate::service::CompileService) — no
+/// deadlines, no retry, no breaker — drained by a scoped worker pool
+/// capped at [`std::thread::available_parallelism`].
 ///
 /// Results are returned in input order regardless of which thread
 /// finished first, and each element equals what a sequential
 /// [`compile`](crate::compile) of the same source would produce
-/// (timing metrics aside). The worker count is capped by
-/// [`std::thread::available_parallelism`].
+/// (timing metrics aside).
 ///
 /// The batch always completes: a program that fails — or even crashes —
 /// the compiler yields an `Err` in its slot while every other program
@@ -238,42 +315,8 @@ pub fn compile_many<S: AsRef<str> + Sync>(
     sources: &[S],
     opts: &CompileOptions,
 ) -> Vec<Result<CompiledModule, DiagnosticBag>> {
-    let n = sources.len();
-    if n == 0 {
+    if sources.is_empty() {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n);
-    if workers <= 1 {
-        return sources
-            .iter()
-            .map(|s| compile_guarded(s.as_ref(), opts))
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<CompiledModule, DiagnosticBag>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = compile_guarded(sources[i].as_ref(), opts);
-                *slots[i].lock().expect("result slot") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every index was claimed by a worker")
-        })
-        .collect()
+    crate::service::compile_batch(sources, opts).into_results()
 }

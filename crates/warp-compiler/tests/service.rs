@@ -1,0 +1,287 @@
+//! End-to-end tests of the resilient compile service: budgets,
+//! cancellation, graceful degradation, and the circuit breaker driven
+//! against the real pipeline on a deterministic clock — no real sleeps,
+//! no wall-clock flakiness.
+//!
+//! The deterministic-time trick: a [`ManualClock`] with auto-advance
+//! charges one tick per deadline poll, so "wall time" is the number of
+//! cooperative cancellation checks a job performs. The Table 7-1 corpus
+//! polls a handful of times per compile (eight pass boundaries plus a
+//! few skew-enumeration polls — their timelines are under 10k events),
+//! while the runaway program below enumerates millions of events and
+//! polls hundreds of times. A deadline between the two kills only the
+//! runaway, deterministically.
+
+use std::sync::Arc;
+use warp_common::{CancelReason, CancelToken, ManualClock};
+use warp_compiler::{
+    audit::{self, AuditOptions},
+    corpus, CompileFailure, CompileOptions, CompileService, ServiceConfig, Session, SessionCtrl,
+};
+use warp_service::{ExecutorConfig, FailureKind, JobOutcome};
+
+/// A structurally valid two-cell program whose skew analysis must
+/// enumerate two million I/O events — far beyond any deadline a test
+/// arms, and far beyond the Table 7-1 corpus (whose timelines stay
+/// under 10k events). It must be multi-cell: a single-cell array has
+/// no interior queues and the skew pass skips the enumeration.
+const RUNAWAY: &str = "module runaway (xs in, ys out) float xs[1000000]; float ys[1000000]; \
+    cellprogram (cid : 0 : 1) begin function f begin float v; int i; \
+    for i := 0 to 999999 do begin receive (L, X, v, xs[i]); send (R, X, v * 2.0, ys[i]); end; \
+    end call f; end";
+
+/// One tick per clock read: a job's budget is its poll count.
+fn auto_clock() -> Arc<ManualClock> {
+    Arc::new(ManualClock::with_auto_advance(0, 1))
+}
+
+fn service(deadline_ticks: u64) -> CompileService {
+    CompileService::new(
+        CompileOptions::default(),
+        ServiceConfig {
+            exec: ExecutorConfig {
+                queue_capacity: 16,
+                deadline_ticks,
+                ..ExecutorConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        auto_clock(),
+    )
+}
+
+/// The acceptance scenario: a pathological job submitted alongside the
+/// full Table 7-1 corpus is killed by its budget with a structured
+/// timeout report while every other job completes.
+#[test]
+fn runaway_job_is_killed_by_its_budget_while_the_corpus_completes() {
+    // 200 polls of budget: corpus programs use ~a dozen each, the
+    // runaway needs hundreds before its skew enumeration would finish.
+    let mut svc = service(200);
+    let (first, rest) = corpus::TABLE_7_1.split_at(2);
+    for (name, source) in first {
+        assert!(svc.submit(*name, *source).is_accepted());
+    }
+    // Sandwich the runaway between corpus programs: jobs before and
+    // after it must be unaffected.
+    assert!(svc.submit("runaway", RUNAWAY).is_accepted());
+    for (name, source) in rest {
+        assert!(svc.submit(*name, *source).is_accepted());
+    }
+
+    let batch = svc.run();
+    assert_eq!(batch.jobs.len(), 6);
+    assert_eq!(batch.succeeded(), 5, "{}", batch.summary());
+    assert_eq!(batch.timed_out(), 1, "{}", batch.summary());
+    assert!(!batch.is_healthy());
+
+    for job in &batch.jobs {
+        if job.name == "runaway" {
+            let JobOutcome::TimedOut { reason, attempts } = &job.outcome else {
+                panic!("runaway must time out, got {}", job.outcome.label());
+            };
+            assert!(
+                matches!(reason, CancelReason::DeadlineExceeded { .. }),
+                "{reason}"
+            );
+            assert_eq!(*attempts, 1);
+            assert!(job.wall_ticks >= 200, "the budget was consumed");
+        } else {
+            assert!(
+                job.outcome.is_success(),
+                "{} must complete, got {}",
+                job.name,
+                job.outcome.label()
+            );
+            assert!(!job.outcome.is_degraded());
+        }
+    }
+    let summary = batch.summary();
+    assert!(summary.contains("runaway"), "{summary}");
+    assert!(summary.contains("timeout"), "{summary}");
+}
+
+/// A deadline that expires mid-pass (inside the skew enumeration, not
+/// at a pass boundary) comes back as a structured
+/// [`CompileFailure::Interrupted`] naming the pass — not a hang, not a
+/// generic diagnostic.
+#[test]
+fn deadline_exceeded_mid_pass_is_a_structured_timeout() {
+    let clock = auto_clock();
+    let token = CancelToken::with_deadline(clock, 50);
+    let failure = Session::new(CompileOptions::default())
+        .with_ctrl(SessionCtrl {
+            cancel: token,
+            ..SessionCtrl::default()
+        })
+        .try_compile(RUNAWAY)
+        .expect_err("a 50-poll budget cannot cover a 2M-event enumeration");
+    let CompileFailure::Interrupted { pass, reason } = failure else {
+        panic!("expected Interrupted, got {failure}");
+    };
+    assert_eq!(pass, "skew", "the enumeration is where the time goes");
+    assert!(
+        matches!(reason, CancelReason::DeadlineExceeded { deadline: 50, .. }),
+        "{reason}"
+    );
+}
+
+/// Cancelling a token before the session starts stops the pipeline at
+/// the first pass boundary.
+#[test]
+fn cancelled_session_stops_at_the_first_checkpoint() {
+    let token = CancelToken::new(auto_clock());
+    token.cancel();
+    let failure = Session::new(CompileOptions::default())
+        .with_ctrl(SessionCtrl {
+            cancel: token,
+            ..SessionCtrl::default()
+        })
+        .try_compile(corpus::POLYNOMIAL)
+        .expect_err("a cancelled token must stop the session");
+    let CompileFailure::Interrupted { pass, reason } = failure else {
+        panic!("expected Interrupted, got {failure}");
+    };
+    assert_eq!(pass, "frontend");
+    assert_eq!(reason, CancelReason::Cancelled);
+}
+
+/// The cell-program size ceiling rejects an oversized loop nest before
+/// the expensive analyses, with a structured report of the excess.
+#[test]
+fn size_ceiling_rejects_oversized_programs_as_permanent() {
+    let mut svc = CompileService::new(
+        CompileOptions::default(),
+        ServiceConfig {
+            max_cell_cycles: 10_000,
+            ..ServiceConfig::default()
+        },
+        auto_clock(),
+    );
+    assert!(svc.submit("runaway", RUNAWAY).is_accepted());
+    let batch = svc.run();
+    let JobOutcome::Failed { kind, error, .. } = &batch.jobs[0].outcome else {
+        panic!("expected Failed, got {}", batch.jobs[0].outcome.label());
+    };
+    assert_eq!(*kind, FailureKind::Permanent, "size is deterministic");
+    let CompileFailure::TooLarge {
+        pass,
+        cycles,
+        limit,
+    } = error
+    else {
+        panic!("expected TooLarge, got {error}");
+    };
+    assert_eq!(*pass, "cell-codegen");
+    assert_eq!(*limit, 10_000);
+    assert!(*cycles > *limit);
+}
+
+/// When the skew event budget runs out the compile still succeeds with
+/// conservative closed-form bounds, the module is flagged `degraded`,
+/// and the guarantee audit (which simulates at the claimed skew) still
+/// passes — the bound is sound, just not claimed tight.
+#[test]
+fn degraded_skew_fallback_still_passes_the_guarantee_audit() {
+    let mut svc = CompileService::new(
+        CompileOptions::default(),
+        ServiceConfig {
+            skew_max_events: 8,
+            ..ServiceConfig::default()
+        },
+        auto_clock(),
+    );
+    assert!(svc.submit("conv1d", corpus::ONED_CONV).is_accepted());
+    let batch = svc.run();
+    assert_eq!(batch.succeeded(), 1, "{}", batch.summary());
+    assert_eq!(batch.degraded(), 1, "{}", batch.summary());
+    assert!(batch.is_healthy(), "degraded is not unhealthy");
+
+    let JobOutcome::Success(success) = &batch.jobs[0].outcome else {
+        panic!("expected success, got {}", batch.jobs[0].outcome.label());
+    };
+    let module = &success.value;
+    assert!(module.skew.degraded);
+
+    let report = audit::audit(module, &AuditOptions::default());
+    assert!(report.passed(), "{report}");
+    let tightness = report
+        .checks
+        .iter()
+        .find(|c| c.name == "skew-tightness")
+        .expect("the audit always reports skew-tightness");
+    assert!(
+        tightness.skipped,
+        "a degraded bound is sound but not claimed tight: {}",
+        tightness.detail
+    );
+}
+
+/// Three consecutive permanent failures trip the per-program breaker:
+/// the fourth submission is refused without running the compiler, and
+/// an operator reset reopens it.
+#[test]
+fn circuit_breaker_quarantines_a_repeatedly_failing_program() {
+    const BROKEN: &str = "module broken (xs in) float xs[4]; \
+        cellprogram (cid : 0 : 0) begin function f begin \
+        this is not w2; end call f; end";
+    let mut svc = CompileService::new(
+        CompileOptions::default(),
+        ServiceConfig {
+            exec: ExecutorConfig {
+                breaker_threshold: 3,
+                ..ExecutorConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        auto_clock(),
+    );
+    for round in 0..3 {
+        assert!(svc.submit("broken", BROKEN).is_accepted());
+        let batch = svc.run();
+        assert_eq!(batch.failed(), 1, "round {round}: {}", batch.summary());
+    }
+    assert!(svc.is_quarantined("broken"));
+
+    assert!(svc.submit("broken", BROKEN).is_accepted());
+    let batch = svc.run();
+    assert_eq!(batch.quarantined_jobs(), 1, "{}", batch.summary());
+    assert_eq!(batch.quarantined, vec!["broken".to_owned()]);
+    assert!(!batch.is_healthy());
+
+    svc.reset_breaker("broken");
+    assert!(!svc.is_quarantined("broken"));
+    // A (fixed) program under the same name runs again after the reset.
+    assert!(svc.submit("broken", corpus::POLYNOMIAL).is_accepted());
+    let batch = svc.run();
+    assert_eq!(batch.succeeded(), 1, "{}", batch.summary());
+}
+
+/// Load shedding at the admission boundary: a full queue rejects with a
+/// retry hint instead of queueing unboundedly.
+#[test]
+fn full_queue_sheds_load_with_a_retry_hint() {
+    let mut svc = CompileService::new(
+        CompileOptions::default(),
+        ServiceConfig {
+            exec: ExecutorConfig {
+                queue_capacity: 2,
+                retry_after_ticks: 777,
+                ..ExecutorConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        auto_clock(),
+    );
+    assert!(svc.submit("a", corpus::POLYNOMIAL).is_accepted());
+    assert!(svc.submit("b", corpus::POLYNOMIAL).is_accepted());
+    match svc.submit("c", corpus::POLYNOMIAL) {
+        warp_service::Admission::Rejected { retry_after_ticks } => {
+            assert_eq!(retry_after_ticks, 777);
+        }
+        warp_service::Admission::Accepted { .. } => panic!("queue of 2 must shed the third job"),
+    }
+    assert_eq!(svc.queue_len(), 2);
+    let batch = svc.run();
+    assert_eq!(batch.succeeded(), 2);
+}

@@ -55,6 +55,16 @@ impl Default for IuOptions {
 /// §6.3.1).
 pub const LOOP_TEST_CYCLES: u64 = 3;
 
+/// A violated generator invariant, reported as a diagnostic so batch
+/// and service callers fail one job instead of aborting the process.
+fn internal_error(msg: impl std::fmt::Display) -> DiagnosticBag {
+    let mut diags = DiagnosticBag::new();
+    diags.push(Diagnostic::error_global(format!(
+        "internal IU code generator error: {msg}"
+    )));
+    diags
+}
+
 struct Plan {
     /// Linear part (loop-coefficient map); constant excluded.
     linear: BTreeMap<LoopId, i64>,
@@ -238,14 +248,18 @@ pub fn iu_codegen(
         if reg_plans <= opts.registers as usize {
             break;
         }
+        // `reg_plans > 0` here, so a victim always exists; the `else`
+        // arm keeps this a structural no-op rather than a panic site.
         let victim = plans
             .iter()
             .enumerate()
             .filter(|(_, p)| !p.to_table)
             .min_by_key(|(_, p)| p.dynamic_count)
-            .map(|(i, _)| i)
-            .expect("nonempty");
-        plans[victim].to_table = true;
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => plans[i].to_table = true,
+            None => break,
+        }
     }
 
     // Table capacity.
@@ -288,10 +302,17 @@ pub fn iu_codegen(
             for &(slot_idx, offset) in &p.emits {
                 let source = if p.to_table {
                     EmitSource::Table
-                } else if offset == 0 {
-                    EmitSource::Reg(p.reg.expect("allocated"))
                 } else {
-                    EmitSource::RegOffset(p.reg.expect("allocated"), offset)
+                    let Some(reg) = p.reg else {
+                        return Err(internal_error(
+                            "IU plan bound for a register was never allocated one",
+                        ));
+                    };
+                    if offset == 0 {
+                        EmitSource::Reg(reg)
+                    } else {
+                        EmitSource::RegOffset(reg, offset)
+                    }
                 };
                 emits[slot_idx] = Some(EmitPlan {
                     cycle: slot_idx as u32,
@@ -299,10 +320,19 @@ pub fn iu_codegen(
                 });
             }
         }
-        block_emits[block_idx] = emits
-            .into_iter()
-            .map(|e| e.expect("every slot planned"))
-            .collect();
+        let mut planned = Vec::with_capacity(emits.len());
+        for (slot_idx, e) in emits.into_iter().enumerate() {
+            match e {
+                Some(e) => planned.push(e),
+                None => {
+                    return Err(internal_error(format!(
+                        "IU address slot {slot_idx} of block {block_idx} was never \
+                         covered by an emission plan"
+                    )));
+                }
+            }
+        }
+        block_emits[block_idx] = planned;
     }
 
     let mut updates_per_loop: HashMap<LoopId, Vec<IuOp>> = HashMap::new();
@@ -310,7 +340,11 @@ pub fn iu_codegen(
         if p.to_table {
             continue;
         }
-        let reg = p.reg.expect("allocated");
+        let Some(reg) = p.reg else {
+            return Err(internal_error(
+                "IU plan bound for a register was never allocated one",
+            ));
+        };
         for (j, &l) in p.nest.iter().enumerate() {
             let c = p.linear.get(&l).copied().unwrap_or(0);
             let delta = match p.nest.get(j + 1) {
@@ -342,7 +376,7 @@ pub fn iu_codegen(
             }
         }
         let mut env: BTreeMap<LoopId, i64> = BTreeMap::new();
-        fill_table(
+        if let Err(d) = fill_table(
             &code.regions,
             ir,
             &flat,
@@ -350,7 +384,10 @@ pub fn iu_codegen(
             &mut env,
             0,
             &mut table,
-        );
+        ) {
+            diags.push(d);
+            return Err(diags);
+        }
     }
 
     // Assemble regions mirroring the cell code.
@@ -421,6 +458,10 @@ fn loop_spans(regions: &[CodeRegion]) -> Vec<(u64, u64)> {
 /// Walks the program in execution order appending table-plan addresses.
 /// `base_idx` is the static index of the first block in `regions`;
 /// every iteration of a loop revisits the same static indices.
+///
+/// A table address that evaluates outside the 32-bit address space
+/// (e.g. a negative subscript reached by the loop bounds) is a
+/// diagnostic, not a panic: the program is wrong, not the compiler.
 fn fill_table(
     regions: &[CodeRegion],
     ir: &CellIr,
@@ -429,7 +470,7 @@ fn fill_table(
     env: &mut BTreeMap<LoopId, i64>,
     base_idx: usize,
     table: &mut Vec<u32>,
-) -> usize {
+) -> Result<usize, Diagnostic> {
     let mut idx = base_idx;
     for r in regions {
         match r {
@@ -438,7 +479,13 @@ fn fill_table(
                     if plan.is_some() {
                         let affine = &flat[idx].slots[slot_idx];
                         let v = affine.eval(env);
-                        table.push(u32::try_from(v).expect("non-negative address"));
+                        let word = u32::try_from(v).map_err(|_| {
+                            Diagnostic::error_global(format!(
+                                "IU table address evaluates to {v}, outside the 32-bit \
+                                 address space (check the subscript against its loop bounds)"
+                            ))
+                        })?;
+                        table.push(word);
                     }
                 }
                 idx += 1;
@@ -448,7 +495,7 @@ fn fill_table(
                 let mut after = idx;
                 for iter in 0..*count {
                     env.insert(*id, lo + iter as i64);
-                    after = fill_table(body, ir, flat, table_slots, env, idx, table);
+                    after = fill_table(body, ir, flat, table_slots, env, idx, table)?;
                 }
                 env.remove(id);
                 if *count == 0 {
@@ -458,7 +505,7 @@ fn fill_table(
             }
         }
     }
-    idx
+    Ok(idx)
 }
 
 fn count_static_blocks(regions: &[CodeRegion]) -> usize {

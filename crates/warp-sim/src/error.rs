@@ -2,6 +2,7 @@
 
 use std::fmt;
 use w2_lang::ast::Chan;
+use warp_common::CancelReason;
 use warp_host::HostError;
 
 /// A violated machine invariant, with the global cycle it surfaced at.
@@ -77,6 +78,16 @@ pub enum SimError {
         /// Cycle the guard tripped.
         cycle: u64,
     },
+    /// The simulation was stopped cooperatively: its
+    /// [`CancelToken`](warp_common::CancelToken) was cancelled or its
+    /// deadline expired. Unlike the other variants this is not a machine
+    /// invariant — it is the service layer reclaiming the worker.
+    Interrupted {
+        /// Cycle the cancellation poll observed the stop request.
+        cycle: u64,
+        /// Why the run was stopped.
+        reason: CancelReason,
+    },
     /// A host-memory binding failed before the array started (unknown
     /// variable name or wrong data length).
     Host(HostError),
@@ -129,6 +140,9 @@ impl fmt::Display for SimError {
             ),
             SimError::Hang { cycle } => {
                 write!(f, "simulation exceeded its cycle budget at cycle {cycle}")
+            }
+            SimError::Interrupted { cycle, reason } => {
+                write!(f, "simulation interrupted at cycle {cycle}: {reason}")
             }
             SimError::Host(e) => write!(f, "{e}"),
         }

@@ -389,13 +389,10 @@ impl std::str::FromStr for FaultPlan {
 }
 
 /// SplitMix64: the tiny deterministic generator behind seeded
-/// corruption masks and the audit's input data.
-pub fn splitmix64(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// corruption masks and the audit's input data. Re-exported from
+/// [`warp_common`] so seeded tooling across the workspace shares one
+/// generator.
+pub use warp_common::splitmix64;
 
 #[cfg(test)]
 mod tests {

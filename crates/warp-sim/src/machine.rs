@@ -27,6 +27,7 @@ use w2_lang::ast::{Chan, Dir};
 use warp_cell::{
     AddrSource, AluOp, CellCode, CellMachine, FpuField, IoField, MemField, Operand, Reg,
 };
+use warp_common::CancelToken;
 use warp_host::{HostMemory, HostProgram, HostWordSource};
 use warp_ir::CmpOp;
 use warp_iu::IuProgram;
@@ -51,7 +52,8 @@ pub struct MachineConfig<'a> {
 }
 
 /// Run-time knobs beyond the machine configuration: fault injection,
-/// the trace ring-buffer depth, and the static claims to audit.
+/// the trace ring-buffer depth, the static claims to audit, and the
+/// service layer's cooperative cancellation hooks.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimOptions {
     /// Faults to inject (empty plan = a clean run).
@@ -60,6 +62,12 @@ pub struct SimOptions {
     pub ring_capacity: usize,
     /// The compiler's static claims, echoed into any [`FaultReport`].
     pub claims: Option<StaticClaims>,
+    /// Cancellation handle polled every [`SimOptions::poll_interval`]
+    /// cycles; the inert default costs one branch per poll.
+    pub cancel: CancelToken,
+    /// How many simulated cycles between cancellation polls. A stop
+    /// request is observed within at most this many cycles.
+    pub poll_interval: u64,
 }
 
 impl Default for SimOptions {
@@ -68,6 +76,8 @@ impl Default for SimOptions {
             plan: FaultPlan::default(),
             ring_capacity: 32,
             claims: None,
+            cancel: CancelToken::none(),
+            poll_interval: 1024,
         }
     }
 }
@@ -276,12 +286,18 @@ fn run_impl(
         }};
     }
 
+    let poll_interval = opts.poll_interval.max(1);
     loop {
         if cells.iter().all(|c| c.done) {
             break;
         }
         if t > deadline {
             fail!(SimError::Hang { cycle: t });
+        }
+        if t.is_multiple_of(poll_interval) {
+            if let Err(reason) = opts.cancel.check() {
+                fail!(SimError::Interrupted { cycle: t, reason });
+            }
         }
 
         // Fetch this cycle's instruction per active cell and apply due

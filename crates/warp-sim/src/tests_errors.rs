@@ -550,6 +550,7 @@ mod fault_plan {
                 plan: FaultPlan::new(1).with(Fault::SkewDelta(-1)),
                 ring_capacity: 4,
                 claims: Some(claims.clone()),
+                ..SimOptions::default()
             },
         )
         .expect_err("underflows");
@@ -572,6 +573,76 @@ mod fault_plan {
             unreachable!("unexpected error variant:\n{report}")
         }
     }
+}
+
+#[test]
+fn cancelled_token_stops_the_run_at_the_first_poll() {
+    use crate::{run_with_options, SimOptions};
+    use std::sync::Arc;
+    use warp_common::ctrl::{CancelReason, CancelToken, ManualClock};
+
+    let code = one_block(vec![MicroInst::default(); 200]);
+    let iu = no_iu();
+    let hp = warp_host::HostProgram::default();
+    let machine = CellMachine::default();
+    let token = CancelToken::new(Arc::new(ManualClock::new(0)));
+    token.cancel();
+    let opts = SimOptions {
+        cancel: token,
+        poll_interval: 16,
+        ..SimOptions::default()
+    };
+    let report = run_with_options(&cfg(&code, &iu, &hp, &machine), empty_host(), &opts)
+        .expect_err("a cancelled token must interrupt the run");
+    let SimError::Interrupted { cycle, reason } = report.error else {
+        unreachable!("unexpected error variant: {}", report.error)
+    };
+    assert_eq!(reason, CancelReason::Cancelled);
+    assert!(
+        cycle < opts.poll_interval,
+        "a pre-set cancel is observed within one poll interval, got cycle {cycle}"
+    );
+}
+
+#[test]
+fn deadline_interrupts_within_one_poll_interval() {
+    use crate::{run_with_options, SimOptions};
+    use std::sync::Arc;
+    use warp_common::ctrl::{CancelReason, CancelToken, ManualClock};
+
+    // Each deadline poll reads the clock once and advances it by one
+    // tick, so the run "spends" one tick per poll. With a deadline of
+    // 10 ticks, poll k reads tick k and the first failing read is
+    // k = 11 — at simulated cycle 11 * poll_interval, exactly one poll
+    // interval after the deadline was last satisfied.
+    const POLL: u64 = 4;
+    const DEADLINE: u64 = 10;
+    let code = one_block(vec![MicroInst::default(); 200]);
+    let iu = no_iu();
+    let hp = warp_host::HostProgram::default();
+    let machine = CellMachine::default();
+    let clock = Arc::new(ManualClock::with_auto_advance(0, 1));
+    let token = CancelToken::with_deadline(clock, DEADLINE);
+    let opts = SimOptions {
+        cancel: token,
+        poll_interval: POLL,
+        ..SimOptions::default()
+    };
+    let report = run_with_options(&cfg(&code, &iu, &hp, &machine), empty_host(), &opts)
+        .expect_err("the deadline must interrupt the run");
+    let SimError::Interrupted { cycle, reason } = report.error else {
+        unreachable!("unexpected error variant: {}", report.error)
+    };
+    assert!(
+        matches!(reason, CancelReason::DeadlineExceeded { deadline: 10, .. }),
+        "{reason}"
+    );
+    assert_eq!(cycle % POLL, 0, "interruptions land on poll boundaries");
+    assert_eq!(
+        cycle,
+        (DEADLINE + 1) * POLL,
+        "stopped within one poll interval of the deadline tripping"
+    );
 }
 
 #[test]

@@ -34,5 +34,7 @@ pub mod timeline;
 pub mod vectors;
 
 pub use skew::{analyze, ModelComparison, SkewMethod, SkewOptions, SkewReport};
-pub use timeline::{visit_events, HostBinding, TimedIo, Timeline};
-pub use vectors::{bound_pair, extract, min_skew_bound, IoStatement, Level, TimingFunction};
+pub use timeline::{try_visit_events, visit_events, EnumStop, HostBinding, TimedIo, Timeline};
+pub use vectors::{
+    bound_pair, extract, min_skew_bound, occupancy_bound, IoStatement, Level, TimingFunction,
+};

