@@ -7,7 +7,7 @@
 //! satisfy the §5.1 staticness restrictions.
 
 pub use crate::ast::{BaseTy, BinOp, Chan, Dir, ParamDir, UnOp};
-use warp_common::{define_id, IdVec, Span};
+use warp_common::{define_id, Diagnostic, IdVec, Span};
 
 define_id!(VarId, "v");
 
@@ -63,6 +63,10 @@ pub struct HirModule {
     pub n_cells: u32,
     /// First cell index.
     pub cell_lo: i64,
+    /// Warning-severity diagnostics raised during checking (unused
+    /// cell locals, dead loop indices). The program is valid; drivers
+    /// should surface these but must not fail compilation over them.
+    pub warnings: Vec<Diagnostic>,
 }
 
 impl HirModule {

@@ -52,6 +52,19 @@ pub fn print_module(m: &Module) -> String {
     out
 }
 
+/// Renders one statement (and its nested bodies) at `depth` levels of
+/// indentation, appending to `out`. Exposed for alternative layouts
+/// built on the canonical forms — e.g. the compact repro printer in
+/// `warp-oracle` — so every printer renders statements identically.
+pub fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    stmt(out, s, depth);
+}
+
+/// Renders one declaration, e.g. `float a[4]` (no trailing `;`).
+pub fn print_decl(d: &VarDecl) -> String {
+    decl(d)
+}
+
 fn decl(d: &VarDecl) -> String {
     let ty = match d.ty {
         BaseTy::Float => "float",

@@ -7,7 +7,8 @@
 use crate::ast::{self, BaseTy, Module, ParamDir, UnOp};
 use crate::hir::*;
 use std::collections::HashMap;
-use warp_common::{DiagnosticBag, IdVec, Span};
+use warp_common::idvec::Id as _;
+use warp_common::{Diagnostic, DiagnosticBag, IdVec, Span};
 
 /// Checks `ast` and lowers it to HIR.
 ///
@@ -28,12 +29,110 @@ pub fn check(ast: &Module) -> Result<HirModule, DiagnosticBag> {
         params: Vec::new(),
         param_dirs: HashMap::new(),
         cell_id_name: ast.cellprogram.cell_id_var.clone(),
+        decl_spans: HashMap::new(),
     };
-    let module = checker.run(ast);
+    let mut module = checker.run(ast);
     if checker.diags.has_errors() {
         Err(checker.diags)
     } else {
+        module.warnings = unused_var_warnings(&module, &checker.decl_spans);
         Ok(module)
+    }
+}
+
+/// Warnings for cell locals and loop indices no statement references.
+/// Cell locals occupy the 4K-word data memory and loop indices occupy
+/// IU state, so a dead declaration is worth flagging — but the program
+/// is still valid, hence warning severity.
+fn unused_var_warnings(module: &HirModule, decl_spans: &HashMap<VarId, Span>) -> Vec<Diagnostic> {
+    let mut used = vec![false; module.vars.len()];
+    mark_used(&module.body, &mut used);
+    module
+        .vars
+        .iter()
+        .filter(|(id, info)| {
+            matches!(info.kind, VarKind::CellLocal | VarKind::LoopIndex) && !used[id.index()]
+        })
+        .map(|(id, info)| {
+            let what = match info.kind {
+                VarKind::LoopIndex => "loop index",
+                _ => "cell-local variable",
+            };
+            Diagnostic::warning(
+                format!("unused {what} `{}`", info.name),
+                decl_spans.get(&id).copied().unwrap_or(Span::DUMMY),
+            )
+        })
+        .collect()
+}
+
+fn mark_used(stmts: &[HirStmt], used: &mut [bool]) {
+    fn lvalue(lv: &HirLValue, used: &mut [bool]) {
+        used[lv.var().index()] = true;
+        if let HirLValue::Elem { indices, .. } = lv {
+            for i in indices {
+                expr(i, used);
+            }
+        }
+    }
+    fn expr(e: &HirExpr, used: &mut [bool]) {
+        match e {
+            HirExpr::ReadVar(v) => used[v.index()] = true,
+            HirExpr::ReadElem { var, indices } => {
+                used[var.index()] = true;
+                for i in indices {
+                    expr(i, used);
+                }
+            }
+            HirExpr::Binary { lhs, rhs, .. } => {
+                expr(lhs, used);
+                expr(rhs, used);
+            }
+            HirExpr::Unary { operand, .. } => expr(operand, used),
+            HirExpr::FloatLit(_) | HirExpr::IntLit(_) => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            HirStmt::Assign { lhs, rhs, .. } => {
+                lvalue(lhs, used);
+                expr(rhs, used);
+            }
+            HirStmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                expr(cond, used);
+                mark_used(then_body, used);
+                mark_used(else_body, used);
+            }
+            HirStmt::For { var, body, .. } => {
+                used[var.index()] = true;
+                mark_used(body, used);
+            }
+            HirStmt::Receive { dst, ext, .. } => {
+                lvalue(dst, used);
+                host_ref(ext, used);
+            }
+            HirStmt::Send { value, ext, .. } => {
+                expr(value, used);
+                host_ref(ext, used);
+            }
+        }
+    }
+    fn host_ref(ext: &Option<HostRef>, used: &mut [bool]) {
+        match ext {
+            Some(HostRef::Var(v)) => used[v.index()] = true,
+            Some(HostRef::Elem { var, indices }) => {
+                used[var.index()] = true;
+                for i in indices {
+                    expr(i, used);
+                }
+            }
+            Some(HostRef::Lit(_)) | None => {}
+        }
     }
 }
 
@@ -54,6 +153,8 @@ struct Checker<'a> {
     params: Vec<(VarId, ParamDir)>,
     param_dirs: HashMap<VarId, ParamDir>,
     cell_id_name: String,
+    /// Declaration site per variable, for post-hoc unused warnings.
+    decl_spans: HashMap<VarId, Span>,
 }
 
 /// The scope a statement body is checked in: the host scope plus at most
@@ -96,6 +197,7 @@ impl<'a> Checker<'a> {
             body,
             n_cells,
             cell_lo: cp.lo,
+            warnings: Vec::new(),
         }
     }
 
@@ -193,6 +295,7 @@ impl<'a> Checker<'a> {
                     dims: decl.dims.clone(),
                     kind,
                 });
+                self.decl_spans.insert(id, decl.span);
                 locals.insert(decl.name.clone(), id);
             }
             self.fn_scopes.insert(f.name.clone(), locals);
@@ -886,6 +989,31 @@ end
         assert_eq!(m.params.len(), 3);
         // Inlined body: receive, for, send, for.
         assert_eq!(m.body.len(), 4);
+        assert!(m.warnings.is_empty(), "{:?}", m.warnings);
+    }
+
+    #[test]
+    fn unused_locals_warn_without_failing() {
+        // `y`, `arr` and `j` in the wrap() preamble are never touched.
+        let m = parse_and_check(&wrap("for i := 0 to 3 do begin x := x + 1.0; end;"))
+            .expect("valid despite unused locals");
+        let msgs: Vec<&str> = m.warnings.iter().map(|w| w.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("cell-local variable `y`")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("cell-local variable `arr`")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("loop index `j`")),
+            "{msgs:?}"
+        );
+        assert!(
+            !msgs.iter().any(|m| m.contains("`i`") || m.contains("`x`")),
+            "used vars must not warn: {msgs:?}"
+        );
     }
 
     #[test]

@@ -290,6 +290,44 @@ pub fn splitmix64(state: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A seeded SplitMix64 stream: [`splitmix64`] applied to an
+/// incrementing counter, packaged as a stateful generator for callers
+/// that draw many values (the program generator, shrink orderings).
+///
+/// Deterministic: the same seed always yields the same stream, so any
+/// artifact derived from one (a generated program, a fault mask) is
+/// reproducible from the seed alone.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream starting at `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = splitmix64(self.state);
+        self.state = self.state.wrapping_add(1);
+        out
+    }
+
+    /// A value in `0..n` (`n` must be nonzero). Simple modulo: the bias
+    /// is irrelevant for test-case generation.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// `true` with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,9 @@ pub mod observe;
 pub mod rat;
 pub mod span;
 
-pub use ctrl::{splitmix64, CancelReason, CancelToken, Clock, ManualClock, SystemClock};
+pub use ctrl::{
+    splitmix64, CancelReason, CancelToken, Clock, ManualClock, SplitMix64, SystemClock,
+};
 pub use diag::{Diagnostic, DiagnosticBag, Severity};
 pub use idvec::IdVec;
 pub use intern::{Interner, Symbol};

@@ -5,6 +5,8 @@
 //!             [--dump-after PASS] [--time-passes]
 //!             [--run NAME=v1,v2,... ...] [--cells N] [--check]
 //!             [--audit-guarantees] [--inject SPEC]
+//! w2c FILE.w2 --differential-check [--seed S] [--inject SPEC]
+//! w2c --differential N [--seed S] [--repro-dir DIR] [--inject SPEC]
 //! w2c --corpus NAME [same flags]        (polynomial, conv1d, binop,
 //!                                        colorseg, mandelbrot)
 //! w2c --corpus all [--time-passes] [--audit-guarantees]
@@ -21,11 +23,21 @@
 //! simulates under an explicit fault plan (e.g.
 //! `seed=7,skew=-1,drop=X:0`) and prints the structured fault report
 //! if an invariant trips.
+//!
+//! `--differential N` generates N seeded programs, compiles each
+//! through the full pipeline, and compares the simulation bitwise
+//! against the reference oracle; disagreements are shrunk and (with
+//! `--repro-dir`) written as self-describing repro files. `FILE.w2
+//! --differential-check` replays one such repro: the same compile,
+//! run, and comparison for a single program. Combined with `--inject`
+//! both modes check a deliberately perturbed build, which must be
+//! caught.
 
 use std::process::ExitCode;
 use warp_common::{observe, CollectDumps};
 use warp_compiler::{
-    audit, corpus, passes, service, CompileOptions, CompiledModule, ServiceConfig, Session,
+    audit, corpus, differential, passes, service, CompileOptions, CompiledModule, ServiceConfig,
+    Session,
 };
 use warp_ir::LowerOptions;
 use warp_service::{ExecutorConfig, JobOutcome};
@@ -58,6 +70,10 @@ struct Args {
     check: bool,
     audit: bool,
     inject: Option<FaultPlan>,
+    differential: Option<usize>,
+    differential_check: bool,
+    seed: Option<u64>,
+    repro_dir: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
@@ -68,6 +84,8 @@ fn usage() -> ! {
          \x20           [--dump-after PASS] [--time-passes]\n\
          \x20           [--run NAME=v1,v2,...] [--cells N] [--check]\n\
          \x20           [--audit-guarantees] [--inject SPEC]\n\
+         \x20      w2c FILE.w2 --differential-check [--seed S] [--inject SPEC]\n\
+         \x20      w2c --differential N [--seed S] [--repro-dir DIR] [--inject SPEC]\n\
          \x20      w2c --corpus NAME [same flags]\n\
          \x20      w2c --corpus all [--time-passes] [--audit-guarantees]\n\
          \x20  --emit KIND: one of {}\n\
@@ -76,6 +94,13 @@ fn usage() -> ! {
          \x20  --check: also execute the reference interpreter and compare\n\
          \x20  --audit-guarantees: verify the static skew/queue claims are\n\
          \x20      tight and every injectable fault class is detected\n\
+         \x20  --differential N: fuzz N generated programs against the\n\
+         \x20      reference oracle, shrinking any disagreement\n\
+         \x20  --differential-check: compile FILE and compare simulator vs\n\
+         \x20      oracle once (the repro-replay mode)\n\
+         \x20  --seed S: root seed for --differential / input seed for\n\
+         \x20      --differential-check (default 1)\n\
+         \x20  --repro-dir DIR: where --differential writes shrunk repros\n\
          \x20  --inject SPEC: simulate under a fault plan, e.g.\n\
          \x20      seed=7,skew=-1,queue=4,budget=500,drop=X:0,corrupt=Y:3,\n\
          \x20      truncate=X:10,adr-delay=100@2,adr-drop=5,adr-corrupt=0:4096,\n\
@@ -100,6 +125,10 @@ fn parse_args() -> Args {
         check: false,
         audit: false,
         inject: None,
+        differential: None,
+        differential_check: false,
+        seed: None,
+        repro_dir: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -114,6 +143,19 @@ fn parse_args() -> Args {
                         usage();
                     }
                 }
+            }
+            "--differential" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                parsed.differential = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--differential-check" => parsed.differential_check = true,
+            "--seed" => {
+                let s = args.next().unwrap_or_else(|| usage());
+                parsed.seed = Some(s.parse().unwrap_or_else(|_| usage()));
+            }
+            "--repro-dir" => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                parsed.repro_dir = Some(std::path::PathBuf::from(dir));
             }
             "--pipeline" => parsed.opts.software_pipeline = true,
             "--time-passes" => parsed.time_passes = true,
@@ -198,7 +240,11 @@ fn parse_args() -> Args {
             );
             usage();
         }
-    } else if parsed.source.is_none() {
+    } else if parsed.source.is_none() && parsed.differential.is_none() {
+        usage();
+    }
+    if parsed.differential_check && parsed.source.is_none() {
+        eprintln!("--differential-check needs a FILE to check\n");
         usage();
     }
     parsed
@@ -348,12 +394,75 @@ fn corpus_audit(args: &Args) -> ExitCode {
     }
 }
 
+/// `--differential N`: the generate → compile → simulate → compare
+/// loop of [`differential::run_differential`], with mismatch repros
+/// shrunk and written to `--repro-dir`. Exits non-zero on any
+/// mismatch, generator rejection, or oracle error — a clean compiler
+/// and a clean generator produce all-agree runs.
+fn run_differential(args: &Args, cases: usize) -> ExitCode {
+    let opts = differential::DiffOptions {
+        cases,
+        seed: args.seed.unwrap_or(1),
+        compile: args.opts.clone(),
+        inject: args.inject.clone(),
+        repro_dir: args.repro_dir.clone(),
+        ..differential::DiffOptions::default()
+    };
+    let report = differential::run_differential(&opts);
+    print!("{report}");
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `FILE --differential-check`: one compile + simulate + bitwise
+/// oracle comparison — the replay half of the repro workflow the
+/// shrunk `.w2` files name in their header comment.
+fn differential_check(args: &Args, source: &str, source_name: &str) -> ExitCode {
+    let opts = differential::DiffOptions {
+        compile: args.opts.clone(),
+        inject: args.inject.clone(),
+        ..differential::DiffOptions::default()
+    };
+    let input_seed = args.seed.unwrap_or(1);
+    match differential::check_case(source, input_seed, &opts) {
+        differential::CaseOutcome::Agree => {
+            println!("differential check `{source_name}`: simulator agrees with the oracle");
+            ExitCode::SUCCESS
+        }
+        differential::CaseOutcome::Rejected(d) => {
+            eprintln!("differential check `{source_name}`: program rejected\n{d}");
+            ExitCode::FAILURE
+        }
+        differential::CaseOutcome::Budget(d) => {
+            eprintln!("differential check `{source_name}`: budget exhausted: {d}");
+            ExitCode::FAILURE
+        }
+        differential::CaseOutcome::OracleError(d) => {
+            eprintln!("differential check `{source_name}`: oracle error: {d}");
+            ExitCode::FAILURE
+        }
+        differential::CaseOutcome::Mismatch(d) => {
+            eprintln!("differential check `{source_name}`: MISMATCH: {d}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if args.corpus_all {
         return corpus_all(&args);
     }
+    if let (Some(cases), None) = (args.differential, &args.source) {
+        return run_differential(&args, cases);
+    }
     let (source_name, source) = args.source.clone().expect("checked by parse_args");
+    if args.differential_check {
+        return differential_check(&args, &source, &source_name);
+    }
 
     let mut dumps = CollectDumps::for_passes(wanted_dumps(&args));
     let session = Session::with_observer(args.opts.clone(), &mut dumps);
@@ -363,9 +472,15 @@ fn main() -> ExitCode {
             for d in &diags {
                 eprintln!("{}", d.render(&source));
             }
+            // Any error-severity diagnostic means the compile failed;
+            // warnings alone never reach this path (the front end
+            // returns Ok and carries them on the module).
             return ExitCode::FAILURE;
         }
     };
+    for w in &module.warnings {
+        eprintln!("{}", w.render(&source));
+    }
 
     print_summary(&module, &source_name);
     if args.time_passes {

@@ -1,0 +1,445 @@
+//! The differential conformance harness: generated programs through
+//! the full pipeline, checked word-for-word against the reference
+//! oracle, with automatic shrinking of any disagreement.
+//!
+//! Each case follows the same script. A seeded program comes out of
+//! [`warp_oracle::gen`]; the [`Session`] pipeline compiles it under a
+//! wall-clock deadline and a cell-cycle ceiling (a pathological
+//! generated program must cost a skipped case, never a hung run); the
+//! oracle interprets the HIR sequentially; the cycle-level simulator
+//! runs the compiled module on the same seeded inputs. The two runs
+//! must agree **bitwise** — on every `out` parameter and on every word
+//! of the boundary output streams ([`warp_sim::RunReport::out_streams`]
+//! vs [`warp_oracle::OracleRun::streams`]), so a reordered or dropped
+//! word is caught even when the final memory image looks right. To
+//! make bit-equality meaningful the driver compiles with
+//! reassociation disabled; everything else runs at default options.
+//!
+//! A disagreement is handed to [`warp_oracle::shrink`] with "still a
+//! confirmed mismatch" as the predicate — candidates the compiler
+//! rejects or the oracle cannot run are automatically uninteresting —
+//! and the reduced program is written to the repro directory as a
+//! self-describing `.w2` file whose header comment carries the exact
+//! `w2c --differential-check` command that replays it.
+//!
+//! An injected fault plan ([`DiffOptions::inject`]) turns the harness
+//! on itself: under, say, `skew=-1` every case should mismatch (or
+//! trip a machine invariant), which is how the harness's own detection
+//! power is audited in CI.
+
+use crate::{audit, CompileFailure, CompileOptions, Session, SessionCtrl};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use w2_lang::parse_and_check;
+use w2_lang::parser::parse;
+use warp_common::{splitmix64, CancelToken, SystemClock};
+use warp_host::HostMemory;
+use warp_oracle::shrink::print_compact;
+use warp_oracle::{generate, interpret_run, shrink, GenConfig, ShrinkStats};
+use warp_sim::{FaultPlan, SimError, SimOptions};
+
+/// Configuration for one differential run.
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// Number of generated cases.
+    pub cases: usize,
+    /// Root seed; case `i` derives its program and input seeds from it.
+    pub seed: u64,
+    /// Program-generator shape budget.
+    pub gen: GenConfig,
+    /// Compile options. Reassociation is forced off internally so the
+    /// oracle and the compiled code evaluate identical f32 expressions.
+    pub compile: CompileOptions,
+    /// Fault plan injected into every simulation (`None` = clean runs).
+    pub inject: Option<FaultPlan>,
+    /// Where shrunk repros are written (`None` = don't write files).
+    pub repro_dir: Option<PathBuf>,
+    /// Per-case wall-clock budget covering compile and simulation;
+    /// `Duration::ZERO` disables the deadline.
+    pub case_timeout: Duration,
+    /// Ceiling on the dynamic cell-program length
+    /// ([`SessionCtrl::max_cell_cycles`]); 0 = unlimited.
+    pub max_cell_cycles: u64,
+    /// Predicate-call budget for the shrinker.
+    pub shrink_budget: usize,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            cases: 50,
+            seed: 1,
+            gen: GenConfig::default(),
+            compile: CompileOptions::default(),
+            inject: None,
+            repro_dir: None,
+            case_timeout: Duration::from_secs(10),
+            max_cell_cycles: 2_000_000,
+            shrink_budget: 3_000,
+        }
+    }
+}
+
+/// What happened to one program.
+#[derive(Clone, Debug)]
+pub enum CaseOutcome {
+    /// Simulator and oracle agreed bitwise.
+    Agree,
+    /// The compiler rejected the program (diagnostics). For generated
+    /// programs this counts against the generator, not the compiler.
+    Rejected(String),
+    /// A budget stopped the case: compile deadline, size ceiling, or
+    /// simulation deadline.
+    Budget(String),
+    /// The oracle itself could not execute the program.
+    OracleError(String),
+    /// The simulator diverged from the oracle (or failed outright
+    /// while the oracle ran clean). The payload says where.
+    Mismatch(String),
+}
+
+/// A confirmed, shrunk disagreement.
+#[derive(Clone, Debug)]
+pub struct MismatchCase {
+    /// Index in the generated sequence.
+    pub case_index: usize,
+    /// Seed that regenerates the original program.
+    pub program_seed: u64,
+    /// Seed for [`audit::seeded_inputs`].
+    pub input_seed: u64,
+    /// The original generated source.
+    pub source: String,
+    /// The shrunk source (canonical form).
+    pub shrunk: String,
+    /// Shrinker counters.
+    pub shrink_stats: ShrinkStats,
+    /// First observed divergence, on the original program.
+    pub detail: String,
+    /// Repro file, when a repro directory was configured.
+    pub repro: Option<PathBuf>,
+}
+
+/// Aggregate result of [`run_differential`].
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Cases attempted.
+    pub cases: usize,
+    /// Bitwise agreements.
+    pub agree: usize,
+    /// Compiler rejections (generator defects).
+    pub rejected: usize,
+    /// Budget-stopped cases.
+    pub budget: usize,
+    /// Oracle execution failures.
+    pub oracle_errors: usize,
+    /// Confirmed disagreements, shrunk.
+    pub mismatches: Vec<MismatchCase>,
+    /// One example rejection, for diagnosing the generator.
+    pub first_rejection: Option<String>,
+}
+
+impl DiffReport {
+    /// `true` when the run is evidence of conformance: every case
+    /// compiled, ran, and agreed.
+    pub fn clean(&self) -> bool {
+        self.mismatches.is_empty() && self.rejected == 0 && self.oracle_errors == 0
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "differential: {} case(s) — {} agree, {} mismatch, {} rejected, {} budget, {} oracle error(s)",
+            self.cases,
+            self.agree,
+            self.mismatches.len(),
+            self.rejected,
+            self.budget,
+            self.oracle_errors,
+        )?;
+        if let Some(r) = &self.first_rejection {
+            writeln!(f, "first rejection:\n{r}")?;
+        }
+        for m in &self.mismatches {
+            writeln!(
+                f,
+                "mismatch (case {}, program seed {:#018x}, input seed {:#018x}): {}",
+                m.case_index, m.program_seed, m.input_seed, m.detail
+            )?;
+            match &m.repro {
+                Some(p) => writeln!(f, "  shrunk repro: {}", p.display())?,
+                None => writeln!(f, "  shrunk to:\n{}", m.shrunk)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `opts.cases` generated programs through compile → simulate →
+/// compare, shrinking and recording every disagreement.
+pub fn run_differential(opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport {
+        cases: opts.cases,
+        ..DiffReport::default()
+    };
+    for i in 0..opts.cases {
+        let program_seed = splitmix64(opts.seed.wrapping_add(i as u64));
+        let input_seed = splitmix64(program_seed);
+        let prog = generate(program_seed, &opts.gen);
+        match check_case(&prog.source, input_seed, opts) {
+            CaseOutcome::Agree => report.agree += 1,
+            CaseOutcome::Rejected(d) => {
+                report.rejected += 1;
+                report
+                    .first_rejection
+                    .get_or_insert_with(|| format!("{d}\n--- source ---\n{}", prog.source));
+            }
+            CaseOutcome::Budget(_) => report.budget += 1,
+            CaseOutcome::OracleError(d) => {
+                report.oracle_errors += 1;
+                report.first_rejection.get_or_insert_with(|| {
+                    format!("oracle error: {d}\n--- source ---\n{}", prog.source)
+                });
+            }
+            CaseOutcome::Mismatch(detail) => {
+                let (shrunk, shrink_stats) = shrink(&prog.source, opts.shrink_budget, |src| {
+                    matches!(check_case(src, input_seed, opts), CaseOutcome::Mismatch(_))
+                });
+                let mut case = MismatchCase {
+                    case_index: i,
+                    program_seed,
+                    input_seed,
+                    source: prog.source.clone(),
+                    shrunk,
+                    shrink_stats,
+                    detail,
+                    repro: None,
+                };
+                if let Some(dir) = &opts.repro_dir {
+                    match write_repro(dir, &case, opts.inject.as_ref()) {
+                        Ok(path) => case.repro = Some(path),
+                        Err(e) => eprintln!("warning: could not write repro for case {i}: {e}"),
+                    }
+                }
+                report.mismatches.push(case);
+            }
+        }
+    }
+    report
+}
+
+/// Compiles and runs one program against the oracle. This is the exact
+/// predicate the shrinker uses, and the engine behind
+/// `w2c FILE --differential-check`.
+pub fn check_case(source: &str, input_seed: u64, opts: &DiffOptions) -> CaseOutcome {
+    let cancel = if opts.case_timeout.is_zero() {
+        CancelToken::none()
+    } else {
+        let budget_us = u64::try_from(opts.case_timeout.as_micros()).unwrap_or(u64::MAX);
+        CancelToken::with_deadline(Arc::new(SystemClock::new()), budget_us)
+    };
+
+    let mut copts = opts.compile.clone();
+    // Height reduction reassociates +/* chains; the oracle evaluates the
+    // source expression tree, so bit-equality needs this off.
+    copts.lower.reassociate = false;
+    let session = Session::new(copts).with_ctrl(SessionCtrl {
+        cancel: cancel.clone(),
+        skew_max_events: 0,
+        max_cell_cycles: opts.max_cell_cycles,
+    });
+    let module = match session.try_compile(source) {
+        Ok(m) => m,
+        Err(CompileFailure::Diagnostics(d)) => return CaseOutcome::Rejected(d.to_string()),
+        Err(budget) => return CaseOutcome::Budget(budget.to_string()),
+    };
+
+    // The oracle interprets the HIR; variable ids are shared with the
+    // compiled module's IR, so host memory can be built from either.
+    let hir = match parse_and_check(source) {
+        Ok(h) => h,
+        Err(d) => return CaseOutcome::Rejected(d.to_string()),
+    };
+    let owned = audit::seeded_inputs(&module, input_seed);
+    let inputs: Vec<(&str, &[f32])> = owned
+        .iter()
+        .map(|(n, d)| (n.as_str(), d.as_slice()))
+        .collect();
+    let mut oracle_host = HostMemory::new(&module.ir.vars);
+    for (name, data) in &inputs {
+        if let Err(e) = oracle_host.set(name, data) {
+            return CaseOutcome::OracleError(e.to_string());
+        }
+    }
+    let oracle = match interpret_run(&hir, &oracle_host) {
+        Ok(r) => r,
+        Err(e) => return CaseOutcome::OracleError(e),
+    };
+
+    let sim_opts = SimOptions {
+        plan: opts.inject.clone().unwrap_or_default(),
+        cancel,
+        ..SimOptions::default()
+    };
+    let sim = match module.run_audited(module.n_cells, module.skew.min_skew, &inputs, &sim_opts) {
+        Ok(r) => r,
+        Err(fault) => {
+            if let SimError::Interrupted { .. } = fault.error {
+                return CaseOutcome::Budget(fault.error.to_string());
+            }
+            return CaseOutcome::Mismatch(format!(
+                "simulator failed where the oracle ran clean: {}",
+                fault.error
+            ));
+        }
+    };
+
+    // Out parameters, bitwise.
+    for (var, dir) in &hir.params {
+        if *dir != w2_lang::ast::ParamDir::Out {
+            continue;
+        }
+        let name = &hir.vars[*var].name;
+        let got = sim.host.get(name).unwrap_or(&[]);
+        let want = oracle.host.get(name).unwrap_or(&[]);
+        for (k, (g, w)) in got.iter().zip(want).enumerate() {
+            if g.to_bits() != w.to_bits() {
+                return CaseOutcome::Mismatch(format!(
+                    "out variable `{name}[{k}]`: simulator {g:?} ({:#010x}) vs oracle {w:?} ({:#010x})",
+                    g.to_bits(),
+                    w.to_bits()
+                ));
+            }
+        }
+    }
+
+    // Boundary streams, bitwise and in order — catches dropped or
+    // reordered words that happen to leave the memory image intact.
+    let chans: std::collections::BTreeSet<_> = sim
+        .out_streams
+        .keys()
+        .chain(oracle.streams.keys())
+        .copied()
+        .collect();
+    for chan in chans {
+        static EMPTY: Vec<f32> = Vec::new();
+        let got = sim.out_streams.get(&chan).unwrap_or(&EMPTY);
+        let want = oracle.streams.get(&chan).unwrap_or(&EMPTY);
+        if got.len() != want.len() {
+            return CaseOutcome::Mismatch(format!(
+                "stream {chan:?}: simulator delivered {} word(s), oracle {}",
+                got.len(),
+                want.len()
+            ));
+        }
+        for (k, (g, w)) in got.iter().zip(want).enumerate() {
+            if g.to_bits() != w.to_bits() {
+                return CaseOutcome::Mismatch(format!(
+                    "stream {chan:?} word {k}: simulator {g:?} vs oracle {w:?}"
+                ));
+            }
+        }
+    }
+
+    CaseOutcome::Agree
+}
+
+/// Writes the shrunk repro (compact layout, with a header comment
+/// carrying the replay command) plus an `.orig.w2` sidecar with the
+/// unshrunk program. Returns the repro path.
+fn write_repro(
+    dir: &Path,
+    case: &MismatchCase,
+    inject: Option<&FaultPlan>,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("case-{:016x}", case.program_seed);
+    let path = dir.join(format!("{stem}.w2"));
+    let compact = match parse(&case.shrunk) {
+        Ok(ast) => print_compact(&ast),
+        Err(_) => case.shrunk.clone(),
+    };
+    let inject_flag = inject.map(|p| format!(" --inject {p}")).unwrap_or_default();
+    let text = format!(
+        "/* differential mismatch: {} */\n\
+         /* reproduce: w2c {stem}.w2 --differential-check --seed {}{} */\n\
+         {compact}",
+        case.detail.replace("*/", "* /"),
+        case.input_seed,
+        inject_flag,
+    );
+    std::fs::write(&path, text)?;
+    std::fs::write(dir.join(format!("{stem}.orig.w2")), &case.source)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> DiffOptions {
+        DiffOptions {
+            cases: 5,
+            seed: 1,
+            ..DiffOptions::default()
+        }
+    }
+
+    #[test]
+    fn clean_compiler_agrees_on_generated_programs() {
+        let report = run_differential(&quick_opts());
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.agree, 5, "{report}");
+    }
+
+    #[test]
+    fn corpus_program_checks_clean() {
+        let status = check_case(crate::corpus::POLYNOMIAL, 7, &quick_opts());
+        assert!(matches!(status, CaseOutcome::Agree), "{status:?}");
+    }
+
+    #[test]
+    fn injected_skew_fault_is_caught_and_shrinks() {
+        let dir = std::env::temp_dir().join(format!(
+            "warp-diff-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DiffOptions {
+            cases: 3,
+            seed: 1,
+            inject: Some("skew=-1".parse().expect("valid spec")),
+            repro_dir: Some(dir.clone()),
+            ..DiffOptions::default()
+        };
+        let report = run_differential(&opts);
+        assert!(
+            !report.mismatches.is_empty(),
+            "skew -1 must diverge somewhere: {report}"
+        );
+        let m = &report.mismatches[0];
+        let repro = m.repro.as_ref().expect("repro written");
+        let text = std::fs::read_to_string(repro).expect("repro readable");
+        assert!(text.contains("--differential-check"), "{text}");
+        // The shrunk body (after the two comment lines) stays small.
+        let body_lines = text.lines().filter(|l| !l.starts_with("/*")).count();
+        assert!(body_lines <= 10, "{body_lines} lines:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_word_fault_is_caught_without_invariant_trip() {
+        // CorruptWord trips no machine invariant — only the oracle
+        // comparison can see it, which is the point of this harness.
+        let opts = DiffOptions {
+            inject: Some("seed=3,corrupt=X:0".parse().expect("valid spec")),
+            ..quick_opts()
+        };
+        let status = check_case(crate::corpus::POLYNOMIAL, 7, &opts);
+        assert!(matches!(status, CaseOutcome::Mismatch(_)), "{status:?}");
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod audit;
 pub mod corpus;
+pub mod differential;
 pub mod oracle;
 pub mod passes;
 pub mod reference;
@@ -228,6 +229,11 @@ pub struct CompiledModule {
     pub machine: CellMachine,
     /// Compilation metrics.
     pub metrics: Metrics,
+    /// Warning-severity diagnostics from the front end (unused locals,
+    /// dead loop indices). A successful compile never carries errors —
+    /// those reject the program — so drivers print these and exit
+    /// successfully.
+    pub warnings: Vec<warp_common::Diagnostic>,
 }
 
 /// Compiles a W2 module by running a [`Session`] with no observer.

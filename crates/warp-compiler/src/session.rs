@@ -281,6 +281,7 @@ impl<'obs> Session<'obs> {
             comm: comm_report,
             machine: self.opts.machine.clone(),
             metrics,
+            warnings: hir.warnings,
         })
     }
 }

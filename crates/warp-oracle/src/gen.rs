@@ -1,0 +1,713 @@
+//! A seeded generator of well-typed W2 cellprograms.
+//!
+//! Programs are built as a sequence of **stream segments**. Each
+//! segment owns one host input array, one host output array, and one
+//! channel, and keeps a hard invariant: *every cell receives exactly
+//! as many words per channel as it sends*, so the replicated program
+//! neither starves an interior cell nor leaves words queued. Within
+//! that invariant the segments vary the shapes the paper's analyses
+//! must handle:
+//!
+//! - **scalar exchange** — a single receive/send pair outside any loop;
+//! - **pipe loop** — a 1–3-deep loop nest with the receive and send in
+//!   the innermost body, optionally with conditional compute between
+//!   them (I/O never goes *inside* an `if`: §5.1 predication forbids
+//!   it, so conditionals feed the sent value instead);
+//! - **outer receive** — the receive and send sit one level above a
+//!   pure compute loop, putting I/O at a different depth than the
+//!   innermost loop;
+//! - **buffer replay** — one loop nest receives into a cell-local
+//!   array, a second, differently shaped nest sends it back out
+//!   (optionally index-reversed), giving dissimilar sibling nests.
+//!
+//! All subscripts are affine in the loop indices with forms the corpus
+//! already exercises (`i`, `n-1-i`, `c*i + j`), all arithmetic is on
+//! f32 scalars, and loop bounds are compile-time constants — so every
+//! generated program passes the front end by construction. The
+//! differential driver treats a rejection as a finding, not noise.
+
+use w2_lang::ast::{
+    BaseTy, BinOp, CellProgram, Chan, Dir, Expr, Function, LValue, Module, Param, ParamDir, Stmt,
+    VarDecl,
+};
+use w2_lang::pretty;
+use warp_common::ctrl::SplitMix64;
+use warp_common::Span;
+
+/// Size budget and shape knobs for one generated program.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Upper bound on the cellprogram range (`1..=max_cells` cells).
+    pub max_cells: u32,
+    /// Upper bound on stream segments per program.
+    pub max_segments: usize,
+    /// Deepest loop nest a segment may use (capped at 3).
+    pub max_depth: usize,
+    /// Largest trip count of any single loop.
+    pub max_trip: i64,
+    /// Budget on total dynamic words transferred per program; segments
+    /// shrink their trip counts to stay under it.
+    pub max_words: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_cells: 4,
+            max_segments: 3,
+            max_depth: 3,
+            max_trip: 4,
+            max_words: 64,
+        }
+    }
+}
+
+/// One generated program, with the seed that reproduces it.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    /// The seed [`generate`] was called with.
+    pub seed: u64,
+    /// Canonical W2 source (via [`w2_lang::pretty::print_module`]).
+    pub source: String,
+    /// Cells in the cellprogram range.
+    pub n_cells: u32,
+}
+
+const SP: Span = Span::DUMMY;
+
+/// Generates one well-typed W2 program from `seed`.
+pub fn generate(seed: u64, cfg: &GenConfig) -> GenProgram {
+    let mut rng = SplitMix64::new(seed);
+    let n_cells = 1 + rng.below(u64::from(cfg.max_cells.max(1))) as u32;
+
+    let mut b = Builder {
+        rng,
+        params: Vec::new(),
+        host_decls: Vec::new(),
+        locals: Vec::new(),
+        stmts: Vec::new(),
+        max_int_depth: 0,
+    };
+    // `acc` threads state across segments; initialize it explicitly so
+    // shrunk repros don't depend on zero-init.
+    b.need_local("acc");
+    b.stmts.push(assign(var("acc"), float_lit(0.0)));
+
+    let n_segments = 1 + b.rng.below(cfg.max_segments.max(1) as u64) as usize;
+    let mut words_left = cfg.max_words.max(1);
+    for k in 0..n_segments {
+        if words_left < 1 {
+            break;
+        }
+        words_left -= b.segment(k, cfg, words_left);
+    }
+
+    let module = b.finish(n_cells);
+    GenProgram {
+        seed,
+        source: pretty::print_module(&module),
+        n_cells,
+    }
+}
+
+struct Builder {
+    rng: SplitMix64,
+    params: Vec<Param>,
+    host_decls: Vec<VarDecl>,
+    locals: Vec<VarDecl>,
+    stmts: Vec<Stmt>,
+    /// Deepest loop nest emitted so far (for `int i, j, k` decls).
+    max_int_depth: usize,
+}
+
+const INDEX_NAMES: [&str; 3] = ["i", "j", "k"];
+
+impl Builder {
+    /// Emits one stream segment; returns the dynamic words it moves.
+    fn segment(&mut self, k: usize, cfg: &GenConfig, words_left: i64) -> i64 {
+        let chan = if self.rng.chance(1, 2) {
+            Chan::X
+        } else {
+            Chan::Y
+        };
+        let max_depth = cfg.max_depth.clamp(1, 3);
+        let kind = self.rng.below(4);
+        let depth = match kind {
+            0 => 0,
+            2 => 2.min(max_depth).max(1),
+            3 => 1 + self.rng.below(2.min(max_depth as u64)) as usize,
+            _ => 1 + self.rng.below(max_depth as u64) as usize,
+        };
+        let trips = self.pick_trips(depth, cfg.max_trip, words_left);
+        let total: i64 = trips.iter().product::<i64>().max(1);
+        self.max_int_depth = self.max_int_depth.max(trips.len());
+
+        let a = format!("a{k}");
+        let r = format!("r{k}");
+        self.declare_host(&a, ParamDir::In, total as u32);
+        self.declare_host(&r, ParamDir::Out, total as u32);
+        self.need_local("v");
+
+        match kind {
+            0 => self.scalar_exchange(chan, &a, &r),
+            2 if depth >= 2 => self.outer_receive(chan, &a, &r, &trips, cfg),
+            3 => self.buffer_replay(k, chan, &a, &r, &trips),
+            _ => self.pipe_loop(chan, &a, &r, &trips, cfg),
+        }
+        total
+    }
+
+    /// Trip counts for `depth` loops whose product fits `words_left`.
+    fn pick_trips(&mut self, depth: usize, max_trip: i64, words_left: i64) -> Vec<i64> {
+        let mut trips: Vec<i64> = (0..depth)
+            .map(|_| 1 + self.rng.below(max_trip.max(1) as u64) as i64)
+            .collect();
+        loop {
+            let product: i64 = trips.iter().product::<i64>().max(1);
+            if product <= words_left.max(1) {
+                return trips;
+            }
+            // Shrink the largest trip until the product fits.
+            let (argmax, _) = trips
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, t)| **t)
+                .expect("depth >= 1 here");
+            if trips[argmax] <= 1 {
+                return trips;
+            }
+            trips[argmax] -= 1;
+        }
+    }
+
+    /// `receive (L, c, v, a[0]); [compute] send (R, c, e, r[0]);`
+    fn scalar_exchange(&mut self, chan: Chan, a: &str, r: &str) {
+        let recv = Stmt::Receive {
+            dir: Dir::Left,
+            chan,
+            dst: var("v"),
+            ext: Some(elem_expr(a, vec![int_lit(0)])),
+            span: SP,
+        };
+        self.stmts.push(recv);
+        for s in self.compute_block() {
+            self.stmts.push(s);
+        }
+        let value = self.send_value();
+        self.stmts.push(Stmt::Send {
+            dir: Dir::Right,
+            chan,
+            value,
+            ext: Some(elem_lv(r, vec![int_lit(0)])),
+            span: SP,
+        });
+    }
+
+    /// A `depth`-deep nest with receive/compute/send in the innermost
+    /// body.
+    fn pipe_loop(&mut self, chan: Chan, a: &str, r: &str, trips: &[i64], cfg: &GenConfig) {
+        let in_idx = self.flat_index(trips, false);
+        let reverse_out = self.rng.chance(1, 3);
+        let out_idx = self.flat_index(trips, reverse_out);
+        let mut body = vec![Stmt::Receive {
+            dir: Dir::Left,
+            chan,
+            dst: var("v"),
+            ext: Some(in_idx.as_elem_expr(a)),
+            span: SP,
+        }];
+        body.extend(self.compute_block());
+        let value = self.send_value();
+        body.push(Stmt::Send {
+            dir: Dir::Right,
+            chan,
+            value,
+            ext: Some(out_idx.as_elem_lv(r)),
+            span: SP,
+        });
+        let _ = cfg;
+        self.stmts.push(nest(trips, body));
+    }
+
+    /// Receive and send one level above a pure compute loop: I/O at a
+    /// different loop depth than the deepest nest.
+    fn outer_receive(&mut self, chan: Chan, a: &str, r: &str, trips: &[i64], cfg: &GenConfig) {
+        // Outer trips address the host arrays; the innermost trip is a
+        // compute-only loop.
+        let (outer, inner) = trips.split_at(trips.len() - 1);
+        let in_idx = self.flat_index(outer, false);
+        let out_idx = self.flat_index(outer, false);
+        let inner_trip = inner[0].min(cfg.max_trip.max(1));
+        let inner_var = INDEX_NAMES[outer.len()];
+        let mut body = vec![Stmt::Receive {
+            dir: Dir::Left,
+            chan,
+            dst: var("v"),
+            ext: Some(in_idx.as_elem_expr(a)),
+            span: SP,
+        }];
+        self.need_local("acc");
+        body.push(Stmt::For {
+            var: inner_var.to_owned(),
+            lo: int_lit(0),
+            hi: int_lit(inner_trip - 1),
+            body: vec![assign(
+                var("acc"),
+                bin(
+                    BinOp::Add,
+                    bin(
+                        BinOp::Mul,
+                        Expr::Var {
+                            name: "acc".into(),
+                            span: SP,
+                        },
+                        float_lit(0.5),
+                    ),
+                    Expr::Var {
+                        name: "v".into(),
+                        span: SP,
+                    },
+                ),
+            )],
+            span: SP,
+        });
+        body.push(Stmt::Send {
+            dir: Dir::Right,
+            chan,
+            value: Expr::Var {
+                name: "acc".into(),
+                span: SP,
+            },
+            ext: Some(out_idx.as_elem_lv(r)),
+            span: SP,
+        });
+        // `outer` may be empty after the split when depth was clamped;
+        // nest() degrades to the plain body then.
+        self.stmts.push(nest(outer, body));
+        // Words moved = product(outer), but the budget charged the full
+        // product; the discrepancy only under-fills, never overflows.
+    }
+
+    /// One nest receives into a cell-local buffer, a second (optionally
+    /// reversed) nest sends it back out: dissimilar sibling loop nests.
+    fn buffer_replay(&mut self, k: usize, chan: Chan, a: &str, r: &str, trips: &[i64]) {
+        let total: i64 = trips.iter().product::<i64>().max(1);
+        let buf = format!("t{k}");
+        self.locals.push(VarDecl {
+            name: buf.clone(),
+            ty: BaseTy::Float,
+            dims: vec![total as u32],
+            span: SP,
+        });
+        let in_idx = self.flat_index(trips, false);
+        let lit = self.small_lit();
+        self.stmts.push(nest(
+            trips,
+            vec![
+                Stmt::Receive {
+                    dir: Dir::Left,
+                    chan,
+                    dst: var("v"),
+                    ext: Some(in_idx.as_elem_expr(a)),
+                    span: SP,
+                },
+                assign(
+                    LValue::Elem {
+                        name: buf.clone(),
+                        indices: vec![in_idx.expr()],
+                        span: SP,
+                    },
+                    bin(
+                        BinOp::Add,
+                        Expr::Var {
+                            name: "v".into(),
+                            span: SP,
+                        },
+                        lit,
+                    ),
+                ),
+            ],
+        ));
+        // Replay with a single flat loop — a different shape than the
+        // receive nest — optionally index-reversed.
+        let reversed = self.rng.chance(1, 2);
+        let flat = vec![total];
+        let idx = self.flat_index(&flat, reversed);
+        let straight = self.flat_index(&flat, false);
+        self.max_int_depth = self.max_int_depth.max(1);
+        self.stmts.push(nest(
+            &flat,
+            vec![Stmt::Send {
+                dir: Dir::Right,
+                chan,
+                value: Expr::Elem {
+                    name: buf,
+                    indices: vec![idx.expr()],
+                    span: SP,
+                },
+                ext: Some(straight.as_elem_lv(r)),
+                span: SP,
+            }],
+        ));
+    }
+
+    /// 0–2 compute statements over `v`, `w`, `acc`, possibly a
+    /// conditional (assignments only: predication forbids I/O in `if`).
+    fn compute_block(&mut self) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for _ in 0..self.rng.below(3) {
+            if self.rng.chance(1, 3) {
+                let cond = bin(
+                    self.cmp_op(),
+                    Expr::Var {
+                        name: "v".into(),
+                        span: SP,
+                    },
+                    self.small_lit(),
+                );
+                self.need_local("w");
+                let then_rhs = self.float_expr(2);
+                let else_body = if self.rng.chance(1, 2) {
+                    let rhs = self.float_expr(2);
+                    vec![assign(var("w"), rhs)]
+                } else {
+                    Vec::new()
+                };
+                out.push(Stmt::If {
+                    cond,
+                    then_body: vec![assign(var("w"), then_rhs)],
+                    else_body,
+                    span: SP,
+                });
+            } else {
+                let name = if self.rng.chance(1, 2) { "acc" } else { "w" };
+                self.need_local(name);
+                let rhs = self.float_expr(2);
+                out.push(assign(var(name), rhs));
+            }
+        }
+        out
+    }
+
+    /// The expression handed to the segment's `send`.
+    fn send_value(&mut self) -> Expr {
+        self.float_expr(2)
+    }
+
+    /// A random float expression of bounded depth over the declared
+    /// scalars and small literals.
+    fn float_expr(&mut self, depth: usize) -> Expr {
+        if depth == 0 || self.rng.chance(1, 3) {
+            return match self.rng.below(4) {
+                0 => self.small_lit(),
+                1 => {
+                    self.need_local("w");
+                    Expr::Var {
+                        name: "w".into(),
+                        span: SP,
+                    }
+                }
+                2 => {
+                    self.need_local("acc");
+                    Expr::Var {
+                        name: "acc".into(),
+                        span: SP,
+                    }
+                }
+                _ => Expr::Var {
+                    name: "v".into(),
+                    span: SP,
+                },
+            };
+        }
+        let lhs = self.float_expr(depth - 1);
+        match self.rng.below(4) {
+            0 => bin(BinOp::Add, lhs, self.float_expr(depth - 1)),
+            1 => bin(BinOp::Sub, lhs, self.float_expr(depth - 1)),
+            2 => bin(BinOp::Mul, lhs, self.float_expr(depth - 1)),
+            // Divide only by literal powers of two: exact in f32, so
+            // generated programs stay NaN/Inf-light without losing the
+            // divide path.
+            _ => bin(
+                BinOp::Div,
+                lhs,
+                float_lit([2.0, 4.0, -2.0][self.rng.below(3) as usize]),
+            ),
+        }
+    }
+
+    fn cmp_op(&mut self) -> BinOp {
+        [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Ne][self.rng.below(5) as usize]
+    }
+
+    /// Small quarter-integer literals: exactly representable, so
+    /// bit-for-bit comparison across oracle and simulator is fair.
+    fn small_lit(&mut self) -> Expr {
+        let v = self.rng.below(33) as f64 * 0.25 - 4.0;
+        float_lit(v)
+    }
+
+    /// The affine flat index of a loop nest: `i*s1 + j*s2 + k`, or its
+    /// reversal `total-1 - (...)`.
+    fn flat_index(&mut self, trips: &[i64], reversed: bool) -> FlatIndex {
+        FlatIndex {
+            trips: trips.to_vec(),
+            reversed,
+        }
+    }
+
+    fn declare_host(&mut self, name: &str, dir: ParamDir, size: u32) {
+        self.params.push(Param {
+            name: name.to_owned(),
+            dir,
+            span: SP,
+        });
+        self.host_decls.push(VarDecl {
+            name: name.to_owned(),
+            ty: BaseTy::Float,
+            dims: vec![size.max(1)],
+            span: SP,
+        });
+    }
+
+    /// Declares a float scalar local on first use.
+    fn need_local(&mut self, name: &str) {
+        if !self.locals.iter().any(|d| d.name == name) {
+            self.locals.push(VarDecl {
+                name: name.to_owned(),
+                ty: BaseTy::Float,
+                dims: Vec::new(),
+                span: SP,
+            });
+        }
+    }
+
+    fn finish(mut self, n_cells: u32) -> Module {
+        // Sort scalars before arrays for stable, readable decls.
+        self.locals.sort_by_key(|d| d.dims.len());
+        let mut locals = self.locals;
+        for name in &INDEX_NAMES[..self.max_int_depth] {
+            locals.push(VarDecl {
+                name: (*name).to_owned(),
+                ty: BaseTy::Int,
+                dims: Vec::new(),
+                span: SP,
+            });
+        }
+        Module {
+            name: "gen".to_owned(),
+            params: self.params,
+            host_decls: self.host_decls,
+            cellprogram: CellProgram {
+                cell_id_var: "cid".to_owned(),
+                lo: 0,
+                hi: i64::from(n_cells) - 1,
+                functions: vec![Function {
+                    name: "f".to_owned(),
+                    locals,
+                    body: self.stmts,
+                    span: SP,
+                }],
+                body: vec![Stmt::Call {
+                    name: "f".to_owned(),
+                    span: SP,
+                }],
+                span: SP,
+            },
+            span: SP,
+        }
+    }
+}
+
+/// The affine flat index of a (possibly empty) loop nest.
+struct FlatIndex {
+    trips: Vec<i64>,
+    reversed: bool,
+}
+
+impl FlatIndex {
+    fn expr(&self) -> Expr {
+        let mut e: Option<Expr> = None;
+        let n = self.trips.len();
+        for (d, _) in self.trips.iter().enumerate() {
+            let stride: i64 = self.trips[d + 1..].iter().product();
+            let term = if stride == 1 {
+                Expr::Var {
+                    name: INDEX_NAMES[d].to_owned(),
+                    span: SP,
+                }
+            } else {
+                bin(
+                    BinOp::Mul,
+                    int_lit(stride),
+                    Expr::Var {
+                        name: INDEX_NAMES[d].to_owned(),
+                        span: SP,
+                    },
+                )
+            };
+            e = Some(match e {
+                None => term,
+                Some(prev) => bin(BinOp::Add, prev, term),
+            });
+        }
+        let flat = e.unwrap_or_else(|| int_lit(0));
+        if self.reversed && n > 0 {
+            let total: i64 = self.trips.iter().product();
+            bin(BinOp::Sub, int_lit(total - 1), flat)
+        } else {
+            flat
+        }
+    }
+
+    fn as_elem_expr(&self, name: &str) -> Expr {
+        Expr::Elem {
+            name: name.to_owned(),
+            indices: vec![self.expr()],
+            span: SP,
+        }
+    }
+
+    fn as_elem_lv(&self, name: &str) -> LValue {
+        LValue::Elem {
+            name: name.to_owned(),
+            indices: vec![self.expr()],
+            span: SP,
+        }
+    }
+}
+
+/// Wraps `body` in a loop nest with the given trip counts (index names
+/// `i`, `j`, `k` outermost-first); an empty nest is the body itself,
+/// folded into a single statement via a degenerate loop when needed.
+fn nest(trips: &[i64], body: Vec<Stmt>) -> Stmt {
+    let mut current = body;
+    for (d, &t) in trips.iter().enumerate().rev() {
+        current = vec![Stmt::For {
+            var: INDEX_NAMES[d].to_owned(),
+            lo: int_lit(0),
+            hi: int_lit(t - 1),
+            body: current,
+            span: SP,
+        }];
+    }
+    match current.len() {
+        1 => current.into_iter().next().expect("len checked"),
+        _ => Stmt::For {
+            // Statement-position helper needs exactly one statement; a
+            // single-iteration loop is the identity wrapper.
+            var: INDEX_NAMES[trips.len().min(2)].to_owned(),
+            lo: int_lit(0),
+            hi: int_lit(0),
+            body: current,
+            span: SP,
+        },
+    }
+}
+
+fn var(name: &str) -> LValue {
+    LValue::Var {
+        name: name.to_owned(),
+        span: SP,
+    }
+}
+
+fn elem_expr(name: &str, indices: Vec<Expr>) -> Expr {
+    Expr::Elem {
+        name: name.to_owned(),
+        indices,
+        span: SP,
+    }
+}
+
+fn elem_lv(name: &str, indices: Vec<Expr>) -> LValue {
+    LValue::Elem {
+        name: name.to_owned(),
+        indices,
+        span: SP,
+    }
+}
+
+fn assign(lhs: LValue, rhs: Expr) -> Stmt {
+    Stmt::Assign { lhs, rhs, span: SP }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+        span: SP,
+    }
+}
+
+fn int_lit(value: i64) -> Expr {
+    Expr::IntLit { value, span: SP }
+}
+
+fn float_lit(value: f64) -> Expr {
+    Expr::FloatLit { value, span: SP }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::parse_and_check;
+
+    #[test]
+    fn generated_programs_are_well_typed() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let p = generate(seed, &cfg);
+            parse_and_check(&p.source).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed} generated an invalid program:\n{e}\n{}",
+                    p.source
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(42, &cfg);
+        let b = generate(42, &cfg);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.n_cells, b.n_cells);
+    }
+
+    #[test]
+    fn seeds_cover_multiple_shapes() {
+        let cfg = GenConfig::default();
+        let sources: Vec<String> = (0..100).map(|s| generate(s, &cfg).source).collect();
+        assert!(sources.iter().any(|s| s.contains("if ")), "conditionals");
+        assert!(sources.iter().any(|s| s.contains("for j")), "nested loops");
+        assert!(
+            sources.iter().any(|s| !s.contains("for")),
+            "scalar exchange hits depth 0 sometimes: re-check kind weights"
+        );
+        let multi = sources.iter().filter(|s| !s.contains(": 0 : 0)")).count();
+        assert!(multi > 20, "multi-cell pipelines: {multi}");
+    }
+
+    #[test]
+    fn budget_bounds_program_size() {
+        let cfg = GenConfig {
+            max_words: 8,
+            ..GenConfig::default()
+        };
+        for seed in 0..50 {
+            let p = generate(seed, &cfg);
+            // Every host array is sized at one word per transferred
+            // word, so the budget bounds total declared input size.
+            let total: u32 = p
+                .source
+                .lines()
+                .filter(|l| l.starts_with("float a"))
+                .filter_map(|l| l.split('[').nth(1)?.split(']').next()?.parse::<u32>().ok())
+                .sum();
+            assert!(total <= 8 * 3, "seed {seed}: {total} words\n{}", p.source);
+        }
+    }
+}

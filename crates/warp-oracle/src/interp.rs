@@ -1,0 +1,454 @@
+//! A reference interpreter for checked W2 programs.
+//!
+//! The oracle executes the HIR directly with the simplest possible
+//! semantics: cells run one after another (legal because accepted
+//! programs are unidirectional), channels are unbounded vectors, and
+//! conditionals take one branch. It shares **no code** with the
+//! compiler back end or the simulator, so agreement between
+//! `compile(...).run(...)` and [`interpret`] is strong evidence both
+//! are right — the differential harness (`w2c --differential`) leans
+//! on this.
+//!
+//! Taking one branch is equivalent to the compiler's predication here:
+//! a predicated assignment computes both values and selects, which
+//! yields the same stored result as computing only the taken value
+//! (IEEE f32 operations never trap, and untaken values are discarded).
+
+use std::collections::{HashMap, VecDeque};
+use w2_lang::ast::{BinOp, Chan, Dir, UnOp};
+use w2_lang::hir::{HirExpr, HirLValue, HirModule, HirStmt, HostRef, VarId, VarKind};
+use warp_host::HostMemory;
+
+/// The result of one oracle execution: final host memory plus the raw
+/// host-bound output streams, word by word.
+///
+/// The streams are the oracle-side counterpart of the simulator's
+/// boundary capture (`RunReport::out_streams`): every word the last
+/// cell sends toward the host, per channel, in program order —
+/// including words sent with no external annotation, which host memory
+/// alone would not show. Comparing streams as well as memory catches
+/// reordering and dropped-word bugs that happen to leave the final
+/// memory image intact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleRun {
+    /// Host memory after the run (`out` parameters filled).
+    pub host: HostMemory,
+    /// Host-bound output words per channel, in send order.
+    pub streams: HashMap<Chan, Vec<f32>>,
+}
+
+/// Executes `hir` on its declared cells with `host` providing the `in`
+/// parameters; returns host memory with `out` parameters filled.
+///
+/// # Errors
+///
+/// Returns a message if a cell consumes more words than its upstream
+/// neighbour produced (a send/receive count mismatch) or an index goes
+/// out of bounds.
+pub fn interpret(hir: &HirModule, host: &HostMemory) -> Result<HostMemory, String> {
+    interpret_run(hir, host).map(|run| run.host)
+}
+
+/// Like [`interpret`], but also captures the host-bound output streams.
+///
+/// # Errors
+///
+/// Same conditions as [`interpret`].
+pub fn interpret_run(hir: &HirModule, host: &HostMemory) -> Result<OracleRun, String> {
+    let mut host = host.clone();
+    let mut streams: HashMap<Chan, Vec<f32>> = HashMap::new();
+    // Streams flowing towards higher cell indices (left-to-right) and
+    // lower (right-to-left); boundary streams are synthesized from the
+    // external annotations as cell 0 executes.
+    let n = hir.n_cells as usize;
+    let flow_right = detect_flow(hir);
+    let order: Vec<usize> = if flow_right {
+        (0..n).collect()
+    } else {
+        (0..n).rev().collect()
+    };
+
+    let mut upstream: HashMap<Chan, VecDeque<f32>> = HashMap::new();
+    for (pos, &cell) in order.iter().enumerate() {
+        let mut cell_state = Cell {
+            hir,
+            host: &mut host,
+            out_streams: &mut streams,
+            scalars: HashMap::new(),
+            arrays: HashMap::new(),
+            env: HashMap::new(),
+            upstream: std::mem::take(&mut upstream),
+            downstream: HashMap::new(),
+            is_first: pos == 0,
+            is_last: pos + 1 == n,
+            flow_right,
+            cell,
+        };
+        cell_state.run(&hir.body)?;
+        upstream = cell_state
+            .downstream
+            .into_iter()
+            .map(|(c, v)| (c, VecDeque::from(v)))
+            .collect();
+    }
+    Ok(OracleRun { host, streams })
+}
+
+fn detect_flow(hir: &HirModule) -> bool {
+    // Mirrors the skew analysis: a program sending right (or receiving
+    // from the left) flows left-to-right.
+    fn scan(stmts: &[HirStmt], right: &mut bool, left: &mut bool) {
+        for s in stmts {
+            match s {
+                HirStmt::Send { dir, .. } => match dir {
+                    Dir::Right => *right = true,
+                    Dir::Left => *left = true,
+                },
+                HirStmt::Receive { dir, .. } => match dir {
+                    Dir::Left => *right = true,
+                    Dir::Right => *left = true,
+                },
+                HirStmt::For { body, .. } => scan(body, right, left),
+                HirStmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    scan(then_body, right, left);
+                    scan(else_body, right, left);
+                }
+                HirStmt::Assign { .. } => {}
+            }
+        }
+    }
+    let (mut right, mut left) = (false, false);
+    scan(&hir.body, &mut right, &mut left);
+    right || !left
+}
+
+struct Cell<'a> {
+    hir: &'a HirModule,
+    host: &'a mut HostMemory,
+    out_streams: &'a mut HashMap<Chan, Vec<f32>>,
+    scalars: HashMap<VarId, f32>,
+    arrays: HashMap<VarId, Vec<f32>>,
+    env: HashMap<VarId, i64>,
+    upstream: HashMap<Chan, VecDeque<f32>>,
+    downstream: HashMap<Chan, Vec<f32>>,
+    is_first: bool,
+    is_last: bool,
+    flow_right: bool,
+    cell: usize,
+}
+
+impl Cell<'_> {
+    fn run(&mut self, stmts: &[HirStmt]) -> Result<(), String> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &HirStmt) -> Result<(), String> {
+        match stmt {
+            HirStmt::Assign { lhs, rhs, .. } => {
+                let v = self.eval_f(rhs)?;
+                self.write(lhs, v)
+            }
+            HirStmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                if self.eval_b(cond)? {
+                    self.run(then_body)
+                } else {
+                    self.run(else_body)
+                }
+            }
+            HirStmt::For {
+                var, lo, hi, body, ..
+            } => {
+                for i in *lo..=*hi {
+                    self.env.insert(*var, i);
+                    self.run(body)?;
+                }
+                self.env.remove(var);
+                Ok(())
+            }
+            HirStmt::Receive {
+                dir,
+                chan,
+                dst,
+                ext,
+                ..
+            } => {
+                let from_upstream = (*dir == Dir::Left) == self.flow_right;
+                let v = if from_upstream && !self.is_first {
+                    self.upstream
+                        .get_mut(chan)
+                        .and_then(VecDeque::pop_front)
+                        .ok_or_else(|| {
+                            format!("cell {}: receive on empty upstream {chan:?}", self.cell)
+                        })?
+                } else {
+                    // Boundary: the host supplies the external value.
+                    match ext {
+                        Some(HostRef::Lit(v)) => *v,
+                        Some(HostRef::Var(var)) => self.host.word(*var, 0),
+                        Some(HostRef::Elem { var, indices }) => {
+                            let idx = self.flat_host_index(*var, indices)?;
+                            self.host.word(*var, idx)
+                        }
+                        None => 0.0,
+                    }
+                };
+                self.write(dst, v)
+            }
+            HirStmt::Send {
+                dir,
+                chan,
+                value,
+                ext,
+                ..
+            } => {
+                let v = self.eval_f(value)?;
+                let to_downstream = (*dir == Dir::Right) == self.flow_right;
+                if to_downstream && self.is_last {
+                    // Boundary: record the raw stream word, then store
+                    // per the external annotation (if any).
+                    self.out_streams.entry(*chan).or_default().push(v);
+                    match ext {
+                        Some(HostRef::Elem { var, indices }) => {
+                            let idx = self.flat_host_index(*var, indices)?;
+                            self.host.set_word(*var, idx, v);
+                        }
+                        Some(HostRef::Var(var)) => self.host.set_word(*var, 0, v),
+                        _ => {}
+                    }
+                } else if to_downstream {
+                    self.downstream.entry(*chan).or_default().push(v);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn flat_host_index(&mut self, var: VarId, indices: &[HirExpr]) -> Result<u32, String> {
+        let dims = self.hir.vars[var].dims.clone();
+        let mut flat: i64 = 0;
+        for (k, idx) in indices.iter().enumerate() {
+            let v = self.eval_i(idx)?;
+            if v < 0 || v >= i64::from(dims[k]) {
+                return Err(format!("host index {v} out of bounds for dim {}", dims[k]));
+            }
+            let stride: i64 = dims[k + 1..].iter().map(|&d| i64::from(d)).product();
+            flat += v * stride;
+        }
+        Ok(flat as u32)
+    }
+
+    fn array(&mut self, var: VarId) -> &mut Vec<f32> {
+        let size = self.hir.vars[var].size() as usize;
+        self.arrays.entry(var).or_insert_with(|| vec![0.0; size])
+    }
+
+    fn elem_index(&mut self, var: VarId, indices: &[HirExpr]) -> Result<usize, String> {
+        let dims = self.hir.vars[var].dims.clone();
+        let mut flat: i64 = 0;
+        for (k, idx) in indices.iter().enumerate() {
+            let v = self.eval_i(idx)?;
+            if v < 0 || v >= i64::from(dims[k]) {
+                return Err(format!(
+                    "cell array index {v} out of bounds for dim {}",
+                    dims[k]
+                ));
+            }
+            let stride: i64 = dims[k + 1..].iter().map(|&d| i64::from(d)).product();
+            flat += v * stride;
+        }
+        Ok(flat as usize)
+    }
+
+    fn write(&mut self, lhs: &HirLValue, v: f32) -> Result<(), String> {
+        match lhs {
+            HirLValue::Var(var) => {
+                self.scalars.insert(*var, v);
+                Ok(())
+            }
+            HirLValue::Elem { var, indices } => {
+                let idx = self.elem_index(*var, indices)?;
+                self.array(*var)[idx] = v;
+                Ok(())
+            }
+        }
+    }
+
+    fn eval_f(&mut self, e: &HirExpr) -> Result<f32, String> {
+        Ok(match e {
+            HirExpr::FloatLit(v) => *v,
+            HirExpr::IntLit(v) => *v as f32,
+            HirExpr::ReadVar(var) => match self.hir.vars[*var].kind {
+                VarKind::CellLocal => self.scalars.get(var).copied().unwrap_or(0.0),
+                _ => return Err("loop index read as float".into()),
+            },
+            HirExpr::ReadElem { var, indices } => {
+                let idx = self.elem_index(*var, indices)?;
+                self.array(*var)[idx]
+            }
+            HirExpr::Binary { op, lhs, rhs, .. } => {
+                let l = self.eval_f(lhs)?;
+                let r = self.eval_f(rhs)?;
+                match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => l / r,
+                    _ => return Err("comparison in float context".into()),
+                }
+            }
+            HirExpr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => -self.eval_f(operand)?,
+            HirExpr::Unary { .. } => return Err("`not` in float context".into()),
+        })
+    }
+
+    fn eval_b(&mut self, e: &HirExpr) -> Result<bool, String> {
+        Ok(match e {
+            HirExpr::Binary { op, lhs, rhs, .. } if op.is_cmp() => {
+                let l = self.eval_f(lhs)?;
+                let r = self.eval_f(rhs)?;
+                match op {
+                    BinOp::Eq => l == r,
+                    BinOp::Ne => l != r,
+                    BinOp::Lt => l < r,
+                    BinOp::Le => l <= r,
+                    BinOp::Gt => l > r,
+                    BinOp::Ge => l >= r,
+                    _ => unreachable!(),
+                }
+            }
+            HirExpr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+                ..
+            } => {
+                // Predication evaluates both sides; && short-circuiting
+                // is unobservable for trap-free f32 comparisons.
+                self.eval_b(lhs)? & self.eval_b(rhs)?
+            }
+            HirExpr::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+                ..
+            } => self.eval_b(lhs)? | self.eval_b(rhs)?,
+            HirExpr::Unary {
+                op: UnOp::Not,
+                operand,
+                ..
+            } => !self.eval_b(operand)?,
+            other => return Err(format!("non-boolean condition {other:?}")),
+        })
+    }
+
+    fn eval_i(&mut self, e: &HirExpr) -> Result<i64, String> {
+        Ok(match e {
+            HirExpr::IntLit(v) => *v,
+            HirExpr::ReadVar(var) => *self
+                .env
+                .get(var)
+                .ok_or_else(|| "loop index not bound".to_owned())?,
+            HirExpr::Binary { op, lhs, rhs, .. } => {
+                let l = self.eval_i(lhs)?;
+                let r = self.eval_i(rhs)?;
+                match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => {
+                        if r == 0 {
+                            return Err("division by zero in subscript".into());
+                        }
+                        l / r
+                    }
+                    _ => return Err("comparison in subscript".into()),
+                }
+            }
+            HirExpr::Unary {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => -self.eval_i(operand)?,
+            other => return Err(format!("non-integer subscript {other:?}")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::parse_and_check;
+
+    fn run(src: &str, inputs: &[(&str, &[f32])]) -> OracleRun {
+        let hir = parse_and_check(src).expect("valid");
+        let mut host = HostMemory::new(&hir.vars);
+        for (name, data) in inputs {
+            host.set(name, data).expect("test input binds");
+        }
+        interpret_run(&hir, &host).expect("oracle runs")
+    }
+
+    #[test]
+    fn pipeline_threads_words_through_cells() {
+        // Two cells each add 1.0; the stream capture sees the final words.
+        let src = "module inc (a in, r out) float a[3]; float r[3]; \
+            cellprogram (cid : 0 : 1) begin function f begin float v; int i; \
+            for i := 0 to 2 do begin receive (L, X, v, a[i]); \
+            send (R, X, v + 1.0, r[i]); end; end call f; end";
+        let out = run(src, &[("a", &[1.0, 2.0, 3.0])]);
+        assert_eq!(out.host.get("r").unwrap(), &[3.0, 4.0, 5.0]);
+        assert_eq!(out.streams[&Chan::X], vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn streams_capture_unannotated_sends() {
+        // The second send has no external annotation: host memory keeps
+        // only the annotated words, but the stream sees both.
+        let src = "module t (a in, r out) float a[1]; float r[1]; \
+            cellprogram (cid : 0 : 0) begin function f begin float v; \
+            receive (L, X, v, a[0]); send (R, X, v, r[0]); send (R, X, v + 1.0); \
+            end call f; end";
+        let out = run(src, &[("a", &[5.0])]);
+        assert_eq!(out.host.get("r").unwrap(), &[5.0]);
+        assert_eq!(out.streams[&Chan::X], vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn starving_receive_is_an_error() {
+        let src = "module bad (xs in) float xs[4]; \
+            cellprogram (cid : 0 : 1) begin function f begin float v; \
+            receive (L, X, v, xs[0]); receive (L, X, v, xs[1]); send (R, X, v); \
+            end call f; end";
+        let hir = parse_and_check(src).expect("front end accepts");
+        let host = HostMemory::new(&hir.vars);
+        let err = interpret(&hir, &host).expect_err("cell 1 starves");
+        assert!(err.contains("empty upstream"), "{err}");
+    }
+
+    #[test]
+    fn conditionals_take_one_branch() {
+        let src = "module sel (a in, r out) float a[2]; float r[2]; \
+            cellprogram (cid : 0 : 0) begin function f begin float v, w; int i; \
+            for i := 0 to 1 do begin receive (L, X, v, a[i]); \
+            if v < 0.0 then w := -v; else w := v; \
+            send (R, X, w, r[i]); end; end call f; end";
+        let out = run(src, &[("a", &[-3.0, 4.0])]);
+        assert_eq!(out.host.get("r").unwrap(), &[3.0, 4.0]);
+    }
+}

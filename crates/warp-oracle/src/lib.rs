@@ -1,0 +1,36 @@
+//! The semantic backstop of the Warp compiler: everything needed to
+//! falsify the claim that skewed lock-step execution is invisible.
+//!
+//! The paper's central promise (§5) is that a W2 cellprogram computes
+//! exactly what its *sequential* reading says, even though the
+//! compiled array runs cells skewed in time with statically sized
+//! queues. This crate holds the three pieces that check that promise
+//! for arbitrary programs, not just the Table 7-1 corpus:
+//!
+//! - [`interp`] — a reference interpreter that executes the typed HIR
+//!   with the simplest possible semantics: cells run to completion one
+//!   after another and `send`/`receive` are unbounded FIFOs. It knows
+//!   nothing about skew, queues, or the IU, and shares no code with the
+//!   back end, so agreement with the cycle-level simulator is strong
+//!   evidence both are right.
+//! - [`gen`] — a splitmix64-seeded generator of well-typed
+//!   cellprograms covering the hard corners: dissimilar nested loop
+//!   structures, receives at different loop depths, conditionals
+//!   feeding sends, multi-cell pipelines, buffered replays.
+//! - [`shrink`] — a greedy delta-debugging shrinker over the W2 AST
+//!   that reduces any failing program to a minimal repro, plus a
+//!   compact printer for the repro files it writes.
+//!
+//! The differential driver that wires these against the real pipeline
+//! lives in `warp-compiler` (`warp_compiler::differential`, surfaced
+//! as `w2c --differential N --seed S`); this crate deliberately stays
+//! below the compiler so the oracle can never be contaminated by the
+//! code it is meant to check.
+
+pub mod gen;
+pub mod interp;
+pub mod shrink;
+
+pub use gen::{generate, GenConfig, GenProgram};
+pub use interp::{interpret, interpret_run, OracleRun};
+pub use shrink::{shrink, ShrinkStats};

@@ -1,0 +1,721 @@
+//! Greedy delta-debugging over W2 syntax trees.
+//!
+//! [`shrink`] takes a failing program and a predicate ("does this
+//! source still fail?") and repeatedly applies the first
+//! still-failing candidate from a fixed transform order, restarting
+//! until no transform helps or the predicate-call budget runs out.
+//! Transforms, most aggressive first:
+//!
+//! 1. delete any statement subtree;
+//! 2. replace a `for` by its body with the index substituted by the
+//!    lower bound (kills the loop entirely);
+//! 3. collapse a `for` to a single iteration;
+//! 4. replace an `if` by its then-branch, or drop its else-branch;
+//! 5. shrink the cellprogram range (one cell fewer, or down to one);
+//! 6. drop a host parameter and its declaration, or an unused local;
+//! 7. replace a binary assign/send expression by one of its operands.
+//!
+//! The predicate sees canonical source (so every candidate is
+//! guaranteed to reparse); callers typically wire it to "compiles,
+//! oracle runs clean, simulator still disagrees" — candidates the
+//! compiler rejects or the oracle cannot run simply return `false`
+//! and are skipped, which keeps shrunk repros semantically valid.
+//!
+//! [`print_compact`] renders the final AST with merged header/decl
+//! lines for the repro files the differential driver writes: a
+//! minimal two-cell receive/send mismatch fits in nine lines.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use w2_lang::ast::{Expr, Function, LValue, Module, Stmt};
+use w2_lang::parser::parse;
+use w2_lang::pretty::{self, print_module};
+
+/// Counters from one [`shrink`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Greedy restarts (accepted candidates + the final fixpoint scan).
+    pub rounds: usize,
+    /// Predicate invocations.
+    pub tried: usize,
+    /// Candidates that still failed and were adopted.
+    pub accepted: usize,
+}
+
+/// Greedily shrinks `source` while `fails` keeps returning `true`,
+/// spending at most `budget` predicate calls. Returns the canonical
+/// form of the smallest failing program found (the input itself if the
+/// source does not parse or nothing smaller fails) and the counters.
+pub fn shrink(
+    source: &str,
+    budget: usize,
+    mut fails: impl FnMut(&str) -> bool,
+) -> (String, ShrinkStats) {
+    let mut stats = ShrinkStats::default();
+    let Ok(mut ast) = parse(source) else {
+        return (source.to_owned(), stats);
+    };
+    'outer: loop {
+        stats.rounds += 1;
+        for cand in candidates(&ast) {
+            if stats.tried >= budget {
+                break 'outer;
+            }
+            stats.tried += 1;
+            let src = print_module(&cand);
+            if fails(&src) {
+                stats.accepted += 1;
+                ast = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (print_module(&ast), stats)
+}
+
+/// Renders a module compactly for repro files: merged decl lines, the
+/// `cellprogram`/`function` headers fused with their `begin`, one line
+/// per top-level statement (inner blocks flattened — W2 tokens are
+/// whitespace-separated, so this is lexically safe), and the trailing
+/// statements fused with the closing `end`. Reparses to the same AST
+/// as the canonical form; a repro that the shrinker got down to a few
+/// top-level statements fits in under ten lines regardless of how
+/// deeply those statements nest.
+pub fn print_compact(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "module {} (", m.name);
+    for (i, p) in m.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let dir = match p.dir {
+            w2_lang::ast::ParamDir::In => "in",
+            w2_lang::ast::ParamDir::Out => "out",
+        };
+        let _ = write!(out, "{} {dir}", p.name);
+    }
+    out.push_str(")\n");
+    if !m.host_decls.is_empty() {
+        let decls: Vec<String> = m
+            .host_decls
+            .iter()
+            .map(|d| format!("{};", pretty::print_decl(d)))
+            .collect();
+        let _ = writeln!(out, "{}", decls.join(" "));
+    }
+    let cp = &m.cellprogram;
+    let _ = writeln!(
+        out,
+        "cellprogram ({} : {} : {}) begin",
+        cp.cell_id_var, cp.lo, cp.hi
+    );
+    for f in &cp.functions {
+        let _ = writeln!(out, "function {} begin", f.name);
+        if !f.locals.is_empty() {
+            let decls: Vec<String> = f
+                .locals
+                .iter()
+                .map(|d| format!("{};", pretty::print_decl(d)))
+                .collect();
+            let _ = writeln!(out, "{}", decls.join(" "));
+        }
+        for s in &f.body {
+            let _ = writeln!(out, "{}", flat_stmt(s));
+        }
+        out.push_str("end\n");
+    }
+    let tail: Vec<String> = cp.body.iter().map(flat_stmt).collect();
+    if tail.is_empty() {
+        out.push_str("end\n");
+    } else {
+        let _ = writeln!(out, "{} end", tail.join(" "));
+    }
+    out
+}
+
+/// One statement as a single line, inner blocks and all.
+fn flat_stmt(s: &Stmt) -> String {
+    let mut buf = String::new();
+    pretty::print_stmt(&mut buf, s, 0);
+    buf.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// One statement-site transform, applied at a DFS pre-order index.
+#[derive(Clone, Copy, PartialEq)]
+enum Action {
+    Remove,
+    /// Replace a `for` by its body, substituting the index with `lo`.
+    ForInline,
+    /// Collapse a `for` to its first iteration (`hi := lo`).
+    ForSingleIter,
+    /// Replace an `if` by its then-branch.
+    IfThen,
+    /// Drop an `if`'s else-branch.
+    IfDropElse,
+    /// Replace a binary assign/send expression by its left operand.
+    ExprLhs,
+    /// ... or its right operand.
+    ExprRhs,
+}
+
+/// All single-step simplifications of `m`, most aggressive first.
+fn candidates(m: &Module) -> Vec<Module> {
+    let mut out = Vec::new();
+    let n = count_stmts(m);
+    for action in [
+        Action::Remove,
+        Action::ForInline,
+        Action::ForSingleIter,
+        Action::IfThen,
+        Action::IfDropElse,
+    ] {
+        for i in 0..n {
+            if let Some(cand) = apply(m, i, action) {
+                out.push(cand);
+            }
+        }
+    }
+    // Fewer cells: down to one, then one fewer.
+    let cp = &m.cellprogram;
+    if cp.hi > cp.lo {
+        let mut one = m.clone();
+        one.cellprogram.hi = cp.lo;
+        out.push(one);
+        if cp.hi - 1 > cp.lo {
+            let mut fewer = m.clone();
+            fewer.cellprogram.hi = cp.hi - 1;
+            out.push(fewer);
+        }
+    }
+    // Drop a parameter together with its declaration.
+    for p in &m.params {
+        let mut cand = m.clone();
+        cand.params.retain(|q| q.name != p.name);
+        cand.host_decls.retain(|d| d.name != p.name);
+        out.push(cand);
+    }
+    // Drop locals no statement references.
+    let mut used = HashSet::new();
+    collect_used(&m.cellprogram.body, &mut used);
+    for f in &m.cellprogram.functions {
+        collect_used(&f.body, &mut used);
+    }
+    for (fi, f) in m.cellprogram.functions.iter().enumerate() {
+        for d in &f.locals {
+            if !used.contains(d.name.as_str()) {
+                let mut cand = m.clone();
+                cand.cellprogram.functions[fi]
+                    .locals
+                    .retain(|l| l.name != d.name);
+                out.push(cand);
+            }
+        }
+    }
+    for action in [Action::ExprLhs, Action::ExprRhs] {
+        for i in 0..n {
+            if let Some(cand) = apply(m, i, action) {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+fn count_stmts(m: &Module) -> usize {
+    fn walk(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| {
+                1 + match s {
+                    Stmt::For { body, .. } => walk(body),
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => walk(then_body) + walk(else_body),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+    walk(&m.cellprogram.body)
+        + m.cellprogram
+            .functions
+            .iter()
+            .map(|f| walk(&f.body))
+            .sum::<usize>()
+}
+
+/// Rebuilds `m` with `action` applied to the `target`-th statement in
+/// DFS pre-order (cellprogram body first, then each function body).
+/// Returns `None` when the action does not fit the targeted statement.
+fn apply(m: &Module, target: usize, action: Action) -> Option<Module> {
+    let mut ctr = 0usize;
+    let mut applied = false;
+    let body = rebuild(&m.cellprogram.body, &mut ctr, target, action, &mut applied);
+    let functions: Vec<Function> = m
+        .cellprogram
+        .functions
+        .iter()
+        .map(|f| Function {
+            body: rebuild(&f.body, &mut ctr, target, action, &mut applied),
+            ..f.clone()
+        })
+        .collect();
+    if !applied {
+        return None;
+    }
+    let mut out = m.clone();
+    out.cellprogram.body = body;
+    out.cellprogram.functions = functions;
+    Some(out)
+}
+
+fn rebuild(
+    stmts: &[Stmt],
+    ctr: &mut usize,
+    target: usize,
+    action: Action,
+    applied: &mut bool,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        let here = *ctr == target;
+        *ctr += 1;
+        if here {
+            match (action, s) {
+                (Action::Remove, _) => {
+                    *applied = true;
+                    skip_count(s, ctr);
+                    continue;
+                }
+                (Action::ForInline, Stmt::For { var, lo, body, .. }) => {
+                    if let Some(lo) = const_int(lo) {
+                        *applied = true;
+                        skip_count(s, ctr);
+                        for inner in body {
+                            out.push(subst_stmt(inner, var, lo));
+                        }
+                        continue;
+                    }
+                }
+                (
+                    Action::ForSingleIter,
+                    Stmt::For {
+                        var,
+                        lo,
+                        hi,
+                        body,
+                        span,
+                    },
+                ) if const_int(lo).is_some() && const_int(lo) != const_int(hi) => {
+                    *applied = true;
+                    skip_count(s, ctr);
+                    out.push(Stmt::For {
+                        var: var.clone(),
+                        lo: lo.clone(),
+                        hi: lo.clone(),
+                        body: body.clone(),
+                        span: *span,
+                    });
+                    continue;
+                }
+                (Action::IfThen, Stmt::If { then_body, .. }) => {
+                    *applied = true;
+                    skip_count(s, ctr);
+                    out.extend(then_body.iter().cloned());
+                    continue;
+                }
+                (Action::IfDropElse, Stmt::If { else_body, .. }) if !else_body.is_empty() => {
+                    *applied = true;
+                    if let Stmt::If {
+                        cond,
+                        then_body,
+                        span,
+                        ..
+                    } = s
+                    {
+                        skip_count(s, ctr);
+                        out.push(Stmt::If {
+                            cond: cond.clone(),
+                            then_body: then_body.clone(),
+                            else_body: Vec::new(),
+                            span: *span,
+                        });
+                        continue;
+                    }
+                }
+                (Action::ExprLhs | Action::ExprRhs, Stmt::Assign { lhs, rhs, span }) => {
+                    if let Some(operand) = binary_operand(rhs, action) {
+                        *applied = true;
+                        out.push(Stmt::Assign {
+                            lhs: lhs.clone(),
+                            rhs: operand,
+                            span: *span,
+                        });
+                        continue;
+                    }
+                }
+                (
+                    Action::ExprLhs | Action::ExprRhs,
+                    Stmt::Send {
+                        dir,
+                        chan,
+                        value,
+                        ext,
+                        span,
+                    },
+                ) => {
+                    if let Some(operand) = binary_operand(value, action) {
+                        *applied = true;
+                        out.push(Stmt::Send {
+                            dir: *dir,
+                            chan: *chan,
+                            value: operand,
+                            ext: ext.clone(),
+                            span: *span,
+                        });
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Not the target (or the action did not fit): recurse normally.
+        out.push(match s {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                body,
+                span,
+            } => Stmt::For {
+                var: var.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+                body: rebuild(body, ctr, target, action, applied),
+                span: *span,
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => Stmt::If {
+                cond: cond.clone(),
+                then_body: rebuild(then_body, ctr, target, action, applied),
+                else_body: rebuild(else_body, ctr, target, action, applied),
+                span: *span,
+            },
+            other => other.clone(),
+        });
+    }
+    out
+}
+
+/// Advances the DFS counter past a statement's children (used when the
+/// statement was replaced wholesale, so its children are never visited).
+fn skip_count(s: &Stmt, ctr: &mut usize) {
+    fn walk(stmts: &[Stmt], ctr: &mut usize) {
+        for s in stmts {
+            *ctr += 1;
+            walk_children(s, ctr);
+        }
+    }
+    fn walk_children(s: &Stmt, ctr: &mut usize) {
+        match s {
+            Stmt::For { body, .. } => walk(body, ctr),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk(then_body, ctr);
+                walk(else_body, ctr);
+            }
+            _ => {}
+        }
+    }
+    walk_children(s, ctr);
+}
+
+fn const_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::IntLit { value, .. } => Some(*value),
+        Expr::Unary {
+            op: w2_lang::ast::UnOp::Neg,
+            operand,
+            ..
+        } => const_int(operand).map(|v| -v),
+        _ => None,
+    }
+}
+
+fn binary_operand(e: &Expr, action: Action) -> Option<Expr> {
+    match e {
+        Expr::Binary { lhs, rhs, .. } => Some(if action == Action::ExprLhs {
+            (**lhs).clone()
+        } else {
+            (**rhs).clone()
+        }),
+        _ => None,
+    }
+}
+
+/// Replaces reads of loop index `var` by the literal `value` throughout
+/// a statement (stopping at an inner `for` that rebinds the name).
+fn subst_stmt(s: &Stmt, var: &str, value: i64) -> Stmt {
+    match s {
+        Stmt::Assign { lhs, rhs, span } => Stmt::Assign {
+            lhs: subst_lv(lhs, var, value),
+            rhs: subst_expr(rhs, var, value),
+            span: *span,
+        },
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span,
+        } => Stmt::If {
+            cond: subst_expr(cond, var, value),
+            then_body: then_body
+                .iter()
+                .map(|t| subst_stmt(t, var, value))
+                .collect(),
+            else_body: else_body
+                .iter()
+                .map(|t| subst_stmt(t, var, value))
+                .collect(),
+            span: *span,
+        },
+        Stmt::For {
+            var: v,
+            lo,
+            hi,
+            body,
+            span,
+        } => Stmt::For {
+            var: v.clone(),
+            lo: subst_expr(lo, var, value),
+            hi: subst_expr(hi, var, value),
+            body: if v == var {
+                body.clone()
+            } else {
+                body.iter().map(|t| subst_stmt(t, var, value)).collect()
+            },
+            span: *span,
+        },
+        Stmt::Receive {
+            dir,
+            chan,
+            dst,
+            ext,
+            span,
+        } => Stmt::Receive {
+            dir: *dir,
+            chan: *chan,
+            dst: subst_lv(dst, var, value),
+            ext: ext.as_ref().map(|e| subst_expr(e, var, value)),
+            span: *span,
+        },
+        Stmt::Send {
+            dir,
+            chan,
+            value: v,
+            ext,
+            span,
+        } => Stmt::Send {
+            dir: *dir,
+            chan: *chan,
+            value: subst_expr(v, var, value),
+            ext: ext.as_ref().map(|lv| subst_lv(lv, var, value)),
+            span: *span,
+        },
+        Stmt::Call { .. } => s.clone(),
+    }
+}
+
+fn subst_expr(e: &Expr, var: &str, value: i64) -> Expr {
+    match e {
+        Expr::Var { name, span } if name == var => Expr::IntLit { value, span: *span },
+        Expr::Elem {
+            name,
+            indices,
+            span,
+        } => Expr::Elem {
+            name: name.clone(),
+            indices: indices.iter().map(|i| subst_expr(i, var, value)).collect(),
+            span: *span,
+        },
+        Expr::Binary { op, lhs, rhs, span } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(subst_expr(lhs, var, value)),
+            rhs: Box::new(subst_expr(rhs, var, value)),
+            span: *span,
+        },
+        Expr::Unary { op, operand, span } => Expr::Unary {
+            op: *op,
+            operand: Box::new(subst_expr(operand, var, value)),
+            span: *span,
+        },
+        other => other.clone(),
+    }
+}
+
+fn subst_lv(lv: &LValue, var: &str, value: i64) -> LValue {
+    match lv {
+        LValue::Elem {
+            name,
+            indices,
+            span,
+        } => LValue::Elem {
+            name: name.clone(),
+            indices: indices.iter().map(|i| subst_expr(i, var, value)).collect(),
+            span: *span,
+        },
+        other => other.clone(),
+    }
+}
+
+fn collect_used(stmts: &[Stmt], used: &mut HashSet<String>) {
+    fn expr(e: &Expr, used: &mut HashSet<String>) {
+        match e {
+            Expr::Var { name, .. } => {
+                used.insert(name.clone());
+            }
+            Expr::Elem { name, indices, .. } => {
+                used.insert(name.clone());
+                for i in indices {
+                    expr(i, used);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                expr(lhs, used);
+                expr(rhs, used);
+            }
+            Expr::Unary { operand, .. } => expr(operand, used),
+            _ => {}
+        }
+    }
+    fn lv(l: &LValue, used: &mut HashSet<String>) {
+        match l {
+            LValue::Var { name, .. } => {
+                used.insert(name.clone());
+            }
+            LValue::Elem { name, indices, .. } => {
+                used.insert(name.clone());
+                for i in indices {
+                    expr(i, used);
+                }
+            }
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => {
+                lv(lhs, used);
+                expr(rhs, used);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                expr(cond, used);
+                collect_used(then_body, used);
+                collect_used(else_body, used);
+            }
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => {
+                used.insert(var.clone());
+                expr(lo, used);
+                expr(hi, used);
+                collect_used(body, used);
+            }
+            Stmt::Receive { dst, ext, .. } => {
+                lv(dst, used);
+                if let Some(e) = ext {
+                    expr(e, used);
+                }
+            }
+            Stmt::Send { value, ext, .. } => {
+                expr(value, used);
+                if let Some(l) = ext {
+                    lv(l, used);
+                }
+            }
+            Stmt::Call { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::pretty::strip_spans;
+
+    const PROGRAM: &str = "module m (a in, r out) float a[4]; float r[4]; \
+        cellprogram (cid : 0 : 2) begin function f begin float v, w; int i; \
+        for i := 0 to 3 do begin receive (L, X, v, a[i]); \
+        w := v * 2.0 + 1.0; \
+        if v < 0.0 then begin w := 0.0; end else begin w := w + 1.0; end \
+        send (R, X, w, r[i]); end; \
+        end call f; end";
+
+    #[test]
+    fn shrinks_to_fixpoint_under_a_simple_predicate() {
+        // Predicate: program still contains a receive and a send and
+        // compiles — a stand-in for "still mismatches".
+        let fails = |src: &str| {
+            src.contains("receive") && src.contains("send") && w2_lang::parse_and_check(src).is_ok()
+        };
+        let (out, stats) = shrink(PROGRAM, 500, fails);
+        assert!(stats.accepted > 0, "{stats:?}");
+        assert!(out.contains("receive") && out.contains("send"));
+        // The loop, the compute, and the conditional all shrink away.
+        assert!(!out.contains("for"), "{out}");
+        assert!(!out.contains("if"), "{out}");
+        // And the canonical result still parses.
+        parse(&out).expect("shrunk output reparses");
+    }
+
+    #[test]
+    fn budget_caps_predicate_calls() {
+        let (_, stats) = shrink(PROGRAM, 7, |_| false);
+        assert_eq!(stats.tried, 7);
+        assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn unparsable_input_is_returned_unchanged() {
+        let (out, stats) = shrink("module oops", 100, |_| true);
+        assert_eq!(out, "module oops");
+        assert_eq!(stats.tried, 0);
+    }
+
+    #[test]
+    fn compact_print_reparses_to_the_same_ast() {
+        let ast = parse(PROGRAM).expect("parses");
+        let compact = print_compact(&ast);
+        let reparsed = parse(&compact)
+            .unwrap_or_else(|e| panic!("compact form must reparse:\n{e}\n{compact}"));
+        assert_eq!(strip_spans(&ast), strip_spans(&reparsed), "{compact}");
+    }
+
+    #[test]
+    fn minimal_repro_fits_in_ten_lines() {
+        let minimal = "module m (a in, r out) float a[1]; float r[1]; \
+            cellprogram (cid : 0 : 1) begin function f begin float v; \
+            receive (L, X, v, a[0]); send (R, X, v, r[0]); end call f; end";
+        let ast = parse(minimal).expect("parses");
+        let compact = print_compact(&ast);
+        assert!(
+            compact.lines().count() <= 10,
+            "{} lines:\n{compact}",
+            compact.lines().count()
+        );
+    }
+}

@@ -98,6 +98,12 @@ pub struct RunReport {
     pub queue_high_water: BTreeMap<Chan, u64>,
     /// Words delivered to the host.
     pub words_out: u64,
+    /// Every word the last cell sent toward the host, per channel, in
+    /// arrival order — including words no host sink claims. This is the
+    /// boundary stream the differential oracle compares against: a
+    /// reordering or dropped word shows up here even when the final
+    /// memory image happens to agree.
+    pub out_streams: BTreeMap<Chan, Vec<f32>>,
 }
 
 impl RunReport {
@@ -504,6 +510,12 @@ fn run_impl(
     }
 
     let fp_ops = cells.iter().map(|c| c.fp_ops).sum();
+    let out_streams = boundary_out
+        .iter()
+        .enumerate()
+        .filter(|(_, words)| !words.is_empty())
+        .map(|(ci, words)| (chan_of(ci), words.clone()))
+        .collect();
     Ok(RunReport {
         host,
         cycles: t,
@@ -511,6 +523,7 @@ fn run_impl(
         max_queue_occupancy: max_occ,
         queue_high_water: high_water,
         words_out,
+        out_streams,
     })
 }
 

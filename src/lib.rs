@@ -18,6 +18,7 @@ pub use warp_common as common;
 pub use warp_compiler as compiler;
 pub use warp_host as host;
 pub use warp_iu as iu;
+pub use warp_oracle as oracle;
 pub use warp_sim as sim;
 pub use warp_skew as skew;
 

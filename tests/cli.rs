@@ -297,6 +297,126 @@ fn corpus_all_prints_batch_summary() {
     assert!(stdout.contains("<- slowest"), "{stdout}");
 }
 
+/// `DOUBLE` with one extra cell-local variable that is never used:
+/// sema warns, the compile still succeeds.
+const DOUBLE_UNUSED: &str = "module double (xs in, ys out)\nfloat xs[4];\nfloat ys[4];\n\
+    cellprogram (cid : 0 : 0)\nbegin\n  function f\n  begin\n    float v;\n    float w;\n    int i;\n\
+    for i := 0 to 3 do begin\n      receive (L, X, v, xs[i]);\n      send (R, X, v + v, ys[i]);\n\
+    end;\n  end\n  call f;\nend\n";
+
+#[test]
+fn warnings_go_to_stderr_but_do_not_fail_the_compile() {
+    let src = write_temp("warn", DOUBLE_UNUSED);
+    let out = w2c().arg(&src).output().expect("w2c runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "warnings must not fail the compile: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: unused cell-local variable `w`"),
+        "{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("compiled `double`"), "{stdout}");
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn error_diagnostics_exit_nonzero() {
+    // Any error-severity diagnostic must turn into a non-zero exit —
+    // scripts and CI depend on the exit code, not on parsing stderr.
+    let src = write_temp(
+        "error-exit",
+        "module broken (a in)\nfloat a[4];\ncellprogram (c : 0 : 0)\nbegin\n  function f\n  begin\n    float x;\n    x := zz;\n  end\n  call f;\nend\n",
+    );
+    let out = w2c().arg(&src).output().expect("w2c runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn differential_smoke_is_clean() {
+    let out = w2c()
+        .args(["--differential", "5", "--seed", "1"])
+        .output()
+        .expect("w2c runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {stdout}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("5 agree"), "{stdout}");
+    assert!(stdout.contains("0 mismatch"), "{stdout}");
+}
+
+#[test]
+fn differential_check_agrees_on_a_file() {
+    let src = write_temp("diff-check", DOUBLE);
+    let out = w2c()
+        .arg(&src)
+        .args(["--differential-check", "--seed", "7"])
+        .output()
+        .expect("w2c runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {stdout}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("simulator agrees with the oracle"),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn differential_inject_fails_and_writes_shrunk_repros() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("w2c-test-repros-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = w2c()
+        .args(["--differential", "5", "--seed", "1"])
+        .args(["--inject", "skew=-1"])
+        .arg("--repro-dir")
+        .arg(&dir)
+        .output()
+        .expect("w2c runs");
+    // skew=-1 ships every word one cycle early; at least one of the
+    // first five generated programs must notice.
+    assert_eq!(out.status.code(), Some(1));
+    let repros: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("repro dir created")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.starts_with("case-") && n.ends_with(".w2") && !n.ends_with(".orig.w2")
+            })
+        })
+        .collect();
+    assert!(!repros.is_empty(), "no shrunk repro written");
+    let repro = std::fs::read_to_string(&repros[0]).expect("read repro");
+    assert!(
+        repro.contains("--differential-check"),
+        "repro must carry its replay command: {repro}"
+    );
+    let source_lines = repro
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("/*"))
+        .count();
+    assert!(
+        source_lines <= 10,
+        "shrunk repro should be minimal, got {source_lines} source lines:\n{repro}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn corpus_all_rejects_single_module_flags() {
     let out = w2c()

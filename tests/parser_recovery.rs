@@ -1,0 +1,94 @@
+//! Regression tests for parser error recovery.
+//!
+//! Malformed programs must produce bounded, useful diagnostics: never
+//! a panic, never an unbounded error cascade (the parser caps itself
+//! at [`MAX_SYNTAX_ERRORS`]), and — because recovery resynchronizes at
+//! statement boundaries — an error early in a body must not mask a
+//! distinct error later in the same body.
+
+use warp::w2::parser::{parse, MAX_SYNTAX_ERRORS};
+
+/// Parses and returns the rendered diagnostics (empty when accepted).
+fn diagnostics(src: &str) -> Vec<String> {
+    match parse(src) {
+        Ok(_) => Vec::new(),
+        Err(bag) => bag.iter().map(|d| d.to_string()).collect(),
+    }
+}
+
+fn wrap(body: &str) -> String {
+    format!(
+        "module m (a in, r out)\nfloat a[4];\nfloat r[4];\n\
+         cellprogram (cid : 0 : 0)\nbegin\n  function f\n  begin\n\
+         float v;\nint i;\n{body}\n  end\n  call f;\nend\n"
+    )
+}
+
+#[test]
+fn missing_semicolon_recovers_and_reports_later_errors() {
+    // First statement is missing its `;`; a distinct parse error (a
+    // `for` without `do`) sits in a later statement and must still be
+    // seen. (The later error must be parse-level: lexer errors such as
+    // a stray `@` abort before recovery ever runs.)
+    let diags = diagnostics(&wrap(
+        "receive (L, X, v, a[0])\nv := v + 1.0;\nfor i := 0 to 3 begin\nv := v + 1.0;\nend;",
+    ));
+    assert!(!diags.is_empty());
+    assert!(diags.len() <= MAX_SYNTAX_ERRORS + 2, "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.contains(';')),
+        "missing-semicolon diagnostic expected: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.contains("`do`")),
+        "the later error must survive recovery: {diags:?}"
+    );
+}
+
+#[test]
+fn unterminated_for_is_a_diagnostic_not_a_panic() {
+    let diags = diagnostics(&wrap("for i := 0 to 3 do begin\nv := v + 1.0;"));
+    assert!(!diags.is_empty());
+    assert!(diags.len() <= MAX_SYNTAX_ERRORS + 2, "{diags:?}");
+}
+
+#[test]
+fn stray_end_is_a_diagnostic_not_a_panic() {
+    let diags = diagnostics(&wrap("end;\nv := v + 1.0;"));
+    assert!(!diags.is_empty());
+    assert!(diags.len() <= MAX_SYNTAX_ERRORS + 2, "{diags:?}");
+}
+
+#[test]
+fn pathological_garbage_is_capped() {
+    // A long run of junk statements must hit the cap, not emit one
+    // diagnostic per token. The bound allows two extras beyond the cap:
+    // the "giving up" note, plus one module-level `expected \`end\``
+    // as the parser unwinds out of the abandoned statement list.
+    let body: String = (0..200).map(|_| ":= := ;\n").collect();
+    let diags = diagnostics(&wrap(&body));
+    assert!(!diags.is_empty());
+    assert!(
+        diags.len() <= MAX_SYNTAX_ERRORS + 2,
+        "cap exceeded: {} diagnostics",
+        diags.len()
+    );
+    assert!(
+        diags.iter().any(|d| d.contains("giving up")),
+        "cap note expected: {diags:?}"
+    );
+}
+
+#[test]
+fn truncated_source_never_panics() {
+    // Every prefix of a valid program parses to Ok or Err, never a
+    // panic — the classic truncation sweep.
+    let full =
+        wrap("for i := 0 to 3 do begin\nreceive (L, X, v, a[i]);\nsend (R, X, v, r[i]);\nend;");
+    for len in 0..full.len() {
+        if !full.is_char_boundary(len) {
+            continue;
+        }
+        let _ = parse(&full[..len]);
+    }
+}
