@@ -236,7 +236,16 @@ impl Lexer<'_> {
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
         if is_float {
             match text.trim_end_matches('.').parse::<f64>() {
-                Ok(v) => self.push(TokenKind::FloatLit(v), start),
+                // `1e999` parses Ok(inf): reject anything that rounded
+                // out of f64's finite range instead of silently folding
+                // the program's constants to infinity.
+                Ok(v) if v.is_finite() => self.push(TokenKind::FloatLit(v), start),
+                Ok(_) => {
+                    return Err(Diagnostic::error(
+                        format!("float literal `{text}` out of range"),
+                        self.span_from(start),
+                    ))
+                }
                 Err(_) => {
                     return Err(Diagnostic::error(
                         format!("malformed float literal `{text}`"),
@@ -328,6 +337,21 @@ mod tests {
                 FloatLit(0.025),
                 Eof
             ]
+        );
+    }
+
+    #[test]
+    fn out_of_range_float_literal_errors() {
+        let err = lex("x := 1e999;").unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("float literal `1e999` out of range"));
+        let err = lex("y := 123456789e3000;").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        // Subnormal underflow to zero is fine; only infinities are rejected.
+        assert_eq!(
+            kinds("1e-999"),
+            vec![TokenKind::FloatLit(0.0), TokenKind::Eof]
         );
     }
 

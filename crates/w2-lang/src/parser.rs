@@ -32,6 +32,14 @@ use warp_common::{Diagnostic, DiagnosticBag, Span};
 /// follow-on errors helps nobody).
 pub const MAX_SYNTAX_ERRORS: usize = 16;
 
+/// Recursion-depth cap shared by nested statements, unary chains, and
+/// parenthesized expressions. The parser (and downstream the checker
+/// and lowerer) recurses several stack frames per nesting level, so
+/// adversarial inputs like `((((...))))` would otherwise overflow the
+/// default 2 MiB thread stack; real W2 programs nest a handful deep,
+/// so 64 leaves an order of magnitude of headroom on both sides.
+pub const MAX_NESTING_DEPTH: usize = 64;
+
 /// Parses a W2 module from source text.
 ///
 /// Statement lists recover at statement boundaries: a malformed
@@ -49,6 +57,7 @@ pub fn parse(source: &str) -> Result<Module, DiagnosticBag> {
     let mut parser = Parser {
         tokens,
         pos: 0,
+        depth: 0,
         errors: Vec::new(),
     };
     let result = parser.module();
@@ -71,6 +80,9 @@ pub fn parse(source: &str) -> Result<Module, DiagnosticBag> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current statement/expression nesting depth, guarded against
+    /// [`MAX_NESTING_DEPTH`].
+    depth: usize,
     /// Diagnostics recovered at statement boundaries.
     errors: Vec<Diagnostic>,
 }
@@ -116,6 +128,23 @@ impl Parser {
                 self.peek_span(),
             ))
         }
+    }
+
+    /// Runs `f` one nesting level deeper, rejecting the program once
+    /// [`MAX_NESTING_DEPTH`] is reached. Every self-recursive parse
+    /// path (nested statements, unary chains, parentheses) goes through
+    /// here, so parser stack use is bounded for arbitrary inputs.
+    fn with_depth<T>(&mut self, f: impl FnOnce(&mut Self) -> PResult<T>) -> PResult<T> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(Diagnostic::error(
+                format!("nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"),
+                self.peek_span(),
+            ));
+        }
+        self.depth += 1;
+        let result = f(self);
+        self.depth -= 1;
+        result
     }
 
     fn expect_ident(&mut self) -> PResult<(String, Span)> {
@@ -349,18 +378,18 @@ impl Parser {
     /// surrounding statement list by callers that accept a body; here it
     /// yields its statements via `stmt_block`.
     fn stmt(&mut self) -> PResult<Stmt> {
-        match self.peek().clone() {
-            TokenKind::If => self.if_stmt(),
-            TokenKind::For => self.for_stmt(),
-            TokenKind::Receive => self.receive_stmt(),
-            TokenKind::Send => self.send_stmt(),
-            TokenKind::Call => self.call_stmt(),
-            TokenKind::Ident(_) => self.assign_stmt(),
+        self.with_depth(|p| match p.peek().clone() {
+            TokenKind::If => p.if_stmt(),
+            TokenKind::For => p.for_stmt(),
+            TokenKind::Receive => p.receive_stmt(),
+            TokenKind::Send => p.send_stmt(),
+            TokenKind::Call => p.call_stmt(),
+            TokenKind::Ident(_) => p.assign_stmt(),
             other => Err(Diagnostic::error(
                 format!("expected statement, found {}", other.describe()),
-                self.peek_span(),
+                p.peek_span(),
             )),
-        }
+        })
     }
 
     /// Parses either a single statement or a `begin ... end` block into a
@@ -625,26 +654,32 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> PResult<Expr> {
-        let span = self.peek_span();
-        if self.eat(&TokenKind::Minus) {
-            let operand = self.unary_expr()?;
-            let span = span.merge(operand.span());
-            return Ok(Expr::Unary {
-                op: UnOp::Neg,
-                operand: Box::new(operand),
-                span,
-            });
-        }
-        if self.eat(&TokenKind::Not) {
-            let operand = self.unary_expr()?;
-            let span = span.merge(operand.span());
-            return Ok(Expr::Unary {
-                op: UnOp::Not,
-                operand: Box::new(operand),
-                span,
-            });
-        }
-        self.primary_expr()
+        // Every self-recursive expression path (unary chains and, via
+        // `primary_expr`'s parentheses and indices, nested subtrees)
+        // passes through here, so this is the one depth charge per
+        // expression level.
+        self.with_depth(|p| {
+            let span = p.peek_span();
+            if p.eat(&TokenKind::Minus) {
+                let operand = p.unary_expr()?;
+                let span = span.merge(operand.span());
+                return Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                    span,
+                });
+            }
+            if p.eat(&TokenKind::Not) {
+                let operand = p.unary_expr()?;
+                let span = span.merge(operand.span());
+                return Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                    span,
+                });
+            }
+            p.primary_expr()
+        })
     }
 
     fn primary_expr(&mut self) -> PResult<Expr> {
@@ -921,6 +956,52 @@ end
             err.len()
         );
         assert!(err.to_string().contains("too many syntax errors"), "{err}");
+    }
+
+    #[test]
+    fn deep_paren_nesting_is_rejected_not_overflowed() {
+        let depth = MAX_NESTING_DEPTH * 4;
+        let expr = format!("{}x{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; x := {expr}; end call f; end"
+        );
+        let err = parse(&src).unwrap_err();
+        assert!(err.to_string().contains("maximum depth"), "{err}");
+    }
+
+    #[test]
+    fn deep_unary_chain_is_rejected_not_overflowed() {
+        let chain = "-".repeat(MAX_NESTING_DEPTH * 4);
+        let src = format!(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; x := {chain}x; end call f; end"
+        );
+        let err = parse(&src).unwrap_err();
+        assert!(err.to_string().contains("maximum depth"), "{err}");
+    }
+
+    #[test]
+    fn deep_statement_nesting_is_rejected_not_overflowed() {
+        let depth = MAX_NESTING_DEPTH * 4;
+        let nest = "if x < 1.0 then ".repeat(depth);
+        let src = format!(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; {nest} x := 0.0; end call f; end"
+        );
+        let err = parse(&src).unwrap_err();
+        assert!(err.to_string().contains("maximum depth"), "{err}");
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let depth = 32;
+        let expr = format!("{}x{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!(
+            "module m (a out) float a[1]; cellprogram (c : 0 : 0) begin \
+             function f begin float x; x := {expr}; end call f; end"
+        );
+        parse(&src).expect("64 levels of parentheses are fine");
     }
 
     #[test]

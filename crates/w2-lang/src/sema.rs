@@ -10,6 +10,31 @@ use std::collections::HashMap;
 use warp_common::idvec::Id as _;
 use warp_common::{Diagnostic, DiagnosticBag, IdVec, Span};
 
+/// Recursion-depth cap for the checker's statement/expression walk.
+/// The parser already caps syntactic nesting
+/// ([`crate::parser::MAX_NESTING_DEPTH`]), but function inlining
+/// stacks the callee's nesting on top of the caller's, so the checker
+/// carries its own (larger) guard.
+pub const MAX_SEMA_DEPTH: usize = 192;
+
+/// Ceiling on the number of cells a `cellprogram (c : lo : hi)` range
+/// may request. The real machine had 10; this guards the `u32` cell
+/// count (and everything downstream that is linear in it) against
+/// adversarial ranges like `0 : 9223372036854775807`.
+pub const MAX_CELLS: i128 = 65_536;
+
+/// Ceiling on a single `for` loop's trip count. Loops are fully
+/// enumerated by the timing analysis and unrolled or counted by
+/// codegen, so a `for i := 0 to 2147483647` program is rejected here
+/// with a spanned diagnostic rather than hanging a later pass.
+pub const MAX_LOOP_TRIPS: i128 = 1 << 31;
+
+/// Ceiling on the product of all enclosing loops' trip counts — the
+/// total dynamic iteration count of the innermost statement. Nested
+/// loops multiply, so per-loop caps alone still admit `(2^31)^2`
+/// iteration spaces.
+pub const MAX_TOTAL_ITERATIONS: i128 = 1 << 40;
+
 /// Checks `ast` and lowers it to HIR.
 ///
 /// # Errors
@@ -26,6 +51,9 @@ pub fn check(ast: &Module) -> Result<HirModule, DiagnosticBag> {
         active_loops: Vec::new(),
         inline_stack: Vec::new(),
         in_if: false,
+        depth: 0,
+        depth_exceeded: false,
+        trip_product: 1,
         params: Vec::new(),
         param_dirs: HashMap::new(),
         cell_id_name: ast.cellprogram.cell_id_var.clone(),
@@ -150,6 +178,15 @@ struct Checker<'a> {
     inline_stack: Vec<String>,
     /// Inside an `if` branch: I/O and calls are forbidden (predication).
     in_if: bool,
+    /// Current statement/expression recursion depth, guarded against
+    /// [`MAX_SEMA_DEPTH`].
+    depth: usize,
+    /// Set once the depth cap has been reported, so one pathological
+    /// nest produces one diagnostic instead of thousands.
+    depth_exceeded: bool,
+    /// Product of the enclosing loops' trip counts, guarded against
+    /// [`MAX_TOTAL_ITERATIONS`].
+    trip_product: i128,
     params: Vec<(VarId, ParamDir)>,
     param_dirs: HashMap<VarId, ParamDir>,
     cell_id_name: String,
@@ -171,14 +208,27 @@ impl<'a> Checker<'a> {
         self.declare_functions(&ast.cellprogram);
 
         let cp = &ast.cellprogram;
+        // Computed in i128: `hi - lo + 1` overflows i64 for adversarial
+        // ranges, and the old `as u32` cast silently wrapped.
+        let range = i128::from(cp.hi) - i128::from(cp.lo) + 1;
         let n_cells = if cp.hi < cp.lo {
             self.diags.error(
                 format!("cellprogram range {}:{} is empty", cp.lo, cp.hi),
                 cp.span,
             );
             1
+        } else if range > MAX_CELLS {
+            self.diags.error(
+                format!(
+                    "cellprogram range {}:{} asks for {range} cells; at most {MAX_CELLS} are \
+                     supported",
+                    cp.lo, cp.hi
+                ),
+                cp.span,
+            );
+            1
         } else {
-            (cp.hi - cp.lo + 1) as u32
+            range as u32
         };
 
         let scope = ScopeCtx { fn_locals: None };
@@ -327,6 +377,25 @@ impl<'a> Checker<'a> {
     }
 
     fn stmt(&mut self, stmt: &'a ast::Stmt, scope: ScopeCtx<'_>, out: &mut Vec<HirStmt>) {
+        if self.depth >= MAX_SEMA_DEPTH {
+            if !self.depth_exceeded {
+                self.depth_exceeded = true;
+                self.diags.error(
+                    format!(
+                        "statement nesting (including inlined calls) exceeds the maximum depth \
+                         of {MAX_SEMA_DEPTH}"
+                    ),
+                    stmt.span(),
+                );
+            }
+            return;
+        }
+        self.depth += 1;
+        self.stmt_guarded(stmt, scope, out);
+        self.depth -= 1;
+    }
+
+    fn stmt_guarded(&mut self, stmt: &'a ast::Stmt, scope: ScopeCtx<'_>, out: &mut Vec<HirStmt>) {
         match stmt {
             ast::Stmt::Assign { lhs, rhs, span } => {
                 let lhs_h = self.lvalue(lhs, scope);
@@ -410,11 +479,40 @@ impl<'a> Checker<'a> {
                     );
                     return;
                 }
+                // Trip counts in i128: `hi - lo + 1` overflows i64 for
+                // bounds near its limits. Downstream passes enumerate
+                // or unroll iterations, so both the single-loop count
+                // and the nested product are capped here.
+                let trips = i128::from(hi_v) - i128::from(lo_v) + 1;
+                if trips > MAX_LOOP_TRIPS {
+                    self.diags.error(
+                        format!(
+                            "loop range {lo_v}..{hi_v} has {trips} iterations; at most \
+                             {MAX_LOOP_TRIPS} are supported"
+                        ),
+                        *span,
+                    );
+                    return;
+                }
+                let product = self.trip_product.saturating_mul(trips);
+                if product > MAX_TOTAL_ITERATIONS {
+                    self.diags.error(
+                        format!(
+                            "nested loops iterate {product} times in total; at most \
+                             {MAX_TOTAL_ITERATIONS} are supported"
+                        ),
+                        *span,
+                    );
+                    return;
+                }
                 self.active_loops.push(var_id);
+                let saved_product = self.trip_product;
+                self.trip_product = product;
                 let mut body_h = Vec::new();
                 for s in body {
                     self.stmt(s, scope, &mut body_h);
                 }
+                self.trip_product = saved_product;
                 self.active_loops.pop();
                 out.push(HirStmt::For {
                     var: var_id,
@@ -765,6 +863,23 @@ impl<'a> Checker<'a> {
     }
 
     fn expr(&mut self, e: &ast::Expr, scope: ScopeCtx<'_>) -> Option<(HirExpr, Ty)> {
+        if self.depth >= MAX_SEMA_DEPTH {
+            if !self.depth_exceeded {
+                self.depth_exceeded = true;
+                self.diags.error(
+                    format!("expression nesting exceeds the maximum depth of {MAX_SEMA_DEPTH}"),
+                    e.span(),
+                );
+            }
+            return None;
+        }
+        self.depth += 1;
+        let result = self.expr_guarded(e, scope);
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_guarded(&mut self, e: &ast::Expr, scope: ScopeCtx<'_>) -> Option<(HirExpr, Ty)> {
         match e {
             ast::Expr::IntLit { value, .. } => Some((HirExpr::IntLit(*value), Ty::Int)),
             ast::Expr::FloatLit { value, .. } => {
@@ -980,6 +1095,38 @@ end
         let err = parse_and_check(&src).expect_err("should be rejected");
         let text = err.to_string();
         assert!(text.contains(needle), "expected `{needle}` in: {text}");
+    }
+
+    #[test]
+    fn huge_cellprogram_range_is_rejected() {
+        let src = "module m (a out) float a[1]; \
+                   cellprogram (cid : 0 : 9223372036854775807) begin \
+                   function f begin float x; x := 1.0; end call f; end";
+        let err = parse_and_check(src).expect_err("should be rejected");
+        assert!(err.to_string().contains("cells"), "{err}");
+    }
+
+    #[test]
+    fn huge_loop_trip_count_is_rejected() {
+        expect_err(
+            "for i := 0 to 9223372036854775806 do x := x + 1.0;",
+            "iterations",
+        );
+        // Bounds whose difference overflows i64.
+        expect_err(
+            "for i := -9223372036854775807 to 9223372036854775807 do x := x + 1.0;",
+            "iterations",
+        );
+    }
+
+    #[test]
+    fn nested_loop_product_is_rejected() {
+        // Each loop is individually under MAX_LOOP_TRIPS (2^31), but the
+        // pair multiplies to 2^60 > MAX_TOTAL_ITERATIONS (2^40).
+        expect_err(
+            "for i := 0 to 1073741823 do for j := 0 to 1073741823 do x := x + 1.0;",
+            "in total",
+        );
     }
 
     #[test]

@@ -156,6 +156,103 @@ impl Rat {
     pub fn to_f64(self) -> f64 {
         self.num as f64 / self.den as f64
     }
+
+    /// Creates `num/den` in canonical form, returning `None` on a zero
+    /// denominator or if canonicalisation would overflow `i128`.
+    ///
+    /// This is the fallible twin of [`Rat::new`] for inputs that are not
+    /// under the compiler's control (e.g. timing functions derived from
+    /// adversarial programs).
+    pub fn checked_new(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
+        }
+        // The plain gcd uses `%` and unary negation, both of which can
+        // overflow at i128::MIN (`MIN % -1`, `-MIN`); this path must not.
+        fn checked_gcd(mut a: i128, mut b: i128) -> Option<i128> {
+            while b != 0 {
+                let t = a.checked_rem(b)?;
+                a = b;
+                b = t;
+            }
+            if a < 0 {
+                a.checked_neg()
+            } else {
+                Some(a)
+            }
+        }
+        // g is positive: it is zero only when num == den == 0, which the
+        // den check above excludes. Division by the positive gcd cannot
+        // overflow.
+        let g = checked_gcd(num, den)?;
+        let mut num = num / g;
+        let mut den = den / g;
+        if den < 0 {
+            num = num.checked_neg()?;
+            den = den.checked_neg()?;
+        }
+        Some(Rat { num, den })
+    }
+
+    /// Checked addition: `None` if any intermediate product or sum
+    /// overflows `i128`.
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        let a = self.num.checked_mul(rhs.den)?;
+        let b = rhs.num.checked_mul(self.den)?;
+        Rat::checked_new(a.checked_add(b)?, self.den.checked_mul(rhs.den)?)
+    }
+
+    /// Checked subtraction: `None` on `i128` overflow.
+    pub fn checked_sub(self, rhs: Rat) -> Option<Rat> {
+        let a = self.num.checked_mul(rhs.den)?;
+        let b = rhs.num.checked_mul(self.den)?;
+        Rat::checked_new(a.checked_sub(b)?, self.den.checked_mul(rhs.den)?)
+    }
+
+    /// Checked multiplication: `None` on `i128` overflow.
+    pub fn checked_mul(self, rhs: Rat) -> Option<Rat> {
+        Rat::checked_new(
+            self.num.checked_mul(rhs.num)?,
+            self.den.checked_mul(rhs.den)?,
+        )
+    }
+
+    /// Checked division: `None` if `rhs` is zero or on `i128` overflow.
+    pub fn checked_div(self, rhs: Rat) -> Option<Rat> {
+        if rhs.num == 0 {
+            return None;
+        }
+        Rat::checked_new(
+            self.num.checked_mul(rhs.den)?,
+            self.den.checked_mul(rhs.num)?,
+        )
+    }
+
+    /// Checked comparison: `None` if the cross products overflow `i128`.
+    ///
+    /// [`Ord::cmp`] uses unchecked cross-multiplication; use this when
+    /// comparing rationals built from untrusted magnitudes.
+    pub fn checked_cmp(self, other: Rat) -> Option<Ordering> {
+        let a = self.num.checked_mul(other.den)?;
+        let b = other.num.checked_mul(self.den)?;
+        Some(a.cmp(&b))
+    }
+
+    /// Checked maximum via [`Rat::checked_cmp`].
+    pub fn checked_max(self, other: Rat) -> Option<Rat> {
+        match self.checked_cmp(other)? {
+            Ordering::Less => Some(other),
+            _ => Some(self),
+        }
+    }
+
+    /// Checked minimum via [`Rat::checked_cmp`].
+    pub fn checked_min(self, other: Rat) -> Option<Rat> {
+        match self.checked_cmp(other)? {
+            Ordering::Greater => Some(other),
+            _ => Some(self),
+        }
+    }
 }
 
 impl Default for Rat {
@@ -380,5 +477,89 @@ mod tests {
     fn sum_iterator() {
         let s: Rat = (1..=4).map(|i| Rat::new(1, i)).sum();
         assert_eq!(s, Rat::new(25, 12));
+    }
+
+    #[test]
+    fn checked_matches_unchecked_in_range() {
+        let a = Rat::new(5, 3);
+        let b = Rat::new(3, 2);
+        assert_eq!(a.checked_add(b), Some(a + b));
+        assert_eq!(a.checked_sub(b), Some(a - b));
+        assert_eq!(a.checked_mul(b), Some(a * b));
+        assert_eq!(a.checked_div(b), Some(a / b));
+        assert_eq!(a.checked_cmp(b), Some(Ordering::Greater));
+        assert_eq!(a.checked_max(b), Some(a));
+        assert_eq!(a.checked_min(b), Some(b));
+        assert_eq!(Rat::checked_new(2, -4), Some(Rat::new(-1, 2)));
+    }
+
+    #[test]
+    fn checked_new_edge_cases() {
+        assert_eq!(Rat::checked_new(1, 0), None);
+        assert_eq!(Rat::checked_new(0, 0), None);
+        // i128::MIN numerator with a positive denominator is representable.
+        assert_eq!(Rat::checked_new(i128::MIN, 1), Some(Rat::from(i128::MIN)));
+        assert_eq!(Rat::checked_new(i128::MIN, 2).map(Rat::denom), Some(1));
+        // -(i128::MIN) does not exist, so normalising the sign must fail
+        // instead of wrapping.
+        assert_eq!(Rat::checked_new(i128::MIN, -1), None);
+        assert_eq!(Rat::checked_new(1, i128::MIN), None);
+        // Even (MIN, MIN) == 1 is conservatively rejected: the gcd
+        // itself cannot be represented.
+        assert_eq!(Rat::checked_new(i128::MIN, i128::MIN), None);
+        assert_eq!(Rat::checked_new(i128::MAX, i128::MAX), Some(Rat::ONE));
+    }
+
+    #[test]
+    fn checked_add_overflow_boundary() {
+        let max = Rat::from(i128::MAX);
+        assert_eq!(max.checked_add(Rat::ONE), None);
+        assert_eq!(max.checked_add(Rat::ZERO), Some(max));
+        assert_eq!(max.checked_sub(Rat::ONE), Some(Rat::from(i128::MAX - 1)));
+        let min = Rat::from(i128::MIN);
+        assert_eq!(min.checked_sub(Rat::ONE), None);
+        assert_eq!(min.checked_add(Rat::ONE), Some(Rat::from(i128::MIN + 1)));
+        // Cross products overflow even when the reduced result would fit:
+        // (MAX/2) + (1/3) multiplies MAX·3 before reducing.
+        let near = Rat::new(i128::MAX, 2);
+        assert_eq!(near.checked_add(Rat::new(1, 3)), None);
+    }
+
+    #[test]
+    fn checked_mul_overflow_boundary() {
+        let big = Rat::from(1i128 << 64);
+        assert_eq!(big.checked_mul(big), None);
+        let fits = Rat::from(1i128 << 63);
+        assert_eq!(fits.checked_mul(fits), Some(Rat::from(1i128 << 126)));
+        assert_eq!(
+            Rat::from(i128::MAX).checked_mul(Rat::ONE),
+            Some(Rat::from(i128::MAX))
+        );
+    }
+
+    #[test]
+    fn checked_div_boundary() {
+        assert_eq!(Rat::ONE.checked_div(Rat::ZERO), None);
+        let max = Rat::from(i128::MAX);
+        assert_eq!(max.checked_div(Rat::ONE), Some(max));
+        // 1 / (1/MAX) = MAX is fine; 1 / (1/MAX) squared overflows.
+        let tiny = Rat::new(1, i128::MAX);
+        assert_eq!(Rat::ONE.checked_div(tiny), Some(max));
+        assert_eq!(tiny.checked_div(max), None);
+    }
+
+    #[test]
+    fn checked_cmp_overflow_boundary() {
+        // Comparing MAX/2 with MAX/3 cross-multiplies MAX·3: overflow.
+        let a = Rat::new(i128::MAX, 2);
+        let b = Rat::new(i128::MAX, 3);
+        assert_eq!(a.checked_cmp(b), None);
+        assert_eq!(a.checked_max(b), None);
+        assert_eq!(a.checked_min(b), None);
+        // Small values still compare.
+        assert_eq!(
+            Rat::new(1, 3).checked_cmp(Rat::new(1, 2)),
+            Some(Ordering::Less)
+        );
     }
 }

@@ -7,6 +7,7 @@
 //!             [--audit-guarantees] [--inject SPEC]
 //! w2c FILE.w2 --differential-check [--seed S] [--inject SPEC]
 //! w2c --differential N [--seed S] [--repro-dir DIR] [--inject SPEC]
+//! w2c --fuzz N [--seed S] [--repro-dir DIR]
 //! w2c --corpus NAME [same flags]        (polynomial, conv1d, binop,
 //!                                        colorseg, mandelbrot)
 //! w2c --corpus all [--time-passes] [--audit-guarantees]
@@ -32,12 +33,18 @@
 //! run, and comparison for a single program. Combined with `--inject`
 //! both modes check a deliberately perturbed build, which must be
 //! caught.
+//!
+//! `--fuzz N` runs N seeded byte/token mutations of the corpus through
+//! the guarded pipeline and demands a structured verdict for each —
+//! compiled, rejected, budget-stopped, or overflow-stopped. Any panic
+//! is caught, line-shrunk, and (with `--repro-dir`) written as a
+//! replayable `fuzz-<seed>.w2` file; the exit code is non-zero.
 
 use std::process::ExitCode;
 use warp_common::{observe, CollectDumps};
 use warp_compiler::{
-    audit, corpus, differential, passes, service, CompileOptions, CompiledModule, ServiceConfig,
-    Session,
+    audit, corpus, differential, fuzz, passes, service, CompileOptions, CompiledModule,
+    ServiceConfig, Session,
 };
 use warp_ir::LowerOptions;
 use warp_service::{ExecutorConfig, JobOutcome};
@@ -72,6 +79,7 @@ struct Args {
     inject: Option<FaultPlan>,
     differential: Option<usize>,
     differential_check: bool,
+    fuzz: Option<usize>,
     seed: Option<u64>,
     repro_dir: Option<std::path::PathBuf>,
 }
@@ -86,6 +94,7 @@ fn usage() -> ! {
          \x20           [--audit-guarantees] [--inject SPEC]\n\
          \x20      w2c FILE.w2 --differential-check [--seed S] [--inject SPEC]\n\
          \x20      w2c --differential N [--seed S] [--repro-dir DIR] [--inject SPEC]\n\
+         \x20      w2c --fuzz N [--seed S] [--repro-dir DIR]\n\
          \x20      w2c --corpus NAME [same flags]\n\
          \x20      w2c --corpus all [--time-passes] [--audit-guarantees]\n\
          \x20  --emit KIND: one of {}\n\
@@ -98,9 +107,12 @@ fn usage() -> ! {
          \x20      reference oracle, shrinking any disagreement\n\
          \x20  --differential-check: compile FILE and compare simulator vs\n\
          \x20      oracle once (the repro-replay mode)\n\
-         \x20  --seed S: root seed for --differential / input seed for\n\
-         \x20      --differential-check (default 1)\n\
-         \x20  --repro-dir DIR: where --differential writes shrunk repros\n\
+         \x20  --fuzz N: run N mutated inputs through the guarded pipeline;\n\
+         \x20      any panic is caught, shrunk, and reported\n\
+         \x20  --seed S: root seed for --differential / --fuzz, input seed\n\
+         \x20      for --differential-check (default 1)\n\
+         \x20  --repro-dir DIR: where --differential / --fuzz write shrunk\n\
+         \x20      repros\n\
          \x20  --inject SPEC: simulate under a fault plan, e.g.\n\
          \x20      seed=7,skew=-1,queue=4,budget=500,drop=X:0,corrupt=Y:3,\n\
          \x20      truncate=X:10,adr-delay=100@2,adr-drop=5,adr-corrupt=0:4096,\n\
@@ -127,6 +139,7 @@ fn parse_args() -> Args {
         inject: None,
         differential: None,
         differential_check: false,
+        fuzz: None,
         seed: None,
         repro_dir: None,
     };
@@ -149,6 +162,10 @@ fn parse_args() -> Args {
                 parsed.differential = Some(n.parse().unwrap_or_else(|_| usage()));
             }
             "--differential-check" => parsed.differential_check = true,
+            "--fuzz" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                parsed.fuzz = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
             "--seed" => {
                 let s = args.next().unwrap_or_else(|| usage());
                 parsed.seed = Some(s.parse().unwrap_or_else(|_| usage()));
@@ -240,7 +257,7 @@ fn parse_args() -> Args {
             );
             usage();
         }
-    } else if parsed.source.is_none() && parsed.differential.is_none() {
+    } else if parsed.source.is_none() && parsed.differential.is_none() && parsed.fuzz.is_none() {
         usage();
     }
     if parsed.differential_check && parsed.source.is_none() {
@@ -417,6 +434,27 @@ fn run_differential(args: &Args, cases: usize) -> ExitCode {
     }
 }
 
+/// `--fuzz N`: mutated inputs through the guarded pipeline via
+/// [`fuzz::run_fuzz`], with caught panics shrunk and written to
+/// `--repro-dir`. Exits non-zero on any crash — a total compiler
+/// produces crash-free runs on every seed.
+fn run_fuzz(args: &Args, cases: usize) -> ExitCode {
+    let opts = fuzz::FuzzOptions {
+        cases,
+        seed: args.seed.unwrap_or(1),
+        compile: args.opts.clone(),
+        repro_dir: args.repro_dir.clone(),
+        ..fuzz::FuzzOptions::default()
+    };
+    let report = fuzz::run_fuzz(&opts);
+    print!("{report}");
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// `FILE --differential-check`: one compile + simulate + bitwise
 /// oracle comparison — the replay half of the repro workflow the
 /// shrunk `.w2` files name in their header comment.
@@ -458,6 +496,9 @@ fn main() -> ExitCode {
     }
     if let (Some(cases), None) = (args.differential, &args.source) {
         return run_differential(&args, cases);
+    }
+    if let (Some(cases), None) = (args.fuzz, &args.source) {
+        return run_fuzz(&args, cases);
     }
     let (source_name, source) = args.source.clone().expect("checked by parse_args");
     if args.differential_check {

@@ -3,7 +3,7 @@
 //! ```text
 //! w2cd [--deadline-ms N] [--queue-capacity N] [--max-attempts N]
 //!      [--breaker-threshold N] [--skew-max-events N]
-//!      [--max-cell-cycles N] [--workers N]
+//!      [--max-cell-cycles N] [--max-source-bytes N] [--workers N]
 //! w2cd --corpus [same flags]       (one-shot: queue Table 7-1, run, exit)
 //! ```
 //!
@@ -18,13 +18,18 @@
 //! submit NAME FILE.w2     queue a source file under NAME
 //! run                     drain the queue in parallel, print the batch summary
 //! status                  queue depth and quarantined names
+//! health                  guard limits and queue depth, one line
 //! reset NAME              reopen the circuit breaker for NAME
 //! quit                    exit (EOF works too)
 //! ```
 //!
 //! Every response is a single line (or an indented block for `run`),
 //! so the daemon is scriptable: the CI smoke test pipes a command
-//! sequence in and asserts on the summary.
+//! sequence in and asserts on the summary. Malformed lines — unknown
+//! commands, missing or trailing operands — are answered with a
+//! one-line `error: ...` rather than killing the daemon, and an EOF
+//! that arrives with jobs still queued drains them (one final batch
+//! run) before exit so piped sessions never silently drop work.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -45,10 +50,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: w2cd [--deadline-ms N] [--queue-capacity N] [--max-attempts N]\n\
          \x20           [--breaker-threshold N] [--skew-max-events N]\n\
-         \x20           [--max-cell-cycles N] [--workers N]\n\
+         \x20           [--max-cell-cycles N] [--max-source-bytes N] [--workers N]\n\
          \x20      w2cd --corpus [same flags]\n\
          \x20  stdin protocol: corpus NAME|all, submit NAME FILE.w2, run,\n\
-         \x20                  status, reset NAME, quit"
+         \x20                  status, health, reset NAME, quit"
     );
     std::process::exit(2)
 }
@@ -75,6 +80,10 @@ fn parse_args() -> DaemonArgs {
             // easily but a pathological loop nest will not.
             skew_max_events: 50_000_000,
             max_cell_cycles: 100_000_000,
+            // 4 MiB of W2 source is far beyond any real program but
+            // cheap enough that an accidental paste can't wedge a
+            // worker in the lexer.
+            max_source_bytes: 4 * 1024 * 1024,
             workers: 0,
         },
         opts: CompileOptions::default(),
@@ -100,6 +109,7 @@ fn parse_args() -> DaemonArgs {
             }
             "--skew-max-events" => parsed.config.skew_max_events = parse_u64(&mut args),
             "--max-cell-cycles" => parsed.config.max_cell_cycles = parse_u64(&mut args),
+            "--max-source-bytes" => parsed.config.max_source_bytes = parse_u64(&mut args),
             "--workers" => parsed.config.workers = parse_u64(&mut args) as usize,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -166,10 +176,14 @@ fn main() -> ExitCode {
     );
     let stdin = std::io::stdin();
     let mut all_clean = true;
+    let mut saw_quit = false;
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(l) => l,
             Err(e) => {
+                // Non-UTF-8 or I/O trouble on stdin: report and fall
+                // through to the EOF drain rather than dropping queued
+                // jobs.
                 eprintln!("stdin error: {e}");
                 break;
             }
@@ -177,39 +191,72 @@ fn main() -> ExitCode {
         let mut words = line.split_whitespace();
         match words.next() {
             None => {}
-            Some("quit") => break,
+            Some("quit") => {
+                saw_quit = true;
+                break;
+            }
             Some("corpus") => {
                 let which = words.next().unwrap_or("all");
-                if let Err(e) = queue_corpus(&mut svc, which) {
+                if words.next().is_some() {
+                    println!("error: usage: corpus [NAME|all]");
+                } else if let Err(e) = queue_corpus(&mut svc, which) {
                     println!("error: {e}");
                 }
             }
-            Some("submit") => match (words.next(), words.next()) {
-                (Some(name), Some(path)) => match std::fs::read_to_string(path) {
+            Some("submit") => match (words.next(), words.next(), words.next()) {
+                (Some(name), Some(path), None) => match std::fs::read_to_string(path) {
                     Ok(source) => report_admission(name, &svc.submit(name, source)),
                     Err(e) => println!("error: cannot read `{path}`: {e}"),
                 },
                 _ => println!("error: usage: submit NAME FILE.w2"),
             },
-            Some("run") => {
+            Some("run") if words.next().is_none() => {
                 all_clean &= run_batch(&mut svc);
             }
-            Some("status") => {
+            Some("status") if words.next().is_none() => {
                 println!(
                     "queued={} quarantined=[{}]",
                     svc.queue_len(),
                     svc.quarantined_names().join(", ")
                 );
             }
-            Some("reset") => match words.next() {
-                Some(name) => {
+            Some("health") if words.next().is_none() => {
+                let c = svc.config().clone();
+                println!(
+                    "healthy queued={} queue-capacity={} deadline-ms={} max-attempts={} \
+                     breaker-threshold={} skew-max-events={} max-cell-cycles={} \
+                     max-source-bytes={} quarantined={}",
+                    svc.queue_len(),
+                    c.exec.queue_capacity,
+                    c.exec.deadline_ticks / 1_000,
+                    c.exec.max_attempts,
+                    c.exec.breaker_threshold,
+                    c.skew_max_events,
+                    c.max_cell_cycles,
+                    c.max_source_bytes,
+                    svc.quarantined_names().len(),
+                );
+            }
+            Some("reset") => match (words.next(), words.next()) {
+                (Some(name), None) => {
                     svc.reset_breaker(name);
                     println!("breaker reset for {name}");
                 }
-                None => println!("error: usage: reset NAME"),
+                _ => println!("error: usage: reset NAME"),
             },
+            Some(cmd @ ("run" | "status" | "health")) => {
+                println!("error: `{cmd}` takes no operands");
+            }
             Some(other) => println!("error: unknown command `{other}`"),
         }
+        let _ = std::io::stdout().flush();
+    }
+
+    // EOF with work still queued (a piped session that forgot a final
+    // `run`): drain it so submitted jobs are never silently dropped.
+    if !saw_quit && svc.queue_len() > 0 {
+        println!("draining {} queued job(s) at EOF", svc.queue_len());
+        all_clean &= run_batch(&mut svc);
         let _ = std::io::stdout().flush();
     }
 

@@ -250,6 +250,7 @@ pub fn check_case(source: &str, input_seed: u64, opts: &DiffOptions) -> CaseOutc
         cancel: cancel.clone(),
         skew_max_events: 0,
         max_cell_cycles: opts.max_cell_cycles,
+        max_source_bytes: 0,
     });
     let module = match session.try_compile(source) {
         Ok(m) => m,

@@ -46,6 +46,7 @@
 pub mod audit;
 pub mod corpus;
 pub mod differential;
+pub mod fuzz;
 pub mod oracle;
 pub mod passes;
 pub mod reference;
@@ -102,6 +103,10 @@ pub struct SessionCtrl {
     /// the memory/IR-size budget guarding against oversized loop
     /// bounds.
     pub max_cell_cycles: u64,
+    /// Ceiling on the source text size in bytes, checked before the
+    /// frontend runs (`0` = unlimited). Oversized inputs fail fast with
+    /// [`CompileFailure::TooLarge`] instead of being lexed.
+    pub max_source_bytes: u64,
 }
 
 /// A structured compilation failure: what stopped the pipeline, and
@@ -120,15 +125,28 @@ pub enum CompileFailure {
         /// Why the compilation was stopped.
         reason: CancelReason,
     },
-    /// The generated cell program exceeded the configured size ceiling
-    /// ([`SessionCtrl::max_cell_cycles`]).
+    /// A measured resource exceeded its configured ceiling: the
+    /// generated cell program outgrew [`SessionCtrl::max_cell_cycles`],
+    /// or the source text outgrew [`SessionCtrl::max_source_bytes`].
     TooLarge {
         /// The pass whose output tripped the ceiling.
         pass: &'static str,
-        /// Dynamic cell-program length, in cycles.
-        cycles: u64,
+        /// What was measured (`"cell cycles"`, `"source bytes"`).
+        what: &'static str,
+        /// The measured size.
+        size: u64,
         /// The configured ceiling.
         limit: u64,
+    },
+    /// Timing arithmetic overflowed its fixed-width representation:
+    /// the rational skew bounds or the `i64` schedule offsets could
+    /// not be computed exactly ([`warp_skew::TimingOverflow`]). The
+    /// program is rejected rather than scheduled with wrong timing.
+    TimingOverflow {
+        /// The pass whose arithmetic overflowed.
+        pass: &'static str,
+        /// Human-readable description of the overflowing computation.
+        detail: String,
     },
 }
 
@@ -136,7 +154,10 @@ impl CompileFailure {
     /// `true` for the budget-enforcement outcomes (interruption or size
     /// ceiling) as opposed to an ordinary rejection of the program.
     pub fn is_budget_failure(&self) -> bool {
-        !matches!(self, CompileFailure::Diagnostics(_))
+        matches!(
+            self,
+            CompileFailure::Interrupted { .. } | CompileFailure::TooLarge { .. }
+        )
     }
 
     /// Flattens the failure into plain diagnostics.
@@ -161,13 +182,17 @@ impl std::fmt::Display for CompileFailure {
             }
             CompileFailure::TooLarge {
                 pass,
-                cycles,
+                what,
+                size,
                 limit,
             } => write!(
                 f,
-                "cell program too large after `{pass}`: {cycles} cycle(s) exceeds the \
-                 {limit}-cycle ceiling"
+                "program too large during `{pass}`: {size} {what} exceeds the configured \
+                 limit of {limit}"
             ),
+            CompileFailure::TimingOverflow { pass, detail } => {
+                write!(f, "timing arithmetic overflow during `{pass}`: {detail}")
+            }
         }
     }
 }

@@ -12,9 +12,10 @@
 //!
 //! - [`CompileFailure::Interrupted`] → [`FailureKind::Timeout`] — the
 //!   job's own budget stopped it.
-//! - [`CompileFailure::Diagnostics`] and [`CompileFailure::TooLarge`] →
-//!   [`FailureKind::Permanent`] — deterministic for a given source, so
-//!   retrying is pointless and the circuit breaker should count them.
+//! - [`CompileFailure::Diagnostics`], [`CompileFailure::TooLarge`], and
+//!   [`CompileFailure::TimingOverflow`] → [`FailureKind::Permanent`] —
+//!   deterministic for a given source, so retrying is pointless and the
+//!   circuit breaker should count them.
 //!
 //! The compiler itself never produces transient failures; the
 //! [`FailureKind::Transient`] path exists for service embeddings whose
@@ -33,7 +34,9 @@ use warp_service::{
 pub fn classify_failure(failure: &CompileFailure) -> FailureKind {
     match failure {
         CompileFailure::Interrupted { .. } => FailureKind::Timeout,
-        CompileFailure::Diagnostics(_) | CompileFailure::TooLarge { .. } => FailureKind::Permanent,
+        CompileFailure::Diagnostics(_)
+        | CompileFailure::TooLarge { .. }
+        | CompileFailure::TimingOverflow { .. } => FailureKind::Permanent,
     }
 }
 
@@ -49,6 +52,9 @@ pub struct ServiceConfig {
     /// Cell-program size ceiling in cycles (`0` = unlimited); see
     /// [`SessionCtrl::max_cell_cycles`].
     pub max_cell_cycles: u64,
+    /// Source-size ceiling in bytes (`0` = unlimited); see
+    /// [`SessionCtrl::max_source_bytes`].
+    pub max_source_bytes: u64,
     /// Worker threads for [`CompileService::run_parallel`]
     /// (`0` = one per available core).
     pub workers: usize,
@@ -121,11 +127,13 @@ impl CompileService {
         let opts = self.opts.clone();
         let skew_max_events = self.config.skew_max_events;
         let max_cell_cycles = self.config.max_cell_cycles;
+        let max_source_bytes = self.config.max_source_bytes;
         self.executor.submit(name, move |ctx| {
             let ctrl = SessionCtrl {
                 cancel: ctx.cancel.clone(),
                 skew_max_events,
                 max_cell_cycles,
+                max_source_bytes,
             };
             match Session::new(opts.clone())
                 .with_ctrl(ctrl)

@@ -161,10 +161,27 @@ impl<'obs> Session<'obs> {
     ///
     /// [`CompileFailure::Diagnostics`] when a pass rejects the program,
     /// [`CompileFailure::Interrupted`] on cancellation or deadline
-    /// expiry, [`CompileFailure::TooLarge`] when the size ceiling
-    /// trips.
+    /// expiry, [`CompileFailure::TooLarge`] when a size ceiling
+    /// (source bytes or cell cycles) trips, and
+    /// [`CompileFailure::TimingOverflow`] when the skew pass's exact
+    /// rational arithmetic cannot represent the schedule.
     pub fn try_compile(mut self, source: &str) -> Result<CompiledModule, CompileFailure> {
         let start = Instant::now();
+
+        // The input-size guard: reject oversized sources before the
+        // frontend allocates token and AST storage proportional to
+        // them.
+        if self.ctrl.max_source_bytes > 0 {
+            let bytes = source.len() as u64;
+            if bytes > self.ctrl.max_source_bytes {
+                return Err(CompileFailure::TooLarge {
+                    pass: "frontend",
+                    what: "source bytes",
+                    size: bytes,
+                    limit: self.ctrl.max_source_bytes,
+                });
+            }
+        }
 
         self.checkpoint("frontend")?;
         let hir = self
@@ -226,7 +243,8 @@ impl<'obs> Session<'obs> {
             if cycles > self.ctrl.max_cell_cycles {
                 return Err(CompileFailure::TooLarge {
                     pass: "cell-codegen",
-                    cycles,
+                    what: "cell cycles",
+                    size: cycles,
                     limit: self.ctrl.max_cell_cycles,
                 });
             }
@@ -234,6 +252,10 @@ impl<'obs> Session<'obs> {
 
         self.checkpoint("skew")?;
         let ctrl = self.ctrl.clone();
+        // Timing-arithmetic overflow is reported as its own failure
+        // class, not folded into ordinary diagnostics: the program may
+        // be well-formed, but its schedule cannot be represented.
+        let mut overflow: Option<warp_skew::TimingOverflow> = None;
         let skew = self
             .run_pass("skew", |opts| {
                 analyze(
@@ -247,8 +269,23 @@ impl<'obs> Session<'obs> {
                         max_events: ctrl.skew_max_events,
                     },
                 )
+                .map_err(|e| match e {
+                    warp_skew::SkewError::Diagnostics(d) => d,
+                    warp_skew::SkewError::Overflow(o) => {
+                        let mut diags = DiagnosticBag::new();
+                        diags.push(Diagnostic::error_global(o.to_string()));
+                        overflow = Some(o);
+                        diags
+                    }
+                })
             })
-            .map_err(|d| self.classify("skew", d))?;
+            .map_err(|d| match overflow.take() {
+                Some(o) => CompileFailure::TimingOverflow {
+                    pass: "skew",
+                    detail: o.to_string(),
+                },
+                None => self.classify("skew", d),
+            })?;
 
         self.checkpoint("iu-codegen")?;
         let iu = self

@@ -1,0 +1,97 @@
+//! Replays the checked-in crasher corpus (`tests/crashers/`) through
+//! the guarded pipeline and demands a clean structured verdict for
+//! every file — no panic, no hang, no wrapped arithmetic.
+//!
+//! Each file captures one hostile input class the fuzzer generates:
+//! deep expression and statement nesting (parser/sema/lowering
+//! recursion guards), mid-token truncation, invalid UTF-8, embedded
+//! NUL bytes, and literals sized to overflow i64 parsing, f64
+//! finiteness, and trip-count arithmetic. When `w2c --fuzz` finds a
+//! new crasher, its shrunk repro belongs here so the fix is pinned
+//! forever.
+
+use std::time::Duration;
+use warp_compiler::fuzz::{check_case, FuzzOptions, FuzzVerdict};
+
+fn guarded_opts() -> FuzzOptions {
+    FuzzOptions {
+        case_timeout: Duration::from_secs(10),
+        ..FuzzOptions::default()
+    }
+}
+
+/// Every crasher file must come back as a structured verdict. The
+/// corpus holds inputs that once looked dangerous (or still would be
+/// without the guards); none of them may compile silently either —
+/// they are all malformed on purpose.
+#[test]
+fn crasher_corpus_replays_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/crashers");
+    let opts = guarded_opts();
+    let mut replayed = 0usize;
+    for entry in std::fs::read_dir(dir).expect("crashers directory exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|e| e != "w2") {
+            continue;
+        }
+        let bytes = std::fs::read(&path).expect("crasher readable");
+        let verdict = check_case(&bytes, &opts);
+        match verdict {
+            FuzzVerdict::Rejected | FuzzVerdict::Budget | FuzzVerdict::Overflow => {}
+            other => panic!(
+                "crasher `{}` must be rejected with a structured error, got {other:?}",
+                path.display()
+            ),
+        }
+        replayed += 1;
+    }
+    assert!(replayed >= 6, "only {replayed} crasher files replayed");
+}
+
+/// The hostile classes individually, with the verdict each must hit —
+/// pinning not just "no crash" but *which* guard answers.
+#[test]
+fn deep_nesting_is_rejected_by_the_parser_guard() {
+    let bytes = include_bytes!("crashers/deep-nesting.w2");
+    let verdict = check_case(bytes, &guarded_opts());
+    assert!(matches!(verdict, FuzzVerdict::Rejected), "{verdict:?}");
+}
+
+#[test]
+fn deep_statement_chains_are_rejected_not_overflowed() {
+    let bytes = include_bytes!("crashers/deep-statements.w2");
+    let verdict = check_case(bytes, &guarded_opts());
+    assert!(matches!(verdict, FuzzVerdict::Rejected), "{verdict:?}");
+}
+
+#[test]
+fn truncated_source_is_rejected_with_diagnostics() {
+    let bytes = include_bytes!("crashers/truncated.w2");
+    let verdict = check_case(bytes, &guarded_opts());
+    assert!(matches!(verdict, FuzzVerdict::Rejected), "{verdict:?}");
+}
+
+#[test]
+// The whole point of this corpus file is that it is not valid UTF-8;
+// the lint fires because rustc can see that statically.
+#[allow(invalid_from_utf8)]
+fn non_utf8_input_is_rejected_at_the_boundary() {
+    let bytes = include_bytes!("crashers/non-utf8.w2");
+    assert!(std::str::from_utf8(bytes).is_err(), "corpus file decayed");
+    let verdict = check_case(bytes, &guarded_opts());
+    assert!(matches!(verdict, FuzzVerdict::Rejected), "{verdict:?}");
+}
+
+#[test]
+fn nul_bytes_are_rejected_with_diagnostics() {
+    let bytes = include_bytes!("crashers/nul-bytes.w2");
+    let verdict = check_case(bytes, &guarded_opts());
+    assert!(matches!(verdict, FuzzVerdict::Rejected), "{verdict:?}");
+}
+
+#[test]
+fn huge_literals_are_rejected_not_wrapped() {
+    let bytes = include_bytes!("crashers/huge-literals.w2");
+    let verdict = check_case(bytes, &guarded_opts());
+    assert!(matches!(verdict, FuzzVerdict::Rejected), "{verdict:?}");
+}

@@ -166,15 +166,17 @@ fn size_ceiling_rejects_oversized_programs_as_permanent() {
     assert_eq!(*kind, FailureKind::Permanent, "size is deterministic");
     let CompileFailure::TooLarge {
         pass,
-        cycles,
+        what,
+        size,
         limit,
     } = error
     else {
         panic!("expected TooLarge, got {error}");
     };
     assert_eq!(*pass, "cell-codegen");
+    assert_eq!(*what, "cell cycles");
     assert_eq!(*limit, 10_000);
-    assert!(*cycles > *limit);
+    assert!(*size > *limit);
 }
 
 /// When the skew event budget runs out the compile still succeeds with

@@ -72,6 +72,8 @@ pub fn lower(hir: &HirModule, opts: &LowerOptions) -> Result<CellIr, DiagnosticB
         loops: IdVec::new(),
         layout,
         active: HashMap::new(),
+        depth: 0,
+        depth_exceeded: false,
         diags,
     };
     let root = lw.lower_seq(&hir.body);
@@ -105,6 +107,11 @@ struct LoopBinding {
     offset: i64,
 }
 
+/// Recursion-depth cap for the lowerer's region/expression walk. The
+/// frontend already bounds nesting, but `lower` accepts any
+/// [`HirModule`], so the lowerer defends its own stack too.
+pub const MAX_LOWER_DEPTH: usize = 256;
+
 struct Lowerer<'h> {
     hir: &'h HirModule,
     opts: &'h LowerOptions,
@@ -113,10 +120,39 @@ struct Lowerer<'h> {
     layout: Layout,
     /// Active loop index variables, mapped to their loop bindings.
     active: HashMap<VarId, LoopBinding>,
+    /// Current region/expression recursion depth, guarded against
+    /// [`MAX_LOWER_DEPTH`].
+    depth: usize,
+    /// Set once the depth cap has been reported (one diagnostic per
+    /// module, not one per pruned subtree).
+    depth_exceeded: bool,
     diags: DiagnosticBag,
 }
 
 impl Lowerer<'_> {
+    /// Charges one recursion level, reporting (once) and refusing when
+    /// [`MAX_LOWER_DEPTH`] is reached. Callers skip the subtree on
+    /// `false`; [`leave_depth`](Self::leave_depth) undoes a successful
+    /// charge.
+    fn enter_depth(&mut self, span: Span) -> bool {
+        if self.depth >= MAX_LOWER_DEPTH {
+            if !self.depth_exceeded {
+                self.depth_exceeded = true;
+                self.diags.error(
+                    format!("nesting exceeds the lowering depth limit of {MAX_LOWER_DEPTH}"),
+                    span,
+                );
+            }
+            return false;
+        }
+        self.depth += 1;
+        true
+    }
+
+    fn leave_depth(&mut self) {
+        self.depth -= 1;
+    }
+
     /// Largest unroll factor `k ≤ opts.unroll` dividing `count`, for
     /// innermost (loop-free-body) loops only.
     fn pick_unroll(&self, count: u64, body: &[HirStmt]) -> u64 {
@@ -147,12 +183,30 @@ impl Lowerer<'_> {
         for stmt in stmts {
             match stmt {
                 HirStmt::For {
-                    var, lo, hi, body, ..
+                    var,
+                    lo,
+                    hi,
+                    body,
+                    span,
                 } => {
                     if let Some(b) = bb.take() {
                         regions.push(Region::Block(b.finish(self)));
                     }
-                    let count = (hi - lo + 1) as u64;
+                    // In i128: `hi - lo + 1` overflows i64 (and the old
+                    // `as u64` cast wrapped) for adversarial HIR bounds.
+                    let count_wide = i128::from(*hi) - i128::from(*lo) + 1;
+                    let Ok(count) = u64::try_from(count_wide) else {
+                        self.diags.error(
+                            format!(
+                                "loop range {lo}..{hi} cannot be lowered ({count_wide} iterations)"
+                            ),
+                            *span,
+                        );
+                        continue;
+                    };
+                    if !self.enter_depth(*span) {
+                        continue;
+                    }
                     let unroll = self.pick_unroll(count, body);
                     if unroll > 1 {
                         let id = self.loops.push(LoopMeta {
@@ -182,6 +236,7 @@ impl Lowerer<'_> {
                             id,
                             body: Box::new(block),
                         });
+                        self.leave_depth();
                         continue;
                     }
                     let id = self.loops.push(LoopMeta {
@@ -203,6 +258,7 @@ impl Lowerer<'_> {
                         id,
                         body: Box::new(body_region),
                     });
+                    self.leave_depth();
                 }
                 other => {
                     let b = bb.get_or_insert_with(Bb::new);
@@ -490,6 +546,15 @@ impl Bb {
     // ---- expressions ----
 
     fn expr(&mut self, lw: &mut Lowerer<'_>, e: &HirExpr, span: Span) -> Option<NodeId> {
+        if !lw.enter_depth(span) {
+            return None;
+        }
+        let result = self.expr_guarded(lw, e, span);
+        lw.leave_depth();
+        result
+    }
+
+    fn expr_guarded(&mut self, lw: &mut Lowerer<'_>, e: &HirExpr, span: Span) -> Option<NodeId> {
         match e {
             HirExpr::FloatLit(v) => Some(if lw.opts.optimize {
                 self.const_node(*v)
@@ -729,6 +794,14 @@ impl Bb {
     // ---- statements ----
 
     fn stmt(&mut self, lw: &mut Lowerer<'_>, stmt: &HirStmt, pred: Option<NodeId>) {
+        if !lw.enter_depth(stmt.span()) {
+            return;
+        }
+        self.stmt_guarded(lw, stmt, pred);
+        lw.leave_depth();
+    }
+
+    fn stmt_guarded(&mut self, lw: &mut Lowerer<'_>, stmt: &HirStmt, pred: Option<NodeId>) {
         match stmt {
             HirStmt::Assign { lhs, rhs, span } => {
                 let Some(value) = self.expr(lw, rhs, *span) else {

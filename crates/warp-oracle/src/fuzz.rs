@@ -1,0 +1,417 @@
+//! Seeded source mutation for fuzzing the compiler's totality.
+//!
+//! Where [`gen`](crate::gen) produces *well-typed* programs to check
+//! the compiler's answers, this module produces *arbitrary bytes* to
+//! check that the compiler always answers: every input — truncated,
+//! spliced, non-UTF-8, absurdly nested — must come back as a
+//! structured verdict, never a panic, hang, or overflow.
+//!
+//! The engine is a [`Mutator`] over a corpus of real programs. Each
+//! case starts from a corpus pick (or another case's output) and
+//! stacks a few mutations drawn from two families:
+//!
+//! - **byte-level**: flip, insert, delete, duplicate a chunk, truncate,
+//!   splice two corpus programs, inject NUL or invalid UTF-8;
+//! - **grammar-aware nasties**: huge integer and float literals
+//!   (`1e999999`), deep `(((…)))` and `if … then` nesting, unary
+//!   chains, token swaps — inputs tuned to the recursion and
+//!   arithmetic hazards a parser and timing analysis actually have.
+//!
+//! Everything is driven by [`SplitMix64`], so a `(corpus, seed)` pair
+//! replays byte-for-byte. The companion [`shrink_lines`] reducer cuts
+//! a crashing input down by greedy line deletion (the byte-level
+//! counterpart of [`shrink`](crate::shrink), which needs a parseable
+//! AST and so cannot shrink the malformed inputs this module exists
+//! to produce).
+//!
+//! The driver that wires these against the real pipeline lives in
+//! `warp-compiler` (`warp_compiler::fuzz`, surfaced as `w2c --fuzz N`);
+//! as with the rest of this crate, the engine stays below the compiler
+//! so it can never be contaminated by the code under test.
+
+use warp_common::ctrl::SplitMix64;
+
+/// Huge-literal replacements: each overflows (or once overflowed) some
+/// stage — i64 parsing, trip-count arithmetic, f64 finiteness, i128
+/// cross-multiplication in the rational skew bounds.
+const NASTY_LITERALS: &[&str] = &[
+    "9223372036854775807",
+    "-9223372036854775807",
+    "99999999999999999999",
+    "1e999999",
+    "4294967295",
+    "1073741824",
+    "0.00000000000000000001",
+    "1e-999",
+];
+
+/// A seeded source mutator over a fixed corpus.
+#[derive(Clone, Debug)]
+pub struct Mutator {
+    corpus: Vec<Vec<u8>>,
+}
+
+impl Mutator {
+    /// A mutator seeded with `corpus` programs (typically the Table 7-1
+    /// set). The corpus must be non-empty.
+    pub fn new<S: AsRef<str>>(corpus: &[S]) -> Mutator {
+        assert!(!corpus.is_empty(), "fuzz corpus must be non-empty");
+        Mutator {
+            corpus: corpus
+                .iter()
+                .map(|s| s.as_ref().as_bytes().to_vec())
+                .collect(),
+        }
+    }
+
+    /// Produces one fuzz input: a corpus pick with 1–4 stacked
+    /// mutations. Deterministic in the `rng` stream.
+    pub fn case(&self, rng: &mut SplitMix64) -> Vec<u8> {
+        let pick = rng.below(self.corpus.len() as u64) as usize;
+        let mut bytes = self.corpus[pick].clone();
+        let rounds = 1 + rng.below(4);
+        for _ in 0..rounds {
+            self.mutate_once(&mut bytes, rng);
+        }
+        bytes
+    }
+
+    fn mutate_once(&self, bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+        match rng.below(12) {
+            0 => flip_byte(bytes, rng),
+            1 => insert_byte(bytes, rng),
+            2 => delete_byte(bytes, rng),
+            3 => truncate(bytes, rng),
+            4 => duplicate_chunk(bytes, rng),
+            5 => self.splice(bytes, rng),
+            6 => insert_raw(bytes, rng, b"\0"),
+            7 => insert_raw(bytes, rng, &[0xff, 0xfe, 0xf0, 0x28]),
+            8 => replace_literal(bytes, rng),
+            9 => insert_nesting(bytes, rng),
+            10 => insert_unary_chain(bytes, rng),
+            11 => swap_tokens(bytes, rng),
+            _ => unreachable!("below(12)"),
+        }
+    }
+
+    /// Replaces the tail of `bytes` with the tail of another corpus
+    /// program, cut at independent points.
+    fn splice(&self, bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+        let other = &self.corpus[rng.below(self.corpus.len() as u64) as usize];
+        if bytes.is_empty() || other.is_empty() {
+            return;
+        }
+        let cut_a = rng.below(bytes.len() as u64) as usize;
+        let cut_b = rng.below(other.len() as u64) as usize;
+        bytes.truncate(cut_a);
+        bytes.extend_from_slice(&other[cut_b..]);
+    }
+}
+
+fn flip_byte(bytes: &mut [u8], rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let at = rng.below(bytes.len() as u64) as usize;
+    bytes[at] = rng.next_u64() as u8;
+}
+
+fn insert_byte(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    let at = rng.below(bytes.len() as u64 + 1) as usize;
+    // Bias toward structural ASCII; raw bytes come from insert_raw.
+    let palette = b"(){}[];:=.,<>+-*/ \n\0eE0123456789xif";
+    let b = palette[rng.below(palette.len() as u64) as usize];
+    bytes.insert(at, b);
+}
+
+fn delete_byte(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let at = rng.below(bytes.len() as u64) as usize;
+    bytes.remove(at);
+}
+
+/// Truncation models an interrupted write: everything after a random
+/// point (often mid-token or mid-comment) disappears.
+fn truncate(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let at = rng.below(bytes.len() as u64) as usize;
+    bytes.truncate(at);
+}
+
+fn duplicate_chunk(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let start = rng.below(bytes.len() as u64) as usize;
+    let len = (rng.below(64) as usize + 1).min(bytes.len() - start);
+    let chunk = bytes[start..start + len].to_vec();
+    let at = rng.below(bytes.len() as u64 + 1) as usize;
+    bytes.splice(at..at, chunk);
+}
+
+fn insert_raw(bytes: &mut Vec<u8>, rng: &mut SplitMix64, raw: &[u8]) {
+    let at = rng.below(bytes.len() as u64 + 1) as usize;
+    bytes.splice(at..at, raw.iter().copied());
+}
+
+/// Swaps a numeric literal (or failing that, a random token) for one
+/// of the [`NASTY_LITERALS`].
+fn replace_literal(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    let nasty = NASTY_LITERALS[rng.below(NASTY_LITERALS.len() as u64) as usize].as_bytes();
+    let spans = token_spans(bytes);
+    if spans.is_empty() {
+        bytes.extend_from_slice(nasty);
+        return;
+    }
+    let numeric: Vec<_> = spans
+        .iter()
+        .filter(|&&(s, _)| bytes[s].is_ascii_digit())
+        .copied()
+        .collect();
+    let &(start, end) = if numeric.is_empty() {
+        &spans[rng.below(spans.len() as u64) as usize]
+    } else {
+        &numeric[rng.below(numeric.len() as u64) as usize]
+    };
+    bytes.splice(start..end, nasty.iter().copied());
+}
+
+/// Wraps the whole program (or a point within it) in deep nesting —
+/// parentheses or `if … then` chains — to probe recursion guards.
+fn insert_nesting(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    let depth = 16 + rng.below(2048) as usize;
+    let at = rng.below(bytes.len() as u64 + 1) as usize;
+    let text: Vec<u8> = if rng.chance(1, 2) {
+        let mut t = vec![b'('; depth];
+        t.push(b'x');
+        t.extend(std::iter::repeat_n(b')', depth));
+        t
+    } else {
+        "if x < 1.0 then "
+            .as_bytes()
+            .iter()
+            .copied()
+            .cycle()
+            .take(16 * depth)
+            .collect()
+    };
+    bytes.splice(at..at, text);
+}
+
+fn insert_unary_chain(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    let depth = 16 + rng.below(4096) as usize;
+    let at = rng.below(bytes.len() as u64 + 1) as usize;
+    let chain: Vec<u8> = std::iter::repeat_n(b'-', depth).collect();
+    bytes.splice(at..at, chain);
+}
+
+fn swap_tokens(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    let spans = token_spans(bytes);
+    if spans.len() < 2 {
+        return;
+    }
+    let a = spans[rng.below(spans.len() as u64) as usize];
+    let b = spans[rng.below(spans.len() as u64) as usize];
+    let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+    if a.1 > b.0 {
+        return; // overlapping (same token picked twice)
+    }
+    let ta = bytes[a.0..a.1].to_vec();
+    let tb = bytes[b.0..b.1].to_vec();
+    // Replace back-to-front so earlier spans stay valid.
+    bytes.splice(b.0..b.1, ta);
+    bytes.splice(a.0..a.1, tb);
+}
+
+/// Whitespace-separated token spans, byte-oriented (works on invalid
+/// UTF-8 too).
+fn token_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        let ws = b.is_ascii_whitespace();
+        match (start, ws) {
+            (None, false) => start = Some(i),
+            (Some(s), true) => {
+                spans.push((s, i));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s, bytes.len()));
+    }
+    spans
+}
+
+/// Greedy line-based reduction of a failing input.
+///
+/// Tries removing runs of lines — halving chunk sizes down to single
+/// lines, rescanning after every successful cut — and keeps any
+/// removal for which `still_fails` holds, then tries trimming trailing
+/// bytes off the final line. `budget` caps predicate calls. Works on
+/// raw bytes so non-UTF-8 crashers shrink too.
+pub fn shrink_lines(
+    input: &[u8],
+    budget: usize,
+    mut still_fails: impl FnMut(&[u8]) -> bool,
+) -> Vec<u8> {
+    let mut lines: Vec<Vec<u8>> = split_lines(input);
+    let mut calls = 0;
+    let mut chunk = (lines.len() / 2).max(1);
+    loop {
+        let mut any_cut = false;
+        let mut i = 0;
+        while i < lines.len() {
+            if calls >= budget {
+                return join_lines(&lines);
+            }
+            let end = (i + chunk).min(lines.len());
+            let candidate: Vec<Vec<u8>> = lines[..i]
+                .iter()
+                .chain(lines[end..].iter())
+                .cloned()
+                .collect();
+            if candidate.is_empty() {
+                i = end;
+                continue;
+            }
+            calls += 1;
+            if still_fails(&join_lines(&candidate)) {
+                lines = candidate;
+                any_cut = true;
+                // Re-test the same index: the next chunk slid into it.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 && !any_cut {
+            break;
+        }
+        if !any_cut {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    // Trailing-byte trim: crashers born from mid-token truncation often
+    // shrink further than any whole-line cut can reach.
+    let mut best = join_lines(&lines);
+    while calls < budget && !best.is_empty() {
+        let candidate = &best[..best.len() - 1];
+        calls += 1;
+        if still_fails(candidate) {
+            best.truncate(best.len() - 1);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+fn split_lines(input: &[u8]) -> Vec<Vec<u8>> {
+    input.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect()
+}
+
+fn join_lines(lines: &[Vec<u8>]) -> Vec<u8> {
+    lines.join(&b'\n')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &[&str] = &[
+        "module a (x in) float x[4]; cellprogram (c : 0 : 3) begin \
+         function f begin float v; receive (L, X, v, x[0]); end call f; end\n",
+        "module b (y out) float y[2]; cellprogram (c : 0 : 1) begin \
+         function g begin float w; send (R, X, 1.0, y[0]); end call g; end\n",
+    ];
+
+    #[test]
+    fn cases_are_deterministic_in_the_seed() {
+        let m = Mutator::new(CORPUS);
+        let run = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            (0..20).map(|_| m.case(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn cases_vary_within_one_stream() {
+        let m = Mutator::new(CORPUS);
+        let mut rng = SplitMix64::new(7);
+        let cases: Vec<_> = (0..50).map(|_| m.case(&mut rng)).collect();
+        let distinct: std::collections::BTreeSet<_> = cases.iter().collect();
+        assert!(
+            distinct.len() > 40,
+            "only {} distinct cases",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn nasty_inputs_do_appear() {
+        // Over a few hundred cases the stream must exercise the
+        // interesting classes: invalid UTF-8, NUL bytes, huge
+        // literals, deep nesting.
+        let m = Mutator::new(CORPUS);
+        let mut rng = SplitMix64::new(1);
+        let (mut non_utf8, mut nul, mut huge, mut deep) = (0, 0, 0, 0);
+        for _ in 0..300 {
+            let c = m.case(&mut rng);
+            if std::str::from_utf8(&c).is_err() {
+                non_utf8 += 1;
+            }
+            if c.contains(&0) {
+                nul += 1;
+            }
+            let s = String::from_utf8_lossy(&c).into_owned();
+            if s.contains("1e999999") || s.contains("99999999999999999999") {
+                huge += 1;
+            }
+            if s.contains("((((((((((((((((") {
+                deep += 1;
+            }
+        }
+        assert!(non_utf8 > 0, "no invalid UTF-8 cases");
+        assert!(nul > 0, "no NUL cases");
+        assert!(huge > 0, "no huge-literal cases");
+        assert!(deep > 0, "no deep-nesting cases");
+    }
+
+    #[test]
+    fn shrink_lines_reduces_to_the_failing_line() {
+        let input = b"alpha\nbeta\nCRASH\ngamma\ndelta\n".to_vec();
+        let shrunk = shrink_lines(&input, 1000, |c| c.windows(5).any(|w| w == b"CRASH"));
+        assert_eq!(shrunk, b"CRASH");
+    }
+
+    #[test]
+    fn shrink_lines_respects_the_budget() {
+        let input: Vec<u8> = (0..100)
+            .flat_map(|i| format!("line{i}\n").into_bytes())
+            .collect();
+        let mut calls = 0;
+        let shrunk = shrink_lines(&input, 5, |c| {
+            calls += 1;
+            c.windows(6).any(|w| w == b"line99")
+        });
+        assert!(calls <= 5 + 1, "{calls} predicate calls");
+        assert!(shrunk.windows(6).any(|w| w == b"line99"));
+    }
+
+    #[test]
+    fn shrink_lines_handles_non_utf8() {
+        let mut input = b"ok line\n".to_vec();
+        input.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        input.extend_from_slice(b"tail\n");
+        let shrunk = shrink_lines(&input, 1000, |c| c.contains(&0xff));
+        assert_eq!(shrunk, vec![0xff]);
+    }
+}

@@ -20,6 +20,10 @@
 //! - [`shrink`] — a greedy delta-debugging shrinker over the W2 AST
 //!   that reduces any failing program to a minimal repro, plus a
 //!   compact printer for the repro files it writes.
+//! - [`fuzz`] — a seeded byte/token mutation engine over corpus
+//!   programs (plus a line-based shrinker for inputs too broken to
+//!   parse), checking the complementary promise that the compiler is
+//!   *total*: arbitrary bytes in, structured verdict out.
 //!
 //! The differential driver that wires these against the real pipeline
 //! lives in `warp-compiler` (`warp_compiler::differential`, surfaced
@@ -27,10 +31,12 @@
 //! below the compiler so the oracle can never be contaminated by the
 //! code it is meant to check.
 
+pub mod fuzz;
 pub mod gen;
 pub mod interp;
 pub mod shrink;
 
+pub use fuzz::{shrink_lines, Mutator};
 pub use gen::{generate, GenConfig, GenProgram};
 pub use interp::{interpret, interpret_run, OracleRun};
 pub use shrink::{shrink, ShrinkStats};

@@ -25,7 +25,7 @@
 //!     &SkewOptions::default(),
 //! )?;
 //! assert_eq!(report.min_skew, 3); // Table 6-1 of the paper
-//! # Ok::<(), warp_common::DiagnosticBag>(())
+//! # Ok::<(), warp_skew::SkewError>(())
 //! ```
 
 pub mod paper;
@@ -33,8 +33,9 @@ pub mod skew;
 pub mod timeline;
 pub mod vectors;
 
-pub use skew::{analyze, ModelComparison, SkewMethod, SkewOptions, SkewReport};
+pub use skew::{analyze, ModelComparison, SkewError, SkewMethod, SkewOptions, SkewReport};
 pub use timeline::{try_visit_events, visit_events, EnumStop, HostBinding, TimedIo, Timeline};
 pub use vectors::{
     bound_pair, extract, min_skew_bound, occupancy_bound, IoStatement, Level, TimingFunction,
+    TimingOverflow,
 };

@@ -10,13 +10,65 @@
 //! * the matching of send and receive counts per channel.
 
 use crate::timeline::{EnumStop, Timeline};
-use crate::vectors::{extract, min_skew_bound, occupancy_bound};
+use crate::vectors::{extract, min_skew_bound, occupancy_bound, TimingOverflow};
 use std::collections::BTreeMap;
 use w2_lang::ast::{Chan, Dir};
 use warp_cell::CellCode;
 use warp_common::{CancelToken, Diagnostic, DiagnosticBag, IdVec};
 use warp_ir::affine::LoopId;
 use warp_ir::region::LoopMeta;
+
+/// Why [`analyze`] could not produce a report.
+///
+/// Ordinary program errors (bidirectional flow, count mismatches, queue
+/// overflow, cancellation) arrive as diagnostics; arithmetic overflow in
+/// the timing computation is a distinct class so callers can report it
+/// as a structured `TimingOverflow` compile failure rather than a
+/// generic diagnostic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SkewError {
+    /// Program-level errors, rendered as diagnostics.
+    Diagnostics(DiagnosticBag),
+    /// The exact rational timing arithmetic left `i128` range.
+    Overflow(TimingOverflow),
+}
+
+impl std::fmt::Display for SkewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkewError::Diagnostics(d) => d.fmt(f),
+            SkewError::Overflow(o) => o.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SkewError {}
+
+impl From<DiagnosticBag> for SkewError {
+    fn from(d: DiagnosticBag) -> SkewError {
+        SkewError::Diagnostics(d)
+    }
+}
+
+impl From<TimingOverflow> for SkewError {
+    fn from(o: TimingOverflow) -> SkewError {
+        SkewError::Overflow(o)
+    }
+}
+
+impl SkewError {
+    /// Renders the error as a diagnostic bag regardless of class.
+    pub fn into_diagnostics(self) -> DiagnosticBag {
+        match self {
+            SkewError::Diagnostics(d) => d,
+            SkewError::Overflow(o) => {
+                let mut bag = DiagnosticBag::new();
+                bag.push(Diagnostic::error_global(o.to_string()));
+                bag
+            }
+        }
+    }
+}
 
 /// How to compute the minimum skew.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -142,12 +194,13 @@ impl warp_common::Artifact for SkewReport {
 /// (queues would drift), when the program is not unidirectional, when
 /// the queue bound exceeds the capacity (paper §6.2.2 — overflow is
 /// "detected and reported"), or when [`SkewOptions::cancel`] trips
-/// mid-analysis.
+/// mid-analysis. Returns [`SkewError::Overflow`] when the exact
+/// rational timing arithmetic leaves `i128` range.
 pub fn analyze(
     code: &CellCode,
     loops: &IdVec<LoopId, LoopMeta>,
     opts: &SkewOptions,
-) -> Result<SkewReport, DiagnosticBag> {
+) -> Result<SkewReport, SkewError> {
     let mut diags = DiagnosticBag::new();
     let stmts = extract(code);
 
@@ -164,7 +217,7 @@ pub fn analyze(
                 "program is bidirectional: the scheduler only supports unidirectional data flow \
                  (paper §5.1.1)",
             ));
-            return Err(diags);
+            return Err(diags.into());
         }
     };
 
@@ -172,15 +225,24 @@ pub fn analyze(
     // program, so any imbalance drifts the queues without bound.
     let mut words = BTreeMap::new();
     for chan in [Chan::X, Chan::Y] {
-        let count = |is_recv: bool, dir: Dir| -> u64 {
-            stmts
+        let count = |is_recv: bool, dir: Dir| -> Result<u64, TimingOverflow> {
+            let mut total = 0i128;
+            for s in stmts
                 .iter()
                 .filter(|s| s.is_recv == is_recv && s.dir == dir && s.chan == chan)
-                .map(|s| s.tf.count().max(0) as u64)
-                .sum()
+            {
+                total = total
+                    .checked_add(s.tf.count()?.max(0))
+                    .ok_or(TimingOverflow {
+                        context: "channel word count",
+                    })?;
+            }
+            u64::try_from(total).map_err(|_| TimingOverflow {
+                context: "channel word count",
+            })
         };
-        let n_out = count(false, flow);
-        let n_in = count(true, flow.opposite());
+        let n_out = count(false, flow)?;
+        let n_in = count(true, flow.opposite())?;
         if n_out != n_in && opts.n_cells > 1 {
             diags.push(Diagnostic::error_global(format!(
                 "channel {chan:?}: {n_out} send(s) but {n_in} receive(s); counts must match \
@@ -192,7 +254,7 @@ pub fn analyze(
         }
     }
     if diags.has_errors() {
-        return Err(diags);
+        return Err(diags.into());
     }
 
     let span = code.dynamic_len();
@@ -219,7 +281,7 @@ pub fn analyze(
             Ok(tl) => {
                 let min_skew = match opts.method {
                     SkewMethod::Exact => tl.min_skew(flow),
-                    SkewMethod::Analytic => min_skew_bound(&stmts, flow),
+                    SkewMethod::Analytic => min_skew_bound(&stmts, flow)?,
                 };
                 (min_skew, tl.max_queue_occupancy(flow, min_skew), false)
             }
@@ -227,11 +289,11 @@ pub fn analyze(
                 diags.push(Diagnostic::error_global(format!(
                     "skew analysis interrupted: {reason}"
                 )));
-                return Err(diags);
+                return Err(diags.into());
             }
             Err(EnumStop::Budget) => {
-                let min_skew = min_skew_bound(&stmts, flow);
-                (min_skew, occupancy_bound(&stmts, flow, min_skew), true)
+                let min_skew = min_skew_bound(&stmts, flow)?;
+                (min_skew, occupancy_bound(&stmts, flow, min_skew)?, true)
             }
         };
 
@@ -245,7 +307,7 @@ pub fn analyze(
         }
     }
     if diags.has_errors() {
-        return Err(diags);
+        return Err(diags.into());
     }
 
     Ok(SkewReport {

@@ -25,6 +25,38 @@ use w2_lang::ast::{Chan, Dir};
 use warp_cell::{CellCode, CodeRegion};
 use warp_common::Rat;
 
+/// The timing arithmetic left `i128` range.
+///
+/// Timing functions are derived from user-controlled loop structure, so
+/// the rational arithmetic that combines them must be total: every
+/// operation goes through the `Rat::checked_*` family and an overflow
+/// surfaces as this error instead of a panic. Upstream it becomes the
+/// `TimingOverflow` compile-failure class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimingOverflow {
+    /// Which quantity overflowed, for the report.
+    pub context: &'static str,
+}
+
+impl TimingOverflow {
+    fn new(context: &'static str) -> TimingOverflow {
+        TimingOverflow { context }
+    }
+}
+
+impl fmt::Display for TimingOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "timing arithmetic overflow while computing {}: the program's loop structure \
+             produces timing coefficients outside exact rational range",
+            self.context
+        )
+    }
+}
+
+impl std::error::Error for TimingOverflow {}
+
 /// One nesting level of a timing function.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Level {
@@ -56,7 +88,10 @@ impl TimingFunction {
         let mut g = n;
         let mut tau = 0i64;
         for lv in &self.levels {
-            let d = g - lv.s;
+            if lv.n <= 0 || lv.r <= 0 {
+                return None;
+            }
+            let d = g.checked_sub(lv.s)?;
             if d < 0 {
                 return None;
             }
@@ -64,7 +99,7 @@ impl TimingFunction {
             if iter > lv.r - 1 {
                 return None;
             }
-            tau += lv.t + iter * lv.l;
+            tau = tau.checked_add(lv.t.checked_add(iter.checked_mul(lv.l)?)?)?;
             g = d % lv.n;
         }
         // The statement level has n = 1, so the final remainder must have
@@ -79,56 +114,90 @@ impl TimingFunction {
     /// `[Σ s_j, Σ ((r_j − 1)·n_j + s_j)]`. The maximum ordinal occurs
     /// with every level at its last iteration, contributing
     /// `(r_j − 1)·n_j` at level `j` plus the statement's phase offsets.
-    pub fn ordinal_range(&self) -> (i64, i64) {
-        let lo: i64 = self.levels.iter().map(|l| l.s).sum();
-        let hi: i64 = self.levels.iter().map(|l| (l.r - 1) * l.n + l.s).sum();
-        (lo, hi)
+    pub fn ordinal_range(&self) -> Result<(i64, i64), TimingOverflow> {
+        let err = || TimingOverflow::new("ordinal range");
+        let mut lo = 0i64;
+        let mut hi = 0i64;
+        for l in &self.levels {
+            lo = lo.checked_add(l.s).ok_or_else(err)?;
+            let span =
+                l.r.checked_sub(1)
+                    .and_then(|r| r.checked_mul(l.n))
+                    .and_then(|rn| rn.checked_add(l.s))
+                    .ok_or_else(err)?;
+            hi = hi.checked_add(span).ok_or_else(err)?;
+        }
+        Ok((lo, hi))
     }
 
     /// Total operations this statement performs.
-    pub fn count(&self) -> i64 {
-        self.levels.iter().map(|l| l.r).product()
+    pub fn count(&self) -> Result<i128, TimingOverflow> {
+        self.levels
+            .iter()
+            .try_fold(1i128, |acc, l| acc.checked_mul(i128::from(l.r)))
+            .ok_or_else(|| TimingOverflow::new("operation count"))
     }
 
     /// The constant part of the closed form `τ(n) = base + slope·n − …`.
-    pub fn base(&self) -> Rat {
-        self.levels
-            .iter()
-            .map(|l| Rat::from(l.t) - Rat::new(l.l as i128, l.n as i128) * Rat::from(l.s))
-            .sum()
+    pub fn base(&self) -> Result<Rat, TimingOverflow> {
+        let err = || TimingOverflow::new("timing-function base");
+        let mut sum = Rat::ZERO;
+        for l in &self.levels {
+            let ratio = Rat::checked_new(l.l as i128, l.n as i128).ok_or_else(err)?;
+            let term = Rat::from(l.t)
+                .checked_sub(ratio.checked_mul(Rat::from(l.s)).ok_or_else(err)?)
+                .ok_or_else(err)?;
+            sum = sum.checked_add(term).ok_or_else(err)?;
+        }
+        Ok(sum)
     }
 
     /// The slope `l₁/n₁` of the closed form.
-    pub fn slope(&self) -> Rat {
+    pub fn slope(&self) -> Result<Rat, TimingOverflow> {
         let first = &self.levels[0];
-        Rat::new(first.l as i128, first.n as i128)
+        Rat::checked_new(first.l as i128, first.n as i128)
+            .ok_or_else(|| TimingOverflow::new("timing-function slope"))
     }
 
     /// Coefficients of the inner `g(j)` terms (`j = 2..=k`):
     /// `l_j/n_j − l_{j−1}/n_{j−1}`, each multiplying a value in
     /// `[0, n_{j−1} − 1]`. The statement-level `g(k)` is pinned to `s_k`
     /// by the domain.
-    pub fn mod_coefficients(&self) -> Vec<(Rat, i64)> {
+    pub fn mod_coefficients(&self) -> Result<Vec<(Rat, i64)>, TimingOverflow> {
+        let err = || TimingOverflow::new("mod-term coefficient");
         (1..self.levels.len())
             .map(|j| {
                 let cur = &self.levels[j];
                 let prev = &self.levels[j - 1];
-                let coeff = Rat::new(cur.l as i128, cur.n as i128)
-                    - Rat::new(prev.l as i128, prev.n as i128);
-                (coeff, prev.n - 1)
+                let a = Rat::checked_new(cur.l as i128, cur.n as i128).ok_or_else(err)?;
+                let b = Rat::checked_new(prev.l as i128, prev.n as i128).ok_or_else(err)?;
+                let coeff = a.checked_sub(b).ok_or_else(err)?;
+                Ok((coeff, prev.n - 1))
             })
             .collect()
     }
 
     /// Renders the closed form, e.g.
     /// `1 + 3/2 n - 1/2 ((n - 0) mod 2)` for `I(0)` of Table 6-4.
+    /// Coefficients that overflow render as `<overflow>`.
     pub fn closed_form(&self) -> String {
-        let mut out = format!("{} + {} n", self.base(), self.slope());
+        let part = |r: Result<Rat, TimingOverflow>| match r {
+            Ok(v) => v.to_string(),
+            Err(_) => "<overflow>".to_owned(),
+        };
+        let mut out = format!("{} + {} n", part(self.base()), part(self.slope()));
+        let mods = self.mod_coefficients();
         let mut inner = "n".to_owned();
         for j in 1..self.levels.len() {
             let prev = &self.levels[j - 1];
-            let (coeff, _) = self.mod_coefficients()[j - 1];
             inner = format!("(({inner} - {}) mod {})", prev.s, prev.n);
+            let coeff = match &mods {
+                Ok(ms) => ms[j - 1].0,
+                Err(_) => {
+                    out.push_str(&format!(" + <overflow> {inner}"));
+                    continue;
+                }
+            };
             if coeff != Rat::ZERO {
                 if coeff.signum() < 0 {
                     out.push_str(&format!(" - {} {inner}", -coeff));
@@ -281,12 +350,16 @@ impl Walker<'_> {
 /// recognized as equal and combined before bounding (the "similar
 /// control structure" case, which makes the bound exact for programs
 /// like Figure 6-2).
-pub fn bound_pair(output: &TimingFunction, input: &TimingFunction) -> Option<Rat> {
-    let (olo, ohi) = output.ordinal_range();
-    let (ilo, ihi) = input.ordinal_range();
+pub fn bound_pair(
+    output: &TimingFunction,
+    input: &TimingFunction,
+) -> Result<Option<Rat>, TimingOverflow> {
+    let err = || TimingOverflow::new("skew pair bound");
+    let (olo, ohi) = output.ordinal_range()?;
+    let (ilo, ihi) = input.ordinal_range()?;
     let (nlo, nhi) = (olo.max(ilo), ohi.min(ihi));
     if nlo > nhi {
-        return None;
+        return Ok(None);
     }
 
     // How long a prefix of loop levels is structurally shared: g(j)
@@ -312,16 +385,23 @@ pub fn bound_pair(output: &TimingFunction, input: &TimingFunction) -> Option<Rat
         if so != si {
             // Same loop, different phase: check deeper — the phases are
             // modulo n_{k-1}; differing s means disjoint ordinals.
-            return None;
+            return Ok(None);
         }
     }
 
-    let mut bound = output.base() - input.base();
-    let slope = output.slope() - input.slope();
-    bound += (slope * Rat::from(nlo)).max(slope * Rat::from(nhi));
+    let mut bound = output.base()?.checked_sub(input.base()?).ok_or_else(err)?;
+    let slope = output
+        .slope()?
+        .checked_sub(input.slope()?)
+        .ok_or_else(err)?;
+    let at_lo = slope.checked_mul(Rat::from(nlo)).ok_or_else(err)?;
+    let at_hi = slope.checked_mul(Rat::from(nhi)).ok_or_else(err)?;
+    bound = bound
+        .checked_add(at_lo.checked_max(at_hi).ok_or_else(err)?)
+        .ok_or_else(err)?;
 
-    let omods = output.mod_coefficients();
-    let imods = input.mod_coefficients();
+    let omods = output.mod_coefficients()?;
+    let imods = input.mod_coefficients()?;
 
     // g(j) terms, j = 2..=k (index j-2 in the coefficient vectors).
     let max_levels = omods.len().max(imods.len());
@@ -334,34 +414,40 @@ pub fn bound_pair(output: &TimingFunction, input: &TimingFunction) -> Option<Rat
             // Same g value: combine coefficients, then bound once.
             let co = o_term.map(|&(c, _)| c).unwrap_or(Rat::ZERO);
             let ci = i_term.map(|&(c, _)| c).unwrap_or(Rat::ZERO);
-            let coeff = co - ci;
+            let coeff = co.checked_sub(ci).ok_or_else(err)?;
             let range = o_term.or(i_term).map(|&(_, r)| r).unwrap_or(0);
             // Pinned when this is the statement level for both.
             let pinned = (j == ko - 1 && j == ki - 1).then(|| output.levels[j].s);
-            bound += term_max(coeff, range, pinned);
+            bound = bound
+                .checked_add(term_max(coeff, range, pinned).ok_or_else(err)?)
+                .ok_or_else(err)?;
         } else {
             if let Some(&(c, r)) = o_term {
                 let pinned = (j == ko - 1).then(|| output.levels[j].s);
-                bound += term_max(c, r, pinned);
+                bound = bound
+                    .checked_add(term_max(c, r, pinned).ok_or_else(err)?)
+                    .ok_or_else(err)?;
             }
             if let Some(&(c, r)) = i_term {
                 let pinned = (j == ki - 1).then(|| input.levels[j].s);
-                bound += term_max(-c, r, pinned);
+                bound = bound
+                    .checked_add(term_max(-c, r, pinned).ok_or_else(err)?)
+                    .ok_or_else(err)?;
             }
         }
     }
 
-    Some(bound)
+    Ok(Some(bound))
 }
 
-fn term_max(coeff: Rat, range: i64, pinned: Option<i64>) -> Rat {
+fn term_max(coeff: Rat, range: i64, pinned: Option<i64>) -> Option<Rat> {
     match pinned {
-        Some(v) => coeff * Rat::from(v),
+        Some(v) => coeff.checked_mul(Rat::from(v)),
         None => {
             if coeff.signum() >= 0 {
-                coeff * Rat::from(range)
+                coeff.checked_mul(Rat::from(range))
             } else {
-                Rat::ZERO
+                Some(Rat::ZERO)
             }
         }
     }
@@ -379,7 +465,12 @@ fn term_max(coeff: Rat, range: i64, pinned: Option<i64>) -> Rat {
 /// additionally capped by the total transfer count — the queue can
 /// never hold more words than exist. Sound but loose: for Figure 6-2 it
 /// reports 5 where the exact analysis proves 1.
-pub fn occupancy_bound(stmts: &[IoStatement], flow: Dir, skew: i64) -> BTreeMap<Chan, u64> {
+pub fn occupancy_bound(
+    stmts: &[IoStatement],
+    flow: Dir,
+    skew: i64,
+) -> Result<BTreeMap<Chan, u64>, TimingOverflow> {
+    let err = || TimingOverflow::new("queue occupancy bound");
     let mut out = BTreeMap::new();
     for chan in [Chan::X, Chan::Y] {
         let outs: Vec<&IoStatement> = stmts
@@ -393,31 +484,43 @@ pub fn occupancy_bound(stmts: &[IoStatement], flow: Dir, skew: i64) -> BTreeMap<
         if outs.is_empty() || ins.is_empty() {
             continue;
         }
-        let words: i128 = outs.iter().map(|s| i128::from(s.tf.count())).sum();
+        let mut words = 0i128;
+        for s in &outs {
+            words = words.checked_add(s.tf.count()?).ok_or_else(err)?;
+        }
         // max_n (τ_I(n) − τ_O(n)): bound_pair with the roles reversed.
         let mut residence: Option<Rat> = None;
         for i in &ins {
             for o in &outs {
-                if let Some(b) = bound_pair(&i.tf, &o.tf) {
-                    residence = Some(residence.map_or(b, |r| r.max(b)));
+                if let Some(b) = bound_pair(&i.tf, &o.tf)? {
+                    residence = Some(match residence {
+                        Some(r) => r.checked_max(b).ok_or_else(err)?,
+                        None => b,
+                    });
                 }
             }
         }
         let occ = match residence {
-            Some(r) => (i128::from(skew) + r.ceil()).max(0) + 1,
+            Some(r) => i128::from(skew)
+                .checked_add(r.ceil())
+                .and_then(|v| v.max(0).checked_add(1))
+                .ok_or_else(err)?,
             // No pair overlaps structurally: fall back to "everything in
             // flight at once".
             None => words,
         };
-        out.insert(chan, occ.clamp(1, words.max(1)) as u64);
+        let occ = occ.clamp(1, words.max(1));
+        let occ = u64::try_from(occ).map_err(|_| err())?;
+        out.insert(chan, occ);
     }
-    out
+    Ok(out)
 }
 
 /// The analytic minimum skew: the ceiling of the largest pair bound over
 /// matching output/input statement pairs for a program flowing in `flow`
 /// direction, clamped to zero.
-pub fn min_skew_bound(stmts: &[IoStatement], flow: Dir) -> i64 {
+pub fn min_skew_bound(stmts: &[IoStatement], flow: Dir) -> Result<i64, TimingOverflow> {
+    let err = || TimingOverflow::new("minimum skew bound");
     let mut best = Rat::ZERO;
     for chan in [Chan::X, Chan::Y] {
         let outs: Vec<&IoStatement> = stmts
@@ -430,13 +533,13 @@ pub fn min_skew_bound(stmts: &[IoStatement], flow: Dir) -> i64 {
             .collect();
         for o in &outs {
             for i in &ins {
-                if let Some(b) = bound_pair(&o.tf, &i.tf) {
-                    best = best.max(b);
+                if let Some(b) = bound_pair(&o.tf, &i.tf)? {
+                    best = best.checked_max(b).ok_or_else(err)?;
                 }
             }
         }
     }
-    best.ceil().max(0) as i64
+    i64::try_from(best.ceil().max(0)).map_err(|_| err())
 }
 
 #[cfg(test)]
@@ -487,9 +590,9 @@ mod tests {
         let stmts = fig_6_4_stmts();
         let i0 = &stmts.iter().find(|s| s.is_recv).unwrap().tf;
         // I(0): τ(n) = 1 + 3/2 n − 1/2 (n mod 2), domain n even in [0,8].
-        assert_eq!(i0.base(), Rat::from(1));
-        assert_eq!(i0.slope(), Rat::new(3, 2));
-        assert_eq!(i0.ordinal_range(), (0, 8));
+        assert_eq!(i0.base().unwrap(), Rat::from(1));
+        assert_eq!(i0.slope().unwrap(), Rat::new(3, 2));
+        assert_eq!(i0.ordinal_range().unwrap(), (0, 8));
         assert_eq!(i0.eval(0), Some(1));
         assert_eq!(i0.eval(2), Some(4));
         assert_eq!(i0.eval(8), Some(13));
@@ -500,9 +603,9 @@ mod tests {
         let o2 = &outputs[2].tf;
         // O(2): τ(n) = 52/3 + 5/3 n − 2/3 ((n−4) mod 3), domain
         // n ∈ [4,7] with (n−4) mod 3 = 0.
-        assert_eq!(o2.base(), Rat::new(52, 3));
-        assert_eq!(o2.slope(), Rat::new(5, 3));
-        assert_eq!(o2.ordinal_range(), (4, 7));
+        assert_eq!(o2.base().unwrap(), Rat::new(52, 3));
+        assert_eq!(o2.slope().unwrap(), Rat::new(5, 3));
+        assert_eq!(o2.ordinal_range().unwrap(), (4, 7));
         assert_eq!(o2.eval(4), Some(24));
         assert_eq!(o2.eval(7), Some(29));
         assert_eq!(o2.eval(5), None);
@@ -555,7 +658,7 @@ mod tests {
         let fake_out = TimingFunction {
             levels: i1.levels.clone(),
         };
-        assert_eq!(bound_pair(&fake_out, i0), None);
+        assert_eq!(bound_pair(&fake_out, i0).unwrap(), None);
     }
 
     #[test]
@@ -565,7 +668,7 @@ mod tests {
         let stmts = fig_6_4_stmts();
         let i0 = &stmts.iter().find(|s| s.is_recv).unwrap().tf;
         let o0 = &stmts.iter().find(|s| !s.is_recv).unwrap().tf;
-        let b = bound_pair(o0, i0).expect("overlapping");
+        let b = bound_pair(o0, i0).unwrap().expect("overlapping");
         assert_eq!(b, Rat::from(17));
     }
 
@@ -578,7 +681,7 @@ mod tests {
         let stmts = fig_6_4_stmts();
         let i0 = &stmts.iter().find(|s| s.is_recv).unwrap().tf;
         let o4 = &stmts.iter().filter(|s| !s.is_recv).nth(4).unwrap().tf;
-        let b = bound_pair(o4, i0).expect("overlapping");
+        let b = bound_pair(o4, i0).unwrap().expect("overlapping");
         // Exact enumeration over the joint domain:
         let mut exact = None;
         for n in 0..=9 {
@@ -596,7 +699,7 @@ mod tests {
     fn analytic_skew_bounds_figure_6_4() {
         let code = fig_6_4_code();
         let stmts = extract(&code);
-        let analytic = min_skew_bound(&stmts, Dir::Right);
+        let analytic = min_skew_bound(&stmts, Dir::Right).unwrap();
         let exact = Timeline::build(&code, &paper_loops()).min_skew(Dir::Right);
         assert!(analytic >= exact, "analytic {analytic} >= exact {exact}");
         assert_eq!(exact, 18);
@@ -607,7 +710,7 @@ mod tests {
     fn analytic_skew_exact_for_figure_6_2() {
         let code = fig_6_2_code();
         let stmts = extract(&code);
-        assert_eq!(min_skew_bound(&stmts, Dir::Right), 3);
+        assert_eq!(min_skew_bound(&stmts, Dir::Right).unwrap(), 3);
     }
 
     #[test]
@@ -628,7 +731,7 @@ mod tests {
             let tl = Timeline::build(&code, &paper_loops());
             for skew in [min_skew, min_skew + 7] {
                 let exact = tl.max_queue_occupancy(Dir::Right, skew);
-                let bound = occupancy_bound(&stmts, Dir::Right, skew);
+                let bound = occupancy_bound(&stmts, Dir::Right, skew).unwrap();
                 for (chan, &occ) in &exact {
                     let b = bound[chan];
                     assert!(b >= occ, "bound {b} must cover exact {occ} at skew {skew}");
@@ -640,16 +743,16 @@ mod tests {
     #[test]
     fn statement_counts() {
         let stmts = fig_6_4_stmts();
-        let total: i64 = stmts
+        let total: i128 = stmts
             .iter()
             .filter(|s| s.is_recv)
-            .map(|s| s.tf.count())
+            .map(|s| s.tf.count().unwrap())
             .sum();
         assert_eq!(total, 10);
-        let total_out: i64 = stmts
+        let total_out: i128 = stmts
             .iter()
             .filter(|s| !s.is_recv)
-            .map(|s| s.tf.count())
+            .map(|s| s.tf.count().unwrap())
             .sum();
         assert_eq!(total_out, 10);
     }
