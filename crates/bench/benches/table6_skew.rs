@@ -76,6 +76,7 @@ fn scaled_program(scale: u64) -> warp_cell::CellCode {
         regions: vec![paper::block(1, vec![]), input_loop, out_loop],
         regs_used: 0,
         scratch_words: 0,
+        pipelined: vec![],
     }
 }
 

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use warp_compiler::{compile, corpus, CompileOptions};
+use warp_compiler::{compile, corpus, CompileOptions, Session, SessionCtrl};
 
 fn print_series() {
     eprintln!("\n=== Throughput: scheduling configurations (10-cell polynomial, 256 points) ===");
@@ -24,14 +24,19 @@ fn print_series() {
         ("pipelined+unroll 8", true, 8),
     ] {
         let opts = CompileOptions {
-            software_pipeline: pipeline,
             lower: warp_ir::LowerOptions {
                 unroll,
                 ..warp_ir::LowerOptions::default()
             },
             ..CompileOptions::default()
         };
-        let m = compile(&src, &opts).expect("compiles");
+        let m = Session::new(opts)
+            .with_ctrl(SessionCtrl {
+                pipeline,
+                ..SessionCtrl::default()
+            })
+            .compile(&src)
+            .expect("compiles");
         let r = m.run(&[("c", &c), ("z", &z)]).expect("runs");
         eprintln!(
             "{name:<19} | {:>6} | {:.4}",

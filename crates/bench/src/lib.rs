@@ -1,2 +1,12 @@
-//! Benchmark support crate. The actual benchmarks live in `benches/`;
-//! see the workspace's `EXPERIMENTS.md` for the experiment index.
+//! Benchmark support crate. The criterion experiments live in
+//! `benches/`; see the workspace's `EXPERIMENTS.md` for the experiment
+//! index.
+//!
+//! The compile-and-run corpus harness (the `BENCH_compile.json`
+//! producer) lives in `warp_compiler::bench` and its `wbench` binary —
+//! this crate re-exports it so benchmark code has one import root.
+//! Keeping the harness in `warp-compiler` keeps it buildable in the
+//! offline container, where this crate's criterion dependency cannot
+//! be resolved.
+
+pub use warp_compiler::bench::{bench_program, run_bench, BenchRecord, BenchReport};

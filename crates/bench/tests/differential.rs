@@ -288,7 +288,6 @@ proptest! {
             (true, 2, true),
         ] {
             let opts = CompileOptions {
-                software_pipeline: pipeline,
                 lower: warp::ir::LowerOptions {
                     optimize,
                     unroll,
@@ -297,7 +296,12 @@ proptest! {
                 },
                 ..CompileOptions::default()
             };
-            let module = compile(&src, &opts)
+            let module = warp::compiler::Session::new(opts)
+                .with_ctrl(warp::compiler::SessionCtrl {
+                    pipeline,
+                    ..warp::compiler::SessionCtrl::default()
+                })
+                .compile(&src)
                 .unwrap_or_else(|e| panic!("must compile (opt={optimize}, unroll={unroll}):\n{e}"));
             let sim = module.run(&[("zs", &zs)]).expect("simulates");
             let a = sim.host.get("rs");

@@ -91,6 +91,7 @@ fn build_code(
             regions,
             regs_used: 0,
             scratch_words: 0,
+            pipelined: vec![],
         },
         loops,
     )
@@ -473,13 +474,13 @@ proptest! {
         let before = eval_dag(&b, &loads, inputs[..loads.len().min(inputs.len())].to_vec().as_slice());
         let m = warp::cell::CellMachine::default();
         let latency = |k: &warp_ir::NodeKind| m.latency_of(k);
-        let cp_before = warp_ir::opt::critical_path(&b, latency);
-        warp_ir::opt::height_reduce(&mut b);
+        let cp_before = warp_ir::rewrite::critical_path(&b, latency);
+        warp_ir::rewrite::height_reduce(&mut b, &m.latency_model());
         let after = eval_dag(&b, &loads, inputs[..loads.len().min(inputs.len())].to_vec().as_slice());
         // Multiplying up to 24 values in [-4,4] can overflow f64
         // precision only beyond 2^53; 4^24 < 2^48, safe.
         prop_assert_eq!(before, after);
-        let cp_after = warp_ir::opt::critical_path(&b, latency);
+        let cp_after = warp_ir::rewrite::critical_path(&b, latency);
         prop_assert!(cp_after <= cp_before);
         // The rewritten DAG still schedules legally.
         let s = warp::cell::schedule(&b, &m);

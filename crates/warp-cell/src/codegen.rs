@@ -27,8 +27,7 @@ pub const SCRATCH_VAR: VarId = VarId(u32::MAX);
 /// Options for cell code generation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CellCodegenOptions {
-    /// Software-pipeline eligible innermost loops (see
-    /// [`crate::pipeline`]).
+    /// Modulo-schedule eligible innermost loops (see [`crate::modulo`]).
     pub software_pipeline: bool,
 }
 
@@ -88,6 +87,7 @@ pub fn codegen_with(
         options,
         codes,
         regs_used,
+        pipelined: Vec::new(),
     };
     let regions = asm.assemble(&ir.root);
     Ok(CellCode {
@@ -95,6 +95,7 @@ pub fn codegen_with(
         regions,
         regs_used: asm.regs_used,
         scratch_words,
+        pipelined: asm.pipelined,
     })
 }
 
@@ -104,6 +105,7 @@ struct Assembler<'a> {
     options: &'a CellCodegenOptions,
     codes: HashMap<BlockId, BlockCode>,
     regs_used: u32,
+    pipelined: Vec<crate::mcode::PipelineInfo>,
 }
 
 impl Assembler<'_> {
@@ -117,7 +119,7 @@ impl Assembler<'_> {
                 if self.options.software_pipeline {
                     if let Region::Block(bid) = **body {
                         let baseline = self.codes[&bid].len();
-                        if let Some(p) = crate::pipeline::try_pipeline(
+                        if let Some(p) = crate::modulo::try_pipeline(
                             &self.ir.blocks[bid],
                             self.machine,
                             count,
@@ -127,6 +129,12 @@ impl Assembler<'_> {
                         ) {
                             self.codes.remove(&bid);
                             self.regs_used = self.regs_used.max(p.regs_used);
+                            self.pipelined.push(crate::mcode::PipelineInfo {
+                                id: *id,
+                                ii: p.ii,
+                                stages: p.stages,
+                                kernel_count: p.kernel_count,
+                            });
                             return vec![
                                 CodeRegion::Block(p.prologue),
                                 CodeRegion::Loop {

@@ -3,7 +3,8 @@
 //! Translates the abstract cell IR of [`warp_ir`] into horizontal
 //! microcode for the Warp cell datapath (paper §2.4, §6.2): list
 //! scheduling with pipeline latencies and resource reservation
-//! ([`sched`]), linear-scan register allocation with memory spilling
+//! ([`sched`]), iterative modulo scheduling of innermost loops
+//! ([`modulo`]), linear-scan register allocation with memory spilling
 //! ([`regalloc`]), and emission of wide micro-instructions ([`mcode`]).
 //!
 //! # Examples
@@ -42,7 +43,7 @@
 pub mod codegen;
 pub mod machine;
 pub mod mcode;
-pub mod pipeline;
+pub mod modulo;
 pub mod regalloc;
 pub mod sched;
 
@@ -50,7 +51,8 @@ pub use codegen::{codegen, codegen_with, CellCodegenOptions};
 pub use machine::{io_index, CellMachine, Unit};
 pub use mcode::{
     AddrSource, AluOp, BlockCode, CellCode, CodeRegion, FpuField, IoEvent, IoField, MemField,
-    MicroInst, Operand, Reg,
+    MicroInst, Operand, PipelineInfo, Reg,
 };
-pub use regalloc::{allocate, Allocation, SpillNeeded};
+pub use modulo::{validate_modulo, PipelinedLoop};
+pub use regalloc::{allocate, allocate_modulo, Allocation, SpillNeeded};
 pub use sched::{schedule, validate, BlockSchedule};

@@ -99,18 +99,22 @@ impl CellMachine {
         }
     }
 
+    /// The machine's latencies as the DAG-level [`warp_ir::LatencyModel`],
+    /// so mid-end passes (height reduction, rewrite cost models) agree
+    /// with the scheduler.
+    pub fn latency_model(&self) -> warp_ir::LatencyModel {
+        warp_ir::LatencyModel {
+            fp: self.fp_latency,
+            div: self.div_latency,
+            mem: self.mem_latency,
+            io: self.io_latency,
+        }
+    }
+
     /// The result latency of an abstract operation: a consumer may issue
     /// this many cycles after the producer.
     pub fn latency_of(&self, kind: &NodeKind) -> u32 {
-        match kind {
-            NodeKind::ConstF(_) | NodeKind::ConstB(_) => 0,
-            NodeKind::Load { .. } => self.mem_latency,
-            NodeKind::Store { .. } => 1,
-            NodeKind::Recv { .. } => self.io_latency,
-            NodeKind::Send { .. } => 1,
-            NodeKind::FDiv => self.div_latency,
-            _ => self.fp_latency,
-        }
+        self.latency_model().latency_of(kind)
     }
 }
 

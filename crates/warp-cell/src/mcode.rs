@@ -337,6 +337,22 @@ pub struct CellCode {
     pub regs_used: u32,
     /// Scratch memory words reserved for register spills.
     pub scratch_words: u32,
+    /// Loops that were modulo-scheduled (see [`crate::modulo`]), in
+    /// region order.
+    pub pipelined: Vec<PipelineInfo>,
+}
+
+/// Summary of one software-pipelined (modulo-scheduled) loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineInfo {
+    /// The source loop.
+    pub id: LoopId,
+    /// Initiation interval: cycles between successive iteration starts.
+    pub ii: u32,
+    /// Stage count: iterations in flight in the steady state.
+    pub stages: u32,
+    /// Kernel executions (`count − stages + 1`).
+    pub kernel_count: u64,
 }
 
 impl CellCode {
@@ -386,6 +402,13 @@ impl CellCode {
             self.regs_used,
             self.scratch_words
         );
+        for p in &self.pipelined {
+            out.push_str(&format!(
+                "; pipelined {}: ii={} stages={} kernel x{}
+",
+                p.id, p.ii, p.stages, p.kernel_count
+            ));
+        }
         for r in &self.regions {
             region(&mut out, r, 0);
         }
@@ -457,6 +480,7 @@ mod tests {
             regions: vec![block(4), r],
             regs_used: 2,
             scratch_words: 0,
+            pipelined: vec![],
         };
         assert_eq!(code.static_len(), 9);
         assert_eq!(code.dynamic_len(), 54);

@@ -140,6 +140,85 @@ pub fn allocate_excluding(
     })
 }
 
+/// Register assignment for a modulo-scheduled loop (see
+/// [`crate::modulo`]). In the steady state every value's lifetime is a
+/// *cyclic arc* of the II-cycle kernel: the value is written at
+/// `t(def) + latency` and read for the last time at most II−1 cycles
+/// later (guaranteed by the scheduler's lifetime check), so its arc
+/// spans at most one full revolution. Two values may share a register
+/// iff their arcs are disjoint modulo II — disjoint arcs are disjoint
+/// at every absolute cycle, and the prologue/epilogue execute subsets
+/// of the steady state, so the sharing is safe there too. A first-fit
+/// pack over the arcs assigns registers; returns `None` when more than
+/// `machine.registers` are needed (the caller then tries a larger II
+/// or falls back to the list schedule).
+pub fn allocate_modulo(
+    block: &Block,
+    machine: &crate::machine::CellMachine,
+    times: &HashMap<NodeId, u32>,
+    ii: u32,
+) -> Option<Allocation> {
+    let live = block.live_nodes();
+    let mut last_use: HashMap<NodeId, u32> = HashMap::new();
+    for &n in &live {
+        for &p in &block.nodes[n].inputs {
+            let t = times[&n];
+            let e = last_use.entry(p).or_insert(t);
+            *e = (*e).max(t);
+        }
+    }
+
+    // Arcs: (write cycle, length, node), length in 1..=II.
+    let mut arcs: Vec<(u32, u32, NodeId)> = Vec::new();
+    for &n in &live {
+        let kind = &block.nodes[n].kind;
+        if machine.unit_of(kind) == Unit::None {
+            continue; // literals live in the instruction word
+        }
+        if matches!(kind, NodeKind::Store { .. } | NodeKind::Send { .. }) {
+            continue; // no result value
+        }
+        let Some(&end) = last_use.get(&n) else {
+            continue; // result discarded
+        };
+        let write = times[&n] + machine.latency_of(kind);
+        // Consumers issue no earlier than the writeback and (lifetime
+        // check) strictly less than II cycles after it.
+        debug_assert!(end >= write && end - write < ii);
+        arcs.push((write, end - write + 1, n));
+    }
+    arcs.sort_by_key(|&(w, l, n)| (w, l, n));
+
+    // First-fit: a register is a set of pairwise-disjoint arcs.
+    let in_arc = |start: u32, len: u32, x: u32| (x + ii - start) % ii < len;
+    let overlap = |(s1, l1): (u32, u32), (s2, l2): (u32, u32)| {
+        // Arcs of length ≤ II overlap iff either start lies inside the
+        // other.
+        in_arc(s1, l1, s2) || in_arc(s2, l2, s1)
+    };
+    let mut reg_arcs: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut assignment = HashMap::new();
+    for (write, len, n) in arcs {
+        let start = write % ii;
+        let reg = reg_arcs
+            .iter()
+            .position(|held| held.iter().all(|&h| !overlap((start, len), h)))
+            .unwrap_or_else(|| {
+                reg_arcs.push(Vec::new());
+                reg_arcs.len() - 1
+            });
+        if reg >= machine.registers as usize {
+            return None;
+        }
+        reg_arcs[reg].push((start, len));
+        assignment.insert(n, Reg(reg as u16));
+    }
+    Some(Allocation {
+        regs_used: reg_arcs.len() as u32,
+        assignment,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +335,97 @@ mod tests {
         let s = schedule(&b, &m);
         let a = allocate(&b, &m, &s, 64).expect("fits");
         assert_eq!(a.regs_used, 1, "sequential values share one register");
+    }
+
+    #[test]
+    fn modulo_arcs_share_registers() {
+        use w2_lang::ast::{Chan, Dir};
+        let m = CellMachine::default();
+        // recv(t0) -> add(t2) -> send, II = 4: recv's value is written
+        // at 1 and last read at 2 (slots {1,2}); the add's value is
+        // written at 7 and, with the send at 8, occupies slots {3,0}.
+        // Disjoint mod 4, so one register suffices; moving the send to
+        // 9 stretches the arc to {3,0,1}, colliding with the recv.
+        let mut b = Block::new();
+        let r = b.nodes.push(Node {
+            kind: NodeKind::Recv {
+                dir: Dir::Left,
+                chan: Chan::X,
+                ext: None,
+            },
+            inputs: vec![],
+            deps: vec![],
+        });
+        let c = b.nodes.push(Node {
+            kind: NodeKind::ConstF(1.0),
+            inputs: vec![],
+            deps: vec![],
+        });
+        let a = b.nodes.push(Node {
+            kind: NodeKind::FAdd,
+            inputs: vec![r, c],
+            deps: vec![],
+        });
+        let s = b.nodes.push(Node {
+            kind: NodeKind::Send {
+                dir: Dir::Right,
+                chan: Chan::X,
+                ext: None,
+            },
+            inputs: vec![a],
+            deps: vec![],
+        });
+        b.roots.push(r);
+        b.roots.push(s);
+        let times: HashMap<NodeId, u32> = [(r, 0), (a, 2), (s, 8)].into_iter().collect();
+        let alloc = allocate_modulo(&b, &m, &times, 4).expect("fits");
+        assert_eq!(alloc.regs_used, 1, "disjoint cyclic arcs share");
+
+        let times: HashMap<NodeId, u32> = [(r, 0), (a, 2), (s, 9)].into_iter().collect();
+        let alloc = allocate_modulo(&b, &m, &times, 4).expect("fits");
+        assert_eq!(alloc.regs_used, 2, "overlapping arcs get distinct regs");
+    }
+
+    #[test]
+    fn modulo_allocation_respects_file_size() {
+        let m = CellMachine {
+            registers: 1,
+            ..CellMachine::default()
+        };
+        // Two values alive across each other at II = 2.
+        let mut b = Block::new();
+        let l1 = b.nodes.push(Node {
+            kind: NodeKind::Load {
+                var: VarId(0),
+                addr: Affine::constant(0),
+            },
+            inputs: vec![],
+            deps: vec![],
+        });
+        let l2 = b.nodes.push(Node {
+            kind: NodeKind::Load {
+                var: VarId(0),
+                addr: Affine::constant(1),
+            },
+            inputs: vec![],
+            deps: vec![],
+        });
+        let a = b.nodes.push(Node {
+            kind: NodeKind::FAdd,
+            inputs: vec![l1, l2],
+            deps: vec![],
+        });
+        let st = b.nodes.push(Node {
+            kind: NodeKind::Store {
+                var: VarId(0),
+                addr: Affine::constant(2),
+            },
+            inputs: vec![a],
+            deps: vec![],
+        });
+        b.roots.push(st);
+        let times: HashMap<NodeId, u32> = [(l1, 0), (l2, 0), (a, 1), (st, 7)].into_iter().collect();
+        assert!(allocate_modulo(&b, &m, &times, 2).is_none());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `w2c` — the W2 compiler command line.
 //!
 //! ```text
-//! w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit KIND]
-//!             [--dump-after PASS] [--time-passes]
+//! w2c FILE.w2 [--no-opt] [--unroll K] [--no-pipeline] [--rewrite-fuel N]
+//!             [--emit KIND] [--dump-after PASS] [--time-passes]
 //!             [--run NAME=v1,v2,... ...] [--cells N] [--check]
 //!             [--audit-guarantees] [--inject SPEC]
 //! w2c FILE.w2 --differential-check [--seed S] [--inject SPEC]
@@ -44,7 +44,7 @@ use std::process::ExitCode;
 use warp_common::{observe, CollectDumps};
 use warp_compiler::{
     audit, corpus, differential, fuzz, passes, service, CompileOptions, CompiledModule,
-    ServiceConfig, Session,
+    ServiceConfig, Session, SessionCtrl,
 };
 use warp_ir::LowerOptions;
 use warp_service::{ExecutorConfig, JobOutcome};
@@ -52,7 +52,7 @@ use warp_sim::{FaultPlan, SimOptions};
 
 /// `--emit` kinds: the Table 7-1 metrics and listings, plus one kind
 /// per dumpable pass artifact.
-const EMIT_KINDS: [(&str, Option<&str>); 9] = [
+const EMIT_KINDS: [(&str, Option<&str>); 10] = [
     ("metrics", None),
     ("cell", None),
     ("iu", None),
@@ -60,6 +60,7 @@ const EMIT_KINDS: [(&str, Option<&str>); 9] = [
     ("hir", Some("frontend")),
     ("comm", Some("comm")),
     ("ir", Some("lower")),
+    ("rewrite", Some("rewrite")),
     ("decompose", Some("decompose")),
     ("skew", Some("skew")),
     ("host", Some("host-codegen")),
@@ -73,6 +74,7 @@ struct Args {
     time_passes: bool,
     runs: Vec<(String, Vec<f32>)>,
     opts: CompileOptions,
+    ctrl: SessionCtrl,
     cells: Option<u32>,
     check: bool,
     audit: bool,
@@ -88,7 +90,8 @@ fn usage() -> ! {
     let emit_kinds: Vec<&str> = EMIT_KINDS.iter().map(|(k, _)| *k).collect();
     let pass_names: Vec<&str> = passes::pass_names().collect();
     eprintln!(
-        "usage: w2c FILE.w2 [--no-opt] [--unroll K] [--pipeline] [--emit KIND]\n\
+        "usage: w2c FILE.w2 [--no-opt] [--unroll K] [--no-pipeline]\n\
+         \x20           [--rewrite-fuel N] [--emit KIND]\n\
          \x20           [--dump-after PASS] [--time-passes]\n\
          \x20           [--run NAME=v1,v2,...] [--cells N] [--check]\n\
          \x20           [--audit-guarantees] [--inject SPEC]\n\
@@ -99,6 +102,9 @@ fn usage() -> ! {
          \x20      w2c --corpus all [--time-passes] [--audit-guarantees]\n\
          \x20  --emit KIND: one of {}\n\
          \x20  --dump-after PASS: one of {}\n\
+         \x20  --no-pipeline: disable modulo scheduling of innermost loops\n\
+         \x20      (cell loop bodies keep their list schedules)\n\
+         \x20  --rewrite-fuel N: cap the mid-end at N pattern applications\n\
          \x20  --time-passes: print the per-pass timing table\n\
          \x20  --check: also execute the reference interpreter and compare\n\
          \x20  --audit-guarantees: verify the static skew/queue claims are\n\
@@ -133,6 +139,7 @@ fn parse_args() -> Args {
         time_passes: false,
         runs: Vec::new(),
         opts: CompileOptions::default(),
+        ctrl: SessionCtrl::default(),
         cells: None,
         check: false,
         audit: false,
@@ -174,7 +181,11 @@ fn parse_args() -> Args {
                 let dir = args.next().unwrap_or_else(|| usage());
                 parsed.repro_dir = Some(std::path::PathBuf::from(dir));
             }
-            "--pipeline" => parsed.opts.software_pipeline = true,
+            "--no-pipeline" => parsed.ctrl.pipeline = false,
+            "--rewrite-fuel" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                parsed.ctrl.rewrite_fuel = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
             "--time-passes" => parsed.time_passes = true,
             "--no-opt" => {
                 parsed.opts.lower = LowerOptions {
@@ -421,6 +432,7 @@ fn run_differential(args: &Args, cases: usize) -> ExitCode {
         cases,
         seed: args.seed.unwrap_or(1),
         compile: args.opts.clone(),
+        pipeline: args.ctrl.pipeline,
         inject: args.inject.clone(),
         repro_dir: args.repro_dir.clone(),
         ..differential::DiffOptions::default()
@@ -443,6 +455,7 @@ fn run_fuzz(args: &Args, cases: usize) -> ExitCode {
         cases,
         seed: args.seed.unwrap_or(1),
         compile: args.opts.clone(),
+        pipeline: args.ctrl.pipeline,
         repro_dir: args.repro_dir.clone(),
         ..fuzz::FuzzOptions::default()
     };
@@ -461,6 +474,7 @@ fn run_fuzz(args: &Args, cases: usize) -> ExitCode {
 fn differential_check(args: &Args, source: &str, source_name: &str) -> ExitCode {
     let opts = differential::DiffOptions {
         compile: args.opts.clone(),
+        pipeline: args.ctrl.pipeline,
         inject: args.inject.clone(),
         ..differential::DiffOptions::default()
     };
@@ -506,7 +520,8 @@ fn main() -> ExitCode {
     }
 
     let mut dumps = CollectDumps::for_passes(wanted_dumps(&args));
-    let session = Session::with_observer(args.opts.clone(), &mut dumps);
+    let session =
+        Session::with_observer(args.opts.clone(), &mut dumps).with_ctrl(args.ctrl.clone());
     let module = match session.compile(&source) {
         Ok(m) => m,
         Err(diags) => {

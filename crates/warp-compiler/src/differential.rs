@@ -64,6 +64,10 @@ pub struct DiffOptions {
     pub max_cell_cycles: u64,
     /// Predicate-call budget for the shrinker.
     pub shrink_budget: usize,
+    /// Modulo-schedule innermost loops ([`SessionCtrl::pipeline`]).
+    /// Both settings must agree bitwise with the oracle; CI runs the
+    /// campaign with each.
+    pub pipeline: bool,
 }
 
 impl Default for DiffOptions {
@@ -78,6 +82,7 @@ impl Default for DiffOptions {
             case_timeout: Duration::from_secs(10),
             max_cell_cycles: 2_000_000,
             shrink_budget: 3_000,
+            pipeline: true,
         }
     }
 }
@@ -248,9 +253,9 @@ pub fn check_case(source: &str, input_seed: u64, opts: &DiffOptions) -> CaseOutc
     copts.lower.reassociate = false;
     let session = Session::new(copts).with_ctrl(SessionCtrl {
         cancel: cancel.clone(),
-        skew_max_events: 0,
         max_cell_cycles: opts.max_cell_cycles,
-        max_source_bytes: 0,
+        pipeline: opts.pipeline,
+        ..SessionCtrl::default()
     });
     let module = match session.try_compile(source) {
         Ok(m) => m,

@@ -67,6 +67,8 @@ pub struct FuzzOptions {
     /// Ceiling on skew-analysis event enumeration
     /// ([`SessionCtrl::skew_max_events`]); 0 = unlimited.
     pub skew_max_events: u64,
+    /// Modulo-schedule innermost loops ([`SessionCtrl::pipeline`]).
+    pub pipeline: bool,
     /// Predicate-call budget for the crash shrinker.
     pub shrink_budget: usize,
     /// Test hook: panic on any input containing this needle, simulating
@@ -87,6 +89,7 @@ impl Default for FuzzOptions {
             max_cell_cycles: 2_000_000,
             max_source_bytes: 4 * 1024 * 1024,
             skew_max_events: 5_000_000,
+            pipeline: true,
             shrink_budget: 2_000,
             inject_panic: None,
         }
@@ -266,6 +269,8 @@ fn compile_input(input: &[u8], opts: &FuzzOptions) -> FuzzVerdict {
         skew_max_events: opts.skew_max_events,
         max_cell_cycles: opts.max_cell_cycles,
         max_source_bytes: opts.max_source_bytes,
+        pipeline: opts.pipeline,
+        ..SessionCtrl::default()
     });
     match session.try_compile(source) {
         Ok(_) => FuzzVerdict::Compiled,

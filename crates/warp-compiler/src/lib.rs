@@ -10,7 +10,7 @@
 //! ```
 //!
 //! The driver is an explicit pass manager: a [`Session`] runs the
-//! eight named passes of [`passes::PIPELINE`] in order, timing each
+//! nine named passes of [`passes::PIPELINE`] in order, timing each
 //! one ([`Metrics::per_pass`]) and reporting every intermediate
 //! artifact to an attached [`warp_common::PassObserver`] — that is
 //! what `w2c --time-passes` and `w2c --dump-after <pass>` are built
@@ -44,6 +44,7 @@
 //! ```
 
 pub mod audit;
+pub mod bench;
 pub mod corpus;
 pub mod differential;
 pub mod fuzz;
@@ -76,19 +77,15 @@ pub struct CompileOptions {
     pub lower: LowerOptions,
     /// Skew computation method.
     pub skew_method: SkewMethod,
-    /// Software-pipeline eligible innermost loops (see
-    /// [`warp_cell::pipeline`]). Off by default; like loop unrolling it
-    /// reorders operations across iterations, which the paper's
-    /// successors (not this paper) automated.
-    pub software_pipeline: bool,
 }
 
 /// Resource-control knobs for one compilation, injected by the service
 /// layer: cooperative cancellation polled at every pass boundary (and
 /// inside the skew enumeration), a budget slice for the exact skew
-/// engine, and an IR-size ceiling checked between passes. The default
-/// is fully inert — un-budgeted compiles behave exactly as before.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// engine, an IR-size ceiling checked between passes, and pipeline
+/// policy toggles. The default is fully inert — un-budgeted compiles
+/// behave exactly as before.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SessionCtrl {
     /// Cancellation handle; checked before every pass and threaded into
     /// the skew analysis.
@@ -107,6 +104,27 @@ pub struct SessionCtrl {
     /// frontend runs (`0` = unlimited). Oversized inputs fail fast with
     /// [`CompileFailure::TooLarge`] instead of being lexed.
     pub max_source_bytes: u64,
+    /// Modulo-schedule (software-pipeline) eligible innermost loops
+    /// (see [`warp_cell::modulo`]). On by default; `w2c --no-pipeline`
+    /// clears it for one-iteration-at-a-time baselines and A/B runs.
+    pub pipeline: bool,
+    /// Ceiling on total rewrite-pattern applications in the `rewrite`
+    /// pass (`None` = unlimited). A debugging/bisection knob: fuel `k`
+    /// stops the fixpoint driver after the k-th application.
+    pub rewrite_fuel: Option<u64>,
+}
+
+impl Default for SessionCtrl {
+    fn default() -> SessionCtrl {
+        SessionCtrl {
+            cancel: CancelToken::default(),
+            skew_max_events: 0,
+            max_cell_cycles: 0,
+            max_source_bytes: 0,
+            pipeline: true,
+            rewrite_fuel: None,
+        }
+    }
 }
 
 /// A structured compilation failure: what stopped the pipeline, and
@@ -220,6 +238,9 @@ pub struct Metrics {
     /// Per-pass wall-clock breakdown, in pipeline order (one entry per
     /// pass of [`passes::PIPELINE`]).
     pub per_pass: Vec<PassTiming>,
+    /// Per-pattern application counts from the `rewrite` pass, sorted
+    /// by pattern name. Empty when optimization is disabled.
+    pub rewrite_hits: Vec<(String, u64)>,
 }
 
 impl Metrics {

@@ -26,11 +26,12 @@ pub struct PassInfo {
     pub artifact: &'static str,
 }
 
-/// The eight passes of the driver, in execution order. The paper's
-/// "flow analysis" box covers two passes here: the communication-cycle
-/// analysis of §5.1.1 (`comm`) and HIR→IR lowering with the local
-/// optimizations (`lower`).
-pub const PIPELINE: [PassInfo; 8] = [
+/// The nine passes of the driver, in execution order. The paper's
+/// "flow analysis" box covers three passes here: the
+/// communication-cycle analysis of §5.1.1 (`comm`), HIR→IR lowering
+/// (`lower`), and the pattern-rewrite mid-end (`rewrite`) that
+/// canonicalizes and optimizes the DAGs to fixpoint.
+pub const PIPELINE: [PassInfo; 9] = [
     PassInfo {
         name: "frontend",
         stage: "front end",
@@ -45,6 +46,11 @@ pub const PIPELINE: [PassInfo; 8] = [
         name: "lower",
         stage: "flow analysis: lowering & local optimization",
         artifact: "cell-ir",
+    },
+    PassInfo {
+        name: "rewrite",
+        stage: "flow analysis: pattern rewriting (§6.1)",
+        artifact: "rewrite-stats",
     },
     PassInfo {
         name: "decompose",
@@ -90,7 +96,7 @@ mod tests {
     #[test]
     fn pipeline_names_are_unique_and_ordered() {
         let names: Vec<_> = pass_names().collect();
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 9);
         for (i, n) in names.iter().enumerate() {
             assert_eq!(names.iter().position(|m| m == n), Some(i), "duplicate {n}");
         }

@@ -134,6 +134,7 @@ impl CompileService {
                 skew_max_events,
                 max_cell_cycles,
                 max_source_bytes,
+                ..SessionCtrl::default()
             };
             match Session::new(opts.clone())
                 .with_ctrl(ctrl)

@@ -1,7 +1,7 @@
 //! One compilation as an explicit, observable pass pipeline.
 //!
 //! [`Session`] owns the [`CompileOptions`], accumulates diagnostics in
-//! a shared [`DiagnosticBag`], and drives the eight passes of
+//! a shared [`DiagnosticBag`], and drives the nine passes of
 //! [`PIPELINE`](crate::passes::PIPELINE) in order, timing each one and
 //! reporting its output artifact to an attached
 //! [`PassObserver`](warp_common::PassObserver). The plain
@@ -16,8 +16,30 @@ use warp_cell::{codegen_with as cell_codegen, CellCodegenOptions};
 use warp_common::observe::{Artifact, PassObserver, PassTiming};
 use warp_common::{Diagnostic, DiagnosticBag};
 use warp_host::host_codegen;
+use warp_ir::rewrite::{rewrite_module, RewriteOptions, RewriteStats};
 use warp_ir::{comm, decompose, lower};
 use warp_skew::{analyze, SkewOptions};
+
+/// Artifact of the `rewrite` pass: the per-pattern application counts,
+/// rendered as a stable name-sorted table for `--dump-after rewrite`.
+struct RewriteArtifact(RewriteStats);
+
+impl Artifact for RewriteArtifact {
+    fn kind(&self) -> &'static str {
+        "rewrite-stats"
+    }
+
+    fn dump(&self) -> String {
+        let mut out = String::from("; rewrite pattern applications\n");
+        for (name, n) in self.0.hits() {
+            out.push_str(&format!("{name}: {n}\n"));
+        }
+        if self.0.fuel_exhausted {
+            out.push_str("; fuel exhausted\n");
+        }
+        out
+    }
+}
 
 /// A single compilation: options, shared diagnostics, and an optional
 /// pass observer.
@@ -31,7 +53,7 @@ use warp_skew::{analyze, SkewOptions};
 /// let mut dumps = CollectDumps::for_passes(["lower"]);
 /// let session = Session::with_observer(CompileOptions::default(), &mut dumps);
 /// let module = session.compile(corpus::POLYNOMIAL)?;
-/// assert_eq!(module.metrics.per_pass.len(), 8);
+/// assert_eq!(module.metrics.per_pass.len(), 9);
 /// assert_eq!(dumps.dumps().len(), 1);
 /// assert_eq!(dumps.dumps()[0].kind, "cell-ir");
 /// # Ok::<(), warp_common::DiagnosticBag>(())
@@ -216,19 +238,40 @@ impl<'obs> Session<'obs> {
             .run_pass("lower", |opts| lower(&hir, &opts.lower))
             .map_err(|d| self.classify("lower", d))?;
 
+        self.checkpoint("rewrite")?;
+        let rewrite_fuel = self.ctrl.rewrite_fuel;
+        let rewrite_stats = self
+            .run_pass("rewrite", |opts| {
+                let stats = if opts.lower.optimize {
+                    rewrite_module(
+                        &mut ir,
+                        &RewriteOptions {
+                            reassociate: opts.lower.reassociate,
+                            fuel: rewrite_fuel,
+                            latency: opts.machine.latency_model(),
+                        },
+                    )
+                } else {
+                    RewriteStats::default()
+                };
+                Ok(RewriteArtifact(stats))
+            })
+            .map_err(|d| self.classify("rewrite", d))?;
+
         self.checkpoint("decompose")?;
         let dec = self
             .run_pass("decompose", |_| Ok(decompose::decompose(&mut ir)))
             .map_err(|d| self.classify("decompose", d))?;
 
         self.checkpoint("cell-codegen")?;
+        let pipeline = self.ctrl.pipeline;
         let cell_code = self
             .run_pass("cell-codegen", |opts| {
                 cell_codegen(
                     &ir,
                     &opts.machine,
                     &CellCodegenOptions {
-                        software_pipeline: opts.software_pipeline,
+                        software_pipeline: pipeline,
                     },
                 )
             })
@@ -305,6 +348,11 @@ impl<'obs> Session<'obs> {
             iu_ucode: iu.static_len(),
             compile_time: start.elapsed(),
             per_pass: self.timings,
+            rewrite_hits: rewrite_stats
+                .0
+                .hits()
+                .map(|(name, n)| (name.to_owned(), n))
+                .collect(),
         };
 
         Ok(CompiledModule {

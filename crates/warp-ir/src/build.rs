@@ -3,8 +3,10 @@
 //! This is the "flow analysis" module of paper §6.1: it builds the region
 //! tree (flowgraph) and one DAG per basic block, applying the local
 //! optimizations the paper lists — common sub-expression elimination,
-//! constant folding, idempotent operation removal — during construction,
-//! and height reduction as a post-pass ([`crate::opt`]).
+//! constant folding, idempotent operation removal — during construction
+//! (hash-consing through the shared folding core of [`crate::rewrite`]).
+//! Height reduction and the rest of the pattern catalog run afterwards
+//! as the driver's `rewrite` pass ([`crate::rewrite::rewrite_module`]).
 //!
 //! Consecutive non-loop statements are merged into a single basic block,
 //! so the list scheduler automatically overlaps the computation of
@@ -18,8 +20,8 @@
 
 use crate::affine::{Affine, LoopId};
 use crate::dag::{Block, BlockId, CmpOp, HostSlot, Node, NodeId, NodeKind};
-use crate::opt;
 use crate::region::{CellIr, Layout, LoopMeta, Region};
+use crate::rewrite::{fold_value, Folded};
 use std::collections::{HashMap, HashSet};
 use w2_lang::ast::{BinOp, UnOp};
 use w2_lang::hir::{HirExpr, HirLValue, HirModule, HirStmt, HostRef, VarId};
@@ -77,11 +79,6 @@ pub fn lower(hir: &HirModule, opts: &LowerOptions) -> Result<CellIr, DiagnosticB
         diags,
     };
     let root = lw.lower_seq(&hir.body);
-    if lw.opts.optimize && lw.opts.reassociate {
-        for block in lw.blocks.values_mut() {
-            opt::height_reduce(block);
-        }
-    }
     if lw.diags.has_errors() {
         return Err(lw.diags);
     }
@@ -287,7 +284,7 @@ enum PureKey {
     Sel(NodeId, NodeId, NodeId),
 }
 
-fn bin_code(kind: &NodeKind) -> u8 {
+pub(crate) fn bin_code(kind: &NodeKind) -> u8 {
     match kind {
         NodeKind::FAdd => 0,
         NodeKind::FSub => 1,
@@ -305,7 +302,7 @@ fn bin_code(kind: &NodeKind) -> u8 {
     }
 }
 
-fn is_commutative(kind: &NodeKind) -> bool {
+pub(crate) fn is_commutative(kind: &NodeKind) -> bool {
     matches!(
         kind,
         NodeKind::FAdd
@@ -385,20 +382,6 @@ impl Bb {
         self.block.nodes.push(Node { kind, inputs, deps })
     }
 
-    fn const_f(&self, n: NodeId) -> Option<f32> {
-        match self.block.nodes[n].kind {
-            NodeKind::ConstF(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    fn const_b(&self, n: NodeId) -> Option<bool> {
-        match self.block.nodes[n].kind {
-            NodeKind::ConstB(v) => Some(v),
-            _ => None,
-        }
-    }
-
     /// Adds a pure node with folding, identity simplification, and CSE.
     fn pure(&mut self, lw: &Lowerer<'_>, kind: NodeKind, inputs: Vec<NodeId>) -> NodeId {
         debug_assert!(kind.is_pure());
@@ -435,91 +418,15 @@ impl Bb {
         }
     }
 
-    /// Constant folding and identity ("idempotent operation") removal.
+    /// Constant folding and identity ("idempotent operation") removal,
+    /// delegated to the rewrite module's shared folding core so the
+    /// construction-time rules and the `const-fold`/`identity` patterns
+    /// can never disagree.
     fn simplify(&mut self, kind: &NodeKind, inputs: &[NodeId]) -> Option<NodeId> {
-        match kind {
-            NodeKind::FAdd => {
-                let (a, b) = (inputs[0], inputs[1]);
-                match (self.const_f(a), self.const_f(b)) {
-                    (Some(x), Some(y)) => Some(self.const_node(x + y)),
-                    (Some(0.0), None) => Some(b),
-                    (None, Some(0.0)) => Some(a),
-                    _ => None,
-                }
-            }
-            NodeKind::FSub => {
-                let (a, b) = (inputs[0], inputs[1]);
-                match (self.const_f(a), self.const_f(b)) {
-                    (Some(x), Some(y)) => Some(self.const_node(x - y)),
-                    (None, Some(0.0)) => Some(a),
-                    _ => None,
-                }
-            }
-            NodeKind::FMul => {
-                let (a, b) = (inputs[0], inputs[1]);
-                match (self.const_f(a), self.const_f(b)) {
-                    (Some(x), Some(y)) => Some(self.const_node(x * y)),
-                    (Some(1.0), None) => Some(b),
-                    (None, Some(1.0)) => Some(a),
-                    _ => None,
-                }
-            }
-            NodeKind::FDiv => {
-                let (a, b) = (inputs[0], inputs[1]);
-                match (self.const_f(a), self.const_f(b)) {
-                    (Some(x), Some(y)) if y != 0.0 => Some(self.const_node(x / y)),
-                    (None, Some(1.0)) => Some(a),
-                    _ => None,
-                }
-            }
-            NodeKind::FNeg => match self.const_f(inputs[0]) {
-                Some(x) => Some(self.const_node(-x)),
-                None => match self.block.nodes[inputs[0]].kind {
-                    NodeKind::FNeg => Some(self.block.nodes[inputs[0]].inputs[0]),
-                    _ => None,
-                },
-            },
-            NodeKind::FCmp(op) => {
-                let (a, b) = (self.const_f(inputs[0])?, self.const_f(inputs[1])?);
-                Some(self.bool_node(op.apply(a, b)))
-            }
-            NodeKind::BAnd => {
-                let (a, b) = (inputs[0], inputs[1]);
-                match (self.const_b(a), self.const_b(b)) {
-                    (Some(true), _) => Some(b),
-                    (_, Some(true)) => Some(a),
-                    (Some(false), _) | (_, Some(false)) => Some(self.bool_node(false)),
-                    _ => None,
-                }
-            }
-            NodeKind::BOr => {
-                let (a, b) = (inputs[0], inputs[1]);
-                match (self.const_b(a), self.const_b(b)) {
-                    (Some(false), _) => Some(b),
-                    (_, Some(false)) => Some(a),
-                    (Some(true), _) | (_, Some(true)) => Some(self.bool_node(true)),
-                    _ => None,
-                }
-            }
-            NodeKind::BNot => match self.const_b(inputs[0]) {
-                Some(v) => Some(self.bool_node(!v)),
-                None => match self.block.nodes[inputs[0]].kind {
-                    NodeKind::BNot => Some(self.block.nodes[inputs[0]].inputs[0]),
-                    _ => None,
-                },
-            },
-            NodeKind::Select => {
-                let (c, t, f) = (inputs[0], inputs[1], inputs[2]);
-                if t == f {
-                    return Some(t);
-                }
-                match self.const_b(c) {
-                    Some(true) => Some(t),
-                    Some(false) => Some(f),
-                    None => None,
-                }
-            }
-            _ => None,
+        match fold_value(&self.block, kind, inputs)? {
+            Folded::Use(n) => Some(n),
+            Folded::F(v) => Some(self.const_node(v)),
+            Folded::B(v) => Some(self.bool_node(v)),
         }
     }
 

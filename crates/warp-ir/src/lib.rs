@@ -13,7 +13,9 @@
 //! * [`build`] — HIR → IR lowering with the paper's local optimizations
 //!   (CSE, constant folding, idempotent-operation removal) and
 //!   predication of conditionals;
-//! * [`opt`] — height reduction and DAG metrics;
+//! * [`rewrite`] — the pattern-rewrite mid-end: named canonicalization
+//!   patterns (CSE, folding, strength reduction, height reduction, …)
+//!   behind a worklist fixpoint driver with per-pattern metrics;
 //! * [`comm`] — the communication-cycle analysis of §5.1.1 (Figure 5-1);
 //! * [`decompose`] — extraction of data-independent addresses for the IU.
 //!
@@ -58,11 +60,12 @@ pub mod comm;
 pub mod dag;
 pub mod decompose;
 pub mod dump;
-pub mod opt;
 pub mod region;
+pub mod rewrite;
 
 pub use affine::{Affine, LoopId};
 pub use build::{lower, LowerOptions};
 pub use dag::{Block, BlockId, CmpOp, HostSlot, Node, NodeId, NodeKind};
 pub use decompose::{AddrSlot, Decomposition};
 pub use region::{CellIr, Layout, LoopMeta, Region};
+pub use rewrite::{LatencyModel, RewriteOptions, RewriteStats};

@@ -21,6 +21,7 @@ fn empty_host() -> HostMemory {
 fn one_block(insts: Vec<MicroInst>) -> CellCode {
     CellCode {
         name: "synthetic".into(),
+        pipelined: vec![],
         regions: vec![CodeRegion::Block(BlockCode {
             insts,
             io_events: vec![],

@@ -36,6 +36,7 @@ pub fn block(len: usize, events: Vec<(u32, Dir, Chan, bool)>) -> CodeRegion {
 pub fn fig_6_2_code() -> CellCode {
     CellCode {
         name: "fig6-2".into(),
+        pipelined: vec![],
         regions: vec![block(
             6,
             vec![
@@ -88,6 +89,7 @@ pub fn fig_6_4_code() -> CellCode {
     };
     CellCode {
         name: "fig6-4".into(),
+        pipelined: vec![],
         regions: vec![
             block(1, vec![]),
             input_loop,
@@ -131,6 +133,7 @@ pub fn paper_loops() -> IdVec<LoopId, LoopMeta> {
 pub fn fig_3_1_stage(steps: usize, recv_at: u32, send_at: u32) -> CellCode {
     CellCode {
         name: "fig3-1".into(),
+        pipelined: vec![],
         regions: vec![block(
             steps,
             vec![

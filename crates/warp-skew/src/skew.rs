@@ -396,6 +396,7 @@ mod tests {
     fn count_mismatch_rejected() {
         let code = warp_cell::CellCode {
             name: "bad".into(),
+            pipelined: vec![],
             regions: vec![block(
                 3,
                 vec![
@@ -415,6 +416,7 @@ mod tests {
     fn bidirectional_rejected() {
         let code = warp_cell::CellCode {
             name: "bidi".into(),
+            pipelined: vec![],
             regions: vec![block(
                 2,
                 vec![
@@ -433,6 +435,7 @@ mod tests {
     fn right_to_left_flow_supported() {
         let code = warp_cell::CellCode {
             name: "r2l".into(),
+            pipelined: vec![],
             regions: vec![block(
                 4,
                 vec![
@@ -460,6 +463,7 @@ mod tests {
         };
         let code = warp_cell::CellCode {
             name: "burst".into(),
+            pipelined: vec![],
             regions: vec![
                 CodeRegion::Loop {
                     id: warp_ir::LoopId(0),

@@ -367,6 +367,7 @@ mod tests {
         };
         let code = CellCode {
             name: "big".into(),
+            pipelined: vec![],
             regions: vec![CodeRegion::Loop {
                 id: lid,
                 count,
@@ -429,6 +430,7 @@ mod tests {
         };
         let code = CellCode {
             name: "t".into(),
+            pipelined: vec![],
             regions: vec![CodeRegion::Loop {
                 id: lid,
                 count: 3,

@@ -1,0 +1,54 @@
+//! Acceptance test for the modulo-scheduling rollout: across the
+//! on-disk corpus, the pipelined default must drop simulated cycles on
+//! at least three programs and regress on **none** (the scheduler's
+//! profitability gate keeps unprofitable loops on their list
+//! schedules, so any regression is a bug). This is the same
+//! measurement `wbench` writes to `BENCH_compile.json`.
+
+use warp::compiler::{bench, CompileOptions};
+
+fn corpus_programs() -> Vec<(String, String)> {
+    let dir = format!("{}/corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut programs: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {dir}: {e}"))
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            if path.extension()? != "w2" {
+                return None;
+            }
+            let name = path.file_stem()?.to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).expect("readable corpus file");
+            Some((name, src))
+        })
+        .collect();
+    programs.sort();
+    programs
+}
+
+#[test]
+fn pipelining_improves_the_corpus_and_regresses_nothing() {
+    let programs = corpus_programs();
+    assert_eq!(programs.len(), 7, "the Table 7-1 corpus has 7 programs");
+    let report =
+        bench::run_bench(&programs, &CompileOptions::default(), 1).expect("corpus benches");
+    for r in &report.programs {
+        assert!(
+            r.cycles_pipelined <= r.cycles_baseline,
+            "{} regressed: {} -> {} cycles",
+            r.name,
+            r.cycles_baseline,
+            r.cycles_pipelined
+        );
+    }
+    assert!(
+        report.improved() >= 3,
+        "expected >= 3 programs to improve, got {}:\n{}",
+        report.improved(),
+        report.table()
+    );
+    // The JSON payload round-trips the acceptance numbers.
+    let json = report.to_json();
+    assert!(json.contains(&format!("\"improved\": {}", report.improved())));
+    assert!(json.contains("\"regressed\": 0"));
+}

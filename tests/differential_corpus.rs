@@ -38,16 +38,25 @@ fn corpus_opts() -> DiffOptions {
 
 #[test]
 fn corpus_agrees_with_oracle() {
-    let opts = corpus_opts();
-    for file in CORPUS {
-        // Two input seeds per program: catches value-dependent paths
-        // (e.g. mandelbrot's escape conditional) on different data.
-        for input_seed in [1u64, 0xDEAD_BEEF] {
-            let outcome = check_case(&read(file), input_seed, &opts);
-            assert!(
-                matches!(outcome, CaseOutcome::Agree),
-                "{file} (input seed {input_seed}): {outcome:?}"
-            );
+    // Both cell-codegen modes must agree bitwise with the oracle: the
+    // modulo-scheduled default and the `--no-pipeline` list-scheduled
+    // baseline (check_case pins reassociation off, so pipelining may
+    // not change a single output bit).
+    for pipeline in [true, false] {
+        let opts = DiffOptions {
+            pipeline,
+            ..corpus_opts()
+        };
+        for file in CORPUS {
+            // Two input seeds per program: catches value-dependent paths
+            // (e.g. mandelbrot's escape conditional) on different data.
+            for input_seed in [1u64, 0xDEAD_BEEF] {
+                let outcome = check_case(&read(file), input_seed, &opts);
+                assert!(
+                    matches!(outcome, CaseOutcome::Agree),
+                    "{file} (input seed {input_seed}, pipeline {pipeline}): {outcome:?}"
+                );
+            }
         }
     }
 }

@@ -40,11 +40,13 @@ fn w2c() -> Command {
 }
 
 /// Emits the listing for one corpus file with the nondeterministic
-/// `compile time` line removed.
-fn emit(corpus_file: &str) -> String {
+/// `compile time` line removed. `extra` is appended to the argument
+/// list (e.g. `--no-pipeline` for the list-scheduled baseline).
+fn emit(corpus_file: &str, extra: &[&str]) -> String {
     let src = format!("{}/corpus/{corpus_file}", env!("CARGO_MANIFEST_DIR"));
     let out = w2c()
         .args([src.as_str(), "--emit", "cell", "--emit", "iu"])
+        .args(extra)
         .output()
         .expect("w2c runs");
     assert!(
@@ -66,7 +68,11 @@ fn emit(corpus_file: &str) -> String {
 }
 
 fn check_golden(corpus_file: &str, snapshot: &str) {
-    let got = emit(corpus_file);
+    check_golden_with(corpus_file, snapshot, &[]);
+}
+
+fn check_golden_with(corpus_file: &str, snapshot: &str, extra: &[&str]) {
+    let got = emit(corpus_file, extra);
     let path = format!("{}/tests/golden/{snapshot}", env!("CARGO_MANIFEST_DIR"));
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(&path, &got).unwrap_or_else(|e| panic!("write {path}: {e}"));
@@ -101,4 +107,16 @@ fn binop_emit_matches_golden() {
 #[test]
 fn conv1d_emit_matches_golden() {
     check_golden("conv1d.w2", "conv1d_emit.txt");
+}
+
+#[test]
+fn conv1d_no_pipeline_emit_matches_golden() {
+    // The list-scheduled baseline: the same program without modulo
+    // scheduling. Pins the `--no-pipeline` escape hatch and makes the
+    // kernel-vs-baseline difference reviewable as a snapshot diff.
+    check_golden_with(
+        "conv1d.w2",
+        "conv1d_no_pipeline_emit.txt",
+        &["--no-pipeline"],
+    );
 }

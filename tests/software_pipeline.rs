@@ -1,22 +1,31 @@
 //! Extension: restricted modulo scheduling (software pipelining) of
 //! innermost loops — the technique the paper's scheduling references
-//! (Rau & Glaeser) grew into. Verified bit-for-bit against the
-//! unpipelined build and the reference implementations.
+//! (Rau & Glaeser) grew into. Pipelining is on by default; the
+//! unpipelined baseline is recovered with `SessionCtrl::pipeline =
+//! false`. Verified bit-for-bit against the baseline build and the
+//! reference implementations.
 
-use warp::compiler::{compile, corpus, reference, CompileOptions};
+use warp::compiler::{
+    compile, corpus, reference, CompileOptions, CompiledModule, Session, SessionCtrl,
+};
 
-fn sp() -> CompileOptions {
-    CompileOptions {
-        software_pipeline: true,
-        ..CompileOptions::default()
-    }
+/// The unpipelined baseline: the same compile with modulo scheduling
+/// switched off at the session level.
+fn compile_baseline(source: &str, opts: &CompileOptions) -> CompiledModule {
+    Session::new(opts.clone())
+        .with_ctrl(SessionCtrl {
+            pipeline: false,
+            ..SessionCtrl::default()
+        })
+        .compile(source)
+        .expect("baseline compiles")
 }
 
 #[test]
 fn pipelined_polynomial_is_correct_and_faster() {
     let src = corpus::polynomial_source(4, 64);
-    let base = compile(&src, &CompileOptions::default()).expect("compiles");
-    let piped = compile(&src, &sp()).expect("compiles");
+    let base = compile_baseline(&src, &CompileOptions::default());
+    let piped = compile(&src, &CompileOptions::default()).expect("compiles");
 
     let c = vec![0.5f32, -1.0, 0.25, 2.0];
     let z: Vec<f32> = (0..64).map(|i| -1.0 + i as f32 / 32.0).collect();
@@ -38,7 +47,7 @@ fn pipelined_polynomial_is_correct_and_faster() {
 fn pipelined_conv_is_correct() {
     // conv has a loop-carried scalar (xprev) through memory.
     let src = corpus::conv1d_source(3, 24);
-    let piped = compile(&src, &sp()).expect("compiles");
+    let piped = compile(&src, &CompileOptions::default()).expect("compiles");
     let w = vec![0.25f32, 0.5, 0.25];
     let x: Vec<f32> = (0..24).map(|i| ((i * 5) % 11) as f32).collect();
     let r = piped.run(&[("w", &w), ("x", &x)]).expect("runs");
@@ -47,8 +56,8 @@ fn pipelined_conv_is_correct() {
 
 #[test]
 fn pipelined_full_conv_runs() {
-    let base = compile(corpus::ONED_CONV, &CompileOptions::default()).expect("compiles");
-    let piped = compile(corpus::ONED_CONV, &sp()).expect("compiles");
+    let base = compile_baseline(corpus::ONED_CONV, &CompileOptions::default());
+    let piped = compile(corpus::ONED_CONV, &CompileOptions::default()).expect("compiles");
     let w: Vec<f32> = (0..9).map(|k| 1.0 / (k as f32 + 1.0)).collect();
     let x: Vec<f32> = (0..128).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
     let r0 = base.run(&[("w", &w), ("x", &x)]).expect("runs");
@@ -60,7 +69,7 @@ fn pipelined_full_conv_runs() {
 #[test]
 fn pipelined_binop_is_correct() {
     let src = corpus::binop_source(4, 8);
-    let piped = compile(&src, &sp()).expect("compiles");
+    let piped = compile(&src, &CompileOptions::default()).expect("compiles");
     let a: Vec<f32> = (0..32).map(|i| i as f32).collect();
     let b: Vec<f32> = (0..32).map(|i| (i % 7) as f32 - 3.0).collect();
     let r = piped.run(&[("a", &a), ("b", &b)]).expect("runs");
@@ -73,7 +82,6 @@ fn unroll_and_pipeline_compose() {
     let both = compile(
         &src,
         &CompileOptions {
-            software_pipeline: true,
             lower: warp::ir::LowerOptions {
                 unroll: 4,
                 ..warp::ir::LowerOptions::default()
@@ -94,8 +102,8 @@ fn unroll_and_pipeline_compose() {
 #[test]
 fn throughput_gain_measured() {
     let src = corpus::polynomial_source(4, 256);
-    let base = compile(&src, &CompileOptions::default()).expect("compiles");
-    let piped = compile(&src, &sp()).expect("compiles");
+    let base = compile_baseline(&src, &CompileOptions::default());
+    let piped = compile(&src, &CompileOptions::default()).expect("compiles");
     let c = vec![1.0f32; 4];
     let z = vec![1.0f32; 256];
     let r0 = base.run(&[("c", &c), ("z", &z)]).expect("runs");
@@ -114,7 +122,7 @@ fn pipelined_skew_is_still_minimal() {
     // structure; its minimum must still be exactly the underflow
     // boundary.
     let src = corpus::polynomial_source(3, 32);
-    let m = compile(&src, &sp()).expect("compiles");
+    let m = compile(&src, &CompileOptions::default()).expect("compiles");
     let c = vec![1.0f32; 3];
     let z = vec![2.0f32; 32];
     m.run_with(3, m.skew.min_skew, &[("c", &c), ("z", &z)])
@@ -128,10 +136,32 @@ fn pipelined_skew_is_still_minimal() {
 #[test]
 fn pipelined_queue_bound_is_exact() {
     let src = corpus::polynomial_source(3, 32);
-    let m = compile(&src, &sp()).expect("compiles");
+    let m = compile(&src, &CompileOptions::default()).expect("compiles");
     let bound = m.skew.queue_occupancy.values().copied().max().unwrap();
     let c = vec![1.0f32; 3];
     let z = vec![2.0f32; 32];
     let r = m.run(&[("c", &c), ("z", &z)]).expect("runs");
     assert!(r.max_queue_occupancy as u64 <= bound);
+}
+
+#[test]
+fn kernel_loops_are_marked_in_cell_code() {
+    // A profitable pipelined loop must surface in the CellCode
+    // metadata (and thus the listing) with a kernel II strictly below
+    // the baseline body length.
+    let src = corpus::polynomial_source(4, 64);
+    let base = compile_baseline(&src, &CompileOptions::default());
+    let piped = compile(&src, &CompileOptions::default()).expect("compiles");
+    assert!(base.cell_code.pipelined.is_empty());
+    assert!(
+        !piped.cell_code.pipelined.is_empty(),
+        "polynomial's inner loop should pipeline"
+    );
+    for info in &piped.cell_code.pipelined {
+        assert!(info.ii >= 1);
+        assert!(info.stages >= 2, "a one-stage kernel is not a pipeline");
+        assert!(info.kernel_count >= 1);
+    }
+    let listing = piped.cell_code.listing();
+    assert!(listing.contains("; pipelined"), "listing: {listing}");
 }
