@@ -1,0 +1,170 @@
+//! Stable content hashing for cache keys.
+//!
+//! The compile cache (`warp-compiler::cache`) addresses compiled
+//! artifacts by a hash of the source bytes plus every option field
+//! that affects the compiler's output. That key must be *stable* —
+//! identical across processes and runs, independent of
+//! `std::collections::hash_map::RandomState` seeding — so the default
+//! [`std::hash::Hasher`] machinery is the wrong tool. This module
+//! provides a tiny, dependency-free FNV-1a implementation instead:
+//! a streaming 64-bit hasher plus a 128-bit convenience key built from
+//! two differently-seeded streams, which makes accidental collisions
+//! in a cache of any plausible size a non-concern.
+//!
+//! # Examples
+//!
+//! ```
+//! use warp_common::hash::{fnv1a64, StableHasher};
+//!
+//! let mut h = StableHasher::new();
+//! h.write(b"module m");
+//! h.write_u64(7);
+//! assert_ne!(h.finish(), fnv1a64(b"module m"));
+//! assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+//! ```
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A streaming FNV-1a 64-bit hasher with a stable, documented
+/// algorithm. Unlike [`std::collections::hash_map::DefaultHasher`],
+/// two processes (or two runs of one process) always agree on the
+/// digest of the same byte stream.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// A hasher at the standard FNV offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// A hasher whose initial state is perturbed by `seed`, giving an
+    /// independent hash family (used to widen a 64-bit digest to 128
+    /// bits).
+    pub fn with_seed(seed: u64) -> StableHasher {
+        let mut h = StableHasher::new();
+        h.write_u64(seed);
+        h
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a string with a length prefix, so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+/// A 128-bit stable content key: two independently-seeded FNV-1a
+/// streams over the same bytes. Collisions would need simultaneous
+/// 64-bit collisions in both families, which for an in-memory cache is
+/// negligible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentKey {
+    /// Digest of the unseeded stream.
+    pub lo: u64,
+    /// Digest of the seeded stream.
+    pub hi: u64,
+}
+
+impl ContentKey {
+    /// Hashes `parts` — each part length-prefixed — into a key.
+    pub fn of_parts<'a>(parts: impl IntoIterator<Item = &'a [u8]> + Clone) -> ContentKey {
+        let mut lo = StableHasher::new();
+        let mut hi = StableHasher::with_seed(0x9E37_79B9_7F4A_7C15);
+        for part in parts.clone() {
+            lo.write_u64(part.len() as u64);
+            lo.write(part);
+        }
+        for part in parts {
+            hi.write_u64(part.len() as u64);
+            hi.write(part);
+        }
+        ContentKey {
+            lo: lo.finish(),
+            hi: hi.finish(),
+        }
+    }
+}
+
+impl std::fmt::Display for ContentKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_separates_concatenations() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn content_key_is_stable_and_sensitive() {
+        let k1 = ContentKey::of_parts([b"source".as_slice(), b"opts".as_slice()]);
+        let k2 = ContentKey::of_parts([b"source".as_slice(), b"opts".as_slice()]);
+        assert_eq!(k1, k2);
+        let k3 = ContentKey::of_parts([b"source".as_slice(), b"opts2".as_slice()]);
+        assert_ne!(k1, k3);
+        assert_eq!(k1.to_string().len(), 32);
+    }
+
+    #[test]
+    fn seeded_streams_are_independent() {
+        let k = ContentKey::of_parts([b"x".as_slice()]);
+        assert_ne!(k.lo, k.hi);
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod ctrl;
 pub mod diag;
+pub mod hash;
 pub mod idvec;
 pub mod intern;
 pub mod observe;
@@ -41,6 +42,7 @@ pub use ctrl::{
     splitmix64, CancelReason, CancelToken, Clock, ManualClock, SplitMix64, SystemClock,
 };
 pub use diag::{Diagnostic, DiagnosticBag, Severity};
+pub use hash::{fnv1a64, ContentKey, StableHasher};
 pub use idvec::IdVec;
 pub use intern::{Interner, Symbol};
 pub use observe::{Artifact, CollectDumps, NullObserver, PassDump, PassObserver, PassTiming};

@@ -4,46 +4,71 @@
 //! w2cd [--deadline-ms N] [--queue-capacity N] [--max-attempts N]
 //!      [--breaker-threshold N] [--skew-max-events N]
 //!      [--max-cell-cycles N] [--max-source-bytes N] [--workers N]
-//! w2cd --corpus [same flags]       (one-shot: queue Table 7-1, run, exit)
+//!      [--cache-bytes N] [--negative-ttl-ms N] [--listen PATH]
+//! w2cd --corpus [same flags]       (one-shot: queue Table 7-1, wait, exit)
 //! ```
 //!
-//! The daemon wraps the compiler pipeline in the resilient executor of
-//! `warp-service`: a bounded job queue with load shedding, per-job
-//! wall-clock deadlines and pipeline budgets, cooperative cancellation,
-//! panic isolation, and a per-program circuit breaker. It reads a
-//! line-oriented protocol from stdin:
+//! The daemon is built on the always-on concurrent executor of
+//! `warp-service` fronted by the content-addressed compile cache:
+//! workers compile the moment a job is admitted, `submit` returns a
+//! job id immediately, and `run` waits for (and collects) the calling
+//! client's jobs. Admission control, per-job deadlines and pipeline
+//! budgets, panic isolation, and the per-program circuit breaker all
+//! apply continuously — not just during an explicit batch drain.
+//!
+//! Two front ends share one daemon:
+//!
+//! * **stdin** (default): the single-client compatibility mode, same
+//!   line protocol as before.
+//! * **`--listen PATH`**: a Unix-domain socket accepting any number of
+//!   concurrent clients, each with its own session (job set, exit
+//!   accounting). All clients share the worker pool, cache, and
+//!   breaker.
+//!
+//! The line protocol:
 //!
 //! ```text
 //! corpus NAME|all         queue a Table 7-1 program (or all five)
 //! submit NAME FILE.w2     queue a source file under NAME
-//! run                     drain the queue in parallel, print the batch summary
-//! status                  queue depth and quarantined names
-//! health                  guard limits and queue depth, one line
+//! run                     wait for this client's jobs, print the batch summary
+//! status                  per-job state (queued/running/done) and breaker state
+//! health                  guard limits, workers, queue depth, one line
+//! cache [clear]           cache counters (or drop every entry)
+//! stats                   pool counters
 //! reset NAME              reopen the circuit breaker for NAME
-//! quit                    exit (EOF works too)
+//! quit                    end this client session (EOF works too)
+//! shutdown                stop the daemon (socket mode; = quit on stdin)
 //! ```
 //!
-//! Every response is a single line (or an indented block for `run`),
-//! so the daemon is scriptable: the CI smoke test pipes a command
-//! sequence in and asserts on the summary. Malformed lines — unknown
-//! commands, missing or trailing operands — are answered with a
+//! Duplicate job names are rejected per client: two outstanding
+//! `submit`s under one NAME would share a breaker key and interleave
+//! confusingly in the summary, so the second is refused until the
+//! first is collected with `run`. Malformed lines are answered with a
 //! one-line `error: ...` rather than killing the daemon, and an EOF
-//! that arrives with jobs still queued drains them (one final batch
-//! run) before exit so piped sessions never silently drop work.
+//! that arrives with jobs still outstanding waits for them (one final
+//! batch summary) before exit so piped sessions never silently drop
+//! work.
 
-use std::io::{BufRead, Write};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use warp_compiler::{
+    cache::CacheConfig,
     corpus,
-    service::{CompileService, ServiceConfig},
+    daemon::{batch_report, CompileDaemon, DaemonConfig},
+    service::ServiceConfig,
     CompileOptions,
 };
-use warp_service::{Admission, ExecutorConfig};
+use warp_service::{effective_workers, Admission, ExecutorConfig, ShutdownMode};
 
 struct DaemonArgs {
-    config: ServiceConfig,
+    config: DaemonConfig,
     opts: CompileOptions,
     one_shot_corpus: bool,
+    listen: Option<String>,
 }
 
 fn usage() -> ! {
@@ -51,66 +76,106 @@ fn usage() -> ! {
         "usage: w2cd [--deadline-ms N] [--queue-capacity N] [--max-attempts N]\n\
          \x20           [--breaker-threshold N] [--skew-max-events N]\n\
          \x20           [--max-cell-cycles N] [--max-source-bytes N] [--workers N]\n\
+         \x20           [--cache-bytes N] [--negative-ttl-ms N] [--listen PATH]\n\
          \x20      w2cd --corpus [same flags]\n\
-         \x20  stdin protocol: corpus NAME|all, submit NAME FILE.w2, run,\n\
-         \x20                  status, health, reset NAME, quit"
+         \x20  protocol: corpus NAME|all, submit NAME FILE.w2, run, status,\n\
+         \x20            health, cache [clear], stats, reset NAME, quit, shutdown"
     );
     std::process::exit(2)
 }
 
-fn parse_u64(args: &mut impl Iterator<Item = String>) -> u64 {
-    args.next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| usage())
+/// Parses the operand of a numeric flag, naming the flag in the error
+/// so `--workers banana` fails with a diagnosis, not a usage dump.
+fn parse_u64(flag: &str, args: &mut impl Iterator<Item = String>) -> u64 {
+    let Some(value) = args.next() else {
+        eprintln!("error: {flag} expects a value");
+        std::process::exit(2)
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: {flag} expects a non-negative integer, got `{value}`");
+            std::process::exit(2)
+        }
+    }
 }
 
 fn parse_args() -> DaemonArgs {
     let mut parsed = DaemonArgs {
-        config: ServiceConfig {
-            exec: ExecutorConfig {
-                queue_capacity: 64,
-                // SystemClock ticks are microseconds; default to a
-                // 30-second budget per job, spanning retries.
-                deadline_ticks: 30_000_000,
-                max_attempts: 1,
-                breaker_threshold: 3,
-                ..ExecutorConfig::default()
+        config: DaemonConfig {
+            service: ServiceConfig {
+                exec: ExecutorConfig {
+                    queue_capacity: 64,
+                    // SystemClock ticks are microseconds; default to a
+                    // 30-second budget per job, spanning retries.
+                    deadline_ticks: 30_000_000,
+                    max_attempts: 1,
+                    breaker_threshold: 3,
+                    ..ExecutorConfig::default()
+                },
+                // Generous defaults that the Table 7-1 corpus clears
+                // easily but a pathological loop nest will not.
+                skew_max_events: 50_000_000,
+                max_cell_cycles: 100_000_000,
+                // 4 MiB of W2 source is far beyond any real program but
+                // cheap enough that an accidental paste can't wedge a
+                // worker in the lexer.
+                max_source_bytes: 4 * 1024 * 1024,
+                // 0 = available parallelism, resolved at startup and
+                // printed in the ready banner and `health`.
+                workers: 0,
             },
-            // Generous defaults that the Table 7-1 corpus clears
-            // easily but a pathological loop nest will not.
-            skew_max_events: 50_000_000,
-            max_cell_cycles: 100_000_000,
-            // 4 MiB of W2 source is far beyond any real program but
-            // cheap enough that an accidental paste can't wedge a
-            // worker in the lexer.
-            max_source_bytes: 4 * 1024 * 1024,
-            workers: 0,
+            cache: CacheConfig::default(),
         },
         opts: CompileOptions::default(),
         one_shot_corpus: false,
+        listen: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
+        let flag = arg.as_str();
+        match flag {
             "--corpus" => parsed.one_shot_corpus = true,
             "--deadline-ms" => {
-                parsed.config.exec.deadline_ticks = parse_u64(&mut args).saturating_mul(1_000);
+                parsed.config.service.exec.deadline_ticks =
+                    parse_u64(flag, &mut args).saturating_mul(1_000);
             }
             "--queue-capacity" => {
-                parsed.config.exec.queue_capacity = parse_u64(&mut args) as usize;
+                parsed.config.service.exec.queue_capacity = parse_u64(flag, &mut args) as usize;
             }
             "--max-attempts" => {
-                parsed.config.exec.max_attempts =
-                    parse_u64(&mut args).min(u64::from(u32::MAX)) as u32;
+                parsed.config.service.exec.max_attempts =
+                    parse_u64(flag, &mut args).min(u64::from(u32::MAX)) as u32;
             }
             "--breaker-threshold" => {
-                parsed.config.exec.breaker_threshold =
-                    parse_u64(&mut args).min(u64::from(u32::MAX)) as u32;
+                parsed.config.service.exec.breaker_threshold =
+                    parse_u64(flag, &mut args).min(u64::from(u32::MAX)) as u32;
             }
-            "--skew-max-events" => parsed.config.skew_max_events = parse_u64(&mut args),
-            "--max-cell-cycles" => parsed.config.max_cell_cycles = parse_u64(&mut args),
-            "--max-source-bytes" => parsed.config.max_source_bytes = parse_u64(&mut args),
-            "--workers" => parsed.config.workers = parse_u64(&mut args) as usize,
+            "--skew-max-events" => {
+                parsed.config.service.skew_max_events = parse_u64(flag, &mut args);
+            }
+            "--max-cell-cycles" => {
+                parsed.config.service.max_cell_cycles = parse_u64(flag, &mut args);
+            }
+            "--max-source-bytes" => {
+                parsed.config.service.max_source_bytes = parse_u64(flag, &mut args);
+            }
+            "--workers" => {
+                parsed.config.service.workers = parse_u64(flag, &mut args) as usize;
+            }
+            "--cache-bytes" => {
+                parsed.config.cache.byte_budget = parse_u64(flag, &mut args);
+            }
+            "--negative-ttl-ms" => {
+                parsed.config.cache.negative_ttl_ticks =
+                    parse_u64(flag, &mut args).saturating_mul(1_000);
+            }
+            "--listen" => {
+                parsed.listen = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --listen expects a socket path");
+                    std::process::exit(2)
+                }));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -118,149 +183,372 @@ fn parse_args() -> DaemonArgs {
     parsed
 }
 
-fn queue_corpus(svc: &mut CompileService, which: &str) -> Result<(), String> {
-    let programs: Vec<(&str, &str)> = if which == "all" {
-        corpus::TABLE_7_1.to_vec()
-    } else {
-        match corpus::TABLE_7_1.iter().find(|(n, _)| *n == which) {
-            Some(p) => vec![*p],
-            None => return Err(format!("unknown corpus program `{which}`")),
+/// One client's session state: its outstanding jobs and exit
+/// accounting. Stdin and each socket client get one each; the daemon
+/// behind them is shared.
+struct ClientSession<'d> {
+    daemon: &'d CompileDaemon,
+    /// Outstanding (submitted, not yet collected) jobs: id → name, in
+    /// submission order.
+    outstanding: BTreeMap<usize, String>,
+    all_clean: bool,
+    saw_quit: bool,
+    /// Set when this client asked the whole daemon to stop.
+    want_shutdown: bool,
+}
+
+impl<'d> ClientSession<'d> {
+    fn new(daemon: &'d CompileDaemon) -> ClientSession<'d> {
+        ClientSession {
+            daemon,
+            outstanding: BTreeMap::new(),
+            all_clean: true,
+            saw_quit: false,
+            want_shutdown: false,
+        }
+    }
+
+    fn has_name(&self, name: &str) -> bool {
+        self.outstanding.values().any(|n| n == name)
+    }
+
+    fn submit(&mut self, out: &mut impl Write, name: &str, source: String) -> std::io::Result<()> {
+        if self.has_name(name) {
+            return writeln!(
+                out,
+                "error: duplicate name `{name}` already outstanding; \
+                 collect it with `run` or pick a distinct name"
+            );
+        }
+        match self.daemon.submit(name, source) {
+            Admission::Accepted { id, .. } => {
+                self.outstanding.insert(id, name.to_owned());
+                writeln!(out, "accepted {name} id={id}")
+            }
+            Admission::Rejected { retry_after_ticks } => {
+                writeln!(out, "rejected {name} retry-after-ticks={retry_after_ticks}")
+            }
+        }
+    }
+
+    fn queue_corpus(&mut self, out: &mut impl Write, which: &str) -> std::io::Result<()> {
+        let programs: Vec<(&str, &str)> = if which == "all" {
+            corpus::TABLE_7_1.to_vec()
+        } else {
+            match corpus::TABLE_7_1.iter().find(|(n, _)| *n == which) {
+                Some(p) => vec![*p],
+                None => return writeln!(out, "error: unknown corpus program `{which}`"),
+            }
+        };
+        for (name, src) in programs {
+            self.submit(out, name, src.to_owned())?;
+        }
+        Ok(())
+    }
+
+    /// `run`: wait for this client's jobs and print the batch summary.
+    fn run(&mut self, out: &mut impl Write) -> std::io::Result<()> {
+        let ids: Vec<usize> = self.outstanding.keys().copied().collect();
+        self.outstanding.clear();
+        let reports = self.daemon.wait(&ids);
+        let batch = batch_report(reports, self.daemon.quarantined_names());
+        write!(out, "{}", batch.summary())?;
+        let healthy = batch.is_healthy();
+        if !healthy {
+            writeln!(
+                out,
+                "batch unhealthy: timeouts, panics, or quarantined programs present"
+            )?;
+        }
+        self.all_clean &= healthy && batch.failed() == 0;
+        Ok(())
+    }
+
+    fn status(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let in_flight = self.daemon.jobs_in_flight();
+        let queued = in_flight
+            .iter()
+            .filter(|(_, _, s)| *s == warp_service::JobState::Queued)
+            .count();
+        let running = in_flight
+            .iter()
+            .filter(|(_, _, s)| *s == warp_service::JobState::Running)
+            .count();
+        let done = in_flight.len() - queued - running;
+        writeln!(
+            out,
+            "in-flight={} queued={queued} running={running} done={done} quarantined=[{}]",
+            in_flight.len(),
+            self.daemon.quarantined_names().join(", "),
+        )?;
+        for (id, name, state) in &in_flight {
+            writeln!(out, "  id={id} {name} {state}")?;
+        }
+        let history = self.daemon.breaker_history();
+        if !history.is_empty() {
+            let threshold = self.daemon.config().service.exec.breaker_threshold;
+            let rendered: Vec<String> = history
+                .iter()
+                .map(|(n, k)| format!("{n}={k}/{threshold}"))
+                .collect();
+            writeln!(out, "  breakers: {}", rendered.join(", "))?;
+        }
+        Ok(())
+    }
+
+    fn health(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let c = self.daemon.config().service.clone();
+        writeln!(
+            out,
+            "healthy workers={} queued={} running={} queue-capacity={} deadline-ms={} \
+             max-attempts={} breaker-threshold={} skew-max-events={} max-cell-cycles={} \
+             max-source-bytes={} quarantined={}",
+            self.daemon.workers(),
+            self.daemon.queue_len(),
+            self.daemon.running_len(),
+            c.exec.queue_capacity,
+            c.exec.deadline_ticks / 1_000,
+            c.exec.max_attempts,
+            c.exec.breaker_threshold,
+            c.skew_max_events,
+            c.max_cell_cycles,
+            c.max_source_bytes,
+            self.daemon.quarantined_names().len(),
+        )
+    }
+
+    fn cache(&self, out: &mut impl Write, clear: bool) -> std::io::Result<()> {
+        if clear {
+            self.daemon.clear_cache();
+            return writeln!(out, "cache cleared");
+        }
+        let s = self.daemon.cache_stats();
+        writeln!(
+            out,
+            "cache: entries={} bytes={} lookups={} hits={} negative-hits={} misses={} \
+             coalesced={} inserts={} evictions={} expired={} hit-rate={:.2}",
+            s.entries,
+            s.resident_bytes,
+            s.lookups,
+            s.hits,
+            s.negative_hits,
+            s.misses,
+            s.coalesced,
+            s.inserts + s.negative_inserts,
+            s.evictions,
+            s.expired,
+            s.hit_rate(),
+        )
+    }
+
+    fn stats(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let s = self.daemon.pool_stats();
+        writeln!(
+            out,
+            "pool: workers={} submitted={} accepted={} shed={} completed={} panicked={} \
+             quarantined={} max-queue-depth={}",
+            self.daemon.workers(),
+            s.submitted,
+            s.accepted,
+            s.shed,
+            s.completed,
+            s.panicked,
+            s.quarantined,
+            s.max_queue_depth,
+        )
+    }
+
+    /// Dispatches one protocol line. Returns `false` when the session
+    /// should end.
+    fn handle_line(&mut self, out: &mut impl Write, line: &str) -> std::io::Result<bool> {
+        let mut words = line.split_whitespace();
+        match words.next() {
+            None => {}
+            Some("quit") => {
+                self.saw_quit = true;
+                return Ok(false);
+            }
+            Some("shutdown") if words.next().is_none() => {
+                self.saw_quit = true;
+                self.want_shutdown = true;
+                writeln!(out, "shutting down")?;
+                return Ok(false);
+            }
+            Some("corpus") => {
+                let which = words.next().unwrap_or("all");
+                if words.next().is_some() {
+                    writeln!(out, "error: usage: corpus [NAME|all]")?;
+                } else {
+                    self.queue_corpus(out, which)?;
+                }
+            }
+            Some("submit") => match (words.next(), words.next(), words.next()) {
+                (Some(name), Some(path), None) => match std::fs::read_to_string(path) {
+                    Ok(source) => self.submit(out, name, source)?,
+                    Err(e) => writeln!(out, "error: cannot read `{path}`: {e}")?,
+                },
+                _ => writeln!(out, "error: usage: submit NAME FILE.w2")?,
+            },
+            Some("run") if words.next().is_none() => self.run(out)?,
+            Some("status") if words.next().is_none() => self.status(out)?,
+            Some("health") if words.next().is_none() => self.health(out)?,
+            Some("stats") if words.next().is_none() => self.stats(out)?,
+            Some("cache") => match words.next() {
+                None => self.cache(out, false)?,
+                Some("clear") if words.next().is_none() => self.cache(out, true)?,
+                _ => writeln!(out, "error: usage: cache [clear]")?,
+            },
+            Some("reset") => match (words.next(), words.next()) {
+                (Some(name), None) => {
+                    if self.daemon.reset_breaker(name) {
+                        writeln!(out, "breaker reset for {name}")?;
+                    } else {
+                        writeln!(out, "no breaker history for {name}")?;
+                    }
+                }
+                _ => writeln!(out, "error: usage: reset NAME")?,
+            },
+            Some(cmd @ ("run" | "status" | "health" | "stats" | "shutdown")) => {
+                writeln!(out, "error: `{cmd}` takes no operands")?;
+            }
+            Some(other) => writeln!(out, "error: unknown command `{other}`")?,
+        }
+        Ok(true)
+    }
+
+    /// Runs the line protocol until quit/EOF, then settles: an EOF
+    /// with jobs still outstanding waits for them (one final batch
+    /// summary) so piped sessions never silently drop work.
+    fn serve(&mut self, input: impl BufRead, out: &mut impl Write) {
+        for line in input.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    // Non-UTF-8 or I/O trouble: report and fall through
+                    // to the EOF drain rather than dropping queued jobs.
+                    let _ = writeln!(out, "error: input: {e}");
+                    break;
+                }
+            };
+            match self.handle_line(out, &line) {
+                Ok(true) => {}
+                Ok(false) => break,
+                // The client went away; stop reading, the drain below
+                // still collects its jobs.
+                Err(_) => break,
+            }
+            let _ = out.flush();
+        }
+        if !self.saw_quit && !self.outstanding.is_empty() {
+            let _ = writeln!(
+                out,
+                "draining {} outstanding job(s) at EOF",
+                self.outstanding.len()
+            );
+            let _ = self.run(out);
+        }
+        let _ = out.flush();
+    }
+}
+
+fn banner(daemon: &CompileDaemon) -> String {
+    let c = &daemon.config().service.exec;
+    format!(
+        "w2cd ready (queue {}, deadline {} ms, breaker threshold {}, workers {})",
+        c.queue_capacity,
+        c.deadline_ticks / 1_000,
+        c.breaker_threshold,
+        daemon.workers(),
+    )
+}
+
+fn serve_listener(daemon: Arc<CompileDaemon>, path: &str) -> ExitCode {
+    let _ = std::fs::remove_file(path);
+    let listener = match std::os::unix::net::UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind `{path}`: {e}");
+            return ExitCode::from(2);
         }
     };
-    for (name, src) in programs {
-        report_admission(name, &svc.submit(name, src));
-    }
-    Ok(())
-}
-
-fn report_admission(name: &str, admission: &Admission) {
-    match admission {
-        Admission::Accepted { id, .. } => println!("accepted {name} id={id}"),
-        Admission::Rejected { retry_after_ticks } => {
-            println!("rejected {name} retry-after-ticks={retry_after_ticks}");
+    println!("w2cd listening on {path} (workers {})", daemon.workers());
+    let _ = std::io::stdout().flush();
+    let stop = Arc::new(AtomicBool::new(false));
+    let all_clean = Arc::new(AtomicBool::new(true));
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
         }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let daemon = daemon.clone();
+        let stop = stop.clone();
+        let all_clean = all_clean.clone();
+        let path = path.to_owned();
+        std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(r) => BufReader::new(r),
+                Err(_) => return,
+            };
+            let mut out = stream;
+            let mut session = ClientSession::new(&daemon);
+            let _ = writeln!(out, "{}", banner(&daemon));
+            session.serve(reader, &mut out);
+            if !session.all_clean {
+                all_clean.store(false, Ordering::SeqCst);
+            }
+            if session.want_shutdown {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop with a throwaway connection.
+                let _ = std::os::unix::net::UnixStream::connect(&path);
+            }
+        });
     }
-}
-
-fn run_batch(svc: &mut CompileService) -> bool {
-    let batch = svc.run_parallel();
-    print!("{}", batch.summary());
-    let healthy = batch.is_healthy();
-    if !healthy {
-        println!("batch unhealthy: timeouts, panics, or quarantined programs present");
+    daemon.shutdown(ShutdownMode::Drain);
+    let _ = std::fs::remove_file(path);
+    if all_clean.load(Ordering::SeqCst) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    healthy && batch.failed() == 0
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let mut svc = CompileService::with_system_clock(args.opts.clone(), args.config.clone());
+    // Resolve `--workers 0` once so every surface (banner, health,
+    // stats) reports the effective parallelism.
+    let mut config = args.config.clone();
+    config.service.workers = effective_workers(config.service.workers);
+    let daemon = CompileDaemon::with_system_clock(args.opts.clone(), config);
 
     if args.one_shot_corpus {
-        if let Err(e) = queue_corpus(&mut svc, "all") {
-            eprintln!("{e}");
+        let mut session = ClientSession::new(&daemon);
+        let mut out = std::io::stdout();
+        if session.queue_corpus(&mut out, "all").is_err() || session.run(&mut out).is_err() {
             return ExitCode::FAILURE;
         }
-        return if run_batch(&mut svc) {
+        let _ = out.flush();
+        daemon.shutdown(ShutdownMode::Drain);
+        return if session.all_clean {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         };
     }
 
-    println!(
-        "w2cd ready (queue {}, deadline {} ms, breaker threshold {})",
-        args.config.exec.queue_capacity,
-        args.config.exec.deadline_ticks / 1_000,
-        args.config.exec.breaker_threshold,
-    );
-    let stdin = std::io::stdin();
-    let mut all_clean = true;
-    let mut saw_quit = false;
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
-                // Non-UTF-8 or I/O trouble on stdin: report and fall
-                // through to the EOF drain rather than dropping queued
-                // jobs.
-                eprintln!("stdin error: {e}");
-                break;
-            }
-        };
-        let mut words = line.split_whitespace();
-        match words.next() {
-            None => {}
-            Some("quit") => {
-                saw_quit = true;
-                break;
-            }
-            Some("corpus") => {
-                let which = words.next().unwrap_or("all");
-                if words.next().is_some() {
-                    println!("error: usage: corpus [NAME|all]");
-                } else if let Err(e) = queue_corpus(&mut svc, which) {
-                    println!("error: {e}");
-                }
-            }
-            Some("submit") => match (words.next(), words.next(), words.next()) {
-                (Some(name), Some(path), None) => match std::fs::read_to_string(path) {
-                    Ok(source) => report_admission(name, &svc.submit(name, source)),
-                    Err(e) => println!("error: cannot read `{path}`: {e}"),
-                },
-                _ => println!("error: usage: submit NAME FILE.w2"),
-            },
-            Some("run") if words.next().is_none() => {
-                all_clean &= run_batch(&mut svc);
-            }
-            Some("status") if words.next().is_none() => {
-                println!(
-                    "queued={} quarantined=[{}]",
-                    svc.queue_len(),
-                    svc.quarantined_names().join(", ")
-                );
-            }
-            Some("health") if words.next().is_none() => {
-                let c = svc.config().clone();
-                println!(
-                    "healthy queued={} queue-capacity={} deadline-ms={} max-attempts={} \
-                     breaker-threshold={} skew-max-events={} max-cell-cycles={} \
-                     max-source-bytes={} quarantined={}",
-                    svc.queue_len(),
-                    c.exec.queue_capacity,
-                    c.exec.deadline_ticks / 1_000,
-                    c.exec.max_attempts,
-                    c.exec.breaker_threshold,
-                    c.skew_max_events,
-                    c.max_cell_cycles,
-                    c.max_source_bytes,
-                    svc.quarantined_names().len(),
-                );
-            }
-            Some("reset") => match (words.next(), words.next()) {
-                (Some(name), None) => {
-                    svc.reset_breaker(name);
-                    println!("breaker reset for {name}");
-                }
-                _ => println!("error: usage: reset NAME"),
-            },
-            Some(cmd @ ("run" | "status" | "health")) => {
-                println!("error: `{cmd}` takes no operands");
-            }
-            Some(other) => println!("error: unknown command `{other}`"),
-        }
-        let _ = std::io::stdout().flush();
+    if let Some(path) = &args.listen {
+        return serve_listener(Arc::new(daemon), path);
     }
 
-    // EOF with work still queued (a piped session that forgot a final
-    // `run`): drain it so submitted jobs are never silently dropped.
-    if !saw_quit && svc.queue_len() > 0 {
-        println!("draining {} queued job(s) at EOF", svc.queue_len());
-        all_clean &= run_batch(&mut svc);
-        let _ = std::io::stdout().flush();
-    }
-
-    if all_clean {
+    println!("{}", banner(&daemon));
+    let mut session = ClientSession::new(&daemon);
+    let mut out = std::io::stdout();
+    session.serve(std::io::stdin().lock(), &mut out);
+    let clean = session.all_clean;
+    daemon.shutdown(ShutdownMode::Drain);
+    if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

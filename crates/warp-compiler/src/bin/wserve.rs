@@ -1,0 +1,181 @@
+//! `wserve` — the seeded chaos/soak harness for the compile service.
+//!
+//! ```text
+//! wserve [--seed N] [--jobs N] [--workers N] [--poison-per-mille N]
+//!        [--queue-capacity N] [--breaker-threshold N]
+//!        [--clock manual|system] [--out FILE] [--check-determinism]
+//! ```
+//!
+//! Drives a live `CompileDaemon` with a deterministic Zipfian load mix
+//! and a seeded poison fraction (syntax crashers, injected panics,
+//! cancel bombs), probes shed rates at 1×/4×/16× overload, aborts a
+//! final wave mid-flight, and writes the machine-readable report to
+//! `--out` (default `BENCH_serve.json`).
+//!
+//! `--clock manual` (the default) runs on a `ManualClock` whose only
+//! time source is the seeded arrival jitter, so the whole run —
+//! including every latency figure — is a pure function of the seed.
+//! `--clock system` measures real wall-clock latency instead.
+//!
+//! `--check-determinism` runs the same seeded soak twice and requires
+//! the sorted per-job `(name, outcome)` sets to be identical — the
+//! loom-free concurrency-determinism guard the CI `serve-soak` job
+//! enforces.
+//!
+//! Exit code is non-zero on any invariant violation (lost or
+//! duplicated response, rejection without a retry hint, queue
+//! overflow, collateral quarantine) or determinism mismatch.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use warp_common::{Clock, ManualClock, SystemClock};
+use warp_compiler::soak::{run_soak, SoakConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wserve [--seed N] [--jobs N] [--workers N] [--poison-per-mille N]\n\
+         \x20             [--queue-capacity N] [--breaker-threshold N]\n\
+         \x20             [--clock manual|system] [--out FILE] [--check-determinism]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, args: &mut impl Iterator<Item = String>) -> T {
+    let value = args.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} expects a value");
+        std::process::exit(2)
+    });
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a non-negative integer, got `{value}`");
+        std::process::exit(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let mut config = SoakConfig::default();
+    let mut out_path = std::path::PathBuf::from("BENCH_serve.json");
+    let mut clock_kind = "manual".to_owned();
+    let mut check_determinism = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => config.seed = parse_num("--seed", &mut args),
+            "--jobs" => config.jobs = parse_num("--jobs", &mut args),
+            "--workers" => config.workers = parse_num("--workers", &mut args),
+            "--poison-per-mille" => {
+                config.poison_per_mille = parse_num("--poison-per-mille", &mut args);
+                if config.poison_per_mille > 1000 {
+                    eprintln!("error: --poison-per-mille must be at most 1000");
+                    return ExitCode::from(2);
+                }
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = parse_num("--queue-capacity", &mut args);
+                if config.queue_capacity == 0 {
+                    eprintln!("error: --queue-capacity must be at least 1");
+                    return ExitCode::from(2);
+                }
+            }
+            "--breaker-threshold" => {
+                config.breaker_threshold = parse_num("--breaker-threshold", &mut args)
+            }
+            "--clock" => {
+                clock_kind = args.next().unwrap_or_else(|| usage());
+                match clock_kind.as_str() {
+                    "manual" => config.deadline_ticks = 0,
+                    // Real clock: give jobs a generous 30 s deadline.
+                    "system" => config.deadline_ticks = 30_000_000,
+                    other => {
+                        eprintln!("error: --clock expects `manual` or `system`, got `{other}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()).into(),
+            "--check-determinism" => check_determinism = true,
+            _ => usage(),
+        }
+    }
+    config.workers = warp_service::effective_workers(config.workers);
+
+    let make_clock = || -> Arc<dyn Clock> {
+        if clock_kind == "system" {
+            Arc::new(SystemClock::new())
+        } else {
+            Arc::new(ManualClock::new(0))
+        }
+    };
+
+    // The chaos classes panic by design; keep their backtraces off the
+    // console (the pool already contains them).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_soak(&config, make_clock());
+    let determinism_ok = if check_determinism {
+        let second = run_soak(&config, make_clock());
+        second.outcomes == report.outcomes
+            && second.shed == report.shed
+            && second.quarantined == report.quarantined
+    } else {
+        true
+    };
+    std::panic::set_hook(default_hook);
+
+    println!(
+        "soak: seed={} clock={} workers={} submitted={} accepted={} shed={} \
+         quarantined={:?}",
+        config.seed,
+        clock_kind,
+        config.workers,
+        report.submitted,
+        report.accepted,
+        report.shed,
+        report.quarantined,
+    );
+    println!(
+        "      jobs/sec={:.1} p50={} p99={} ticks, cache hit-rate={:.2}",
+        report.jobs_per_sec,
+        report.p50_ticks,
+        report.p99_ticks,
+        report.cache.hit_rate(),
+    );
+    for point in &report.overload {
+        println!(
+            "      overload {}x: submitted={} accepted={} shed={} ({:.0}% shed)",
+            point.factor,
+            point.submitted,
+            point.accepted,
+            point.shed,
+            point.shed_rate() * 100.0,
+        );
+    }
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write `{}`: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+
+    let mut failed = false;
+    for v in &report.violations {
+        eprintln!("FAIL: {v}");
+        failed = true;
+    }
+    if check_determinism {
+        if determinism_ok {
+            println!("determinism: two runs with seed {} agree", config.seed);
+        } else {
+            eprintln!(
+                "FAIL: two runs with seed {} produced different outcome sets",
+                config.seed
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,403 @@
+//! The always-on compile daemon: the concurrent counterpart of
+//! [`CompileService`](crate::service::CompileService).
+//!
+//! Where `CompileService` is a *batch* engine — clients submit, then
+//! an explicit `run` drains the queue — a [`CompileDaemon`] keeps a
+//! [`WorkerPool`] hot: `submit` returns a job id immediately, workers
+//! compile as soon as capacity allows, and clients collect their own
+//! results with [`CompileDaemon::wait`]. Every compile goes through
+//! the content-addressed [`CompileCache`], so repeated requests for
+//! one program (the common case for a processor-array compile server)
+//! are served without recompiling, and N concurrent requests for the
+//! same program compile it once (single-flight).
+//!
+//! The daemon inherits the pool's robustness contract: bounded queue
+//! with load shedding and retry-after hints, per-job deadlines and
+//! pipeline budgets via [`SessionCtrl`], panic isolation, per-name
+//! FIFO dispatch, and a per-name circuit breaker. A cached *negative*
+//! result still feeds the breaker — a program that keeps being
+//! resubmitted after a deterministic rejection is quarantined without
+//! ever stampeding the pool with recompiles.
+//!
+//! For chaos testing, [`CompileDaemon::with_chaos_panic_marker`]
+//! injects a panic into any job whose name contains the marker —
+//! modelling an internal compiler error without needing a source
+//! program that actually crashes the pipeline.
+
+use std::sync::Arc;
+
+use warp_common::{Clock, SystemClock};
+use warp_service::{
+    Admission, JobFailure, JobReport, JobState, JobSuccess, PoolConfig, PoolStats, ShutdownMode,
+    WorkerPool,
+};
+
+use crate::cache::{cache_key, CacheConfig, CacheStats, CompileCache};
+use crate::service::{classify_failure, BatchReport, ServiceConfig};
+use crate::{CompileFailure, CompileOptions, CompiledModule, Session, SessionCtrl};
+
+/// Configuration of a [`CompileDaemon`]: the batch service's knobs
+/// (executor + pipeline budgets + worker count) plus the cache's.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DaemonConfig {
+    /// Executor, pipeline-budget, and worker-count knobs.
+    pub service: ServiceConfig,
+    /// Compile-cache knobs.
+    pub cache: CacheConfig,
+}
+
+/// One daemon job's report. The module is shared with the cache, so a
+/// hit costs an `Arc` clone, not a deep copy.
+pub type DaemonReport = JobReport<Arc<CompiledModule>, CompileFailure>;
+
+/// The always-on concurrent compile service. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use warp_compiler::{corpus, daemon::{CompileDaemon, DaemonConfig}, CompileOptions};
+/// use warp_service::ShutdownMode;
+///
+/// let daemon = CompileDaemon::with_system_clock(
+///     CompileOptions::default(),
+///     DaemonConfig::default(),
+/// );
+/// let id = daemon.submit("polynomial", corpus::POLYNOMIAL).id().unwrap();
+/// let reports = daemon.wait(&[id]);
+/// assert!(reports[0].outcome.is_success());
+/// // The same source again: served from the cache.
+/// let id2 = daemon.submit("polynomial-again", corpus::POLYNOMIAL).id().unwrap();
+/// assert!(daemon.wait(&[id2])[0].outcome.is_success());
+/// assert_eq!(daemon.cache_stats().hits, 1);
+/// daemon.shutdown(ShutdownMode::Drain);
+/// ```
+pub struct CompileDaemon {
+    opts: CompileOptions,
+    config: DaemonConfig,
+    pool: WorkerPool<Arc<CompiledModule>, CompileFailure>,
+    cache: Arc<CompileCache>,
+    chaos_panic_marker: Option<String>,
+}
+
+impl CompileDaemon {
+    /// A daemon over an injectable clock. Workers spawn immediately.
+    pub fn new(opts: CompileOptions, config: DaemonConfig, clock: Arc<dyn Clock>) -> CompileDaemon {
+        let pool = WorkerPool::new(
+            PoolConfig {
+                exec: config.service.exec.clone(),
+                workers: config.service.workers,
+            },
+            clock.clone(),
+        );
+        let cache = Arc::new(CompileCache::new(config.cache, clock));
+        CompileDaemon {
+            opts,
+            config,
+            pool,
+            cache,
+            chaos_panic_marker: None,
+        }
+    }
+
+    /// A daemon over the real clock (ticks are microseconds).
+    pub fn with_system_clock(opts: CompileOptions, config: DaemonConfig) -> CompileDaemon {
+        CompileDaemon::new(opts, config, Arc::new(SystemClock::new()))
+    }
+
+    /// Chaos hook: any job whose name contains `marker` panics instead
+    /// of compiling, modelling an internal compiler error. Set before
+    /// submitting; used by the soak harness.
+    pub fn with_chaos_panic_marker(mut self, marker: impl Into<String>) -> CompileDaemon {
+        self.chaos_panic_marker = Some(marker.into());
+        self
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// The effective worker count (after resolving `workers: 0`).
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Admission control: queues a compile job (workers pick it up
+    /// immediately) or sheds it with a retry hint when the queue is at
+    /// capacity.
+    pub fn submit(&self, name: impl Into<String>, source: impl Into<String>) -> Admission {
+        let source = source.into();
+        let opts = self.opts.clone();
+        let cache = self.cache.clone();
+        let chaos = self.chaos_panic_marker.clone();
+        let skew_max_events = self.config.service.skew_max_events;
+        let max_cell_cycles = self.config.service.max_cell_cycles;
+        let max_source_bytes = self.config.service.max_source_bytes;
+        self.pool.submit(name, move |ctx| {
+            if let Some(marker) = &chaos {
+                if ctx.name.contains(marker.as_str()) {
+                    panic!("chaos: injected panic in `{}`", ctx.name);
+                }
+            }
+            let ctrl = SessionCtrl {
+                cancel: ctx.cancel.clone(),
+                skew_max_events,
+                max_cell_cycles,
+                max_source_bytes,
+                ..SessionCtrl::default()
+            };
+            let key = cache_key(&source, &opts, &ctrl);
+            let (result, _provenance) = cache.get_or_compile(key, || {
+                Session::new(opts.clone())
+                    .with_ctrl(ctrl.clone())
+                    .try_compile(&source)
+            });
+            match result {
+                Ok(module) => {
+                    let degraded = module.skew.degraded;
+                    Ok(JobSuccess {
+                        value: module,
+                        degraded,
+                    })
+                }
+                Err(failure) => Err(JobFailure {
+                    kind: classify_failure(&failure),
+                    error: failure,
+                }),
+            }
+        })
+    }
+
+    /// Blocks until the given jobs finish and takes their reports (in
+    /// id order, each delivered exactly once).
+    pub fn wait(&self, ids: &[usize]) -> Vec<DaemonReport> {
+        self.pool.wait(ids)
+    }
+
+    /// Where job `id` currently is.
+    pub fn state_of(&self, id: usize) -> Option<JobState> {
+        self.pool.state_of(id)
+    }
+
+    /// `(id, name, state)` for every job still in the system.
+    pub fn jobs_in_flight(&self) -> Vec<(usize, String, JobState)> {
+        self.pool.jobs_in_flight()
+    }
+
+    /// Jobs currently queued (excludes running).
+    pub fn queue_len(&self) -> usize {
+        self.pool.queue_len()
+    }
+
+    /// Jobs currently executing.
+    pub fn running_len(&self) -> usize {
+        self.pool.running_len()
+    }
+
+    /// Pool counters (admissions, sheds, completions, …).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Cache counters (hits, misses, evictions, …).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cache entry (operator `cache clear`).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Names quarantined by the circuit breaker.
+    pub fn quarantined_names(&self) -> Vec<String> {
+        self.pool.quarantined_names()
+    }
+
+    /// Names with breaker history (tripped or warming), with counts.
+    pub fn breaker_history(&self) -> Vec<(String, u32)> {
+        self.pool.breaker_history()
+    }
+
+    /// `true` once the breaker has quarantined `name`.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.pool.is_quarantined(name)
+    }
+
+    /// Clears breaker history for `name`; `false` when there was none.
+    pub fn reset_breaker(&self, name: &str) -> bool {
+        self.pool.reset_breaker(name)
+    }
+
+    /// Gates dispatch (lockstep drivers); see [`WorkerPool::pause`].
+    pub fn pause(&self) {
+        self.pool.pause();
+    }
+
+    /// Reopens dispatch after [`CompileDaemon::pause`].
+    pub fn resume(&self) {
+        self.pool.resume();
+    }
+
+    /// Stops the pool and joins the workers; see
+    /// [`WorkerPool::shutdown`].
+    pub fn shutdown(&self, mode: ShutdownMode) {
+        self.pool.shutdown(mode);
+    }
+}
+
+/// Repackages daemon reports as a batch [`BatchReport`] so the daemon
+/// front-ends reuse the existing summary table and health verdict.
+/// Modules are deep-cloned out of their cache `Arc`s — fine for
+/// operator-facing summaries, wrong for a hot serving path.
+pub fn batch_report(reports: Vec<DaemonReport>, quarantined: Vec<String>) -> BatchReport {
+    use warp_service::JobOutcome;
+    let jobs = reports
+        .into_iter()
+        .map(|r| JobReport {
+            id: r.id,
+            name: r.name,
+            outcome: match r.outcome {
+                JobOutcome::Success(s) => JobOutcome::Success(JobSuccess {
+                    value: (*s.value).clone(),
+                    degraded: s.degraded,
+                }),
+                JobOutcome::Failed {
+                    kind,
+                    error,
+                    attempts,
+                } => JobOutcome::Failed {
+                    kind,
+                    error,
+                    attempts,
+                },
+                JobOutcome::TimedOut { reason, attempts } => {
+                    JobOutcome::TimedOut { reason, attempts }
+                }
+                JobOutcome::Panicked { what, attempts } => JobOutcome::Panicked { what, attempts },
+                JobOutcome::Quarantined {
+                    consecutive_failures,
+                } => JobOutcome::Quarantined {
+                    consecutive_failures,
+                },
+            },
+            wall_ticks: r.wall_ticks,
+        })
+        .collect();
+    BatchReport { jobs, quarantined }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use warp_common::ManualClock;
+    use warp_service::ExecutorConfig;
+
+    fn daemon(workers: usize, exec: ExecutorConfig) -> CompileDaemon {
+        CompileDaemon::new(
+            CompileOptions::default(),
+            DaemonConfig {
+                service: ServiceConfig {
+                    exec,
+                    workers,
+                    ..ServiceConfig::default()
+                },
+                cache: CacheConfig {
+                    byte_budget: 0,
+                    negative_ttl_ticks: 1_000_000,
+                },
+            },
+            Arc::new(ManualClock::new(0)),
+        )
+    }
+
+    #[test]
+    fn concurrent_submissions_compile_and_cache() {
+        let d = daemon(4, ExecutorConfig::default());
+        let mut ids = Vec::new();
+        for round in 0..3 {
+            for (name, src) in corpus::TABLE_7_1 {
+                let id = d
+                    .submit(format!("{name}#{round}"), src)
+                    .id()
+                    .expect("accepted");
+                ids.push(id);
+            }
+        }
+        let reports = d.wait(&ids);
+        assert_eq!(reports.len(), 15);
+        assert!(reports.iter().all(|r| r.outcome.is_success()));
+        let cs = d.cache_stats();
+        // 5 distinct programs, 15 lookups: at most 5 compiles; the rest
+        // hit or coalesced on the in-flight compile.
+        assert_eq!(cs.lookups, 15);
+        assert!(cs.misses <= 5, "misses={}", cs.misses);
+        assert!(cs.hits + cs.coalesced >= 10);
+        d.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn negative_cache_still_feeds_the_breaker() {
+        let d = daemon(
+            2,
+            ExecutorConfig {
+                breaker_threshold: 3,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            ids.push(d.submit("broken", "module broken").id().expect("accepted"));
+        }
+        let reports = d.wait(&ids);
+        let labels: Vec<&str> = reports.iter().map(|r| r.outcome.label()).collect();
+        assert_eq!(
+            labels,
+            ["failed", "failed", "failed", "quarantined", "quarantined"]
+        );
+        // Only the first failure compiled; the rest were negative hits
+        // or quarantined before reaching the cache.
+        let cs = d.cache_stats();
+        assert_eq!(cs.misses, 1);
+        assert_eq!(cs.negative_hits, 2);
+        assert!(d.is_quarantined("broken"));
+        assert!(d.reset_breaker("broken"));
+        d.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn chaos_marker_panics_are_contained() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let d = daemon(2, ExecutorConfig::default()).with_chaos_panic_marker("!boom");
+        let bomb = d
+            .submit("poly!boom", corpus::POLYNOMIAL)
+            .id()
+            .expect("accepted");
+        let ok = d.submit("poly", corpus::POLYNOMIAL).id().expect("accepted");
+        let reports = d.wait(&[bomb, ok]);
+        std::panic::set_hook(hook);
+        assert_eq!(reports[0].outcome.label(), "panicked");
+        assert!(reports[1].outcome.is_success());
+        assert_eq!(d.pool_stats().panicked, 1);
+        d.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn batch_report_preserves_counts_and_summary_shape() {
+        let d = daemon(2, ExecutorConfig::default());
+        let ids: Vec<usize> = corpus::TABLE_7_1
+            .iter()
+            .map(|(name, src)| d.submit(*name, *src).id().expect("accepted"))
+            .collect();
+        let reports = d.wait(&ids);
+        let batch = batch_report(reports, d.quarantined_names());
+        assert_eq!(batch.succeeded(), 5);
+        assert!(batch.is_healthy());
+        assert!(batch
+            .summary()
+            .starts_with("batch: 5 ok (0 degraded), 0 failed, 0 timed out, 0 quarantined"));
+        d.shutdown(ShutdownMode::Drain);
+    }
+}

@@ -45,7 +45,9 @@
 
 pub mod audit;
 pub mod bench;
+pub mod cache;
 pub mod corpus;
+pub mod daemon;
 pub mod differential;
 pub mod fuzz;
 pub mod oracle;
@@ -53,6 +55,7 @@ pub mod passes;
 pub mod reference;
 pub mod service;
 mod session;
+pub mod soak;
 
 pub use service::{BatchReport, CompileService, ServiceConfig};
 pub use session::{compile_many, Session};

@@ -30,6 +30,10 @@ use std::sync::{Arc, Mutex};
 
 use warp_common::{splitmix64, CancelReason, CancelToken, Clock};
 
+pub mod pool;
+
+pub use pool::{effective_workers, JobState, PoolConfig, PoolStats, ShutdownMode, WorkerPool};
+
 /// Parameters of the jittered exponential backoff between retry
 /// attempts: `min(max_ticks, base_ticks * factor^(attempt-1))` plus a
 /// deterministic jitter of up to a quarter of the raw delay.
@@ -291,15 +295,15 @@ pub struct JobReport<T, E> {
 }
 
 #[derive(Clone, Copy, Debug, Default)]
-struct BreakerState {
-    consecutive: u32,
+pub(crate) struct BreakerState {
+    pub(crate) consecutive: u32,
 }
 
-struct QueuedJob<T, E> {
-    id: usize,
-    name: String,
-    token: CancelToken,
-    job: Job<T, E>,
+pub(crate) struct QueuedJob<T, E> {
+    pub(crate) id: usize,
+    pub(crate) name: String,
+    pub(crate) token: CancelToken,
+    pub(crate) job: Job<T, E>,
 }
 
 /// The resilient executor: a bounded FIFO of named jobs, drained
@@ -544,7 +548,7 @@ fn hash_name(name: &str) -> u64 {
         .fold(0xcbf2_9ce4_8422_2325, |h, b| splitmix64(h ^ u64::from(b)))
 }
 
-fn run_job<T, E>(
+pub(crate) fn run_job<T, E>(
     config: &ExecutorConfig,
     clock: &Arc<dyn Clock>,
     quarantined: bool,

@@ -1,0 +1,888 @@
+//! The always-on concurrent executor: a shared work queue drained
+//! continuously by a worker pool.
+//!
+//! Where [`Executor`](crate::Executor) is a *batch* engine — submit,
+//! then drain explicitly — a [`WorkerPool`] is a *service* engine:
+//! workers are spawned at construction and drain the queue the moment
+//! jobs arrive, so [`WorkerPool::submit`] returns a job id immediately
+//! and results are delivered as they complete. Clients collect their
+//! own results with [`WorkerPool::wait`]; a multi-client daemon holds
+//! one pool and each client waits only for its own ids.
+//!
+//! Everything is plain `std::thread` + `Mutex`/`Condvar` on the
+//! injectable [`Clock`] — no async runtime.
+//!
+//! # Determinism
+//!
+//! Concurrency usually makes breaker/shed behaviour racy. The pool
+//! pins down both:
+//!
+//! * **Per-name FIFO dispatch.** Two jobs with the same name never run
+//!   concurrently, and dispatch in submission order. The circuit
+//!   breaker's verdict for the *k*-th submission of a name is therefore
+//!   a pure function of the outcomes of submissions 1..k-1 of that
+//!   name — independent of worker count and thread scheduling. (It also
+//!   stops same-name jobs from interleaving confusingly in summaries.)
+//! * **Lockstep mode.** [`WorkerPool::pause`] gates dispatch, so a load
+//!   generator can submit a burst against a quiescent queue (making
+//!   admission decisions deterministic), then [`WorkerPool::resume`]
+//!   and wait. The chaos/soak harness uses this to prove that two runs
+//!   of the same seeded workload produce the same *set* of per-job
+//!   outcomes.
+//!
+//! # Exactly-one-response
+//!
+//! Every accepted job produces exactly one [`JobReport`], even across
+//! [`WorkerPool::shutdown`]: an aborted shutdown synthesizes
+//! `TimedOut { reason: Cancelled }` reports for jobs still queued, and
+//! running jobs are cancelled cooperatively and still report. A
+//! rejected submission produces no report and carries a retry-after
+//! hint instead.
+//!
+//! One deliberate policy difference from the batch executor: a job
+//! that was *externally cancelled* (`CancelReason::Cancelled` — e.g.
+//! an abandoning client) does **not** feed the circuit breaker. The
+//! program itself never failed; punishing its name would let an
+//! impatient client quarantine a healthy program. A
+//! `DeadlineExceeded` timeout still feeds the breaker, as before.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use warp_common::{CancelReason, CancelToken, Clock};
+
+use crate::{
+    run_job, Admission, BreakerState, ExecutorConfig, FailureKind, JobCtx, JobFailure, JobOutcome,
+    JobReport, JobSuccess, QueuedJob,
+};
+
+/// Resolves a requested worker count: `0` means "available
+/// parallelism", and the result is always at least 1.
+pub fn effective_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+    .max(1)
+}
+
+/// Configuration of a [`WorkerPool`]: the shared executor knobs plus
+/// the pool size.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Queue, deadline, retry, breaker, and shed parameters.
+    pub exec: ExecutorConfig,
+    /// Worker threads (`0` = available parallelism; clamped to ≥ 1).
+    pub workers: usize,
+}
+
+/// Where a job currently is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker (or for an earlier same-name job).
+    Queued,
+    /// Executing on a worker right now.
+    Running,
+    /// Finished; its report is waiting to be collected.
+    Done,
+    /// Finished and its report was already collected by [`WorkerPool::wait`].
+    Collected,
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Collected => "collected",
+        })
+    }
+}
+
+/// Monotonic pool counters, snapshotted by [`WorkerPool::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Admission attempts.
+    pub submitted: u64,
+    /// Jobs accepted into the queue.
+    pub accepted: u64,
+    /// Jobs shed at admission (queue full or shutting down).
+    pub shed: u64,
+    /// Jobs that produced a report.
+    pub completed: u64,
+    /// Completed jobs that panicked (contained to the job).
+    pub panicked: u64,
+    /// Completed jobs refused by the circuit breaker.
+    pub quarantined: u64,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: usize,
+}
+
+/// How [`WorkerPool::shutdown`] treats work still in the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Stop admitting, finish everything already queued, then exit.
+    Drain,
+    /// Stop admitting, cancel queued jobs (each still gets exactly one
+    /// `TimedOut` report) and cooperatively cancel running jobs.
+    Abort,
+}
+
+struct PoolState<T, E> {
+    queue: VecDeque<QueuedJob<T, E>>,
+    /// Names currently executing — the per-name FIFO gate.
+    running_names: BTreeSet<String>,
+    /// Ids currently executing, with name and cancel token (for status
+    /// queries and abort-shutdown).
+    running: BTreeMap<usize, (String, CancelToken)>,
+    /// Name of every job ever admitted, by id (status after collect).
+    admitted_names: BTreeMap<usize, String>,
+    done: BTreeMap<usize, JobReport<T, E>>,
+    collected: BTreeSet<usize>,
+    breaker: BTreeMap<String, BreakerState>,
+    stats: PoolStats,
+    next_id: usize,
+    shutdown: Option<ShutdownMode>,
+    paused: bool,
+}
+
+struct Shared<T, E> {
+    config: ExecutorConfig,
+    clock: Arc<dyn Clock>,
+    state: Mutex<PoolState<T, E>>,
+    /// Workers wait here for dispatchable jobs.
+    work: Condvar,
+    /// Waiters block here for completions.
+    completions: Condvar,
+}
+
+impl<T, E> Shared<T, E> {
+    fn lock(&self) -> MutexGuard<'_, PoolState<T, E>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn is_quarantined_locked(&self, state: &PoolState<T, E>, name: &str) -> bool {
+        self.config.breaker_threshold != 0
+            && state
+                .breaker
+                .get(name)
+                .is_some_and(|b| b.consecutive >= self.config.breaker_threshold)
+    }
+
+    /// Folds one finished job into the breaker. Same policy as the
+    /// batch executor except that an externally-cancelled job that
+    /// never ran (`Cancelled`, zero attempts) is ignored: the program
+    /// was not at fault.
+    fn absorb_locked(&self, state: &mut PoolState<T, E>, report: &JobReport<T, E>) {
+        if self.config.breaker_threshold == 0 {
+            return;
+        }
+        match &report.outcome {
+            JobOutcome::Success(_) => {
+                state.breaker.remove(&report.name);
+            }
+            JobOutcome::Failed {
+                kind: FailureKind::Transient,
+                ..
+            }
+            | JobOutcome::Quarantined { .. }
+            | JobOutcome::TimedOut {
+                reason: CancelReason::Cancelled,
+                ..
+            } => {}
+            JobOutcome::Failed { .. }
+            | JobOutcome::TimedOut { .. }
+            | JobOutcome::Panicked { .. } => {
+                state
+                    .breaker
+                    .entry(report.name.clone())
+                    .or_default()
+                    .consecutive += 1;
+            }
+        }
+    }
+}
+
+fn worker_loop<T: Send, E: Send>(shared: &Shared<T, E>) {
+    let mut state = shared.lock();
+    loop {
+        match state.shutdown {
+            Some(ShutdownMode::Abort) => break,
+            Some(ShutdownMode::Drain) if state.queue.is_empty() => break,
+            _ => {}
+        }
+        // Per-name FIFO: the first queued job whose name is idle. A
+        // name already running blocks all its later submissions, so
+        // same-name jobs execute serially in submission order.
+        let slot = if state.paused {
+            None
+        } else {
+            let running_names = &state.running_names;
+            state
+                .queue
+                .iter()
+                .position(|q| !running_names.contains(&q.name))
+        };
+        let Some(slot) = slot else {
+            state = shared
+                .work
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            continue;
+        };
+        let q = state.queue.remove(slot).expect("slot position is valid");
+        state.running_names.insert(q.name.clone());
+        state
+            .running
+            .insert(q.id, (q.name.clone(), q.token.clone()));
+        let consecutive = state.breaker.get(&q.name).copied().unwrap_or_default();
+        let quarantined = shared.is_quarantined_locked(&state, &q.name);
+        drop(state);
+
+        let report = run_job(&shared.config, &shared.clock, quarantined, consecutive, &q);
+
+        state = shared.lock();
+        shared.absorb_locked(&mut state, &report);
+        state.running_names.remove(&q.name);
+        state.running.remove(&q.id);
+        state.stats.completed += 1;
+        match &report.outcome {
+            JobOutcome::Panicked { .. } => state.stats.panicked += 1,
+            JobOutcome::Quarantined { .. } => state.stats.quarantined += 1,
+            _ => {}
+        }
+        state.done.insert(q.id, report);
+        // A same-name successor may have become dispatchable, and
+        // waiters may be watching for this id.
+        shared.work.notify_all();
+        shared.completions.notify_all();
+    }
+    // This worker is exiting (shutdown): wake siblings and waiters so
+    // nobody sleeps through the state change.
+    shared.work.notify_all();
+    shared.completions.notify_all();
+    drop(state);
+}
+
+/// The always-on concurrent executor. See the module docs for the
+/// dispatch, determinism, and shutdown contracts.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use warp_common::ManualClock;
+/// use warp_service::{JobSuccess, PoolConfig, ShutdownMode, WorkerPool};
+///
+/// let pool: WorkerPool<u32, String> =
+///     WorkerPool::new(PoolConfig { workers: 2, ..PoolConfig::default() },
+///                     Arc::new(ManualClock::new(0)));
+/// let id = pool.submit("answer", |_ctx| Ok(JobSuccess::full(42))).id().unwrap();
+/// let reports = pool.wait(&[id]);
+/// assert!(reports[0].outcome.is_success());
+/// pool.shutdown(ShutdownMode::Drain);
+/// ```
+pub struct WorkerPool<T, E> {
+    shared: Arc<Shared<T, E>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    n_workers: usize,
+}
+
+impl Admission {
+    /// The accepted job id, if any.
+    pub fn id(&self) -> Option<usize> {
+        match self {
+            Admission::Accepted { id, .. } => Some(*id),
+            Admission::Rejected { .. } => None,
+        }
+    }
+}
+
+impl<T: Send + 'static, E: Send + 'static> WorkerPool<T, E> {
+    /// Spawns the pool's workers immediately; they idle on a condvar
+    /// until jobs arrive.
+    pub fn new(config: PoolConfig, clock: Arc<dyn Clock>) -> WorkerPool<T, E> {
+        let n_workers = effective_workers(config.workers);
+        let shared = Arc::new(Shared {
+            config: config.exec,
+            clock,
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                running_names: BTreeSet::new(),
+                running: BTreeMap::new(),
+                admitted_names: BTreeMap::new(),
+                done: BTreeMap::new(),
+                collected: BTreeSet::new(),
+                breaker: BTreeMap::new(),
+                stats: PoolStats::default(),
+                next_id: 0,
+                shutdown: None,
+                paused: false,
+            }),
+            work: Condvar::new(),
+            completions: Condvar::new(),
+        });
+        let workers = (0..n_workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("warp-pool-{i}"))
+                    .spawn(move || worker_loop(&*shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(workers),
+            n_workers,
+        }
+    }
+
+    /// The number of worker threads actually running (the *effective*
+    /// count after resolving `workers: 0`).
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Admission control: queues the job (workers pick it up
+    /// immediately) unless the queue is at capacity or the pool is
+    /// shutting down, in which case the job is shed with a retry hint.
+    /// The queue never holds more than `queue_capacity` jobs.
+    pub fn submit(
+        &self,
+        name: impl Into<String>,
+        job: impl Fn(&JobCtx) -> Result<JobSuccess<T>, JobFailure<E>> + Send + Sync + 'static,
+    ) -> Admission {
+        let mut state = self.shared.lock();
+        state.stats.submitted += 1;
+        let at_capacity = self.shared.config.queue_capacity != 0
+            && state.queue.len() >= self.shared.config.queue_capacity;
+        if at_capacity || state.shutdown.is_some() {
+            state.stats.shed += 1;
+            return Admission::Rejected {
+                retry_after_ticks: self.shared.config.retry_after_ticks,
+            };
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let name = name.into();
+        let token = CancelToken::new(self.shared.clock.clone());
+        state.admitted_names.insert(id, name.clone());
+        state.queue.push_back(QueuedJob {
+            id,
+            name,
+            token: token.clone(),
+            job: Box::new(job),
+        });
+        state.stats.accepted += 1;
+        state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queue.len());
+        self.shared.work.notify_one();
+        Admission::Accepted { id, cancel: token }
+    }
+
+    /// Blocks until every id in `ids` has finished, then removes and
+    /// returns their reports in the order given. Each report is
+    /// delivered exactly once: waiting twice on the same id returns
+    /// nothing for it the second time (ids never waited on stay
+    /// collectable). Unknown (never-admitted) ids are skipped.
+    pub fn wait(&self, ids: &[usize]) -> Vec<JobReport<T, E>> {
+        let mut state = self.shared.lock();
+        loop {
+            let outstanding = ids.iter().any(|id| {
+                *id < state.next_id && !state.done.contains_key(id) && !state.collected.contains(id)
+            });
+            if !outstanding {
+                let mut out = Vec::new();
+                for id in ids {
+                    if let Some(report) = state.done.remove(id) {
+                        state.collected.insert(*id);
+                        out.push(report);
+                    }
+                }
+                return out;
+            }
+            state = self
+                .shared
+                .completions
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Where job `id` currently is, or `None` for an unknown id.
+    pub fn state_of(&self, id: usize) -> Option<JobState> {
+        let state = self.shared.lock();
+        if state.collected.contains(&id) {
+            Some(JobState::Collected)
+        } else if state.done.contains_key(&id) {
+            Some(JobState::Done)
+        } else if state.running.contains_key(&id) {
+            Some(JobState::Running)
+        } else if state.queue.iter().any(|q| q.id == id) {
+            Some(JobState::Queued)
+        } else {
+            None
+        }
+    }
+
+    /// `(id, name, state)` of every job still in the system (queued,
+    /// running, or finished-but-uncollected), in id order.
+    pub fn jobs_in_flight(&self) -> Vec<(usize, String, JobState)> {
+        let state = self.shared.lock();
+        let mut out: Vec<(usize, String, JobState)> = Vec::new();
+        for q in &state.queue {
+            out.push((q.id, q.name.clone(), JobState::Queued));
+        }
+        for (id, (name, _)) in &state.running {
+            out.push((*id, name.clone(), JobState::Running));
+        }
+        for (id, report) in &state.done {
+            out.push((*id, report.name.clone(), JobState::Done));
+        }
+        out.sort_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// Jobs currently queued (excludes running jobs).
+    pub fn queue_len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Jobs currently executing on workers.
+    pub fn running_len(&self) -> usize {
+        self.shared.lock().running.len()
+    }
+
+    /// A snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.shared.lock().stats
+    }
+
+    /// Names quarantined by the circuit breaker.
+    pub fn quarantined_names(&self) -> Vec<String> {
+        let state = self.shared.lock();
+        if self.shared.config.breaker_threshold == 0 {
+            return Vec::new();
+        }
+        state
+            .breaker
+            .iter()
+            .filter(|(_, b)| b.consecutive >= self.shared.config.breaker_threshold)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Every name with breaker history: `(name, consecutive
+    /// non-transient failures)`, tripped or not. `status`-style
+    /// surfaces show these as "open or warming breakers".
+    pub fn breaker_history(&self) -> Vec<(String, u32)> {
+        let state = self.shared.lock();
+        state
+            .breaker
+            .iter()
+            .filter(|(_, b)| b.consecutive > 0)
+            .map(|(n, b)| (n.clone(), b.consecutive))
+            .collect()
+    }
+
+    /// `true` once the breaker has tripped for `name`.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        let state = self.shared.lock();
+        self.shared.is_quarantined_locked(&state, name)
+    }
+
+    /// Clears the breaker history for `name`. Returns `true` when there
+    /// was history to clear — a reset of a never-failing (or unknown)
+    /// name is a no-op, and callers can say so.
+    pub fn reset_breaker(&self, name: &str) -> bool {
+        let mut state = self.shared.lock();
+        let known = state.breaker.remove(name).is_some();
+        // A quarantined name may have queued jobs blocked behind the
+        // per-name gate only while a prior instance runs; nothing to
+        // re-dispatch, but wake workers in case they idled.
+        self.shared.work.notify_all();
+        known
+    }
+
+    /// Gates dispatch: workers finish their current job but start no
+    /// new one. Used by the deterministic soak driver to submit a
+    /// burst against a quiescent queue.
+    pub fn pause(&self) {
+        self.shared.lock().paused = true;
+    }
+
+    /// Reopens dispatch after [`WorkerPool::pause`].
+    pub fn resume(&self) {
+        self.shared.lock().paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Stops the pool and joins every worker.
+    ///
+    /// `Drain` finishes all queued work first; `Abort` synthesizes a
+    /// `TimedOut { Cancelled }` report for each queued job (preserving
+    /// exactly-one-response) and cooperatively cancels running jobs.
+    /// Either way, after this returns every accepted job has a report
+    /// (collectable via [`WorkerPool::wait`]) and no threads remain.
+    /// Idempotent; later submissions are shed.
+    pub fn shutdown(&self, mode: ShutdownMode) {
+        let mut state = self.shared.lock();
+        if state.shutdown.is_none() {
+            state.shutdown = Some(mode);
+        }
+        if matches!(mode, ShutdownMode::Abort) {
+            // Give every queued job its one response without running it.
+            while let Some(q) = state.queue.pop_front() {
+                q.token.cancel();
+                let report = JobReport {
+                    id: q.id,
+                    name: q.name.clone(),
+                    outcome: JobOutcome::TimedOut {
+                        reason: CancelReason::Cancelled,
+                        attempts: 0,
+                    },
+                    wall_ticks: 0,
+                };
+                // Cancelled-before-running: deliberately not fed to the
+                // breaker (see absorb_locked).
+                state.stats.completed += 1;
+                state.done.insert(q.id, report);
+            }
+            // Running jobs observe the cancel at their next cooperative
+            // poll and report TimedOut through the normal path.
+            for (_, token) in state.running.values() {
+                token.cancel();
+            }
+        }
+        // Drain mode with a paused pool would deadlock: resume.
+        state.paused = false;
+        self.shared.work.notify_all();
+        self.shared.completions.notify_all();
+        drop(state);
+        let mut workers = self
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T, E> Drop for WorkerPool<T, E> {
+    /// Dropping without an explicit shutdown aborts: queued jobs get
+    /// their cancelled reports (unobservable at this point, but the
+    /// invariant holds) and workers are joined so no thread outlives
+    /// the pool.
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        if state.shutdown.is_none() {
+            state.shutdown = Some(ShutdownMode::Abort);
+        }
+        state.paused = false;
+        while let Some(q) = state.queue.pop_front() {
+            q.token.cancel();
+        }
+        self.shared.work.notify_all();
+        self.shared.completions.notify_all();
+        drop(state);
+        let mut workers = self
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Barrier;
+    use warp_common::ManualClock;
+
+    type TestPool = WorkerPool<u32, String>;
+
+    fn pool(workers: usize, exec: ExecutorConfig) -> TestPool {
+        WorkerPool::new(PoolConfig { exec, workers }, Arc::new(ManualClock::new(0)))
+    }
+
+    #[test]
+    fn submit_runs_immediately_and_wait_collects() {
+        let p = pool(2, ExecutorConfig::default());
+        let a = p.submit("a", |_| Ok(JobSuccess::full(1))).id().unwrap();
+        let b = p.submit("b", |_| Ok(JobSuccess::full(2))).id().unwrap();
+        let reports = p.wait(&[a, b]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].outcome, JobOutcome::Success(JobSuccess::full(1)));
+        assert_eq!(reports[1].outcome, JobOutcome::Success(JobSuccess::full(2)));
+        // Exactly-once delivery: a second wait returns nothing.
+        assert!(p.wait(&[a, b]).is_empty());
+        assert_eq!(p.state_of(a), Some(JobState::Collected));
+        p.shutdown(ShutdownMode::Drain);
+        let stats = p.stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn same_name_jobs_serialize_in_submission_order() {
+        // 4 workers, 8 jobs under one name: per-name FIFO must run them
+        // one at a time, in order.
+        let p = pool(4, ExecutorConfig::default());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let live = Arc::new(AtomicU32::new(0));
+        let mut ids = Vec::new();
+        for i in 0..8_u32 {
+            let order = order.clone();
+            let live = live.clone();
+            let id = p
+                .submit("hot", move |_| {
+                    let n = live.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(n, 0, "same-name jobs must never overlap");
+                    order.lock().unwrap().push(i);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    Ok(JobSuccess::full(i))
+                })
+                .id()
+                .unwrap();
+            ids.push(id);
+        }
+        let reports = p.wait(&ids);
+        assert_eq!(reports.len(), 8);
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+        p.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn distinct_names_run_concurrently() {
+        // Two jobs that can only finish if they are in flight at the
+        // same time: a shared barrier.
+        let p = pool(2, ExecutorConfig::default());
+        let barrier = Arc::new(Barrier::new(2));
+        let b1 = barrier.clone();
+        let b2 = barrier.clone();
+        let a = p
+            .submit("a", move |_| {
+                b1.wait();
+                Ok(JobSuccess::full(1))
+            })
+            .id()
+            .unwrap();
+        let b = p
+            .submit("b", move |_| {
+                b2.wait();
+                Ok(JobSuccess::full(2))
+            })
+            .id()
+            .unwrap();
+        let reports = p.wait(&[a, b]);
+        assert!(reports.iter().all(|r| r.outcome.is_success()));
+        p.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn queue_capacity_sheds_while_paused() {
+        let p = pool(
+            2,
+            ExecutorConfig {
+                queue_capacity: 3,
+                retry_after_ticks: 123,
+                ..ExecutorConfig::default()
+            },
+        );
+        p.pause();
+        let mut accepted = Vec::new();
+        let mut shed = 0;
+        for i in 0..5_u32 {
+            match p.submit(format!("j{i}"), move |_| Ok(JobSuccess::full(i))) {
+                Admission::Accepted { id, .. } => accepted.push(id),
+                Admission::Rejected { retry_after_ticks } => {
+                    assert_eq!(retry_after_ticks, 123);
+                    shed += 1;
+                }
+            }
+        }
+        assert_eq!(accepted.len(), 3);
+        assert_eq!(shed, 2);
+        assert_eq!(p.queue_len(), 3, "queue never exceeds capacity");
+        p.resume();
+        let reports = p.wait(&accepted);
+        assert_eq!(reports.len(), 3);
+        let stats = p.stats();
+        assert_eq!(stats.shed, 2);
+        assert!(stats.max_queue_depth <= 3);
+        p.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn breaker_is_deterministic_under_concurrency() {
+        // Threshold 2: with per-name FIFO the 1st and 2nd "bad" jobs
+        // must Fail and the 3rd..5th must be Quarantined, regardless of
+        // worker scheduling.
+        for _ in 0..4 {
+            let p = pool(
+                4,
+                ExecutorConfig {
+                    breaker_threshold: 2,
+                    ..ExecutorConfig::default()
+                },
+            );
+            let ids: Vec<usize> = (0..5)
+                .map(|_| {
+                    p.submit("bad", |_| Err(JobFailure::permanent("no".to_owned())))
+                        .id()
+                        .unwrap()
+                })
+                .collect();
+            let reports = p.wait(&ids);
+            let labels: Vec<&str> = reports.iter().map(|r| r.outcome.label()).collect();
+            assert_eq!(
+                labels,
+                [
+                    "failed",
+                    "failed",
+                    "quarantined",
+                    "quarantined",
+                    "quarantined"
+                ]
+            );
+            assert!(p.is_quarantined("bad"));
+            assert!(p.reset_breaker("bad"));
+            assert!(!p.reset_breaker("bad"), "second reset has no history");
+            assert!(!p.reset_breaker("never-seen"));
+            p.shutdown(ShutdownMode::Drain);
+        }
+    }
+
+    #[test]
+    fn cancelled_before_running_does_not_feed_the_breaker() {
+        let p = pool(
+            1,
+            ExecutorConfig {
+                breaker_threshold: 1,
+                ..ExecutorConfig::default()
+            },
+        );
+        p.pause();
+        let Admission::Accepted { id, cancel } = p.submit("healthy", |_| Ok(JobSuccess::full(1)))
+        else {
+            panic!("accepted");
+        };
+        cancel.cancel();
+        p.resume();
+        let reports = p.wait(&[id]);
+        assert_eq!(
+            reports[0].outcome,
+            JobOutcome::TimedOut {
+                reason: CancelReason::Cancelled,
+                attempts: 0
+            }
+        );
+        assert!(
+            !p.is_quarantined("healthy"),
+            "an abandoning client must not quarantine a healthy name"
+        );
+        p.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn abort_shutdown_reports_every_accepted_job_exactly_once() {
+        let p = pool(1, ExecutorConfig::default());
+        p.pause();
+        let ids: Vec<usize> = (0..6_u32)
+            .map(|i| {
+                p.submit(format!("j{i}"), move |_| Ok(JobSuccess::full(i)))
+                    .id()
+                    .unwrap()
+            })
+            .collect();
+        p.shutdown(ShutdownMode::Abort);
+        let reports = p.wait(&ids);
+        assert_eq!(reports.len(), 6, "every accepted job gets one response");
+        for r in &reports {
+            assert!(
+                matches!(
+                    r.outcome,
+                    JobOutcome::TimedOut {
+                        reason: CancelReason::Cancelled,
+                        ..
+                    }
+                ),
+                "aborted queued jobs are cancelled, got {}",
+                r.outcome.label()
+            );
+        }
+        // Post-shutdown submissions are shed.
+        assert!(!p.submit("late", |_| Ok(JobSuccess::full(0))).is_accepted());
+        assert_eq!(p.stats().completed, 6);
+    }
+
+    #[test]
+    fn drain_shutdown_finishes_queued_work() {
+        let p = pool(2, ExecutorConfig::default());
+        p.pause();
+        let ids: Vec<usize> = (0..4_u32)
+            .map(|i| {
+                p.submit(format!("j{i}"), move |_| Ok(JobSuccess::full(i)))
+                    .id()
+                    .unwrap()
+            })
+            .collect();
+        p.shutdown(ShutdownMode::Drain);
+        let reports = p.wait(&ids);
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.outcome.is_success()));
+    }
+
+    #[test]
+    fn status_tracks_job_lifecycle() {
+        let p = pool(1, ExecutorConfig::default());
+        p.pause();
+        let id = p.submit("x", |_| Ok(JobSuccess::full(7))).id().unwrap();
+        assert_eq!(p.state_of(id), Some(JobState::Queued));
+        let in_flight = p.jobs_in_flight();
+        assert_eq!(in_flight, vec![(id, "x".to_owned(), JobState::Queued)]);
+        p.resume();
+        let reports = p.wait(&[id]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(p.state_of(id), Some(JobState::Collected));
+        assert_eq!(p.state_of(999), None);
+        assert!(p.jobs_in_flight().is_empty());
+        p.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero_and_clamps() {
+        assert!(effective_workers(0) >= 1);
+        assert_eq!(effective_workers(3), 3);
+        assert_eq!(effective_workers(1), 1);
+    }
+
+    #[test]
+    fn panic_is_contained_and_counted() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let p = pool(2, ExecutorConfig::default());
+        let bomb = p
+            .submit("bomb", |_| panic!("chaos: injected"))
+            .id()
+            .unwrap();
+        let ok = p.submit("ok", |_| Ok(JobSuccess::full(1))).id().unwrap();
+        let reports = p.wait(&[bomb, ok]);
+        std::panic::set_hook(hook);
+        assert!(matches!(reports[0].outcome, JobOutcome::Panicked { .. }));
+        assert!(reports[1].outcome.is_success());
+        assert_eq!(p.stats().panicked, 1);
+        p.shutdown(ShutdownMode::Drain);
+    }
+}

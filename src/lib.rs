@@ -19,6 +19,7 @@ pub use warp_compiler as compiler;
 pub use warp_host as host;
 pub use warp_iu as iu;
 pub use warp_oracle as oracle;
+pub use warp_service as service;
 pub use warp_sim as sim;
 pub use warp_skew as skew;
 

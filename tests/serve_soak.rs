@@ -1,0 +1,137 @@
+//! Acceptance test for the always-on compile service: the seeded
+//! chaos/soak harness at full scale (the same run the CI `serve-soak`
+//! job executes via `wserve`) must hold every robustness invariant —
+//! no lost or duplicated responses, rejections with retry hints,
+//! poison quarantined without collateral damage, bounded queue, clean
+//! mid-flight shutdown — and the whole run must be a pure function of
+//! the seed.
+
+use std::sync::Arc;
+
+use warp::common::ManualClock;
+use warp::compiler::soak::{run_soak, SoakConfig, SoakReport, POISON_ICE, POISON_SYNTAX};
+
+/// The acceptance configuration: ≥4 workers, ≥200 jobs, a nonzero
+/// poison fraction, overload probes at 1×/4×/16×.
+fn acceptance_config() -> SoakConfig {
+    let config = SoakConfig::default();
+    assert!(config.workers >= 4);
+    assert!(config.jobs >= 200);
+    assert!(config.poison_per_mille > 0);
+    assert_eq!(config.overload_factors, vec![1, 4, 16]);
+    config
+}
+
+fn run(config: &SoakConfig) -> SoakReport {
+    // The poison classes panic by design; silence their backtraces.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_soak(config, Arc::new(ManualClock::new(0)));
+    std::panic::set_hook(hook);
+    report
+}
+
+#[test]
+fn full_soak_holds_every_invariant() {
+    let config = acceptance_config();
+    let report = run(&config);
+
+    // The harness records violations instead of panicking; a clean run
+    // means exactly-one-response, retry hints on every rejection, no
+    // queue overflow, no collateral quarantine, and a clean abort.
+    assert!(
+        report.is_clean(),
+        "soak violations: {:#?}",
+        report.violations
+    );
+    assert!(report.accepted >= config.jobs as u64);
+    assert_eq!(
+        report.outcomes.len(),
+        report.accepted as usize,
+        "every accepted job reports exactly once"
+    );
+
+    // Poison is quarantined; the bombs (unique names) never are.
+    assert_eq!(
+        report.quarantined,
+        vec![POISON_ICE.to_owned(), POISON_SYNTAX.to_owned()]
+    );
+
+    // Healthy jobs are untouched by the chaos around them.
+    for (name, label) in &report.outcomes {
+        if !name.starts_with("poison-")
+            && !name.starts_with("bomb#")
+            && !name.starts_with("shutdown#")
+        {
+            assert!(
+                label == "ok" || label == "degraded",
+                "healthy `{name}` ended `{label}`"
+            );
+        }
+    }
+
+    // The content-addressed cache carries the repeated mix.
+    assert!(
+        report.cache.hit_rate() > 0.5,
+        "cache hit rate {:.2} <= 0.5 ({:?})",
+        report.cache.hit_rate(),
+        report.cache
+    );
+
+    // Graceful saturation: nothing sheds at 1×, exactly the overflow
+    // sheds at 4× and 16× (admission is lockstep, so these are exact).
+    assert_eq!(report.overload[0].shed, 0);
+    let cap = config.queue_capacity as u64;
+    assert_eq!(report.overload[1].shed, 3 * cap);
+    assert_eq!(report.overload[2].shed, 15 * cap);
+    assert!(report.max_queue_depth <= config.queue_capacity);
+}
+
+#[test]
+fn same_seed_twice_gives_identical_outcome_sets() {
+    // The loom-free determinism guard: per-name FIFO dispatch plus
+    // lockstep admission make the sorted (name, label) multiset — and
+    // the shed counts and quarantine set — a pure function of the
+    // seed, regardless of thread interleaving.
+    let config = acceptance_config();
+    let a = run(&config);
+    let b = run(&config);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.shed, b.shed);
+    assert_eq!(a.accepted, b.accepted);
+    assert_eq!(a.quarantined, b.quarantined);
+    assert_eq!(a.cache.hits, b.cache.hits);
+    assert_eq!(a.cache.negative_hits, b.cache.negative_hits);
+}
+
+#[test]
+fn bench_serve_json_is_written_and_well_formed() {
+    let report = run(&acceptance_config());
+    let json = report.to_json();
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("BENCH_serve-test-{}.json", std::process::id()));
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    let round_trip = std::fs::read_to_string(&path).expect("read back");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(round_trip, json);
+    assert!(json.contains("\"schema\": \"warp-serve-bench-v1\""));
+    for key in [
+        "\"jobs_per_sec\"",
+        "\"p50_latency_ticks\"",
+        "\"p99_latency_ticks\"",
+        "\"cache_hit_rate\"",
+        "\"shed_rate\"",
+        "\"overload\"",
+        "\"quarantined\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(json.contains("\"violations\": []"), "{json}");
+    // Balanced braces/brackets as a cheap well-formedness check.
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes);
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
