@@ -64,6 +64,7 @@ pub mod parser;
 pub mod pretty;
 pub mod sema;
 pub mod token;
+pub mod wire;
 
 pub use hir::{HirExpr, HirLValue, HirModule, HirStmt, VarId, VarInfo, VarKind};
 pub use sema::check;

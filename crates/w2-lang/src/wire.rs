@@ -1,0 +1,65 @@
+//! Wire codec impls for the front-end types that appear in persisted
+//! compiler artifacts (the variable table of a `CompiledModule`).
+//! Enum tags and field orders here are on-disk format; changing them
+//! requires a store schema-version bump.
+
+use crate::ast::{BaseTy, Chan, Dir};
+use crate::hir::{VarId, VarInfo, VarKind};
+use warp_common::{wire_enum, wire_newtype, wire_struct};
+
+wire_newtype!(VarId);
+
+wire_enum!(BaseTy {
+    0 => Float,
+    1 => Int,
+});
+
+wire_enum!(Dir {
+    0 => Left,
+    1 => Right,
+});
+
+wire_enum!(Chan {
+    0 => X,
+    1 => Y,
+});
+
+wire_enum!(VarKind {
+    0 => Host,
+    1 => CellLocal,
+    2 => LoopIndex,
+});
+
+wire_struct!(VarInfo {
+    name,
+    ty,
+    dims,
+    kind,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_common::wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn front_end_types_round_trip() {
+        let info = VarInfo {
+            name: "coeff".to_owned(),
+            ty: BaseTy::Float,
+            dims: vec![10, 3],
+            kind: VarKind::CellLocal,
+        };
+        let back: VarInfo = from_bytes(&to_bytes(&info)).unwrap();
+        assert_eq!(info, back);
+
+        for dir in [Dir::Left, Dir::Right] {
+            assert_eq!(from_bytes::<Dir>(&to_bytes(&dir)).unwrap(), dir);
+        }
+        for chan in [Chan::X, Chan::Y] {
+            assert_eq!(from_bytes::<Chan>(&to_bytes(&chan)).unwrap(), chan);
+        }
+        assert_eq!(from_bytes::<VarId>(&to_bytes(&VarId(7))).unwrap(), VarId(7));
+        assert!(from_bytes::<VarKind>(&[3]).is_err());
+    }
+}

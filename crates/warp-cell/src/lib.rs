@@ -46,6 +46,7 @@ pub mod mcode;
 pub mod modulo;
 pub mod regalloc;
 pub mod sched;
+pub mod wire;
 
 pub use codegen::{codegen, codegen_with, CellCodegenOptions};
 pub use machine::{io_index, CellMachine, Unit};

@@ -1,0 +1,175 @@
+//! Wire codec impls for the microcode types persisted inside a
+//! `CompiledModule` artifact. Enum tags and field orders are on-disk
+//! format; changing them requires a store schema-version bump.
+
+use crate::machine::CellMachine;
+use crate::mcode::{
+    AddrSource, AluOp, BlockCode, CellCode, CodeRegion, FpuField, IoEvent, IoField, MemField,
+    MicroInst, Operand, PipelineInfo, Reg,
+};
+use warp_common::{wire_enum, wire_newtype, wire_struct};
+
+wire_newtype!(Reg);
+
+wire_enum!(Operand {
+    0 => Reg(reg),
+    1 => Imm(value),
+    2 => ImmB(value),
+});
+
+wire_enum!(AluOp {
+    0 => Add,
+    1 => Sub,
+    2 => Mul,
+    3 => Div,
+    4 => Neg,
+    5 => Cmp(op),
+    6 => And,
+    7 => Or,
+    8 => Not,
+    9 => Select,
+});
+
+wire_struct!(FpuField { op, dst, srcs });
+
+wire_enum!(AddrSource {
+    0 => Literal(addr),
+    1 => AdrQueue,
+});
+
+wire_enum!(MemField {
+    0 => Read { addr, dst },
+    1 => Write { addr, src },
+});
+
+wire_enum!(IoField {
+    0 => Recv { dst, ext },
+    1 => Send { src, ext },
+});
+
+wire_struct!(MicroInst {
+    fadd,
+    fmul,
+    mem,
+    io
+});
+wire_struct!(IoEvent {
+    cycle,
+    dir,
+    chan,
+    is_recv,
+    ext,
+});
+wire_struct!(BlockCode {
+    insts,
+    io_events,
+    adr_deadlines,
+    source,
+});
+
+wire_enum!(CodeRegion {
+    0 => Block(block),
+    1 => Loop { id, count, body },
+});
+
+wire_struct!(PipelineInfo {
+    id,
+    ii,
+    stages,
+    kernel_count,
+});
+wire_struct!(CellCode {
+    name,
+    regions,
+    regs_used,
+    scratch_words,
+    pipelined,
+});
+wire_struct!(CellMachine {
+    fp_latency,
+    div_latency,
+    mem_latency,
+    io_latency,
+    mem_ports,
+    registers,
+    queue_capacity,
+    memory_words,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use w2_lang::ast::{Chan, Dir};
+    use warp_common::wire::{from_bytes, to_bytes};
+    use warp_ir::{CmpOp, LoopId};
+
+    #[test]
+    fn microcode_round_trips() {
+        let inst = MicroInst {
+            fadd: Some(FpuField {
+                op: AluOp::Cmp(CmpOp::Lt),
+                dst: Some(Reg(3)),
+                srcs: vec![Operand::Reg(Reg(1)), Operand::Imm(2.5)],
+            }),
+            fmul: None,
+            mem: [
+                Some(MemField::Read {
+                    addr: AddrSource::AdrQueue,
+                    dst: Some(Reg(5)),
+                }),
+                None,
+            ],
+            io: [
+                None,
+                Some(IoField::Send {
+                    src: Operand::Reg(Reg(5)),
+                    ext: None,
+                }),
+                None,
+                Some(IoField::Recv {
+                    dst: None,
+                    ext: None,
+                }),
+            ],
+        };
+        let back: MicroInst = from_bytes(&to_bytes(&inst)).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn cell_code_round_trips() {
+        let code = CellCode {
+            name: "poly".to_owned(),
+            regions: vec![CodeRegion::Loop {
+                id: LoopId(0),
+                count: 10,
+                body: vec![CodeRegion::Block(BlockCode {
+                    insts: vec![MicroInst::default(); 3],
+                    io_events: vec![IoEvent {
+                        cycle: 1,
+                        dir: Dir::Left,
+                        chan: Chan::X,
+                        is_recv: true,
+                        ext: None,
+                    }],
+                    adr_deadlines: vec![0, 2],
+                    source: Some(warp_ir::BlockId(1)),
+                })],
+            }],
+            regs_used: 6,
+            scratch_words: 2,
+            pipelined: vec![PipelineInfo {
+                id: LoopId(0),
+                ii: 2,
+                stages: 3,
+                kernel_count: 8,
+            }],
+        };
+        let back: CellCode = from_bytes(&to_bytes(&code)).unwrap();
+        assert_eq!(code, back);
+
+        let machine = CellMachine::default();
+        let back: CellMachine = from_bytes(&to_bytes(&machine)).unwrap();
+        assert_eq!(machine, back);
+    }
+}

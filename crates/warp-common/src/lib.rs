@@ -37,6 +37,8 @@ pub mod intern;
 pub mod observe;
 pub mod rat;
 pub mod span;
+pub mod vfs;
+pub mod wire;
 
 pub use ctrl::{
     splitmix64, CancelReason, CancelToken, Clock, ManualClock, SplitMix64, SystemClock,
@@ -48,3 +50,5 @@ pub use intern::{Interner, Symbol};
 pub use observe::{Artifact, CollectDumps, NullObserver, PassDump, PassObserver, PassTiming};
 pub use rat::Rat;
 pub use span::Span;
+pub use vfs::{atomic_write, FaultCounts, FaultProfile, FaultVfs, MemVfs, RealVfs, Vfs, VfsError};
+pub use wire::{Decode, Encode, WireError, WireReader};

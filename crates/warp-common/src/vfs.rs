@@ -1,0 +1,866 @@
+//! Virtual file system with deterministic fault injection.
+//!
+//! The persistent artifact store must survive the disk telling lies:
+//! torn writes after a power cut, short reads, flipped bits, `ENOSPC`
+//! mid-eviction, and the process being killed between any two
+//! syscalls. Those failures are rare and unreproducible on a real
+//! disk, so — in the same spirit as `ManualClock` for time — all store
+//! I/O goes through the [`Vfs`] trait and tests swap in a seeded
+//! [`FaultVfs`] that injects every one of those failures
+//! deterministically.
+//!
+//! Three backends:
+//!
+//! * [`RealVfs`] — `std::fs`, with `fsync` on write and atomic rename;
+//! * [`MemVfs`] — an in-memory tree shared across clones, so a
+//!   "process restart" in a test is just reopening the store over the
+//!   same `MemVfs`;
+//! * [`FaultVfs`] — wraps another backend and injects faults from a
+//!   [`SplitMix64`] stream plus an optional *crash-point*: the N-th
+//!   I/O operation aborts mid-effect (a write leaves a torn prefix, a
+//!   rename may or may not have happened) and every operation after it
+//!   fails with [`VfsError::Crashed`], exactly like a killed process.
+//!
+//! [`atomic_write`] is the write-temp → fsync → rename protocol every
+//! store mutation uses, and [`record`] is the checksummed framing that
+//! lets recovery prove an artifact intact before serving it.
+
+use crate::hash::ContentKey;
+use crate::SplitMix64;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Suffix of in-flight temporary files; recovery deletes any it finds.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// A file-system operation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VfsError {
+    /// The path does not exist.
+    NotFound {
+        /// The missing path.
+        path: PathBuf,
+    },
+    /// The device is out of space (`ENOSPC`).
+    NoSpace,
+    /// Any other I/O failure (`EIO`, permissions, …).
+    Io {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A [`FaultVfs`] crash-point fired: the simulated process is
+    /// dead and every further operation fails with this error.
+    Crashed,
+}
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VfsError::NotFound { path } => write!(f, "not found: {}", path.display()),
+            VfsError::NoSpace => write!(f, "no space left on device"),
+            VfsError::Io { detail } => write!(f, "i/o error: {detail}"),
+            VfsError::Crashed => write!(f, "simulated crash: process is dead"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// The file operations the artifact store needs, behind one object so
+/// fault injection can wrap any backend.
+pub trait Vfs: Send + Sync {
+    /// Reads an entire file.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] or backend failures.
+    fn read(&self, path: &Path) -> Result<Vec<u8>, VfsError>;
+
+    /// Creates or truncates `path` with `bytes`, durably (the real
+    /// backend fsyncs before returning).
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NoSpace`] or backend failures.
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError>;
+
+    /// Atomically renames `from` to `to`, replacing `to` if present.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] when `from` is missing.
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), VfsError>;
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] when `path` is missing.
+    fn remove_file(&self, path: &Path) -> Result<(), VfsError>;
+
+    /// Lists regular files directly under `dir`, sorted by path. A
+    /// missing directory lists as empty.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures.
+    fn list_files(&self, dir: &Path) -> Result<Vec<PathBuf>, VfsError>;
+
+    /// Size of a file in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] when `path` is missing.
+    fn file_len(&self, path: &Path) -> Result<u64, VfsError>;
+
+    /// Creates `dir` and all missing parents.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures.
+    fn create_dir_all(&self, dir: &Path) -> Result<(), VfsError>;
+}
+
+fn io_err(err: &std::io::Error) -> VfsError {
+    match err.kind() {
+        std::io::ErrorKind::StorageFull => VfsError::NoSpace,
+        _ => VfsError::Io {
+            detail: err.to_string(),
+        },
+    }
+}
+
+/// The production backend: `std::fs` with durable writes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> Result<Vec<u8>, VfsError> {
+        match std::fs::read(path) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(VfsError::NotFound {
+                path: path.to_path_buf(),
+            }),
+            Err(e) => Err(io_err(&e)),
+        }
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError> {
+        let mut file = std::fs::File::create(path).map_err(|e| io_err(&e))?;
+        file.write_all(bytes).map_err(|e| io_err(&e))?;
+        file.sync_all().map_err(|e| io_err(&e))?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), VfsError> {
+        match std::fs::rename(from, to) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(VfsError::NotFound {
+                path: from.to_path_buf(),
+            }),
+            Err(e) => Err(io_err(&e)),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<(), VfsError> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(VfsError::NotFound {
+                path: path.to_path_buf(),
+            }),
+            Err(e) => Err(io_err(&e)),
+        }
+    }
+
+    fn list_files(&self, dir: &Path) -> Result<Vec<PathBuf>, VfsError> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(&e)),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&e))?;
+            let meta = entry.metadata().map_err(|e| io_err(&e))?;
+            if meta.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn file_len(&self, path: &Path) -> Result<u64, VfsError> {
+        match std::fs::metadata(path) {
+            Ok(meta) => Ok(meta.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(VfsError::NotFound {
+                path: path.to_path_buf(),
+            }),
+            Err(e) => Err(io_err(&e)),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), VfsError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(&e))
+    }
+}
+
+/// An in-memory backend. Clones share the same tree, so a test can
+/// "restart the process" by dropping a store and opening a new one
+/// over a clone of the same `MemVfs`.
+#[derive(Clone, Debug, Default)]
+pub struct MemVfs {
+    files: Arc<Mutex<BTreeMap<PathBuf, Vec<u8>>>>,
+}
+
+impl MemVfs {
+    /// An empty tree.
+    pub fn new() -> MemVfs {
+        MemVfs::default()
+    }
+
+    /// Total bytes across all files (test introspection).
+    pub fn total_bytes(&self) -> u64 {
+        let files = self.files.lock().expect("memvfs poisoned");
+        files.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Number of files (test introspection).
+    pub fn file_count(&self) -> usize {
+        self.files.lock().expect("memvfs poisoned").len()
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, path: &Path) -> Result<Vec<u8>, VfsError> {
+        let files = self.files.lock().expect("memvfs poisoned");
+        files.get(path).cloned().ok_or_else(|| VfsError::NotFound {
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError> {
+        let mut files = self.files.lock().expect("memvfs poisoned");
+        files.insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), VfsError> {
+        let mut files = self.files.lock().expect("memvfs poisoned");
+        match files.remove(from) {
+            Some(bytes) => {
+                files.insert(to.to_path_buf(), bytes);
+                Ok(())
+            }
+            None => Err(VfsError::NotFound {
+                path: from.to_path_buf(),
+            }),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<(), VfsError> {
+        let mut files = self.files.lock().expect("memvfs poisoned");
+        match files.remove(path) {
+            Some(_) => Ok(()),
+            None => Err(VfsError::NotFound {
+                path: path.to_path_buf(),
+            }),
+        }
+    }
+
+    fn list_files(&self, dir: &Path) -> Result<Vec<PathBuf>, VfsError> {
+        let files = self.files.lock().expect("memvfs poisoned");
+        Ok(files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+
+    fn file_len(&self, path: &Path) -> Result<u64, VfsError> {
+        let files = self.files.lock().expect("memvfs poisoned");
+        files
+            .get(path)
+            .map(|v| v.len() as u64)
+            .ok_or_else(|| VfsError::NotFound {
+                path: path.to_path_buf(),
+            })
+    }
+
+    fn create_dir_all(&self, _dir: &Path) -> Result<(), VfsError> {
+        Ok(())
+    }
+}
+
+/// Per-mille fault rates and an optional crash-point for [`FaultVfs`].
+/// All rates default to zero; `seed` makes the whole fault schedule a
+/// pure function of the configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultProfile {
+    /// Seed for the fault decision stream.
+    pub seed: u64,
+    /// ‰ of writes that persist only a random prefix yet report
+    /// success — the post-crash torn-write case a checksum must catch.
+    pub torn_write_per_mille: u64,
+    /// ‰ of reads that return only a random prefix yet report success.
+    pub short_read_per_mille: u64,
+    /// ‰ of reads with one random bit flipped in the returned bytes.
+    pub bit_flip_per_mille: u64,
+    /// ‰ of writes failing with [`VfsError::NoSpace`], nothing written.
+    pub no_space_per_mille: u64,
+    /// ‰ of operations failing with [`VfsError::Io`], no effect.
+    pub io_error_per_mille: u64,
+    /// When `Some(n)`, the n-th operation (1-based, all operation
+    /// kinds counted) aborts mid-effect and the backend plays dead
+    /// from then on.
+    pub crash_at_op: Option<u64>,
+}
+
+impl FaultProfile {
+    /// A profile that injects nothing — useful for counting the
+    /// operations of a workload before sweeping crash-points over it.
+    pub fn quiet(seed: u64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            ..FaultProfile::default()
+        }
+    }
+}
+
+/// How many of each fault a [`FaultVfs`] actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Torn writes that reported success.
+    pub torn_writes: u64,
+    /// Short reads that reported success.
+    pub short_reads: u64,
+    /// Reads with a flipped bit.
+    pub bit_flips: u64,
+    /// `ENOSPC` failures.
+    pub no_space: u64,
+    /// `EIO` failures.
+    pub io_errors: u64,
+}
+
+impl FaultCounts {
+    /// Total injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.torn_writes + self.short_reads + self.bit_flips + self.no_space + self.io_errors
+    }
+}
+
+/// Wraps another [`Vfs`] and injects deterministic faults per
+/// [`FaultProfile`]. The same profile over the same operation sequence
+/// injects the same faults — re-running a failing soak seed reproduces
+/// it exactly.
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    profile: FaultProfile,
+    rng: Mutex<SplitMix64>,
+    counts: Mutex<FaultCounts>,
+    ops: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl FaultVfs {
+    /// Wraps `inner` with the given fault profile.
+    pub fn new(inner: Arc<dyn Vfs>, profile: FaultProfile) -> FaultVfs {
+        FaultVfs {
+            inner,
+            profile,
+            rng: Mutex::new(SplitMix64::new(profile.seed)),
+            counts: Mutex::new(FaultCounts::default()),
+            ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Operations seen so far (crashed or not). Running a workload
+    /// over a quiet profile and reading this afterwards gives the
+    /// crash-point range to sweep.
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether the crash-point has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Faults injected so far.
+    pub fn fault_counts(&self) -> FaultCounts {
+        *self.counts.lock().expect("faultvfs poisoned")
+    }
+
+    /// Counts one operation; returns `Err(Crashed)` if the backend is
+    /// already dead, `Ok(true)` if *this* operation is the crash-point
+    /// (the caller applies a partial effect, then plays dead).
+    fn tick(&self) -> Result<bool, VfsError> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(VfsError::Crashed);
+        }
+        let op = self.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        Ok(self.profile.crash_at_op == Some(op))
+    }
+
+    fn die(&self) -> VfsError {
+        self.crashed.store(true, Ordering::SeqCst);
+        VfsError::Crashed
+    }
+
+    fn roll(&self, per_mille: u64) -> bool {
+        per_mille > 0
+            && self
+                .rng
+                .lock()
+                .expect("faultvfs poisoned")
+                .chance(per_mille, 1000)
+    }
+
+    fn rand_below(&self, n: u64) -> u64 {
+        self.rng.lock().expect("faultvfs poisoned").below(n)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> Result<Vec<u8>, VfsError> {
+        if self.tick()? {
+            return Err(self.die());
+        }
+        if self.roll(self.profile.io_error_per_mille) {
+            self.counts.lock().expect("faultvfs poisoned").io_errors += 1;
+            return Err(VfsError::Io {
+                detail: "injected EIO on read".to_owned(),
+            });
+        }
+        let mut bytes = self.inner.read(path)?;
+        if !bytes.is_empty() && self.roll(self.profile.short_read_per_mille) {
+            self.counts.lock().expect("faultvfs poisoned").short_reads += 1;
+            let keep = self.rand_below(bytes.len() as u64) as usize;
+            bytes.truncate(keep);
+        }
+        if !bytes.is_empty() && self.roll(self.profile.bit_flip_per_mille) {
+            self.counts.lock().expect("faultvfs poisoned").bit_flips += 1;
+            let bit = self.rand_below(bytes.len() as u64 * 8);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        Ok(bytes)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError> {
+        if self.tick()? {
+            // Crash mid-write: a random prefix reached the disk.
+            let keep = if bytes.is_empty() {
+                0
+            } else {
+                self.rand_below(bytes.len() as u64 + 1) as usize
+            };
+            let _ = self.inner.write(path, &bytes[..keep]);
+            return Err(self.die());
+        }
+        if self.roll(self.profile.no_space_per_mille) {
+            self.counts.lock().expect("faultvfs poisoned").no_space += 1;
+            return Err(VfsError::NoSpace);
+        }
+        if self.roll(self.profile.io_error_per_mille) {
+            self.counts.lock().expect("faultvfs poisoned").io_errors += 1;
+            return Err(VfsError::Io {
+                detail: "injected EIO on write".to_owned(),
+            });
+        }
+        if !bytes.is_empty() && self.roll(self.profile.torn_write_per_mille) {
+            self.counts.lock().expect("faultvfs poisoned").torn_writes += 1;
+            let keep = self.rand_below(bytes.len() as u64) as usize;
+            return self.inner.write(path, &bytes[..keep]);
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), VfsError> {
+        if self.tick()? {
+            // Rename is atomic: the crash lands before or after it.
+            if self.rand_below(2) == 1 {
+                let _ = self.inner.rename(from, to);
+            }
+            return Err(self.die());
+        }
+        if self.roll(self.profile.io_error_per_mille) {
+            self.counts.lock().expect("faultvfs poisoned").io_errors += 1;
+            return Err(VfsError::Io {
+                detail: "injected EIO on rename".to_owned(),
+            });
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<(), VfsError> {
+        if self.tick()? {
+            if self.rand_below(2) == 1 {
+                let _ = self.inner.remove_file(path);
+            }
+            return Err(self.die());
+        }
+        if self.roll(self.profile.io_error_per_mille) {
+            self.counts.lock().expect("faultvfs poisoned").io_errors += 1;
+            return Err(VfsError::Io {
+                detail: "injected EIO on remove".to_owned(),
+            });
+        }
+        self.inner.remove_file(path)
+    }
+
+    fn list_files(&self, dir: &Path) -> Result<Vec<PathBuf>, VfsError> {
+        if self.tick()? {
+            return Err(self.die());
+        }
+        self.inner.list_files(dir)
+    }
+
+    fn file_len(&self, path: &Path) -> Result<u64, VfsError> {
+        if self.tick()? {
+            return Err(self.die());
+        }
+        self.inner.file_len(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), VfsError> {
+        if self.tick()? {
+            return Err(self.die());
+        }
+        self.inner.create_dir_all(dir)
+    }
+}
+
+/// The temporary sibling `atomic_write` stages into:
+/// `foo.wart` → `foo.wart.tmp`.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` via the crash-safe protocol: stage into a
+/// `.tmp` sibling (durably), then atomically rename over the target.
+/// A crash leaves either the old content, the new content, or a
+/// `.tmp` leftover that recovery deletes — never a torn final file
+/// from this path alone (a torn-write *fault* can still corrupt the
+/// staged bytes, which is what the record checksum is for).
+///
+/// # Errors
+///
+/// Any [`VfsError`] from the underlying write or rename; the `.tmp`
+/// file is cleaned up on a failed rename where possible.
+pub fn atomic_write(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), VfsError> {
+    let tmp = tmp_path(path);
+    vfs.write(&tmp, bytes)?;
+    match vfs.rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            if e != VfsError::Crashed {
+                let _ = vfs.remove_file(&tmp);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Versioned, checksummed framing for on-disk artifacts.
+///
+/// Layout: `magic "WART" (4) · schema version (u16 LE) · payload
+/// length (u64 LE) · payload · ContentKey footer (16)`. The footer is
+/// a 128-bit double-FNV digest over everything before it, so any
+/// single-bit flip anywhere in the record is detected: each FNV-1a
+/// step `s ← (s ⊕ b)·p` is a bijection on `u64` (the prime is odd),
+/// so changing any byte always changes the digest, and a flip inside
+/// the footer itself mismatches the recomputed digest.
+pub mod record {
+    use super::ContentKey;
+
+    /// Record magic bytes.
+    pub const MAGIC: [u8; 4] = *b"WART";
+    /// Header bytes before the payload: magic + version + length.
+    pub const HEADER_LEN: usize = 4 + 2 + 8;
+    /// Footer bytes after the payload.
+    pub const FOOTER_LEN: usize = 16;
+    /// The smallest well-formed record (empty payload).
+    pub const MIN_LEN: usize = HEADER_LEN + FOOTER_LEN;
+
+    /// Why a record failed validation. The store quarantines on any
+    /// of these — the payload is never handed to the decoder.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecordError {
+        /// Shorter than its framing claims (torn write, short read).
+        Truncated,
+        /// The magic bytes are wrong — not a record at all.
+        BadMagic,
+        /// The integrity footer does not match the content.
+        BadChecksum,
+        /// A valid record from a different schema version.
+        StaleSchema {
+            /// Version found in the record.
+            found: u16,
+            /// Version this build expects.
+            expected: u16,
+        },
+    }
+
+    impl std::fmt::Display for RecordError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecordError::Truncated => write!(f, "truncated record"),
+                RecordError::BadMagic => write!(f, "bad record magic"),
+                RecordError::BadChecksum => write!(f, "record checksum mismatch"),
+                RecordError::StaleSchema { found, expected } => {
+                    write!(f, "stale schema version {found} (expected {expected})")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecordError {}
+
+    fn digest(content: &[u8]) -> ContentKey {
+        ContentKey::of_parts([content])
+    }
+
+    /// Frames `payload` as a version-`version` record.
+    pub fn encode(version: u16, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MIN_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&version.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+        let sum = digest(&out);
+        out.extend_from_slice(&sum.lo.to_le_bytes());
+        out.extend_from_slice(&sum.hi.to_le_bytes());
+        out
+    }
+
+    /// Validates framing and checksum, returning the payload.
+    ///
+    /// The checksum is verified before the magic and version fields
+    /// are interpreted, so a bit flip inside those fields reports
+    /// [`RecordError::BadChecksum`] (corruption), not a misleading
+    /// [`RecordError::BadMagic`] / stale-schema verdict.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RecordError`]; see the variants.
+    pub fn decode(bytes: &[u8], expected_version: u16) -> Result<Vec<u8>, RecordError> {
+        if bytes.len() < MIN_LEN {
+            return Err(RecordError::Truncated);
+        }
+        let payload_len =
+            u64::from_le_bytes(bytes[6..14].try_into().expect("sized slice")) as usize;
+        let expected_total = HEADER_LEN
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(FOOTER_LEN));
+        if expected_total != Some(bytes.len()) {
+            return Err(RecordError::Truncated);
+        }
+        let (content, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+        let sum = digest(content);
+        let lo = u64::from_le_bytes(footer[..8].try_into().expect("sized slice"));
+        let hi = u64::from_le_bytes(footer[8..].try_into().expect("sized slice"));
+        if (ContentKey { lo, hi }) != sum {
+            return Err(RecordError::BadChecksum);
+        }
+        if bytes[..4] != MAGIC {
+            return Err(RecordError::BadMagic);
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("sized slice"));
+        if version != expected_version {
+            return Err(RecordError::StaleSchema {
+                found: version,
+                expected: expected_version,
+            });
+        }
+        Ok(content[HEADER_LEN..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn memvfs_basic_ops() {
+        let vfs = MemVfs::new();
+        vfs.create_dir_all(&p("/store")).unwrap();
+        assert_eq!(vfs.list_files(&p("/store")).unwrap(), Vec::<PathBuf>::new());
+        vfs.write(&p("/store/b"), b"bb").unwrap();
+        vfs.write(&p("/store/a"), b"a").unwrap();
+        assert_eq!(vfs.read(&p("/store/a")).unwrap(), b"a");
+        assert_eq!(vfs.file_len(&p("/store/b")).unwrap(), 2);
+        assert_eq!(
+            vfs.list_files(&p("/store")).unwrap(),
+            vec![p("/store/a"), p("/store/b")]
+        );
+        vfs.rename(&p("/store/a"), &p("/store/c")).unwrap();
+        assert!(matches!(
+            vfs.read(&p("/store/a")),
+            Err(VfsError::NotFound { .. })
+        ));
+        vfs.remove_file(&p("/store/c")).unwrap();
+        assert_eq!(vfs.file_count(), 1);
+        // Clones share the tree — the "restart" idiom.
+        let again = vfs.clone();
+        assert_eq!(again.read(&p("/store/b")).unwrap(), b"bb");
+    }
+
+    #[test]
+    fn real_vfs_round_trip() {
+        let dir = std::env::temp_dir().join(format!("warp-vfs-test-{}", std::process::id()));
+        let vfs = RealVfs;
+        vfs.create_dir_all(&dir).unwrap();
+        let file = dir.join("x.bin");
+        atomic_write(&vfs, &file, b"payload").unwrap();
+        assert_eq!(vfs.read(&file).unwrap(), b"payload");
+        assert_eq!(vfs.file_len(&file).unwrap(), 7);
+        assert_eq!(vfs.list_files(&dir).unwrap(), vec![file.clone()]);
+        assert!(matches!(
+            vfs.read(&dir.join("missing")),
+            Err(VfsError::NotFound { .. })
+        ));
+        vfs.remove_file(&file).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_vfs_is_deterministic() {
+        let profile = FaultProfile {
+            seed: 42,
+            torn_write_per_mille: 300,
+            short_read_per_mille: 300,
+            bit_flip_per_mille: 300,
+            no_space_per_mille: 100,
+            io_error_per_mille: 100,
+            crash_at_op: None,
+        };
+        let run = || {
+            let vfs = FaultVfs::new(Arc::new(MemVfs::new()), profile);
+            let mut log = Vec::new();
+            for i in 0..200u32 {
+                let path = p(&format!("/s/f{}", i % 7));
+                let data = vec![i as u8; 64];
+                log.push(format!("{:?}", vfs.write(&path, &data)));
+                log.push(format!("{:?}", vfs.read(&path)));
+            }
+            (log, vfs.fault_counts())
+        };
+        let (log_a, counts_a) = run();
+        let (log_b, counts_b) = run();
+        assert_eq!(log_a, log_b);
+        assert_eq!(counts_a, counts_b);
+        assert!(counts_a.torn_writes > 0);
+        assert!(counts_a.short_reads > 0);
+        assert!(counts_a.bit_flips > 0);
+        assert!(counts_a.no_space > 0);
+        assert!(counts_a.io_errors > 0);
+    }
+
+    #[test]
+    fn crash_point_kills_backend() {
+        let mem = MemVfs::new();
+        let vfs = FaultVfs::new(
+            Arc::new(mem.clone()),
+            FaultProfile {
+                crash_at_op: Some(3),
+                ..FaultProfile::quiet(7)
+            },
+        );
+        vfs.write(&p("/a"), b"one").unwrap();
+        vfs.write(&p("/b"), b"two").unwrap();
+        // Op 3 is the crash-point: at most a torn prefix lands.
+        assert_eq!(vfs.write(&p("/c"), b"three"), Err(VfsError::Crashed));
+        assert!(vfs.has_crashed());
+        // Everything after the crash fails, disk untouched.
+        assert_eq!(vfs.write(&p("/d"), b"four"), Err(VfsError::Crashed));
+        assert_eq!(vfs.read(&p("/a")), Err(VfsError::Crashed));
+        assert_eq!(mem.read(&p("/a")).unwrap(), b"one");
+        if let Ok(torn) = mem.read(&p("/c")) {
+            assert!(torn.len() < 5, "crash-point write persisted fully");
+        }
+        assert!(matches!(mem.read(&p("/d")), Err(VfsError::NotFound { .. })));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_on_success() {
+        let mem = MemVfs::new();
+        atomic_write(&mem, &p("/s/k.wart"), b"bytes").unwrap();
+        assert_eq!(mem.list_files(&p("/s")).unwrap(), vec![p("/s/k.wart")]);
+        assert_eq!(tmp_path(&p("/s/k.wart")), p("/s/k.wart.tmp"));
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let payload = b"compiled module bytes".to_vec();
+        let bytes = record::encode(3, &payload);
+        assert_eq!(record::decode(&bytes, 3).unwrap(), payload);
+        assert_eq!(
+            record::decode(&bytes, 4),
+            Err(record::RecordError::StaleSchema {
+                found: 3,
+                expected: 4
+            })
+        );
+        let empty = record::encode(3, b"");
+        assert_eq!(record::decode(&empty, 3).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn record_rejects_every_truncation() {
+        let bytes = record::encode(1, b"abcdef");
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                record::decode(&bytes[..cut], 1),
+                Err(record::RecordError::Truncated),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn record_rejects_every_single_bit_flip() {
+        let bytes = record::encode(1, b"artifact");
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            let got = record::decode(&flipped, 1);
+            assert!(got.is_err(), "bit flip {bit} decoded successfully");
+            // A flip never reports a *schema* mismatch: the checksum
+            // runs first, so corruption is not mistaken for staleness.
+            assert!(
+                !matches!(got, Err(record::RecordError::StaleSchema { .. })),
+                "bit flip {bit} misdiagnosed as stale schema"
+            );
+        }
+    }
+
+    #[test]
+    fn record_rejects_garbage() {
+        assert_eq!(record::decode(b"", 1), Err(record::RecordError::Truncated));
+        let mut bytes = record::encode(1, b"x");
+        // Rewrite the magic and fix up the checksum: BadMagic fires.
+        bytes[0] = b'J';
+        let content_len = bytes.len() - record::FOOTER_LEN;
+        let sum = ContentKey::of_parts([&bytes[..content_len]]);
+        let footer_at = content_len;
+        bytes[footer_at..footer_at + 8].copy_from_slice(&sum.lo.to_le_bytes());
+        bytes[footer_at + 8..].copy_from_slice(&sum.hi.to_le_bytes());
+        assert_eq!(
+            record::decode(&bytes, 1),
+            Err(record::RecordError::BadMagic)
+        );
+    }
+}

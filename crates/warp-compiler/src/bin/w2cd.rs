@@ -5,8 +5,16 @@
 //!      [--breaker-threshold N] [--skew-max-events N]
 //!      [--max-cell-cycles N] [--max-source-bytes N] [--workers N]
 //!      [--cache-bytes N] [--negative-ttl-ms N] [--listen PATH]
+//!      [--store-dir PATH] [--store-bytes N]
 //! w2cd --corpus [same flags]       (one-shot: queue Table 7-1, wait, exit)
 //! ```
+//!
+//! With `--store-dir` the cache gains a crash-safe persistent disk
+//! tier: artifacts survive restarts (warm hits without recompiling),
+//! and the startup banner reports what the recovery scan found —
+//! entries recovered intact, corrupt/stale entries quarantined, and
+//! `.tmp` crash leftovers cleaned. `--store-bytes` caps the disk
+//! tier (LRU eviction; 0 = unbounded).
 //!
 //! The daemon is built on the always-on concurrent executor of
 //! `warp-service` fronted by the content-addressed compile cache:
@@ -33,7 +41,8 @@
 //! run                     wait for this client's jobs, print the batch summary
 //! status                  per-job state (queued/running/done) and breaker state
 //! health                  guard limits, workers, queue depth, one line
-//! cache [clear]           cache counters (or drop every entry)
+//! cache [clear]           cache counters (or drop both tiers, reporting bytes)
+//! store                   disk-tier counters (recovered, quarantined, hits)
 //! stats                   pool counters
 //! reset NAME              reopen the circuit breaker for NAME
 //! quit                    end this client session (EOF works too)
@@ -60,6 +69,7 @@ use warp_compiler::{
     corpus,
     daemon::{batch_report, CompileDaemon, DaemonConfig},
     service::ServiceConfig,
+    store::StoreConfig,
     CompileOptions,
 };
 use warp_service::{effective_workers, Admission, ExecutorConfig, ShutdownMode};
@@ -77,9 +87,10 @@ fn usage() -> ! {
          \x20           [--breaker-threshold N] [--skew-max-events N]\n\
          \x20           [--max-cell-cycles N] [--max-source-bytes N] [--workers N]\n\
          \x20           [--cache-bytes N] [--negative-ttl-ms N] [--listen PATH]\n\
+         \x20           [--store-dir PATH] [--store-bytes N]\n\
          \x20      w2cd --corpus [same flags]\n\
          \x20  protocol: corpus NAME|all, submit NAME FILE.w2, run, status,\n\
-         \x20            health, cache [clear], stats, reset NAME, quit, shutdown"
+         \x20            health, cache [clear], store, stats, reset NAME, quit, shutdown"
     );
     std::process::exit(2)
 }
@@ -126,11 +137,14 @@ fn parse_args() -> DaemonArgs {
                 workers: 0,
             },
             cache: CacheConfig::default(),
+            store: None,
         },
         opts: CompileOptions::default(),
         one_shot_corpus: false,
         listen: None,
     };
+    let mut store_dir: Option<String> = None;
+    let mut store_bytes = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let flag = arg.as_str();
@@ -176,9 +190,31 @@ fn parse_args() -> DaemonArgs {
                     std::process::exit(2)
                 }));
             }
+            "--store-dir" => {
+                store_dir = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --store-dir expects a directory path");
+                    std::process::exit(2)
+                }));
+            }
+            "--store-bytes" => {
+                store_bytes = parse_u64(flag, &mut args);
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    match store_dir {
+        Some(dir) => {
+            parsed.config.store = Some(StoreConfig {
+                dir: dir.into(),
+                byte_budget: store_bytes,
+            });
+        }
+        None if store_bytes != 0 => {
+            eprintln!("error: --store-bytes requires --store-dir");
+            std::process::exit(2)
+        }
+        None => {}
     }
     parsed
 }
@@ -319,8 +355,12 @@ impl<'d> ClientSession<'d> {
 
     fn cache(&self, out: &mut impl Write, clear: bool) -> std::io::Result<()> {
         if clear {
-            self.daemon.clear_cache();
-            return writeln!(out, "cache cleared");
+            let r = self.daemon.clear_cache();
+            return writeln!(
+                out,
+                "cache cleared: memory {} entries / {} bytes, disk {} artifacts / {} bytes",
+                r.memory_entries, r.memory_bytes, r.disk_entries, r.disk_bytes,
+            );
         }
         let s = self.daemon.cache_stats();
         writeln!(
@@ -338,6 +378,54 @@ impl<'d> ClientSession<'d> {
             s.evictions,
             s.expired,
             s.hit_rate(),
+        )?;
+        if let Some(d) = self.daemon.store_stats() {
+            writeln!(
+                out,
+                "  disk: artifacts={} bytes={} hits={} misses={} puts={} put-failures={} \
+                 evictions={} recovered={} quarantined={}",
+                d.entries,
+                d.resident_bytes,
+                d.hits,
+                d.misses,
+                d.puts,
+                d.put_failures,
+                d.evictions,
+                d.recovered,
+                d.quarantined,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn store(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let Some(d) = self.daemon.store_stats() else {
+            return match self.daemon.store_error() {
+                Some(e) => writeln!(out, "store: unavailable ({e}); running memory-only"),
+                None => writeln!(out, "store: not configured (start with --store-dir)"),
+            };
+        };
+        let dir = self
+            .daemon
+            .config()
+            .store
+            .as_ref()
+            .map(|s| s.dir.display().to_string())
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "store: dir={dir} artifacts={} bytes={} recovered={} quarantined={} \
+             tmp-cleaned={} hits={} misses={} puts={} put-failures={} evictions={}",
+            d.entries,
+            d.resident_bytes,
+            d.recovered,
+            d.quarantined,
+            d.tmp_cleaned,
+            d.hits,
+            d.misses,
+            d.puts,
+            d.put_failures,
+            d.evictions,
         )
     }
 
@@ -398,6 +486,7 @@ impl<'d> ClientSession<'d> {
                 Some("clear") if words.next().is_none() => self.cache(out, true)?,
                 _ => writeln!(out, "error: usage: cache [clear]")?,
             },
+            Some("store") if words.next().is_none() => self.store(out)?,
             Some("reset") => match (words.next(), words.next()) {
                 (Some(name), None) => {
                     if self.daemon.reset_breaker(name) {
@@ -408,7 +497,7 @@ impl<'d> ClientSession<'d> {
                 }
                 _ => writeln!(out, "error: usage: reset NAME")?,
             },
-            Some(cmd @ ("run" | "status" | "health" | "stats" | "shutdown")) => {
+            Some(cmd @ ("run" | "status" | "health" | "stats" | "store" | "shutdown")) => {
                 writeln!(out, "error: `{cmd}` takes no operands")?;
             }
             Some(other) => writeln!(out, "error: unknown command `{other}`")?,
@@ -453,13 +542,23 @@ impl<'d> ClientSession<'d> {
 
 fn banner(daemon: &CompileDaemon) -> String {
     let c = &daemon.config().service.exec;
-    format!(
+    let mut line = format!(
         "w2cd ready (queue {}, deadline {} ms, breaker threshold {}, workers {})",
         c.queue_capacity,
         c.deadline_ticks / 1_000,
         c.breaker_threshold,
         daemon.workers(),
-    )
+    );
+    if let Some(w) = daemon.warm_start() {
+        line.push_str(&format!(
+            "\nstore: {} artifact(s) recovered, {} corrupt quarantined, \
+             {} tmp cleaned, {} bytes resident",
+            w.recovered, w.quarantined, w.tmp_cleaned, w.resident_bytes,
+        ));
+    } else if let Some(e) = daemon.store_error() {
+        line.push_str(&format!("\nstore: unavailable ({e}); running memory-only"));
+    }
+    line
 }
 
 fn serve_listener(daemon: Arc<CompileDaemon>, path: &str) -> ExitCode {

@@ -4,6 +4,8 @@
 //! wserve [--seed N] [--jobs N] [--workers N] [--poison-per-mille N]
 //!        [--queue-capacity N] [--breaker-threshold N]
 //!        [--clock manual|system] [--out FILE] [--check-determinism]
+//! wserve --crash-soak [--seed N] [--lives N] [--requests-per-life N]
+//!        [--store-bytes N] [--out FILE] [--check-determinism]
 //! ```
 //!
 //! Drives a live `CompileDaemon` with a deterministic Zipfian load mix
@@ -22,23 +24,105 @@
 //! loom-free concurrency-determinism guard the CI `serve-soak` job
 //! enforces.
 //!
+//! `--crash-soak` runs the durability soak instead: a persistent
+//! artifact store is killed at a seeded crash-point each simulated
+//! process lifetime (plus seeded torn writes, bit flips, and
+//! `ENOSPC`), restarted, and checked — no corrupt artifact is ever
+//! served (bitwise against fresh compiles), recovery is total, and
+//! the warm hit rate plus cold-vs-warm restart latency land in the
+//! report JSON.
+//!
 //! Exit code is non-zero on any invariant violation (lost or
 //! duplicated response, rejection without a retry hint, queue
-//! overflow, collateral quarantine) or determinism mismatch.
+//! overflow, collateral quarantine, corrupt artifact served, lost
+//! store entry) or determinism mismatch.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use warp_common::{Clock, ManualClock, SystemClock};
+use warp_compiler::crash::{run_crash_soak, CrashSoakConfig};
 use warp_compiler::soak::{run_soak, SoakConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: wserve [--seed N] [--jobs N] [--workers N] [--poison-per-mille N]\n\
          \x20             [--queue-capacity N] [--breaker-threshold N]\n\
-         \x20             [--clock manual|system] [--out FILE] [--check-determinism]"
+         \x20             [--clock manual|system] [--out FILE] [--check-determinism]\n\
+         \x20      wserve --crash-soak [--seed N] [--lives N] [--requests-per-life N]\n\
+         \x20             [--store-bytes N] [--out FILE] [--check-determinism]"
     );
     std::process::exit(2)
+}
+
+fn run_crash_mode(
+    config: &CrashSoakConfig,
+    out_path: &std::path::Path,
+    check_determinism: bool,
+) -> ExitCode {
+    let report = run_crash_soak(config);
+    let determinism_ok = !check_determinism || {
+        let second = run_crash_soak(config);
+        second.identity() == report.identity() && second.violations == report.violations
+    };
+
+    println!(
+        "crash soak: seed={} lives={} crash-points-fired={} served={} corrupt-served={}",
+        config.seed, config.lives, report.crash_points_fired, report.served, report.corrupt_served,
+    );
+    println!(
+        "      recovered={} quarantined={} tmp-cleaned={} disk-hits={} compiles={} \
+         put-failures={}",
+        report.recovered_total,
+        report.quarantined_total,
+        report.tmp_cleaned_total,
+        report.disk_hits,
+        report.compiles,
+        report.put_failures,
+    );
+    println!(
+        "      faults: torn={} flips={} enospc={}; warm-hit-rate={:.2} \
+         cold={}us warm={}us ttl-expired={}",
+        report.faults.torn_writes,
+        report.faults.bit_flips,
+        report.faults.no_space,
+        report.warm_hit_rate,
+        report.cold_mean_us,
+        report.warm_mean_us,
+        report.ttl_expired,
+    );
+
+    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("cannot write `{}`: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+
+    let mut failed = false;
+    for v in &report.violations {
+        eprintln!("FAIL: {v}");
+        failed = true;
+    }
+    if report.crash_points_fired == 0 && config.lives > 0 {
+        eprintln!("FAIL: no crash-point ever fired — the soak proved nothing");
+        failed = true;
+    }
+    if check_determinism {
+        if determinism_ok {
+            println!("determinism: two runs with seed {} agree", config.seed);
+        } else {
+            eprintln!(
+                "FAIL: two runs with seed {} produced different crash-soak identities",
+                config.seed
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, args: &mut impl Iterator<Item = String>) -> T {
@@ -54,13 +138,24 @@ fn parse_num<T: std::str::FromStr>(flag: &str, args: &mut impl Iterator<Item = S
 
 fn main() -> ExitCode {
     let mut config = SoakConfig::default();
+    let mut crash_config = CrashSoakConfig::default();
+    let mut crash_mode = false;
     let mut out_path = std::path::PathBuf::from("BENCH_serve.json");
     let mut clock_kind = "manual".to_owned();
     let mut check_determinism = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--seed" => config.seed = parse_num("--seed", &mut args),
+            "--crash-soak" => crash_mode = true,
+            "--lives" => crash_config.lives = parse_num("--lives", &mut args),
+            "--requests-per-life" => {
+                crash_config.requests_per_life = parse_num("--requests-per-life", &mut args)
+            }
+            "--store-bytes" => crash_config.store_bytes = parse_num("--store-bytes", &mut args),
+            "--seed" => {
+                config.seed = parse_num("--seed", &mut args);
+                crash_config.seed = config.seed;
+            }
             "--jobs" => config.jobs = parse_num("--jobs", &mut args),
             "--workers" => config.workers = parse_num("--workers", &mut args),
             "--poison-per-mille" => {
@@ -96,6 +191,9 @@ fn main() -> ExitCode {
             "--check-determinism" => check_determinism = true,
             _ => usage(),
         }
+    }
+    if crash_mode {
+        return run_crash_mode(&crash_config, &out_path, check_determinism);
     }
     config.workers = warp_service::effective_workers(config.workers);
 

@@ -26,7 +26,7 @@
 
 use std::sync::Arc;
 
-use warp_common::{Clock, SystemClock};
+use warp_common::{Clock, RealVfs, SystemClock, Vfs, VfsError};
 use warp_service::{
     Admission, JobFailure, JobReport, JobState, JobSuccess, PoolConfig, PoolStats, ShutdownMode,
     WorkerPool,
@@ -34,6 +34,7 @@ use warp_service::{
 
 use crate::cache::{cache_key, CacheConfig, CacheStats, CompileCache};
 use crate::service::{classify_failure, BatchReport, ServiceConfig};
+use crate::store::{ClearReport, DiskStore, StoreConfig, StoreStats, TieredCache};
 use crate::{CompileFailure, CompileOptions, CompiledModule, Session, SessionCtrl};
 
 /// Configuration of a [`CompileDaemon`]: the batch service's knobs
@@ -42,8 +43,10 @@ use crate::{CompileFailure, CompileOptions, CompiledModule, Session, SessionCtrl
 pub struct DaemonConfig {
     /// Executor, pipeline-budget, and worker-count knobs.
     pub service: ServiceConfig,
-    /// Compile-cache knobs.
+    /// Compile-cache knobs (memory tier).
     pub cache: CacheConfig,
+    /// Persistent artifact store (disk tier); `None` = memory-only.
+    pub store: Option<StoreConfig>,
 }
 
 /// One daemon job's report. The module is shared with the cache, so a
@@ -75,13 +78,34 @@ pub struct CompileDaemon {
     opts: CompileOptions,
     config: DaemonConfig,
     pool: WorkerPool<Arc<CompiledModule>, CompileFailure>,
-    cache: Arc<CompileCache>,
+    cache: Arc<TieredCache>,
+    /// Disk-tier counters snapshotted right after the recovery scan
+    /// (recovered/quarantined/tmp-cleaned), for the warm-start banner.
+    warm_start: Option<StoreStats>,
+    /// Why the disk tier is absent despite being configured; the
+    /// daemon degrades to memory-only rather than refusing to start.
+    store_error: Option<VfsError>,
     chaos_panic_marker: Option<String>,
 }
 
 impl CompileDaemon {
-    /// A daemon over an injectable clock. Workers spawn immediately.
+    /// A daemon over an injectable clock, with the disk tier (if
+    /// configured) on the real filesystem. Workers spawn immediately.
     pub fn new(opts: CompileOptions, config: DaemonConfig, clock: Arc<dyn Clock>) -> CompileDaemon {
+        CompileDaemon::with_vfs(opts, config, clock, Arc::new(RealVfs))
+    }
+
+    /// A daemon whose disk tier lives on an injectable [`Vfs`] — the
+    /// crash soak runs this over a fault-injecting in-memory tree. If
+    /// the store fails to open (directory uncreatable/unlistable) the
+    /// daemon starts memory-only and reports the error via
+    /// [`CompileDaemon::store_error`].
+    pub fn with_vfs(
+        opts: CompileOptions,
+        config: DaemonConfig,
+        clock: Arc<dyn Clock>,
+        vfs: Arc<dyn Vfs>,
+    ) -> CompileDaemon {
         let pool = WorkerPool::new(
             PoolConfig {
                 exec: config.service.exec.clone(),
@@ -89,12 +113,25 @@ impl CompileDaemon {
             },
             clock.clone(),
         );
-        let cache = Arc::new(CompileCache::new(config.cache, clock));
+        let mem = CompileCache::new(config.cache, clock);
+        let (disk, warm_start, store_error) = match &config.store {
+            None => (None, None, None),
+            Some(sc) => match DiskStore::open(vfs, sc.clone()) {
+                Ok(store) => {
+                    let warm = store.stats();
+                    (Some(store), Some(warm), None)
+                }
+                Err(e) => (None, None, Some(e)),
+            },
+        };
+        let cache = Arc::new(TieredCache::new(mem, disk));
         CompileDaemon {
             opts,
             config,
             pool,
             cache,
+            warm_start,
+            store_error,
             chaos_panic_marker: None,
         }
     }
@@ -199,14 +236,38 @@ impl CompileDaemon {
         self.pool.stats()
     }
 
-    /// Cache counters (hits, misses, evictions, …).
+    /// Memory-tier cache counters (hits, misses, evictions, …).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.cache.memory().stats()
     }
 
-    /// Drops every cache entry (operator `cache clear`).
-    pub fn clear_cache(&self) {
-        self.cache.clear();
+    /// Disk-tier counters, when the store is open.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.cache.disk().map(DiskStore::stats)
+    }
+
+    /// The disk tier's counters as they stood right after the opening
+    /// recovery scan (entries recovered, corrupt quarantined, `.tmp`
+    /// leftovers cleaned) — the warm-start banner's numbers.
+    pub fn warm_start(&self) -> Option<StoreStats> {
+        self.warm_start
+    }
+
+    /// Why the configured disk tier failed to open, if it did; the
+    /// daemon is running memory-only in that case.
+    pub fn store_error(&self) -> Option<&VfsError> {
+        self.store_error.as_ref()
+    }
+
+    /// The tiered cache itself (soak harnesses drive it directly).
+    pub fn cache(&self) -> &TieredCache {
+        &self.cache
+    }
+
+    /// Drops every entry in both tiers (operator `cache clear`),
+    /// reporting what each reclaimed.
+    pub fn clear_cache(&self) -> ClearReport {
+        self.cache.clear_tiers()
     }
 
     /// Names quarantined by the circuit breaker.
@@ -307,6 +368,7 @@ mod tests {
                     byte_budget: 0,
                     negative_ttl_ticks: 1_000_000,
                 },
+                store: None,
             },
             Arc::new(ManualClock::new(0)),
         )

@@ -47,6 +47,7 @@ pub mod audit;
 pub mod bench;
 pub mod cache;
 pub mod corpus;
+pub mod crash;
 pub mod daemon;
 pub mod differential;
 pub mod fuzz;
@@ -56,6 +57,7 @@ pub mod reference;
 pub mod service;
 mod session;
 pub mod soak;
+pub mod store;
 
 pub use service::{BatchReport, CompileService, ServiceConfig};
 pub use session::{compile_many, Session};

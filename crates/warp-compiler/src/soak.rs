@@ -94,6 +94,12 @@ pub struct SoakConfig {
     /// ticks (`0` = none). On a `ManualClock` this is what makes
     /// elapsed time advance.
     pub arrival_jitter_max_ticks: u64,
+    /// Negative-cache TTL in clock ticks, forwarded to the daemon's
+    /// [`CacheConfig`]. The default is effectively "never expires" so
+    /// poison jobs stay negative hits for the whole soak; a soak on a
+    /// `ManualClock` can set a small value and jitter past it to
+    /// exercise deterministic expiry.
+    pub negative_ttl_ticks: u64,
 }
 
 impl Default for SoakConfig {
@@ -108,6 +114,7 @@ impl Default for SoakConfig {
             deadline_ticks: 0,
             overload_factors: vec![1, 4, 16],
             arrival_jitter_max_ticks: 50,
+            negative_ttl_ticks: u64::MAX / 2,
         }
     }
 }
@@ -268,7 +275,7 @@ fn json_str(s: &str) -> String {
 /// The Zipfian program universe: corpus staples plus generator
 /// variants, weighted `1/rank`. Small programs keep a 200-job soak
 /// fast; the cache makes most submissions hits anyway.
-fn program_universe() -> Vec<(&'static str, String)> {
+pub(crate) fn program_universe() -> Vec<(&'static str, String)> {
     vec![
         ("poly10", corpus::POLYNOMIAL.to_owned()),
         ("conv1d", corpus::ONED_CONV.to_owned()),
@@ -282,7 +289,7 @@ fn program_universe() -> Vec<(&'static str, String)> {
 }
 
 /// Draws a Zipf(1) rank in `0..n`: weight of rank `k` is `1/(k+1)`.
-fn zipf(rng: &mut SplitMix64, n: usize) -> usize {
+pub(crate) fn zipf(rng: &mut SplitMix64, n: usize) -> usize {
     let weights: Vec<u64> = (0..n)
         .map(|k| (1_000_000 / (k as u64 + 1)).max(1))
         .collect();
@@ -425,8 +432,9 @@ pub fn run_soak(config: &SoakConfig, clock: Arc<dyn Clock>) -> SoakReport {
             },
             cache: CacheConfig {
                 byte_budget: 64 << 20,
-                negative_ttl_ticks: u64::MAX / 2,
+                negative_ttl_ticks: config.negative_ttl_ticks,
             },
+            store: None,
         },
         clock.clone(),
     )

@@ -314,6 +314,15 @@ impl HostMemory {
     }
 }
 
+// Wire codec impls so host programs persist inside `CompiledModule`
+// artifacts. Enum tags and field orders are on-disk format; changing
+// them requires a store schema-version bump.
+warp_common::wire_enum!(HostWordSource {
+    0 => Lit(value),
+    1 => Elem { var, index },
+});
+warp_common::wire_struct!(HostProgram { inputs, outputs });
+
 #[cfg(test)]
 mod tests {
     use super::*;

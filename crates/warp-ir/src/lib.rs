@@ -62,6 +62,7 @@ pub mod decompose;
 pub mod dump;
 pub mod region;
 pub mod rewrite;
+pub mod wire;
 
 pub use affine::{Affine, LoopId};
 pub use build::{lower, LowerOptions};

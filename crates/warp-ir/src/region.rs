@@ -137,6 +137,28 @@ impl Layout {
     }
 }
 
+// The wire impls live here (not `crate::wire`) because the fields are
+// module-private by design.
+impl warp_common::wire::Encode for Layout {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.base.encode(out);
+        self.used.encode(out);
+        self.capacity.encode(out);
+    }
+}
+
+impl warp_common::wire::Decode for Layout {
+    fn decode(
+        r: &mut warp_common::wire::WireReader<'_>,
+    ) -> Result<Layout, warp_common::wire::WireError> {
+        Ok(Layout {
+            base: HashMap::decode(r)?,
+            used: u32::decode(r)?,
+            capacity: u32::decode(r)?,
+        })
+    }
+}
+
 /// The complete cell-side IR for one module: the input to code generation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CellIr {

@@ -53,6 +53,7 @@
 pub mod alloc;
 pub mod codegen;
 pub mod program;
+pub mod wire;
 
 pub use alloc::{evaluate, table_6_5, AllocCost, RegisterSet};
 pub use codegen::{iu_codegen, IuOptions, LOOP_TEST_CYCLES};

@@ -358,6 +358,18 @@ impl ModelComparison {
     }
 }
 
+// Wire codec impls so skew reports persist inside `CompiledModule`
+// artifacts. Field order is on-disk format; changing it requires a
+// store schema-version bump.
+warp_common::wire_struct!(SkewReport {
+    flow,
+    min_skew,
+    queue_occupancy,
+    words_per_channel,
+    span,
+    degraded,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,56 @@
+//! Acceptance test for the kill/restart recovery soak: across ≥ 50
+//! fired crash-points under seeded disk-fault injection, the store
+//! must never serve a corrupt artifact (bitwise against fresh
+//! compiles), account for every entry at each recovery scan, and
+//! produce an identical report for an identical seed.
+
+use warp_compiler::crash::{run_crash_soak, CrashSoakConfig};
+
+#[test]
+fn crash_soak_meets_the_acceptance_bar() {
+    let config = CrashSoakConfig::default();
+    let report = run_crash_soak(&config);
+    assert!(
+        report.is_clean(),
+        "durability invariants violated: {:#?}",
+        report.violations
+    );
+    assert_eq!(report.corrupt_served, 0, "corrupt artifact served");
+    assert!(
+        report.crash_points_fired >= 50,
+        "only {} of {} lives actually crashed — below the ≥ 50 bar",
+        report.crash_points_fired,
+        config.lives
+    );
+    // The ordeal must still leave a useful store: the final fault-free
+    // restart serves the whole universe warm.
+    assert!(report.warm_hit_rate > 0.0, "nothing survived to serve warm");
+    assert!(report.recovered_total > 0);
+    // Faults actually fired — the run was not accidentally quiet.
+    assert!(report.faults.total() > 0, "no background faults fired");
+    assert!(report.ttl_expired > 0, "negative-TTL phase never expired");
+}
+
+#[test]
+fn crash_soak_identity_is_a_function_of_the_seed() {
+    let config = CrashSoakConfig {
+        seed: 0xD15C_FA17,
+        lives: 24,
+        ..CrashSoakConfig::default()
+    };
+    let a = run_crash_soak(&config);
+    let b = run_crash_soak(&config);
+    assert_eq!(a.identity(), b.identity());
+    assert_eq!(a.violations, b.violations);
+    // A different seed must explore a different schedule (the armed
+    // crash-points differ), or the "seeded" knob is dead.
+    let c = run_crash_soak(&CrashSoakConfig {
+        seed: 0xD15C_FA18,
+        lives: 24,
+        ..CrashSoakConfig::default()
+    });
+    assert_ne!(
+        a.lives.iter().map(|l| l.crash_armed_at).collect::<Vec<_>>(),
+        c.lives.iter().map(|l| l.crash_armed_at).collect::<Vec<_>>(),
+    );
+}

@@ -217,3 +217,78 @@ fn socket_mode_serves_a_client_and_shuts_down() {
     assert!(status.success(), "socket session must exit clean");
     assert!(!sock.exists(), "socket file must be removed on shutdown");
 }
+
+#[test]
+fn kill_dash_nine_then_restart_recovers_the_persistent_store() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("w2cd-test-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First life: compile the corpus into the persistent tier, then
+    // die without any shutdown handshake (SIGKILL — no drop glue, no
+    // flush, exactly the crash the store must survive).
+    let mut child = w2cd()
+        .args(["--store-dir", dir.to_str().expect("utf-8 path")])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("w2cd spawns");
+    let mut stdin = child.stdin.take().expect("stdin");
+    stdin
+        .write_all(b"corpus all\nrun\nstore\n")
+        .expect("send work");
+    stdin.flush().expect("flush");
+    // Keep stdin open: EOF would trigger the orderly drain-and-exit
+    // path, and this test is about the disorderly one.
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut line = String::new();
+    let store_line = loop {
+        line.clear();
+        assert_ne!(reader.read_line(&mut line).expect("read"), 0, "early EOF");
+        if line.starts_with("store: dir=") {
+            break line.clone();
+        }
+    };
+    assert!(store_line.contains("puts=5"), "{store_line}");
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+    drop(stdin);
+
+    // Second life: every artifact recovers, nothing is quarantined,
+    // and the same corpus is served from disk without recompiling.
+    let out = w2cd()
+        .args(["--store-dir", dir.to_str().expect("utf-8 path")])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("stdin")
+                .write_all(b"corpus all\nrun\ncache\nquit\n")?;
+            child.wait_with_output()
+        })
+        .expect("w2cd restarts");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("store: 5 artifact(s) recovered, 0 corrupt quarantined"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("batch: 5 ok (0 degraded), 0 failed, 0 timed out, 0 quarantined"),
+        "{stdout}"
+    );
+    let disk = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("disk: "))
+        .expect("disk stats line");
+    assert!(disk.contains("artifacts=5"), "{disk}");
+    assert!(disk.contains("hits=5"), "{disk}");
+    assert!(disk.contains("quarantined=0"), "{disk}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
