@@ -4,10 +4,12 @@
 //! w2c FILE.w2 [--no-opt] [--unroll K] [--no-pipeline] [--rewrite-fuel N]
 //!             [--emit KIND] [--dump-after PASS] [--time-passes]
 //!             [--run NAME=v1,v2,... ...] [--cells N] [--check]
-//!             [--audit-guarantees] [--inject SPEC]
+//!             [--audit-guarantees] [--inject SPEC] [--backend sim|native]
 //! w2c FILE.w2 --differential-check [--seed S] [--inject SPEC]
+//!             [--backend sim|native|all]
 //! w2c --differential N [--seed S] [--repro-dir DIR] [--inject SPEC]
-//! w2c --fuzz N [--seed S] [--repro-dir DIR]
+//!             [--backend sim|native|all]
+//! w2c --fuzz N [--seed S] [--repro-dir DIR] [--backend sim|native]
 //! w2c --corpus NAME [same flags]        (polynomial, conv1d, binop,
 //!                                        colorseg, mandelbrot)
 //! w2c --corpus all [--time-passes] [--audit-guarantees]
@@ -39,12 +41,19 @@
 //! compiled, rejected, budget-stopped, or overflow-stopped. Any panic
 //! is caught, line-shrunk, and (with `--repro-dir`) written as a
 //! replayable `fuzz-<seed>.w2` file; the exit code is non-zero.
+//!
+//! `--backend` selects the executor(s): `sim` (default) keeps the
+//! cycle-level simulator, `native` uses the `warp-native` fast path
+//! (for `--run`, `--differential*`, and `--fuzz`, which then also
+//! executes every compiling input natively), and `all` makes the
+//! differential modes three-way — oracle, simulator, and native
+//! compared pairwise, so a mismatch localizes to one executor.
 
 use std::process::ExitCode;
 use warp_common::{observe, CollectDumps};
 use warp_compiler::{
     audit, corpus, differential, fuzz, passes, service, CompileOptions, CompiledModule,
-    ServiceConfig, Session, SessionCtrl,
+    ExecBackend, ServiceConfig, Session, SessionCtrl,
 };
 use warp_ir::LowerOptions;
 use warp_service::{ExecutorConfig, JobOutcome};
@@ -84,6 +93,7 @@ struct Args {
     fuzz: Option<usize>,
     seed: Option<u64>,
     repro_dir: Option<std::path::PathBuf>,
+    backend: differential::BackendSel,
 }
 
 fn usage() -> ! {
@@ -96,8 +106,10 @@ fn usage() -> ! {
          \x20           [--run NAME=v1,v2,...] [--cells N] [--check]\n\
          \x20           [--audit-guarantees] [--inject SPEC]\n\
          \x20      w2c FILE.w2 --differential-check [--seed S] [--inject SPEC]\n\
+         \x20                  [--backend sim|native|all]\n\
          \x20      w2c --differential N [--seed S] [--repro-dir DIR] [--inject SPEC]\n\
-         \x20      w2c --fuzz N [--seed S] [--repro-dir DIR]\n\
+         \x20                  [--backend sim|native|all]\n\
+         \x20      w2c --fuzz N [--seed S] [--repro-dir DIR] [--backend sim|native]\n\
          \x20      w2c --corpus NAME [same flags]\n\
          \x20      w2c --corpus all [--time-passes] [--audit-guarantees]\n\
          \x20  --emit KIND: one of {}\n\
@@ -115,6 +127,12 @@ fn usage() -> ! {
          \x20      oracle once (the repro-replay mode)\n\
          \x20  --fuzz N: run N mutated inputs through the guarded pipeline;\n\
          \x20      any panic is caught, shrunk, and reported\n\
+         \x20  --backend B: which executor(s) run compiled modules —\n\
+         \x20      sim (cycle-level simulator, default), native (fast\n\
+         \x20      whole-array execution), or all (three-way differential:\n\
+         \x20      oracle vs simulator vs native, pairwise). With --run,\n\
+         \x20      native executes on the native backend; with --fuzz,\n\
+         \x20      native also executes every compiling input natively\n\
          \x20  --seed S: root seed for --differential / --fuzz, input seed\n\
          \x20      for --differential-check (default 1)\n\
          \x20  --repro-dir DIR: where --differential / --fuzz write shrunk\n\
@@ -149,6 +167,7 @@ fn parse_args() -> Args {
         fuzz: None,
         seed: None,
         repro_dir: None,
+        backend: differential::BackendSel::default(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -180,6 +199,24 @@ fn parse_args() -> Args {
             "--repro-dir" => {
                 let dir = args.next().unwrap_or_else(|| usage());
                 parsed.repro_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--backend" => {
+                let b = args.next().unwrap_or_else(|| usage());
+                match b.parse::<differential::BackendSel>() {
+                    Ok(sel) => {
+                        parsed.backend = sel;
+                        // The request-level backend recorded with the
+                        // compile (and in the cache key).
+                        parsed.ctrl.backend = match sel {
+                            differential::BackendSel::Sim => ExecBackend::Sim,
+                            _ => ExecBackend::Native,
+                        };
+                    }
+                    Err(e) => {
+                        eprintln!("bad --backend: {e}\n");
+                        usage();
+                    }
+                }
             }
             "--no-pipeline" => parsed.ctrl.pipeline = false,
             "--rewrite-fuel" => {
@@ -435,6 +472,7 @@ fn run_differential(args: &Args, cases: usize) -> ExitCode {
         pipeline: args.ctrl.pipeline,
         inject: args.inject.clone(),
         repro_dir: args.repro_dir.clone(),
+        backend: args.backend,
         ..differential::DiffOptions::default()
     };
     let report = differential::run_differential(&opts);
@@ -457,6 +495,13 @@ fn run_fuzz(args: &Args, cases: usize) -> ExitCode {
         compile: args.opts.clone(),
         pipeline: args.ctrl.pipeline,
         repro_dir: args.repro_dir.clone(),
+        // `all` has no extra meaning for fuzzing: anything beyond sim
+        // exercises the native executor on every compiling input.
+        backend: if args.backend == differential::BackendSel::Sim {
+            ExecBackend::Sim
+        } else {
+            ExecBackend::Native
+        },
         ..fuzz::FuzzOptions::default()
     };
     let report = fuzz::run_fuzz(&opts);
@@ -476,12 +521,20 @@ fn differential_check(args: &Args, source: &str, source_name: &str) -> ExitCode 
         compile: args.opts.clone(),
         pipeline: args.ctrl.pipeline,
         inject: args.inject.clone(),
+        backend: args.backend,
         ..differential::DiffOptions::default()
     };
     let input_seed = args.seed.unwrap_or(1);
     match differential::check_case(source, input_seed, &opts) {
         differential::CaseOutcome::Agree => {
-            println!("differential check `{source_name}`: simulator agrees with the oracle");
+            let who = match opts.backend {
+                differential::BackendSel::Sim => "simulator agrees with the oracle",
+                differential::BackendSel::Native => "native backend agrees with the oracle",
+                differential::BackendSel::All => {
+                    "oracle, simulator, and native backend agree pairwise"
+                }
+            };
+            println!("differential check `{source_name}`: {who}");
             ExitCode::SUCCESS
         }
         differential::CaseOutcome::Rejected(d) => {
@@ -603,6 +656,51 @@ fn main() -> ExitCode {
             }
         }
         return ExitCode::SUCCESS;
+    }
+
+    if !args.runs.is_empty() && args.backend == differential::BackendSel::Native {
+        // `--run --backend native`: execute on the native backend.
+        // Untimed — no cycle count — but bitwise the same words.
+        let inputs: Vec<(&str, &[f32])> = args
+            .runs
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.as_slice()))
+            .collect();
+        match module.run_native(&inputs, &warp_native::NativeOptions::default()) {
+            Ok(report) => {
+                println!(
+                    "\nran natively on {} cells: {} FLOPs, {} boundary word(s) out",
+                    module.n_cells, report.fp_ops, report.words_out
+                );
+                for name in module
+                    .ir
+                    .vars
+                    .iter()
+                    .filter(|(_, v)| v.kind == w2_lang::hir::VarKind::Host)
+                    .map(|(_, v)| v.name.clone())
+                {
+                    let data = match report.host.get(&name) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            eprintln!("cannot read host variable `{name}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let preview: Vec<String> =
+                        data.iter().take(8).map(|v| format!("{v}")).collect();
+                    println!(
+                        "  {name} = [{}{}]",
+                        preview.join(", "),
+                        if data.len() > 8 { ", ..." } else { "" }
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("native execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if !args.runs.is_empty() {

@@ -37,7 +37,11 @@
 //!
 //! ```text
 //! corpus NAME|all         queue a Table 7-1 program (or all five)
-//! submit NAME FILE.w2     queue a source file under NAME
+//! submit NAME FILE.w2 [sim|native]
+//!                         queue a source file under NAME; the optional
+//!                         backend token records which executor serves
+//!                         the job's runs (default sim) and keys the
+//!                         artifact cache per serving path
 //! run                     wait for this client's jobs, print the batch summary
 //! status                  per-job state (queued/running/done) and breaker state
 //! health                  guard limits, workers, queue depth, one line
@@ -70,7 +74,7 @@ use warp_compiler::{
     daemon::{batch_report, CompileDaemon, DaemonConfig},
     service::ServiceConfig,
     store::StoreConfig,
-    CompileOptions,
+    CompileOptions, ExecBackend,
 };
 use warp_service::{effective_workers, Admission, ExecutorConfig, ShutdownMode};
 
@@ -89,7 +93,7 @@ fn usage() -> ! {
          \x20           [--cache-bytes N] [--negative-ttl-ms N] [--listen PATH]\n\
          \x20           [--store-dir PATH] [--store-bytes N]\n\
          \x20      w2cd --corpus [same flags]\n\
-         \x20  protocol: corpus NAME|all, submit NAME FILE.w2, run, status,\n\
+         \x20  protocol: corpus NAME|all, submit NAME FILE.w2 [sim|native], run, status,\n\
          \x20            health, cache [clear], store, stats, reset NAME, quit, shutdown"
     );
     std::process::exit(2)
@@ -248,7 +252,13 @@ impl<'d> ClientSession<'d> {
         self.outstanding.values().any(|n| n == name)
     }
 
-    fn submit(&mut self, out: &mut impl Write, name: &str, source: String) -> std::io::Result<()> {
+    fn submit(
+        &mut self,
+        out: &mut impl Write,
+        name: &str,
+        source: String,
+        backend: ExecBackend,
+    ) -> std::io::Result<()> {
         if self.has_name(name) {
             return writeln!(
                 out,
@@ -256,7 +266,7 @@ impl<'d> ClientSession<'d> {
                  collect it with `run` or pick a distinct name"
             );
         }
-        match self.daemon.submit(name, source) {
+        match self.daemon.submit_with_backend(name, source, backend) {
             Admission::Accepted { id, .. } => {
                 self.outstanding.insert(id, name.to_owned());
                 writeln!(out, "accepted {name} id={id}")
@@ -277,7 +287,7 @@ impl<'d> ClientSession<'d> {
             }
         };
         for (name, src) in programs {
-            self.submit(out, name, src.to_owned())?;
+            self.submit(out, name, src.to_owned(), ExecBackend::default())?;
         }
         Ok(())
     }
@@ -470,12 +480,17 @@ impl<'d> ClientSession<'d> {
                     self.queue_corpus(out, which)?;
                 }
             }
-            Some("submit") => match (words.next(), words.next(), words.next()) {
-                (Some(name), Some(path), None) => match std::fs::read_to_string(path) {
-                    Ok(source) => self.submit(out, name, source)?,
-                    Err(e) => writeln!(out, "error: cannot read `{path}`: {e}")?,
-                },
-                _ => writeln!(out, "error: usage: submit NAME FILE.w2")?,
+            Some("submit") => match (words.next(), words.next(), words.next(), words.next()) {
+                (Some(name), Some(path), backend, None) => {
+                    match backend.map_or(Ok(ExecBackend::default()), str::parse) {
+                        Ok(backend) => match std::fs::read_to_string(path) {
+                            Ok(source) => self.submit(out, name, source, backend)?,
+                            Err(e) => writeln!(out, "error: cannot read `{path}`: {e}")?,
+                        },
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    }
+                }
+                _ => writeln!(out, "error: usage: submit NAME FILE.w2 [sim|native]")?,
             },
             Some("run") if words.next().is_none() => self.run(out)?,
             Some("status") if words.next().is_none() => self.status(out)?,

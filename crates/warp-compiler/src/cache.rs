@@ -125,6 +125,14 @@ pub fn cache_key(source: &str, opts: &CompileOptions, ctrl: &SessionCtrl) -> Con
                 h.write_u64(fuel);
             }
         }
+        // The backend does not change the compiled artifact, but it is
+        // part of the request identity: cached entries carry serving
+        // metadata (and future backends may specialize), so sim and
+        // native requests must not alias.
+        h.write_u64(match ctrl.backend {
+            crate::ExecBackend::Sim => 0,
+            crate::ExecBackend::Native => 1,
+        });
     }
     ContentKey {
         lo: h.finish(),
@@ -491,6 +499,12 @@ mod tests {
             ..SessionCtrl::default()
         };
         assert_ne!(k1, cache_key("module a", &opts, &ctrl3));
+        // Requests for different execution backends must not alias.
+        let ctrl_native = SessionCtrl {
+            backend: crate::ExecBackend::Native,
+            ..SessionCtrl::default()
+        };
+        assert_ne!(k1, cache_key("module a", &opts, &ctrl_native));
         // The cancel token does NOT key the cache.
         let ctrl4 = SessionCtrl {
             cancel: warp_common::CancelToken::new(Arc::new(ManualClock::new(9))),

@@ -35,7 +35,7 @@ use warp_service::{
 use crate::cache::{cache_key, CacheConfig, CacheStats, CompileCache};
 use crate::service::{classify_failure, BatchReport, ServiceConfig};
 use crate::store::{ClearReport, DiskStore, StoreConfig, StoreStats, TieredCache};
-use crate::{CompileFailure, CompileOptions, CompiledModule, Session, SessionCtrl};
+use crate::{CompileFailure, CompileOptions, CompiledModule, ExecBackend, Session, SessionCtrl};
 
 /// Configuration of a [`CompileDaemon`]: the batch service's knobs
 /// (executor + pipeline budgets + worker count) plus the cache's.
@@ -163,6 +163,19 @@ impl CompileDaemon {
     /// immediately) or sheds it with a retry hint when the queue is at
     /// capacity.
     pub fn submit(&self, name: impl Into<String>, source: impl Into<String>) -> Admission {
+        self.submit_with_backend(name, source, ExecBackend::default())
+    }
+
+    /// As [`CompileDaemon::submit`], with the serving backend recorded
+    /// on the job's [`SessionCtrl`] — and therefore in its cache key,
+    /// so sim- and native-serving artifacts never alias
+    /// (`w2cd`'s `submit NAME FILE.w2 [sim|native]`).
+    pub fn submit_with_backend(
+        &self,
+        name: impl Into<String>,
+        source: impl Into<String>,
+        backend: ExecBackend,
+    ) -> Admission {
         let source = source.into();
         let opts = self.opts.clone();
         let cache = self.cache.clone();
@@ -181,6 +194,7 @@ impl CompileDaemon {
                 skew_max_events,
                 max_cell_cycles,
                 max_source_bytes,
+                backend,
                 ..SessionCtrl::default()
             };
             let key = cache_key(&source, &opts, &ctrl);

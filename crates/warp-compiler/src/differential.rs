@@ -6,13 +6,18 @@
 //! [`warp_oracle::gen`]; the [`Session`] pipeline compiles it under a
 //! wall-clock deadline and a cell-cycle ceiling (a pathological
 //! generated program must cost a skipped case, never a hung run); the
-//! oracle interprets the HIR sequentially; the cycle-level simulator
-//! runs the compiled module on the same seeded inputs. The two runs
-//! must agree **bitwise** — on every `out` parameter and on every word
-//! of the boundary output streams ([`warp_sim::RunReport::out_streams`]
-//! vs [`warp_oracle::OracleRun::streams`]), so a reordered or dropped
-//! word is caught even when the final memory image looks right. To
-//! make bit-equality meaningful the driver compiles with
+//! oracle interprets the HIR sequentially; the selected executors
+//! ([`DiffOptions::backend`]) — the cycle-level simulator, the native
+//! backend, or both — run the compiled module on the same seeded
+//! inputs. Every pair of runs must agree **bitwise** — on every `out`
+//! parameter and on every word of the boundary output streams
+//! ([`warp_sim::RunReport::out_streams`] vs
+//! [`warp_oracle::OracleRun::streams`]), so a reordered or dropped
+//! word is caught even when the final memory image looks right. With
+//! [`BackendSel::All`] the comparison is three-way (oracle, simulator,
+//! native, pairwise), and a mismatch names the disagreeing pair —
+//! which localizes a fault to one executor when the other two agree.
+//! To make bit-equality meaningful the driver compiles with
 //! reassociation disabled; everything else runs at default options.
 //!
 //! A disagreement is handed to [`warp_oracle::shrink`] with "still a
@@ -28,17 +33,72 @@
 //! power is audited in CI.
 
 use crate::{audit, CompileFailure, CompileOptions, Session, SessionCtrl};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
+use w2_lang::ast::Chan;
+use w2_lang::hir::HirModule;
 use w2_lang::parse_and_check;
 use w2_lang::parser::parse;
 use warp_common::{splitmix64, CancelToken, SystemClock};
 use warp_host::HostMemory;
+use warp_native::{NativeError, NativeOptions};
 use warp_oracle::shrink::print_compact;
 use warp_oracle::{generate, interpret_run, shrink, GenConfig, ShrinkStats};
 use warp_sim::{FaultPlan, SimError, SimOptions};
+
+/// Which compiled-module executors a differential case runs against
+/// the oracle. `All` is the three-way mode: oracle, simulator, and
+/// native compared pairwise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendSel {
+    /// Oracle vs the cycle-level simulator (the historical harness).
+    #[default]
+    Sim,
+    /// Oracle vs the native backend only.
+    Native,
+    /// Three-way: oracle, simulator, and native, compared pairwise.
+    All,
+}
+
+impl BackendSel {
+    /// `true` when the simulator participates.
+    pub fn runs_sim(self) -> bool {
+        matches!(self, BackendSel::Sim | BackendSel::All)
+    }
+
+    /// `true` when the native backend participates.
+    pub fn runs_native(self) -> bool {
+        matches!(self, BackendSel::Native | BackendSel::All)
+    }
+}
+
+impl fmt::Display for BackendSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendSel::Sim => write!(f, "sim"),
+            BackendSel::Native => write!(f, "native"),
+            BackendSel::All => write!(f, "all"),
+        }
+    }
+}
+
+impl std::str::FromStr for BackendSel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<BackendSel, String> {
+        match s {
+            "sim" => Ok(BackendSel::Sim),
+            "native" => Ok(BackendSel::Native),
+            "all" => Ok(BackendSel::All),
+            other => Err(format!(
+                "unknown backend `{other}` (expected sim|native|all)"
+            )),
+        }
+    }
+}
 
 /// Configuration for one differential run.
 #[derive(Clone, Debug)]
@@ -68,6 +128,8 @@ pub struct DiffOptions {
     /// Both settings must agree bitwise with the oracle; CI runs the
     /// campaign with each.
     pub pipeline: bool,
+    /// Which executors run the compiled module against the oracle.
+    pub backend: BackendSel,
 }
 
 impl Default for DiffOptions {
@@ -83,6 +145,7 @@ impl Default for DiffOptions {
             max_cell_cycles: 2_000_000,
             shrink_budget: 3_000,
             pipeline: true,
+            backend: BackendSel::default(),
         }
     }
 }
@@ -90,7 +153,7 @@ impl Default for DiffOptions {
 /// What happened to one program.
 #[derive(Clone, Debug)]
 pub enum CaseOutcome {
-    /// Simulator and oracle agreed bitwise.
+    /// Every executor pair agreed bitwise.
     Agree,
     /// The compiler rejected the program (diagnostics). For generated
     /// programs this counts against the generator, not the compiler.
@@ -100,8 +163,9 @@ pub enum CaseOutcome {
     Budget(String),
     /// The oracle itself could not execute the program.
     OracleError(String),
-    /// The simulator diverged from the oracle (or failed outright
-    /// while the oracle ran clean). The payload says where.
+    /// Two executors diverged (or one failed outright while the oracle
+    /// ran clean). The payload names the disagreeing pair and the
+    /// first diverging word.
     Mismatch(String),
 }
 
@@ -285,72 +349,133 @@ pub fn check_case(source: &str, input_seed: u64, opts: &DiffOptions) -> CaseOutc
         Err(e) => return CaseOutcome::OracleError(e),
     };
 
-    let sim_opts = SimOptions {
-        plan: opts.inject.clone().unwrap_or_default(),
-        cancel,
-        ..SimOptions::default()
-    };
-    let sim = match module.run_audited(module.n_cells, module.skew.min_skew, &inputs, &sim_opts) {
-        Ok(r) => r,
-        Err(fault) => {
-            if let SimError::Interrupted { .. } = fault.error {
-                return CaseOutcome::Budget(fault.error.to_string());
-            }
-            return CaseOutcome::Mismatch(format!(
-                "simulator failed where the oracle ran clean: {}",
-                fault.error
-            ));
-        }
-    };
+    // Collect every participating executor's outputs, oracle first,
+    // then compare all pairs — a mismatch names the disagreeing pair,
+    // so with three executors a lone faulty one is localized.
+    let mut outs: Vec<ExecOut> = vec![ExecOut {
+        name: "oracle",
+        host: oracle.host,
+        streams: oracle.streams.into_iter().collect(),
+    }];
 
-    // Out parameters, bitwise.
+    if opts.backend.runs_sim() {
+        let sim_opts = SimOptions {
+            plan: opts.inject.clone().unwrap_or_default(),
+            cancel: cancel.clone(),
+            ..SimOptions::default()
+        };
+        let sim =
+            match module.run_audited(module.n_cells, module.skew.min_skew, &inputs, &sim_opts) {
+                Ok(r) => r,
+                Err(fault) => {
+                    if let SimError::Interrupted { .. } = fault.error {
+                        return CaseOutcome::Budget(fault.error.to_string());
+                    }
+                    return CaseOutcome::Mismatch(format!(
+                        "simulator failed where the oracle ran clean: {}",
+                        fault.error
+                    ));
+                }
+            };
+        outs.push(ExecOut {
+            name: "simulator",
+            host: sim.host,
+            streams: sim.out_streams,
+        });
+    }
+
+    if opts.backend.runs_native() {
+        let native_opts = NativeOptions {
+            cancel,
+            ..NativeOptions::default()
+        };
+        let native = match module.run_native(&inputs, &native_opts) {
+            Ok(r) => r,
+            Err(crate::NativeRunError::Native(NativeError::Interrupted(reason))) => {
+                return CaseOutcome::Budget(reason.to_string());
+            }
+            Err(e) => {
+                return CaseOutcome::Mismatch(format!(
+                    "native failed where the oracle ran clean: {e}"
+                ));
+            }
+        };
+        outs.push(ExecOut {
+            name: "native",
+            host: native.host,
+            streams: native.out_streams,
+        });
+    }
+
+    for i in 0..outs.len() {
+        for j in i + 1..outs.len() {
+            if let Some(detail) = first_divergence(&hir, &outs[i], &outs[j]) {
+                return CaseOutcome::Mismatch(detail);
+            }
+        }
+    }
+
+    CaseOutcome::Agree
+}
+
+/// One executor's observable output: final host memory plus boundary
+/// output streams in send order. The common shape the pairwise
+/// comparison works over.
+struct ExecOut {
+    name: &'static str,
+    host: HostMemory,
+    streams: BTreeMap<Chan, Vec<f32>>,
+}
+
+/// Finds the first bitwise divergence between two executors' outputs:
+/// `out` parameters word-for-word, then boundary streams word-for-word
+/// and in order — which catches dropped or reordered words that happen
+/// to leave the memory image intact. `None` means full agreement.
+fn first_divergence(hir: &HirModule, a: &ExecOut, b: &ExecOut) -> Option<String> {
     for (var, dir) in &hir.params {
         if *dir != w2_lang::ast::ParamDir::Out {
             continue;
         }
         let name = &hir.vars[*var].name;
-        let got = sim.host.get(name).unwrap_or(&[]);
-        let want = oracle.host.get(name).unwrap_or(&[]);
+        let got = a.host.get(name).unwrap_or(&[]);
+        let want = b.host.get(name).unwrap_or(&[]);
         for (k, (g, w)) in got.iter().zip(want).enumerate() {
             if g.to_bits() != w.to_bits() {
-                return CaseOutcome::Mismatch(format!(
-                    "out variable `{name}[{k}]`: simulator {g:?} ({:#010x}) vs oracle {w:?} ({:#010x})",
+                return Some(format!(
+                    "out variable `{name}[{k}]`: {} {g:?} ({:#010x}) vs {} {w:?} ({:#010x})",
+                    a.name,
                     g.to_bits(),
+                    b.name,
                     w.to_bits()
                 ));
             }
         }
     }
 
-    // Boundary streams, bitwise and in order — catches dropped or
-    // reordered words that happen to leave the memory image intact.
-    let chans: std::collections::BTreeSet<_> = sim
-        .out_streams
-        .keys()
-        .chain(oracle.streams.keys())
-        .copied()
-        .collect();
+    let chans: BTreeSet<_> = a.streams.keys().chain(b.streams.keys()).copied().collect();
     for chan in chans {
         static EMPTY: Vec<f32> = Vec::new();
-        let got = sim.out_streams.get(&chan).unwrap_or(&EMPTY);
-        let want = oracle.streams.get(&chan).unwrap_or(&EMPTY);
+        let got = a.streams.get(&chan).unwrap_or(&EMPTY);
+        let want = b.streams.get(&chan).unwrap_or(&EMPTY);
         if got.len() != want.len() {
-            return CaseOutcome::Mismatch(format!(
-                "stream {chan:?}: simulator delivered {} word(s), oracle {}",
+            return Some(format!(
+                "stream {chan:?}: {} delivered {} word(s), {} {}",
+                a.name,
                 got.len(),
+                b.name,
                 want.len()
             ));
         }
         for (k, (g, w)) in got.iter().zip(want).enumerate() {
             if g.to_bits() != w.to_bits() {
-                return CaseOutcome::Mismatch(format!(
-                    "stream {chan:?} word {k}: simulator {g:?} vs oracle {w:?}"
+                return Some(format!(
+                    "stream {chan:?} word {k}: {} {g:?} vs {} {w:?}",
+                    a.name, b.name
                 ));
             }
         }
     }
-
-    CaseOutcome::Agree
+    None
 }
 
 /// Writes the shrunk repro (compact layout, with a header comment
@@ -447,5 +572,65 @@ mod tests {
         };
         let status = check_case(crate::corpus::POLYNOMIAL, 7, &opts);
         assert!(matches!(status, CaseOutcome::Mismatch(_)), "{status:?}");
+    }
+
+    #[test]
+    fn three_way_harness_agrees_on_generated_programs() {
+        let report = run_differential(&DiffOptions {
+            backend: BackendSel::All,
+            ..quick_opts()
+        });
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.agree, 5, "{report}");
+    }
+
+    #[test]
+    fn native_only_harness_agrees_on_the_corpus() {
+        let opts = DiffOptions {
+            backend: BackendSel::Native,
+            ..quick_opts()
+        };
+        let status = check_case(crate::corpus::POLYNOMIAL, 7, &opts);
+        assert!(matches!(status, CaseOutcome::Agree), "{status:?}");
+    }
+
+    #[test]
+    fn three_way_mismatch_localizes_the_corrupted_executor() {
+        // The fault plan corrupts a word inside the *simulator* only;
+        // oracle and native still agree, so the three-way comparison
+        // must blame a pair that includes the simulator.
+        let opts = DiffOptions {
+            inject: Some("seed=3,corrupt=X:0".parse().expect("valid spec")),
+            backend: BackendSel::All,
+            ..quick_opts()
+        };
+        let status = check_case(crate::corpus::POLYNOMIAL, 7, &opts);
+        let CaseOutcome::Mismatch(detail) = status else {
+            panic!("expected a mismatch, got {status:?}");
+        };
+        assert!(detail.contains("simulator"), "{detail}");
+        // Sanity: oracle and native agree when the corruption hits only
+        // the simulated machine.
+        let native_only = DiffOptions {
+            backend: BackendSel::Native,
+            ..opts
+        };
+        let status = check_case(crate::corpus::POLYNOMIAL, 7, &native_only);
+        assert!(matches!(status, CaseOutcome::Agree), "{status:?}");
+    }
+
+    #[test]
+    fn backend_sel_parses_and_displays() {
+        assert_eq!("all".parse::<BackendSel>().unwrap(), BackendSel::All);
+        assert_eq!("sim".parse::<BackendSel>().unwrap(), BackendSel::Sim);
+        assert_eq!(
+            "native".parse::<BackendSel>().unwrap(),
+            BackendSel::Native
+        );
+        assert!("oracle".parse::<BackendSel>().is_err());
+        assert_eq!(BackendSel::All.to_string(), "all");
+        assert!(BackendSel::All.runs_sim() && BackendSel::All.runs_native());
+        assert!(!BackendSel::Sim.runs_native());
+        assert!(!BackendSel::Native.runs_sim());
     }
 }

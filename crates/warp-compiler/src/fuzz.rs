@@ -32,7 +32,7 @@
 //! then be caught, shrunk, and written out — proving the capture path
 //! works before anyone needs it in anger.
 
-use crate::{corpus, CompileFailure, CompileOptions, Session, SessionCtrl};
+use crate::{audit, corpus, CompileFailure, CompileOptions, ExecBackend, Session, SessionCtrl};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -76,6 +76,13 @@ pub struct FuzzOptions {
     /// guarded region, so a working harness must catch, shrink, and
     /// report it like any real crash.
     pub inject_panic: Option<String>,
+    /// With [`ExecBackend::Native`], every input that compiles is also
+    /// *executed* on the native backend (seeded inputs, same deadline)
+    /// inside the guarded region — so a native-executor panic on a
+    /// fuzzed-but-valid program is captured and shrunk exactly like a
+    /// compiler crash. Structured [`warp_native::NativeError`]s are
+    /// totality kept, not crashes.
+    pub backend: ExecBackend,
 }
 
 impl Default for FuzzOptions {
@@ -92,6 +99,7 @@ impl Default for FuzzOptions {
             pipeline: true,
             shrink_budget: 2_000,
             inject_panic: None,
+            backend: ExecBackend::default(),
         }
     }
 }
@@ -265,15 +273,42 @@ fn compile_input(input: &[u8], opts: &FuzzOptions) -> FuzzVerdict {
         CancelToken::with_deadline(Arc::new(SystemClock::new()), budget_us)
     };
     let session = Session::new(opts.compile.clone()).with_ctrl(SessionCtrl {
-        cancel,
+        cancel: cancel.clone(),
         skew_max_events: opts.skew_max_events,
         max_cell_cycles: opts.max_cell_cycles,
         max_source_bytes: opts.max_source_bytes,
         pipeline: opts.pipeline,
+        backend: opts.backend,
         ..SessionCtrl::default()
     });
     match session.try_compile(source) {
-        Ok(_) => FuzzVerdict::Compiled,
+        Ok(module) => {
+            if opts.backend == ExecBackend::Native {
+                // Drive the native executor on the compiled module —
+                // still inside the caller's `catch_unwind`, so a panic
+                // in table building or the dispatch loop is captured
+                // and shrunk like any compiler crash. A structured
+                // NativeError is the executor keeping its own totality
+                // promise and needs no verdict of its own; only an
+                // interruption is accounted as a budget stop.
+                let owned = audit::seeded_inputs(&module, splitmix64(opts.seed));
+                let inputs: Vec<(&str, &[f32])> = owned
+                    .iter()
+                    .map(|(n, d)| (n.as_str(), d.as_slice()))
+                    .collect();
+                let native_opts = warp_native::NativeOptions {
+                    cancel,
+                    ..warp_native::NativeOptions::default()
+                };
+                if let Err(crate::NativeRunError::Native(warp_native::NativeError::Interrupted(
+                    _,
+                ))) = module.run_native(&inputs, &native_opts)
+                {
+                    return FuzzVerdict::Budget;
+                }
+            }
+            FuzzVerdict::Compiled
+        }
         Err(CompileFailure::Diagnostics(_)) => FuzzVerdict::Rejected,
         Err(CompileFailure::TimingOverflow { .. }) => FuzzVerdict::Overflow,
         Err(CompileFailure::Interrupted { .. } | CompileFailure::TooLarge { .. }) => {
@@ -407,6 +442,22 @@ mod tests {
         let orig = repro.parent().unwrap().join(format!("{stem}.orig.w2"));
         assert_eq!(std::fs::read(orig).expect("sidecar readable"), c.input);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn native_backend_fuzzing_stays_clean() {
+        // Every compiling input is also executed natively; the run must
+        // stay crash-free, and the verdict counts must stay what they
+        // were under compile-only fuzzing (native errors are structured,
+        // so they never reclassify a compiled case).
+        let sim_only = run_fuzz(&quick_opts());
+        let report = run_fuzz(&FuzzOptions {
+            backend: ExecBackend::Native,
+            ..quick_opts()
+        });
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.compiled, sim_only.compiled, "{report}");
+        assert!(report.compiled > 0, "{report}");
     }
 
     #[test]

@@ -84,6 +84,44 @@ pub struct CompileOptions {
     pub skew_method: SkewMethod,
 }
 
+/// Which executor serves a compiled module's runs.
+///
+/// The compiler's output is identical either way — the backend is an
+/// *execution* preference recorded with the request so the service
+/// layer can route runs and the cache can key artifacts per serving
+/// path. [`ExecBackend::Sim`] is the cycle-accurate simulator (the
+/// timing/audit oracle); [`ExecBackend::Native`] is the `warp-native`
+/// fast path, bitwise-identical on values but untimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Cycle-level simulation (`warp-sim`) — timed, auditable, slow.
+    #[default]
+    Sim,
+    /// Flat-op-table native execution (`warp-native`) — untimed, fast.
+    Native,
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecBackend::Sim => write!(f, "sim"),
+            ExecBackend::Native => write!(f, "native"),
+        }
+    }
+}
+
+impl std::str::FromStr for ExecBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExecBackend, String> {
+        match s {
+            "sim" => Ok(ExecBackend::Sim),
+            "native" => Ok(ExecBackend::Native),
+            other => Err(format!("unknown backend `{other}` (expected sim|native)")),
+        }
+    }
+}
+
 /// Resource-control knobs for one compilation, injected by the service
 /// layer: cooperative cancellation polled at every pass boundary (and
 /// inside the skew enumeration), a budget slice for the exact skew
@@ -117,6 +155,10 @@ pub struct SessionCtrl {
     /// pass (`None` = unlimited). A debugging/bisection knob: fuel `k`
     /// stops the fixpoint driver after the k-th application.
     pub rewrite_fuel: Option<u64>,
+    /// Which executor this request's runs are served by
+    /// (`w2c --backend`, `w2cd` per-job backend field). Part of the
+    /// content-addressed cache key.
+    pub backend: ExecBackend,
 }
 
 impl Default for SessionCtrl {
@@ -128,6 +170,7 @@ impl Default for SessionCtrl {
             max_source_bytes: 0,
             pipeline: true,
             rewrite_fuel: None,
+            backend: ExecBackend::default(),
         }
     }
 }
@@ -353,6 +396,48 @@ impl From<HostError> for CompileOrSimError {
     }
 }
 
+/// An error from a native-backend run: either the inputs did not bind,
+/// or the native executor itself stopped ([`warp_native::NativeError`]
+/// — starved queue, out-of-bounds access, budget ceiling,
+/// cancellation).
+#[derive(Clone, Debug)]
+pub enum NativeRunError {
+    /// A host-memory binding error (unknown variable, wrong length).
+    Host(HostError),
+    /// A structured native-execution failure.
+    Native(warp_native::NativeError),
+}
+
+impl std::fmt::Display for NativeRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NativeRunError::Host(e) => write!(f, "{e}"),
+            NativeRunError::Native(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NativeRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NativeRunError::Host(e) => Some(e),
+            NativeRunError::Native(e) => Some(e),
+        }
+    }
+}
+
+impl From<HostError> for NativeRunError {
+    fn from(e: HostError) -> NativeRunError {
+        NativeRunError::Host(e)
+    }
+}
+
+impl From<warp_native::NativeError> for NativeRunError {
+    fn from(e: warp_native::NativeError) -> NativeRunError {
+        NativeRunError::Native(e)
+    }
+}
+
 impl CompiledModule {
     /// Runs the module on its declared number of cells at the computed
     /// minimum skew.
@@ -397,6 +482,38 @@ impl CompiledModule {
             },
             host,
         )
+    }
+
+    /// Lowers this module's cell IR into the native-execution program
+    /// (`warp-native` flat op tables). Build once and
+    /// [`run`](warp_native::NativeProgram::run) repeatedly — the build
+    /// is cheap but not free, and benchmarks amortize it.
+    pub fn native_program(&self) -> warp_native::NativeProgram {
+        warp_native::NativeProgram::build(&self.ir, self.skew.flow)
+    }
+
+    /// Runs the module on the native backend: whole-array semantics
+    /// executed as tight dispatch loops, bitwise-identical words to
+    /// [`CompiledModule::run`] (the simulator) when compiled with
+    /// reassociation off, but untimed — the returned report's `cycles`
+    /// is 0 and the simulator remains the timing oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NativeRunError::Host`] if `inputs` name unknown host
+    /// variables or have wrong lengths, otherwise the first structured
+    /// [`warp_native::NativeError`] the executor hits.
+    pub fn run_native(
+        &self,
+        inputs: &[(&str, &[f32])],
+        opts: &warp_native::NativeOptions,
+    ) -> Result<RunReport, NativeRunError> {
+        let program = self.native_program();
+        let mut host = HostMemory::new(&self.ir.vars);
+        for (name, data) in inputs {
+            host.set(name, data)?;
+        }
+        Ok(program.run(host, opts)?)
     }
 
     /// The static claims the skew/queue analysis made for this module —
@@ -497,6 +614,61 @@ mod tests {
     fn parse_errors_propagate() {
         let err = compile("module broken", &CompileOptions::default()).unwrap_err();
         assert!(err.has_errors());
+    }
+
+    #[test]
+    fn native_backend_matches_the_simulator_bitwise() {
+        let mut opts = CompileOptions::default();
+        opts.lower.reassociate = false;
+        let m = compile(corpus::POLYNOMIAL, &opts).expect("compiles");
+        let c: Vec<f32> = (1..=10).map(|k| k as f32 / 10.0).collect();
+        let z: Vec<f32> = (0..100).map(|i| -1.0 + i as f32 * 0.02).collect();
+        let inputs: &[(&str, &[f32])] = &[("c", &c), ("z", &z)];
+        let sim = m.run(inputs).expect("sim runs");
+        let native = m
+            .run_native(inputs, &warp_native::NativeOptions::default())
+            .expect("native runs");
+        let sim_out: Vec<u32> = sim
+            .host
+            .get("results")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let native_out: Vec<u32> = native
+            .host
+            .get("results")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(sim_out, native_out);
+        assert_eq!(native.cycles, 0, "native is untimed");
+        assert!(sim.cycles > 0);
+    }
+
+    #[test]
+    fn native_run_input_errors_are_structured() {
+        let m = compile(corpus::POLYNOMIAL, &CompileOptions::default()).expect("compiles");
+        let err = m
+            .run_native(
+                &[("nonsense", &[1.0][..])],
+                &warp_native::NativeOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NativeRunError::Host(_)), "{err:?}");
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("sim".parse::<ExecBackend>().unwrap(), ExecBackend::Sim);
+        assert_eq!(
+            "native".parse::<ExecBackend>().unwrap(),
+            ExecBackend::Native
+        );
+        assert!("jit".parse::<ExecBackend>().is_err());
+        assert_eq!(ExecBackend::Native.to_string(), "native");
+        assert_eq!(ExecBackend::default(), ExecBackend::Sim);
     }
 
     #[test]

@@ -301,6 +301,32 @@ impl HostMemory {
         Ok(&self.arrays[&var])
     }
 
+    /// Moves a variable's words out of the image without copying. The
+    /// variable reads as an empty array until [`HostMemory::put_words`]
+    /// restores it — callers that take must put back before anyone else
+    /// observes the memory. Exists for the native executor, which owns
+    /// the arrays flat for the duration of a run.
+    pub fn take_words(&mut self, name: &str) -> Option<Vec<f32>> {
+        let var = self.var(name)?;
+        Some(std::mem::take(self.arrays.get_mut(&var)?))
+    }
+
+    /// Moves words back into a variable taken with
+    /// [`HostMemory::take_words`]. The words replace the array verbatim
+    /// (no length check — the contract is give back what was taken,
+    /// possibly with values updated in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::UnknownVariable`] if `name` is unknown.
+    pub fn put_words(&mut self, name: &str, words: Vec<f32>) -> Result<(), HostError> {
+        let var = self.var(name).ok_or_else(|| HostError::UnknownVariable {
+            name: name.to_owned(),
+        })?;
+        self.arrays.insert(var, words);
+        Ok(())
+    }
+
     /// Reads one word by variable id.
     pub fn word(&self, var: VarId, index: u32) -> f32 {
         self.arrays[&var][index as usize]

@@ -1,0 +1,892 @@
+//! Lowering the post-rewrite cell IR to flat native op tables.
+//!
+//! [`NativeProgram::build`] walks each basic block's DAG in a
+//! deterministic topological order (roots in program order, inputs
+//! before the node, sequencing deps respected) and emits one
+//! pre-decoded [`Op`] per live node: register slots instead of node
+//! ids, affine addresses flattened to `(base, [(loop, coeff)])` pairs,
+//! loops turned into explicit `LoopStart`/`LoopEnd` jumps. Because a
+//! cell's boundary behaviour depends on its position in the array
+//! (the first cell reads host data, the last writes it), one table is
+//! built per *role* — first, interior, last — and every cell of a role
+//! dispatches the same table.
+//!
+//! Two table-level optimizations run after emission, both echoes of
+//! what the W2 compiler does for the real machine's address units:
+//!
+//! - **Dead-store elimination** — a `Store` whose address interval is
+//!   in bounds and provably disjoint from every `Load` interval in the
+//!   same table writes cell memory nobody reads (the memory image is
+//!   private per cell and invisible in the run report), so it is
+//!   dropped. This removes the scalar-variable spills the DAG already
+//!   forwards through registers.
+//! - **Address strength reduction** — every memory- or host-indexing
+//!   op gets an *address register* instead of an inline affine
+//!   expression. The register is initialized (full evaluation) when
+//!   the op's innermost enclosing loop is entered and stepped by the
+//!   loop coefficient on each back-edge, so the hot path reads one
+//!   precomputed integer instead of re-evaluating `base + Σ cᵢ·loopᵢ`.
+//!   Ops whose address refers to a loop variable outside their own
+//!   loop nest (a loop counter read after its loop) fall back to an
+//!   explicit [`Op::AddrSet`] evaluated in place. Repeated wrapping
+//!   addition of the coefficient equals wrapping evaluation at each
+//!   index, so the reduction is exact even for fuzzed programs that
+//!   overflow.
+//!
+//! Float operations are emitted in the DAG's operand order, which is
+//! the source expression tree when reassociation is off — that is what
+//! makes the native path bitwise-comparable to the oracle interpreter.
+
+use std::collections::{BTreeMap, HashMap};
+
+use w2_lang::ast::{Chan, Dir};
+use w2_lang::hir::VarId;
+use warp_common::idvec::Id as _;
+use warp_ir::{Affine, Block, CellIr, CmpOp, HostSlot, NodeId, NodeKind, Region};
+
+/// An affine word address, pre-decoded for the dispatch loop: the
+/// constant term plus `(loop slot, coefficient)` pairs. Evaluation
+/// uses wrapping arithmetic — a fuzzed program with absurd bounds must
+/// produce an out-of-bounds *error*, never an overflow panic.
+#[derive(Clone, Debug)]
+pub(crate) struct Addr {
+    pub(crate) base: i64,
+    pub(crate) terms: Vec<(usize, i64)>,
+}
+
+impl Addr {
+    fn decode(a: &Affine) -> Addr {
+        Addr {
+            base: a.constant,
+            terms: a.terms.iter().map(|(l, &c)| (l.index(), c)).collect(),
+        }
+    }
+
+    /// Evaluates the address under the current loop indices.
+    #[inline]
+    pub(crate) fn eval(&self, loops: &[i64]) -> i64 {
+        let mut v = self.base;
+        for &(slot, coeff) in &self.terms {
+            v = v.wrapping_add(coeff.wrapping_mul(loops[slot]));
+        }
+        v
+    }
+}
+
+/// One pre-decoded native operation. `dst`/`src` and operand fields
+/// are indices into the run's flat f32 / bool register files; `aslot`
+/// fields index the run's address-register file, kept current by
+/// [`Op::AddrSet`] / [`Op::LoopStart`] inits / [`Op::LoopEnd`] steps.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// `f[dst] = v`
+    ConstF { dst: u32, v: f32 },
+    /// `b[dst] = v`
+    ConstB { dst: u32, v: bool },
+    /// `a[aslot] = eval(addr)` — in-place address evaluation for ops
+    /// outside the strength-reduction fast path.
+    AddrSet { aslot: u32, addr: Addr },
+    /// `f[dst] = mem[a[aslot]]`
+    Load { dst: u32, aslot: u32 },
+    /// `mem[a[aslot]] = f[src]`
+    Store { src: u32, aslot: u32 },
+    /// Pop the upstream queue (interior receive).
+    RecvQueue { dst: u32, chan: Chan },
+    /// Boundary receive of a literal (or unannotated: 0.0).
+    RecvLit { dst: u32, v: f32 },
+    /// Boundary receive of a host array word at `a[aslot]`.
+    RecvHost {
+        dst: u32,
+        var: VarId,
+        size: u32,
+        aslot: u32,
+    },
+    /// Push the downstream queue (interior send).
+    SendQueue { src: u32, chan: Chan },
+    /// Last-cell send toward the host: append to the boundary stream,
+    /// then store at `a[aslot]` per the external annotation (if any).
+    SendLast {
+        src: u32,
+        chan: Chan,
+        sink: Option<(VarId, u32, u32)>,
+    },
+    /// `f[dst] = f[a] + f[b]` (and so on for the other arithmetic).
+    FAdd { dst: u32, a: u32, b: u32 },
+    FSub { dst: u32, a: u32, b: u32 },
+    FMul { dst: u32, a: u32, b: u32 },
+    /// Fused multiply-then-add: `f[m] = f[a] * f[b]` followed by
+    /// `f[dst] = f[m] + f[c]` in one dispatch. Both results are rounded
+    /// f32 operations in sequence — never a hardware FMA — so the fused
+    /// form is bitwise-identical to the pair it replaces; the fusion
+    /// ([`fuse_muladd`]) only saves the interpreter's dispatch.
+    FMulAdd {
+        m: u32,
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    /// Fused multiply-then-subtract: `f[m] = f[a] * f[b]`, then
+    /// `f[dst] = f[m] - f[c]`.
+    FMulSub {
+        m: u32,
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    /// Mirrored fusion for a product consumed in the consumer's
+    /// *second* operand position: `f[m] = f[a] * f[b]`, then
+    /// `f[dst] = f[c] + f[m]`. A separate variant (not a swap) so the
+    /// add's operand order — and with it NaN-payload propagation when
+    /// both operands are NaN — matches the unfused pair exactly.
+    FMulAddR {
+        m: u32,
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    /// `f[m] = f[a] * f[b]`, then `f[dst] = f[c] - f[m]`.
+    FMulSubR {
+        m: u32,
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    FDiv { dst: u32, a: u32, b: u32 },
+    FNeg { dst: u32, a: u32 },
+    /// `b[dst] = cmp(f[a], f[b])`
+    FCmp { op: CmpOp, dst: u32, a: u32, b: u32 },
+    BAnd { dst: u32, a: u32, b: u32 },
+    BOr { dst: u32, a: u32, b: u32 },
+    BNot { dst: u32, a: u32 },
+    /// `f[dst] = if b[cond] { f[t] } else { f[e] }`
+    Select { dst: u32, cond: u32, t: u32, e: u32 },
+    /// Enter a counted loop; jumps to `exit` (the op index just past
+    /// the matching `LoopEnd`) when the trip count is zero. `inits`
+    /// are the address registers anchored to this loop, fully
+    /// evaluated on entry (the loop variable is already at `lo`).
+    LoopStart {
+        slot: u32,
+        lo: i64,
+        count: u64,
+        exit: u32,
+        inits: Box<[(u32, Addr)]>,
+    },
+    /// Loop back-edge: jump to `body` until the loop variable reaches
+    /// `last` (`lo + count - 1` in wrapping arithmetic — exact for any
+    /// `count`, because a step-1 sequence visits distinct values for
+    /// fewer than 2⁶⁴ iterations). On each taken back-edge the `steps`
+    /// advance this loop's anchored address registers by their
+    /// coefficient — strength-reduced address generation.
+    LoopEnd {
+        slot: u32,
+        body: u32,
+        last: i64,
+        steps: Box<[(u32, i64)]>,
+    },
+}
+
+/// A compiled module's whole-array semantics, lowered for native
+/// dispatch. Build once with [`NativeProgram::build`], run any number
+/// of times with [`NativeProgram::run`](super::NativeProgram::run).
+#[derive(Clone, Debug)]
+pub struct NativeProgram {
+    /// Table for the cell at position 0 (when `n_cells == 1` this is
+    /// the combined first+last role).
+    pub(crate) first: Vec<Op>,
+    /// Table for positions `1..n-1`; empty when `n_cells <= 2`.
+    pub(crate) interior: Vec<Op>,
+    /// Table for position `n-1`; empty when `n_cells == 1`.
+    pub(crate) last: Vec<Op>,
+    /// Exact words each interior channel must carry (ring capacity):
+    /// downstream sends per cell execution, loop trip counts included.
+    pub(crate) queue_words: BTreeMap<Chan, u64>,
+    pub(crate) n_cells: u32,
+    /// Cell data-memory words (one private image per cell position).
+    pub(crate) mem_words: usize,
+    /// Flat register-file sizes across all tables.
+    pub(crate) f_slots: usize,
+    pub(crate) b_slots: usize,
+    /// Address-register file size (max across role tables).
+    pub(crate) a_slots: usize,
+    pub(crate) n_loops: usize,
+    /// Float ops one execution of each role table performs (loop trip
+    /// counts included) — statically exact because control flow is
+    /// counted loops plus predication, so the dispatch loop does not
+    /// count at runtime. Order: first, interior, last.
+    pub(crate) table_fp: [u64; 3],
+    /// Variable names by id, for structured runtime errors.
+    pub(crate) var_names: Vec<String>,
+}
+
+impl NativeProgram {
+    /// Lowers a compiled module's cell IR for the given array flow
+    /// direction (`CompiledModule`'s `skew.flow`).
+    pub fn build(ir: &CellIr, flow: Dir) -> NativeProgram {
+        let flow_right = flow == Dir::Right;
+        let n = ir.n_cells.max(1);
+        let mem_words = ir.layout.words_used() as usize;
+        // Loop-variable ranges by slot, for the dead-store intervals.
+        let ranges: Vec<(i64, u64)> = ir.loops.values().map(|m| (m.lo, m.count)).collect();
+        let role = |first: bool, last: bool| {
+            let mut e = Emit {
+                ir,
+                flow_right,
+                is_first: first,
+                is_last: last,
+                ops: Vec::new(),
+                addrs: Vec::new(),
+                max_f: 0,
+                max_b: 0,
+            };
+            e.region(&ir.root);
+            let (ops, a) = strength_reduce(e.ops, e.addrs, &ranges, mem_words);
+            (fuse_muladd(ops), e.max_f, e.max_b, a)
+        };
+        let (first, f0, b0, a0) = role(true, n == 1);
+        let (last, f1, b1, a1) = if n > 1 {
+            role(false, true)
+        } else {
+            (Vec::new(), 0, 0, 0)
+        };
+        let (interior, f2, b2, a2) = if n > 2 {
+            role(false, false)
+        } else {
+            (Vec::new(), 0, 0, 0)
+        };
+        let table_fp = [fp_count(&first), fp_count(&interior), fp_count(&last)];
+        NativeProgram {
+            first,
+            interior,
+            last,
+            queue_words: downstream_words(ir, flow_right),
+            n_cells: n,
+            mem_words,
+            f_slots: f0.max(f1).max(f2),
+            b_slots: b0.max(b1).max(b2),
+            a_slots: a0.max(a1).max(a2) as usize,
+            n_loops: ir.loops.len(),
+            table_fp,
+            var_names: ir.vars.values().map(|v| v.name.clone()).collect(),
+        }
+    }
+
+    /// The op table for the cell at `pos` of `n_cells`.
+    pub(crate) fn table(&self, pos: u32) -> &[Op] {
+        if pos == 0 {
+            &self.first
+        } else if pos + 1 == self.n_cells {
+            &self.last
+        } else {
+            &self.interior
+        }
+    }
+
+    /// Static ops across all role tables (a size metric).
+    pub fn op_count(&self) -> usize {
+        self.first.len() + self.interior.len() + self.last.len()
+    }
+
+    /// The exact per-channel word counts the interior queues are sized
+    /// to (statically computable because control flow is counted loops
+    /// plus predication).
+    pub fn queue_words(&self) -> &BTreeMap<Chan, u64> {
+        &self.queue_words
+    }
+}
+
+/// Float ops one execution of the table performs: each arithmetic op
+/// weighted by the product of its enclosing loop trip counts
+/// (saturating — a fuzzed table that overflows u64 would be cancelled
+/// aeons before the count mattered). Statically exact for the same
+/// reason [`downstream_words`] is.
+fn fp_count(ops: &[Op]) -> u64 {
+    let mut mult: u64 = 1;
+    let mut stack: Vec<u64> = Vec::new();
+    let mut fp: u64 = 0;
+    for op in ops {
+        match op {
+            Op::LoopStart { count, .. } => {
+                stack.push(mult);
+                mult = mult.saturating_mul(*count);
+            }
+            Op::LoopEnd { .. } => mult = stack.pop().unwrap_or(1),
+            Op::FAdd { .. }
+            | Op::FSub { .. }
+            | Op::FMul { .. }
+            | Op::FDiv { .. }
+            | Op::FNeg { .. } => fp = fp.saturating_add(mult),
+            Op::FMulAdd { .. } | Op::FMulSub { .. } | Op::FMulAddR { .. } | Op::FMulSubR { .. } => {
+                fp = fp.saturating_add(mult.saturating_mul(2));
+            }
+            _ => {}
+        }
+    }
+    fp
+}
+
+/// Counts the words one cell sends downstream per execution, per
+/// channel. Exact, not a bound: accepted W2 programs have only counted
+/// loops, and conditionals are predicated into `Select` nodes, so
+/// every `Send` in the region tree executes unconditionally.
+fn downstream_words(ir: &CellIr, flow_right: bool) -> BTreeMap<Chan, u64> {
+    fn walk(ir: &CellIr, region: &Region, mult: u64, flow_right: bool, out: &mut BTreeMap<Chan, u64>) {
+        match region {
+            Region::Block(b) => {
+                let block = &ir.blocks[*b];
+                for id in block.live_nodes() {
+                    if let NodeKind::Send { dir, chan, .. } = &block.nodes[id].kind {
+                        if (*dir == Dir::Right) == flow_right {
+                            let e = out.entry(*chan).or_insert(0);
+                            *e = e.saturating_add(mult);
+                        }
+                    }
+                }
+            }
+            Region::Loop { id, body } => {
+                let mult = mult.saturating_mul(ir.loops[*id].count);
+                walk(ir, body, mult, flow_right, out);
+            }
+            Region::Seq(rs) => {
+                for r in rs {
+                    walk(ir, r, mult, flow_right, out);
+                }
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(ir, &ir.root, 1, flow_right, &mut out);
+    out
+}
+
+/// The inclusive value interval of an affine address over the loop
+/// ranges, or `None` when the arithmetic overflows (wrapping addresses
+/// get no interval, which keeps their stores alive).
+fn addr_interval(addr: &Addr, ranges: &[(i64, u64)]) -> Option<(i64, i64)> {
+    let mut lo = addr.base;
+    let mut hi = addr.base;
+    for &(slot, coeff) in &addr.terms {
+        let &(v_lo, count) = ranges.get(slot)?;
+        let v_hi = v_lo.checked_add(i64::try_from(count.saturating_sub(1)).ok()?)?;
+        let a = coeff.checked_mul(v_lo)?;
+        let b = coeff.checked_mul(v_hi)?;
+        lo = lo.checked_add(a.min(b))?;
+        hi = hi.checked_add(a.max(b))?;
+    }
+    Some((lo, hi))
+}
+
+/// The post-emission optimization pass: dead-store elimination plus
+/// address strength reduction (see the module docs). Returns the
+/// rewritten table and the number of address registers it uses.
+fn strength_reduce(
+    ops: Vec<Op>,
+    addrs: Vec<Option<Addr>>,
+    ranges: &[(i64, u64)],
+    mem_words: usize,
+) -> (Vec<Op>, u32) {
+    // Intervals of every load in the table: a store whose in-bounds
+    // interval misses all of them writes memory nobody observes.
+    let loads: Vec<(i64, i64)> = ops
+        .iter()
+        .zip(&addrs)
+        .filter(|(op, _)| matches!(op, Op::Load { .. }))
+        .filter_map(|(_, a)| a.as_ref().and_then(|a| addr_interval(a, ranges)))
+        .collect();
+    let any_load_unbounded = ops
+        .iter()
+        .zip(&addrs)
+        .any(|(op, a)| {
+            matches!(op, Op::Load { .. })
+                && a.as_ref().is_none_or(|a| addr_interval(a, ranges).is_none())
+        });
+    let store_is_dead = |addr: &Addr| {
+        if any_load_unbounded {
+            return false;
+        }
+        let Some((lo, hi)) = addr_interval(addr, ranges) else {
+            return false;
+        };
+        // Out-of-bounds stores stay, so their error behaviour does.
+        if lo < 0 || hi >= mem_words as i64 {
+            return false;
+        }
+        !loads.iter().any(|&(l_lo, l_hi)| lo <= l_hi && l_lo <= hi)
+    };
+
+    // One address register is anchored to the op's innermost enclosing
+    // loop when every term lies on the enclosing chain: full init at
+    // loop entry, coefficient step per back-edge. Anything else (no
+    // loop, or a stale sibling/inner loop variable) evaluates in place
+    // via an AddrSet immediately before the op.
+    struct Frame {
+        slot: u32,
+        start: usize,
+        inits: Vec<(u32, Addr)>,
+        steps: Vec<(u32, i64)>,
+    }
+    let n_old = ops.len();
+    let mut new_ops: Vec<Op> = Vec::with_capacity(n_old);
+    let mut map = vec![0u32; n_old + 1];
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut n_aslots = 0u32;
+    for (i, mut op) in ops.into_iter().enumerate() {
+        map[i] = new_ops.len() as u32;
+        let is_store = matches!(op, Op::Store { .. });
+        match &mut op {
+            Op::LoopStart { slot, .. } => {
+                stack.push(Frame {
+                    slot: *slot,
+                    start: new_ops.len(),
+                    inits: Vec::new(),
+                    steps: Vec::new(),
+                });
+            }
+            Op::LoopEnd { steps, .. } => {
+                if let Some(frame) = stack.pop() {
+                    *steps = frame.steps.into_boxed_slice();
+                    if let Op::LoopStart { inits, .. } = &mut new_ops[frame.start] {
+                        *inits = frame.inits.into_boxed_slice();
+                    }
+                }
+            }
+            Op::Load { aslot, .. }
+            | Op::Store { aslot, .. }
+            | Op::RecvHost { aslot, .. }
+            | Op::SendLast {
+                sink: Some((_, _, aslot)),
+                ..
+            } => {
+                let addr = addrs[i].clone().expect("addressed op carries an address");
+                if is_store && store_is_dead(&addr) {
+                    continue;
+                }
+                let slot = n_aslots;
+                n_aslots += 1;
+                let on_chain = addr
+                    .terms
+                    .iter()
+                    .all(|&(s, _)| stack.iter().any(|f| f.slot as usize == s));
+                match stack.last_mut() {
+                    Some(frame) if on_chain => {
+                        let step = addr
+                            .terms
+                            .iter()
+                            .find(|&&(s, _)| s == frame.slot as usize)
+                            .map_or(0, |&(_, c)| c);
+                        if step != 0 {
+                            frame.steps.push((slot, step));
+                        }
+                        frame.inits.push((slot, addr));
+                    }
+                    _ => new_ops.push(Op::AddrSet { aslot: slot, addr }),
+                }
+                *aslot = slot;
+            }
+            _ => {}
+        }
+        new_ops.push(op);
+    }
+    map[n_old] = new_ops.len() as u32;
+    // Jump targets still index the pre-rewrite table; remap them.
+    for op in &mut new_ops {
+        match op {
+            Op::LoopStart { exit, .. } => *exit = map[*exit as usize],
+            Op::LoopEnd { body, .. } => *body = map[*body as usize],
+            _ => {}
+        }
+    }
+    (new_ops, n_aslots)
+}
+
+/// Peephole superinstruction pass: an `FMul` whose first consumer is an
+/// `FAdd`/`FSub` reading the product in operand position `a` fuses into
+/// one [`Op::FMulAdd`]/[`Op::FMulSub`] dispatch. Both rounded f32
+/// operations still execute in source order and the product register is
+/// still written (later readers observe it), so results stay bitwise
+/// identical — only an interpreter dispatch is saved. Commuted adds
+/// (product in position `b`) are left alone: operand order is preserved
+/// exactly so NaN-payload propagation cannot change.
+///
+/// Soundness: register slots are single-assignment within one emitted
+/// block but reused across blocks, so a tracked product is dropped when
+/// (a) its slot or either multiplier input slot is rewritten, (b) any
+/// op other than the fusing consumer reads the product first (the
+/// deleted `FMul` would deliver it too late for that reader), or
+/// (c) control flow (`LoopStart`/`LoopEnd`) intervenes.
+fn fuse_muladd(ops: Vec<Op>) -> Vec<Op> {
+    // Pending products: f-slot -> (FMul index, its two input slots).
+    let mut pending: HashMap<u32, (usize, u32, u32)> = HashMap::new();
+    let n_old = ops.len();
+    let mut out = ops;
+    let mut dead = vec![false; n_old];
+    for (i, slot) in out.iter_mut().enumerate() {
+        // kind: 0 = product in position a of an FAdd, 1 = of an FSub,
+        // 2/3 = the mirrored cases (product in position b).
+        let plan = match &*slot {
+            Op::FAdd { dst, a, b } if pending.contains_key(a) => Some((0u8, *a, *dst, *b)),
+            Op::FSub { dst, a, b } if pending.contains_key(a) => Some((1, *a, *dst, *b)),
+            Op::FAdd { dst, a, b } if pending.contains_key(b) => Some((2, *b, *dst, *a)),
+            Op::FSub { dst, a, b } if pending.contains_key(b) => Some((3, *b, *dst, *a)),
+            _ => None,
+        };
+        if let Some((kind, m, dst, c)) = plan {
+            let (j, ma, mb) = pending.remove(&m).expect("plan checked the key");
+            dead[j] = true;
+            let (a, b) = (ma, mb);
+            *slot = match kind {
+                0 => Op::FMulAdd { m, dst, a, b, c },
+                1 => Op::FMulSub { m, dst, a, b, c },
+                2 => Op::FMulAddR { m, dst, a, b, c },
+                _ => Op::FMulSubR { m, dst, a, b, c },
+            };
+        }
+        // Generic tracking over the (possibly rewritten) op.
+        match &*slot {
+            Op::LoopStart { .. } | Op::LoopEnd { .. } => pending.clear(),
+            op => {
+                let mut reads = [None, None, None];
+                let mut writes = [None, None];
+                match op {
+                    Op::ConstF { dst, .. }
+                    | Op::Load { dst, .. }
+                    | Op::RecvQueue { dst, .. }
+                    | Op::RecvLit { dst, .. }
+                    | Op::RecvHost { dst, .. } => writes[0] = Some(*dst),
+                    Op::Store { src, .. }
+                    | Op::SendQueue { src, .. }
+                    | Op::SendLast { src, .. } => reads[0] = Some(*src),
+                    Op::FAdd { dst, a, b }
+                    | Op::FSub { dst, a, b }
+                    | Op::FMul { dst, a, b }
+                    | Op::FDiv { dst, a, b } => {
+                        reads[0] = Some(*a);
+                        reads[1] = Some(*b);
+                        writes[0] = Some(*dst);
+                    }
+                    Op::FMulAdd { m, dst, a, b, c }
+                    | Op::FMulSub { m, dst, a, b, c }
+                    | Op::FMulAddR { m, dst, a, b, c }
+                    | Op::FMulSubR { m, dst, a, b, c } => {
+                        reads[0] = Some(*a);
+                        reads[1] = Some(*b);
+                        reads[2] = Some(*c);
+                        writes[0] = Some(*m);
+                        writes[1] = Some(*dst);
+                    }
+                    Op::FNeg { dst, a } => {
+                        reads[0] = Some(*a);
+                        writes[0] = Some(*dst);
+                    }
+                    Op::FCmp { a, b, .. } => {
+                        reads[0] = Some(*a);
+                        reads[1] = Some(*b);
+                    }
+                    Op::Select { dst, t, e, .. } => {
+                        reads[0] = Some(*t);
+                        reads[1] = Some(*e);
+                        writes[0] = Some(*dst);
+                    }
+                    // ConstB / AddrSet / BAnd / BOr / BNot: no f traffic.
+                    _ => {}
+                }
+                for r in reads.into_iter().flatten() {
+                    pending.remove(&r);
+                }
+                for w in writes.into_iter().flatten() {
+                    pending.remove(&w);
+                    pending.retain(|_, &mut (_, ma, mb)| ma != w && mb != w);
+                }
+                if let Op::FMul { dst, a, b } = op {
+                    pending.insert(*dst, (i, *a, *b));
+                }
+            }
+        }
+    }
+    // Drop the fused-away multiplies; jump targets index the old table.
+    let mut map = vec![0u32; n_old + 1];
+    let mut new_ops: Vec<Op> = Vec::with_capacity(n_old);
+    for (i, op) in out.into_iter().enumerate() {
+        map[i] = new_ops.len() as u32;
+        if !dead[i] {
+            new_ops.push(op);
+        }
+    }
+    map[n_old] = new_ops.len() as u32;
+    for op in &mut new_ops {
+        match op {
+            Op::LoopStart { exit, .. } => *exit = map[*exit as usize],
+            Op::LoopEnd { body, .. } => *body = map[*body as usize],
+            _ => {}
+        }
+    }
+    new_ops
+}
+
+/// One role table under construction.
+struct Emit<'a> {
+    ir: &'a CellIr,
+    flow_right: bool,
+    is_first: bool,
+    is_last: bool,
+    ops: Vec<Op>,
+    /// The affine address of each emitted op, side-by-side with `ops`
+    /// (`None` for non-addressing ops) — consumed by
+    /// [`strength_reduce`], which assigns the address registers.
+    addrs: Vec<Option<Addr>>,
+    max_f: usize,
+    max_b: usize,
+}
+
+impl Emit<'_> {
+    /// Pushes one op and its (optional) affine address side-by-side.
+    fn push(&mut self, op: Op, addr: Option<Addr>) {
+        self.ops.push(op);
+        self.addrs.push(addr);
+    }
+
+    fn region(&mut self, region: &Region) {
+        match region {
+            Region::Block(b) => {
+                let ir = self.ir;
+                self.block(&ir.blocks[*b]);
+            }
+            Region::Loop { id, body } => {
+                let meta = &self.ir.loops[*id];
+                let start = self.ops.len();
+                self.push(
+                    Op::LoopStart {
+                        slot: id.index() as u32,
+                        lo: meta.lo,
+                        count: meta.count,
+                        exit: 0, // patched below
+                        inits: Box::new([]),
+                    },
+                    None,
+                );
+                self.region(body);
+                self.push(
+                    Op::LoopEnd {
+                        slot: id.index() as u32,
+                        body: (start + 1) as u32,
+                        // Wrapping `lo + count - 1`: two's-complement
+                        // addition agrees with the wrapping increments
+                        // the dispatch loop applies.
+                        last: meta.lo.wrapping_add(meta.count.wrapping_sub(1) as i64),
+                        steps: Box::new([]),
+                    },
+                    None,
+                );
+                let exit_ip = self.ops.len() as u32;
+                if let Op::LoopStart { exit, .. } = &mut self.ops[start] {
+                    *exit = exit_ip;
+                }
+            }
+            Region::Seq(rs) => {
+                for r in rs {
+                    self.region(r);
+                }
+            }
+        }
+    }
+
+    /// Emits one block: iterative post-order DFS from the roots in
+    /// program order, visiting value inputs then sequencing deps, so
+    /// every live node executes exactly once with its operands ready
+    /// and its ordering arcs respected.
+    fn block(&mut self, block: &Block) {
+        let n = block.nodes.len();
+        // 0 = unvisited, 1 = on stack, 2 = emitted.
+        let mut state = vec![0u8; n];
+        let mut slot = vec![0u32; n];
+        let mut next_f = 0u32;
+        let mut next_b = 0u32;
+        for &root in &block.roots {
+            if state[root.index()] != 0 {
+                continue;
+            }
+            state[root.index()] = 1;
+            let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+            while let Some(&(id, child)) = stack.last() {
+                let node = &block.nodes[id];
+                let n_children = node.inputs.len() + node.deps.len();
+                if child < n_children {
+                    stack.last_mut().expect("non-empty").1 += 1;
+                    let c = if child < node.inputs.len() {
+                        node.inputs[child]
+                    } else {
+                        node.deps[child - node.inputs.len()]
+                    };
+                    if state[c.index()] == 0 {
+                        state[c.index()] = 1;
+                        stack.push((c, 0));
+                    }
+                    continue;
+                }
+                stack.pop();
+                state[id.index()] = 2;
+                self.node(block, id, &mut slot, &mut next_f, &mut next_b);
+            }
+        }
+        self.max_f = self.max_f.max(next_f as usize);
+        self.max_b = self.max_b.max(next_b as usize);
+    }
+
+    fn node(
+        &mut self,
+        block: &Block,
+        id: NodeId,
+        slot: &mut [u32],
+        next_f: &mut u32,
+        next_b: &mut u32,
+    ) {
+        let node = &block.nodes[id];
+        // Operand slots are read before the destination is allocated;
+        // a node never reads its own slot.
+        let args: Vec<u32> = node.inputs.iter().map(|n| slot[n.index()]).collect();
+        let arg = |i: usize| args[i];
+        macro_rules! dst_f {
+            () => {{
+                let s = *next_f;
+                *next_f += 1;
+                slot[id.index()] = s;
+                s
+            }};
+        }
+        macro_rules! dst_b {
+            () => {{
+                let s = *next_b;
+                *next_b += 1;
+                slot[id.index()] = s;
+                s
+            }};
+        }
+        // Addressed ops carry a placeholder `aslot` here; the
+        // strength-reduction pass assigns the real register from the
+        // side-table address.
+        let mut addr: Option<Addr> = None;
+        let op = match &node.kind {
+            NodeKind::ConstF(v) => Op::ConstF { dst: dst_f!(), v: *v },
+            NodeKind::ConstB(v) => Op::ConstB { dst: dst_b!(), v: *v },
+            NodeKind::Load { addr: a, .. } => {
+                addr = Some(Addr::decode(a));
+                Op::Load {
+                    dst: dst_f!(),
+                    aslot: 0,
+                }
+            }
+            NodeKind::Store { addr: a, .. } => {
+                addr = Some(Addr::decode(a));
+                Op::Store {
+                    src: arg(0),
+                    aslot: 0,
+                }
+            }
+            NodeKind::Recv { dir, chan, ext } => {
+                let dst = dst_f!();
+                let from_upstream = (*dir == Dir::Left) == self.flow_right;
+                if from_upstream && !self.is_first {
+                    Op::RecvQueue { dst, chan: *chan }
+                } else {
+                    // Boundary: the host supplies the external value
+                    // (unannotated boundary receives read 0.0), exactly
+                    // as the oracle interpreter resolves them.
+                    match ext {
+                        Some(HostSlot::Lit(v)) => Op::RecvLit { dst, v: *v },
+                        Some(HostSlot::Elem { var, index }) => {
+                            addr = Some(Addr::decode(index));
+                            Op::RecvHost {
+                                dst,
+                                var: *var,
+                                size: self.ir.vars[*var].size(),
+                                aslot: 0,
+                            }
+                        }
+                        None => Op::RecvLit { dst, v: 0.0 },
+                    }
+                }
+            }
+            NodeKind::Send { dir, chan, ext } => {
+                let to_downstream = (*dir == Dir::Right) == self.flow_right;
+                if !to_downstream {
+                    // Against-the-flow sends fall off the array edge;
+                    // the oracle drops them too.
+                    return;
+                }
+                if self.is_last {
+                    let sink = match ext {
+                        Some(HostSlot::Elem { var, index }) => {
+                            addr = Some(Addr::decode(index));
+                            Some((*var, self.ir.vars[*var].size(), 0))
+                        }
+                        _ => None,
+                    };
+                    Op::SendLast {
+                        src: arg(0),
+                        chan: *chan,
+                        sink,
+                    }
+                } else {
+                    Op::SendQueue {
+                        src: arg(0),
+                        chan: *chan,
+                    }
+                }
+            }
+            NodeKind::FAdd => Op::FAdd {
+                a: arg(0),
+                b: arg(1),
+                dst: dst_f!(),
+            },
+            NodeKind::FSub => Op::FSub {
+                a: arg(0),
+                b: arg(1),
+                dst: dst_f!(),
+            },
+            NodeKind::FMul => Op::FMul {
+                a: arg(0),
+                b: arg(1),
+                dst: dst_f!(),
+            },
+            NodeKind::FDiv => Op::FDiv {
+                a: arg(0),
+                b: arg(1),
+                dst: dst_f!(),
+            },
+            NodeKind::FNeg => Op::FNeg {
+                a: arg(0),
+                dst: dst_f!(),
+            },
+            NodeKind::FCmp(op) => Op::FCmp {
+                op: *op,
+                a: arg(0),
+                b: arg(1),
+                dst: dst_b!(),
+            },
+            NodeKind::BAnd => Op::BAnd {
+                a: arg(0),
+                b: arg(1),
+                dst: dst_b!(),
+            },
+            NodeKind::BOr => Op::BOr {
+                a: arg(0),
+                b: arg(1),
+                dst: dst_b!(),
+            },
+            NodeKind::BNot => Op::BNot {
+                a: arg(0),
+                dst: dst_b!(),
+            },
+            NodeKind::Select => Op::Select {
+                cond: arg(0),
+                t: arg(1),
+                e: arg(2),
+                dst: dst_f!(),
+            },
+        };
+        self.push(op, addr);
+    }
+}

@@ -1,0 +1,89 @@
+//! Three-way differential testing on the standalone corpus: the
+//! oracle, the cycle-level simulator, and the native backend must
+//! agree **bitwise** on every program, in both cell-codegen modes,
+//! on multiple input seeds.
+//!
+//! This is the corpus half of the native conformance story
+//! (`w2c --differential --backend all` covers generated programs) and
+//! the test the CI `native-differential` job runs. The corruption test
+//! at the bottom is the harness's own smoke check: a fault injected
+//! into the *simulator only* must surface as a mismatch that names the
+//! simulator — with three executors, pairwise comparison localizes a
+//! lone faulty one instead of just reporting "something diverged".
+
+use warp::compiler::differential::{check_case, BackendSel, CaseOutcome, DiffOptions};
+
+fn read(name: &str) -> String {
+    let path = format!("{}/corpus/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+const CORPUS: [&str; 7] = [
+    "polynomial.w2",
+    "conv1d.w2",
+    "binop.w2",
+    "colorseg.w2",
+    "mandelbrot.w2",
+    "fft16.w2",
+    "matmul_2x4x4.w2",
+];
+
+/// Corpus programs are bigger than generated ones (colorseg runs >10M
+/// cell cycles), so lift the fuzzing-oriented budgets and select the
+/// three-way backend.
+fn corpus_opts() -> DiffOptions {
+    DiffOptions {
+        max_cell_cycles: 0,
+        case_timeout: std::time::Duration::from_secs(120),
+        backend: BackendSel::All,
+        ..DiffOptions::default()
+    }
+}
+
+#[test]
+fn corpus_agrees_three_ways() {
+    // Both cell-codegen modes: the modulo-scheduled default and the
+    // `--no-pipeline` list-scheduled baseline. check_case pins
+    // reassociation off, so neither scheduling mode nor executor choice
+    // may change a single output bit.
+    for pipeline in [true, false] {
+        let opts = DiffOptions {
+            pipeline,
+            ..corpus_opts()
+        };
+        for file in CORPUS {
+            // Two input seeds per program: catches value-dependent
+            // paths (e.g. mandelbrot's escape conditional).
+            for input_seed in [1u64, 0xDEAD_BEEF] {
+                let outcome = check_case(&read(file), input_seed, &opts);
+                assert!(
+                    matches!(outcome, CaseOutcome::Agree),
+                    "{file} (input seed {input_seed}, pipeline {pipeline}): {outcome:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_in_the_simulator_is_localized_to_the_simulator() {
+    // `corrupt=X:0` flips mantissa bits of one in-flight word inside
+    // the simulator and trips no machine invariant. The oracle and the
+    // native backend are untouched, so the first diverging pair must
+    // involve the simulator — if a mismatch ever blamed oracle-vs-
+    // native here, the pairwise localization would be broken.
+    let opts = DiffOptions {
+        inject: Some("seed=5,corrupt=X:0".parse().expect("valid spec")),
+        ..corpus_opts()
+    };
+    for file in CORPUS {
+        let outcome = check_case(&read(file), 1, &opts);
+        match outcome {
+            CaseOutcome::Mismatch(detail) => assert!(
+                detail.contains("simulator"),
+                "{file}: mismatch does not name the simulator: {detail}"
+            ),
+            other => panic!("{file}: corruption not detected: {other:?}"),
+        }
+    }
+}
