@@ -159,10 +159,19 @@ impl std::error::Error for CancelReason {}
 /// Deadline sentinel meaning "no deadline armed".
 const NO_DEADLINE: u64 = u64::MAX;
 
+/// Heartbeat sentinel meaning "heartbeat recording disabled".
+const HEARTBEAT_OFF: u64 = u64::MAX;
+
 struct TokenInner {
     cancelled: AtomicBool,
     /// Absolute deadline in clock ticks; `NO_DEADLINE` when unarmed.
     deadline: AtomicU64,
+    /// Last clock reading observed by a [`CancelToken::check`] poll;
+    /// `HEARTBEAT_OFF` unless a supervisor opted in. A cancelled token
+    /// stops refreshing: a job that polls but refuses to exit goes
+    /// stale and is indistinguishable from one that never polls at
+    /// all — both hold a worker hostage.
+    heartbeat: AtomicU64,
     clock: Arc<dyn Clock>,
 }
 
@@ -191,6 +200,7 @@ impl CancelToken {
             inner: Some(Arc::new(TokenInner {
                 cancelled: AtomicBool::new(false),
                 deadline: AtomicU64::new(NO_DEADLINE),
+                heartbeat: AtomicU64::new(HEARTBEAT_OFF),
                 clock,
             })),
         }
@@ -235,9 +245,18 @@ impl CancelToken {
             return Err(CancelReason::Cancelled);
         }
         let deadline = inner.deadline.load(Ordering::SeqCst);
-        if deadline != NO_DEADLINE {
+        let beating = inner.heartbeat.load(Ordering::SeqCst) != HEARTBEAT_OFF;
+        if deadline != NO_DEADLINE || beating {
+            // One clock read serves both the deadline comparison and
+            // the heartbeat stamp, so enabling supervision does not
+            // change auto-advance poll accounting on deadline tokens.
             let now = inner.clock.now_ticks();
-            if now > deadline {
+            if beating {
+                inner
+                    .heartbeat
+                    .store(now.min(HEARTBEAT_OFF - 1), Ordering::SeqCst);
+            }
+            if deadline != NO_DEADLINE && now > deadline {
                 return Err(CancelReason::DeadlineExceeded { deadline, now });
             }
         }
@@ -247,6 +266,26 @@ impl CancelToken {
     /// `true` once [`CancelToken::check`] would fail.
     pub fn is_stopped(&self) -> bool {
         self.check().is_err()
+    }
+
+    /// Turns on heartbeat recording and stamps "now". Called by a
+    /// supervising pool at dispatch; off by default so plain tokens
+    /// never pay an extra clock read per poll.
+    pub fn enable_heartbeat(&self) {
+        if let Some(inner) = &self.inner {
+            let now = inner.clock.now_ticks().min(HEARTBEAT_OFF - 1);
+            inner.heartbeat.store(now, Ordering::SeqCst);
+        }
+    }
+
+    /// The clock reading of the most recent poll, or `None` when the
+    /// token is inert or heartbeats were never enabled. A supervisor
+    /// compares this against its own clock read to detect a worker
+    /// that stopped polling (or polls but ignores cancellation).
+    pub fn heartbeat_ticks(&self) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let beat = inner.heartbeat.load(Ordering::SeqCst);
+        (beat != HEARTBEAT_OFF).then_some(beat)
     }
 }
 
@@ -424,6 +463,57 @@ mod tests {
             now: 9,
         };
         assert!(r.to_string().contains("deadline exceeded"), "{r}");
+    }
+
+    #[test]
+    fn heartbeat_off_by_default() {
+        let clock = Arc::new(ManualClock::new(0));
+        let t = CancelToken::new(clock.clone());
+        assert_eq!(t.heartbeat_ticks(), None);
+        t.check().unwrap();
+        assert_eq!(t.heartbeat_ticks(), None, "check must not enable it");
+        assert_eq!(CancelToken::none().heartbeat_ticks(), None);
+    }
+
+    #[test]
+    fn heartbeat_stamps_on_poll() {
+        let clock = Arc::new(ManualClock::new(7));
+        let t = CancelToken::new(clock.clone());
+        t.enable_heartbeat();
+        assert_eq!(t.heartbeat_ticks(), Some(7));
+        clock.advance(10);
+        assert_eq!(t.heartbeat_ticks(), Some(7), "reads don't stamp");
+        t.check().unwrap();
+        assert_eq!(t.heartbeat_ticks(), Some(17));
+    }
+
+    #[test]
+    fn heartbeat_goes_stale_once_cancelled() {
+        // A job that polls but ignores cancellation must look exactly
+        // like one that never polls: its heartbeat stops refreshing.
+        let clock = Arc::new(ManualClock::new(0));
+        let t = CancelToken::new(clock.clone());
+        t.enable_heartbeat();
+        t.cancel();
+        clock.advance(100);
+        assert!(t.check().is_err());
+        assert_eq!(
+            t.heartbeat_ticks(),
+            Some(0),
+            "stamp frozen at cancel-time value"
+        );
+    }
+
+    #[test]
+    fn heartbeat_shares_deadline_clock_read() {
+        // Auto-advance accounting is unchanged by enabling heartbeats
+        // on a deadline token: one read per poll, stamped and compared.
+        let clock = Arc::new(ManualClock::with_auto_advance(0, 5));
+        let t = CancelToken::with_deadline(clock, 12);
+        t.enable_heartbeat(); // consumes one read: ticks 0
+        let polls = (0..10).take_while(|_| t.check().is_ok()).count();
+        assert_eq!(polls, 2, "polls read ticks 5, 10, then 15 > 12");
+        assert_eq!(t.heartbeat_ticks(), Some(15), "failing poll still stamps");
     }
 
     #[test]

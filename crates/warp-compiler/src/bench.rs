@@ -413,12 +413,7 @@ fn reports_bitwise_equal(
         let (Ok(av), Ok(bv)) = (a.host.get(&info.name), b.host.get(&info.name)) else {
             return false;
         };
-        if av.len() != bv.len()
-            || av
-                .iter()
-                .zip(bv)
-                .any(|(x, y)| x.to_bits() != y.to_bits())
-        {
+        if av.len() != bv.len() || av.iter().zip(bv).any(|(x, y)| x.to_bits() != y.to_bits()) {
             return false;
         }
     }
@@ -485,9 +480,14 @@ pub fn bench_native_program(
 
     // One warmup run per executor keeps cold page faults out of the
     // timed runs and supplies the report for the bitwise check.
-    let sim = module.run(&inputs).map_err(|e| err("simulate", e.to_string()))?;
+    let sim = module
+        .run(&inputs)
+        .map_err(|e| err("simulate", e.to_string()))?;
     let sim_wall_ms = min_single_wall_ms(sim_runs, || {
-        module.run(&inputs).map(|_| ()).map_err(|e| err("simulate", e.to_string()))
+        module
+            .run(&inputs)
+            .map(|_| ())
+            .map_err(|e| err("simulate", e.to_string()))
     })?;
 
     // Build the op tables and the runner once and amortize — the
@@ -501,7 +501,9 @@ pub fn bench_native_program(
         for (n, d) in &inputs {
             host.set(n, d).map_err(|e| err("bind", e.to_string()))?;
         }
-        runner.run(host, &native_opts).map_err(|e| err("native", e.to_string()))
+        runner
+            .run(host, &native_opts)
+            .map_err(|e| err("native", e.to_string()))
     };
     let native = native_once()?;
     let native_wall_ms = min_single_wall_ms(repeats, || native_once().map(|_| ()))?;
@@ -599,8 +601,7 @@ mod tests {
         // gate scheduled it, so consumers can line entries up with the
         // loop structure.
         let src = corpus::polynomial_source(4, 64);
-        let r = bench_program("polynomial", &src, &CompileOptions::default(), 1)
-            .expect("benches");
+        let r = bench_program("polynomial", &src, &CompileOptions::default(), 1).expect("benches");
         let module = compile_mode(&src, &CompileOptions::default(), true).expect("compiles");
         let mut loops = Vec::new();
         innermost_loops(&module.ir.root, &mut loops);

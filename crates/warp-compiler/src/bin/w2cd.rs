@@ -6,6 +6,7 @@
 //!      [--max-cell-cycles N] [--max-source-bytes N] [--workers N]
 //!      [--cache-bytes N] [--negative-ttl-ms N] [--listen PATH]
 //!      [--store-dir PATH] [--store-bytes N]
+//!      [--supervise-grace-ms N] [--supervise-interval-ms N]
 //! w2cd --corpus [same flags]       (one-shot: queue Table 7-1, wait, exit)
 //! ```
 //!
@@ -24,6 +25,16 @@
 //! budgets, panic isolation, and the per-program circuit breaker all
 //! apply continuously — not just during an explicit batch drain.
 //!
+//! **Supervision is on by default**: every worker heartbeats at its
+//! cooperative poll points, and a job whose heartbeat goes stale for
+//! `--supervise-grace-ms` (default 10 000 ms; `0` disables) is
+//! declared wedged, reported exactly once, and its worker replaced. A
+//! previously-wedged name is retried through a hard-isolated,
+//! `SIGKILL`able subprocess before it is allowed back in-process.
+//! `health` reports the honest taxonomy — `healthy`, `degraded`, or
+//! `critical` with the contributing reasons — instead of a
+//! hard-coded all-clear.
+//!
 //! Two front ends share one daemon:
 //!
 //! * **stdin** (default): the single-client compatibility mode, same
@@ -33,7 +44,9 @@
 //!   accounting). All clients share the worker pool, cache, and
 //!   breaker.
 //!
-//! The line protocol:
+//! The line protocol lives in `warp_compiler::protocol` (hardened:
+//! 64 KiB line cap, non-UTF-8 lines rejected without ending the
+//! session, hostile bytes never echoed raw):
 //!
 //! ```text
 //! corpus NAME|all         queue a Table 7-1 program (or all five)
@@ -44,45 +57,42 @@
 //!                         artifact cache per serving path
 //! run                     wait for this client's jobs, print the batch summary
 //! status                  per-job state (queued/running/done) and breaker state
-//! health                  guard limits, workers, queue depth, one line
+//! health                  taxonomy verdict + live limits, one line
 //! cache [clear]           cache counters (or drop both tiers, reporting bytes)
 //! store                   disk-tier counters (recovered, quarantined, hits)
-//! stats                   pool counters
-//! reset NAME              reopen the circuit breaker for NAME
+//! stats                   pool + native-serving counters
+//! reset NAME              reopen the circuit breakers for NAME
 //! quit                    end this client session (EOF works too)
 //! shutdown                stop the daemon (socket mode; = quit on stdin)
 //! ```
 //!
-//! Duplicate job names are rejected per client: two outstanding
-//! `submit`s under one NAME would share a breaker key and interleave
-//! confusingly in the summary, so the second is refused until the
-//! first is collected with `run`. Malformed lines are answered with a
-//! one-line `error: ...` rather than killing the daemon, and an EOF
-//! that arrives with jobs still outstanding waits for them (one final
-//! batch summary) before exit so piped sessions never silently drop
-//! work.
+//! The undocumented `--chaos-spin-marker` / `--chaos-native-marker`
+//! flags arm the fault-injection hooks used by the supervision soak
+//! and the README's two-terminal wedge demo; they have no effect on
+//! jobs whose names avoid the marker.
 
-use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use warp_compiler::{
     cache::CacheConfig,
-    corpus,
-    daemon::{batch_report, CompileDaemon, DaemonConfig},
+    daemon::{CompileDaemon, DaemonConfig},
+    isolate,
+    protocol::{banner, ClientSession},
     service::ServiceConfig,
     store::StoreConfig,
-    CompileOptions, ExecBackend,
+    CompileOptions,
 };
-use warp_service::{effective_workers, Admission, ExecutorConfig, ShutdownMode};
+use warp_service::{effective_workers, ExecutorConfig, ShutdownMode};
 
 struct DaemonArgs {
     config: DaemonConfig,
     opts: CompileOptions,
     one_shot_corpus: bool,
     listen: Option<String>,
+    chaos_spin_marker: Option<String>,
+    chaos_native_marker: Option<String>,
 }
 
 fn usage() -> ! {
@@ -92,6 +102,7 @@ fn usage() -> ! {
          \x20           [--max-cell-cycles N] [--max-source-bytes N] [--workers N]\n\
          \x20           [--cache-bytes N] [--negative-ttl-ms N] [--listen PATH]\n\
          \x20           [--store-dir PATH] [--store-bytes N]\n\
+         \x20           [--supervise-grace-ms N] [--supervise-interval-ms N]\n\
          \x20      w2cd --corpus [same flags]\n\
          \x20  protocol: corpus NAME|all, submit NAME FILE.w2 [sim|native], run, status,\n\
          \x20            health, cache [clear], store, stats, reset NAME, quit, shutdown"
@@ -113,6 +124,13 @@ fn parse_u64(flag: &str, args: &mut impl Iterator<Item = String>) -> u64 {
             std::process::exit(2)
         }
     }
+}
+
+fn parse_string(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} expects a value");
+        std::process::exit(2)
+    })
 }
 
 fn parse_args() -> DaemonArgs {
@@ -139,6 +157,11 @@ fn parse_args() -> DaemonArgs {
                 // 0 = available parallelism, resolved at startup and
                 // printed in the ready banner and `health`.
                 workers: 0,
+                // 10 s of heartbeat silence before a running job is
+                // declared wedged; far past any cooperative-poll gap
+                // in a healthy pipeline, far under a human's patience.
+                supervise_grace_ticks: 10_000_000,
+                supervise_interval_ms: 0,
             },
             cache: CacheConfig::default(),
             store: None,
@@ -146,6 +169,8 @@ fn parse_args() -> DaemonArgs {
         opts: CompileOptions::default(),
         one_shot_corpus: false,
         listen: None,
+        chaos_spin_marker: None,
+        chaos_native_marker: None,
     };
     let mut store_dir: Option<String> = None;
     let mut store_bytes = 0u64;
@@ -181,6 +206,13 @@ fn parse_args() -> DaemonArgs {
             "--workers" => {
                 parsed.config.service.workers = parse_u64(flag, &mut args) as usize;
             }
+            "--supervise-grace-ms" => {
+                parsed.config.service.supervise_grace_ticks =
+                    parse_u64(flag, &mut args).saturating_mul(1_000);
+            }
+            "--supervise-interval-ms" => {
+                parsed.config.service.supervise_interval_ms = parse_u64(flag, &mut args);
+            }
             "--cache-bytes" => {
                 parsed.config.cache.byte_budget = parse_u64(flag, &mut args);
             }
@@ -188,20 +220,16 @@ fn parse_args() -> DaemonArgs {
                 parsed.config.cache.negative_ttl_ticks =
                     parse_u64(flag, &mut args).saturating_mul(1_000);
             }
-            "--listen" => {
-                parsed.listen = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("error: --listen expects a socket path");
-                    std::process::exit(2)
-                }));
-            }
-            "--store-dir" => {
-                store_dir = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("error: --store-dir expects a directory path");
-                    std::process::exit(2)
-                }));
-            }
+            "--listen" => parsed.listen = Some(parse_string(flag, &mut args)),
+            "--store-dir" => store_dir = Some(parse_string(flag, &mut args)),
             "--store-bytes" => {
                 store_bytes = parse_u64(flag, &mut args);
+            }
+            "--chaos-spin-marker" => {
+                parsed.chaos_spin_marker = Some(parse_string(flag, &mut args));
+            }
+            "--chaos-native-marker" => {
+                parsed.chaos_native_marker = Some(parse_string(flag, &mut args));
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -223,360 +251,10 @@ fn parse_args() -> DaemonArgs {
     parsed
 }
 
-/// One client's session state: its outstanding jobs and exit
-/// accounting. Stdin and each socket client get one each; the daemon
-/// behind them is shared.
-struct ClientSession<'d> {
-    daemon: &'d CompileDaemon,
-    /// Outstanding (submitted, not yet collected) jobs: id → name, in
-    /// submission order.
-    outstanding: BTreeMap<usize, String>,
-    all_clean: bool,
-    saw_quit: bool,
-    /// Set when this client asked the whole daemon to stop.
-    want_shutdown: bool,
-}
-
-impl<'d> ClientSession<'d> {
-    fn new(daemon: &'d CompileDaemon) -> ClientSession<'d> {
-        ClientSession {
-            daemon,
-            outstanding: BTreeMap::new(),
-            all_clean: true,
-            saw_quit: false,
-            want_shutdown: false,
-        }
-    }
-
-    fn has_name(&self, name: &str) -> bool {
-        self.outstanding.values().any(|n| n == name)
-    }
-
-    fn submit(
-        &mut self,
-        out: &mut impl Write,
-        name: &str,
-        source: String,
-        backend: ExecBackend,
-    ) -> std::io::Result<()> {
-        if self.has_name(name) {
-            return writeln!(
-                out,
-                "error: duplicate name `{name}` already outstanding; \
-                 collect it with `run` or pick a distinct name"
-            );
-        }
-        match self.daemon.submit_with_backend(name, source, backend) {
-            Admission::Accepted { id, .. } => {
-                self.outstanding.insert(id, name.to_owned());
-                writeln!(out, "accepted {name} id={id}")
-            }
-            Admission::Rejected { retry_after_ticks } => {
-                writeln!(out, "rejected {name} retry-after-ticks={retry_after_ticks}")
-            }
-        }
-    }
-
-    fn queue_corpus(&mut self, out: &mut impl Write, which: &str) -> std::io::Result<()> {
-        let programs: Vec<(&str, &str)> = if which == "all" {
-            corpus::TABLE_7_1.to_vec()
-        } else {
-            match corpus::TABLE_7_1.iter().find(|(n, _)| *n == which) {
-                Some(p) => vec![*p],
-                None => return writeln!(out, "error: unknown corpus program `{which}`"),
-            }
-        };
-        for (name, src) in programs {
-            self.submit(out, name, src.to_owned(), ExecBackend::default())?;
-        }
-        Ok(())
-    }
-
-    /// `run`: wait for this client's jobs and print the batch summary.
-    fn run(&mut self, out: &mut impl Write) -> std::io::Result<()> {
-        let ids: Vec<usize> = self.outstanding.keys().copied().collect();
-        self.outstanding.clear();
-        let reports = self.daemon.wait(&ids);
-        let batch = batch_report(reports, self.daemon.quarantined_names());
-        write!(out, "{}", batch.summary())?;
-        let healthy = batch.is_healthy();
-        if !healthy {
-            writeln!(
-                out,
-                "batch unhealthy: timeouts, panics, or quarantined programs present"
-            )?;
-        }
-        self.all_clean &= healthy && batch.failed() == 0;
-        Ok(())
-    }
-
-    fn status(&self, out: &mut impl Write) -> std::io::Result<()> {
-        let in_flight = self.daemon.jobs_in_flight();
-        let queued = in_flight
-            .iter()
-            .filter(|(_, _, s)| *s == warp_service::JobState::Queued)
-            .count();
-        let running = in_flight
-            .iter()
-            .filter(|(_, _, s)| *s == warp_service::JobState::Running)
-            .count();
-        let done = in_flight.len() - queued - running;
-        writeln!(
-            out,
-            "in-flight={} queued={queued} running={running} done={done} quarantined=[{}]",
-            in_flight.len(),
-            self.daemon.quarantined_names().join(", "),
-        )?;
-        for (id, name, state) in &in_flight {
-            writeln!(out, "  id={id} {name} {state}")?;
-        }
-        let history = self.daemon.breaker_history();
-        if !history.is_empty() {
-            let threshold = self.daemon.config().service.exec.breaker_threshold;
-            let rendered: Vec<String> = history
-                .iter()
-                .map(|(n, k)| format!("{n}={k}/{threshold}"))
-                .collect();
-            writeln!(out, "  breakers: {}", rendered.join(", "))?;
-        }
-        Ok(())
-    }
-
-    fn health(&self, out: &mut impl Write) -> std::io::Result<()> {
-        let c = self.daemon.config().service.clone();
-        writeln!(
-            out,
-            "healthy workers={} queued={} running={} queue-capacity={} deadline-ms={} \
-             max-attempts={} breaker-threshold={} skew-max-events={} max-cell-cycles={} \
-             max-source-bytes={} quarantined={}",
-            self.daemon.workers(),
-            self.daemon.queue_len(),
-            self.daemon.running_len(),
-            c.exec.queue_capacity,
-            c.exec.deadline_ticks / 1_000,
-            c.exec.max_attempts,
-            c.exec.breaker_threshold,
-            c.skew_max_events,
-            c.max_cell_cycles,
-            c.max_source_bytes,
-            self.daemon.quarantined_names().len(),
-        )
-    }
-
-    fn cache(&self, out: &mut impl Write, clear: bool) -> std::io::Result<()> {
-        if clear {
-            let r = self.daemon.clear_cache();
-            return writeln!(
-                out,
-                "cache cleared: memory {} entries / {} bytes, disk {} artifacts / {} bytes",
-                r.memory_entries, r.memory_bytes, r.disk_entries, r.disk_bytes,
-            );
-        }
-        let s = self.daemon.cache_stats();
-        writeln!(
-            out,
-            "cache: entries={} bytes={} lookups={} hits={} negative-hits={} misses={} \
-             coalesced={} inserts={} evictions={} expired={} hit-rate={:.2}",
-            s.entries,
-            s.resident_bytes,
-            s.lookups,
-            s.hits,
-            s.negative_hits,
-            s.misses,
-            s.coalesced,
-            s.inserts + s.negative_inserts,
-            s.evictions,
-            s.expired,
-            s.hit_rate(),
-        )?;
-        if let Some(d) = self.daemon.store_stats() {
-            writeln!(
-                out,
-                "  disk: artifacts={} bytes={} hits={} misses={} puts={} put-failures={} \
-                 evictions={} recovered={} quarantined={}",
-                d.entries,
-                d.resident_bytes,
-                d.hits,
-                d.misses,
-                d.puts,
-                d.put_failures,
-                d.evictions,
-                d.recovered,
-                d.quarantined,
-            )?;
-        }
-        Ok(())
-    }
-
-    fn store(&self, out: &mut impl Write) -> std::io::Result<()> {
-        let Some(d) = self.daemon.store_stats() else {
-            return match self.daemon.store_error() {
-                Some(e) => writeln!(out, "store: unavailable ({e}); running memory-only"),
-                None => writeln!(out, "store: not configured (start with --store-dir)"),
-            };
-        };
-        let dir = self
-            .daemon
-            .config()
-            .store
-            .as_ref()
-            .map(|s| s.dir.display().to_string())
-            .unwrap_or_default();
-        writeln!(
-            out,
-            "store: dir={dir} artifacts={} bytes={} recovered={} quarantined={} \
-             tmp-cleaned={} hits={} misses={} puts={} put-failures={} evictions={}",
-            d.entries,
-            d.resident_bytes,
-            d.recovered,
-            d.quarantined,
-            d.tmp_cleaned,
-            d.hits,
-            d.misses,
-            d.puts,
-            d.put_failures,
-            d.evictions,
-        )
-    }
-
-    fn stats(&self, out: &mut impl Write) -> std::io::Result<()> {
-        let s = self.daemon.pool_stats();
-        writeln!(
-            out,
-            "pool: workers={} submitted={} accepted={} shed={} completed={} panicked={} \
-             quarantined={} max-queue-depth={}",
-            self.daemon.workers(),
-            s.submitted,
-            s.accepted,
-            s.shed,
-            s.completed,
-            s.panicked,
-            s.quarantined,
-            s.max_queue_depth,
-        )
-    }
-
-    /// Dispatches one protocol line. Returns `false` when the session
-    /// should end.
-    fn handle_line(&mut self, out: &mut impl Write, line: &str) -> std::io::Result<bool> {
-        let mut words = line.split_whitespace();
-        match words.next() {
-            None => {}
-            Some("quit") => {
-                self.saw_quit = true;
-                return Ok(false);
-            }
-            Some("shutdown") if words.next().is_none() => {
-                self.saw_quit = true;
-                self.want_shutdown = true;
-                writeln!(out, "shutting down")?;
-                return Ok(false);
-            }
-            Some("corpus") => {
-                let which = words.next().unwrap_or("all");
-                if words.next().is_some() {
-                    writeln!(out, "error: usage: corpus [NAME|all]")?;
-                } else {
-                    self.queue_corpus(out, which)?;
-                }
-            }
-            Some("submit") => match (words.next(), words.next(), words.next(), words.next()) {
-                (Some(name), Some(path), backend, None) => {
-                    match backend.map_or(Ok(ExecBackend::default()), str::parse) {
-                        Ok(backend) => match std::fs::read_to_string(path) {
-                            Ok(source) => self.submit(out, name, source, backend)?,
-                            Err(e) => writeln!(out, "error: cannot read `{path}`: {e}")?,
-                        },
-                        Err(e) => writeln!(out, "error: {e}")?,
-                    }
-                }
-                _ => writeln!(out, "error: usage: submit NAME FILE.w2 [sim|native]")?,
-            },
-            Some("run") if words.next().is_none() => self.run(out)?,
-            Some("status") if words.next().is_none() => self.status(out)?,
-            Some("health") if words.next().is_none() => self.health(out)?,
-            Some("stats") if words.next().is_none() => self.stats(out)?,
-            Some("cache") => match words.next() {
-                None => self.cache(out, false)?,
-                Some("clear") if words.next().is_none() => self.cache(out, true)?,
-                _ => writeln!(out, "error: usage: cache [clear]")?,
-            },
-            Some("store") if words.next().is_none() => self.store(out)?,
-            Some("reset") => match (words.next(), words.next()) {
-                (Some(name), None) => {
-                    if self.daemon.reset_breaker(name) {
-                        writeln!(out, "breaker reset for {name}")?;
-                    } else {
-                        writeln!(out, "no breaker history for {name}")?;
-                    }
-                }
-                _ => writeln!(out, "error: usage: reset NAME")?,
-            },
-            Some(cmd @ ("run" | "status" | "health" | "stats" | "store" | "shutdown")) => {
-                writeln!(out, "error: `{cmd}` takes no operands")?;
-            }
-            Some(other) => writeln!(out, "error: unknown command `{other}`")?,
-        }
-        Ok(true)
-    }
-
-    /// Runs the line protocol until quit/EOF, then settles: an EOF
-    /// with jobs still outstanding waits for them (one final batch
-    /// summary) so piped sessions never silently drop work.
-    fn serve(&mut self, input: impl BufRead, out: &mut impl Write) {
-        for line in input.lines() {
-            let line = match line {
-                Ok(l) => l,
-                Err(e) => {
-                    // Non-UTF-8 or I/O trouble: report and fall through
-                    // to the EOF drain rather than dropping queued jobs.
-                    let _ = writeln!(out, "error: input: {e}");
-                    break;
-                }
-            };
-            match self.handle_line(out, &line) {
-                Ok(true) => {}
-                Ok(false) => break,
-                // The client went away; stop reading, the drain below
-                // still collects its jobs.
-                Err(_) => break,
-            }
-            let _ = out.flush();
-        }
-        if !self.saw_quit && !self.outstanding.is_empty() {
-            let _ = writeln!(
-                out,
-                "draining {} outstanding job(s) at EOF",
-                self.outstanding.len()
-            );
-            let _ = self.run(out);
-        }
-        let _ = out.flush();
-    }
-}
-
-fn banner(daemon: &CompileDaemon) -> String {
-    let c = &daemon.config().service.exec;
-    let mut line = format!(
-        "w2cd ready (queue {}, deadline {} ms, breaker threshold {}, workers {})",
-        c.queue_capacity,
-        c.deadline_ticks / 1_000,
-        c.breaker_threshold,
-        daemon.workers(),
-    );
-    if let Some(w) = daemon.warm_start() {
-        line.push_str(&format!(
-            "\nstore: {} artifact(s) recovered, {} corrupt quarantined, \
-             {} tmp cleaned, {} bytes resident",
-            w.recovered, w.quarantined, w.tmp_cleaned, w.resident_bytes,
-        ));
-    } else if let Some(e) = daemon.store_error() {
-        line.push_str(&format!("\nstore: unavailable ({e}); running memory-only"));
-    }
-    line
-}
-
 fn serve_listener(daemon: Arc<CompileDaemon>, path: &str) -> ExitCode {
+    use std::io::{BufReader, Write};
+    use std::sync::atomic::Ordering;
+
     let _ = std::fs::remove_file(path);
     let listener = match std::os::unix::net::UnixListener::bind(path) {
         Ok(l) => l,
@@ -610,10 +288,10 @@ fn serve_listener(daemon: Arc<CompileDaemon>, path: &str) -> ExitCode {
             let mut session = ClientSession::new(&daemon);
             let _ = writeln!(out, "{}", banner(&daemon));
             session.serve(reader, &mut out);
-            if !session.all_clean {
+            if !session.all_clean() {
                 all_clean.store(false, Ordering::SeqCst);
             }
-            if session.want_shutdown {
+            if session.want_shutdown() {
                 stop.store(true, Ordering::SeqCst);
                 // Unblock the accept loop with a throwaway connection.
                 let _ = std::os::unix::net::UnixStream::connect(&path);
@@ -630,12 +308,24 @@ fn serve_listener(daemon: Arc<CompileDaemon>, path: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // When re-exec'd as a hard-isolation child this never returns;
+    // it must run before anything touches the daemon machinery.
+    isolate::maybe_run_child();
+
     let args = parse_args();
     // Resolve `--workers 0` once so every surface (banner, health,
     // stats) reports the effective parallelism.
     let mut config = args.config.clone();
     config.service.workers = effective_workers(config.service.workers);
-    let daemon = CompileDaemon::with_system_clock(args.opts.clone(), config);
+    let mut daemon = CompileDaemon::with_system_clock(args.opts.clone(), config);
+    if let Some(marker) = &args.chaos_spin_marker {
+        // The daemon's own lifetime is the latch: zombie spinners die
+        // with the process.
+        daemon = daemon.with_chaos_spin_marker(marker, Arc::new(AtomicBool::new(false)));
+    }
+    if let Some(marker) = &args.chaos_native_marker {
+        daemon = daemon.with_chaos_native_marker(marker);
+    }
 
     if args.one_shot_corpus {
         let mut session = ClientSession::new(&daemon);
@@ -643,9 +333,11 @@ fn main() -> ExitCode {
         if session.queue_corpus(&mut out, "all").is_err() || session.run(&mut out).is_err() {
             return ExitCode::FAILURE;
         }
+        use std::io::Write;
         let _ = out.flush();
+        let clean = session.all_clean();
         daemon.shutdown(ShutdownMode::Drain);
-        return if session.all_clean {
+        return if clean {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
@@ -660,7 +352,7 @@ fn main() -> ExitCode {
     let mut session = ClientSession::new(&daemon);
     let mut out = std::io::stdout();
     session.serve(std::io::stdin().lock(), &mut out);
-    let clean = session.all_clean;
+    let clean = session.all_clean();
     daemon.shutdown(ShutdownMode::Drain);
     if clean {
         ExitCode::SUCCESS

@@ -6,6 +6,10 @@
 //!        [--clock manual|system] [--out FILE] [--check-determinism]
 //! wserve --crash-soak [--seed N] [--lives N] [--requests-per-life N]
 //!        [--store-bytes N] [--out FILE] [--check-determinism]
+//! wserve --wedge-soak [--seed N] [--jobs N] [--workers N]
+//!        [--wedge-per-mille N] [--native-per-mille N] [--grace-ticks N]
+//!        [--queue-capacity N] [--breaker-threshold N]
+//!        [--clock manual|system] [--out FILE] [--check-determinism]
 //! ```
 //!
 //! Drives a live `CompileDaemon` with a deterministic Zipfian load mix
@@ -23,6 +27,17 @@
 //! the sorted per-job `(name, outcome)` sets to be identical — the
 //! loom-free concurrency-determinism guard the CI `serve-soak` job
 //! enforces.
+//!
+//! `--wedge-soak` runs the supervision soak: a seeded wedge storm
+//! (jobs that spin without polling cancellation, once or on every
+//! run, plus injected native-backend faults) against the heartbeat
+//! supervisor. It checks that every stalled job is detected within
+//! the grace, reported exactly once as `wedged`, its worker replaced;
+//! that previously-wedged names escalate through the `SIGKILL`able
+//! subprocess rung (hard wedges end quarantined, transient ones
+//! recover); and that native faults are transparently re-served by
+//! the sim fallback. The report lands in `BENCH_supervise.json` by
+//! default.
 //!
 //! `--crash-soak` runs the durability soak instead: a persistent
 //! artifact store is killed at a seeded crash-point each simulated
@@ -42,7 +57,9 @@ use std::sync::Arc;
 
 use warp_common::{Clock, ManualClock, SystemClock};
 use warp_compiler::crash::{run_crash_soak, CrashSoakConfig};
+use warp_compiler::isolate;
 use warp_compiler::soak::{run_soak, SoakConfig};
+use warp_compiler::supervise::{run_wedge_soak, WedgeSoakConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -50,7 +67,11 @@ fn usage() -> ! {
          \x20             [--queue-capacity N] [--breaker-threshold N]\n\
          \x20             [--clock manual|system] [--out FILE] [--check-determinism]\n\
          \x20      wserve --crash-soak [--seed N] [--lives N] [--requests-per-life N]\n\
-         \x20             [--store-bytes N] [--out FILE] [--check-determinism]"
+         \x20             [--store-bytes N] [--out FILE] [--check-determinism]\n\
+         \x20      wserve --wedge-soak [--seed N] [--jobs N] [--workers N]\n\
+         \x20             [--wedge-per-mille N] [--native-per-mille N] [--grace-ticks N]\n\
+         \x20             [--queue-capacity N] [--breaker-threshold N]\n\
+         \x20             [--clock manual|system] [--out FILE] [--check-determinism]"
     );
     std::process::exit(2)
 }
@@ -125,6 +146,88 @@ fn run_crash_mode(
     }
 }
 
+fn run_wedge_mode(
+    config: &WedgeSoakConfig,
+    out_path: &std::path::Path,
+    check_determinism: bool,
+    make_clock: impl Fn() -> Arc<dyn Clock>,
+) -> ExitCode {
+    let report = run_wedge_soak(config, make_clock());
+    let determinism_ok = !check_determinism || {
+        let second = run_wedge_soak(config, make_clock());
+        second.identity() == report.identity() && second.violations == report.violations
+    };
+
+    println!(
+        "wedge soak: seed={} workers={} jobs={} wedge-injected={} native-injected={} shed={}",
+        config.seed,
+        config.workers,
+        config.jobs,
+        report.wedge_injected,
+        report.native_injected,
+        report.shed,
+    );
+    println!(
+        "      wedges-detected={} respawned={} workers-lost={} live-workers={} \
+         native-fallbacks={}",
+        report.wedges_detected,
+        report.respawned,
+        report.wedges_detected.saturating_sub(report.respawned),
+        report.live_workers_end,
+        report.native_fallbacks,
+    );
+    println!(
+        "      escalations: probed={} recovered={} quarantined={:?}",
+        report.escalations_probed, report.escalations_recovered, report.quarantined,
+    );
+    println!(
+        "      wedge-detect p50={} p99={} ticks; healthy p50={} p99={} ticks",
+        report.wedge_detect_p50_ticks,
+        report.wedge_detect_p99_ticks,
+        report.healthy_p50_ticks,
+        report.healthy_p99_ticks,
+    );
+
+    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("cannot write `{}`: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+
+    let mut failed = false;
+    for v in &report.violations {
+        eprintln!("FAIL: {v}");
+        failed = true;
+    }
+    if report.wedge_injected == 0 && config.jobs > 0 {
+        eprintln!("FAIL: no wedge ever fired — the soak proved nothing");
+        failed = true;
+    }
+    if report.wedges_detected != report.respawned {
+        eprintln!(
+            "FAIL: {} unrecovered wedge(s)",
+            report.wedges_detected.saturating_sub(report.respawned)
+        );
+        failed = true;
+    }
+    if check_determinism {
+        if determinism_ok {
+            println!("determinism: two runs with seed {} agree", config.seed);
+        } else {
+            eprintln!(
+                "FAIL: two runs with seed {} produced different wedge-soak identities",
+                config.seed
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn parse_num<T: std::str::FromStr>(flag: &str, args: &mut impl Iterator<Item = String>) -> T {
     let value = args.next().unwrap_or_else(|| {
         eprintln!("error: {flag} expects a value");
@@ -137,16 +240,34 @@ fn parse_num<T: std::str::FromStr>(flag: &str, args: &mut impl Iterator<Item = S
 }
 
 fn main() -> ExitCode {
+    // When re-exec'd as a hard-isolation child (the wedge soak's
+    // escalation rung re-execs this binary) this never returns.
+    isolate::maybe_run_child();
+
     let mut config = SoakConfig::default();
     let mut crash_config = CrashSoakConfig::default();
+    let mut wedge_config = WedgeSoakConfig::default();
     let mut crash_mode = false;
-    let mut out_path = std::path::PathBuf::from("BENCH_serve.json");
+    let mut wedge_mode = false;
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut grace_set = false;
     let mut clock_kind = "manual".to_owned();
     let mut check_determinism = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--crash-soak" => crash_mode = true,
+            "--wedge-soak" => wedge_mode = true,
+            "--wedge-per-mille" => {
+                wedge_config.wedge_per_mille = parse_num("--wedge-per-mille", &mut args)
+            }
+            "--native-per-mille" => {
+                wedge_config.native_per_mille = parse_num("--native-per-mille", &mut args)
+            }
+            "--grace-ticks" => {
+                wedge_config.grace_ticks = parse_num("--grace-ticks", &mut args);
+                grace_set = true;
+            }
             "--lives" => crash_config.lives = parse_num("--lives", &mut args),
             "--requests-per-life" => {
                 crash_config.requests_per_life = parse_num("--requests-per-life", &mut args)
@@ -155,9 +276,16 @@ fn main() -> ExitCode {
             "--seed" => {
                 config.seed = parse_num("--seed", &mut args);
                 crash_config.seed = config.seed;
+                wedge_config.seed = config.seed;
             }
-            "--jobs" => config.jobs = parse_num("--jobs", &mut args),
-            "--workers" => config.workers = parse_num("--workers", &mut args),
+            "--jobs" => {
+                config.jobs = parse_num("--jobs", &mut args);
+                wedge_config.jobs = config.jobs;
+            }
+            "--workers" => {
+                config.workers = parse_num("--workers", &mut args);
+                wedge_config.workers = config.workers;
+            }
             "--poison-per-mille" => {
                 config.poison_per_mille = parse_num("--poison-per-mille", &mut args);
                 if config.poison_per_mille > 1000 {
@@ -171,9 +299,11 @@ fn main() -> ExitCode {
                     eprintln!("error: --queue-capacity must be at least 1");
                     return ExitCode::from(2);
                 }
+                wedge_config.queue_capacity = config.queue_capacity;
             }
             "--breaker-threshold" => {
-                config.breaker_threshold = parse_num("--breaker-threshold", &mut args)
+                config.breaker_threshold = parse_num("--breaker-threshold", &mut args);
+                wedge_config.breaker_threshold = config.breaker_threshold;
             }
             "--clock" => {
                 clock_kind = args.next().unwrap_or_else(|| usage());
@@ -187,15 +317,21 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            "--out" => out_path = args.next().unwrap_or_else(|| usage()).into(),
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| usage()).into()),
             "--check-determinism" => check_determinism = true,
             _ => usage(),
         }
     }
+    let out_path = out_path.unwrap_or_else(|| {
+        std::path::PathBuf::from(if wedge_mode {
+            "BENCH_supervise.json"
+        } else {
+            "BENCH_serve.json"
+        })
+    });
     if crash_mode {
         return run_crash_mode(&crash_config, &out_path, check_determinism);
     }
-    config.workers = warp_service::effective_workers(config.workers);
 
     let make_clock = || -> Arc<dyn Clock> {
         if clock_kind == "system" {
@@ -204,6 +340,23 @@ fn main() -> ExitCode {
             Arc::new(ManualClock::new(0))
         }
     };
+
+    if wedge_mode {
+        wedge_config.workers = warp_service::effective_workers(wedge_config.workers);
+        // The escalation rung re-execs this very binary (the child
+        // hook at the top of main makes that safe).
+        wedge_config.isolate_exe = std::env::current_exe().ok();
+        if clock_kind == "system" {
+            wedge_config.lockstep = false;
+            // SystemClock ticks are microseconds; the manual-clock
+            // default grace is far too tight for real scheduling.
+            if !grace_set {
+                wedge_config.grace_ticks = 2_000_000;
+            }
+        }
+        return run_wedge_mode(&wedge_config, &out_path, check_determinism, make_clock);
+    }
+    config.workers = warp_service::effective_workers(config.workers);
 
     // The chaos classes panic by design; keep their backtraces off the
     // console (the pool already contains them).

@@ -364,19 +364,19 @@ pub fn check_case(source: &str, input_seed: u64, opts: &DiffOptions) -> CaseOutc
             cancel: cancel.clone(),
             ..SimOptions::default()
         };
-        let sim =
-            match module.run_audited(module.n_cells, module.skew.min_skew, &inputs, &sim_opts) {
-                Ok(r) => r,
-                Err(fault) => {
-                    if let SimError::Interrupted { .. } = fault.error {
-                        return CaseOutcome::Budget(fault.error.to_string());
-                    }
-                    return CaseOutcome::Mismatch(format!(
-                        "simulator failed where the oracle ran clean: {}",
-                        fault.error
-                    ));
+        let sim = match module.run_audited(module.n_cells, module.skew.min_skew, &inputs, &sim_opts)
+        {
+            Ok(r) => r,
+            Err(fault) => {
+                if let SimError::Interrupted { .. } = fault.error {
+                    return CaseOutcome::Budget(fault.error.to_string());
                 }
-            };
+                return CaseOutcome::Mismatch(format!(
+                    "simulator failed where the oracle ran clean: {}",
+                    fault.error
+                ));
+            }
+        };
         outs.push(ExecOut {
             name: "simulator",
             host: sim.host,
@@ -623,10 +623,7 @@ mod tests {
     fn backend_sel_parses_and_displays() {
         assert_eq!("all".parse::<BackendSel>().unwrap(), BackendSel::All);
         assert_eq!("sim".parse::<BackendSel>().unwrap(), BackendSel::Sim);
-        assert_eq!(
-            "native".parse::<BackendSel>().unwrap(),
-            BackendSel::Native
-        );
+        assert_eq!("native".parse::<BackendSel>().unwrap(), BackendSel::Native);
         assert!("oracle".parse::<BackendSel>().is_err());
         assert_eq!(BackendSel::All.to_string(), "all");
         assert!(BackendSel::All.runs_sim() && BackendSel::All.runs_native());

@@ -1,0 +1,234 @@
+//! Honest health taxonomy for the compile daemon.
+//!
+//! A service that can only say "healthy" is lying whenever anything is
+//! wrong. This module folds the daemon's live signals into a
+//! three-level verdict with the *reasons* attached, so `w2cd health`,
+//! the ready banner, and the CI smoke greps all see the same story:
+//!
+//! - **healthy** — full capacity, all serving paths live, nothing
+//!   quarantined.
+//! - **degraded** — still serving, but something real is reduced: the
+//!   artifact store failed to open (memory-only), the circuit breaker
+//!   has quarantined programs, the native backend is falling back to
+//!   sim (or its breaker is open), or jobs have wedged workers (which
+//!   were replaced).
+//! - **critical** — capacity or admission is actually impaired: a
+//!   wedged worker was never replaced, or the queue is saturated.
+//!
+//! The assessment is a pure read of daemon counters — cheap enough to
+//! run on every `health`/`status` line.
+
+use crate::daemon::CompileDaemon;
+
+/// The three-level verdict, ordered by severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthLevel {
+    /// Everything at full capacity.
+    Healthy,
+    /// Serving, with named reductions.
+    Degraded,
+    /// Capacity or admission impaired.
+    Critical,
+}
+
+impl std::fmt::Display for HealthLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HealthLevel::Healthy => "healthy",
+            HealthLevel::Degraded => "degraded",
+            HealthLevel::Critical => "critical",
+        })
+    }
+}
+
+/// One assessment: the worst level any live signal reached, plus every
+/// contributing reason (empty exactly when healthy).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The verdict.
+    pub level: HealthLevel,
+    /// Human-readable reasons, worst first.
+    pub reasons: Vec<String>,
+}
+
+impl HealthReport {
+    /// The reasons joined for a one-line surface (banner, status).
+    pub fn reasons_joined(&self) -> String {
+        self.reasons.join("; ")
+    }
+}
+
+/// Assesses the daemon's current health from live signals. See the
+/// module docs for the taxonomy.
+pub fn assess(daemon: &CompileDaemon) -> HealthReport {
+    let mut findings: Vec<(HealthLevel, String)> = Vec::new();
+    let pool = daemon.pool_stats();
+
+    let lost = pool.wedged.saturating_sub(pool.respawned);
+    if lost > 0 {
+        findings.push((
+            HealthLevel::Critical,
+            format!("{lost} wedged worker(s) never replaced; capacity reduced"),
+        ));
+    }
+    let capacity = daemon.config().service.exec.queue_capacity;
+    let queued = daemon.queue_len();
+    if capacity != 0 && queued >= capacity {
+        findings.push((
+            HealthLevel::Critical,
+            format!("queue saturated ({queued}/{capacity}); admissions are being shed"),
+        ));
+    }
+    if let Some(e) = daemon.store_error() {
+        findings.push((
+            HealthLevel::Degraded,
+            format!("artifact store unavailable ({e}); running memory-only"),
+        ));
+    }
+    let quarantined = daemon.quarantined_names().len();
+    if quarantined > 0 {
+        findings.push((
+            HealthLevel::Degraded,
+            format!("{quarantined} program(s) quarantined by the circuit breaker"),
+        ));
+    }
+    if daemon.native_breaker_open() {
+        findings.push((
+            HealthLevel::Degraded,
+            "native backend breaker open; serving sim only".to_owned(),
+        ));
+    }
+    let native = daemon.native_stats();
+    if native.fallbacks > 0 {
+        findings.push((
+            HealthLevel::Degraded,
+            format!("{} native-to-sim fallback(s) served", native.fallbacks),
+        ));
+    }
+    if pool.wedged > 0 {
+        findings.push((
+            HealthLevel::Degraded,
+            format!(
+                "{} job(s) wedged workers (all replaced: {} respawn(s))",
+                pool.wedged, pool.respawned
+            ),
+        ));
+    }
+
+    findings.sort_by_key(|f| std::cmp::Reverse(f.0));
+    let level = findings
+        .first()
+        .map_or(HealthLevel::Healthy, |(level, _)| *level);
+    HealthReport {
+        level,
+        reasons: findings.into_iter().map(|(_, r)| r).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::daemon::DaemonConfig;
+    use crate::service::ServiceConfig;
+    use crate::store::StoreConfig;
+    use crate::{corpus, CompileOptions};
+    use std::sync::Arc;
+    use warp_common::ManualClock;
+    use warp_service::{ExecutorConfig, ShutdownMode};
+
+    fn daemon_with(exec: ExecutorConfig, store: Option<StoreConfig>) -> CompileDaemon {
+        CompileDaemon::new(
+            CompileOptions::default(),
+            DaemonConfig {
+                service: ServiceConfig {
+                    exec,
+                    workers: 2,
+                    ..ServiceConfig::default()
+                },
+                cache: CacheConfig::default(),
+                store,
+            },
+            Arc::new(ManualClock::new(0)),
+        )
+    }
+
+    #[test]
+    fn quiet_daemon_is_healthy_with_no_reasons() {
+        let d = daemon_with(ExecutorConfig::default(), None);
+        let h = assess(&d);
+        assert_eq!(h.level, HealthLevel::Healthy);
+        assert!(h.reasons.is_empty(), "{:?}", h.reasons);
+        d.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn failed_store_open_degrades_health() {
+        // A store dir that is a *file* cannot be opened; the daemon
+        // starts memory-only and must say so.
+        let mut path = std::env::temp_dir();
+        path.push(format!("warp-health-not-a-dir-{}", std::process::id()));
+        std::fs::write(&path, b"occupied").expect("write blocker file");
+        let d = daemon_with(
+            ExecutorConfig::default(),
+            Some(StoreConfig {
+                dir: path.clone(),
+                byte_budget: 0,
+            }),
+        );
+        assert!(d.store_error().is_some(), "store open must fail");
+        let h = assess(&d);
+        assert_eq!(h.level, HealthLevel::Degraded);
+        assert!(
+            h.reasons.iter().any(|r| r.contains("memory-only")),
+            "{:?}",
+            h.reasons
+        );
+        d.shutdown(ShutdownMode::Drain);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn open_breaker_degrades_health() {
+        let d = daemon_with(
+            ExecutorConfig {
+                breaker_threshold: 1,
+                ..ExecutorConfig::default()
+            },
+            None,
+        );
+        let id = d.submit("broken", "module broken").id().expect("accepted");
+        assert!(!d.wait(&[id])[0].outcome.is_success());
+        assert!(d.is_quarantined("broken"));
+        let h = assess(&d);
+        assert_eq!(h.level, HealthLevel::Degraded);
+        assert!(
+            h.reasons.iter().any(|r| r.contains("quarantined")),
+            "{:?}",
+            h.reasons
+        );
+        d.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn saturated_queue_is_critical() {
+        let d = daemon_with(
+            ExecutorConfig {
+                queue_capacity: 1,
+                ..ExecutorConfig::default()
+            },
+            None,
+        );
+        d.pause();
+        assert!(d.submit("q0", corpus::POLYNOMIAL).is_accepted());
+        let h = assess(&d);
+        assert_eq!(h.level, HealthLevel::Critical);
+        assert!(
+            h.reasons.iter().any(|r| r.contains("queue saturated")),
+            "{:?}",
+            h.reasons
+        );
+        d.resume();
+        d.shutdown(ShutdownMode::Drain);
+    }
+}

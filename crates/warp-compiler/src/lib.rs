@@ -51,13 +51,17 @@ pub mod crash;
 pub mod daemon;
 pub mod differential;
 pub mod fuzz;
+pub mod health;
+pub mod isolate;
 pub mod oracle;
 pub mod passes;
+pub mod protocol;
 pub mod reference;
 pub mod service;
 mod session;
 pub mod soak;
 pub mod store;
+pub mod supervise;
 
 pub use service::{BatchReport, CompileService, ServiceConfig};
 pub use session::{compile_many, Session};

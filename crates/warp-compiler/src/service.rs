@@ -58,6 +58,15 @@ pub struct ServiceConfig {
     /// Worker threads for [`CompileService::run_parallel`]
     /// (`0` = one per available core).
     pub workers: usize,
+    /// Heartbeat staleness (clock ticks) past which the daemon's
+    /// supervisor declares a running job wedged and replaces its
+    /// worker (`0` = supervision off). Only the always-on
+    /// [`CompileDaemon`](crate::daemon::CompileDaemon) supervises; the
+    /// batch service ignores this.
+    pub supervise_grace_ticks: u64,
+    /// Real-time milliseconds between background supervisor scans
+    /// (`0` = a small default).
+    pub supervise_interval_ms: u64,
 }
 
 /// One compile job's report.
@@ -247,6 +256,14 @@ impl BatchReport {
             .count()
     }
 
+    /// Jobs the supervisor declared wedged (worker presumed lost).
+    pub fn wedged(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Wedged { .. }))
+            .count()
+    }
+
     /// The job with the largest wall time, if any ran.
     pub fn slowest(&self) -> Option<&CompileReport> {
         self.jobs.iter().max_by_key(|j| j.wall_ticks)
@@ -259,6 +276,7 @@ impl BatchReport {
         self.timed_out() == 0
             && self.quarantined.is_empty()
             && self.quarantined_jobs() == 0
+            && self.wedged() == 0
             && !self
                 .jobs
                 .iter()
@@ -272,12 +290,13 @@ impl BatchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "batch: {} ok ({} degraded), {} failed, {} timed out, {} quarantined",
+            "batch: {} ok ({} degraded), {} failed, {} timed out, {} quarantined, {} wedged",
             self.succeeded(),
             self.degraded(),
             self.failed(),
             self.timed_out(),
             self.quarantined_jobs(),
+            self.wedged(),
         );
         let slowest = self.slowest().map(|j| j.id);
         let width = self
@@ -340,6 +359,14 @@ impl BatchReport {
                     diags.push(Diagnostic::error_global(format!(
                         "program quarantined by the circuit breaker after \
                          {consecutive_failures} consecutive failures"
+                    )));
+                    Err(diags)
+                }
+                JobOutcome::Wedged { stalled_for_ticks } => {
+                    let mut diags = DiagnosticBag::new();
+                    diags.push(Diagnostic::error_global(format!(
+                        "compile job wedged: worker unresponsive for \
+                         {stalled_for_ticks} ticks; presumed lost and replaced"
                     )));
                     Err(diags)
                 }

@@ -429,6 +429,7 @@ pub fn run_soak(config: &SoakConfig, clock: Arc<dyn Clock>) -> SoakReport {
                 skew_max_events: 50_000_000,
                 max_cell_cycles: 100_000_000,
                 max_source_bytes: 4 * 1024 * 1024,
+                ..ServiceConfig::default()
             },
             cache: CacheConfig {
                 byte_budget: 64 << 20,

@@ -167,11 +167,7 @@ impl NativeProgram {
     /// Returns a [`NativeError`] on queue starvation, an out-of-bounds
     /// cell-memory or host index, an oversized static queue, or
     /// cancellation. Compiler-produced modules run clean.
-    pub fn run(
-        &self,
-        host: HostMemory,
-        opts: &NativeOptions,
-    ) -> Result<RunReport, NativeError> {
+    pub fn run(&self, host: HostMemory, opts: &NativeOptions) -> Result<RunReport, NativeError> {
         NativeRunner::new(self, opts)?.run(host, opts)
     }
 }
@@ -422,7 +418,10 @@ impl<'p> NativeRunner<'p> {
             stream.clear();
             // The last cell's boundary pushes are the same statically
             // exact send counts the queues are sized to.
-            let words = program.queue_words.get(&CHANS[s]).map_or(0, |&w| w as usize);
+            let words = program
+                .queue_words
+                .get(&CHANS[s])
+                .map_or(0, |&w| w as usize);
             stream.reserve(words);
         }
         self.until_poll = if opts.poll_interval > 0 {
@@ -735,7 +734,11 @@ impl NativeRunner<'_> {
                     self.set_b(*dst, r);
                 }
                 Op::Select { dst, cond, t, e } => {
-                    let r = if self.b(*cond) { self.f(*t) } else { self.f(*e) };
+                    let r = if self.b(*cond) {
+                        self.f(*t)
+                    } else {
+                        self.f(*e)
+                    };
                     self.set_f(*dst, r);
                 }
                 Op::LoopStart {

@@ -148,7 +148,13 @@ mod tests {
             .run(host, &NativeOptions::default())
             .expect_err("cell 1 starves");
         assert!(
-            matches!(err, NativeError::EmptyQueue { cell: 1, chan: Chan::X }),
+            matches!(
+                err,
+                NativeError::EmptyQueue {
+                    cell: 1,
+                    chan: Chan::X
+                }
+            ),
             "{err:?}"
         );
         assert!(err.to_string().contains("empty upstream"), "{err}");

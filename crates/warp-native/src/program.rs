@@ -80,20 +80,41 @@ impl Addr {
 #[derive(Clone, Debug)]
 pub(crate) enum Op {
     /// `f[dst] = v`
-    ConstF { dst: u32, v: f32 },
+    ConstF {
+        dst: u32,
+        v: f32,
+    },
     /// `b[dst] = v`
-    ConstB { dst: u32, v: bool },
+    ConstB {
+        dst: u32,
+        v: bool,
+    },
     /// `a[aslot] = eval(addr)` — in-place address evaluation for ops
     /// outside the strength-reduction fast path.
-    AddrSet { aslot: u32, addr: Addr },
+    AddrSet {
+        aslot: u32,
+        addr: Addr,
+    },
     /// `f[dst] = mem[a[aslot]]`
-    Load { dst: u32, aslot: u32 },
+    Load {
+        dst: u32,
+        aslot: u32,
+    },
     /// `mem[a[aslot]] = f[src]`
-    Store { src: u32, aslot: u32 },
+    Store {
+        src: u32,
+        aslot: u32,
+    },
     /// Pop the upstream queue (interior receive).
-    RecvQueue { dst: u32, chan: Chan },
+    RecvQueue {
+        dst: u32,
+        chan: Chan,
+    },
     /// Boundary receive of a literal (or unannotated: 0.0).
-    RecvLit { dst: u32, v: f32 },
+    RecvLit {
+        dst: u32,
+        v: f32,
+    },
     /// Boundary receive of a host array word at `a[aslot]`.
     RecvHost {
         dst: u32,
@@ -102,7 +123,10 @@ pub(crate) enum Op {
         aslot: u32,
     },
     /// Push the downstream queue (interior send).
-    SendQueue { src: u32, chan: Chan },
+    SendQueue {
+        src: u32,
+        chan: Chan,
+    },
     /// Last-cell send toward the host: append to the boundary stream,
     /// then store at `a[aslot]` per the external annotation (if any).
     SendLast {
@@ -111,9 +135,21 @@ pub(crate) enum Op {
         sink: Option<(VarId, u32, u32)>,
     },
     /// `f[dst] = f[a] + f[b]` (and so on for the other arithmetic).
-    FAdd { dst: u32, a: u32, b: u32 },
-    FSub { dst: u32, a: u32, b: u32 },
-    FMul { dst: u32, a: u32, b: u32 },
+    FAdd {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    FSub {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    FMul {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
     /// Fused multiply-then-add: `f[m] = f[a] * f[b]` followed by
     /// `f[dst] = f[m] + f[c]` in one dispatch. Both results are rounded
     /// f32 operations in sequence — never a hardware FMA — so the fused
@@ -155,15 +191,43 @@ pub(crate) enum Op {
         b: u32,
         c: u32,
     },
-    FDiv { dst: u32, a: u32, b: u32 },
-    FNeg { dst: u32, a: u32 },
+    FDiv {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    FNeg {
+        dst: u32,
+        a: u32,
+    },
     /// `b[dst] = cmp(f[a], f[b])`
-    FCmp { op: CmpOp, dst: u32, a: u32, b: u32 },
-    BAnd { dst: u32, a: u32, b: u32 },
-    BOr { dst: u32, a: u32, b: u32 },
-    BNot { dst: u32, a: u32 },
+    FCmp {
+        op: CmpOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    BAnd {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    BOr {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    BNot {
+        dst: u32,
+        a: u32,
+    },
     /// `f[dst] = if b[cond] { f[t] } else { f[e] }`
-    Select { dst: u32, cond: u32, t: u32, e: u32 },
+    Select {
+        dst: u32,
+        cond: u32,
+        t: u32,
+        e: u32,
+    },
     /// Enter a counted loop; jumps to `exit` (the op index just past
     /// the matching `LoopEnd`) when the trip count is zero. `inits`
     /// are the address registers anchored to this loop, fully
@@ -333,7 +397,13 @@ fn fp_count(ops: &[Op]) -> u64 {
 /// loops, and conditionals are predicated into `Select` nodes, so
 /// every `Send` in the region tree executes unconditionally.
 fn downstream_words(ir: &CellIr, flow_right: bool) -> BTreeMap<Chan, u64> {
-    fn walk(ir: &CellIr, region: &Region, mult: u64, flow_right: bool, out: &mut BTreeMap<Chan, u64>) {
+    fn walk(
+        ir: &CellIr,
+        region: &Region,
+        mult: u64,
+        flow_right: bool,
+        out: &mut BTreeMap<Chan, u64>,
+    ) {
         match region {
             Region::Block(b) => {
                 let block = &ir.blocks[*b];
@@ -396,13 +466,11 @@ fn strength_reduce(
         .filter(|(op, _)| matches!(op, Op::Load { .. }))
         .filter_map(|(_, a)| a.as_ref().and_then(|a| addr_interval(a, ranges)))
         .collect();
-    let any_load_unbounded = ops
-        .iter()
-        .zip(&addrs)
-        .any(|(op, a)| {
-            matches!(op, Op::Load { .. })
-                && a.as_ref().is_none_or(|a| addr_interval(a, ranges).is_none())
-        });
+    let any_load_unbounded = ops.iter().zip(&addrs).any(|(op, a)| {
+        matches!(op, Op::Load { .. })
+            && a.as_ref()
+                .is_none_or(|a| addr_interval(a, ranges).is_none())
+    });
     let store_is_dead = |addr: &Addr| {
         if any_load_unbounded {
             return false;
@@ -769,8 +837,14 @@ impl Emit<'_> {
         // side-table address.
         let mut addr: Option<Addr> = None;
         let op = match &node.kind {
-            NodeKind::ConstF(v) => Op::ConstF { dst: dst_f!(), v: *v },
-            NodeKind::ConstB(v) => Op::ConstB { dst: dst_b!(), v: *v },
+            NodeKind::ConstF(v) => Op::ConstF {
+                dst: dst_f!(),
+                v: *v,
+            },
+            NodeKind::ConstB(v) => Op::ConstB {
+                dst: dst_b!(),
+                v: *v,
+            },
             NodeKind::Load { addr: a, .. } => {
                 addr = Some(Addr::decode(a));
                 Op::Load {

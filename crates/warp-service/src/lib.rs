@@ -32,7 +32,9 @@ use warp_common::{splitmix64, CancelReason, CancelToken, Clock};
 
 pub mod pool;
 
-pub use pool::{effective_workers, JobState, PoolConfig, PoolStats, ShutdownMode, WorkerPool};
+pub use pool::{
+    effective_workers, JobState, PoolConfig, PoolStats, ShutdownMode, WorkerPool, SUPERVISE_MANUAL,
+};
 
 /// Parameters of the jittered exponential backoff between retry
 /// attempts: `min(max_ticks, base_ticks * factor^(attempt-1))` plus a
@@ -254,6 +256,17 @@ pub enum JobOutcome<T, E> {
         /// Consecutive non-transient failures that tripped the breaker.
         consecutive_failures: u32,
     },
+    /// The supervisor declared the job wedged: its worker stopped
+    /// refreshing the heartbeat for longer than the configured grace
+    /// (it never polls its token, or polls but refuses to stop). The
+    /// worker was presumed lost and replaced; the job's thread may
+    /// still be running as a detached zombie, and any result it
+    /// eventually produces is discarded.
+    Wedged {
+        /// Ticks since the job's last heartbeat when it was declared
+        /// wedged.
+        stalled_for_ticks: u64,
+    },
 }
 
 impl<T, E> JobOutcome<T, E> {
@@ -276,6 +289,7 @@ impl<T, E> JobOutcome<T, E> {
             JobOutcome::TimedOut { .. } => "timeout",
             JobOutcome::Panicked { .. } => "panicked",
             JobOutcome::Quarantined { .. } => "quarantined",
+            JobOutcome::Wedged { .. } => "wedged",
         }
     }
 }
@@ -518,7 +532,8 @@ impl<T: Send, E: Send> Executor<T, E> {
             | JobOutcome::Quarantined { .. } => {}
             JobOutcome::Failed { .. }
             | JobOutcome::TimedOut { .. }
-            | JobOutcome::Panicked { .. } => {
+            | JobOutcome::Panicked { .. }
+            | JobOutcome::Wedged { .. } => {
                 self.breaker
                     .entry(report.name.clone())
                     .or_default()
@@ -997,6 +1012,10 @@ mod tests {
             attempts: 1,
         };
         assert_eq!(timeout.label(), "timeout");
+        let wedged: JobOutcome<u32, String> = JobOutcome::Wedged {
+            stalled_for_ticks: 500,
+        };
+        assert_eq!(wedged.label(), "wedged");
         assert_eq!(FailureKind::Transient.to_string(), "transient");
         assert_eq!(FailureKind::Permanent.to_string(), "permanent");
         assert_eq!(FailureKind::Timeout.to_string(), "timeout");

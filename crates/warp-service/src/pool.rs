@@ -45,8 +45,30 @@
 //! program itself never failed; punishing its name would let an
 //! impatient client quarantine a healthy program. A
 //! `DeadlineExceeded` timeout still feeds the breaker, as before.
+//!
+//! # Supervision
+//!
+//! Deadlines and cancellation are *cooperative*: a job that never
+//! polls its token (or polls and ignores the verdict) holds a worker
+//! hostage forever. With [`PoolConfig::supervise_grace_ticks`] > 0 the
+//! pool turns on per-job heartbeats — every
+//! [`CancelToken::check`] poll stamps the injected clock — and a
+//! supervisor watches for running jobs whose stamp has gone stale by
+//! more than the grace. Such a job is declared **wedged**: it receives
+//! its exactly-once [`JobOutcome::Wedged`] report, its name is
+//! released from the per-name FIFO gate, its worker thread is presumed
+//! lost (detached, never joined) and a replacement worker is spawned
+//! so pool capacity self-heals. If the zombie ever comes back, it
+//! notices it was abandoned, discards its late report, and exits.
+//!
+//! The supervisor scans on a real-time interval but measures staleness
+//! purely in injected-clock ticks, so `ManualClock` tests stay
+//! deterministic: on a frozen clock nothing ever goes stale until the
+//! test advances time, and [`WorkerPool::supervise_now`] runs one scan
+//! synchronously for lockstep drivers.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use warp_common::{CancelReason, CancelToken, Clock};
@@ -77,7 +99,29 @@ pub struct PoolConfig {
     pub exec: ExecutorConfig,
     /// Worker threads (`0` = available parallelism; clamped to ≥ 1).
     pub workers: usize,
+    /// Heartbeat staleness (in clock ticks) past which a running job
+    /// is declared wedged and its worker replaced. `0` disables
+    /// supervision entirely (no heartbeats, no supervisor thread).
+    /// Must comfortably exceed the job's worst-case interval between
+    /// cooperative polls, or healthy slow jobs get wedged.
+    pub supervise_grace_ticks: u64,
+    /// Real-time milliseconds between background supervisor scans
+    /// (`0` = a small default). Scans are cheap and read-only unless a
+    /// wedge is found. Lockstep (`ManualClock`) drivers should set
+    /// [`SUPERVISE_MANUAL`] — no background thread at all — and call
+    /// [`WorkerPool::supervise_now`] after each clock advance, so scan
+    /// counts stay deterministic instead of racing the background
+    /// scanner.
+    pub supervise_interval_ms: u64,
 }
+
+/// Sentinel for [`PoolConfig::supervise_interval_ms`]: spawn no
+/// background supervisor thread; wedges are detected only by explicit
+/// [`WorkerPool::supervise_now`] calls. This is the lockstep mode —
+/// with a `ManualClock`, a background scan could claim a wedge between
+/// the harness advancing the clock and its own `supervise_now` call,
+/// making scan-count assertions racy.
+pub const SUPERVISE_MANUAL: u64 = u64::MAX;
 
 /// Where a job currently is in its lifecycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +162,12 @@ pub struct PoolStats {
     pub panicked: u64,
     /// Completed jobs refused by the circuit breaker.
     pub quarantined: u64,
+    /// Jobs declared wedged by the supervisor (worker presumed lost).
+    pub wedged: u64,
+    /// Replacement workers spawned after wedges. `wedged - respawned`
+    /// is the pool's permanent capacity loss — zero while the
+    /// supervisor is healthy.
+    pub respawned: u64,
     /// High-water mark of the queue depth.
     pub max_queue_depth: usize,
 }
@@ -132,32 +182,59 @@ pub enum ShutdownMode {
     Abort,
 }
 
+/// Bookkeeping for one executing job.
+struct RunningJob {
+    name: String,
+    token: CancelToken,
+    /// Serial of the worker thread executing it (wedge attribution).
+    worker: usize,
+}
+
 struct PoolState<T, E> {
     queue: VecDeque<QueuedJob<T, E>>,
     /// Names currently executing — the per-name FIFO gate.
     running_names: BTreeSet<String>,
-    /// Ids currently executing, with name and cancel token (for status
-    /// queries and abort-shutdown).
-    running: BTreeMap<usize, (String, CancelToken)>,
+    /// Ids currently executing (status queries, abort-shutdown, and
+    /// supervision).
+    running: BTreeMap<usize, RunningJob>,
     /// Name of every job ever admitted, by id (status after collect).
     admitted_names: BTreeMap<usize, String>,
     done: BTreeMap<usize, JobReport<T, E>>,
     collected: BTreeSet<usize>,
     breaker: BTreeMap<String, BreakerState>,
+    /// Worker serials presumed lost to a wedge. A zombie that comes
+    /// back finds its serial here, discards its late report, and
+    /// exits (its replacement already runs).
+    abandoned: BTreeSet<usize>,
+    /// Every name that has ever wedged a worker. Callers use this to
+    /// escalate a resubmission of the same name to a harder isolation
+    /// tier instead of risking another worker.
+    wedged_names: BTreeSet<String>,
     stats: PoolStats,
     next_id: usize,
     shutdown: Option<ShutdownMode>,
+    /// Tells the supervisor thread to exit (set after workers join, so
+    /// a wedge during a drain can still be freed).
+    supervisor_stop: bool,
     paused: bool,
 }
 
 struct Shared<T, E> {
     config: ExecutorConfig,
+    /// Heartbeat staleness threshold; `0` = supervision off.
+    grace_ticks: u64,
     clock: Arc<dyn Clock>,
     state: Mutex<PoolState<T, E>>,
     /// Workers wait here for dispatchable jobs.
     work: Condvar,
     /// Waiters block here for completions.
     completions: Condvar,
+    /// The supervisor's interval timer / stop signal.
+    supervise: Condvar,
+    /// Live worker threads by serial. Wedged workers are removed and
+    /// detached (never joined); replacements get fresh serials.
+    threads: Mutex<BTreeMap<usize, std::thread::JoinHandle<()>>>,
+    next_serial: AtomicUsize,
 }
 
 impl<T, E> Shared<T, E> {
@@ -198,7 +275,8 @@ impl<T, E> Shared<T, E> {
             } => {}
             JobOutcome::Failed { .. }
             | JobOutcome::TimedOut { .. }
-            | JobOutcome::Panicked { .. } => {
+            | JobOutcome::Panicked { .. }
+            | JobOutcome::Wedged { .. } => {
                 state
                     .breaker
                     .entry(report.name.clone())
@@ -209,7 +287,7 @@ impl<T, E> Shared<T, E> {
     }
 }
 
-fn worker_loop<T: Send, E: Send>(shared: &Shared<T, E>) {
+fn worker_loop<T: Send, E: Send>(shared: &Shared<T, E>, serial: usize) {
     let mut state = shared.lock();
     loop {
         match state.shutdown {
@@ -237,10 +315,20 @@ fn worker_loop<T: Send, E: Send>(shared: &Shared<T, E>) {
             continue;
         };
         let q = state.queue.remove(slot).expect("slot position is valid");
+        if shared.grace_ticks > 0 {
+            // Stamp "dispatched now": a job that never polls at all
+            // still goes stale off this initial beat.
+            q.token.enable_heartbeat();
+        }
         state.running_names.insert(q.name.clone());
-        state
-            .running
-            .insert(q.id, (q.name.clone(), q.token.clone()));
+        state.running.insert(
+            q.id,
+            RunningJob {
+                name: q.name.clone(),
+                token: q.token.clone(),
+                worker: serial,
+            },
+        );
         let consecutive = state.breaker.get(&q.name).copied().unwrap_or_default();
         let quarantined = shared.is_quarantined_locked(&state, &q.name);
         drop(state);
@@ -248,6 +336,13 @@ fn worker_loop<T: Send, E: Send>(shared: &Shared<T, E>) {
         let report = run_job(&shared.config, &shared.clock, quarantined, consecutive, &q);
 
         state = shared.lock();
+        if state.abandoned.remove(&serial) {
+            // The supervisor declared this job wedged while we ran it:
+            // its Wedged report is already delivered, its name already
+            // released, and a replacement worker already serves the
+            // queue. Discard the late report and exit quietly.
+            break;
+        }
         shared.absorb_locked(&mut state, &report);
         state.running_names.remove(&q.name);
         state.running.remove(&q.id);
@@ -263,11 +358,131 @@ fn worker_loop<T: Send, E: Send>(shared: &Shared<T, E>) {
         shared.work.notify_all();
         shared.completions.notify_all();
     }
-    // This worker is exiting (shutdown): wake siblings and waiters so
-    // nobody sleeps through the state change.
+    // This worker is exiting (shutdown or abandonment): wake siblings
+    // and waiters so nobody sleeps through the state change.
     shared.work.notify_all();
     shared.completions.notify_all();
     drop(state);
+}
+
+/// One synchronous supervision scan: declares every running job whose
+/// heartbeat is stale by more than the grace wedged, delivers its
+/// exactly-once report, detaches its worker, and spawns a replacement.
+/// Returns the number of jobs newly wedged.
+fn scan_for_wedges<T: Send + 'static, E: Send + 'static>(shared: &Arc<Shared<T, E>>) -> usize {
+    if shared.grace_ticks == 0 {
+        return 0;
+    }
+    let mut state = shared.lock();
+    if matches!(state.shutdown, Some(ShutdownMode::Abort)) {
+        // Abort already cancelled everything; workers that never come
+        // back are detached by shutdown itself.
+        return 0;
+    }
+    let now = shared.clock.now_ticks();
+    let wedged_ids: Vec<usize> = state
+        .running
+        .iter()
+        .filter(|(_, rj)| {
+            rj.token
+                .heartbeat_ticks()
+                .is_some_and(|beat| now.saturating_sub(beat) > shared.grace_ticks)
+        })
+        .map(|(id, _)| *id)
+        .collect();
+    if wedged_ids.is_empty() {
+        return 0;
+    }
+    let mut lost_serials = Vec::new();
+    for id in &wedged_ids {
+        let rj = state.running.remove(id).expect("id came from running");
+        state.running_names.remove(&rj.name);
+        let stalled_for_ticks = now.saturating_sub(rj.token.heartbeat_ticks().unwrap_or(now));
+        // Best effort: a zombie that eventually polls sees this and
+        // unwinds; its late report is discarded via `abandoned`.
+        rj.token.cancel();
+        state.abandoned.insert(rj.worker);
+        state.wedged_names.insert(rj.name.clone());
+        lost_serials.push(rj.worker);
+        let report = JobReport {
+            id: *id,
+            name: rj.name.clone(),
+            outcome: JobOutcome::Wedged { stalled_for_ticks },
+            wall_ticks: stalled_for_ticks,
+        };
+        shared.absorb_locked(&mut state, &report);
+        state.stats.completed += 1;
+        state.stats.wedged += 1;
+        // Respawn accounting is optimistic: the surgery below either
+        // spawns the replacement or panics. Counting here — in the
+        // same locked section that publishes the wedge — keeps
+        // `wedged - respawned` (the "permanently lost capacity"
+        // health signal) from transiently reading as a loss while the
+        // replacement thread is mid-spawn.
+        state.stats.respawned += 1;
+        state.done.insert(*id, report);
+    }
+    // Freed names may unblock same-name successors; waiters may be
+    // watching the wedged ids.
+    shared.work.notify_all();
+    shared.completions.notify_all();
+    drop(state);
+
+    // Thread surgery happens outside the state lock (lock order:
+    // state, then threads — never the reverse).
+    {
+        let mut threads = shared
+            .threads
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for serial in lost_serials {
+            // Detach the presumed-dead worker: drop its handle without
+            // joining. If it is a true zombie it burns until process
+            // exit; if it comes back it exits via `abandoned`.
+            drop(threads.remove(&serial));
+            let fresh = spawn_worker(shared);
+            threads.insert(fresh.0, fresh.1);
+        }
+    }
+    wedged_ids.len()
+}
+
+/// Spawns one worker thread with a fresh serial.
+fn spawn_worker<T: Send + 'static, E: Send + 'static>(
+    shared: &Arc<Shared<T, E>>,
+) -> (usize, std::thread::JoinHandle<()>) {
+    let serial = shared.next_serial.fetch_add(1, Ordering::SeqCst);
+    let cloned = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("warp-pool-{serial}"))
+        .spawn(move || worker_loop(&*cloned, serial))
+        .expect("spawn pool worker");
+    (serial, handle)
+}
+
+/// The background supervisor: scans on a real-time interval, measuring
+/// staleness in injected-clock ticks. Exits when told to (after the
+/// workers have joined, so wedges during a drain still get freed).
+fn supervisor_loop<T: Send + 'static, E: Send + 'static>(
+    shared: &Arc<Shared<T, E>>,
+    interval: std::time::Duration,
+) {
+    loop {
+        {
+            let state = shared.lock();
+            if state.supervisor_stop {
+                return;
+            }
+            let (state, _timeout) = shared
+                .supervise
+                .wait_timeout(state, interval)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if state.supervisor_stop {
+                return;
+            }
+        }
+        scan_for_wedges(shared);
+    }
 }
 
 /// The always-on concurrent executor. See the module docs for the
@@ -290,7 +505,7 @@ fn worker_loop<T: Send, E: Send>(shared: &Shared<T, E>) {
 /// ```
 pub struct WorkerPool<T, E> {
     shared: Arc<Shared<T, E>>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    supervisor: Mutex<Option<std::thread::JoinHandle<()>>>,
     n_workers: usize,
 }
 
@@ -311,6 +526,7 @@ impl<T: Send + 'static, E: Send + 'static> WorkerPool<T, E> {
         let n_workers = effective_workers(config.workers);
         let shared = Arc::new(Shared {
             config: config.exec,
+            grace_ticks: config.supervise_grace_ticks,
             clock,
             state: Mutex::new(PoolState {
                 queue: VecDeque::new(),
@@ -320,28 +536,70 @@ impl<T: Send + 'static, E: Send + 'static> WorkerPool<T, E> {
                 done: BTreeMap::new(),
                 collected: BTreeSet::new(),
                 breaker: BTreeMap::new(),
+                abandoned: BTreeSet::new(),
+                wedged_names: BTreeSet::new(),
                 stats: PoolStats::default(),
                 next_id: 0,
                 shutdown: None,
+                supervisor_stop: false,
                 paused: false,
             }),
             work: Condvar::new(),
             completions: Condvar::new(),
+            supervise: Condvar::new(),
+            threads: Mutex::new(BTreeMap::new()),
+            next_serial: AtomicUsize::new(0),
         });
-        let workers = (0..n_workers)
-            .map(|i| {
+        {
+            let mut threads = shared
+                .threads
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for _ in 0..n_workers {
+                let (serial, handle) = spawn_worker(&shared);
+                threads.insert(serial, handle);
+            }
+        }
+        let supervisor = (config.supervise_grace_ticks > 0
+            && config.supervise_interval_ms != SUPERVISE_MANUAL)
+            .then(|| {
+                let interval =
+                    std::time::Duration::from_millis(match config.supervise_interval_ms {
+                        0 => 2,
+                        ms => ms,
+                    });
                 let shared = shared.clone();
                 std::thread::Builder::new()
-                    .name(format!("warp-pool-{i}"))
-                    .spawn(move || worker_loop(&*shared))
-                    .expect("spawn pool worker")
-            })
-            .collect();
+                    .name("warp-pool-supervisor".to_owned())
+                    .spawn(move || supervisor_loop(&shared, interval))
+                    .expect("spawn pool supervisor")
+            });
         WorkerPool {
             shared,
-            workers: Mutex::new(workers),
+            supervisor: Mutex::new(supervisor),
             n_workers,
         }
+    }
+
+    /// Runs one supervision scan synchronously and returns the number
+    /// of jobs newly declared wedged. Lockstep (`ManualClock`) drivers
+    /// call this right after advancing the clock, making wedge
+    /// detection deterministic; with a real clock it merely shortens
+    /// the wait for the next background scan. No-op when supervision
+    /// is disabled.
+    pub fn supervise_now(&self) -> usize {
+        scan_for_wedges(&self.shared)
+    }
+
+    /// Worker threads currently presumed live (nominal capacity minus
+    /// wedged-and-detached workers plus respawns). Equals
+    /// [`WorkerPool::workers`] whenever the supervisor keeps up.
+    pub fn live_workers(&self) -> usize {
+        self.shared
+            .threads
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// The number of worker threads actually running (the *effective*
@@ -439,8 +697,8 @@ impl<T: Send + 'static, E: Send + 'static> WorkerPool<T, E> {
         for q in &state.queue {
             out.push((q.id, q.name.clone(), JobState::Queued));
         }
-        for (id, (name, _)) in &state.running {
-            out.push((*id, name.clone(), JobState::Running));
+        for (id, rj) in &state.running {
+            out.push((*id, rj.name.clone(), JobState::Running));
         }
         for (id, report) in &state.done {
             out.push((*id, report.name.clone(), JobState::Done));
@@ -462,6 +720,19 @@ impl<T: Send + 'static, E: Send + 'static> WorkerPool<T, E> {
     /// A snapshot of the pool counters.
     pub fn stats(&self) -> PoolStats {
         self.shared.lock().stats
+    }
+
+    /// `true` if `name` has ever wedged a worker in this pool's
+    /// lifetime. The escalation ladder's pivot: a first wedge runs
+    /// in-thread, a resubmission of the same name should run under
+    /// hard isolation.
+    pub fn was_wedged(&self, name: &str) -> bool {
+        self.shared.lock().wedged_names.contains(name)
+    }
+
+    /// Every name that has ever wedged a worker, sorted.
+    pub fn wedged_names(&self) -> Vec<String> {
+        self.shared.lock().wedged_names.iter().cloned().collect()
     }
 
     /// Names quarantined by the circuit breaker.
@@ -556,8 +827,8 @@ impl<T: Send + 'static, E: Send + 'static> WorkerPool<T, E> {
             }
             // Running jobs observe the cancel at their next cooperative
             // poll and report TimedOut through the normal path.
-            for (_, token) in state.running.values() {
-                token.cancel();
+            for rj in state.running.values() {
+                rj.token.cancel();
             }
         }
         // Drain mode with a paused pool would deadlock: resume.
@@ -565,13 +836,69 @@ impl<T: Send + 'static, E: Send + 'static> WorkerPool<T, E> {
         self.shared.work.notify_all();
         self.shared.completions.notify_all();
         drop(state);
-        let mut workers = self
-            .workers
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        for handle in workers.drain(..) {
+        join_pool_threads(&self.shared, &self.supervisor);
+    }
+}
+
+/// Joins every live worker, then stops and joins the supervisor. The
+/// supervisor outlives the workers on purpose: a job that wedges
+/// mid-drain (system clock) must still be detected so the drain can
+/// finish — so while supervision is on, this never block-joins a
+/// thread that might be wedged. It joins threads as they finish and
+/// lets background scans detach stuck ones and spawn replacements,
+/// which see the shutdown flag and exit promptly.
+fn join_pool_threads<T, E>(
+    shared: &Arc<Shared<T, E>>,
+    supervisor: &Mutex<Option<std::thread::JoinHandle<()>>>,
+) {
+    if shared.grace_ticks == 0 {
+        // Unsupervised pools keep the original contract: block until
+        // every worker exits.
+        let handles: Vec<_> = {
+            let mut threads = shared
+                .threads
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *threads).into_values().collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
+    } else {
+        loop {
+            let (finished, remaining) = {
+                let mut threads = shared
+                    .threads
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let done: Vec<usize> = threads
+                    .iter()
+                    .filter(|(_, h)| h.is_finished())
+                    .map(|(s, _)| *s)
+                    .collect();
+                let finished: Vec<_> = done
+                    .into_iter()
+                    .filter_map(|s| threads.remove(&s))
+                    .collect();
+                (finished, threads.len())
+            };
+            for handle in finished {
+                let _ = handle.join();
+            }
+            if remaining == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    shared.lock().supervisor_stop = true;
+    shared.supervise.notify_all();
+    let handle = supervisor
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if let Some(handle) = handle {
+        let _ = handle.join();
     }
 }
 
@@ -592,13 +919,7 @@ impl<T, E> Drop for WorkerPool<T, E> {
         self.shared.work.notify_all();
         self.shared.completions.notify_all();
         drop(state);
-        let mut workers = self
-            .workers
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        for handle in workers.drain(..) {
-            let _ = handle.join();
-        }
+        join_pool_threads(&self.shared, &self.supervisor);
     }
 }
 
@@ -612,7 +933,25 @@ mod tests {
     type TestPool = WorkerPool<u32, String>;
 
     fn pool(workers: usize, exec: ExecutorConfig) -> TestPool {
-        WorkerPool::new(PoolConfig { exec, workers }, Arc::new(ManualClock::new(0)))
+        WorkerPool::new(
+            PoolConfig {
+                exec,
+                workers,
+                ..PoolConfig::default()
+            },
+            Arc::new(ManualClock::new(0)),
+        )
+    }
+
+    /// Polls until `id` is running (the dispatch itself is async).
+    fn await_running(p: &TestPool, id: usize) {
+        for _ in 0..2_000 {
+            if p.state_of(id) == Some(JobState::Running) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("job {id} never started running");
     }
 
     #[test]
@@ -866,6 +1205,147 @@ mod tests {
         assert!(effective_workers(0) >= 1);
         assert_eq!(effective_workers(3), 3);
         assert_eq!(effective_workers(1), 1);
+    }
+
+    #[test]
+    fn supervisor_wedges_stalled_job_and_respawns_worker() {
+        use std::sync::atomic::AtomicBool;
+        let clock = Arc::new(ManualClock::new(0));
+        let p: TestPool = WorkerPool::new(
+            PoolConfig {
+                exec: ExecutorConfig {
+                    breaker_threshold: 1,
+                    ..ExecutorConfig::default()
+                },
+                workers: 2,
+                supervise_grace_ticks: 100,
+                supervise_interval_ms: SUPERVISE_MANUAL,
+                ..PoolConfig::default()
+            },
+            clock.clone(),
+        );
+        // A cancellation-ignoring spin job: never polls its token, only
+        // watches a harness-owned latch so the zombie can exit later.
+        let release = Arc::new(AtomicBool::new(false));
+        let r = release.clone();
+        let id = p
+            .submit("spin", move |_| {
+                while !r.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Ok(JobSuccess::full(0))
+            })
+            .id()
+            .unwrap();
+        await_running(&p, id);
+        // Frozen clock: no matter how long we really wait, the job is
+        // not stale yet.
+        assert_eq!(p.supervise_now(), 0);
+        clock.advance(101);
+        assert_eq!(p.supervise_now(), 1, "stale past grace: wedged");
+        let reports = p.wait(&[id]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(
+            reports[0].outcome,
+            JobOutcome::Wedged {
+                stalled_for_ticks: 101
+            }
+        );
+        assert!(p.wait(&[id]).is_empty(), "exactly-once delivery");
+        let stats = p.stats();
+        assert_eq!(stats.wedged, 1);
+        assert_eq!(stats.respawned, 1);
+        assert_eq!(p.live_workers(), 2, "capacity self-healed");
+        // Wedges feed the breaker (threshold 1): the name is poison.
+        assert!(p.is_quarantined("spin"));
+        // And the name is remembered for isolation escalation.
+        assert!(p.was_wedged("spin"));
+        assert!(!p.was_wedged("never-seen"));
+        assert_eq!(p.wedged_names(), ["spin"]);
+        // The replacement worker serves subsequent jobs.
+        let after = p.submit("after", |_| Ok(JobSuccess::full(7))).id().unwrap();
+        let ok = p.submit("ok2", |_| Ok(JobSuccess::full(8))).id().unwrap();
+        let reports = p.wait(&[after, ok]);
+        assert!(reports.iter().all(|rep| rep.outcome.is_success()));
+        // Let the zombie unwind; its late report must be discarded.
+        release.store(true, Ordering::SeqCst);
+        p.shutdown(ShutdownMode::Drain);
+        assert_eq!(p.stats().completed, 3, "zombie's report was dropped");
+    }
+
+    #[test]
+    fn healthy_jobs_survive_supervision_scans() {
+        let clock = Arc::new(ManualClock::new(0));
+        let p: TestPool = WorkerPool::new(
+            PoolConfig {
+                workers: 2,
+                supervise_grace_ticks: 1_000,
+                supervise_interval_ms: SUPERVISE_MANUAL,
+                ..PoolConfig::default()
+            },
+            clock.clone(),
+        );
+        let ids: Vec<usize> = (0..4_u32)
+            .map(|i| {
+                p.submit(format!("j{i}"), move |ctx| {
+                    ctx.cancel
+                        .check()
+                        .map_err(|r| JobFailure::timeout(r.to_string()))?;
+                    Ok(JobSuccess::full(i))
+                })
+                .id()
+                .unwrap()
+            })
+            .collect();
+        let reports = p.wait(&ids);
+        assert!(reports.iter().all(|r| r.outcome.is_success()));
+        assert_eq!(p.supervise_now(), 0);
+        clock.advance(10_000);
+        // Nothing is running: a huge advance wedges nobody.
+        assert_eq!(p.supervise_now(), 0);
+        let stats = p.stats();
+        assert_eq!(stats.wedged, 0);
+        assert_eq!(stats.respawned, 0);
+        p.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn wedge_releases_the_per_name_fifo_gate() {
+        use std::sync::atomic::AtomicBool;
+        let clock = Arc::new(ManualClock::new(0));
+        let p: TestPool = WorkerPool::new(
+            PoolConfig {
+                workers: 2,
+                supervise_grace_ticks: 50,
+                supervise_interval_ms: SUPERVISE_MANUAL,
+                ..PoolConfig::default()
+            },
+            clock.clone(),
+        );
+        let release = Arc::new(AtomicBool::new(false));
+        let r = release.clone();
+        let stuck = p
+            .submit("hot", move |_| {
+                while !r.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Ok(JobSuccess::full(0))
+            })
+            .id()
+            .unwrap();
+        await_running(&p, stuck);
+        // Same name queues behind the wedged instance.
+        let successor = p.submit("hot", |_| Ok(JobSuccess::full(1))).id().unwrap();
+        assert_eq!(p.state_of(successor), Some(JobState::Queued));
+        clock.advance(51);
+        assert_eq!(p.supervise_now(), 1);
+        // The gate is released: the successor can now run and finish.
+        let reports = p.wait(&[stuck, successor]);
+        assert_eq!(reports.len(), 2);
+        assert!(matches!(reports[0].outcome, JobOutcome::Wedged { .. }));
+        assert!(reports[1].outcome.is_success());
+        release.store(true, Ordering::SeqCst);
+        p.shutdown(ShutdownMode::Drain);
     }
 
     #[test]

@@ -170,6 +170,87 @@ fn workers_flag_resolves_zero_to_available_parallelism() {
 }
 
 #[test]
+fn health_reports_degraded_when_the_store_cannot_open() {
+    // A store dir that is a regular file cannot be opened: the daemon
+    // must come up memory-only and *say so* — in the banner's health
+    // line and in `health` — instead of claiming to be healthy.
+    let blocker = write_temp("store-blocker", "not a directory");
+    let out = w2cd()
+        .args(["--store-dir", blocker.to_str().expect("utf-8 path")])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("stdin")
+                .write_all(b"health\nquit\n")?;
+            child.wait_with_output()
+        })
+        .expect("w2cd runs");
+    let _ = std::fs::remove_file(blocker);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("health: degraded"),
+        "banner must carry the verdict: {stdout}"
+    );
+    let health = stdout
+        .lines()
+        .find(|l| l.starts_with("degraded "))
+        .unwrap_or_else(|| panic!("no degraded health line in: {stdout}"));
+    assert!(health.contains("memory-only"), "{health}");
+    assert!(
+        !stdout.lines().any(|l| l.starts_with("healthy ")),
+        "daemon with a failed store must not claim healthy: {stdout}"
+    );
+}
+
+#[test]
+fn health_reports_degraded_when_the_breaker_quarantines() {
+    // Trip the circuit breaker with a deterministic front-end failure;
+    // `health` must drop to degraded and name the quarantine.
+    let src = write_temp("health-bad", "module broken (a in)\nnot w2\n");
+    let input = format!(
+        "health\nsubmit willfail {}\nrun\nhealth\nquit\n",
+        src.display()
+    );
+    let out = w2cd()
+        .args(["--breaker-threshold", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("stdin")
+                .write_all(input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("w2cd runs");
+    let _ = std::fs::remove_file(src);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The failing batch makes the session exit non-zero; that is the
+    // point. Health must have moved healthy → degraded across it.
+    assert!(!out.status.success(), "{stdout}");
+    let levels: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("healthy ") || l.starts_with("degraded "))
+        .collect();
+    assert_eq!(levels.len(), 2, "{stdout}");
+    assert!(levels[0].starts_with("healthy "), "{stdout}");
+    assert!(levels[1].starts_with("degraded "), "{stdout}");
+    assert!(
+        levels[1].contains("quarantined by the circuit breaker"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn socket_mode_serves_a_client_and_shuts_down() {
     let mut sock = std::env::temp_dir();
     sock.push(format!("w2cd-test-sock-{}.sock", std::process::id()));
